@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks double as reproduction checks: each module asserts the
+paper-shape result (who wins, what stays satisfiable) and measures the
+cost of the operation that produces it.  ``pytest benchmarks/
+--benchmark-only`` therefore both regenerates and times every artefact.
+"""
+
+import pytest
+
+from repro.workloads import GeneratorConfig, generate_kb, generate_kb4
+
+
+@pytest.fixture(scope="session")
+def small_kb():
+    """A consistent classical KB of ~20 axioms."""
+    return generate_kb(
+        GeneratorConfig(n_tbox=8, n_abox=12, max_depth=1, seed=101)
+    )
+
+
+@pytest.fixture(scope="session")
+def small_kb4():
+    """A four-valued KB of ~20 axioms with mixed inclusion kinds."""
+    return generate_kb4(
+        GeneratorConfig(n_tbox=8, n_abox=12, max_depth=1, seed=101)
+    )
+
+
+@pytest.fixture(scope="session")
+def medium_kb4():
+    """A four-valued KB of ~120 axioms."""
+    return generate_kb4(
+        GeneratorConfig(
+            n_concepts=24,
+            n_roles=4,
+            n_individuals=30,
+            n_tbox=40,
+            n_abox=80,
+            max_depth=2,
+            seed=202,
+        )
+    )

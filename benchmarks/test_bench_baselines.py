@@ -1,0 +1,62 @@
+"""Head-to-head query cost: the three baselines vs the reduction reasoner.
+
+Same inconsistent workload, same query, four strategies.  Shape
+assertions encode the paper's comparison (Section 5): selection and
+stratification answer from a pruned KB, SHOIN(D)4 answers from the whole
+KB with the conflict flagged.
+"""
+
+import pytest
+
+from repro.baselines import (
+    ClassicalBaseline,
+    SelectionReasoner,
+    StratifiedReasoner,
+    default_stratification,
+)
+from repro.dl import AtomicConcept, Individual
+from repro.four_dl import Reasoner4, collapse_to_classical
+from repro.fourvalued import FourValue
+from repro.workloads import medical_access_control
+
+SCENARIO = medical_access_control(n_staff=4, n_conflicted=1)
+CLASSICAL_KB = collapse_to_classical(SCENARIO.kb4)
+CONFLICTED = Individual("staff0")
+READERS = AtomicConcept("ReadPatientRecordTeam")
+
+
+def test_classical_baseline_query(benchmark):
+    baseline = ClassicalBaseline(CLASSICAL_KB)
+    status = benchmark(baseline.query_status, CONFLICTED, READERS)
+    assert status == "both"  # explosion artefact
+
+
+def test_selection_baseline_query(benchmark):
+    baseline = SelectionReasoner(CLASSICAL_KB)
+    status = benchmark(baseline.query, CONFLICTED, READERS)
+    assert status == "undetermined"  # the conflict sits in the first ring
+
+
+def test_stratified_baseline_query(benchmark):
+    baseline = StratifiedReasoner(default_stratification(CLASSICAL_KB))
+    status = benchmark(baseline.query, CONFLICTED, READERS)
+    assert status == "undetermined"  # the breaking stratum is drowned
+
+
+def test_four_valued_query(benchmark):
+    reasoner = Reasoner4(SCENARIO.kb4)
+    value = benchmark(reasoner.assertion_value, CONFLICTED, READERS)
+    assert value is FourValue.BOTH  # both directions of the conflict kept
+
+
+def test_four_valued_unconflicted_query(benchmark):
+    """An unconflicted member still gets a classical-quality answer."""
+    reasoner = Reasoner4(SCENARIO.kb4)
+    value = benchmark(reasoner.assertion_value, Individual("staff1"), READERS)
+    assert value is FourValue.TRUE
+
+
+def test_conflict_report(benchmark):
+    reasoner = Reasoner4(SCENARIO.kb4)
+    report = benchmark(reasoner.contradictory_facts)
+    assert CONFLICTED in report

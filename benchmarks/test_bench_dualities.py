@@ -1,0 +1,63 @@
+"""Propositions 3-4 as a benchmark: duality-law evaluation throughput."""
+
+import random
+
+from repro.dl import And, AtLeast, AtMost, BOTTOM, Exists, Forall, Not, Or, TOP
+from repro.fourvalued import BilatticePair
+from repro.semantics import FourInterpretation, RolePair
+from repro.workloads import Signature, random_concept
+
+DOMAIN = [f"d{i}" for i in range(6)]
+
+
+def build_interpretation(seed: int) -> FourInterpretation:
+    rng = random.Random(seed)
+    signature = Signature.of_size(4, 2, 0)
+    return FourInterpretation(
+        domain=frozenset(DOMAIN),
+        concept_ext={
+            concept: BilatticePair(
+                frozenset(x for x in DOMAIN if rng.random() < 0.5),
+                frozenset(x for x in DOMAIN if rng.random() < 0.5),
+            )
+            for concept in signature.concepts
+        },
+        role_ext={
+            role: RolePair(
+                frozenset(
+                    (x, y) for x in DOMAIN for y in DOMAIN if rng.random() < 0.3
+                ),
+                frozenset(
+                    (x, y) for x in DOMAIN for y in DOMAIN if rng.random() < 0.3
+                ),
+            )
+            for role in signature.roles
+        },
+    )
+
+
+def check_dualities(seed: int) -> int:
+    """Evaluate every Prop 3/4 law on a random concept; returns checks done."""
+    rng = random.Random(seed)
+    signature = Signature.of_size(4, 2, 0)
+    interp = build_interpretation(seed)
+    checks = 0
+    for _ in range(10):
+        concept = random_concept(rng, signature, depth=2, allow_counting=True)
+        role = rng.choice(signature.roles)
+        assert interp.extension(And.of(concept, TOP)) == interp.extension(concept)
+        assert interp.extension(Or.of(concept, BOTTOM)) == interp.extension(concept)
+        assert interp.extension(Not(Not(concept))) == interp.extension(concept)
+        assert interp.extension(Not(Exists(role, concept))) == interp.extension(
+            Forall(role, Not(concept))
+        )
+        assert interp.extension(Not(AtLeast(2, role))) == interp.extension(
+            AtMost(1, role)
+        )
+        checks += 5
+    return checks
+
+
+def test_duality_evaluation_throughput(benchmark):
+    checks = benchmark(check_dualities, 7)
+    assert checks == 50

@@ -1,0 +1,55 @@
+"""Benchmarks for the follow-up features: metrics and adjudication."""
+
+import pytest
+
+from repro.dl import AtomicConcept, Individual
+from repro.four_dl import (
+    DefeasibleReasoner4,
+    Reasoner4,
+    conflict_profile,
+    default_stratification4,
+)
+from repro.fourvalued import FourValue
+from repro.workloads import inject_contradictions4, medical_access_control
+
+
+def scenario_kb4(n_staff: int, conflicts: int):
+    scenario = medical_access_control(n_staff=n_staff, n_conflicted=0)
+    if conflicts:
+        inject_contradictions4(scenario.kb4, conflicts, seed=conflicts)
+    return scenario.kb4
+
+
+@pytest.mark.parametrize("n_staff", [4, 8])
+def test_conflict_profile_cost(benchmark, n_staff):
+    reasoner = Reasoner4(scenario_kb4(n_staff, conflicts=2))
+
+    profile = benchmark(conflict_profile, reasoner)
+    assert profile.total > 0
+    assert 0.0 <= profile.inconsistency_degree <= 1.0
+
+
+def test_inconsistency_degree_tracks_conflicts(benchmark):
+    def run():
+        degrees = []
+        for conflicts in (0, 2, 4):
+            reasoner = Reasoner4(scenario_kb4(4, conflicts))
+            profile = conflict_profile(reasoner, include_roles=False)
+            degrees.append(profile.inconsistency_degree)
+        return degrees
+
+    degrees = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert degrees[0] == 0.0
+    assert degrees[0] <= degrees[1] <= degrees[2]
+
+
+def test_adjudication_cost(benchmark):
+    kb4 = scenario_kb4(6, conflicts=2)
+    reasoner = DefeasibleReasoner4(default_stratification4(kb4))
+
+    report = benchmark(reasoner.conflict_report)
+    assert report
+    # Every conflicted fact gets a preferred reading and a blame stratum.
+    for verdict in report.values():
+        assert verdict.value is FourValue.BOTH
+        assert verdict.conflict_stratum is not None

@@ -1,0 +1,52 @@
+"""Reasoner scaling on the paper's scenario shapes at growing size."""
+
+import pytest
+
+from repro.dl import AtomicConcept, Individual
+from repro.four_dl import Reasoner4
+from repro.fourvalued import FourValue
+from repro.workloads import (
+    hospital_records,
+    medical_access_control,
+    penguin_taxonomy,
+)
+
+
+@pytest.mark.parametrize("n_staff", [4, 8, 16])
+def test_medical_roster_scaling(benchmark, n_staff):
+    scenario = medical_access_control(n_staff=n_staff, n_conflicted=2)
+
+    def run():
+        reasoner = Reasoner4(scenario.kb4)
+        return reasoner.contradictory_facts()
+
+    conflicts = benchmark(run)
+    assert len(conflicts) == 2
+
+
+@pytest.mark.parametrize("n_wards", [2, 6, 12])
+def test_hospital_propagation_scaling(benchmark, n_wards):
+    scenario = hospital_records(n_wards=n_wards)
+    doctor = AtomicConcept("Doctor")
+
+    def run():
+        reasoner = Reasoner4(scenario.kb4)
+        return [
+            reasoner.evidence_for(Individual(f"carer{i}"), doctor)
+            for i in range(n_wards)
+        ]
+
+    answers = benchmark(run)
+    assert all(answers)
+
+
+@pytest.mark.parametrize("n_species", [2, 4, 8])
+def test_penguin_taxonomy_scaling(benchmark, n_species):
+    scenario = penguin_taxonomy(n_species=n_species)
+    fly = AtomicConcept("Fly")
+    deepest = Individual(f"bird_{n_species - 1}_0")
+
+    def run():
+        return Reasoner4(scenario.kb4).assertion_value(deepest, fly)
+
+    assert benchmark(run) is FourValue.FALSE

@@ -1,0 +1,46 @@
+"""Diagnosis/repair cost vs the four-valued reduction.
+
+Pinpointing justifications costs many satisfiability calls (quadratic in
+KB size per justification); the four-valued conflict report needs two
+entailment checks per queried fact.  The shape assertion: both find the
+same conflicts, repair semantics deletes, SHOIN(D)4 keeps.
+"""
+
+import pytest
+
+from repro.baselines import RepairReasoner
+from repro.dl import AtomicConcept, Individual
+from repro.four_dl import Reasoner4, collapse_to_classical
+from repro.fourvalued import FourValue
+from repro.workloads import medical_access_control
+
+SCENARIO = medical_access_control(n_staff=4, n_conflicted=1)
+CLASSICAL_KB = collapse_to_classical(SCENARIO.kb4)
+CONFLICTED = Individual("staff0")
+READERS = AtomicConcept("ReadPatientRecordTeam")
+
+
+def test_justification_finding(benchmark):
+    def run():
+        return RepairReasoner(CLASSICAL_KB, max_subsets=5).justifications
+
+    justifications = benchmark(run)
+    assert len(justifications) >= 1
+    # The conflicted staffer's memberships appear in some justification.
+    union = frozenset().union(*justifications)
+    assert any(
+        getattr(axiom, "individual", None) == CONFLICTED for axiom in union
+    )
+
+
+def test_repair_query(benchmark):
+    reasoner = RepairReasoner(CLASSICAL_KB, max_subsets=5)
+    verdict = benchmark(reasoner.query, CONFLICTED, READERS)
+    assert verdict == "undetermined"  # information deleted
+
+
+def test_four_valued_conflict_report_same_target(benchmark):
+    reasoner = Reasoner4(SCENARIO.kb4)
+    report = benchmark(reasoner.contradictory_facts)
+    assert CONFLICTED in report
+    assert reasoner.assertion_value(CONFLICTED, READERS) is FourValue.BOTH

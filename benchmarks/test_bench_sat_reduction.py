@@ -1,0 +1,60 @@
+"""Propositional four-valued reasoning: truth tables vs SAT reduction.
+
+The truth-table engine enumerates ``4**n`` valuations; the doubled-atom
+SAT reduction scales with formula structure instead.  The benchmark shows
+the crossover — the propositional miniature of the paper's argument for
+reducing to classical reasoners.
+"""
+
+import random
+
+import pytest
+
+from repro.fourvalued import Atom, entails
+from repro.fourvalued.reduction import entails_by_reduction
+
+
+def sequent(n_atoms: int, n_premises: int, seed: int):
+    rng = random.Random(seed)
+    atoms = [Atom(f"x{i}") for i in range(n_atoms)]
+
+    def formula(depth=2):
+        if depth == 0 or rng.random() < 0.3:
+            return rng.choice(atoms)
+        kind = rng.choice(["not", "and", "or", "int", "strong"])
+        left = formula(depth - 1)
+        if kind == "not":
+            return ~left
+        right = formula(depth - 1)
+        return {
+            "and": left & right,
+            "or": left | right,
+            "int": left.internal(right),
+            "strong": left.strong(right),
+        }[kind]
+
+    return [formula() for _ in range(n_premises)], formula()
+
+
+@pytest.mark.parametrize("n_atoms", [4, 7])
+def test_truth_table_engine(benchmark, n_atoms):
+    premises, conclusion = sequent(n_atoms, 4, seed=n_atoms)
+
+    result = benchmark(entails, premises, conclusion)
+    assert result in (True, False)
+
+
+@pytest.mark.parametrize("n_atoms", [4, 7, 12])
+def test_sat_reduction_engine(benchmark, n_atoms):
+    premises, conclusion = sequent(n_atoms, 4, seed=n_atoms)
+
+    result = benchmark(entails_by_reduction, premises, conclusion)
+    assert result in (True, False)
+
+
+def test_engines_agree_on_benchmark_inputs():
+    for n_atoms in (4, 7):
+        premises, conclusion = sequent(n_atoms, 4, seed=n_atoms)
+        assert entails(premises, conclusion) == entails_by_reduction(
+            premises, conclusion
+        )

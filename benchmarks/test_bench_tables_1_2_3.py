@@ -1,0 +1,30 @@
+"""Benchmarks for paper Tables 1-3: the two semantic evaluators.
+
+Regenerates the constructor/axiom semantics checks and measures evaluator
+throughput — the cost of one full pass over every Table row.
+"""
+
+from repro.harness.experiments import (
+    experiment_table1,
+    experiment_table2,
+    experiment_table3,
+)
+
+
+def test_table1_classical_evaluator(benchmark):
+    result = benchmark(experiment_table1)
+    assert result.passed, result.render()
+    assert len(result.rows) == 12  # one row per Table 1 constructor checked
+
+
+def test_table2_four_valued_evaluator(benchmark):
+    result = benchmark(experiment_table2)
+    assert result.passed, result.render()
+    assert len(result.rows) == 10
+
+
+def test_table3_axiom_semantics(benchmark):
+    result = benchmark(experiment_table3)
+    assert result.passed, result.render()
+    # Every case decides all three inclusion strengths.
+    assert all(len(row) == 4 for row in result.rows)

@@ -1,0 +1,55 @@
+"""The polynomial-transformation claim (paper Section 4.1).
+
+Definition 5-7 transformation cost across a size sweep: the benchmark
+fixture times each size; the shape assertion checks the induced KB grows
+by a bounded constant factor (strong inclusions at most double).
+"""
+
+import pytest
+
+from repro.four_dl import transform_kb
+from repro.workloads import GeneratorConfig, generate_kb4
+
+SIZES = [25, 100, 400]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_transform_scaling(benchmark, size):
+    kb4 = generate_kb4(
+        GeneratorConfig(
+            n_concepts=max(4, size // 4),
+            n_roles=3,
+            n_individuals=max(4, size // 4),
+            n_tbox=size // 2,
+            n_abox=size - size // 2,
+            max_depth=2,
+            seed=size,
+        )
+    )
+    induced = benchmark(transform_kb, kb4)
+    assert len(induced) >= len(kb4)
+    assert len(induced) <= 2 * len(kb4)
+
+
+def test_transform_per_axiom_cost_is_flat():
+    """Linear scaling: per-axiom time must not grow across the sweep."""
+    import time
+
+    per_axiom = []
+    for size in (50, 200, 800):
+        kb4 = generate_kb4(
+            GeneratorConfig(
+                n_concepts=max(4, size // 4),
+                n_roles=3,
+                n_individuals=max(4, size // 4),
+                n_tbox=size // 2,
+                n_abox=size - size // 2,
+                max_depth=2,
+                seed=size,
+            )
+        )
+        started = time.perf_counter()
+        for _ in range(3):
+            transform_kb(kb4)
+        per_axiom.append((time.perf_counter() - started) / 3 / size)
+    assert per_axiom[-1] < per_axiom[0] * 10

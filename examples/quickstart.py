@@ -1,0 +1,68 @@
+"""Quickstart: keep reasoning when your OWL DL ontology goes inconsistent.
+
+Builds a small employment ontology with a conflicted individual, shows the
+classical reasoner trivialising, then answers the same queries
+paraconsistently with SHOIN(D)4.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.dl import AtomicConcept, Individual, Reasoner
+from repro.dl.parser import parse_kb
+from repro.four_dl import Reasoner4, from_classical
+from repro.harness import print_table
+
+ONTOLOGY = """
+# A tiny HR ontology with a contradiction about pat.
+Employee subclassof Person
+Contractor subclassof not Employee
+pat : Employee
+pat : Contractor
+sam : Employee
+"""
+
+
+def main() -> None:
+    kb = parse_kb(ONTOLOGY)
+    print("Ontology:")
+    print(ONTOLOGY)
+
+    # --- Classical OWL DL reasoning: one contradiction poisons everything.
+    classical = Reasoner(kb)
+    print(f"classically consistent? {classical.is_consistent()}")
+    zebra = AtomicConcept("Zebra")
+    print(
+        "classical entailment of the absurd 'sam : Zebra':",
+        classical.is_instance(Individual("sam"), zebra),
+    )
+
+    # --- Four-valued reading: same axioms, inclusion read internally.
+    kb4 = from_classical(kb)
+    reasoner = Reasoner4(kb4)
+    print(f"\nfour-valued satisfiable? {reasoner.is_satisfiable()}")
+
+    concepts = [AtomicConcept(n) for n in ("Employee", "Contractor", "Person")]
+    rows = []
+    for name in ("pat", "sam"):
+        individual = Individual(name)
+        rows.append(
+            [name]
+            + [str(reasoner.assertion_value(individual, c)) for c in concepts]
+            + [str(reasoner.assertion_value(individual, zebra))]
+        )
+    print_table(
+        ["individual", "Employee", "Contractor", "Person", "Zebra"],
+        rows,
+        title="\nEntailed Belnap status per individual "
+        "(t=true, f=false, TOP=contradictory, BOT=unknown):",
+    )
+
+    print("\nLocalised contradictions:", dict(reasoner.contradictory_facts()))
+    print(
+        "\nThe conflict about pat stays local: sam's facts and pat's "
+        "personhood survive, and nothing absurd is entailed."
+    )
+
+
+if __name__ == "__main__":
+    main()

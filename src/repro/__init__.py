@@ -1,0 +1,36 @@
+"""repro: a paraconsistent OWL DL reasoning library.
+
+Reproduction of "Inferring with Inconsistent OWL DL Ontology: A
+Multi-valued Logic Approach" (Ma, Lin & Lin, 2006): the four-valued
+description logic SHOIN(D)4, its polynomial reduction to classical
+SHOIN(D), a from-scratch SHOIN(D) tableau reasoner, explicit model
+theory for both semantics, baselines, workloads, and an experiment
+harness regenerating every table and example of the paper.
+
+Quick start::
+
+    from repro.dl import AtomicConcept, ConceptAssertion, Individual, Not
+    from repro.four_dl import KnowledgeBase4, Reasoner4, internal
+
+    A = AtomicConcept("Penguin")
+    kb4 = KnowledgeBase4().add(
+        ConceptAssertion(Individual("tweety"), A),
+        ConceptAssertion(Individual("tweety"), Not(A)),
+    )
+    Reasoner4(kb4).assertion_value(Individual("tweety"), A)  # -> BOTH
+"""
+
+__version__ = "1.0.0"
+
+from . import baselines, dl, four_dl, fourvalued, harness, semantics, workloads
+
+__all__ = [
+    "__version__",
+    "baselines",
+    "dl",
+    "four_dl",
+    "fourvalued",
+    "harness",
+    "semantics",
+    "workloads",
+]

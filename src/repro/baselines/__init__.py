@@ -1,0 +1,34 @@
+"""Comparator approaches to inconsistent ontologies (paper Sections 1, 5).
+
+Three baselines frame the evaluation of SHOIN(D)4:
+
+* :class:`~repro.baselines.classical.ClassicalBaseline` — ordinary
+  two-valued reasoning, which trivialises on inconsistency;
+* :class:`~repro.baselines.selection.SelectionReasoner` — syntactic
+  relevance selection of consistent subsets (Huang et al. 2005);
+* :class:`~repro.baselines.stratified.StratifiedReasoner` — priority
+  stratification (Benferhat et al. 2003).
+"""
+
+from .classical import ClassicalBaseline
+from .repair import (
+    RepairReasoner,
+    minimal_inconsistent_subsets,
+    repairs,
+    shrink_to_minimal,
+)
+from .selection import SelectionReasoner, axiom_symbols, query_symbols
+from .stratified import StratifiedReasoner, default_stratification
+
+__all__ = [
+    "ClassicalBaseline",
+    "RepairReasoner",
+    "minimal_inconsistent_subsets",
+    "repairs",
+    "shrink_to_minimal",
+    "SelectionReasoner",
+    "axiom_symbols",
+    "query_symbols",
+    "StratifiedReasoner",
+    "default_stratification",
+]

@@ -1,0 +1,73 @@
+"""The classical two-valued baseline (what the paper argues against).
+
+Classical SHOIN(D) reasoning trivialises on inconsistency: an
+unsatisfiable KB entails *every* assertion (ex falso quodlibet).  This
+wrapper makes that behaviour measurable — :meth:`ClassicalBaseline.query`
+answers entailment exactly like :class:`~repro.dl.reasoner.Reasoner`, and
+:meth:`ClassicalBaseline.meaningful_answers` reports how many answers are
+informative (zero once the KB is inconsistent, since everything is
+entailed).  The paraconsistency benchmarks compare this against
+:class:`~repro.four_dl.reasoner4.Reasoner4`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from ..dl.axioms import Axiom, ConceptAssertion
+from ..dl.concepts import Concept, Not
+from ..dl.individuals import Individual
+from ..dl.kb import KnowledgeBase
+from ..dl.reasoner import Reasoner
+from ..dl.tableau import DEFAULT_MAX_BRANCHES, DEFAULT_MAX_NODES
+
+
+class ClassicalBaseline:
+    """Classical entailment, including its collapse on inconsistent input."""
+
+    name = "classical"
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        max_nodes: int = DEFAULT_MAX_NODES,
+        max_branches: int = DEFAULT_MAX_BRANCHES,
+    ):
+        self.kb = kb
+        self.reasoner = Reasoner(kb, max_nodes=max_nodes, max_branches=max_branches)
+
+    def is_trivial(self) -> bool:
+        """Whether every query is answered "yes" (KB inconsistent)."""
+        return not self.reasoner.is_consistent()
+
+    def query(self, individual: Individual, concept: Concept) -> bool:
+        """Classical instance entailment ``KB |= a : C``."""
+        return self.reasoner.is_instance(individual, concept)
+
+    def query_status(self, individual: Individual, concept: Concept) -> str:
+        """One of ``yes`` / ``no`` / ``both`` — ``both`` marks collapse.
+
+        ``both`` means the KB entails ``a : C`` *and* ``a : not C``, the
+        tell-tale of classical explosion (or an over-constrained a).
+        """
+        positive = self.query(individual, concept)
+        negative = self.query(individual, Not(concept))
+        if positive and negative:
+            return "both"
+        if positive:
+            return "yes"
+        return "no"
+
+    def meaningful_answers(
+        self, queries: Iterable[Tuple[Individual, Concept]]
+    ) -> Dict[Tuple[Individual, Concept], str]:
+        """Answers that are not explosion artefacts.
+
+        Returns the status per query, with ``both`` marking answers that
+        carry no information.  On a consistent KB this equals the honest
+        entailment answers; on an inconsistent KB every entry is ``both``.
+        """
+        return {
+            (individual, concept): self.query_status(individual, concept)
+            for individual, concept in queries
+        }

@@ -1,0 +1,230 @@
+"""Diagnosis and repair baseline (the paper's "second approach").
+
+Section 1 of the paper lists three ways to handle inconsistent
+ontologies; the second is to *diagnose and repair* the contradictions.
+This module implements the standard axiom-pinpointing machinery:
+
+* :func:`minimal_inconsistent_subsets` — the justifications for the
+  inconsistency (MISes), found by deletion-based shrinking inside a
+  bounded Reiter hitting-set tree;
+* :func:`repairs` — the minimal hitting sets of the MISes: removing any
+  repair restores consistency, and every axiom-minimal consistent
+  restoration arises this way;
+* :class:`RepairReasoner` — query answering under the three classical
+  repair semantics: **IAR** (axioms in no justification), **cautious**
+  (entailed under every repair) and **brave** (entailed under some
+  repair).
+
+The comparison the benchmarks draw: repair semantics *delete* information
+to recover consistency, while SHOIN(D)4 keeps every axiom and localises
+the conflict — and diagnosis itself is a useful companion to the
+four-valued conflict report.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..dl.axioms import Axiom
+from ..dl.concepts import Concept, Not
+from ..dl.individuals import Individual
+from ..dl.kb import KnowledgeBase
+from ..dl.reasoner import Reasoner
+from ..dl.tableau import DEFAULT_MAX_BRANCHES, DEFAULT_MAX_NODES
+
+AxiomSet = Tuple[Axiom, ...]
+
+
+def _consistent(
+    axioms: Sequence[Axiom], max_nodes: int, max_branches: int
+) -> bool:
+    kb = KnowledgeBase.of(axioms)
+    return Reasoner(kb, max_nodes=max_nodes, max_branches=max_branches).is_consistent()
+
+
+def shrink_to_minimal(
+    axioms: Sequence[Axiom],
+    max_nodes: int = DEFAULT_MAX_NODES,
+    max_branches: int = DEFAULT_MAX_BRANCHES,
+) -> AxiomSet:
+    """One minimal inconsistent subset of an inconsistent axiom list.
+
+    Deletion-based shrinking: drop each axiom in turn; if the rest stays
+    inconsistent the axiom is redundant for the conflict and is removed.
+    The result is subset-minimal (every proper subset is consistent).
+    """
+    core: List[Axiom] = list(axioms)
+    index = 0
+    while index < len(core):
+        candidate = core[:index] + core[index + 1:]
+        if not _consistent(candidate, max_nodes, max_branches):
+            core = candidate
+        else:
+            index += 1
+    return tuple(core)
+
+
+def minimal_inconsistent_subsets(
+    kb: KnowledgeBase,
+    max_subsets: int = 10,
+    max_nodes: int = DEFAULT_MAX_NODES,
+    max_branches: int = DEFAULT_MAX_BRANCHES,
+) -> List[FrozenSet[Axiom]]:
+    """Up to ``max_subsets`` minimal inconsistent subsets (justifications).
+
+    Reiter-style exploration: each found MIS spawns child branches that
+    each remove one of its axioms; shrinking the remainder finds MISes
+    missed so far.  With a large enough bound this enumerates all MISes;
+    the bound keeps worst cases (exponentially many justifications)
+    controlled.
+    """
+    all_axioms = list(kb.axioms())
+    if _consistent(all_axioms, max_nodes, max_branches):
+        return []
+    found: List[FrozenSet[Axiom]] = []
+    # Each frontier entry is a set of axioms removed from the full KB.
+    frontier: List[FrozenSet[Axiom]] = [frozenset()]
+    explored: Set[FrozenSet[Axiom]] = set()
+    while frontier and len(found) < max_subsets:
+        removed = frontier.pop(0)
+        if removed in explored:
+            continue
+        explored.add(removed)
+        remaining = [axiom for axiom in all_axioms if axiom not in removed]
+        if _consistent(remaining, max_nodes, max_branches):
+            continue
+        mis = frozenset(shrink_to_minimal(remaining, max_nodes, max_branches))
+        if mis not in found:
+            found.append(mis)
+        for axiom in mis:
+            frontier.append(removed | {axiom})
+    return found
+
+
+def repairs(
+    kb: KnowledgeBase,
+    max_subsets: int = 10,
+    max_repairs: int = 20,
+    max_nodes: int = DEFAULT_MAX_NODES,
+    max_branches: int = DEFAULT_MAX_BRANCHES,
+) -> List[FrozenSet[Axiom]]:
+    """Minimal hitting sets of the justifications: the candidate repairs.
+
+    Removing any returned set makes the KB consistent; each is minimal
+    (no proper subset is also a repair w.r.t. the found justifications).
+    """
+    justifications = minimal_inconsistent_subsets(
+        kb, max_subsets=max_subsets, max_nodes=max_nodes, max_branches=max_branches
+    )
+    if not justifications:
+        return []
+    hitting_sets: List[FrozenSet[Axiom]] = [frozenset()]
+    for justification in justifications:
+        extended: List[FrozenSet[Axiom]] = []
+        for partial in hitting_sets:
+            if partial & justification:
+                extended.append(partial)
+            else:
+                for axiom in sorted(justification, key=repr):
+                    extended.append(partial | {axiom})
+        # Keep only subset-minimal candidates, bounded.
+        minimal: List[FrozenSet[Axiom]] = []
+        for candidate in sorted(extended, key=len):
+            if not any(kept <= candidate for kept in minimal):
+                minimal.append(candidate)
+            if len(minimal) >= max_repairs:
+                break
+        hitting_sets = minimal
+    return hitting_sets
+
+
+class RepairReasoner:
+    """Query answering under repair semantics."""
+
+    name = "repair"
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        max_subsets: int = 10,
+        max_repairs: int = 20,
+        max_nodes: int = DEFAULT_MAX_NODES,
+        max_branches: int = DEFAULT_MAX_BRANCHES,
+    ):
+        self.kb = kb
+        self._max_nodes = max_nodes
+        self._max_branches = max_branches
+        self.justifications = minimal_inconsistent_subsets(
+            kb, max_subsets=max_subsets, max_nodes=max_nodes,
+            max_branches=max_branches,
+        )
+        self.repair_sets = repairs(
+            kb,
+            max_subsets=max_subsets,
+            max_repairs=max_repairs,
+            max_nodes=max_nodes,
+            max_branches=max_branches,
+        )
+        self._repaired_reasoners = [
+            Reasoner(
+                KnowledgeBase.of(
+                    axiom for axiom in kb.axioms() if axiom not in repair
+                ),
+                max_nodes=max_nodes,
+                max_branches=max_branches,
+            )
+            for repair in (self.repair_sets or [frozenset()])
+        ]
+        blamed: Set[Axiom] = set()
+        for justification in self.justifications:
+            blamed |= justification
+        self._free_reasoner = Reasoner(
+            KnowledgeBase.of(
+                axiom for axiom in kb.axioms() if axiom not in blamed
+            ),
+            max_nodes=max_nodes,
+            max_branches=max_branches,
+        )
+
+    # ------------------------------------------------------------------
+    # Diagnosis report
+    # ------------------------------------------------------------------
+    def blamed_axioms(self) -> FrozenSet[Axiom]:
+        """Axioms appearing in at least one justification."""
+        blamed: Set[Axiom] = set()
+        for justification in self.justifications:
+            blamed |= justification
+        return frozenset(blamed)
+
+    def free_axioms(self) -> FrozenSet[Axiom]:
+        """Axioms in no justification (the IAR-safe part of the KB)."""
+        return frozenset(self.kb.axioms()) - self.blamed_axioms()
+
+    # ------------------------------------------------------------------
+    # Query semantics
+    # ------------------------------------------------------------------
+    def iar_query(self, individual: Individual, concept: Concept) -> bool:
+        """Entailment from the justification-free axioms only."""
+        return self._free_reasoner.is_instance(individual, concept)
+
+    def cautious_query(self, individual: Individual, concept: Concept) -> bool:
+        """Entailment under *every* computed repair."""
+        return all(
+            reasoner.is_instance(individual, concept)
+            for reasoner in self._repaired_reasoners
+        )
+
+    def brave_query(self, individual: Individual, concept: Concept) -> bool:
+        """Entailment under *some* computed repair."""
+        return any(
+            reasoner.is_instance(individual, concept)
+            for reasoner in self._repaired_reasoners
+        )
+
+    def query(self, individual: Individual, concept: Concept) -> str:
+        """Three-valued verdict under cautious repair semantics."""
+        if self.cautious_query(individual, concept):
+            return "accepted"
+        if self.cautious_query(individual, Not(concept)):
+            return "rejected"
+        return "undetermined"

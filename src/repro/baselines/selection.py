@@ -1,0 +1,177 @@
+"""Consistent-subset selection baseline (Huang et al., IJCAI 2005).
+
+The first of the paper's three families of approaches to inconsistency
+(Section 1): *reason with consistent subsets chosen by a relevance
+principle*.  Following Huang, van Harmelen & ten Teije, the selection
+function is **syntactic relevance**: axioms are ranked by their symbol
+distance from the query, and reasoning proceeds over the union of
+relevance rings as long as that union stays consistent (the "linear
+extension" strategy).
+
+Answers are three-valued at the meta level:
+
+* ``accepted``  — the selected consistent subset entails the query;
+* ``rejected``  — the subset entails the query's negation;
+* ``undetermined`` — neither (including the over-determined case where
+  extension had to stop before reaching the whole KB).
+
+This is the comparator the paper contrasts with: the selection approach
+*ignores* conflicting axioms, while SHOIN(D)4 keeps them and localises
+the contradiction (paper Section 5).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from ..dl import axioms as ax
+from ..dl.concepts import (
+    Concept,
+    Not,
+    atomic_concepts,
+    datatype_roles,
+    nominals,
+    object_roles,
+)
+from ..dl.individuals import Individual
+from ..dl.kb import KnowledgeBase
+from ..dl.reasoner import Reasoner
+from ..dl.tableau import DEFAULT_MAX_BRANCHES, DEFAULT_MAX_NODES
+
+Symbol = str
+
+
+def axiom_symbols(axiom: ax.Axiom) -> FrozenSet[Symbol]:
+    """The signature symbols an axiom mentions (concepts, roles, individuals)."""
+    symbols: Set[Symbol] = set()
+
+    def from_concept(concept: Concept) -> None:
+        symbols.update(a.name for a in atomic_concepts(concept))
+        symbols.update(r.named.name for r in object_roles(concept))
+        symbols.update(u.name for u in datatype_roles(concept))
+        symbols.update(i.name for i in nominals(concept))
+
+    if isinstance(axiom, ax.ConceptInclusion):
+        from_concept(axiom.sub)
+        from_concept(axiom.sup)
+    elif isinstance(axiom, ax.ConceptEquivalence):
+        from_concept(axiom.left)
+        from_concept(axiom.right)
+    elif isinstance(axiom, ax.RoleInclusion):
+        symbols.add(axiom.sub.named.name)
+        symbols.add(axiom.sup.named.name)
+    elif isinstance(axiom, ax.DatatypeRoleInclusion):
+        symbols.add(axiom.sub.name)
+        symbols.add(axiom.sup.name)
+    elif isinstance(axiom, ax.Transitivity):
+        symbols.add(axiom.role.name)
+    elif isinstance(axiom, ax.ConceptAssertion):
+        symbols.add(axiom.individual.name)
+        from_concept(axiom.concept)
+    elif isinstance(axiom, ax.RoleAssertion):
+        symbols.update(
+            {axiom.role.named.name, axiom.source.name, axiom.target.name}
+        )
+    elif isinstance(axiom, ax.DataAssertion):
+        symbols.update({axiom.role.name, axiom.source.name})
+    elif isinstance(axiom, (ax.SameIndividual, ax.DifferentIndividuals)):
+        symbols.update({axiom.left.name, axiom.right.name})
+    return frozenset(symbols)
+
+
+def query_symbols(individual: Individual, concept: Concept) -> FrozenSet[Symbol]:
+    """The symbols of an instance query ``a : C``."""
+    return axiom_symbols(ax.ConceptAssertion(individual, concept))
+
+
+class SelectionReasoner:
+    """Linear-extension reasoning over syntactically relevant subsets."""
+
+    name = "selection"
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        max_nodes: int = DEFAULT_MAX_NODES,
+        max_branches: int = DEFAULT_MAX_BRANCHES,
+    ):
+        self.kb = kb
+        self.axioms: List[ax.Axiom] = list(kb.axioms())
+        self.symbols: List[FrozenSet[Symbol]] = [
+            axiom_symbols(a) for a in self.axioms
+        ]
+        self._max_nodes = max_nodes
+        self._max_branches = max_branches
+
+    # ------------------------------------------------------------------
+    # Relevance rings
+    # ------------------------------------------------------------------
+    def relevance_rings(
+        self, individual: Individual, concept: Concept
+    ) -> List[List[ax.Axiom]]:
+        """Axioms grouped by syntactic distance from the query.
+
+        Ring ``k`` holds the axioms first reached after ``k`` steps of
+        "shares a symbol with" expansion from the query's symbols.
+        Axioms never reached (disconnected from the query) are appended as
+        a final ring so the strategy can still use the whole KB.
+        """
+        rings: List[List[ax.Axiom]] = []
+        reached_symbols: Set[Symbol] = set(query_symbols(individual, concept))
+        remaining = list(range(len(self.axioms)))
+        while remaining:
+            ring = [
+                index
+                for index in remaining
+                if self.symbols[index] & reached_symbols
+            ]
+            if not ring:
+                rings.append([self.axioms[i] for i in remaining])
+                break
+            rings.append([self.axioms[i] for i in ring])
+            for index in ring:
+                reached_symbols |= self.symbols[index]
+            remaining = [i for i in remaining if i not in set(ring)]
+        return rings
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+    def selected_subset(
+        self, individual: Individual, concept: Concept
+    ) -> KnowledgeBase:
+        """The largest consistent union of relevance rings (linear extension)."""
+        selected = KnowledgeBase()
+        for ring in self.relevance_rings(individual, concept):
+            candidate = selected.copy()
+            candidate.add(*ring)
+            if Reasoner(
+                candidate,
+                max_nodes=self._max_nodes,
+                max_branches=self._max_branches,
+            ).is_consistent():
+                selected = candidate
+            else:
+                break
+        return selected
+
+    def query(self, individual: Individual, concept: Concept) -> str:
+        """``accepted`` / ``rejected`` / ``undetermined`` for ``a : C``."""
+        subset = self.selected_subset(individual, concept)
+        reasoner = Reasoner(
+            subset, max_nodes=self._max_nodes, max_branches=self._max_branches
+        )
+        if reasoner.is_instance(individual, concept):
+            return "accepted"
+        if reasoner.is_instance(individual, Not(concept)):
+            return "rejected"
+        return "undetermined"
+
+    def survey(
+        self, queries: Iterable[Tuple[Individual, Concept]]
+    ) -> Sequence[Tuple[Individual, Concept, str]]:
+        """Run a batch of queries, returning (a, C, status) triples."""
+        return [
+            (individual, concept, self.query(individual, concept))
+            for individual, concept in queries
+        ]

@@ -1,0 +1,135 @@
+"""Stratification baseline (Benferhat et al., SACMAT 2003 / possibilistic).
+
+The paper's related work (Section 5): rank axioms into priority strata,
+then reason with the *largest consistent prefix* of strata (the
+possibilistic / "linear order" policy) or with strata added independently
+axiom-by-axiom (the lexicographic refinement).  Conflicting lower-priority
+axioms are simply dropped, unlike SHOIN(D)4 which keeps them.
+
+Strata are given as an explicit priority (0 = most certain); the helper
+:func:`default_stratification` reproduces the common TBox-over-ABox
+heuristic used in practice when no domain knowledge is available.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..dl.axioms import ABoxAxiom, Axiom, TBoxAxiom
+from ..dl.concepts import Concept, Not
+from ..dl.individuals import Individual
+from ..dl.kb import KnowledgeBase
+from ..dl.reasoner import Reasoner
+from ..dl.tableau import DEFAULT_MAX_BRANCHES, DEFAULT_MAX_NODES
+
+Stratification = Sequence[Tuple[Axiom, int]]
+
+
+def default_stratification(kb: KnowledgeBase) -> List[Tuple[Axiom, int]]:
+    """TBox axioms at priority 0, ABox assertions at priority 1."""
+    ranked: List[Tuple[Axiom, int]] = []
+    for axiom in kb.tbox():
+        ranked.append((axiom, 0))
+    for axiom in kb.abox():
+        ranked.append((axiom, 1))
+    return ranked
+
+
+class StratifiedReasoner:
+    """Reasoning with the largest consistent prefix of priority strata."""
+
+    name = "stratified"
+
+    def __init__(
+        self,
+        stratification: Stratification,
+        lexicographic: bool = False,
+        max_nodes: int = DEFAULT_MAX_NODES,
+        max_branches: int = DEFAULT_MAX_BRANCHES,
+    ):
+        self.stratification = list(stratification)
+        self.lexicographic = lexicographic
+        self._max_nodes = max_nodes
+        self._max_branches = max_branches
+        self._selected = self._select()
+        self._reasoner = Reasoner(
+            self._selected,
+            max_nodes=max_nodes,
+            max_branches=max_branches,
+        )
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def _strata(self) -> List[List[Axiom]]:
+        by_priority: Dict[int, List[Axiom]] = {}
+        for axiom, priority in self.stratification:
+            by_priority.setdefault(priority, []).append(axiom)
+        return [by_priority[p] for p in sorted(by_priority)]
+
+    def _consistent(self, kb: KnowledgeBase) -> bool:
+        return Reasoner(
+            kb, max_nodes=self._max_nodes, max_branches=self._max_branches
+        ).is_consistent()
+
+    def _select(self) -> KnowledgeBase:
+        """The retained sub-KB under the configured policy.
+
+        *Possibilistic* (default): add whole strata from most to least
+        certain, stopping at the first stratum that breaks consistency
+        (everything below the break is discarded — possibilistic
+        "drowning").  *Lexicographic*: within the breaking stratum, keep
+        each axiom that is individually consistent with what is already
+        retained, and continue with later strata.
+        """
+        selected = KnowledgeBase()
+        for stratum in self._strata():
+            candidate = selected.copy()
+            candidate.add(*stratum)
+            if self._consistent(candidate):
+                selected = candidate
+                continue
+            if not self.lexicographic:
+                break
+            for axiom in stratum:
+                candidate = selected.copy()
+                candidate.add(axiom)
+                if self._consistent(candidate):
+                    selected = candidate
+        return selected
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+    @property
+    def retained_kb(self) -> KnowledgeBase:
+        """The consistent sub-KB actually reasoned over."""
+        return self._selected
+
+    def dropped_axioms(self) -> List[Axiom]:
+        """Axioms of the stratification that were discarded."""
+        retained = list(self._selected.axioms())
+        dropped = []
+        for axiom, _priority in self.stratification:
+            if axiom in retained:
+                retained.remove(axiom)
+            else:
+                dropped.append(axiom)
+        return dropped
+
+    def query(self, individual: Individual, concept: Concept) -> str:
+        """``accepted`` / ``rejected`` / ``undetermined`` over the retained KB."""
+        if self._reasoner.is_instance(individual, concept):
+            return "accepted"
+        if self._reasoner.is_instance(individual, Not(concept)):
+            return "rejected"
+        return "undetermined"
+
+    def survey(
+        self, queries: Iterable[Tuple[Individual, Concept]]
+    ) -> List[Tuple[Individual, Concept, str]]:
+        """Run a batch of queries, returning (a, C, status) triples."""
+        return [
+            (individual, concept, self.query(individual, concept))
+            for individual, concept in queries
+        ]

@@ -1,0 +1,243 @@
+"""Command-line interface: audit, query, and transform ontology files.
+
+The ontology file format is the line-based concrete syntax of
+:mod:`repro.dl.parser` (four-valued inclusions ``|->``/``<``/``->``
+allowed; plain ``subclassof`` reads as internal inclusion).  Commands:
+
+* ``check FILE``      — four-valued satisfiability (and the classical
+  verdict of the collapsed ontology for comparison);
+* ``query FILE a C``  — the entailed Belnap status of ``C(a)``;
+* ``audit FILE``      — full conflict report: localised contradictions,
+  inconsistency/information degrees, per-concept breakdown;
+* ``transform FILE``  — print the classical induced KB (Definitions 5-7);
+* ``export-owl FILE`` — the induced KB as OWL functional syntax, ready
+  for any external OWL DL reasoner;
+* ``experiments``     — run the paper-reproduction battery.
+
+Exit status is 0 on success, 1 when a check fails (inconsistent /
+unsatisfiable / query not entailed), 2 on usage or parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .dl.concepts import AtomicConcept
+from .dl.errors import ParseError, ReproError
+from .dl.individuals import Individual
+from .dl.parser import ConceptParser, parse_kb4
+from .dl.printer import render_axiom
+from .dl.owl import to_functional
+from .dl.reasoner import Reasoner
+from .four_dl.axioms4 import KnowledgeBase4, collapse_to_classical
+from .four_dl.metrics import conflict_profile
+from .four_dl.reasoner4 import Reasoner4
+from .four_dl.transform import transform_kb
+from .fourvalued.truth import FourValue
+from .harness.tables import print_table
+
+
+def _load_kb4(path: str) -> KnowledgeBase4:
+    with open(path) as handle:
+        return parse_kb4(handle.read())
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    kb4 = _load_kb4(args.file)
+    reasoner = Reasoner4(kb4)
+    four_ok = reasoner.is_satisfiable()
+    classical_ok = Reasoner(collapse_to_classical(kb4)).is_consistent()
+    print(f"axioms:                  {len(kb4)}")
+    print(f"four-valued satisfiable: {four_ok}")
+    print(f"classically consistent:  {classical_ok}")
+    if four_ok and not classical_ok:
+        print(
+            "the ontology contradicts itself classically but stays "
+            "meaningful four-valuedly; run 'audit' to localise the conflicts"
+        )
+    return 0 if four_ok else 1
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    kb4 = _load_kb4(args.file)
+    parser = ConceptParser(
+        role.name for role in kb4.datatype_roles_in_signature()
+    )
+    concept = parser.parse(args.concept)
+    individual = Individual(args.individual)
+    reasoner = Reasoner4(kb4)
+    value = reasoner.assertion_value(individual, concept)
+    explanation = {
+        FourValue.TRUE: "evidence for, none against",
+        FourValue.FALSE: "evidence against, none for",
+        FourValue.BOTH: "contradictory evidence (localised conflict)",
+        FourValue.NEITHER: "no entailed evidence either way",
+    }[value]
+    print(f"{args.concept}({args.individual}) = {value}  ({explanation})")
+    return 0 if value in (FourValue.TRUE, FourValue.BOTH) else 1
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    kb4 = _load_kb4(args.file)
+    reasoner = Reasoner4(kb4)
+    print(f"axioms: {len(kb4)}")
+    print(f"four-valued satisfiable: {reasoner.is_satisfiable()}")
+    profile = conflict_profile(reasoner, include_roles=not args.no_roles)
+    print(f"inconsistency degree: {profile.inconsistency_degree:.3f}")
+    print(f"information degree:   {profile.information_degree:.3f}")
+    conflicts = reasoner.contradictory_facts()
+    if conflicts:
+        rows = [
+            (individual.name, ", ".join(sorted(c.name for c in concepts)))
+            for individual, concepts in sorted(conflicts.items())
+        ]
+        print_table(
+            ["individual", "contradictory about"], rows, title="\nConflicts:"
+        )
+    else:
+        print("no contradictions entailed")
+    if args.full:
+        print_table(
+            ["fact", "status"], profile.rows(), title="\nFull fact census:"
+        )
+    return 0 if not conflicts else 1
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    from .baselines.repair import RepairReasoner
+    from .four_dl.axioms4 import collapse_to_classical as collapse
+
+    kb4 = _load_kb4(args.file)
+    repairer = RepairReasoner(
+        collapse(kb4), max_subsets=args.max_justifications
+    )
+    if not repairer.justifications:
+        print("the ontology is classically consistent; nothing to repair")
+        return 0
+    print(f"justifications found: {len(repairer.justifications)}")
+    for index, justification in enumerate(repairer.justifications, start=1):
+        print(f"  justification {index}:")
+        for axiom in sorted(justification, key=repr):
+            print(f"    {render_axiom(axiom)}")
+    print(f"minimal repairs: {len(repairer.repair_sets)}")
+    for index, repair in enumerate(repairer.repair_sets, start=1):
+        removed = "; ".join(sorted(render_axiom(axiom) for axiom in repair))
+        print(f"  repair {index}: remove {{ {removed} }}")
+    return 1
+
+
+def _cmd_transform(args: argparse.Namespace) -> int:
+    kb4 = _load_kb4(args.file)
+    induced = transform_kb(kb4)
+    for axiom in induced.axioms():
+        print(render_axiom(axiom))
+    return 0
+
+
+def _cmd_export_owl(args: argparse.Namespace) -> int:
+    kb4 = _load_kb4(args.file)
+    induced = transform_kb(kb4)
+    sys.stdout.write(to_functional(induced, iri=args.iri))
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .harness.experiments import ALL_EXPERIMENTS, run_all
+
+    names = args.names or None
+    unknown = [n for n in (names or []) if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    results = run_all(names)
+    for result in results:
+        print(result.render())
+        print()
+    failures = [r.name for r in results if not r.passed]
+    if failures:
+        print("FAILED:", ", ".join(failures))
+        return 1
+    print(f"All {len(results)} experiments reproduce the paper.")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Paraconsistent OWL DL reasoning with SHOIN(D)4",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    check = commands.add_parser("check", help="satisfiability check")
+    check.add_argument("file", help="ontology file (concrete syntax)")
+    check.set_defaults(handler=_cmd_check)
+
+    query = commands.add_parser("query", help="Belnap status of C(a)")
+    query.add_argument("file")
+    query.add_argument("individual", help="individual name")
+    query.add_argument("concept", help="concept expression")
+    query.set_defaults(handler=_cmd_query)
+
+    audit = commands.add_parser("audit", help="conflict report and degrees")
+    audit.add_argument("file")
+    audit.add_argument(
+        "--full", action="store_true", help="print the full fact census"
+    )
+    audit.add_argument(
+        "--no-roles", action="store_true", help="skip role-atom statuses"
+    )
+    audit.set_defaults(handler=_cmd_audit)
+
+    repair = commands.add_parser(
+        "repair", help="diagnose: justifications + minimal repairs"
+    )
+    repair.add_argument("file")
+    repair.add_argument(
+        "--max-justifications", type=int, default=10, dest="max_justifications"
+    )
+    repair.set_defaults(handler=_cmd_repair)
+
+    transform = commands.add_parser(
+        "transform", help="print the classical induced KB"
+    )
+    transform.add_argument("file")
+    transform.set_defaults(handler=_cmd_transform)
+
+    export = commands.add_parser(
+        "export-owl", help="induced KB as OWL functional syntax"
+    )
+    export.add_argument("file")
+    export.add_argument(
+        "--iri", default="http://example.org/onto", help="ontology IRI"
+    )
+    export.set_defaults(handler=_cmd_export_owl)
+
+    experiments = commands.add_parser(
+        "experiments", help="run the paper-reproduction battery"
+    )
+    experiments.add_argument("names", nargs="*", help="subset to run")
+    experiments.set_defaults(handler=_cmd_experiments)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ParseError as error:
+        print(f"parse error: {error}", file=sys.stderr)
+        return 2
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,184 @@
+"""Axioms of classical SHOIN(D) TBoxes and ABoxes (paper Table 1, bottom).
+
+Covers concept inclusion, object/datatype role inclusion, role
+transitivity, concept and role assertions, datatype role assertions, and
+individual (in)equality.  Equivalence axioms are provided as a convenience
+and normalise to a pair of inclusions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from .concepts import Concept
+from .individuals import DataValue, Individual
+from .roles import AtomicRole, DatatypeRole, ObjectRole
+
+
+class Axiom:
+    """Base class of classical axioms."""
+
+
+class TBoxAxiom(Axiom):
+    """Base class of terminological axioms."""
+
+
+class ABoxAxiom(Axiom):
+    """Base class of assertional axioms."""
+
+
+@dataclass(frozen=True)
+class ConceptInclusion(TBoxAxiom):
+    """Classical concept inclusion ``C1 [= C2``."""
+
+    sub: Concept
+    sup: Concept
+
+    def __repr__(self) -> str:
+        return f"{self.sub!r} [= {self.sup!r}"
+
+
+@dataclass(frozen=True)
+class ConceptEquivalence(TBoxAxiom):
+    """Concept equivalence, shorthand for inclusions both ways."""
+
+    left: Concept
+    right: Concept
+
+    def inclusions(self) -> Tuple[ConceptInclusion, ConceptInclusion]:
+        """The two inclusions this equivalence abbreviates."""
+        return (
+            ConceptInclusion(self.left, self.right),
+            ConceptInclusion(self.right, self.left),
+        )
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} == {self.right!r}"
+
+
+@dataclass(frozen=True)
+class RoleInclusion(TBoxAxiom):
+    """Object role inclusion ``R1 [= R2`` (role expressions may be inverses)."""
+
+    sub: ObjectRole
+    sup: ObjectRole
+
+    def __repr__(self) -> str:
+        return f"{self.sub!r} [= {self.sup!r}"
+
+
+@dataclass(frozen=True)
+class DatatypeRoleInclusion(TBoxAxiom):
+    """Datatype role inclusion ``U1 [= U2``."""
+
+    sub: DatatypeRole
+    sup: DatatypeRole
+
+    def __repr__(self) -> str:
+        return f"{self.sub!r} [= {self.sup!r}"
+
+
+@dataclass(frozen=True)
+class Transitivity(TBoxAxiom):
+    """Transitivity declaration ``Trans(R)`` for a named object role."""
+
+    role: AtomicRole
+
+    def __repr__(self) -> str:
+        return f"Trans({self.role!r})"
+
+
+@dataclass(frozen=True)
+class ConceptAssertion(ABoxAxiom):
+    """Individual membership assertion ``a : C``."""
+
+    individual: Individual
+    concept: Concept
+
+    def __repr__(self) -> str:
+        return f"{self.individual!r} : {self.concept!r}"
+
+
+@dataclass(frozen=True)
+class RoleAssertion(ABoxAxiom):
+    """Object role assertion ``R(a, b)``."""
+
+    role: ObjectRole
+    source: Individual
+    target: Individual
+
+    def normalised(self) -> "RoleAssertion":
+        """Rewritten so the role is a named role (inverses swap arguments)."""
+        if self.role.is_inverse:
+            return RoleAssertion(self.role.named, self.target, self.source)
+        return self
+
+    def __repr__(self) -> str:
+        return f"{self.role!r}({self.source!r}, {self.target!r})"
+
+
+@dataclass(frozen=True)
+class NegativeRoleAssertion(ABoxAxiom):
+    """Negative object role assertion ``not R(a, b)`` (OWL 2 extension).
+
+    Classically: the pair is outside the role's extension.  Four-valuedly
+    (see ``repro.semantics.four_interpretation``): the pair carries
+    *negative evidence*, ``(a, b) in proj-(R)``.
+    """
+
+    role: ObjectRole
+    source: Individual
+    target: Individual
+
+    def normalised(self) -> "NegativeRoleAssertion":
+        """Rewritten so the role is a named role (inverses swap arguments)."""
+        if self.role.is_inverse:
+            return NegativeRoleAssertion(self.role.named, self.target, self.source)
+        return self
+
+    def __repr__(self) -> str:
+        return f"not {self.role!r}({self.source!r}, {self.target!r})"
+
+
+@dataclass(frozen=True)
+class DataAssertion(ABoxAxiom):
+    """Datatype role assertion ``U(a, v)``."""
+
+    role: DatatypeRole
+    source: Individual
+    value: DataValue
+
+    def __repr__(self) -> str:
+        return f"{self.role!r}({self.source!r}, {self.value!r})"
+
+
+@dataclass(frozen=True)
+class SameIndividual(ABoxAxiom):
+    """Individual equality ``a = b``."""
+
+    left: Individual
+    right: Individual
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} = {self.right!r}"
+
+
+@dataclass(frozen=True)
+class DifferentIndividuals(ABoxAxiom):
+    """Individual inequality ``a != b``."""
+
+    left: Individual
+    right: Individual
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} != {self.right!r}"
+
+
+def expand_equivalences(axioms: Iterator[Axiom]) -> Iterator[Axiom]:
+    """Replace every equivalence axiom by its two inclusions."""
+    for axiom in axioms:
+        if isinstance(axiom, ConceptEquivalence):
+            yield from axiom.inclusions()
+        else:
+            yield axiom

@@ -1,0 +1,324 @@
+"""Concept expressions of SHOIN(D) (paper Table 1).
+
+Every constructor of the paper's Table 1 is represented by an immutable
+AST node: atomic concepts, top/bottom, Boolean connectives, nominals
+(``OneOf``), object-role quantifiers and unqualified number restrictions,
+and their datatype counterparts.  Nodes are hashable so they can live in
+sets and serve as dictionary keys throughout the reasoners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, Tuple
+
+from .datatypes import DataRange
+from .individuals import Individual
+from .roles import DatatypeRole, ObjectRole
+
+
+class Concept:
+    """Base class of concept expressions."""
+
+    def __and__(self, other: "Concept") -> "Concept":
+        return And.of(self, other)
+
+    def __or__(self, other: "Concept") -> "Concept":
+        return Or.of(self, other)
+
+    def __invert__(self) -> "Concept":
+        return Not(self)
+
+    def subconcepts(self) -> Iterator["Concept"]:
+        """This concept and all concepts nested inside it."""
+        yield self
+
+    def size(self) -> int:
+        """The number of AST nodes (a syntactic size measure)."""
+        return sum(1 for _ in self.subconcepts())
+
+
+@dataclass(frozen=True)
+class AtomicConcept(Concept):
+    """A named (atomic) concept ``A``."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Top(Concept):
+    """The universal concept, interpreted as the whole domain."""
+
+    def __repr__(self) -> str:
+        return "Thing"
+
+
+@dataclass(frozen=True)
+class Bottom(Concept):
+    """The empty concept."""
+
+    def __repr__(self) -> str:
+        return "Nothing"
+
+
+TOP = Top()
+BOTTOM = Bottom()
+
+
+@dataclass(frozen=True)
+class Not(Concept):
+    """Full negation ``not C``."""
+
+    operand: Concept
+
+    def subconcepts(self) -> Iterator[Concept]:
+        yield self
+        yield from self.operand.subconcepts()
+
+    def __repr__(self) -> str:
+        return f"(not {self.operand!r})"
+
+
+@dataclass(frozen=True)
+class And(Concept):
+    """Conjunction ``C1 and C2 and ...`` (n-ary, order preserved)."""
+
+    operands: Tuple[Concept, ...]
+
+    @staticmethod
+    def of(*operands: Concept) -> Concept:
+        """Build a flattened conjunction; a single operand stays itself."""
+        flat: Tuple[Concept, ...] = ()
+        for operand in operands:
+            if isinstance(operand, And):
+                flat += operand.operands
+            else:
+                flat += (operand,)
+        if len(flat) == 1:
+            return flat[0]
+        return And(flat)
+
+    def subconcepts(self) -> Iterator[Concept]:
+        yield self
+        for operand in self.operands:
+            yield from operand.subconcepts()
+
+    def __repr__(self) -> str:
+        return "(" + " and ".join(repr(c) for c in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Concept):
+    """Disjunction ``C1 or C2 or ...`` (n-ary, order preserved)."""
+
+    operands: Tuple[Concept, ...]
+
+    @staticmethod
+    def of(*operands: Concept) -> Concept:
+        """Build a flattened disjunction; a single operand stays itself."""
+        flat: Tuple[Concept, ...] = ()
+        for operand in operands:
+            if isinstance(operand, Or):
+                flat += operand.operands
+            else:
+                flat += (operand,)
+        if len(flat) == 1:
+            return flat[0]
+        return Or(flat)
+
+    def subconcepts(self) -> Iterator[Concept]:
+        yield self
+        for operand in self.operands:
+            yield from operand.subconcepts()
+
+    def __repr__(self) -> str:
+        return "(" + " or ".join(repr(c) for c in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class OneOf(Concept):
+    """A nominal concept ``{o1, ...}`` enumerating individuals."""
+
+    individuals: FrozenSet[Individual]
+
+    @staticmethod
+    def of(*names: str) -> "OneOf":
+        """Build a nominal from individual names."""
+        return OneOf(frozenset(Individual(n) for n in names))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(sorted(i.name for i in self.individuals))
+        return "{" + inner + "}"
+
+
+@dataclass(frozen=True)
+class Exists(Concept):
+    """Full existential restriction ``some R.C``."""
+
+    role: ObjectRole
+    filler: Concept
+
+    def subconcepts(self) -> Iterator[Concept]:
+        yield self
+        yield from self.filler.subconcepts()
+
+    def __repr__(self) -> str:
+        return f"(some {self.role!r} {self.filler!r})"
+
+
+@dataclass(frozen=True)
+class Forall(Concept):
+    """Value restriction ``all R.C``."""
+
+    role: ObjectRole
+    filler: Concept
+
+    def subconcepts(self) -> Iterator[Concept]:
+        yield self
+        yield from self.filler.subconcepts()
+
+    def __repr__(self) -> str:
+        return f"(all {self.role!r} {self.filler!r})"
+
+
+@dataclass(frozen=True)
+class AtLeast(Concept):
+    """Unqualified at-least restriction ``>= n R``."""
+
+    n: int
+    role: ObjectRole
+
+    def __repr__(self) -> str:
+        return f"(atleast {self.n} {self.role!r})"
+
+
+@dataclass(frozen=True)
+class AtMost(Concept):
+    """Unqualified at-most restriction ``<= n R``."""
+
+    n: int
+    role: ObjectRole
+
+    def __repr__(self) -> str:
+        return f"(atmost {self.n} {self.role!r})"
+
+
+@dataclass(frozen=True)
+class QualifiedAtLeast(Concept):
+    """Qualified at-least restriction ``>= n R.C`` (SHOIQ extension).
+
+    Not part of the paper's SHOIN(D) (which has only unqualified
+    counting); provided as the natural OWL 2 direction.  The four-valued
+    semantics and the transformation generalise Definition 5 clauses
+    (9)/(16) — see ``repro.four_dl.transform``.
+    """
+
+    n: int
+    role: ObjectRole
+    filler: Concept
+
+    def subconcepts(self) -> Iterator[Concept]:
+        yield self
+        yield from self.filler.subconcepts()
+
+    def __repr__(self) -> str:
+        return f"(atleast {self.n} {self.role!r} {self.filler!r})"
+
+
+@dataclass(frozen=True)
+class QualifiedAtMost(Concept):
+    """Qualified at-most restriction ``<= n R.C`` (SHOIQ extension)."""
+
+    n: int
+    role: ObjectRole
+    filler: Concept
+
+    def subconcepts(self) -> Iterator[Concept]:
+        yield self
+        yield from self.filler.subconcepts()
+
+    def __repr__(self) -> str:
+        return f"(atmost {self.n} {self.role!r} {self.filler!r})"
+
+
+@dataclass(frozen=True)
+class DataExists(Concept):
+    """Datatype existential restriction ``some U.D``."""
+
+    role: DatatypeRole
+    range: DataRange
+
+    def __repr__(self) -> str:
+        return f"(some {self.role!r} {self.range!r})"
+
+
+@dataclass(frozen=True)
+class DataForall(Concept):
+    """Datatype value restriction ``all U.D``."""
+
+    role: DatatypeRole
+    range: DataRange
+
+    def __repr__(self) -> str:
+        return f"(all {self.role!r} {self.range!r})"
+
+
+@dataclass(frozen=True)
+class DataAtLeast(Concept):
+    """Datatype at-least restriction ``>= n U``."""
+
+    n: int
+    role: DatatypeRole
+
+    def __repr__(self) -> str:
+        return f"(atleast {self.n} {self.role!r})"
+
+
+@dataclass(frozen=True)
+class DataAtMost(Concept):
+    """Datatype at-most restriction ``<= n U``."""
+
+    n: int
+    role: DatatypeRole
+
+    def __repr__(self) -> str:
+        return f"(atmost {self.n} {self.role!r})"
+
+
+def atomic_concepts(concept: Concept) -> FrozenSet[AtomicConcept]:
+    """All atomic concepts occurring in a concept expression."""
+    return frozenset(
+        c for c in concept.subconcepts() if isinstance(c, AtomicConcept)
+    )
+
+
+def object_roles(concept: Concept) -> FrozenSet[ObjectRole]:
+    """All object-role expressions occurring in a concept expression."""
+    found = set()
+    for sub in concept.subconcepts():
+        if isinstance(
+            sub, (Exists, Forall, AtLeast, AtMost, QualifiedAtLeast, QualifiedAtMost)
+        ):
+            found.add(sub.role)
+    return frozenset(found)
+
+
+def datatype_roles(concept: Concept) -> FrozenSet[DatatypeRole]:
+    """All datatype roles occurring in a concept expression."""
+    found = set()
+    for sub in concept.subconcepts():
+        if isinstance(sub, (DataExists, DataForall, DataAtLeast, DataAtMost)):
+            found.add(sub.role)
+    return frozenset(found)
+
+
+def nominals(concept: Concept) -> FrozenSet[Individual]:
+    """All individuals mentioned by nominals inside a concept expression."""
+    found = set()
+    for sub in concept.subconcepts():
+        if isinstance(sub, OneOf):
+            found |= sub.individuals
+    return frozenset(found)

@@ -1,0 +1,244 @@
+"""Concrete domain (datatype) ranges for SHOIN(D).
+
+The paper keeps datatype concepts two-valued ("we don't consider the
+four-valued semantics of datatype concepts"), so this module implements a
+classical concrete domain: primitive datatypes (integer, float, string,
+boolean), enumerations (``DataOneOf``), integer facet ranges, and Boolean
+combinations.  Besides membership testing, ranges support a *witness
+search* used by the tableau to decide satisfiability of conjunctions of
+ranges and to produce the ``n`` distinct values needed by datatype at-least
+restrictions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+from .individuals import DataValue
+
+
+class DataRange:
+    """Base class of concrete-domain range expressions."""
+
+    def contains(self, value: DataValue) -> bool:
+        """Whether the data value belongs to this range."""
+        raise NotImplementedError
+
+    def negate(self) -> "DataRange":
+        """The complement range (used when pushing negations inward)."""
+        return DataComplement(self)
+
+    def mentioned_values(self) -> Iterable[DataValue]:
+        """Data values syntactically anchored in this range.
+
+        The witness search seeds its candidate stream with these, so any
+        subclass holding concrete values (enumerations, exact values,
+        bounds) must report them here to stay findable.
+        """
+        return ()
+
+
+@dataclass(frozen=True)
+class DataTop(DataRange):
+    """The universal data range (all data values)."""
+
+    def contains(self, value: DataValue) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "rdfs:Literal"
+
+
+@dataclass(frozen=True)
+class DataBottom(DataRange):
+    """The empty data range."""
+
+    def contains(self, value: DataValue) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "owl:NothingData"
+
+
+@dataclass(frozen=True)
+class Datatype(DataRange):
+    """A primitive datatype such as ``integer`` or ``string``."""
+
+    name: str
+
+    def contains(self, value: DataValue) -> bool:
+        return value.datatype == self.name
+
+    def __repr__(self) -> str:
+        return f"xsd:{self.name}"
+
+
+@dataclass(frozen=True)
+class DataOneOf(DataRange):
+    """An enumerated data range ``{v1, ...}`` (paper Table 1, datatype oneOf)."""
+
+    values: FrozenSet[DataValue]
+
+    @staticmethod
+    def of(*values: object) -> "DataOneOf":
+        """Build from raw Python values."""
+        return DataOneOf(frozenset(DataValue.of(v) for v in values))
+
+    def contains(self, value: DataValue) -> bool:
+        return value in self.values
+
+    def __repr__(self) -> str:
+        inner = ", ".join(sorted(repr(v) for v in self.values))
+        return "{" + inner + "}"
+
+
+@dataclass(frozen=True)
+class IntRange(DataRange):
+    """An integer facet range ``[minimum, maximum]`` (either bound optional)."""
+
+    minimum: Optional[int] = None
+    maximum: Optional[int] = None
+
+    def contains(self, value: DataValue) -> bool:
+        if value.datatype != "integer":
+            return False
+        number = int(value.lexical)
+        if self.minimum is not None and number < self.minimum:
+            return False
+        if self.maximum is not None and number > self.maximum:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        low = "-inf" if self.minimum is None else str(self.minimum)
+        high = "+inf" if self.maximum is None else str(self.maximum)
+        return f"int[{low}..{high}]"
+
+
+@dataclass(frozen=True)
+class DataComplement(DataRange):
+    """The complement of a data range."""
+
+    operand: DataRange
+
+    def contains(self, value: DataValue) -> bool:
+        return not self.operand.contains(value)
+
+    def negate(self) -> DataRange:
+        return self.operand
+
+    def __repr__(self) -> str:
+        return f"not({self.operand!r})"
+
+
+@dataclass(frozen=True)
+class DataAnd(DataRange):
+    """Intersection of data ranges."""
+
+    operands: Tuple[DataRange, ...]
+
+    def contains(self, value: DataValue) -> bool:
+        return all(r.contains(value) for r in self.operands)
+
+    def __repr__(self) -> str:
+        return "(" + " and ".join(repr(r) for r in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class DataOr(DataRange):
+    """Union of data ranges."""
+
+    operands: Tuple[DataRange, ...]
+
+    def contains(self, value: DataValue) -> bool:
+        return any(r.contains(value) for r in self.operands)
+
+    def __repr__(self) -> str:
+        return "(" + " or ".join(repr(r) for r in self.operands) + ")"
+
+
+# ---------------------------------------------------------------------------
+# Witness search
+# ---------------------------------------------------------------------------
+
+def _mentioned_values(range_: DataRange) -> Iterator[DataValue]:
+    """Data values syntactically mentioned inside a range expression."""
+    if isinstance(range_, DataOneOf):
+        yield from range_.values
+    elif isinstance(range_, DataComplement):
+        yield from _mentioned_values(range_.operand)
+    elif isinstance(range_, (DataAnd, DataOr)):
+        for operand in range_.operands:
+            yield from _mentioned_values(operand)
+    elif isinstance(range_, IntRange):
+        if range_.minimum is not None:
+            yield DataValue.of(range_.minimum)
+        if range_.maximum is not None:
+            yield DataValue.of(range_.maximum)
+    else:
+        yield from range_.mentioned_values()
+
+
+def _candidate_values(ranges: Iterable[DataRange], want: int) -> Iterator[DataValue]:
+    """A stream of candidate witnesses for a conjunction of ranges.
+
+    Mentioned values first (they decide enumerations), then integer values
+    spiralling out from mentioned bounds, then fresh strings and floats.
+    The stream is deterministic, which keeps the tableau reproducible.
+    """
+    seen = set()
+    for range_ in ranges:
+        for value in sorted(_mentioned_values(range_)):
+            if value not in seen:
+                seen.add(value)
+                yield value
+    anchors = sorted(
+        {int(v.lexical) for v in seen if v.datatype == "integer"} or {0}
+    )
+    for offset in range(want + 8):
+        for anchor in anchors:
+            for number in (anchor + offset, anchor - offset):
+                value = DataValue.of(number)
+                if value not in seen:
+                    seen.add(value)
+                    yield value
+    for index in range(want + 8):
+        for value in (
+            DataValue.of(f"witness_{index}"),
+            DataValue.of(float(index) + 0.5),
+            DataValue("boolean", "true" if index % 2 == 0 else "false"),
+        ):
+            if value not in seen:
+                seen.add(value)
+                yield value
+
+
+def find_witnesses(ranges: Iterable[DataRange], count: int = 1) -> Optional[List[DataValue]]:
+    """Find ``count`` distinct values satisfying every range, or ``None``.
+
+    Complete for the range language implemented here: every satisfiable
+    conjunction is witnessed either by a mentioned value, by an integer near
+    a mentioned bound, or by a fresh string/float/boolean, all of which the
+    candidate stream covers.
+    """
+    ranges = list(ranges)
+    witnesses: List[DataValue] = []
+    for value in itertools.islice(_candidate_values(ranges, count), 4096):
+        if all(r.contains(value) for r in ranges):
+            witnesses.append(value)
+            if len(witnesses) >= count:
+                return witnesses
+    return None
+
+
+def conjunction_satisfiable(ranges: Iterable[DataRange]) -> bool:
+    """Whether a conjunction of data ranges has at least one member."""
+    return find_witnesses(ranges, 1) is not None
+
+
+INTEGER = Datatype("integer")
+STRING = Datatype("string")
+FLOAT = Datatype("float")
+BOOLEAN = Datatype("boolean")

@@ -1,0 +1,28 @@
+"""Exception types shared across the library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all library errors."""
+
+
+class ParseError(ReproError):
+    """Raised by the concept/KB parser on malformed input."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class ReasonerLimitExceeded(ReproError):
+    """Raised when the tableau exceeds its configured node or branch budget.
+
+    The tableau for SHOIN is worst-case non-elementary in practice; the
+    budget turns a runaway search into a diagnosable error instead of an
+    unbounded loop.
+    """
+
+
+class UnsupportedFeature(ReproError):
+    """Raised when an input uses a feature outside the implemented fragment."""

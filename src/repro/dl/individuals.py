@@ -1,0 +1,59 @@
+"""Individuals and data values of SHOIN(D) (paper Table 1, rows I and v)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True, order=True)
+class Individual:
+    """A named individual of the abstract (object) domain."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def renamed(self, suffix: str = "_c") -> "Individual":
+        """The renamed copy used by the classical induced KB (Def. 6)."""
+        return Individual(self.name + suffix)
+
+
+@dataclass(frozen=True, order=True)
+class DataValue:
+    """A typed literal of the concrete (datatype) domain.
+
+    ``datatype`` names the concrete type (``"integer"``, ``"string"``,
+    ``"float"``); ``lexical`` is its printable lexical form.  Values compare
+    by (datatype, lexical form), matching the paper's ``v^I = v^D``.
+    """
+
+    datatype: str
+    lexical: str
+
+    @staticmethod
+    def of(value: Union[int, float, str]) -> "DataValue":
+        """Wrap a Python value in the matching concrete datatype."""
+        if isinstance(value, bool):
+            return DataValue("boolean", "true" if value else "false")
+        if isinstance(value, int):
+            return DataValue("integer", str(value))
+        if isinstance(value, float):
+            return DataValue("float", repr(value))
+        return DataValue("string", str(value))
+
+    def to_python(self) -> Union[int, float, str, bool]:
+        """The Python value this literal denotes."""
+        if self.datatype == "integer":
+            return int(self.lexical)
+        if self.datatype == "float":
+            return float(self.lexical)
+        if self.datatype == "boolean":
+            return self.lexical == "true"
+        return self.lexical
+
+    def __repr__(self) -> str:
+        if self.datatype == "string":
+            return f'"{self.lexical}"'
+        return self.lexical

@@ -1,0 +1,272 @@
+"""Classical SHOIN(D) knowledge bases: TBox + ABox containers.
+
+A :class:`KnowledgeBase` bundles terminological axioms (concept and role
+inclusions, transitivity) with assertional axioms, and exposes the
+signature queries (concept/role/individual names) that the transformation
+layer and the workload generators rely on.  Role-hierarchy reachability
+(with inverses) and transitivity lookup live here because both the tableau
+and the model checker need them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
+
+from . import axioms as ax
+from .concepts import (
+    AtomicConcept,
+    Concept,
+    atomic_concepts,
+    datatype_roles,
+    nominals,
+    object_roles,
+)
+from .individuals import Individual
+from .roles import AtomicRole, DatatypeRole, ObjectRole
+
+
+@dataclass
+class KnowledgeBase:
+    """A classical SHOIN(D) knowledge base.
+
+    Attributes hold the axioms grouped by kind; the class is mutable by
+    design (KBs are built incrementally by parsers, generators, and the
+    four-valued transformation) but all axiom objects are immutable.
+    """
+
+    concept_inclusions: List[ax.ConceptInclusion] = field(default_factory=list)
+    role_inclusions: List[ax.RoleInclusion] = field(default_factory=list)
+    datatype_role_inclusions: List[ax.DatatypeRoleInclusion] = field(
+        default_factory=list
+    )
+    transitivity_axioms: List[ax.Transitivity] = field(default_factory=list)
+    concept_assertions: List[ax.ConceptAssertion] = field(default_factory=list)
+    role_assertions: List[ax.RoleAssertion] = field(default_factory=list)
+    negative_role_assertions: List[ax.NegativeRoleAssertion] = field(
+        default_factory=list
+    )
+    data_assertions: List[ax.DataAssertion] = field(default_factory=list)
+    same_individuals: List[ax.SameIndividual] = field(default_factory=list)
+    different_individuals: List[ax.DifferentIndividuals] = field(
+        default_factory=list
+    )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, *axioms_: ax.Axiom) -> "KnowledgeBase":
+        """Add axioms of any kind; returns self for chaining."""
+        for axiom in axioms_:
+            if isinstance(axiom, ax.ConceptEquivalence):
+                for inclusion in axiom.inclusions():
+                    self.concept_inclusions.append(inclusion)
+            elif isinstance(axiom, ax.ConceptInclusion):
+                self.concept_inclusions.append(axiom)
+            elif isinstance(axiom, ax.RoleInclusion):
+                self.role_inclusions.append(axiom)
+            elif isinstance(axiom, ax.DatatypeRoleInclusion):
+                self.datatype_role_inclusions.append(axiom)
+            elif isinstance(axiom, ax.Transitivity):
+                self.transitivity_axioms.append(axiom)
+            elif isinstance(axiom, ax.ConceptAssertion):
+                self.concept_assertions.append(axiom)
+            elif isinstance(axiom, ax.RoleAssertion):
+                self.role_assertions.append(axiom.normalised())
+            elif isinstance(axiom, ax.NegativeRoleAssertion):
+                self.negative_role_assertions.append(axiom.normalised())
+            elif isinstance(axiom, ax.DataAssertion):
+                self.data_assertions.append(axiom)
+            elif isinstance(axiom, ax.SameIndividual):
+                self.same_individuals.append(axiom)
+            elif isinstance(axiom, ax.DifferentIndividuals):
+                self.different_individuals.append(axiom)
+            else:
+                raise TypeError(f"unknown axiom kind: {axiom!r}")
+        return self
+
+    @staticmethod
+    def of(axioms_: Iterable[ax.Axiom]) -> "KnowledgeBase":
+        """Build a knowledge base from an iterable of axioms."""
+        return KnowledgeBase().add(*axioms_)
+
+    def copy(self) -> "KnowledgeBase":
+        """A shallow copy (axioms are immutable, so this is safe)."""
+        return KnowledgeBase.of(self.axioms())
+
+    # ------------------------------------------------------------------
+    # Iteration & size
+    # ------------------------------------------------------------------
+    def tbox(self) -> Iterator[ax.TBoxAxiom]:
+        """All terminological axioms."""
+        yield from self.concept_inclusions
+        yield from self.role_inclusions
+        yield from self.datatype_role_inclusions
+        yield from self.transitivity_axioms
+
+    def abox(self) -> Iterator[ax.ABoxAxiom]:
+        """All assertional axioms."""
+        yield from self.concept_assertions
+        yield from self.role_assertions
+        yield from self.negative_role_assertions
+        yield from self.data_assertions
+        yield from self.same_individuals
+        yield from self.different_individuals
+
+    def axioms(self) -> Iterator[ax.Axiom]:
+        """All axioms, TBox then ABox."""
+        yield from self.tbox()
+        yield from self.abox()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.axioms())
+
+    def size(self) -> int:
+        """Total syntactic size: AST nodes across all axioms."""
+        total = 0
+        for axiom in self.axioms():
+            if isinstance(axiom, ax.ConceptInclusion):
+                total += axiom.sub.size() + axiom.sup.size()
+            elif isinstance(axiom, ax.ConceptAssertion):
+                total += 1 + axiom.concept.size()
+            else:
+                total += 2
+        return total
+
+    # ------------------------------------------------------------------
+    # Signature
+    # ------------------------------------------------------------------
+    def concepts_in_signature(self) -> FrozenSet[AtomicConcept]:
+        """All atomic concept names occurring anywhere in the KB."""
+        found: Set[AtomicConcept] = set()
+        for concept in self._all_concepts():
+            found |= atomic_concepts(concept)
+        return frozenset(found)
+
+    def object_roles_in_signature(self) -> FrozenSet[AtomicRole]:
+        """All named object roles occurring anywhere in the KB."""
+        found: Set[AtomicRole] = set()
+        for concept in self._all_concepts():
+            found |= {r.named for r in object_roles(concept)}
+        for inclusion in self.role_inclusions:
+            found.add(inclusion.sub.named)
+            found.add(inclusion.sup.named)
+        for transitivity in self.transitivity_axioms:
+            found.add(transitivity.role)
+        for assertion in self.role_assertions:
+            found.add(assertion.role.named)
+        for negative in self.negative_role_assertions:
+            found.add(negative.role.named)
+        return frozenset(found)
+
+    def datatype_roles_in_signature(self) -> FrozenSet[DatatypeRole]:
+        """All datatype roles occurring anywhere in the KB."""
+        found: Set[DatatypeRole] = set()
+        for concept in self._all_concepts():
+            found |= datatype_roles(concept)
+        for inclusion in self.datatype_role_inclusions:
+            found.add(inclusion.sub)
+            found.add(inclusion.sup)
+        for assertion in self.data_assertions:
+            found.add(assertion.role)
+        return frozenset(found)
+
+    def individuals_in_signature(self) -> FrozenSet[Individual]:
+        """All individuals, asserted or mentioned in nominals."""
+        found: Set[Individual] = set()
+        for concept in self._all_concepts():
+            found |= nominals(concept)
+        for assertion in self.concept_assertions:
+            found.add(assertion.individual)
+        for assertion in self.role_assertions:
+            found.add(assertion.source)
+            found.add(assertion.target)
+        for negative in self.negative_role_assertions:
+            found.add(negative.source)
+            found.add(negative.target)
+        for assertion in self.data_assertions:
+            found.add(assertion.source)
+        for equality in self.same_individuals:
+            found.add(equality.left)
+            found.add(equality.right)
+        for inequality in self.different_individuals:
+            found.add(inequality.left)
+            found.add(inequality.right)
+        return frozenset(found)
+
+    def _all_concepts(self) -> Iterator[Concept]:
+        for inclusion in self.concept_inclusions:
+            yield inclusion.sub
+            yield inclusion.sup
+        for assertion in self.concept_assertions:
+            yield assertion.concept
+
+    # ------------------------------------------------------------------
+    # Role hierarchy
+    # ------------------------------------------------------------------
+    def role_superroles(self) -> Dict[ObjectRole, FrozenSet[ObjectRole]]:
+        """Reflexive-transitive closure of the object-role hierarchy.
+
+        Includes the mirrored inverse inclusions (``R [= S`` implies
+        ``R- [= S-``), as required by SHOIN semantics.
+        """
+        edges: Dict[ObjectRole, Set[ObjectRole]] = {}
+
+        def add_edge(sub: ObjectRole, sup: ObjectRole) -> None:
+            edges.setdefault(sub, set()).add(sup)
+
+        roles: Set[ObjectRole] = set()
+        for named in self.object_roles_in_signature():
+            roles.add(named)
+            roles.add(named.inverse())
+        for inclusion in self.role_inclusions:
+            add_edge(inclusion.sub, inclusion.sup)
+            add_edge(inclusion.sub.inverse(), inclusion.sup.inverse())
+            roles |= {
+                inclusion.sub,
+                inclusion.sup,
+                inclusion.sub.inverse(),
+                inclusion.sup.inverse(),
+            }
+        closure: Dict[ObjectRole, FrozenSet[ObjectRole]] = {}
+        for role in roles:
+            reached = {role}
+            frontier = [role]
+            while frontier:
+                current = frontier.pop()
+                for nxt in edges.get(current, ()):
+                    if nxt not in reached:
+                        reached.add(nxt)
+                        frontier.append(nxt)
+            closure[role] = frozenset(reached)
+        return closure
+
+    def transitive_roles(self) -> FrozenSet[AtomicRole]:
+        """The named roles declared transitive."""
+        return frozenset(t.role for t in self.transitivity_axioms)
+
+    def is_transitive(self, role: ObjectRole) -> bool:
+        """Whether a role expression is transitive (``Trans(R)`` iff ``Trans(R-)``)."""
+        return role.named in self.transitive_roles()
+
+    def merged(self, other: "KnowledgeBase") -> "KnowledgeBase":
+        """A new KB containing the axioms of both."""
+        result = self.copy()
+        result.add(*other.axioms())
+        return result
+
+
+def simple_roles(kb: KnowledgeBase) -> FrozenSet[AtomicRole]:
+    """Named roles with no transitive subrole (usable in number restrictions).
+
+    SHOIN requires roles in number restrictions to be *simple*; this helper
+    lets generators and validity checks enforce that.
+    """
+    hierarchy = kb.role_superroles()
+    transitive = kb.transitive_roles()
+    unsimple: Set[AtomicRole] = set()
+    for sub, supers in hierarchy.items():
+        if sub.named in transitive:
+            for sup in supers:
+                unsimple.add(sup.named)
+    return frozenset(r for r in kb.object_roles_in_signature() if r not in unsimple)

@@ -1,0 +1,124 @@
+"""Negation normal form for SHOIN(D) concepts.
+
+Pushes negation inward until it sits only in front of atomic concepts,
+nominals, and data ranges, using the classical dualities (which the paper's
+Proposition 4 shows also hold four-valuedly):
+
+* De Morgan for ``and`` / ``or``;
+* ``not some R.C = all R.not C`` and dually;
+* ``not (>= n R) = <= (n-1) R`` and ``not (<= n R) = >= (n+1) R``;
+* datatype restrictions via range complement.
+
+The tableau operates exclusively on NNF concepts.
+"""
+
+from __future__ import annotations
+
+from .concepts import (
+    BOTTOM,
+    TOP,
+    And,
+    AtLeast,
+    AtMost,
+    AtomicConcept,
+    Bottom,
+    Concept,
+    DataAtLeast,
+    DataAtMost,
+    DataExists,
+    DataForall,
+    Exists,
+    Forall,
+    Not,
+    OneOf,
+    Or,
+    QualifiedAtLeast,
+    QualifiedAtMost,
+    Top,
+)
+
+
+def nnf(concept: Concept) -> Concept:
+    """The negation normal form of a concept."""
+    if isinstance(concept, (AtomicConcept, Top, Bottom, OneOf)):
+        return concept
+    if isinstance(concept, Not):
+        return _negate(concept.operand)
+    if isinstance(concept, And):
+        return And.of(*(nnf(c) for c in concept.operands))
+    if isinstance(concept, Or):
+        return Or.of(*(nnf(c) for c in concept.operands))
+    if isinstance(concept, Exists):
+        return Exists(concept.role, nnf(concept.filler))
+    if isinstance(concept, Forall):
+        return Forall(concept.role, nnf(concept.filler))
+    if isinstance(concept, (AtLeast, AtMost, DataAtLeast, DataAtMost)):
+        return concept
+    if isinstance(concept, QualifiedAtLeast):
+        return QualifiedAtLeast(concept.n, concept.role, nnf(concept.filler))
+    if isinstance(concept, QualifiedAtMost):
+        return QualifiedAtMost(concept.n, concept.role, nnf(concept.filler))
+    if isinstance(concept, (DataExists, DataForall)):
+        return concept
+    raise TypeError(f"unknown concept kind: {concept!r}")
+
+
+def _negate(concept: Concept) -> Concept:
+    """NNF of the negation of a concept."""
+    if isinstance(concept, AtomicConcept):
+        return Not(concept)
+    if isinstance(concept, Top):
+        return BOTTOM
+    if isinstance(concept, Bottom):
+        return TOP
+    if isinstance(concept, Not):
+        return nnf(concept.operand)
+    if isinstance(concept, And):
+        return Or.of(*(_negate(c) for c in concept.operands))
+    if isinstance(concept, Or):
+        return And.of(*(_negate(c) for c in concept.operands))
+    if isinstance(concept, Exists):
+        return Forall(concept.role, _negate(concept.filler))
+    if isinstance(concept, Forall):
+        return Exists(concept.role, _negate(concept.filler))
+    if isinstance(concept, AtLeast):
+        if concept.n == 0:
+            return BOTTOM
+        return AtMost(concept.n - 1, concept.role)
+    if isinstance(concept, AtMost):
+        return AtLeast(concept.n + 1, concept.role)
+    if isinstance(concept, QualifiedAtLeast):
+        if concept.n == 0:
+            return BOTTOM
+        return QualifiedAtMost(concept.n - 1, concept.role, nnf(concept.filler))
+    if isinstance(concept, QualifiedAtMost):
+        return QualifiedAtLeast(concept.n + 1, concept.role, nnf(concept.filler))
+    if isinstance(concept, OneOf):
+        return Not(concept)
+    if isinstance(concept, DataExists):
+        return DataForall(concept.role, concept.range.negate())
+    if isinstance(concept, DataForall):
+        return DataExists(concept.role, concept.range.negate())
+    if isinstance(concept, DataAtLeast):
+        if concept.n == 0:
+            return BOTTOM
+        return DataAtMost(concept.n - 1, concept.role)
+    if isinstance(concept, DataAtMost):
+        return DataAtLeast(concept.n + 1, concept.role)
+    raise TypeError(f"unknown concept kind: {concept!r}")
+
+
+def negation_nnf(concept: Concept) -> Concept:
+    """Shorthand for ``nnf(not C)``."""
+    return _negate(concept)
+
+
+def is_nnf(concept: Concept) -> bool:
+    """Whether negation occurs only in front of atoms and nominals."""
+    if isinstance(concept, Not):
+        return isinstance(concept.operand, (AtomicConcept, OneOf))
+    if isinstance(concept, (And, Or)):
+        return all(is_nnf(c) for c in concept.operands)
+    if isinstance(concept, (Exists, Forall, QualifiedAtLeast, QualifiedAtMost)):
+        return is_nnf(concept.filler)
+    return True

@@ -1,0 +1,487 @@
+"""OWL 2 functional-style syntax emitter and parser (SHOIN(D) fragment).
+
+The paper targets OWL DL; this module connects the library to the
+standard exchange syntax: :func:`to_functional` renders a
+:class:`~repro.dl.kb.KnowledgeBase` as an OWL functional-syntax document
+and :func:`from_functional` parses the same fragment back.  The supported
+vocabulary is exactly the SHOIN(D) constructor set of the paper's
+Table 1:
+
+``SubClassOf``, ``EquivalentClasses``, ``SubObjectPropertyOf``,
+``SubDataPropertyOf``, ``TransitiveObjectProperty``, ``ClassAssertion``,
+``ObjectPropertyAssertion``, ``DataPropertyAssertion``,
+``SameIndividual``, ``DifferentIndividuals``, ``Declaration``;
+class expressions ``ObjectIntersectionOf``, ``ObjectUnionOf``,
+``ObjectComplementOf``, ``ObjectOneOf``, ``ObjectSomeValuesFrom``,
+``ObjectAllValuesFrom``, ``ObjectMinCardinality``,
+``ObjectMaxCardinality``, ``ObjectInverseOf``, the ``Data...``
+counterparts, ``DataOneOf``, ``DatatypeRestriction`` (xsd:minInclusive /
+xsd:maxInclusive facets on xsd:integer), and ``owl:Thing`` /
+``owl:Nothing``.
+
+Entity names use a single default prefix ``:name``; literals are typed
+(``"42"^^xsd:integer``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, Optional, Tuple, Union
+
+from . import axioms as ax
+from .concepts import (
+    BOTTOM,
+    TOP,
+    And,
+    AtLeast,
+    AtMost,
+    AtomicConcept,
+    Bottom,
+    Concept,
+    DataAtLeast,
+    DataAtMost,
+    DataExists,
+    DataForall,
+    Exists,
+    Forall,
+    Not,
+    OneOf,
+    Or,
+    QualifiedAtLeast,
+    QualifiedAtMost,
+    Top,
+)
+from .datatypes import (
+    BOOLEAN,
+    FLOAT,
+    INTEGER,
+    STRING,
+    DataComplement,
+    DataOneOf,
+    DataRange,
+    Datatype,
+    IntRange,
+)
+from .errors import ParseError, UnsupportedFeature
+from .individuals import DataValue, Individual
+from .kb import KnowledgeBase
+from .roles import AtomicRole, DatatypeRole, ObjectRole
+
+_XSD = {"integer", "string", "float", "boolean"}
+
+
+# ---------------------------------------------------------------------------
+# Emission
+# ---------------------------------------------------------------------------
+
+def _entity(name: str) -> str:
+    return f":{name}"
+
+
+def _literal(value: DataValue) -> str:
+    return f'"{value.lexical}"^^xsd:{value.datatype}'
+
+
+def _role_term(role: ObjectRole) -> str:
+    if role.is_inverse:
+        return f"ObjectInverseOf({_entity(role.named.name)})"
+    return _entity(role.named.name)
+
+
+def _range_term(range_: DataRange) -> str:
+    if isinstance(range_, Datatype):
+        return f"xsd:{range_.name}"
+    if isinstance(range_, DataOneOf):
+        inner = " ".join(sorted(_literal(v) for v in range_.values))
+        return f"DataOneOf({inner})"
+    if isinstance(range_, IntRange):
+        facets = []
+        if range_.minimum is not None:
+            facets.append(f'xsd:minInclusive "{range_.minimum}"^^xsd:integer')
+        if range_.maximum is not None:
+            facets.append(f'xsd:maxInclusive "{range_.maximum}"^^xsd:integer')
+        if not facets:
+            return "xsd:integer"
+        return f"DatatypeRestriction(xsd:integer {' '.join(facets)})"
+    if isinstance(range_, DataComplement):
+        return f"DataComplementOf({_range_term(range_.operand)})"
+    raise UnsupportedFeature(f"no OWL rendering for data range {range_!r}")
+
+
+def _concept_term(concept: Concept) -> str:
+    if isinstance(concept, AtomicConcept):
+        return _entity(concept.name)
+    if isinstance(concept, Top):
+        return "owl:Thing"
+    if isinstance(concept, Bottom):
+        return "owl:Nothing"
+    if isinstance(concept, Not):
+        return f"ObjectComplementOf({_concept_term(concept.operand)})"
+    if isinstance(concept, And):
+        inner = " ".join(_concept_term(c) for c in concept.operands)
+        return f"ObjectIntersectionOf({inner})"
+    if isinstance(concept, Or):
+        inner = " ".join(_concept_term(c) for c in concept.operands)
+        return f"ObjectUnionOf({inner})"
+    if isinstance(concept, OneOf):
+        inner = " ".join(sorted(_entity(i.name) for i in concept.individuals))
+        return f"ObjectOneOf({inner})"
+    if isinstance(concept, Exists):
+        return (
+            f"ObjectSomeValuesFrom({_role_term(concept.role)} "
+            f"{_concept_term(concept.filler)})"
+        )
+    if isinstance(concept, Forall):
+        return (
+            f"ObjectAllValuesFrom({_role_term(concept.role)} "
+            f"{_concept_term(concept.filler)})"
+        )
+    if isinstance(concept, AtLeast):
+        return f"ObjectMinCardinality({concept.n} {_role_term(concept.role)})"
+    if isinstance(concept, AtMost):
+        return f"ObjectMaxCardinality({concept.n} {_role_term(concept.role)})"
+    if isinstance(concept, QualifiedAtLeast):
+        return (
+            f"ObjectMinCardinality({concept.n} {_role_term(concept.role)} "
+            f"{_concept_term(concept.filler)})"
+        )
+    if isinstance(concept, QualifiedAtMost):
+        return (
+            f"ObjectMaxCardinality({concept.n} {_role_term(concept.role)} "
+            f"{_concept_term(concept.filler)})"
+        )
+    if isinstance(concept, DataExists):
+        return (
+            f"DataSomeValuesFrom({_entity(concept.role.name)} "
+            f"{_range_term(concept.range)})"
+        )
+    if isinstance(concept, DataForall):
+        return (
+            f"DataAllValuesFrom({_entity(concept.role.name)} "
+            f"{_range_term(concept.range)})"
+        )
+    if isinstance(concept, DataAtLeast):
+        return f"DataMinCardinality({concept.n} {_entity(concept.role.name)})"
+    if isinstance(concept, DataAtMost):
+        return f"DataMaxCardinality({concept.n} {_entity(concept.role.name)})"
+    raise TypeError(f"unknown concept kind: {concept!r}")
+
+
+def _axiom_term(axiom: ax.Axiom) -> str:
+    if isinstance(axiom, ax.ConceptInclusion):
+        return f"SubClassOf({_concept_term(axiom.sub)} {_concept_term(axiom.sup)})"
+    if isinstance(axiom, ax.ConceptEquivalence):
+        return (
+            f"EquivalentClasses({_concept_term(axiom.left)} "
+            f"{_concept_term(axiom.right)})"
+        )
+    if isinstance(axiom, ax.RoleInclusion):
+        return (
+            f"SubObjectPropertyOf({_role_term(axiom.sub)} {_role_term(axiom.sup)})"
+        )
+    if isinstance(axiom, ax.DatatypeRoleInclusion):
+        return (
+            f"SubDataPropertyOf({_entity(axiom.sub.name)} "
+            f"{_entity(axiom.sup.name)})"
+        )
+    if isinstance(axiom, ax.Transitivity):
+        return f"TransitiveObjectProperty({_entity(axiom.role.name)})"
+    if isinstance(axiom, ax.ConceptAssertion):
+        return (
+            f"ClassAssertion({_concept_term(axiom.concept)} "
+            f"{_entity(axiom.individual.name)})"
+        )
+    if isinstance(axiom, ax.RoleAssertion):
+        return (
+            f"ObjectPropertyAssertion({_role_term(axiom.role)} "
+            f"{_entity(axiom.source.name)} {_entity(axiom.target.name)})"
+        )
+    if isinstance(axiom, ax.NegativeRoleAssertion):
+        return (
+            f"NegativeObjectPropertyAssertion({_role_term(axiom.role)} "
+            f"{_entity(axiom.source.name)} {_entity(axiom.target.name)})"
+        )
+    if isinstance(axiom, ax.DataAssertion):
+        return (
+            f"DataPropertyAssertion({_entity(axiom.role.name)} "
+            f"{_entity(axiom.source.name)} {_literal(axiom.value)})"
+        )
+    if isinstance(axiom, ax.SameIndividual):
+        return f"SameIndividual({_entity(axiom.left.name)} {_entity(axiom.right.name)})"
+    if isinstance(axiom, ax.DifferentIndividuals):
+        return (
+            f"DifferentIndividuals({_entity(axiom.left.name)} "
+            f"{_entity(axiom.right.name)})"
+        )
+    raise TypeError(f"unknown axiom kind: {axiom!r}")
+
+
+def to_functional(kb: KnowledgeBase, iri: str = "http://example.org/onto") -> str:
+    """Render a KB as an OWL 2 functional-style document."""
+    lines = [
+        f"Prefix(:=<{iri}#>)",
+        "Prefix(xsd:=<http://www.w3.org/2001/XMLSchema#>)",
+        "Prefix(owl:=<http://www.w3.org/2002/07/owl#>)",
+        f"Ontology(<{iri}>",
+    ]
+    for concept in sorted(kb.concepts_in_signature(), key=lambda c: c.name):
+        lines.append(f"  Declaration(Class({_entity(concept.name)}))")
+    for role in sorted(kb.object_roles_in_signature(), key=lambda r: r.name):
+        lines.append(f"  Declaration(ObjectProperty({_entity(role.name)}))")
+    for role in sorted(kb.datatype_roles_in_signature(), key=lambda r: r.name):
+        lines.append(f"  Declaration(DataProperty({_entity(role.name)}))")
+    for individual in sorted(kb.individuals_in_signature()):
+        lines.append(
+            f"  Declaration(NamedIndividual({_entity(individual.name)}))"
+        )
+    for axiom in kb.axioms():
+        lines.append(f"  {_axiom_term(axiom)}")
+    lines.append(")")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+_OWL_TOKEN = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<literal>"[^"]*"\^\^xsd:[A-Za-z]+)
+  | (?P<lparen>\() | (?P<rparen>\))
+  | (?P<term>[A-Za-z][A-Za-z0-9]*(?=\s*\())
+  | (?P<name>(:|xsd:|owl:)[A-Za-z_][\w\-]*|owl:Thing|owl:Nothing)
+  | (?P<number>\d+)
+  | (?P<iri><[^>]*>)
+    """,
+    re.VERBOSE,
+)
+
+_SExpr = Union[str, int, DataValue, List]
+
+
+def _tokenize_owl(text: str) -> Iterator[Tuple[str, str]]:
+    position = 0
+    while position < len(text):
+        match = _OWL_TOKEN.match(text, position)
+        if match is None:
+            raise ParseError(f"bad OWL syntax near {text[position:position+20]!r}", position)
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            yield kind, match.group()
+        position = match.end()
+
+
+def _parse_sexprs(text: str) -> List[_SExpr]:
+    """Parse the document into nested ``[head, arg, ...]`` lists."""
+    stack: List[List[_SExpr]] = [[]]
+    pending_head: Optional[str] = None
+    for kind, value in _tokenize_owl(text):
+        if kind == "term":
+            pending_head = value
+        elif kind == "lparen":
+            new: List[_SExpr] = [pending_head or ""]
+            pending_head = None
+            stack[-1].append(new)
+            stack.append(new)
+        elif kind == "rparen":
+            if len(stack) == 1:
+                raise ParseError("unbalanced parentheses in OWL document")
+            stack.pop()
+        elif kind == "literal":
+            lexical, _, datatype = value.partition("^^xsd:")
+            stack[-1].append(DataValue(datatype, lexical[1:-1]))
+        elif kind == "number":
+            stack[-1].append(int(value))
+        elif kind in ("name", "iri"):
+            stack[-1].append(value)
+    if len(stack) != 1:
+        raise ParseError("unbalanced parentheses in OWL document")
+    return stack[0]
+
+
+def _strip(name: object) -> str:
+    if not isinstance(name, str) or not name.startswith(":"):
+        raise ParseError(f"expected an entity name, found {name!r}")
+    return name[1:]
+
+
+def _parse_role_expr(expr: _SExpr) -> ObjectRole:
+    if isinstance(expr, list) and expr[0] == "ObjectInverseOf":
+        return AtomicRole(_strip(expr[1])).inverse()
+    return AtomicRole(_strip(expr))
+
+
+def _parse_range_expr(expr: _SExpr) -> DataRange:
+    if isinstance(expr, str) and expr.startswith("xsd:"):
+        name = expr[4:]
+        if name not in _XSD:
+            raise UnsupportedFeature(f"unsupported datatype xsd:{name}")
+        return {"integer": INTEGER, "string": STRING, "float": FLOAT,
+                "boolean": BOOLEAN}[name]
+    if isinstance(expr, list):
+        head = expr[0]
+        if head == "DataOneOf":
+            return DataOneOf(frozenset(v for v in expr[1:]))
+        if head == "DataComplementOf":
+            return _parse_range_expr(expr[1]).negate()
+        if head == "DatatypeRestriction":
+            minimum = maximum = None
+            rest = expr[2:]
+            index = 0
+            while index < len(rest):
+                facet, value = rest[index], rest[index + 1]
+                if facet == "xsd:minInclusive":
+                    minimum = int(value.lexical)
+                elif facet == "xsd:maxInclusive":
+                    maximum = int(value.lexical)
+                else:
+                    raise UnsupportedFeature(f"unsupported facet {facet!r}")
+                index += 2
+            return IntRange(minimum, maximum)
+    raise ParseError(f"cannot parse data range {expr!r}")
+
+
+def _parse_concept_expr(expr: _SExpr) -> Concept:
+    if isinstance(expr, str):
+        if expr == "owl:Thing":
+            return TOP
+        if expr == "owl:Nothing":
+            return BOTTOM
+        return AtomicConcept(_strip(expr))
+    if not isinstance(expr, list):
+        raise ParseError(f"cannot parse class expression {expr!r}")
+    head = expr[0]
+    if head == "ObjectComplementOf":
+        return Not(_parse_concept_expr(expr[1]))
+    if head == "ObjectIntersectionOf":
+        return And.of(*(_parse_concept_expr(e) for e in expr[1:]))
+    if head == "ObjectUnionOf":
+        return Or.of(*(_parse_concept_expr(e) for e in expr[1:]))
+    if head == "ObjectOneOf":
+        return OneOf(frozenset(Individual(_strip(e)) for e in expr[1:]))
+    if head == "ObjectSomeValuesFrom":
+        return Exists(_parse_role_expr(expr[1]), _parse_concept_expr(expr[2]))
+    if head == "ObjectAllValuesFrom":
+        return Forall(_parse_role_expr(expr[1]), _parse_concept_expr(expr[2]))
+    if head == "ObjectMinCardinality":
+        if len(expr) == 4:
+            return QualifiedAtLeast(
+                int(expr[1]), _parse_role_expr(expr[2]), _parse_concept_expr(expr[3])
+            )
+        return AtLeast(int(expr[1]), _parse_role_expr(expr[2]))
+    if head == "ObjectMaxCardinality":
+        if len(expr) == 4:
+            return QualifiedAtMost(
+                int(expr[1]), _parse_role_expr(expr[2]), _parse_concept_expr(expr[3])
+            )
+        return AtMost(int(expr[1]), _parse_role_expr(expr[2]))
+    if head == "DataSomeValuesFrom":
+        return DataExists(DatatypeRole(_strip(expr[1])), _parse_range_expr(expr[2]))
+    if head == "DataAllValuesFrom":
+        return DataForall(DatatypeRole(_strip(expr[1])), _parse_range_expr(expr[2]))
+    if head == "DataMinCardinality":
+        return DataAtLeast(int(expr[1]), DatatypeRole(_strip(expr[2])))
+    if head == "DataMaxCardinality":
+        return DataAtMost(int(expr[1]), DatatypeRole(_strip(expr[2])))
+    raise UnsupportedFeature(f"unsupported class expression {head!r}")
+
+
+def from_functional(text: str) -> KnowledgeBase:
+    """Parse an OWL functional-syntax document into a KB."""
+    kb = KnowledgeBase()
+    # Prefix declarations use ':=' which the s-expression grammar does not
+    # cover; only the single default prefix is supported, so drop them.
+    text = "\n".join(
+        line for line in text.splitlines() if not line.startswith("Prefix(")
+    )
+    top_level = _parse_sexprs(text)
+    ontology = next(
+        (e for e in top_level if isinstance(e, list) and e[0] == "Ontology"),
+        None,
+    )
+    if ontology is None:
+        raise ParseError("no Ontology(...) block found")
+    for expr in ontology[1:]:
+        if not isinstance(expr, list):
+            continue  # the ontology IRI
+        head = expr[0]
+        if head == "Declaration":
+            continue
+        if head == "SubClassOf":
+            kb.add(
+                ax.ConceptInclusion(
+                    _parse_concept_expr(expr[1]), _parse_concept_expr(expr[2])
+                )
+            )
+        elif head == "EquivalentClasses":
+            kb.add(
+                ax.ConceptEquivalence(
+                    _parse_concept_expr(expr[1]), _parse_concept_expr(expr[2])
+                )
+            )
+        elif head == "DisjointClasses":
+            # Pairwise disjointness: Ci and Cj [= Nothing.
+            concepts = [_parse_concept_expr(e) for e in expr[1:]]
+            for i, left in enumerate(concepts):
+                for right in concepts[i + 1 :]:
+                    kb.add(ax.ConceptInclusion(And.of(left, right), BOTTOM))
+        elif head == "SubObjectPropertyOf":
+            kb.add(
+                ax.RoleInclusion(
+                    _parse_role_expr(expr[1]), _parse_role_expr(expr[2])
+                )
+            )
+        elif head == "SubDataPropertyOf":
+            kb.add(
+                ax.DatatypeRoleInclusion(
+                    DatatypeRole(_strip(expr[1])), DatatypeRole(_strip(expr[2]))
+                )
+            )
+        elif head == "TransitiveObjectProperty":
+            kb.add(ax.Transitivity(AtomicRole(_strip(expr[1]))))
+        elif head == "ClassAssertion":
+            kb.add(
+                ax.ConceptAssertion(
+                    Individual(_strip(expr[2])), _parse_concept_expr(expr[1])
+                )
+            )
+        elif head == "ObjectPropertyAssertion":
+            kb.add(
+                ax.RoleAssertion(
+                    _parse_role_expr(expr[1]),
+                    Individual(_strip(expr[2])),
+                    Individual(_strip(expr[3])),
+                )
+            )
+        elif head == "NegativeObjectPropertyAssertion":
+            kb.add(
+                ax.NegativeRoleAssertion(
+                    _parse_role_expr(expr[1]),
+                    Individual(_strip(expr[2])),
+                    Individual(_strip(expr[3])),
+                )
+            )
+        elif head == "DataPropertyAssertion":
+            kb.add(
+                ax.DataAssertion(
+                    DatatypeRole(_strip(expr[1])),
+                    Individual(_strip(expr[2])),
+                    expr[3],
+                )
+            )
+        elif head == "SameIndividual":
+            kb.add(
+                ax.SameIndividual(
+                    Individual(_strip(expr[1])), Individual(_strip(expr[2]))
+                )
+            )
+        elif head == "DifferentIndividuals":
+            kb.add(
+                ax.DifferentIndividuals(
+                    Individual(_strip(expr[1])), Individual(_strip(expr[2]))
+                )
+            )
+        else:
+            raise UnsupportedFeature(f"unsupported axiom {head!r}")
+    return kb

@@ -1,0 +1,234 @@
+"""Rendering concepts, axioms and KBs back to the concrete syntax.
+
+The inverse of :mod:`repro.dl.parser`: ``parse_concept(render_concept(c))``
+returns a concept equal to ``c`` (modulo ``And``/``Or`` flattening, which
+the parser also performs).  Round-trip stability is property-tested.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..four_dl.axioms4 import (
+    ConceptInclusion4,
+    DatatypeRoleInclusion4,
+    KnowledgeBase4,
+    RoleInclusion4,
+    Transitivity4,
+)
+from . import axioms as ax
+from .concepts import (
+    And,
+    AtLeast,
+    AtMost,
+    AtomicConcept,
+    Bottom,
+    Concept,
+    DataAtLeast,
+    DataAtMost,
+    DataExists,
+    DataForall,
+    Exists,
+    Forall,
+    Not,
+    OneOf,
+    Or,
+    QualifiedAtLeast,
+    QualifiedAtMost,
+    Top,
+)
+from .datatypes import (
+    DataAnd,
+    DataBottom,
+    DataComplement,
+    DataOneOf,
+    DataOr,
+    DataRange,
+    DataTop,
+    Datatype,
+    IntRange,
+)
+from .individuals import DataValue
+from .kb import KnowledgeBase
+from .roles import DatatypeRole, ObjectRole
+
+
+def render_role(role: ObjectRole) -> str:
+    """Render an object role expression."""
+    if role.is_inverse:
+        return f"inverse({role.named.name})"
+    return role.named.name
+
+
+def render_range(range_: DataRange) -> str:
+    """Render a data range expression."""
+    if isinstance(range_, Datatype):
+        return range_.name
+    if isinstance(range_, DataTop):
+        return "string or not string"  # no dedicated literal; never emitted
+    if isinstance(range_, DataBottom):
+        return "integer and not integer"
+    if isinstance(range_, IntRange):
+        low = "" if range_.minimum is None else str(range_.minimum)
+        high = "" if range_.maximum is None else str(range_.maximum)
+        return f"integer[{low}..{high}]"
+    if isinstance(range_, DataOneOf):
+        inner = ", ".join(sorted(_render_literal(v) for v in range_.values))
+        return "{" + inner + "}"
+    if isinstance(range_, DataComplement):
+        return f"not ({render_range(range_.operand)})"
+    if isinstance(range_, DataAnd):
+        raise NotImplementedError("DataAnd has no concrete syntax")
+    if isinstance(range_, DataOr):
+        raise NotImplementedError("DataOr has no concrete syntax")
+    raise TypeError(f"unknown data range: {range_!r}")
+
+
+def _render_literal(value: DataValue) -> str:
+    if value.datatype == "string":
+        return f'"{value.lexical}"'
+    return value.lexical
+
+
+def render_concept(concept: Concept, parenthesize: bool = False) -> str:
+    """Render a concept in the parser's grammar."""
+    text = _render(concept)
+    if parenthesize and " " in text:
+        return f"({text})"
+    return text
+
+
+def _render(concept: Concept) -> str:
+    if isinstance(concept, AtomicConcept):
+        return concept.name
+    if isinstance(concept, Top):
+        return "Thing"
+    if isinstance(concept, Bottom):
+        return "Nothing"
+    if isinstance(concept, Not):
+        return f"not {_wrap(concept.operand)}"
+    if isinstance(concept, And):
+        return " and ".join(_wrap(c, for_and=True) for c in concept.operands)
+    if isinstance(concept, Or):
+        return " or ".join(_wrap(c) for c in concept.operands)
+    if isinstance(concept, OneOf):
+        inner = ", ".join(sorted(i.name for i in concept.individuals))
+        return "{" + inner + "}"
+    if isinstance(concept, Exists):
+        return f"{render_role(concept.role)} some {_wrap(concept.filler)}"
+    if isinstance(concept, Forall):
+        return f"{render_role(concept.role)} only {_wrap(concept.filler)}"
+    if isinstance(concept, AtLeast):
+        return f"{render_role(concept.role)} min {concept.n}"
+    if isinstance(concept, AtMost):
+        return f"{render_role(concept.role)} max {concept.n}"
+    if isinstance(concept, QualifiedAtLeast):
+        return (
+            f"{render_role(concept.role)} min {concept.n} "
+            f"{_wrap_filler(concept.filler)}"
+        )
+    if isinstance(concept, QualifiedAtMost):
+        return (
+            f"{render_role(concept.role)} max {concept.n} "
+            f"{_wrap_filler(concept.filler)}"
+        )
+    if isinstance(concept, DataExists):
+        return f"{concept.role.name} some {render_range(concept.range)}"
+    if isinstance(concept, DataForall):
+        return f"{concept.role.name} only {render_range(concept.range)}"
+    if isinstance(concept, DataAtLeast):
+        return f"{concept.role.name} min {concept.n}"
+    if isinstance(concept, DataAtMost):
+        return f"{concept.role.name} max {concept.n}"
+    raise TypeError(f"unknown concept kind: {concept!r}")
+
+
+def _wrap_filler(concept: Concept) -> str:
+    """Qualified-cardinality fillers need parens unless they are leaves."""
+    text = _render(concept)
+    if " " in text and not text.startswith("{"):
+        return f"({text})"
+    return text
+
+
+def _wrap(concept: Concept, for_and: bool = False) -> str:
+    """Parenthesize operands whose top connective binds less tightly."""
+    needs_parens = isinstance(concept, (Or, Exists, Forall, AtLeast, AtMost,
+                                        DataExists, DataForall, DataAtLeast,
+                                        DataAtMost))
+    if for_and and isinstance(concept, And):
+        needs_parens = True
+    if not for_and and isinstance(concept, (And,)):
+        needs_parens = True
+    text = _render(concept)
+    return f"({text})" if needs_parens else text
+
+
+def render_axiom(axiom: object) -> str:
+    """Render one classical or four-valued axiom as a KB line."""
+    if isinstance(axiom, ax.ConceptInclusion):
+        return f"{render_concept(axiom.sub)} subclassof {render_concept(axiom.sup)}"
+    if isinstance(axiom, ax.RoleInclusion):
+        return f"{render_role(axiom.sub)} subpropertyof {render_role(axiom.sup)}"
+    if isinstance(axiom, ax.DatatypeRoleInclusion):
+        return f"{axiom.sub.name} subpropertyof {axiom.sup.name}"
+    if isinstance(axiom, ax.Transitivity):
+        return f"transitive {axiom.role.name}"
+    if isinstance(axiom, ax.ConceptAssertion):
+        return f"{axiom.individual.name} : {render_concept(axiom.concept)}"
+    if isinstance(axiom, ax.RoleAssertion):
+        return f"{axiom.role.named.name}({axiom.source.name}, {axiom.target.name})"
+    if isinstance(axiom, ax.NegativeRoleAssertion):
+        normalised = axiom.normalised()
+        return (
+            f"not {normalised.role.named.name}"
+            f"({normalised.source.name}, {normalised.target.name})"
+        )
+    if isinstance(axiom, ax.DataAssertion):
+        return f"{axiom.role.name}({axiom.source.name}, {_render_literal(axiom.value)})"
+    if isinstance(axiom, ax.SameIndividual):
+        return f"{axiom.left.name} = {axiom.right.name}"
+    if isinstance(axiom, ax.DifferentIndividuals):
+        return f"{axiom.left.name} != {axiom.right.name}"
+    if isinstance(axiom, ConceptInclusion4):
+        symbol = axiom.kind.symbol
+        return f"{render_concept(axiom.sub)} {symbol} {render_concept(axiom.sup)}"
+    if isinstance(axiom, RoleInclusion4):
+        return f"{render_role(axiom.sub)} {axiom.kind.symbol} {render_role(axiom.sup)}"
+    if isinstance(axiom, DatatypeRoleInclusion4):
+        return f"{axiom.sub.name} {axiom.kind.symbol} {axiom.sup.name}"
+    if isinstance(axiom, Transitivity4):
+        return f"transitive {axiom.role.name}"
+    raise TypeError(f"unknown axiom kind: {axiom!r}")
+
+
+def _declarations(
+    datatype_roles: Iterable[DatatypeRole],
+    object_role_names: Iterable[str] = (),
+) -> List[str]:
+    lines = [f"dataproperty {role.name}" for role in sorted(datatype_roles)]
+    lines += [f"property {name}" for name in sorted(object_role_names)]
+    return lines
+
+
+def render_kb(kb: KnowledgeBase) -> str:
+    """Render a classical KB to the line-based syntax (parse round-trip)."""
+    lines = _declarations(kb.datatype_roles_in_signature())
+    lines += [render_axiom(axiom) for axiom in kb.axioms()]
+    return "\n".join(lines) + "\n"
+
+
+def render_kb4(kb4: KnowledgeBase4) -> str:
+    """Render a SHOIN(D)4 KB to the line-based syntax.
+
+    Object roles used in role inclusions are declared with ``property``
+    lines so their ``<``/``|->``/``->`` axioms re-parse as role (not
+    concept) inclusions.
+    """
+    role_names = {
+        inclusion.sub.named.name
+        for inclusion in kb4.role_inclusions
+    } | {inclusion.sup.named.name for inclusion in kb4.role_inclusions}
+    lines = _declarations(kb4.datatype_roles_in_signature(), role_names)
+    lines += [render_axiom(axiom) for axiom in kb4.axioms()]
+    return "\n".join(lines) + "\n"

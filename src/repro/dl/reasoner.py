@@ -1,0 +1,202 @@
+"""High-level classical reasoning services over the tableau.
+
+Implements the standard reduction of reasoning tasks to KB satisfiability
+(the paper cites Horrocks & Patel-Schneider for the same reduction from
+OWL DL entailment):
+
+* consistency — direct tableau run;
+* concept satisfiability — fresh probe individual;
+* subsumption ``C [= D`` — unsatisfiability of ``C and not D``;
+* instance checking ``a : C`` — unsatisfiability of ``KB + {a : not C}``;
+* role-assertion entailment — via nominals: ``R(a, b)`` is entailed iff
+  ``KB + {a : all R.not {b}}`` is unsatisfiable;
+* classification — pairwise subsumption over the atomic signature.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from .axioms import (
+    Axiom,
+    ConceptAssertion,
+    ConceptEquivalence,
+    ConceptInclusion,
+    DataAssertion,
+    DifferentIndividuals,
+    NegativeRoleAssertion,
+    RoleAssertion,
+    RoleInclusion,
+    SameIndividual,
+)
+from .concepts import (
+    And,
+    AtomicConcept,
+    Concept,
+    Exists,
+    Forall,
+    Not,
+    OneOf,
+)
+from .individuals import Individual
+from .kb import KnowledgeBase
+from .tableau import DEFAULT_MAX_BRANCHES, DEFAULT_MAX_NODES, Tableau
+
+
+class Reasoner:
+    """Classical SHOIN(D) reasoner for a fixed knowledge base.
+
+    All services are answered by refutation through one shared
+    :class:`~repro.dl.tableau.Tableau` instance; results of consistency and
+    subsumption checks are memoised because classification re-asks them.
+    """
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        max_nodes: int = DEFAULT_MAX_NODES,
+        max_branches: int = DEFAULT_MAX_BRANCHES,
+    ):
+        self.kb = kb
+        self._tableau = Tableau(kb, max_nodes=max_nodes, max_branches=max_branches)
+        self._consistent: Optional[bool] = None
+        self._subsumption_cache: Dict[Tuple[Concept, Concept], bool] = {}
+
+    # ------------------------------------------------------------------
+    # Core services
+    # ------------------------------------------------------------------
+    def is_consistent(self) -> bool:
+        """Whether the KB has a classical model."""
+        if self._consistent is None:
+            self._consistent = self._tableau.is_satisfiable()
+        return self._consistent
+
+    def is_satisfiable(self, concept: Concept) -> bool:
+        """Whether ``concept`` has an instance in some model of the KB."""
+        return self._tableau.concept_satisfiable(concept)
+
+    def model(self):
+        """A verified finite model of the KB, or ``None``.
+
+        ``None`` means either the KB is inconsistent or its canonical
+        model is not finitely representable from the completion graph
+        (see :meth:`~repro.dl.tableau.Tableau.extract_model`).
+        """
+        if not self.is_consistent():
+            return None
+        # Re-run without probe assertions so the graph matches the KB.
+        self._tableau.is_satisfiable()
+        return self._tableau.extract_model()
+
+    def subsumes(self, sup: Concept, sub: Concept) -> bool:
+        """Whether ``sub [= sup`` holds in every model of the KB."""
+        key = (sub, sup)
+        if key not in self._subsumption_cache:
+            self._subsumption_cache[key] = not self.is_satisfiable(
+                And.of(sub, Not(sup))
+            )
+        return self._subsumption_cache[key]
+
+    def is_instance(self, individual: Individual, concept: Concept) -> bool:
+        """Whether ``a : C`` holds in every model of the KB."""
+        probe = ConceptAssertion(individual, Not(concept))
+        return not self._tableau.is_satisfiable([probe])
+
+    def entails(self, axiom: Axiom) -> bool:
+        """Whether the KB entails the given axiom."""
+        if isinstance(axiom, ConceptInclusion):
+            return self.subsumes(axiom.sup, axiom.sub)
+        if isinstance(axiom, ConceptAssertion):
+            return self.is_instance(axiom.individual, axiom.concept)
+        if isinstance(axiom, RoleAssertion):
+            # R(a, b) is entailed iff adding "a sees no b through R" clashes.
+            probe = ConceptAssertion(
+                axiom.source,
+                Forall(axiom.role, Not(OneOf(frozenset({axiom.target})))),
+            )
+            return not self._tableau.is_satisfiable([probe])
+        if isinstance(axiom, NegativeRoleAssertion):
+            # not R(a, b) is entailed iff asserting R(a, b) is impossible.
+            probe = RoleAssertion(axiom.role, axiom.source, axiom.target)
+            return not self._tableau.is_satisfiable([probe])
+        if isinstance(axiom, SameIndividual):
+            pair = OneOf(frozenset({axiom.right}))
+            return self.is_instance(axiom.left, pair)
+        if isinstance(axiom, ConceptEquivalence):
+            return self.entails(
+                ConceptInclusion(axiom.left, axiom.right)
+            ) and self.entails(ConceptInclusion(axiom.right, axiom.left))
+        if isinstance(axiom, DifferentIndividuals):
+            # a != b is entailed iff identifying them is impossible.
+            probe = SameIndividual(axiom.left, axiom.right)
+            return not self._tableau.is_satisfiable([probe])
+        if isinstance(axiom, DataAssertion):
+            # U(a, v) is entailed iff "all of a's U-values differ from v"
+            # is impossible.
+            from .datatypes import DataOneOf
+            from .concepts import DataForall
+
+            excluded = DataOneOf(frozenset({axiom.value})).negate()
+            probe = ConceptAssertion(axiom.source, DataForall(axiom.role, excluded))
+            return not self._tableau.is_satisfiable([probe])
+        if isinstance(axiom, RoleInclusion):
+            # R [= S is entailed iff two fresh individuals connected by R
+            # but provably not by S are impossible.
+            source = Individual("__sub_probe_a__")
+            target = Individual("__sub_probe_b__")
+            nominal = OneOf(frozenset({target}))
+            probes = [
+                ConceptAssertion(source, Exists(axiom.sub, nominal)),
+                ConceptAssertion(source, Forall(axiom.sup, Not(nominal))),
+            ]
+            return not self._tableau.is_satisfiable(probes)
+        raise NotImplementedError(f"entailment of {type(axiom).__name__}")
+
+    def entails_all(self, axioms: Iterable[Axiom]) -> bool:
+        """Whether the KB entails every axiom (OWL DL ontology entailment)."""
+        return all(self.entails(axiom) for axiom in axioms)
+
+    # ------------------------------------------------------------------
+    # Derived services
+    # ------------------------------------------------------------------
+    def equivalent(self, left: Concept, right: Concept) -> bool:
+        """Whether two concepts are equivalent under the KB."""
+        return self.subsumes(left, right) and self.subsumes(right, left)
+
+    def instances_of(self, concept: Concept) -> FrozenSet[Individual]:
+        """All named individuals provably in ``concept``."""
+        return frozenset(
+            individual
+            for individual in self.kb.individuals_in_signature()
+            if self.is_instance(individual, concept)
+        )
+
+    def types_of(self, individual: Individual) -> FrozenSet[AtomicConcept]:
+        """All atomic concepts the individual provably belongs to."""
+        return frozenset(
+            concept
+            for concept in self.kb.concepts_in_signature()
+            if self.is_instance(individual, concept)
+        )
+
+    def classify(self) -> Dict[AtomicConcept, FrozenSet[AtomicConcept]]:
+        """The full atomic subsumption hierarchy.
+
+        Maps each atomic concept to the set of its (not necessarily
+        strict) atomic subsumers, computed by pairwise subsumption tests.
+        """
+        atoms = sorted(self.kb.concepts_in_signature(), key=lambda a: a.name)
+        hierarchy: Dict[AtomicConcept, FrozenSet[AtomicConcept]] = {}
+        for sub in atoms:
+            hierarchy[sub] = frozenset(
+                sup for sup in atoms if self.subsumes(sup, sub)
+            )
+        return hierarchy
+
+    def unsatisfiable_concepts(self) -> FrozenSet[AtomicConcept]:
+        """Atomic concepts with no possible instances under the KB."""
+        return frozenset(
+            concept
+            for concept in self.kb.concepts_in_signature()
+            if not self.is_satisfiable(concept)
+        )

@@ -1,0 +1,89 @@
+"""Object and datatype roles of SHOIN(D) (paper Table 1).
+
+Object roles support inversion; ``inverse_of`` normalises so that a double
+inverse collapses back to the named role.  Datatype roles relate abstract
+individuals to concrete values and have no inverses (as in OWL DL).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+class ObjectRole:
+    """Base class of object-role expressions (named roles and inverses)."""
+
+    def inverse(self) -> "ObjectRole":
+        """The inverse role expression, normalised."""
+        raise NotImplementedError
+
+    @property
+    def named(self) -> "AtomicRole":
+        """The underlying named role of this expression."""
+        raise NotImplementedError
+
+    @property
+    def is_inverse(self) -> bool:
+        """Whether this expression is an inverse of a named role."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, order=True)
+class AtomicRole(ObjectRole):
+    """A named (atomic) object role ``R``."""
+
+    name: str
+
+    def inverse(self) -> "InverseRole":
+        return InverseRole(self)
+
+    @property
+    def named(self) -> "AtomicRole":
+        return self
+
+    @property
+    def is_inverse(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, order=True)
+class InverseRole(ObjectRole):
+    """The inverse ``R-`` of a named object role."""
+
+    role: AtomicRole
+
+    def inverse(self) -> AtomicRole:
+        return self.role
+
+    @property
+    def named(self) -> AtomicRole:
+        return self.role
+
+    @property
+    def is_inverse(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"{self.role.name}-"
+
+
+@dataclass(frozen=True, order=True)
+class DatatypeRole:
+    """A named datatype role ``U`` from individuals to data values."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+Role = Union[ObjectRole, DatatypeRole]
+
+
+def is_object_role(role: Role) -> bool:
+    """Whether the expression is an object role (named or inverse)."""
+    return isinstance(role, ObjectRole)

@@ -1,0 +1,1153 @@
+"""A tableau satisfiability procedure for SHOIN(D) knowledge bases.
+
+This is the classical reasoning substrate the paper assumes ("mature
+reasoning mechanisms of classical description logic"): a completion-graph
+tableau in the style of Horrocks & Sattler covering
+
+* Boolean constructors, full existential/value restrictions;
+* unqualified number restrictions (the SHOIN ``>= n R`` / ``<= n R``);
+* role hierarchies with inverse roles, transitive roles via the
+  ``all+``-propagation rule;
+* nominals (``OneOf``), individual (in)equality, ABox reasoning;
+* datatype roles and ranges with a witness-search concrete domain.
+
+The TBox is *internalised*: each inclusion ``C [= D`` contributes the
+universal constraint ``nnf(not C or D)`` added to every node.  Termination
+on blockable nodes uses anywhere pairwise (double) blocking, as required in
+the presence of inverse roles.  Nondeterminism (disjunction, at-most
+merging, nominal choice) is explored by depth-first search with full graph
+copying at choice points — simple, and fast enough for the workloads of
+this reproduction.
+
+Known limitation (documented in README): the corner where nominals,
+inverse roles and number restrictions interact (the "NIO" case needing the
+NN-rule) is handled by merging alone, which can in exotic KBs miss
+satisfiability; the finite-model enumerator cross-checks the tableau on
+randomised tests to keep this honest.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .axioms import ConceptInclusion
+from .concepts import (
+    And,
+    AtLeast,
+    AtMost,
+    AtomicConcept,
+    Bottom,
+    Concept,
+    DataAtLeast,
+    DataAtMost,
+    DataExists,
+    DataForall,
+    Exists,
+    Forall,
+    Not,
+    OneOf,
+    Or,
+    QualifiedAtLeast,
+    QualifiedAtMost,
+    Top,
+)
+from .datatypes import DataRange, DataTop, find_witnesses
+from .errors import ReasonerLimitExceeded
+from .individuals import Individual
+from .kb import KnowledgeBase
+from .nnf import negation_nnf, nnf
+from .roles import AtomicRole, DatatypeRole, ObjectRole
+
+NodeId = int
+DEFAULT_MAX_NODES = 4000
+DEFAULT_MAX_BRANCHES = 200_000
+
+
+@dataclass
+class _Graph:
+    """A completion graph: nodes, labels, edges, and distinctness facts.
+
+    Object edges are stored in the named-role direction only (an ``R-``
+    edge is recorded as an ``R`` edge the other way).  Data nodes live in a
+    separate namespace with range labels.
+    """
+
+    labels: Dict[NodeId, Set[Concept]] = field(default_factory=dict)
+    edges: Dict[Tuple[NodeId, NodeId], Set[AtomicRole]] = field(default_factory=dict)
+    parent: Dict[NodeId, Optional[NodeId]] = field(default_factory=dict)
+    roots: Dict[Individual, NodeId] = field(default_factory=dict)
+    root_nodes: Set[NodeId] = field(default_factory=set)
+    distinct: Set[FrozenSet[NodeId]] = field(default_factory=set)
+    data_labels: Dict[NodeId, Set[DataRange]] = field(default_factory=dict)
+    data_edges: Dict[Tuple[NodeId, NodeId], Set[DatatypeRole]] = field(
+        default_factory=dict
+    )
+    data_distinct: Set[FrozenSet[NodeId]] = field(default_factory=set)
+    forbidden: Dict[Tuple[NodeId, NodeId], Set[AtomicRole]] = field(
+        default_factory=dict
+    )
+    next_id: int = 0
+    creation_order: Dict[NodeId, int] = field(default_factory=dict)
+
+    def copy(self) -> "_Graph":
+        clone = _Graph(
+            labels={n: set(s) for n, s in self.labels.items()},
+            edges={e: set(s) for e, s in self.edges.items()},
+            parent=dict(self.parent),
+            roots=dict(self.roots),
+            root_nodes=set(self.root_nodes),
+            distinct=set(self.distinct),
+            data_labels={n: set(s) for n, s in self.data_labels.items()},
+            data_edges={e: set(s) for e, s in self.data_edges.items()},
+            data_distinct=set(self.data_distinct),
+            forbidden={e: set(s) for e, s in self.forbidden.items()},
+            next_id=self.next_id,
+            creation_order=dict(self.creation_order),
+        )
+        return clone
+
+    # ------------------------------------------------------------------
+    # Node management
+    # ------------------------------------------------------------------
+    def new_node(self, parent: Optional[NodeId]) -> NodeId:
+        node = self.next_id
+        self.next_id += 1
+        self.labels[node] = set()
+        self.parent[node] = parent
+        self.creation_order[node] = node
+        return node
+
+    def new_data_node(self) -> NodeId:
+        node = self.next_id
+        self.next_id += 1
+        self.data_labels[node] = set()
+        return node
+
+    def nodes(self) -> List[NodeId]:
+        return sorted(self.labels)
+
+    def is_root(self, node: NodeId) -> bool:
+        return node in self.root_nodes
+
+    # ------------------------------------------------------------------
+    # Edges and neighbours
+    # ------------------------------------------------------------------
+    def add_edge(self, source: NodeId, target: NodeId, role: ObjectRole) -> None:
+        if role.is_inverse:
+            source, target, role = target, source, role.named
+        self.edges.setdefault((source, target), set()).add(role)
+
+    def successors(self, node: NodeId) -> Iterator[Tuple[NodeId, Set[AtomicRole]]]:
+        for (source, target), roles in self.edges.items():
+            if source == node:
+                yield target, roles
+
+    def predecessors(self, node: NodeId) -> Iterator[Tuple[NodeId, Set[AtomicRole]]]:
+        for (source, target), roles in self.edges.items():
+            if target == node:
+                yield source, roles
+
+    def neighbours(
+        self,
+        node: NodeId,
+        role: ObjectRole,
+        hierarchy: Dict[ObjectRole, FrozenSet[ObjectRole]],
+    ) -> Set[NodeId]:
+        """All ``role``-neighbours of ``node`` respecting hierarchy and inverses."""
+        found: Set[NodeId] = set()
+        for target, roles in self.successors(node):
+            for edge_role in roles:
+                if role in hierarchy.get(edge_role, frozenset({edge_role})):
+                    found.add(target)
+                    break
+        for source, roles in self.predecessors(node):
+            for edge_role in roles:
+                inverse = edge_role.inverse()
+                if role in hierarchy.get(inverse, frozenset({inverse})):
+                    found.add(source)
+                    break
+        return found
+
+    def edge_roles_between(
+        self,
+        source: NodeId,
+        target: NodeId,
+    ) -> FrozenSet[ObjectRole]:
+        """Role expressions connecting ``source`` to ``target`` (both directions)."""
+        roles: Set[ObjectRole] = set(self.edges.get((source, target), ()))
+        for role in self.edges.get((target, source), ()):
+            roles.add(role.inverse())
+        return frozenset(roles)
+
+    def data_neighbours(
+        self,
+        node: NodeId,
+        role: DatatypeRole,
+        hierarchy: Dict[DatatypeRole, FrozenSet[DatatypeRole]],
+    ) -> Set[NodeId]:
+        found: Set[NodeId] = set()
+        for (source, target), roles in self.data_edges.items():
+            if source != node:
+                continue
+            for edge_role in roles:
+                if role in hierarchy.get(edge_role, frozenset({edge_role})):
+                    found.add(target)
+                    break
+        return found
+
+    def are_distinct(self, left: NodeId, right: NodeId) -> bool:
+        return frozenset({left, right}) in self.distinct
+
+    def set_distinct(self, left: NodeId, right: NodeId) -> None:
+        if left != right:
+            self.distinct.add(frozenset({left, right}))
+
+    # ------------------------------------------------------------------
+    # Merging (the <=-rule and nominal identification)
+    # ------------------------------------------------------------------
+    def merge(self, victim: NodeId, survivor: NodeId) -> bool:
+        """Merge ``victim`` into ``survivor``; False signals an immediate clash."""
+        if victim == survivor:
+            return True
+        if self.are_distinct(victim, survivor):
+            return False
+        self.labels[survivor] |= self.labels.pop(victim)
+        for (source, target) in list(self.edges):
+            if victim in (source, target):
+                roles = self.edges.pop((source, target))
+                new_source = survivor if source == victim else source
+                new_target = survivor if target == victim else target
+                self.edges.setdefault((new_source, new_target), set()).update(roles)
+        for (source, target) in list(self.data_edges):
+            if source == victim:
+                roles = self.data_edges.pop((source, target))
+                self.data_edges.setdefault((survivor, target), set()).update(roles)
+        for pair in list(self.distinct):
+            if victim in pair:
+                self.distinct.discard(pair)
+                (other,) = pair - {victim}
+                if other == survivor:
+                    return False
+                self.distinct.add(frozenset({survivor, other}))
+        for (source, target) in list(self.forbidden):
+            if victim in (source, target):
+                roles = self.forbidden.pop((source, target))
+                new_source = survivor if source == victim else source
+                new_target = survivor if target == victim else target
+                self.forbidden.setdefault((new_source, new_target), set()).update(
+                    roles
+                )
+        for individual, node in list(self.roots.items()):
+            if node == victim:
+                self.roots[individual] = survivor
+        if victim in self.root_nodes:
+            self.root_nodes.discard(victim)
+            self.root_nodes.add(survivor)
+        self.parent.pop(victim, None)
+        # Children of the victim re-hang under the survivor so blocking
+        # ancestry stays acyclic.
+        for node, parent in list(self.parent.items()):
+            if parent == victim:
+                self.parent[node] = survivor
+        self.creation_order[survivor] = min(
+            self.creation_order.get(survivor, survivor),
+            self.creation_order.get(victim, victim),
+        )
+        self.creation_order.pop(victim, None)
+        return True
+
+    def merge_data(self, victim: NodeId, survivor: NodeId) -> bool:
+        if victim == survivor:
+            return True
+        if frozenset({victim, survivor}) in self.data_distinct:
+            return False
+        self.data_labels[survivor] |= self.data_labels.pop(victim)
+        for (source, target) in list(self.data_edges):
+            if target == victim:
+                roles = self.data_edges.pop((source, target))
+                self.data_edges.setdefault((source, survivor), set()).update(roles)
+        for pair in list(self.data_distinct):
+            if victim in pair:
+                self.data_distinct.discard(pair)
+                (other,) = pair - {victim}
+                if other == survivor:
+                    return False
+                self.data_distinct.add(frozenset({survivor, other}))
+        return True
+
+
+class Tableau:
+    """Tableau satisfiability checker for one knowledge base.
+
+    The expensive KB preprocessing (NNF of universal constraints, role
+    hierarchy closure) happens once in the constructor; each
+    :meth:`is_satisfiable` call explores a fresh completion graph, with
+    optional extra assertions (used for entailment-by-refutation).
+    """
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        max_nodes: int = DEFAULT_MAX_NODES,
+        max_branches: int = DEFAULT_MAX_BRANCHES,
+        use_bcp: bool = True,
+        use_absorption: bool = True,
+    ):
+        self.kb = kb
+        self.max_nodes = max_nodes
+        self.max_branches = max_branches
+        #: Boolean constraint propagation on disjunctions (fail-first +
+        #: immediate-clash screening).  Disable only for ablation studies.
+        self.use_bcp = use_bcp
+        #: Absorption: inclusions with an atomic left side fire lazily
+        #: (``A in label -> add C``) instead of contributing a universal
+        #: disjunction to every node.  Sound and complete because the
+        #: canonical model interprets atomic concepts by their labels.
+        self.use_absorption = use_absorption
+        self.hierarchy = kb.role_superroles()
+        self.data_hierarchy = self._datatype_hierarchy()
+        self.transitive = kb.transitive_roles()
+        self.universal: List[Concept] = []
+        self.absorbed: Dict[AtomicConcept, List[Concept]] = {}
+        for inclusion in kb.concept_inclusions:
+            if use_absorption and isinstance(inclusion.sub, AtomicConcept):
+                self.absorbed.setdefault(inclusion.sub, []).append(
+                    nnf(inclusion.sup)
+                )
+            else:
+                self.universal.append(
+                    nnf(Or.of(negation_nnf(inclusion.sub), inclusion.sup))
+                )
+        self._branches_used = 0
+        self._sort_keys: Dict[Concept, str] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def is_satisfiable(
+        self, extra_assertions: Iterable = ()
+    ) -> bool:
+        """Whether the KB (plus optional extra ABox axioms) has a model."""
+        self._complete_graph: Optional[_Graph] = None
+        graph = self._initial_graph(extra_assertions)
+        if graph is None:
+            return False
+        self._branches_used = 0
+        return self._solve(graph)
+
+    def concept_satisfiable(self, concept: Concept) -> bool:
+        """Whether ``concept`` is satisfiable w.r.t. the KB."""
+        from .axioms import ConceptAssertion
+
+        probe = Individual("__probe__")
+        return self.is_satisfiable([ConceptAssertion(probe, concept)])
+
+    def extract_model(self):
+        """A finite model from the last successful satisfiability run.
+
+        Returns an :class:`~repro.semantics.interpretation.Interpretation`
+        built from the completion graph, or ``None`` when no finite model
+        can be read off: no successful run yet, or the candidate fails
+        verification against the KB (extraction is *checked*, never
+        trusted — in particular, graphs completed through blocking
+        usually describe infinite canonical models and fail the check).
+
+        Construction: alive nodes form the domain; atomic concept labels
+        give concept extensions; role extensions start from
+        hierarchy-expanded neighbour pairs and are closed under
+        transitivity and sub-role propagation to a fixpoint; data values
+        come from the witness assignment of the final concrete-domain
+        check.
+        """
+        from ..semantics.interpretation import Interpretation
+
+        graph = getattr(self, "_complete_graph", None)
+        if graph is None:
+            return None
+        nodes = graph.nodes()
+        concept_ext = {
+            concept: frozenset(
+                node
+                for node in nodes
+                if concept in graph.labels[node]
+            )
+            for concept in self.kb.concepts_in_signature()
+        }
+        named_roles = sorted(self.kb.object_roles_in_signature())
+        role_ext: Dict[AtomicRole, Set[Tuple[NodeId, NodeId]]] = {
+            role: {
+                (x, y)
+                for x in nodes
+                for y in graph.neighbours(x, role, self.hierarchy)
+            }
+            for role in named_roles
+        }
+        changed = True
+        while changed:
+            changed = False
+            for role in named_roles:
+                if self.kb.is_transitive(role):
+                    closed = _transitive_closure(role_ext[role])
+                    if closed != role_ext[role]:
+                        role_ext[role] = closed
+                        changed = True
+            for inclusion in self.kb.role_inclusions:
+                sub_pairs = _role_expression_pairs(role_ext, inclusion.sub)
+                sup_name = inclusion.sup.named
+                oriented = (
+                    {(y, x) for (x, y) in sub_pairs}
+                    if inclusion.sup.is_inverse
+                    else sub_pairs
+                )
+                if not oriented <= role_ext.get(sup_name, set()):
+                    role_ext.setdefault(sup_name, set()).update(oriented)
+                    changed = True
+        data_role_ext: Dict[DatatypeRole, Set] = {}
+        assignment = getattr(self, "_data_assignment", {})
+        for (node, data_node), roles in graph.data_edges.items():
+            value = assignment.get(data_node)
+            if value is None:
+                continue
+            for role in roles:
+                for super_role in self.data_hierarchy.get(
+                    role, frozenset({role})
+                ):
+                    data_role_ext.setdefault(super_role, set()).add(
+                        (node, value)
+                    )
+        interpretation = Interpretation(
+            domain=frozenset(nodes),
+            concept_ext={c: frozenset(e) for c, e in concept_ext.items()},
+            role_ext={r: frozenset(e) for r, e in role_ext.items()},
+            data_role_ext={
+                u: frozenset(e) for u, e in data_role_ext.items()
+            },
+            individual_map={
+                individual: node
+                for individual, node in graph.roots.items()
+                if node in graph.labels
+            },
+        )
+        if not interpretation.is_model(self.kb):
+            return None
+        return interpretation
+
+    # ------------------------------------------------------------------
+    # Initialisation
+    # ------------------------------------------------------------------
+    def _datatype_hierarchy(self) -> Dict[DatatypeRole, FrozenSet[DatatypeRole]]:
+        edges: Dict[DatatypeRole, Set[DatatypeRole]] = {}
+        roles: Set[DatatypeRole] = set(self.kb.datatype_roles_in_signature())
+        for inclusion in self.kb.datatype_role_inclusions:
+            edges.setdefault(inclusion.sub, set()).add(inclusion.sup)
+            roles |= {inclusion.sub, inclusion.sup}
+        closure: Dict[DatatypeRole, FrozenSet[DatatypeRole]] = {}
+        for role in roles:
+            reached = {role}
+            frontier = [role]
+            while frontier:
+                current = frontier.pop()
+                for nxt in edges.get(current, ()):
+                    if nxt not in reached:
+                        reached.add(nxt)
+                        frontier.append(nxt)
+            closure[role] = frozenset(reached)
+        return closure
+
+    def _initial_graph(self, extra_assertions: Iterable) -> Optional[_Graph]:
+        from .axioms import (
+            ConceptAssertion,
+            DataAssertion,
+            DifferentIndividuals,
+            NegativeRoleAssertion,
+            RoleAssertion,
+            SameIndividual,
+        )
+
+        graph = _Graph()
+        individuals = set(self.kb.individuals_in_signature())
+        extra = list(extra_assertions)
+        for axiom in extra:
+            if isinstance(axiom, ConceptAssertion):
+                individuals.add(axiom.individual)
+            elif isinstance(axiom, (RoleAssertion, NegativeRoleAssertion)):
+                individuals |= {axiom.source, axiom.target}
+            elif isinstance(axiom, (SameIndividual, DifferentIndividuals)):
+                individuals |= {axiom.left, axiom.right}
+            elif isinstance(axiom, DataAssertion):
+                individuals.add(axiom.source)
+        if not individuals:
+            individuals = {Individual("__root__")}
+        for individual in sorted(individuals):
+            node = graph.new_node(None)
+            graph.roots[individual] = node
+            graph.root_nodes.add(node)
+            graph.labels[node].add(OneOf(frozenset({individual})))
+
+        def node_of(individual: Individual) -> NodeId:
+            return graph.roots[individual]
+
+        for axiom in itertools.chain(self.kb.abox(), extra):
+            if isinstance(axiom, ConceptAssertion):
+                graph.labels[node_of(axiom.individual)].add(nnf(axiom.concept))
+            elif isinstance(axiom, RoleAssertion):
+                graph.add_edge(
+                    node_of(axiom.source), node_of(axiom.target), axiom.role
+                )
+            elif isinstance(axiom, NegativeRoleAssertion):
+                normalised = axiom.normalised()
+                named = normalised.role
+                assert isinstance(named, AtomicRole)
+                graph.forbidden.setdefault(
+                    (node_of(normalised.source), node_of(normalised.target)),
+                    set(),
+                ).add(named)
+            elif isinstance(axiom, DataAssertion):
+                data_node = graph.new_data_node()
+                graph.data_labels[data_node].add(
+                    _ExactValue(axiom.value.datatype, axiom.value.lexical)
+                )
+                graph.data_edges.setdefault(
+                    (node_of(axiom.source), data_node), set()
+                ).add(axiom.role)
+            elif isinstance(axiom, SameIndividual):
+                if not graph.merge(
+                    node_of(axiom.left), node_of(axiom.right)
+                ):
+                    return None
+            elif isinstance(axiom, DifferentIndividuals):
+                left, right = node_of(axiom.left), node_of(axiom.right)
+                if left == right:
+                    return None
+                graph.set_distinct(left, right)
+        return graph
+
+    # ------------------------------------------------------------------
+    # Search driver
+    # ------------------------------------------------------------------
+    def _solve(self, graph: _Graph) -> bool:
+        self._branches_used += 1
+        if self._branches_used > self.max_branches:
+            raise ReasonerLimitExceeded(
+                f"tableau exceeded {self.max_branches} branches"
+            )
+        while True:
+            if len(graph.labels) > self.max_nodes:
+                raise ReasonerLimitExceeded(
+                    f"tableau exceeded {self.max_nodes} nodes"
+                )
+            status = self._apply_deterministic(graph)
+            if status == "clash":
+                return False
+            if status == "changed":
+                continue
+            choice = self._find_choice(graph)
+            if choice is None:
+                return self._final_checks(graph)
+            for alternative in choice:
+                branch = graph.copy()
+                if alternative(branch) and self._solve(branch):
+                    return True
+            return False
+
+    # ------------------------------------------------------------------
+    # Deterministic expansion
+    # ------------------------------------------------------------------
+    def _apply_deterministic(self, graph: _Graph) -> str:
+        changed = False
+        # Negative role assertions: a forbidden pair that became an actual
+        # neighbour pair (directly, through hierarchy/merging, or through a
+        # chain of a transitive subrole) clashes.
+        for (source, target), roles in graph.forbidden.items():
+            if source not in graph.labels or target not in graph.labels:
+                continue
+            for role in roles:
+                if target in graph.neighbours(source, role, self.hierarchy):
+                    return "clash"
+                for sub_role, supers in self.hierarchy.items():
+                    if role not in supers or not self.kb.is_transitive(sub_role):
+                        continue
+                    if self._chain_reachable(graph, source, target, sub_role):
+                        return "clash"
+        blocked = self._blocked_nodes(graph)
+        for node in graph.nodes():
+            label = graph.labels[node]
+            if self._has_clash(graph, node):
+                return "clash"
+            for concept in list(label):
+                if isinstance(concept, Top):
+                    continue
+                if isinstance(concept, And):
+                    for operand in concept.operands:
+                        if operand not in label:
+                            label.add(operand)
+                            changed = True
+                # Absorbed inclusions: A in label fires its definitions.
+                if isinstance(concept, AtomicConcept):
+                    for consequence in self.absorbed.get(concept, ()):
+                        if consequence not in label:
+                            label.add(consequence)
+                            changed = True
+            # Universal (internalised TBox) constraints.
+            for constraint in self.universal:
+                if constraint not in label:
+                    label.add(constraint)
+                    changed = True
+            if changed:
+                continue
+            # all-rule and all+-rule.
+            for concept in list(label):
+                if isinstance(concept, Forall):
+                    for neighbour in graph.neighbours(
+                        node, concept.role, self.hierarchy
+                    ):
+                        if concept.filler not in graph.labels[neighbour]:
+                            graph.labels[neighbour].add(concept.filler)
+                            changed = True
+                    changed |= self._propagate_transitive(graph, node, concept)
+                elif isinstance(concept, DataForall):
+                    for neighbour in graph.data_neighbours(
+                        node, concept.role, self.data_hierarchy
+                    ):
+                        if concept.range not in graph.data_labels[neighbour]:
+                            graph.data_labels[neighbour].add(concept.range)
+                            changed = True
+            if changed:
+                continue
+            if node in blocked:
+                continue
+            # some-rule.
+            for concept in list(label):
+                if isinstance(concept, Exists):
+                    if not any(
+                        concept.filler in graph.labels[n]
+                        for n in graph.neighbours(node, concept.role, self.hierarchy)
+                    ):
+                        fresh = graph.new_node(node)
+                        graph.add_edge(node, fresh, concept.role)
+                        graph.labels[fresh].add(concept.filler)
+                        changed = True
+                elif isinstance(concept, AtLeast):
+                    neighbours = graph.neighbours(node, concept.role, self.hierarchy)
+                    if not self._has_n_pairwise_distinct(
+                        graph, neighbours, concept.n
+                    ):
+                        fresh_nodes = []
+                        for _ in range(concept.n):
+                            fresh = graph.new_node(node)
+                            graph.add_edge(node, fresh, concept.role)
+                            fresh_nodes.append(fresh)
+                        for left, right in itertools.combinations(fresh_nodes, 2):
+                            graph.set_distinct(left, right)
+                        if concept.n > 0:
+                            changed = True
+                elif isinstance(concept, QualifiedAtLeast):
+                    matching = {
+                        y
+                        for y in graph.neighbours(node, concept.role, self.hierarchy)
+                        if concept.filler in graph.labels[y]
+                    }
+                    if not self._has_n_pairwise_distinct(
+                        graph, matching, concept.n
+                    ):
+                        fresh_nodes = []
+                        for _ in range(concept.n):
+                            fresh = graph.new_node(node)
+                            graph.add_edge(node, fresh, concept.role)
+                            graph.labels[fresh].add(concept.filler)
+                            fresh_nodes.append(fresh)
+                        for left, right in itertools.combinations(fresh_nodes, 2):
+                            graph.set_distinct(left, right)
+                        if concept.n > 0:
+                            changed = True
+                elif isinstance(concept, DataExists):
+                    if not any(
+                        concept.range in graph.data_labels[n]
+                        for n in graph.data_neighbours(
+                            node, concept.role, self.data_hierarchy
+                        )
+                    ):
+                        fresh = graph.new_data_node()
+                        graph.data_edges.setdefault((node, fresh), set()).add(
+                            concept.role
+                        )
+                        graph.data_labels[fresh].add(concept.range)
+                        changed = True
+                elif isinstance(concept, DataAtLeast):
+                    neighbours = graph.data_neighbours(
+                        node, concept.role, self.data_hierarchy
+                    )
+                    distinct_count = self._max_pairwise_distinct_data(
+                        graph, neighbours
+                    )
+                    if distinct_count < concept.n:
+                        fresh_nodes = []
+                        for _ in range(concept.n):
+                            fresh = graph.new_data_node()
+                            graph.data_edges.setdefault((node, fresh), set()).add(
+                                concept.role
+                            )
+                            graph.data_labels[fresh].add(DataTop())
+                            fresh_nodes.append(fresh)
+                        for left, right in itertools.combinations(fresh_nodes, 2):
+                            graph.data_distinct.add(frozenset({left, right}))
+                        if concept.n > 0:
+                            changed = True
+            if changed:
+                continue
+        # Deterministic nominal identification: two alive nodes sharing a
+        # singleton nominal must be the same element.
+        for concept, holders in self._nominal_holders(graph).items():
+            if len(holders) > 1:
+                ordered = sorted(holders, key=lambda n: graph.creation_order[n])
+                survivor = ordered[0]
+                for victim in ordered[1:]:
+                    if not graph.merge(victim, survivor):
+                        return "clash"
+                return "changed"
+        if changed:
+            return "changed"
+        return "stable"
+
+    def _chain_reachable(
+        self, graph: _Graph, source: NodeId, target: NodeId, role: ObjectRole
+    ) -> bool:
+        """Whether ``target`` is reachable from ``source`` by >= 1 step of
+        ``role``-neighbour edges (a transitive role's closure)."""
+        frontier = [source]
+        seen: Set[NodeId] = set()
+        while frontier:
+            current = frontier.pop()
+            for neighbour in graph.neighbours(current, role, self.hierarchy):
+                if neighbour == target:
+                    return True
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        return False
+
+    def _propagate_transitive(
+        self, graph: _Graph, node: NodeId, concept: Forall
+    ) -> bool:
+        """The all+-rule: push ``all S.C`` through transitive subroles of S."""
+        changed = False
+        for sub_role, supers in self.hierarchy.items():
+            if concept.role not in supers:
+                continue
+            if not self.kb.is_transitive(sub_role):
+                continue
+            carried = Forall(sub_role, concept.filler)
+            for neighbour in graph.neighbours(node, sub_role, self.hierarchy):
+                if carried not in graph.labels[neighbour]:
+                    graph.labels[neighbour].add(carried)
+                    changed = True
+        return changed
+
+    def _nominal_holders(self, graph: _Graph) -> Dict[OneOf, List[NodeId]]:
+        holders: Dict[OneOf, List[NodeId]] = {}
+        for node in graph.nodes():
+            for concept in graph.labels[node]:
+                if isinstance(concept, OneOf) and len(concept.individuals) == 1:
+                    holders.setdefault(concept, []).append(node)
+        return holders
+
+    # ------------------------------------------------------------------
+    # Clash detection
+    # ------------------------------------------------------------------
+    def _has_clash(self, graph: _Graph, node: NodeId) -> bool:
+        label = graph.labels[node]
+        for concept in label:
+            if isinstance(concept, Bottom):
+                return True
+            if isinstance(concept, Not):
+                if concept.operand in label:
+                    return True
+                if isinstance(concept.operand, OneOf):
+                    for other in concept.operand.individuals:
+                        if graph.roots.get(other) == node:
+                            return True
+            if isinstance(concept, AtMost):
+                # Clash once more than n neighbours remain and none can be
+                # merged (all provably pairwise distinct); until then the
+                # <=-choice rule proposes merges.
+                neighbours = graph.neighbours(node, concept.role, self.hierarchy)
+                if len(neighbours) > concept.n and all(
+                    graph.are_distinct(a, b)
+                    for a, b in itertools.combinations(sorted(neighbours), 2)
+                ):
+                    return True
+            if isinstance(concept, QualifiedAtMost):
+                matching = {
+                    y
+                    for y in graph.neighbours(node, concept.role, self.hierarchy)
+                    if concept.filler in graph.labels[y]
+                }
+                if len(matching) > concept.n and all(
+                    graph.are_distinct(a, b)
+                    for a, b in itertools.combinations(sorted(matching), 2)
+                ):
+                    return True
+            if isinstance(concept, DataAtMost):
+                neighbours = graph.data_neighbours(
+                    node, concept.role, self.data_hierarchy
+                )
+                if len(neighbours) > concept.n and all(
+                    frozenset({a, b}) in graph.data_distinct
+                    for a, b in itertools.combinations(sorted(neighbours), 2)
+                ):
+                    return True
+        return False
+
+    @staticmethod
+    def _has_n_pairwise_distinct(
+        graph: _Graph, nodes: Set[NodeId], n: int
+    ) -> bool:
+        """Whether ``nodes`` contains ``n`` provably pairwise-distinct members.
+
+        Exact maximum-clique on the distinctness graph is exponential; for
+        the small neighbour sets the tableau produces a greedy clique is
+        computed over every start node, which is exact for the cliques of
+        size <= 3 that unqualified SHOIN restrictions generate in practice.
+        """
+        if n <= 0:
+            return True
+        if len(nodes) < n:
+            return False
+        ordered = sorted(nodes)
+        for start in ordered:
+            clique = [start]
+            for candidate in ordered:
+                if candidate in clique:
+                    continue
+                if all(graph.are_distinct(candidate, member) for member in clique):
+                    clique.append(candidate)
+                if len(clique) >= n:
+                    return True
+        return False
+
+    @staticmethod
+    def _max_pairwise_distinct_data(graph: _Graph, nodes: Set[NodeId]) -> int:
+        ordered = sorted(nodes)
+        best = 1 if ordered else 0
+        for start in ordered:
+            clique = [start]
+            for candidate in ordered:
+                if candidate in clique:
+                    continue
+                if all(
+                    frozenset({candidate, member}) in graph.data_distinct
+                    for member in clique
+                ):
+                    clique.append(candidate)
+            best = max(best, len(clique))
+        return best
+
+    # ------------------------------------------------------------------
+    # Blocking
+    # ------------------------------------------------------------------
+    def _blocked_nodes(self, graph: _Graph) -> Set[NodeId]:
+        """Anywhere pairwise-blocked blockable nodes (and their descendants)."""
+        blocked: Set[NodeId] = set()
+        blockable = [
+            n
+            for n in graph.nodes()
+            if not graph.is_root(n) and graph.parent.get(n) is not None
+        ]
+        order = graph.creation_order
+        directly_blocked: Set[NodeId] = set()
+        for node in blockable:
+            parent = graph.parent[node]
+            if parent is None or parent not in graph.labels:
+                continue
+            node_label = frozenset(graph.labels[node])
+            parent_label = frozenset(graph.labels[parent])
+            in_roles = graph.edge_roles_between(parent, node)
+            for witness in blockable:
+                if order[witness] >= order[node] or witness == node:
+                    continue
+                witness_parent = graph.parent[witness]
+                if witness_parent is None or witness_parent not in graph.labels:
+                    continue
+                if (
+                    frozenset(graph.labels[witness]) == node_label
+                    and frozenset(graph.labels[witness_parent]) == parent_label
+                    and graph.edge_roles_between(witness_parent, witness) == in_roles
+                ):
+                    directly_blocked.add(node)
+                    break
+        # Indirect blocking: descendants of blocked nodes.
+        for node in blockable:
+            current = node
+            while current is not None:
+                if current in directly_blocked:
+                    blocked.add(node)
+                    break
+                current = graph.parent.get(current)
+        return blocked
+
+    # ------------------------------------------------------------------
+    # Nondeterministic choices
+    # ------------------------------------------------------------------
+    def _find_choice(self, graph: _Graph):
+        """The next choice point: a list of graph-mutating alternatives.
+
+        Disjunctions are screened by Boolean constraint propagation:
+        operands that clash immediately with the node label are dropped,
+        and among all open disjunctions the one with the fewest open
+        operands is branched first (fail-first).  A disjunction with no
+        open operand returns an empty alternative list, failing the
+        branch without further search.
+        """
+        blocked = self._blocked_nodes(graph)
+        best_or: Optional[List] = None
+        for node in graph.nodes():
+            label = graph.labels[node]
+            for concept in sorted(label, key=self._sort_key):
+                if isinstance(concept, Or) and not any(
+                    operand in label for operand in concept.operands
+                ):
+                    if not self.use_bcp:
+                        return [
+                            self._adder(node, operand)
+                            for operand in concept.operands
+                        ]
+                    open_operands = [
+                        operand
+                        for operand in concept.operands
+                        if not self._immediately_clashes(graph, node, operand)
+                    ]
+                    if not open_operands:
+                        return []
+                    if best_or is None or len(open_operands) < len(best_or):
+                        best_or = [
+                            self._adder(node, operand) for operand in open_operands
+                        ]
+                        if len(best_or) == 1:
+                            return best_or
+                # Nominal choice: {o1,...,ok} with k > 1, not yet resolved
+                # by a singleton nominal already in the label.
+                if isinstance(concept, OneOf) and len(concept.individuals) > 1:
+                    resolved = any(
+                        isinstance(other, OneOf)
+                        and len(other.individuals) == 1
+                        and other.individuals <= concept.individuals
+                        for other in label
+                    )
+                    if not resolved:
+                        return [
+                            self._nominal_chooser(node, concept, individual)
+                            for individual in sorted(concept.individuals)
+                        ]
+        if best_or is not None:
+            return best_or
+        for node in graph.nodes():
+            label = graph.labels[node]
+            # choose-rule: a qualified at-most needs every neighbour's
+            # filler membership decided before counting is meaningful.
+            for concept in sorted(label, key=self._sort_key):
+                if isinstance(concept, QualifiedAtMost):
+                    negated = negation_nnf(concept.filler)
+                    for neighbour in sorted(
+                        graph.neighbours(node, concept.role, self.hierarchy)
+                    ):
+                        neighbour_label = graph.labels[neighbour]
+                        if (
+                            concept.filler not in neighbour_label
+                            and negated not in neighbour_label
+                        ):
+                            return [
+                                self._adder(neighbour, concept.filler),
+                                self._adder(neighbour, negated),
+                            ]
+            if node in blocked:
+                continue
+            # <=-rule: choose two non-distinct neighbours to merge.
+            for concept in sorted(label, key=self._sort_key):
+                if isinstance(concept, QualifiedAtMost):
+                    matching = {
+                        y
+                        for y in graph.neighbours(
+                            node, concept.role, self.hierarchy
+                        )
+                        if concept.filler in graph.labels[y]
+                    }
+                    if len(matching) > concept.n:
+                        pairs = [
+                            (a, b)
+                            for a, b in itertools.combinations(sorted(matching), 2)
+                            if not graph.are_distinct(a, b)
+                        ]
+                        if pairs:
+                            return [self._merger(a, b, graph) for a, b in pairs]
+                if isinstance(concept, AtMost):
+                    neighbours = graph.neighbours(node, concept.role, self.hierarchy)
+                    if len(neighbours) > concept.n:
+                        pairs = [
+                            (a, b)
+                            for a, b in itertools.combinations(sorted(neighbours), 2)
+                            if not graph.are_distinct(a, b)
+                        ]
+                        if pairs:
+                            return [self._merger(a, b, graph) for a, b in pairs]
+                if isinstance(concept, DataAtMost):
+                    neighbours = graph.data_neighbours(
+                        node, concept.role, self.data_hierarchy
+                    )
+                    if len(neighbours) > concept.n:
+                        pairs = [
+                            (a, b)
+                            for a, b in itertools.combinations(sorted(neighbours), 2)
+                            if frozenset({a, b}) not in graph.data_distinct
+                        ]
+                        if pairs:
+                            return [self._data_merger(a, b) for a, b in pairs]
+        return None
+
+    def _sort_key(self, concept: Concept) -> str:
+        """A cached deterministic ordering key for label iteration."""
+        key = self._sort_keys.get(concept)
+        if key is None:
+            key = repr(concept)
+            self._sort_keys[concept] = key
+        return key
+
+    @staticmethod
+    def _immediately_clashes(graph: _Graph, node: NodeId, concept: Concept) -> bool:
+        """Whether adding ``concept`` to the node label clashes on the spot.
+
+        Sound screening only (NNF literals): ``Bottom``, an atom whose
+        negation is present, or a negated atom whose atom is present.
+        """
+        label = graph.labels[node]
+        if isinstance(concept, Bottom):
+            return True
+        if isinstance(concept, AtomicConcept):
+            return Not(concept) in label
+        if isinstance(concept, Not) and isinstance(concept.operand, AtomicConcept):
+            return concept.operand in label
+        return False
+
+    @staticmethod
+    def _adder(node: NodeId, concept: Concept):
+        def apply(graph: _Graph) -> bool:
+            if node not in graph.labels:
+                return False
+            graph.labels[node].add(concept)
+            return True
+
+        return apply
+
+    @staticmethod
+    def _nominal_chooser(node: NodeId, concept: OneOf, individual: Individual):
+        def apply(graph: _Graph) -> bool:
+            if node not in graph.labels:
+                return False
+            # The multi-nominal stays in the label (labels are monotone;
+            # removing it would make the or-rule refire forever).
+            graph.labels[node].add(OneOf(frozenset({individual})))
+            existing = graph.roots.get(individual)
+            if existing is not None:
+                if existing == node:
+                    return True
+                return graph.merge(node, existing)
+            graph.roots[individual] = node
+            graph.root_nodes.add(node)
+            return True
+
+        return apply
+
+    def _merger(self, left: NodeId, right: NodeId, graph: _Graph):
+        order = graph.creation_order
+        # Merge the younger (and preferably blockable) node into the older.
+        survivor, victim = (left, right) if order[left] <= order[right] else (right, left)
+        if graph.is_root(victim) and not graph.is_root(survivor):
+            survivor, victim = victim, survivor
+
+        def apply(branch: _Graph) -> bool:
+            if victim not in branch.labels or survivor not in branch.labels:
+                return False
+            return branch.merge(victim, survivor)
+
+        return apply
+
+    @staticmethod
+    def _data_merger(left: NodeId, right: NodeId):
+        survivor, victim = (left, right) if left <= right else (right, left)
+
+        def apply(branch: _Graph) -> bool:
+            if (
+                victim not in branch.data_labels
+                or survivor not in branch.data_labels
+            ):
+                return False
+            return branch.merge_data(victim, survivor)
+
+        return apply
+
+    # ------------------------------------------------------------------
+    # Final (datatype) checks
+    # ------------------------------------------------------------------
+    def _final_checks(self, graph: _Graph) -> bool:
+        """Check the concrete domain: every data node needs a value, and
+        pairwise-distinct nodes need distinct values."""
+        assigned: Dict[NodeId, object] = {}
+        for node in sorted(graph.data_labels):
+            ranges = list(graph.data_labels[node])
+            taboo = {
+                assigned[other]
+                for other in assigned
+                if frozenset({node, other}) in graph.data_distinct
+            }
+            witnesses = find_witnesses(ranges, count=len(taboo) + 1)
+            if witnesses is None:
+                return False
+            chosen = next((w for w in witnesses if w not in taboo), None)
+            if chosen is None:
+                return False
+            assigned[node] = chosen
+        self._data_assignment = assigned
+        self._complete_graph = graph
+        return True
+
+
+def _transitive_closure(pairs: Set[Tuple[NodeId, NodeId]]) -> Set[Tuple[NodeId, NodeId]]:
+    closed = set(pairs)
+    changed = True
+    while changed:
+        changed = False
+        for (x, y) in list(closed):
+            for (y2, z) in list(closed):
+                if y2 == y and (x, z) not in closed:
+                    closed.add((x, z))
+                    changed = True
+    return closed
+
+
+def _role_expression_pairs(
+    role_ext: Dict[AtomicRole, Set[Tuple[NodeId, NodeId]]], role: ObjectRole
+) -> Set[Tuple[NodeId, NodeId]]:
+    base = role_ext.get(role.named, set())
+    if role.is_inverse:
+        return {(y, x) for (x, y) in base}
+    return set(base)
+
+
+@dataclass(frozen=True)
+class _ExactValue(DataRange):
+    """A data range holding exactly one literal (for asserted data edges)."""
+
+    datatype: str
+    lexical: str
+
+    def contains(self, value) -> bool:
+        return value.datatype == self.datatype and value.lexical == self.lexical
+
+    def mentioned_values(self):
+        from .individuals import DataValue
+
+        return (DataValue(self.datatype, self.lexical),)
+
+    def __repr__(self) -> str:
+        return f"={self.lexical}"

@@ -1,0 +1,92 @@
+"""SHOIN(D)4 — the paper's core contribution.
+
+Four-valued knowledge bases with the three inclusion strengths
+(:mod:`~repro.four_dl.axioms4`), the polynomial transformation to
+classical SHOIN(D) of Definitions 5-7 (:mod:`~repro.four_dl.transform`),
+the Definition 8/9 interpretation correspondences
+(:mod:`~repro.four_dl.induced`), and the reduction-based paraconsistent
+reasoner (:mod:`~repro.four_dl.reasoner4`).
+"""
+
+from .axioms4 import (
+    Axiom4,
+    ConceptInclusion4,
+    DatatypeRoleInclusion4,
+    InclusionKind,
+    KnowledgeBase4,
+    RoleInclusion4,
+    Transitivity4,
+    collapse_to_classical,
+    from_classical,
+    internal,
+    material,
+    strong,
+)
+from .transform import (
+    EQ_SUFFIX,
+    NEGATIVE_SUFFIX,
+    POSITIVE_SUFFIX,
+    base_name,
+    eq_data_role,
+    eq_role,
+    neg_transform,
+    negative_concept,
+    pos_transform,
+    positive_concept,
+    positive_data_role,
+    positive_role,
+    transform_axiom,
+    transform_kb,
+)
+from .induced import classical_induced, four_induced
+from .reasoner4 import Reasoner4
+from .defeasible import (
+    AdjudicatedFact,
+    DefeasibleReasoner4,
+    default_stratification4,
+)
+from .metrics import (
+    ConflictProfile,
+    conflict_profile,
+    inconsistency_degree,
+    information_degree,
+)
+
+__all__ = [
+    "Axiom4",
+    "ConceptInclusion4",
+    "DatatypeRoleInclusion4",
+    "InclusionKind",
+    "KnowledgeBase4",
+    "RoleInclusion4",
+    "Transitivity4",
+    "collapse_to_classical",
+    "from_classical",
+    "internal",
+    "material",
+    "strong",
+    "EQ_SUFFIX",
+    "NEGATIVE_SUFFIX",
+    "POSITIVE_SUFFIX",
+    "base_name",
+    "eq_data_role",
+    "eq_role",
+    "neg_transform",
+    "negative_concept",
+    "pos_transform",
+    "positive_concept",
+    "positive_data_role",
+    "positive_role",
+    "transform_axiom",
+    "transform_kb",
+    "classical_induced",
+    "four_induced",
+    "Reasoner4",
+    "AdjudicatedFact",
+    "DefeasibleReasoner4",
+    "default_stratification4",
+    "ConflictProfile",
+    "conflict_profile",
+    "inconsistency_degree",
+    "information_degree",
+]

@@ -1,0 +1,309 @@
+"""Syntax of SHOIN(D)4: the three inclusion forms and four-valued KBs.
+
+SHOIN(D)4 keeps every concept constructor and fact-assertion form of
+SHOIN(D) (paper Section 3.1) and replaces the single classical inclusion
+by three axiom forms per inclusion kind (concept, object role, datatype
+role):
+
+* **material** ``C |-> D`` — allows exceptions (birds fly, penguins don't);
+* **internal** ``C < D`` — positive evidence propagates forward;
+* **strong** ``C -> D`` — positive evidence propagates forward *and*
+  negative evidence propagates backward (contraposition).
+
+A :class:`KnowledgeBase4` bundles these with an ordinary SHOIN(D) ABox
+(assertions keep their classical syntax; their four-valued meaning is
+given in Table 3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Iterator, List, Set
+
+from ..dl import axioms as ax
+from ..dl.concepts import (
+    AtomicConcept,
+    Concept,
+    atomic_concepts,
+    datatype_roles,
+    nominals,
+    object_roles,
+)
+from ..dl.individuals import Individual
+from ..dl.kb import KnowledgeBase
+from ..dl.roles import AtomicRole, DatatypeRole, ObjectRole
+
+
+class InclusionKind(enum.Enum):
+    """The three four-valued inclusion strengths (paper Section 3.1)."""
+
+    MATERIAL = "material"
+    INTERNAL = "internal"
+    STRONG = "strong"
+
+    @property
+    def symbol(self) -> str:
+        return {"material": "|->", "internal": "<", "strong": "->"}[self.value]
+
+
+class Axiom4:
+    """Base class of four-valued TBox axioms."""
+
+
+@dataclass(frozen=True)
+class ConceptInclusion4(Axiom4):
+    """A four-valued concept inclusion of one of the three kinds."""
+
+    sub: Concept
+    sup: Concept
+    kind: InclusionKind
+
+    def __repr__(self) -> str:
+        return f"{self.sub!r} {self.kind.symbol} {self.sup!r}"
+
+
+@dataclass(frozen=True)
+class RoleInclusion4(Axiom4):
+    """A four-valued object role inclusion of one of the three kinds."""
+
+    sub: ObjectRole
+    sup: ObjectRole
+    kind: InclusionKind
+
+    def __repr__(self) -> str:
+        return f"{self.sub!r} {self.kind.symbol} {self.sup!r}"
+
+
+@dataclass(frozen=True)
+class DatatypeRoleInclusion4(Axiom4):
+    """A four-valued datatype role inclusion of one of the three kinds."""
+
+    sub: DatatypeRole
+    sup: DatatypeRole
+    kind: InclusionKind
+
+    def __repr__(self) -> str:
+        return f"{self.sub!r} {self.kind.symbol} {self.sup!r}"
+
+
+@dataclass(frozen=True)
+class Transitivity4(Axiom4):
+    """Four-valued transitivity: the positive extension is transitive."""
+
+    role: AtomicRole
+
+    def __repr__(self) -> str:
+        return f"Trans({self.role!r})"
+
+
+# Convenience constructors matching the paper's notation -------------------
+
+def material(sub: Concept, sup: Concept) -> ConceptInclusion4:
+    """``sub |-> sup`` — inclusion tolerating exceptions."""
+    return ConceptInclusion4(sub, sup, InclusionKind.MATERIAL)
+
+
+def internal(sub: Concept, sup: Concept) -> ConceptInclusion4:
+    """``sub < sup`` — positive-evidence inclusion."""
+    return ConceptInclusion4(sub, sup, InclusionKind.INTERNAL)
+
+
+def strong(sub: Concept, sup: Concept) -> ConceptInclusion4:
+    """``sub -> sup`` — contraposable inclusion."""
+    return ConceptInclusion4(sub, sup, InclusionKind.STRONG)
+
+
+@dataclass
+class KnowledgeBase4:
+    """A SHOIN(D)4 knowledge base: four-valued TBox + classical-syntax ABox.
+
+    The ABox reuses the classical assertion classes (``a : C``, ``R(a, b)``
+    etc.); Table 3 reinterprets them four-valuedly (``a : C`` means
+    ``a in proj+(C^I)``).
+    """
+
+    concept_inclusions: List[ConceptInclusion4] = field(default_factory=list)
+    role_inclusions: List[RoleInclusion4] = field(default_factory=list)
+    datatype_role_inclusions: List[DatatypeRoleInclusion4] = field(
+        default_factory=list
+    )
+    transitivity_axioms: List[Transitivity4] = field(default_factory=list)
+    concept_assertions: List[ax.ConceptAssertion] = field(default_factory=list)
+    role_assertions: List[ax.RoleAssertion] = field(default_factory=list)
+    negative_role_assertions: List[ax.NegativeRoleAssertion] = field(
+        default_factory=list
+    )
+    data_assertions: List[ax.DataAssertion] = field(default_factory=list)
+    same_individuals: List[ax.SameIndividual] = field(default_factory=list)
+    different_individuals: List[ax.DifferentIndividuals] = field(
+        default_factory=list
+    )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, *axioms_: object) -> "KnowledgeBase4":
+        """Add four-valued TBox axioms or classical ABox assertions."""
+        for axiom in axioms_:
+            if isinstance(axiom, ConceptInclusion4):
+                self.concept_inclusions.append(axiom)
+            elif isinstance(axiom, RoleInclusion4):
+                self.role_inclusions.append(axiom)
+            elif isinstance(axiom, DatatypeRoleInclusion4):
+                self.datatype_role_inclusions.append(axiom)
+            elif isinstance(axiom, Transitivity4):
+                self.transitivity_axioms.append(axiom)
+            elif isinstance(axiom, ax.ConceptAssertion):
+                self.concept_assertions.append(axiom)
+            elif isinstance(axiom, ax.RoleAssertion):
+                self.role_assertions.append(axiom.normalised())
+            elif isinstance(axiom, ax.NegativeRoleAssertion):
+                self.negative_role_assertions.append(axiom.normalised())
+            elif isinstance(axiom, ax.DataAssertion):
+                self.data_assertions.append(axiom)
+            elif isinstance(axiom, ax.SameIndividual):
+                self.same_individuals.append(axiom)
+            elif isinstance(axiom, ax.DifferentIndividuals):
+                self.different_individuals.append(axiom)
+            else:
+                raise TypeError(f"not a SHOIN(D)4 axiom: {axiom!r}")
+        return self
+
+    @staticmethod
+    def of(axioms_: Iterable[object]) -> "KnowledgeBase4":
+        """Build a KB4 from an iterable of axioms."""
+        return KnowledgeBase4().add(*axioms_)
+
+    def copy(self) -> "KnowledgeBase4":
+        return KnowledgeBase4.of(self.axioms())
+
+    # ------------------------------------------------------------------
+    # Iteration
+    # ------------------------------------------------------------------
+    def tbox(self) -> Iterator[object]:
+        yield from self.concept_inclusions
+        yield from self.role_inclusions
+        yield from self.datatype_role_inclusions
+        yield from self.transitivity_axioms
+
+    def abox(self) -> Iterator[ax.ABoxAxiom]:
+        yield from self.concept_assertions
+        yield from self.role_assertions
+        yield from self.negative_role_assertions
+        yield from self.data_assertions
+        yield from self.same_individuals
+        yield from self.different_individuals
+
+    def axioms(self) -> Iterator[object]:
+        yield from self.tbox()
+        yield from self.abox()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.axioms())
+
+    # ------------------------------------------------------------------
+    # Signature
+    # ------------------------------------------------------------------
+    def _all_concepts(self) -> Iterator[Concept]:
+        for inclusion in self.concept_inclusions:
+            yield inclusion.sub
+            yield inclusion.sup
+        for assertion in self.concept_assertions:
+            yield assertion.concept
+
+    def concepts_in_signature(self) -> FrozenSet[AtomicConcept]:
+        found: Set[AtomicConcept] = set()
+        for concept in self._all_concepts():
+            found |= atomic_concepts(concept)
+        return frozenset(found)
+
+    def object_roles_in_signature(self) -> FrozenSet[AtomicRole]:
+        found: Set[AtomicRole] = set()
+        for concept in self._all_concepts():
+            found |= {r.named for r in object_roles(concept)}
+        for inclusion in self.role_inclusions:
+            found.add(inclusion.sub.named)
+            found.add(inclusion.sup.named)
+        for transitivity in self.transitivity_axioms:
+            found.add(transitivity.role)
+        for assertion in self.role_assertions:
+            found.add(assertion.role.named)
+        for negative in self.negative_role_assertions:
+            found.add(negative.role.named)
+        return frozenset(found)
+
+    def datatype_roles_in_signature(self) -> FrozenSet[DatatypeRole]:
+        found: Set[DatatypeRole] = set()
+        for concept in self._all_concepts():
+            found |= datatype_roles(concept)
+        for inclusion in self.datatype_role_inclusions:
+            found.add(inclusion.sub)
+            found.add(inclusion.sup)
+        for assertion in self.data_assertions:
+            found.add(assertion.role)
+        return frozenset(found)
+
+    def individuals_in_signature(self) -> FrozenSet[Individual]:
+        found: Set[Individual] = set()
+        for concept in self._all_concepts():
+            found |= nominals(concept)
+        for assertion in self.concept_assertions:
+            found.add(assertion.individual)
+        for assertion in self.role_assertions:
+            found.add(assertion.source)
+            found.add(assertion.target)
+        for negative in self.negative_role_assertions:
+            found.add(negative.source)
+            found.add(negative.target)
+        for assertion in self.data_assertions:
+            found.add(assertion.source)
+        for equality in self.same_individuals:
+            found.add(equality.left)
+            found.add(equality.right)
+        for inequality in self.different_individuals:
+            found.add(inequality.left)
+            found.add(inequality.right)
+        return frozenset(found)
+
+
+def collapse_to_classical(kb4: KnowledgeBase4) -> KnowledgeBase:
+    """Forget the inclusion strengths: every inclusion becomes classical ``[=``.
+
+    This is the two-valued reading an ordinary OWL DL system gives the
+    same ontology — the baseline the paper's examples contrast with (the
+    penguin TBox is satisfiable four-valuedly, unsatisfiable classically).
+    """
+    kb = KnowledgeBase()
+    for inclusion in kb4.concept_inclusions:
+        kb.add(ax.ConceptInclusion(inclusion.sub, inclusion.sup))
+    for role_inclusion in kb4.role_inclusions:
+        kb.add(ax.RoleInclusion(role_inclusion.sub, role_inclusion.sup))
+    for data_inclusion in kb4.datatype_role_inclusions:
+        kb.add(ax.DatatypeRoleInclusion(data_inclusion.sub, data_inclusion.sup))
+    for transitivity in kb4.transitivity_axioms:
+        kb.add(ax.Transitivity(transitivity.role))
+    for assertion in kb4.abox():
+        kb.add(assertion)
+    return kb
+
+
+def from_classical(kb: KnowledgeBase, kind: InclusionKind = InclusionKind.INTERNAL) -> KnowledgeBase4:
+    """Reinterpret a classical KB as a SHOIN(D)4 KB.
+
+    Every classical inclusion becomes an inclusion of the given ``kind``
+    (internal by default, the weakest reading that still propagates
+    positive evidence — the choice the paper's Example 2 makes).
+    """
+    kb4 = KnowledgeBase4()
+    for inclusion in kb.concept_inclusions:
+        kb4.add(ConceptInclusion4(inclusion.sub, inclusion.sup, kind))
+    for inclusion in kb.role_inclusions:
+        kb4.add(RoleInclusion4(inclusion.sub, inclusion.sup, kind))
+    for inclusion in kb.datatype_role_inclusions:
+        kb4.add(DatatypeRoleInclusion4(inclusion.sub, inclusion.sup, kind))
+    for transitivity in kb.transitivity_axioms:
+        kb4.add(Transitivity4(transitivity.role))
+    for assertion in kb.abox():
+        kb4.add(assertion)
+    return kb4

@@ -1,0 +1,135 @@
+"""Prioritised paraconsistent reasoning (the paper's future-work combine).
+
+The conclusion of the paper proposes combining the static, paraconsistent
+view of contradiction with the dynamic, prioritised view of nonmonotonic
+approaches (Benferhat-style stratification).  This module implements that
+combination:
+
+* axioms carry priorities (0 = most certain), as in
+  :mod:`repro.baselines.stratified`;
+* *unlike* the stratified baseline, **nothing is deleted**: the full KB4
+  is reasoned with four-valuedly, so every conflict is still visible as a
+  ``BOTH`` fact;
+* for each ``BOTH`` fact, :meth:`DefeasibleReasoner4.adjudicate` walks
+  the stratification prefixes and reports the *preferred* reading — the
+  entailed status just before the conflicting lower-priority evidence
+  enters — together with the stratum that introduced the conflict.
+
+The result is strictly more informative than either ingredient: the
+stratified baseline's answer (the preferred reading) plus the
+paraconsistent conflict report (what disagreed, and how certain it was).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dl.concepts import AtomicConcept, Concept
+from ..dl.individuals import Individual
+from ..fourvalued.truth import FourValue
+from .axioms4 import KnowledgeBase4
+from .reasoner4 import Reasoner4
+
+Stratification4 = Sequence[Tuple[object, int]]
+
+
+@dataclass(frozen=True)
+class AdjudicatedFact:
+    """The verdict for one queried fact.
+
+    ``value`` is the four-valued status over the whole KB4; ``preferred``
+    is the status over the longest prefix of strata before the status
+    became BOTH (equal to ``value`` when no conflict exists);
+    ``conflict_stratum`` names the priority level whose axioms first made
+    the fact contradictory, or ``None``.
+    """
+
+    value: FourValue
+    preferred: FourValue
+    conflict_stratum: Optional[int]
+
+    @property
+    def is_conflicted(self) -> bool:
+        return self.value is FourValue.BOTH
+
+    def describe(self) -> str:
+        """A one-line human-readable verdict."""
+        if not self.is_conflicted:
+            return f"{self.value} (no conflict)"
+        return (
+            f"BOTH; preferred reading {self.preferred} "
+            f"(conflict enters at stratum {self.conflict_stratum})"
+        )
+
+
+def default_stratification4(kb4: KnowledgeBase4) -> List[Tuple[object, int]]:
+    """TBox at priority 0, ABox at priority 1 (the common heuristic)."""
+    ranked: List[Tuple[object, int]] = []
+    for axiom in kb4.tbox():
+        ranked.append((axiom, 0))
+    for axiom in kb4.abox():
+        ranked.append((axiom, 1))
+    return ranked
+
+
+class DefeasibleReasoner4:
+    """Four-valued reasoning refined by a priority stratification."""
+
+    def __init__(self, stratification: Stratification4):
+        self.stratification = list(stratification)
+        priorities = sorted({p for _a, p in self.stratification})
+        #: One KB4 per stratification prefix, most certain first.
+        self._prefixes: List[Tuple[int, Reasoner4]] = []
+        for cutoff in priorities:
+            kb4 = KnowledgeBase4()
+            for axiom, priority in self.stratification:
+                if priority <= cutoff:
+                    kb4.add(axiom)
+            self._prefixes.append((cutoff, Reasoner4(kb4)))
+        if not self._prefixes:
+            self._prefixes = [(0, Reasoner4(KnowledgeBase4()))]
+        #: The full-KB4 reasoner (the last prefix).
+        self.reasoner = self._prefixes[-1][1]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def assertion_value(self, individual: Individual, concept: Concept) -> FourValue:
+        """The ordinary four-valued status over the whole KB4."""
+        return self.reasoner.assertion_value(individual, concept)
+
+    def adjudicate(self, individual: Individual, concept: Concept) -> AdjudicatedFact:
+        """Full verdict: overall status, preferred reading, blame stratum."""
+        value = self.assertion_value(individual, concept)
+        if value is not FourValue.BOTH:
+            return AdjudicatedFact(value, value, None)
+        preferred = FourValue.NEITHER
+        conflict_stratum: Optional[int] = self._prefixes[-1][0]
+        for cutoff, reasoner in self._prefixes:
+            status = reasoner.assertion_value(individual, concept)
+            if status is FourValue.BOTH:
+                conflict_stratum = cutoff
+                break
+            preferred = status
+        return AdjudicatedFact(value, preferred, conflict_stratum)
+
+    def preferred_value(self, individual: Individual, concept: Concept) -> FourValue:
+        """Shorthand: the adjudicated preferred reading."""
+        return self.adjudicate(individual, concept).preferred
+
+    # ------------------------------------------------------------------
+    # Reports
+    # ------------------------------------------------------------------
+    def conflict_report(self) -> Dict[Tuple[Individual, AtomicConcept], AdjudicatedFact]:
+        """Adjudicated verdicts for every conflicted atomic fact."""
+        report: Dict[Tuple[Individual, AtomicConcept], AdjudicatedFact] = {}
+        kb4 = self.reasoner.kb4
+        for individual in sorted(kb4.individuals_in_signature()):
+            for concept in sorted(
+                kb4.concepts_in_signature(), key=lambda c: c.name
+            ):
+                verdict = self.adjudicate(individual, concept)
+                if verdict.is_conflicted:
+                    report[(individual, concept)] = verdict
+        return report

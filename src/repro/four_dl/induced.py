@@ -1,0 +1,117 @@
+"""Induced interpretations between the two semantics (Definitions 8-9).
+
+``classical_induced`` maps a four-valued interpretation ``I`` of a KB4 to
+the classical interpretation ``I-bar`` of the transformed signature:
+``(A+) = proj+(A)``, ``(A-) = proj-(A)``, ``(R+) = proj+(R)`` and
+``(R=) = complement of proj-(R)``.  ``four_induced`` is the inverse
+construction.  Lemma 5 / Theorem 6 state that these maps carry models to
+models; the property tests in ``tests/four_dl/test_theorem6.py`` verify
+exactly that, using the explicit evaluators of :mod:`repro.semantics`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable
+
+from ..dl.concepts import AtomicConcept
+from ..dl.individuals import DataValue
+from ..dl.roles import AtomicRole, DatatypeRole
+from ..fourvalued.bilattice import BilatticePair
+from ..semantics.four_interpretation import (
+    DataRolePair,
+    FourInterpretation,
+    RolePair,
+)
+from ..semantics.interpretation import Interpretation
+from .axioms4 import KnowledgeBase4
+from .transform import (
+    eq_data_role,
+    eq_role,
+    negative_concept,
+    positive_concept,
+    positive_data_role,
+    positive_role,
+)
+
+
+def classical_induced(
+    interpretation: FourInterpretation, kb4: KnowledgeBase4
+) -> Interpretation:
+    """The classical induced interpretation ``I-bar`` of Definition 8."""
+    concept_ext: Dict[AtomicConcept, FrozenSet] = {}
+    for concept in kb4.concepts_in_signature():
+        pair = interpretation.concept_ext.get(
+            concept, BilatticePair(frozenset(), frozenset())
+        )
+        concept_ext[positive_concept(concept)] = pair.positive
+        concept_ext[negative_concept(concept)] = pair.negative
+    role_ext: Dict[AtomicRole, FrozenSet] = {}
+    all_pairs = frozenset(itertools.product(interpretation.domain, repeat=2))
+    for role in kb4.object_roles_in_signature():
+        pair = interpretation.role_pair(role)
+        pos_name = positive_role(role)
+        eq_name = eq_role(role)
+        assert isinstance(pos_name, AtomicRole) and isinstance(eq_name, AtomicRole)
+        role_ext[pos_name] = pair.positive
+        role_ext[eq_name] = all_pairs - pair.negative
+    data_role_ext: Dict[DatatypeRole, FrozenSet] = {}
+    all_data_pairs = frozenset(
+        itertools.product(interpretation.domain, interpretation.data_domain)
+    )
+    for role in kb4.datatype_roles_in_signature():
+        pair = interpretation.data_role_pair(role)
+        data_role_ext[positive_data_role(role)] = pair.positive
+        data_role_ext[eq_data_role(role)] = all_data_pairs - pair.negative
+    return Interpretation(
+        domain=interpretation.domain,
+        concept_ext=concept_ext,
+        role_ext=role_ext,
+        data_role_ext=data_role_ext,
+        individual_map=dict(interpretation.individual_map),
+    )
+
+
+def four_induced(
+    interpretation: Interpretation,
+    kb4: KnowledgeBase4,
+    data_domain: Iterable[DataValue] = (),
+) -> FourInterpretation:
+    """The four-valued induced interpretation of Definition 9."""
+    concept_ext: Dict[AtomicConcept, BilatticePair] = {}
+    for concept in kb4.concepts_in_signature():
+        concept_ext[concept] = BilatticePair(
+            interpretation.concept_ext.get(positive_concept(concept), frozenset()),
+            interpretation.concept_ext.get(negative_concept(concept), frozenset()),
+        )
+    role_ext: Dict[AtomicRole, RolePair] = {}
+    all_pairs = frozenset(itertools.product(interpretation.domain, repeat=2))
+    for role in kb4.object_roles_in_signature():
+        pos_name = positive_role(role)
+        eq_name = eq_role(role)
+        assert isinstance(pos_name, AtomicRole) and isinstance(eq_name, AtomicRole)
+        role_ext[role] = RolePair(
+            interpretation.role_ext.get(pos_name, frozenset()),
+            all_pairs - interpretation.role_ext.get(eq_name, frozenset()),
+        )
+    data_values = frozenset(data_domain)
+    data_role_ext: Dict[DatatypeRole, DataRolePair] = {}
+    all_data_pairs = frozenset(
+        itertools.product(interpretation.domain, data_values)
+    )
+    for role in kb4.datatype_roles_in_signature():
+        data_role_ext[role] = DataRolePair(
+            interpretation.data_role_ext.get(
+                positive_data_role(role), frozenset()
+            ),
+            all_data_pairs
+            - interpretation.data_role_ext.get(eq_data_role(role), frozenset()),
+        )
+    return FourInterpretation(
+        domain=interpretation.domain,
+        concept_ext=concept_ext,
+        role_ext=role_ext,
+        data_role_ext=data_role_ext,
+        individual_map=dict(interpretation.individual_map),
+        data_domain=data_values,
+    )

@@ -1,0 +1,163 @@
+"""Inconsistency measurement over SHOIN(D)4 (the paper's follow-up line).
+
+The paper's conclusion points at deeper treatments of contradiction; the
+authors' own subsequent work measures *how* inconsistent an ontology is
+using exactly this four-valued semantics.  This module implements the
+entailment-based variant of those measures:
+
+* :func:`inconsistency_degree` — the fraction of atomic facts
+  ``C(a)`` whose entailed Belnap status is BOTH;
+* :func:`information_degree` — the fraction whose status is decided
+  (not NEITHER): how much the ontology actually says;
+* :func:`conflict_profile` — the full census per truth value, with
+  per-concept and per-individual breakdowns, including role atoms.
+
+All measures are computed from the reduction reasoner, so they inherit
+its soundness/completeness and need no model enumeration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..dl.concepts import AtomicConcept
+from ..dl.individuals import Individual
+from ..dl.roles import AtomicRole
+from ..fourvalued.truth import FourValue
+from .reasoner4 import Reasoner4
+
+
+@dataclass
+class ConflictProfile:
+    """A census of entailed truth values over the atomic facts."""
+
+    concept_values: Dict[Tuple[Individual, AtomicConcept], FourValue] = field(
+        default_factory=dict
+    )
+    role_values: Dict[
+        Tuple[Individual, Individual, AtomicRole], FourValue
+    ] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def count(self, value: FourValue) -> int:
+        """How many atomic facts carry the given status."""
+        return sum(
+            1 for v in self.concept_values.values() if v is value
+        ) + sum(1 for v in self.role_values.values() if v is value)
+
+    @property
+    def total(self) -> int:
+        return len(self.concept_values) + len(self.role_values)
+
+    @property
+    def inconsistency_degree(self) -> float:
+        """Fraction of atomic facts entailed BOTH (0.0 = conflict-free)."""
+        if self.total == 0:
+            return 0.0
+        return self.count(FourValue.BOTH) / self.total
+
+    @property
+    def information_degree(self) -> float:
+        """Fraction of atomic facts with a decided status (not NEITHER)."""
+        if self.total == 0:
+            return 0.0
+        return 1.0 - self.count(FourValue.NEITHER) / self.total
+
+    # ------------------------------------------------------------------
+    # Breakdowns
+    # ------------------------------------------------------------------
+    def conflicts_by_concept(self) -> Dict[AtomicConcept, int]:
+        """How many individuals are BOTH per concept (descending)."""
+        counts: Dict[AtomicConcept, int] = {}
+        for (_individual, concept), value in self.concept_values.items():
+            if value is FourValue.BOTH:
+                counts[concept] = counts.get(concept, 0) + 1
+        return dict(
+            sorted(counts.items(), key=lambda item: (-item[1], item[0].name))
+        )
+
+    def conflicts_by_individual(self) -> Dict[Individual, int]:
+        """How many atomic facts are BOTH per individual (descending)."""
+        counts: Dict[Individual, int] = {}
+        for (individual, _concept), value in self.concept_values.items():
+            if value is FourValue.BOTH:
+                counts[individual] = counts.get(individual, 0) + 1
+        for (source, target, _role), value in self.role_values.items():
+            if value is FourValue.BOTH:
+                counts[source] = counts.get(source, 0) + 1
+        return dict(
+            sorted(counts.items(), key=lambda item: (-item[1], item[0].name))
+        )
+
+    def rows(self) -> List[Tuple[str, str]]:
+        """(fact, status) rows for table printing, conflicts first."""
+        entries: List[Tuple[str, str, int]] = []
+        order = {
+            FourValue.BOTH: 0,
+            FourValue.TRUE: 1,
+            FourValue.FALSE: 2,
+            FourValue.NEITHER: 3,
+        }
+        for (individual, concept), value in self.concept_values.items():
+            entries.append(
+                (f"{concept.name}({individual.name})", str(value), order[value])
+            )
+        for (source, target, role), value in self.role_values.items():
+            entries.append(
+                (
+                    f"{role.name}({source.name}, {target.name})",
+                    str(value),
+                    order[value],
+                )
+            )
+        entries.sort(key=lambda item: (item[2], item[0]))
+        return [(fact, status) for fact, status, _rank in entries]
+
+
+def conflict_profile(
+    reasoner: Reasoner4, include_roles: bool = True
+) -> ConflictProfile:
+    """The full entailed-status census of a KB4's atomic facts.
+
+    Cost: one pair of classical entailment checks per (individual,
+    concept) pair, plus per role atom when ``include_roles`` — quadratic
+    fan-out, intended for audit-sized ontologies.
+    """
+    profile = ConflictProfile()
+    individuals = sorted(reasoner.kb4.individuals_in_signature())
+    concepts = sorted(reasoner.kb4.concepts_in_signature(), key=lambda c: c.name)
+    for individual in individuals:
+        for concept in concepts:
+            profile.concept_values[(individual, concept)] = (
+                reasoner.assertion_value(individual, concept)
+            )
+    if include_roles:
+        roles = sorted(
+            reasoner.kb4.object_roles_in_signature(), key=lambda r: r.name
+        )
+        asserted_pairs = {
+            (assertion.source, assertion.target)
+            for assertion in reasoner.kb4.role_assertions
+        } | {
+            (assertion.source, assertion.target)
+            for assertion in reasoner.kb4.negative_role_assertions
+        }
+        for source, target in sorted(asserted_pairs):
+            for role in roles:
+                profile.role_values[(source, target, role)] = (
+                    reasoner.role_value(role, source, target)
+                )
+    return profile
+
+
+def inconsistency_degree(reasoner: Reasoner4) -> float:
+    """Shorthand: the BOTH-fraction of the concept-fact census."""
+    return conflict_profile(reasoner, include_roles=False).inconsistency_degree
+
+
+def information_degree(reasoner: Reasoner4) -> float:
+    """Shorthand: the decided-fraction of the concept-fact census."""
+    return conflict_profile(reasoner, include_roles=False).information_degree

@@ -1,0 +1,277 @@
+"""Paraconsistent reasoning for SHOIN(D)4 by reduction (Theorem 6, Cor. 7).
+
+A :class:`Reasoner4` transforms its KB4 once into the classical induced KB
+(Definition 7) and then answers every four-valued question through the
+classical tableau:
+
+* four-valued satisfiability = classical satisfiability of the induced KB
+  (Theorem 6);
+* evidence queries — the paper's "is there information indicating that
+  ``a`` is (not) a ``C``?" — via classical instance checks on the
+  positive/negative transformed concepts;
+* the three inclusion forms via Corollary 7's unsatisfiability tests;
+* :meth:`Reasoner4.assertion_value` combines both evidence directions
+  into one of Belnap's four values, the *entailed* truth status of a fact.
+
+Because the reduction never collapses ``A+`` with ``A-``, a contradiction
+about ``A`` stays local: the induced KB remains classically satisfiable
+and unrelated conclusions survive (the paraconsistency the paper's
+Examples 1-3 demonstrate).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional
+
+from ..dl import axioms as ax
+from ..dl.concepts import And, AtomicConcept, Concept, Not
+from ..dl.individuals import Individual
+from ..dl.kb import KnowledgeBase
+from ..dl.reasoner import Reasoner
+from ..dl.tableau import DEFAULT_MAX_BRANCHES, DEFAULT_MAX_NODES
+from ..fourvalued.truth import FourValue, from_evidence
+from .axioms4 import (
+    ConceptInclusion4,
+    InclusionKind,
+    KnowledgeBase4,
+    RoleInclusion4,
+)
+from .transform import (
+    neg_transform,
+    pos_transform,
+    positive_role,
+    eq_role,
+    transform_kb,
+)
+
+
+class Reasoner4:
+    """Four-valued reasoner over a SHOIN(D)4 knowledge base."""
+
+    def __init__(
+        self,
+        kb4: KnowledgeBase4,
+        max_nodes: int = DEFAULT_MAX_NODES,
+        max_branches: int = DEFAULT_MAX_BRANCHES,
+    ):
+        self.kb4 = kb4
+        #: The classical induced KB of Definition 7.
+        self.classical_kb: KnowledgeBase = transform_kb(kb4)
+        #: The classical reasoner all queries reduce to.
+        self.classical_reasoner = Reasoner(
+            self.classical_kb, max_nodes=max_nodes, max_branches=max_branches
+        )
+
+    # ------------------------------------------------------------------
+    # Satisfiability (Theorem 6)
+    # ------------------------------------------------------------------
+    def is_satisfiable(self) -> bool:
+        """Four-valued satisfiability of the KB4.
+
+        By Theorem 6 this equals classical satisfiability of the induced
+        KB.  Plain contradictions (``A(a)`` with ``not A(a)``) never make
+        a KB4 four-valued-unsatisfiable; genuine clashes (e.g. an
+        individual asserted into ``Bottom``) still can.
+        """
+        return self.classical_reasoner.is_consistent()
+
+    def concept_coherent(self, concept: Concept) -> bool:
+        """Whether some four-valued model gives the concept positive evidence."""
+        return self.classical_reasoner.is_satisfiable(pos_transform(concept))
+
+    def four_model(self):
+        """A verified finite four-valued model of the KB4, or ``None``.
+
+        Definition 9 in action: extract a classical model of the induced
+        KB from the tableau's completion graph and map it back through
+        the four-valued induced interpretation.  The result is checked
+        against the KB4 with the Table 2/3 evaluator before returning.
+        """
+        from ..semantics.four_interpretation import FourInterpretation
+        from .induced import four_induced
+
+        classical_model = self.classical_reasoner.model()
+        if classical_model is None:
+            return None
+        data_values = {
+            value
+            for pairs in classical_model.data_role_ext.values()
+            for (_element, value) in pairs
+        }
+        candidate = four_induced(classical_model, self.kb4, data_values)
+        if not candidate.is_model(self.kb4):
+            return None
+        return candidate
+
+    # ------------------------------------------------------------------
+    # Evidence queries (Examples 1-2)
+    # ------------------------------------------------------------------
+    def evidence_for(self, individual: Individual, concept: Concept) -> bool:
+        """``K |=4 a : C`` — every four-valued model puts ``a`` in ``proj+(C)``.
+
+        The paper's query "is there any information indicating ``a`` is a
+        ``C``?" (Example 1).
+        """
+        return self.classical_reasoner.is_instance(
+            individual, pos_transform(concept)
+        )
+
+    def evidence_against(self, individual: Individual, concept: Concept) -> bool:
+        """``K |=4 a : not C`` — every model puts ``a`` in ``proj-(C)``."""
+        return self.classical_reasoner.is_instance(
+            individual, neg_transform(concept)
+        )
+
+    def assertion_value(self, individual: Individual, concept: Concept) -> FourValue:
+        """The entailed Belnap status of ``C(a)``.
+
+        ``BOTH`` means the KB4 provably carries evidence in both
+        directions (a localised contradiction); ``NEITHER`` means neither
+        direction is entailed.
+        """
+        return from_evidence(
+            self.evidence_for(individual, concept),
+            self.evidence_against(individual, concept),
+        )
+
+    def role_evidence_for(
+        self, role, source: Individual, target: Individual
+    ) -> bool:
+        """Whether ``K |=4 R(a, b)`` (positive role evidence entailed)."""
+        return self.classical_reasoner.entails(
+            ax.RoleAssertion(positive_role(role), source, target)
+        )
+
+    def role_evidence_against(
+        self, role, source: Individual, target: Individual
+    ) -> bool:
+        """Whether ``K |=4 not R(a, b)`` (negative role evidence entailed).
+
+        By Definition 8, ``(a, b) in proj-(R)`` iff the pair lies outside
+        the classical ``R=`` half, i.e. the induced KB entails the negative
+        assertion on ``R=``.
+        """
+        return self.classical_reasoner.entails(
+            ax.NegativeRoleAssertion(eq_role(role), source, target)
+        )
+
+    def role_value(
+        self, role, source: Individual, target: Individual
+    ) -> FourValue:
+        """The entailed Belnap status of ``R(a, b)``."""
+        return from_evidence(
+            self.role_evidence_for(role, source, target),
+            self.role_evidence_against(role, source, target),
+        )
+
+    # ------------------------------------------------------------------
+    # Inclusion entailment (Corollary 7)
+    # ------------------------------------------------------------------
+    def entails_inclusion(self, inclusion: ConceptInclusion4) -> bool:
+        """Whether the KB4 four-valuedly entails a concept inclusion.
+
+        Implemented by Corollary 7's reductions to concept
+        unsatisfiability in the induced KB.
+        """
+        sub, sup = inclusion.sub, inclusion.sup
+        if inclusion.kind is InclusionKind.MATERIAL:
+            probe = And.of(Not(neg_transform(sub)), Not(pos_transform(sup)))
+            return not self.classical_reasoner.is_satisfiable(probe)
+        if inclusion.kind is InclusionKind.INTERNAL:
+            probe = And.of(pos_transform(sub), Not(pos_transform(sup)))
+            return not self.classical_reasoner.is_satisfiable(probe)
+        first = And.of(pos_transform(sub), Not(pos_transform(sup)))
+        second = And.of(neg_transform(sup), Not(neg_transform(sub)))
+        return not self.classical_reasoner.is_satisfiable(
+            first
+        ) and not self.classical_reasoner.is_satisfiable(second)
+
+    def entails_role_inclusion(self, inclusion: RoleInclusion4) -> bool:
+        """Whether the KB4 entails a role inclusion of the given kind."""
+        if inclusion.kind is InclusionKind.MATERIAL:
+            return self.classical_reasoner.entails(
+                ax.RoleInclusion(eq_role(inclusion.sub), positive_role(inclusion.sup))
+            )
+        if inclusion.kind is InclusionKind.INTERNAL:
+            return self.classical_reasoner.entails(
+                ax.RoleInclusion(
+                    positive_role(inclusion.sub), positive_role(inclusion.sup)
+                )
+            )
+        return self.classical_reasoner.entails(
+            ax.RoleInclusion(
+                positive_role(inclusion.sub), positive_role(inclusion.sup)
+            )
+        ) and self.classical_reasoner.entails(
+            ax.RoleInclusion(eq_role(inclusion.sub), eq_role(inclusion.sup))
+        )
+
+    def entails(self, axiom: object) -> bool:
+        """Four-valued entailment of an inclusion or an ABox assertion."""
+        if isinstance(axiom, ConceptInclusion4):
+            return self.entails_inclusion(axiom)
+        if isinstance(axiom, RoleInclusion4):
+            return self.entails_role_inclusion(axiom)
+        if isinstance(axiom, ax.ConceptAssertion):
+            return self.evidence_for(axiom.individual, axiom.concept)
+        if isinstance(axiom, ax.RoleAssertion):
+            return self.role_evidence_for(axiom.role, axiom.source, axiom.target)
+        if isinstance(axiom, ax.NegativeRoleAssertion):
+            return self.role_evidence_against(
+                axiom.role, axiom.source, axiom.target
+            )
+        raise NotImplementedError(f"4-valued entailment of {type(axiom).__name__}")
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    def classify(
+        self, kind: InclusionKind = InclusionKind.INTERNAL
+    ) -> Dict[AtomicConcept, FrozenSet[AtomicConcept]]:
+        """The atomic concept hierarchy under one inclusion strength.
+
+        Maps each atomic concept to its entailed subsumers under the
+        chosen inclusion kind (internal by default: the positive-evidence
+        taxonomy).  Unlike classical classification, this stays
+        informative on inconsistent ontologies.
+        """
+        atoms = sorted(self.kb4.concepts_in_signature(), key=lambda a: a.name)
+        hierarchy: Dict[AtomicConcept, FrozenSet[AtomicConcept]] = {}
+        for sub in atoms:
+            hierarchy[sub] = frozenset(
+                sup
+                for sup in atoms
+                if self.entails_inclusion(ConceptInclusion4(sub, sup, kind))
+            )
+        return hierarchy
+
+    # ------------------------------------------------------------------
+    # Survey helpers
+    # ------------------------------------------------------------------
+    def individual_report(
+        self, individual: Individual, concepts: Optional[Iterable[Concept]] = None
+    ) -> Dict[Concept, FourValue]:
+        """The entailed Belnap status of each concept for one individual."""
+        if concepts is None:
+            concepts = sorted(self.kb4.concepts_in_signature(), key=lambda c: c.name)
+        return {
+            concept: self.assertion_value(individual, concept)
+            for concept in concepts
+        }
+
+    def contradictory_facts(self) -> Dict[Individual, FrozenSet[AtomicConcept]]:
+        """The localised contradictions: who is provably BOTH in what.
+
+        This is the diagnostic the paper motivates — instead of the whole
+        KB trivialising, the conflict set is pinpointed per individual.
+        """
+        report: Dict[Individual, FrozenSet[AtomicConcept]] = {}
+        for individual in sorted(self.kb4.individuals_in_signature()):
+            both = frozenset(
+                concept
+                for concept in self.kb4.concepts_in_signature()
+                if self.assertion_value(individual, concept) is FourValue.BOTH
+            )
+            if both:
+                report[individual] = both
+        return report

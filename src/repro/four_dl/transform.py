@@ -1,0 +1,312 @@
+"""The SHOIN(D)4 -> SHOIN(D) transformation (paper Definitions 5-7).
+
+The signature is doubled: every atomic concept ``A`` yields the two
+classical concepts ``A+`` (evidence for) and ``A-`` (evidence against);
+every role ``R`` yields ``R+`` (positive evidence) and ``R=`` (the
+*complement* of the negative evidence, Definition 8).  Two mutually
+recursive concept transformations implement Definition 5:
+
+* :func:`pos_transform` computes the overline of ``C`` — the classical
+  concept whose extension is ``proj+(C^I)``;
+* :func:`neg_transform` computes the overline of ``not C`` — the
+  classical concept whose extension is ``proj-(C^I)``.
+
+:func:`transform_kb` applies Definition 6 axiom-by-axiom, producing the
+*classical induced KB* of Definition 7, on which any classical reasoner
+decides the four-valued problems (Theorem 6, Corollary 7).  The
+transformation is linear in the size of the input (each input node is
+visited once and emits O(1) output nodes) — the paper's "polynomial time"
+claim, measured in ``benchmarks/test_bench_transform_scaling.py``.
+
+Design notes (see DESIGN.md):
+
+* Definition 5 omits ``not Top``/``not Bottom``; Proposition 4 forces
+  ``neg(Top) = Bottom`` and ``neg(Bottom) = Top``.
+* Definition 5 omits negated nominals.  Our Table 2 evaluator fixes the
+  (otherwise unconstrained) negative part of a nominal to the empty set,
+  so ``neg({o...}) = Bottom`` keeps the model correspondence exact.
+* Individuals keep their names (Definition 6 renames ``a`` to ``a-bar``;
+  the renaming is a formality that buys nothing in code).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Union
+
+from ..dl import axioms as ax
+from ..dl.concepts import (
+    BOTTOM,
+    TOP,
+    And,
+    AtLeast,
+    AtMost,
+    AtomicConcept,
+    Bottom,
+    Concept,
+    DataAtLeast,
+    DataAtMost,
+    DataExists,
+    DataForall,
+    Exists,
+    Forall,
+    Not,
+    OneOf,
+    Or,
+    QualifiedAtLeast,
+    QualifiedAtMost,
+    Top,
+)
+from ..dl.kb import KnowledgeBase
+from ..dl.roles import AtomicRole, DatatypeRole, InverseRole, ObjectRole
+from .axioms4 import (
+    ConceptInclusion4,
+    DatatypeRoleInclusion4,
+    InclusionKind,
+    KnowledgeBase4,
+    RoleInclusion4,
+    Transitivity4,
+)
+
+POSITIVE_SUFFIX = "__pos"
+NEGATIVE_SUFFIX = "__neg"
+EQ_SUFFIX = "__eq"
+
+
+# ---------------------------------------------------------------------------
+# Signature doubling
+# ---------------------------------------------------------------------------
+
+def positive_concept(concept: AtomicConcept) -> AtomicConcept:
+    """``A+``: the classical concept naming ``proj+(A)``."""
+    return AtomicConcept(concept.name + POSITIVE_SUFFIX)
+
+def negative_concept(concept: AtomicConcept) -> AtomicConcept:
+    """``A-``: the classical concept naming ``proj-(A)``."""
+    return AtomicConcept(concept.name + NEGATIVE_SUFFIX)
+
+def positive_role(role: ObjectRole) -> ObjectRole:
+    """``R+``; Definition 5 (19): ``(R-)+ = (R+)-``."""
+    if isinstance(role, InverseRole):
+        return positive_role(role.role).inverse()
+    return AtomicRole(role.name + POSITIVE_SUFFIX)
+
+def eq_role(role: ObjectRole) -> ObjectRole:
+    """``R=`` (complement of negative evidence); ``(R-)= = (R=)-``."""
+    if isinstance(role, InverseRole):
+        return eq_role(role.role).inverse()
+    return AtomicRole(role.name + EQ_SUFFIX)
+
+def positive_data_role(role: DatatypeRole) -> DatatypeRole:
+    """``U+`` for a datatype role."""
+    return DatatypeRole(role.name + POSITIVE_SUFFIX)
+
+def eq_data_role(role: DatatypeRole) -> DatatypeRole:
+    """``U=`` for a datatype role."""
+    return DatatypeRole(role.name + EQ_SUFFIX)
+
+
+def base_name(name: str) -> str:
+    """Strip a transformation suffix off a generated name."""
+    for suffix in (POSITIVE_SUFFIX, NEGATIVE_SUFFIX, EQ_SUFFIX):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+# ---------------------------------------------------------------------------
+# Concept transformation (Definition 5)
+# ---------------------------------------------------------------------------
+
+def pos_transform(concept: Concept) -> Concept:
+    """The overline of ``C``: classical extension equals ``proj+(C^I)``."""
+    if isinstance(concept, AtomicConcept):
+        return positive_concept(concept)
+    if isinstance(concept, Top):
+        return TOP
+    if isinstance(concept, Bottom):
+        return BOTTOM
+    if isinstance(concept, Not):
+        return neg_transform(concept.operand)
+    if isinstance(concept, And):
+        return And.of(*(pos_transform(c) for c in concept.operands))
+    if isinstance(concept, Or):
+        return Or.of(*(pos_transform(c) for c in concept.operands))
+    if isinstance(concept, Exists):
+        return Exists(positive_role(concept.role), pos_transform(concept.filler))
+    if isinstance(concept, Forall):
+        return Forall(positive_role(concept.role), pos_transform(concept.filler))
+    if isinstance(concept, AtLeast):
+        return AtLeast(concept.n, positive_role(concept.role))
+    if isinstance(concept, AtMost):
+        return AtMost(concept.n, eq_role(concept.role))
+    if isinstance(concept, OneOf):
+        return concept
+    if isinstance(concept, QualifiedAtLeast):
+        # SHOIQ extension of Definition 5 clause (9): count positive role
+        # evidence toward positively-supported fillers.
+        return QualifiedAtLeast(
+            concept.n, positive_role(concept.role), pos_transform(concept.filler)
+        )
+    if isinstance(concept, QualifiedAtMost):
+        # Extension of clause (10): count the pairs not excluded by
+        # negative role evidence toward fillers not negatively supported.
+        return QualifiedAtMost(
+            concept.n, eq_role(concept.role), Not(neg_transform(concept.filler))
+        )
+    if isinstance(concept, DataExists):
+        return DataExists(positive_data_role(concept.role), concept.range)
+    if isinstance(concept, DataForall):
+        return DataForall(positive_data_role(concept.role), concept.range)
+    if isinstance(concept, DataAtLeast):
+        return DataAtLeast(concept.n, positive_data_role(concept.role))
+    if isinstance(concept, DataAtMost):
+        return DataAtMost(concept.n, eq_data_role(concept.role))
+    raise TypeError(f"unknown concept kind: {concept!r}")
+
+
+def neg_transform(concept: Concept) -> Concept:
+    """The overline of ``not C``: classical extension equals ``proj-(C^I)``."""
+    if isinstance(concept, AtomicConcept):
+        return negative_concept(concept)
+    if isinstance(concept, Top):
+        return BOTTOM
+    if isinstance(concept, Bottom):
+        return TOP
+    if isinstance(concept, Not):
+        return pos_transform(concept.operand)
+    if isinstance(concept, And):
+        return Or.of(*(neg_transform(c) for c in concept.operands))
+    if isinstance(concept, Or):
+        return And.of(*(neg_transform(c) for c in concept.operands))
+    if isinstance(concept, Exists):
+        return Forall(positive_role(concept.role), neg_transform(concept.filler))
+    if isinstance(concept, Forall):
+        return Exists(positive_role(concept.role), neg_transform(concept.filler))
+    if isinstance(concept, AtLeast):
+        if concept.n == 0:
+            return BOTTOM
+        return AtMost(concept.n - 1, eq_role(concept.role))
+    if isinstance(concept, AtMost):
+        return AtLeast(concept.n + 1, positive_role(concept.role))
+    if isinstance(concept, OneOf):
+        # The Table 2 evaluator fixes a nominal's negative part to {}.
+        return BOTTOM
+    if isinstance(concept, QualifiedAtLeast):
+        # Extension of clause (16).
+        if concept.n == 0:
+            return BOTTOM
+        return QualifiedAtMost(
+            concept.n - 1,
+            eq_role(concept.role),
+            Not(neg_transform(concept.filler)),
+        )
+    if isinstance(concept, QualifiedAtMost):
+        # Extension of clause (17).
+        return QualifiedAtLeast(
+            concept.n + 1,
+            positive_role(concept.role),
+            pos_transform(concept.filler),
+        )
+    if isinstance(concept, DataExists):
+        return DataForall(positive_data_role(concept.role), concept.range.negate())
+    if isinstance(concept, DataForall):
+        return DataExists(positive_data_role(concept.role), concept.range.negate())
+    if isinstance(concept, DataAtLeast):
+        if concept.n == 0:
+            return BOTTOM
+        return DataAtMost(concept.n - 1, eq_data_role(concept.role))
+    if isinstance(concept, DataAtMost):
+        return DataAtLeast(concept.n + 1, positive_data_role(concept.role))
+    raise TypeError(f"unknown concept kind: {concept!r}")
+
+
+# ---------------------------------------------------------------------------
+# Axiom transformation (Definition 6)
+# ---------------------------------------------------------------------------
+
+Axiom4OrAssertion = Union[
+    ConceptInclusion4,
+    RoleInclusion4,
+    DatatypeRoleInclusion4,
+    Transitivity4,
+    ax.ABoxAxiom,
+]
+
+
+def transform_axiom(axiom: Axiom4OrAssertion) -> Iterator[ax.Axiom]:
+    """The classical axioms induced by one SHOIN(D)4 axiom."""
+    if isinstance(axiom, ConceptInclusion4):
+        if axiom.kind is InclusionKind.MATERIAL:
+            yield ax.ConceptInclusion(
+                Not(neg_transform(axiom.sub)), pos_transform(axiom.sup)
+            )
+        elif axiom.kind is InclusionKind.INTERNAL:
+            yield ax.ConceptInclusion(
+                pos_transform(axiom.sub), pos_transform(axiom.sup)
+            )
+        else:
+            yield ax.ConceptInclusion(
+                pos_transform(axiom.sub), pos_transform(axiom.sup)
+            )
+            yield ax.ConceptInclusion(
+                neg_transform(axiom.sup), neg_transform(axiom.sub)
+            )
+    elif isinstance(axiom, RoleInclusion4):
+        if axiom.kind is InclusionKind.MATERIAL:
+            yield ax.RoleInclusion(eq_role(axiom.sub), positive_role(axiom.sup))
+        elif axiom.kind is InclusionKind.INTERNAL:
+            yield ax.RoleInclusion(
+                positive_role(axiom.sub), positive_role(axiom.sup)
+            )
+        else:
+            yield ax.RoleInclusion(
+                positive_role(axiom.sub), positive_role(axiom.sup)
+            )
+            yield ax.RoleInclusion(eq_role(axiom.sub), eq_role(axiom.sup))
+    elif isinstance(axiom, DatatypeRoleInclusion4):
+        if axiom.kind is InclusionKind.MATERIAL:
+            yield ax.DatatypeRoleInclusion(
+                eq_data_role(axiom.sub), positive_data_role(axiom.sup)
+            )
+        elif axiom.kind is InclusionKind.INTERNAL:
+            yield ax.DatatypeRoleInclusion(
+                positive_data_role(axiom.sub), positive_data_role(axiom.sup)
+            )
+        else:
+            yield ax.DatatypeRoleInclusion(
+                positive_data_role(axiom.sub), positive_data_role(axiom.sup)
+            )
+            yield ax.DatatypeRoleInclusion(
+                eq_data_role(axiom.sub), eq_data_role(axiom.sup)
+            )
+    elif isinstance(axiom, Transitivity4):
+        named = positive_role(axiom.role)
+        assert isinstance(named, AtomicRole)
+        yield ax.Transitivity(named)
+    elif isinstance(axiom, ax.ConceptAssertion):
+        yield ax.ConceptAssertion(axiom.individual, pos_transform(axiom.concept))
+    elif isinstance(axiom, ax.RoleAssertion):
+        yield ax.RoleAssertion(
+            positive_role(axiom.role), axiom.source, axiom.target
+        )
+    elif isinstance(axiom, ax.NegativeRoleAssertion):
+        # (a, b) in proj-(R)  <=>  (a, b) outside the classical R= half.
+        yield ax.NegativeRoleAssertion(
+            eq_role(axiom.role), axiom.source, axiom.target
+        )
+    elif isinstance(axiom, ax.DataAssertion):
+        yield ax.DataAssertion(
+            positive_data_role(axiom.role), axiom.source, axiom.value
+        )
+    elif isinstance(axiom, (ax.SameIndividual, ax.DifferentIndividuals)):
+        yield axiom
+    else:
+        raise TypeError(f"not a SHOIN(D)4 axiom: {axiom!r}")
+
+
+def transform_kb(kb4: KnowledgeBase4) -> KnowledgeBase:
+    """The classical induced KB of Definition 7."""
+    classical = KnowledgeBase()
+    for axiom in kb4.axioms():
+        classical.add(*transform_axiom(axiom))
+    return classical

@@ -1,0 +1,134 @@
+"""Bilattice of evidence pairs ``<P, N>`` over a domain (paper Section 2.2).
+
+For a fixed domain, the pairs ``<P, N>`` of subsets of the domain form a
+bilattice: ``P`` collects the elements with evidence *for* a property and
+``N`` the elements with evidence *against* it.  The paper's Definition 1
+introduces the positive/negative projection operators; the truth-order
+meet/join and negation are exactly the operations the four-valued concept
+semantics of Table 2 is built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, FrozenSet, Hashable, Iterable, Tuple
+
+from .truth import FourValue, from_evidence
+
+Element = Hashable
+
+
+@dataclass(frozen=True)
+class BilatticePair:
+    """An evidence pair ``<P, N>`` of frozensets over some domain.
+
+    No relationship between ``P`` and ``N`` is required: overlap encodes
+    contradictory evidence, gaps encode missing information.
+    """
+
+    positive: FrozenSet[Element]
+    negative: FrozenSet[Element]
+
+    @staticmethod
+    def of(positive: Iterable[Element], negative: Iterable[Element]) -> "BilatticePair":
+        """Build a pair from arbitrary iterables."""
+        return BilatticePair(frozenset(positive), frozenset(negative))
+
+    @staticmethod
+    def classical(positive: Iterable[Element], domain: Iterable[Element]) -> "BilatticePair":
+        """Embed a classical extension: ``N`` is the domain complement of ``P``."""
+        pos = frozenset(positive)
+        return BilatticePair(pos, frozenset(domain) - pos)
+
+    # ------------------------------------------------------------------
+    # Definition 1: projections
+    # ------------------------------------------------------------------
+    def proj_positive(self) -> FrozenSet[Element]:
+        """``proj+(<P, N>) = P``."""
+        return self.positive
+
+    def proj_negative(self) -> FrozenSet[Element]:
+        """``proj-(<P, N>) = N``."""
+        return self.negative
+
+    # ------------------------------------------------------------------
+    # Truth-order operations
+    # ------------------------------------------------------------------
+    def negate(self) -> "BilatticePair":
+        """``~<P, N> = <N, P>``."""
+        return BilatticePair(self.negative, self.positive)
+
+    def __invert__(self) -> "BilatticePair":
+        return self.negate()
+
+    def meet_t(self, other: "BilatticePair") -> "BilatticePair":
+        """Truth-order lower bound: ``<P1 & P2, N1 | N2>``."""
+        return BilatticePair(
+            self.positive & other.positive, self.negative | other.negative
+        )
+
+    def __and__(self, other: "BilatticePair") -> "BilatticePair":
+        return self.meet_t(other)
+
+    def join_t(self, other: "BilatticePair") -> "BilatticePair":
+        """Truth-order upper bound: ``<P1 | P2, N1 & N2>``."""
+        return BilatticePair(
+            self.positive | other.positive, self.negative & other.negative
+        )
+
+    def __or__(self, other: "BilatticePair") -> "BilatticePair":
+        return self.join_t(other)
+
+    # ------------------------------------------------------------------
+    # Knowledge-order operations
+    # ------------------------------------------------------------------
+    def meet_k(self, other: "BilatticePair") -> "BilatticePair":
+        """Knowledge-order lower bound (consensus)."""
+        return BilatticePair(
+            self.positive & other.positive, self.negative & other.negative
+        )
+
+    def join_k(self, other: "BilatticePair") -> "BilatticePair":
+        """Knowledge-order upper bound (accept all evidence)."""
+        return BilatticePair(
+            self.positive | other.positive, self.negative | other.negative
+        )
+
+    def truth_leq(self, other: "BilatticePair") -> bool:
+        """``<=_t``: more truth evidence and less falsity evidence."""
+        return self.positive <= other.positive and other.negative <= self.negative
+
+    def knowledge_leq(self, other: "BilatticePair") -> bool:
+        """``<=_k``: less total evidence."""
+        return self.positive <= other.positive and self.negative <= other.negative
+
+    # ------------------------------------------------------------------
+    # Pointwise truth value (paper Definition 3)
+    # ------------------------------------------------------------------
+    def value_of(self, element: Element) -> FourValue:
+        """The four-valued membership status of one domain element."""
+        return from_evidence(element in self.positive, element in self.negative)
+
+    def is_classical_over(self, domain: AbstractSet[Element]) -> bool:
+        """Whether the pair satisfies the classical constraints over ``domain``.
+
+        Classical means ``P`` and ``N`` partition the domain: no overlap
+        (no contradictions) and no gap (no missing information).
+        """
+        return not (self.positive & self.negative) and (
+            self.positive | self.negative
+        ) >= frozenset(domain)
+
+    def as_tuple(self) -> Tuple[FrozenSet[Element], FrozenSet[Element]]:
+        """The underlying ``(P, N)`` pair."""
+        return (self.positive, self.negative)
+
+
+def top(domain: Iterable[Element]) -> BilatticePair:
+    """The interpretation of the top concept: ``<Domain, {}>``."""
+    return BilatticePair(frozenset(domain), frozenset())
+
+
+def bottom(domain: Iterable[Element]) -> BilatticePair:
+    """The interpretation of the bottom concept: ``<{}, Domain>``."""
+    return BilatticePair(frozenset(), frozenset(domain))

@@ -1,0 +1,242 @@
+"""Propositional four-valued logic over FOUR (paper Section 2.2).
+
+Provides a formula AST with Belnap negation/conjunction/disjunction and the
+three implications (material, internal, strong), valuations mapping atoms to
+:class:`~repro.fourvalued.truth.FourValue`, and the four-valued consequence
+relation ``|=4``: every valuation that designates all premises designates the
+conclusion.  Consequence is decided by exhaustive valuation enumeration,
+which is exact (the logic has no quantifiers).
+
+This module backs the paper's Propositions 1 and 2 and the counterexamples
+distinguishing the three implications.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Tuple
+
+from .truth import ALL_VALUES, FourValue
+
+Valuation = Mapping[str, FourValue]
+
+
+class Formula:
+    """Base class for propositional four-valued formulas."""
+
+    def atoms(self) -> FrozenSet[str]:
+        """The set of atom names occurring in the formula."""
+        raise NotImplementedError
+
+    def evaluate(self, valuation: Valuation) -> FourValue:
+        """The truth value of the formula under ``valuation``."""
+        raise NotImplementedError
+
+    # Convenient constructors -------------------------------------------------
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def material(self, other: "Formula") -> "Formula":
+        """``self |-> other``."""
+        return MaterialImplies(self, other)
+
+    def internal(self, other: "Formula") -> "Formula":
+        """``self > other``."""
+        return InternalImplies(self, other)
+
+    def strong(self, other: "Formula") -> "Formula":
+        """``self -> other``."""
+        return StrongImplies(self, other)
+
+    def iff(self, other: "Formula") -> "Formula":
+        """Strong equivalence ``self <-> other``."""
+        return And(StrongImplies(self, other), StrongImplies(other, self))
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """A propositional atom."""
+
+    name: str
+
+    def atoms(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def evaluate(self, valuation: Valuation) -> FourValue:
+        return valuation[self.name]
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Belnap negation."""
+
+    operand: Formula
+
+    def atoms(self) -> FrozenSet[str]:
+        return self.operand.atoms()
+
+    def evaluate(self, valuation: Valuation) -> FourValue:
+        return self.operand.evaluate(valuation).negate()
+
+    def __repr__(self) -> str:
+        return f"~{self.operand!r}"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Truth-order meet."""
+
+    left: Formula
+    right: Formula
+
+    def atoms(self) -> FrozenSet[str]:
+        return self.left.atoms() | self.right.atoms()
+
+    def evaluate(self, valuation: Valuation) -> FourValue:
+        return self.left.evaluate(valuation).conj(self.right.evaluate(valuation))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} & {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """Truth-order join."""
+
+    left: Formula
+    right: Formula
+
+    def atoms(self) -> FrozenSet[str]:
+        return self.left.atoms() | self.right.atoms()
+
+    def evaluate(self, valuation: Valuation) -> FourValue:
+        return self.left.evaluate(valuation).disj(self.right.evaluate(valuation))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} | {self.right!r})"
+
+
+@dataclass(frozen=True)
+class MaterialImplies(Formula):
+    """Material implication ``|->``, definable as ``~phi | psi``."""
+
+    antecedent: Formula
+    consequent: Formula
+
+    def atoms(self) -> FrozenSet[str]:
+        return self.antecedent.atoms() | self.consequent.atoms()
+
+    def evaluate(self, valuation: Valuation) -> FourValue:
+        return self.antecedent.evaluate(valuation).material_implies(
+            self.consequent.evaluate(valuation)
+        )
+
+    def __repr__(self) -> str:
+        return f"({self.antecedent!r} |-> {self.consequent!r})"
+
+
+@dataclass(frozen=True)
+class InternalImplies(Formula):
+    """Internal implication ``>`` (the residuum-style implication of FOUR)."""
+
+    antecedent: Formula
+    consequent: Formula
+
+    def atoms(self) -> FrozenSet[str]:
+        return self.antecedent.atoms() | self.consequent.atoms()
+
+    def evaluate(self, valuation: Valuation) -> FourValue:
+        return self.antecedent.evaluate(valuation).internal_implies(
+            self.consequent.evaluate(valuation)
+        )
+
+    def __repr__(self) -> str:
+        return f"({self.antecedent!r} > {self.consequent!r})"
+
+
+@dataclass(frozen=True)
+class StrongImplies(Formula):
+    """Strong implication ``->``, contraposable by construction."""
+
+    antecedent: Formula
+    consequent: Formula
+
+    def atoms(self) -> FrozenSet[str]:
+        return self.antecedent.atoms() | self.consequent.atoms()
+
+    def evaluate(self, valuation: Valuation) -> FourValue:
+        return self.antecedent.evaluate(valuation).strong_implies(
+            self.consequent.evaluate(valuation)
+        )
+
+    def __repr__(self) -> str:
+        return f"({self.antecedent!r} -> {self.consequent!r})"
+
+
+def valuations(atom_names: Iterable[str]) -> Iterator[Dict[str, FourValue]]:
+    """All valuations of the given atoms (``4**n`` of them)."""
+    names = sorted(set(atom_names))
+    for combo in itertools.product(ALL_VALUES, repeat=len(names)):
+        yield dict(zip(names, combo))
+
+
+def entails(premises: Iterable[Formula], conclusion: Formula) -> bool:
+    """The four-valued consequence relation ``premises |=4 conclusion``.
+
+    Holds iff every valuation designating all premises also designates
+    the conclusion.  Decided exactly by enumerating all valuations of the
+    atoms occurring in the sequent.
+    """
+    premises = tuple(premises)
+    names: FrozenSet[str] = conclusion.atoms()
+    for premise in premises:
+        names |= premise.atoms()
+    for valuation in valuations(names):
+        if all(p.evaluate(valuation).is_designated for p in premises):
+            if not conclusion.evaluate(valuation).is_designated:
+                return False
+    return True
+
+
+def multi_entails(
+    premises: Iterable[Formula], conclusions: Iterable[Formula]
+) -> bool:
+    """Multiple-conclusion consequence: some conclusion is designated.
+
+    ``Gamma |=4 Delta`` holds iff every valuation designating all of
+    ``Gamma`` designates at least one member of ``Delta``.  This is the
+    sequent form used in the paper's Proposition 1.
+    """
+    premises = tuple(premises)
+    conclusions = tuple(conclusions)
+    names: FrozenSet[str] = frozenset()
+    for formula in premises + conclusions:
+        names |= formula.atoms()
+    for valuation in valuations(names):
+        if all(p.evaluate(valuation).is_designated for p in premises):
+            if not any(c.evaluate(valuation).is_designated for c in conclusions):
+                return False
+    return True
+
+
+def equivalent(left: Formula, right: Formula) -> bool:
+    """Whether two formulas take the same value under every valuation."""
+    names = left.atoms() | right.atoms()
+    return all(
+        left.evaluate(v) == right.evaluate(v) for v in valuations(names)
+    )
+
+
+def tautology(formula: Formula) -> bool:
+    """Whether the formula is designated under every valuation."""
+    return entails((), formula)

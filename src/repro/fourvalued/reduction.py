@@ -1,0 +1,308 @@
+"""Propositional four-valued reasoning by reduction to classical logic.
+
+The paper's Section 5 credits Arieli & Denecker (refs [15]-[17]) with the
+formula-transformation technique it lifts to description logics.  This
+module implements that propositional original, mirroring Definitions 5-7
+one level down:
+
+* every atom ``p`` splits into two classical atoms ``p+`` (evidence for)
+  and ``p-`` (evidence against);
+* :func:`pos_encode` / :func:`neg_encode` translate a four-valued
+  formula into the classical formulas asserting its truth / falsity
+  evidence;
+* ``Gamma |=4 phi`` reduces to classical UNSAT of
+  ``{pos_encode(g) : g in Gamma} + {not pos_encode(phi)}``, decided by a
+  small built-in DPLL SAT solver.
+
+The truth-table engine of :mod:`repro.fourvalued.propositional` is the
+independent reference; the property tests check the two agree on random
+sequents, the propositional analogue of the repo-wide Theorem 6 checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from .propositional import (
+    And,
+    Atom,
+    Formula,
+    InternalImplies,
+    MaterialImplies,
+    Not,
+    Or,
+    StrongImplies,
+)
+
+
+# ---------------------------------------------------------------------------
+# Classical propositional formulas (the reduction target)
+# ---------------------------------------------------------------------------
+
+class Classical:
+    """Base class of classical propositional formulas."""
+
+
+@dataclass(frozen=True)
+class CAtom(Classical):
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class CNot(Classical):
+    operand: Classical
+
+    def __repr__(self) -> str:
+        return f"~{self.operand!r}"
+
+
+@dataclass(frozen=True)
+class CAnd(Classical):
+    left: Classical
+    right: Classical
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} & {self.right!r})"
+
+
+@dataclass(frozen=True)
+class COr(Classical):
+    left: Classical
+    right: Classical
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} | {self.right!r})"
+
+
+@dataclass(frozen=True)
+class CTrue(Classical):
+    def __repr__(self) -> str:
+        return "T"
+
+
+@dataclass(frozen=True)
+class CFalse(Classical):
+    def __repr__(self) -> str:
+        return "F"
+
+
+def positive_atom(name: str) -> CAtom:
+    """The classical atom asserting evidence *for* ``name``."""
+    return CAtom(name + "+")
+
+
+def negative_atom(name: str) -> CAtom:
+    """The classical atom asserting evidence *against* ``name``."""
+    return CAtom(name + "-")
+
+
+# ---------------------------------------------------------------------------
+# The encoding (propositional Definition 5)
+# ---------------------------------------------------------------------------
+
+def pos_encode(formula: Formula) -> Classical:
+    """Classical formula equivalent to "``formula`` has truth evidence".
+
+    ``v(formula)`` is designated under a four-valued valuation iff the
+    corresponding doubled-atom classical valuation satisfies
+    ``pos_encode(formula)``.
+    """
+    if isinstance(formula, Atom):
+        return positive_atom(formula.name)
+    if isinstance(formula, Not):
+        return neg_encode(formula.operand)
+    if isinstance(formula, And):
+        return CAnd(pos_encode(formula.left), pos_encode(formula.right))
+    if isinstance(formula, Or):
+        return COr(pos_encode(formula.left), pos_encode(formula.right))
+    if isinstance(formula, MaterialImplies):
+        # ~phi v psi, evidence-for = neg(phi) v pos(psi).
+        return COr(neg_encode(formula.antecedent), pos_encode(formula.consequent))
+    if isinstance(formula, InternalImplies):
+        # Designated iff antecedent designated implies consequent designated.
+        return COr(
+            CNot(pos_encode(formula.antecedent)),
+            pos_encode(formula.consequent),
+        )
+    if isinstance(formula, StrongImplies):
+        forward = COr(
+            CNot(pos_encode(formula.antecedent)),
+            pos_encode(formula.consequent),
+        )
+        backward = COr(
+            CNot(neg_encode(formula.consequent)),
+            neg_encode(formula.antecedent),
+        )
+        return CAnd(forward, backward)
+    raise TypeError(f"unknown formula kind: {formula!r}")
+
+
+def neg_encode(formula: Formula) -> Classical:
+    """Classical formula equivalent to "``formula`` has falsity evidence"."""
+    if isinstance(formula, Atom):
+        return negative_atom(formula.name)
+    if isinstance(formula, Not):
+        return pos_encode(formula.operand)
+    if isinstance(formula, And):
+        return COr(neg_encode(formula.left), neg_encode(formula.right))
+    if isinstance(formula, Or):
+        return CAnd(neg_encode(formula.left), neg_encode(formula.right))
+    if isinstance(formula, MaterialImplies):
+        return CAnd(pos_encode(formula.antecedent), neg_encode(formula.consequent))
+    if isinstance(formula, InternalImplies):
+        # v(phi > psi) = psi when phi designated, t otherwise: falsity
+        # evidence iff phi designated and psi has falsity evidence.
+        return CAnd(pos_encode(formula.antecedent), neg_encode(formula.consequent))
+    if isinstance(formula, StrongImplies):
+        # v(phi -> psi) = (phi > psi) & (~psi > ~phi): falsity evidence of
+        # a conjunction is falsity of either conjunct.
+        first = CAnd(pos_encode(formula.antecedent), neg_encode(formula.consequent))
+        second = CAnd(
+            neg_encode(formula.consequent), pos_encode(formula.antecedent)
+        )
+        return COr(first, second)
+    raise TypeError(f"unknown formula kind: {formula!r}")
+
+
+# ---------------------------------------------------------------------------
+# CNF + DPLL
+# ---------------------------------------------------------------------------
+
+Literal = Tuple[str, bool]
+Clause = FrozenSet[Literal]
+
+
+def _to_nnf(formula: Classical, polarity: bool = True) -> Classical:
+    if isinstance(formula, CAtom):
+        return formula if polarity else CNot(formula)
+    if isinstance(formula, CTrue):
+        return formula if polarity else CFalse()
+    if isinstance(formula, CFalse):
+        return formula if polarity else CTrue()
+    if isinstance(formula, CNot):
+        return _to_nnf(formula.operand, not polarity)
+    if isinstance(formula, CAnd):
+        builder = CAnd if polarity else COr
+        return builder(
+            _to_nnf(formula.left, polarity), _to_nnf(formula.right, polarity)
+        )
+    if isinstance(formula, COr):
+        builder = COr if polarity else CAnd
+        return builder(
+            _to_nnf(formula.left, polarity), _to_nnf(formula.right, polarity)
+        )
+    raise TypeError(f"unknown classical formula: {formula!r}")
+
+
+def _cnf_clauses(formula: Classical) -> List[Set[Literal]]:
+    """Clauses of an NNF formula (distribution-based; inputs are small)."""
+    if isinstance(formula, CTrue):
+        return []
+    if isinstance(formula, CFalse):
+        return [set()]
+    if isinstance(formula, CAtom):
+        return [{(formula.name, True)}]
+    if isinstance(formula, CNot):
+        assert isinstance(formula.operand, CAtom)
+        return [{(formula.operand.name, False)}]
+    if isinstance(formula, CAnd):
+        return _cnf_clauses(formula.left) + _cnf_clauses(formula.right)
+    if isinstance(formula, COr):
+        left = _cnf_clauses(formula.left)
+        right = _cnf_clauses(formula.right)
+        if not left or not right:
+            return []
+        return [lc | rc for lc in left for rc in right]
+    raise TypeError(f"unknown classical formula: {formula!r}")
+
+
+def to_cnf(formulas: Iterable[Classical]) -> List[Clause]:
+    """CNF of a conjunction of classical formulas."""
+    clauses: List[Clause] = []
+    for formula in formulas:
+        for clause in _cnf_clauses(_to_nnf(formula)):
+            clauses.append(frozenset(clause))
+    return clauses
+
+
+def dpll(clauses: List[Clause]) -> Optional[Dict[str, bool]]:
+    """A satisfying assignment for CNF clauses, or ``None``.
+
+    Unit propagation + pure-literal elimination + first-atom splitting —
+    entirely sufficient for the doubled-atom encodings this module emits.
+    """
+    assignment: Dict[str, bool] = {}
+    working = [set(clause) for clause in clauses]
+
+    def simplify(name: str, value: bool) -> Optional[List[Set[Literal]]]:
+        next_clauses: List[Set[Literal]] = []
+        for clause in working:
+            if (name, value) in clause:
+                continue
+            reduced = {lit for lit in clause if lit != (name, not value)}
+            if not reduced:
+                return None
+            next_clauses.append(reduced)
+        return next_clauses
+
+    while True:
+        unit = next((c for c in working if len(c) == 1), None)
+        if unit is None:
+            break
+        ((name, value),) = unit
+        assignment[name] = value
+        simplified = simplify(name, value)
+        if simplified is None:
+            return None
+        working = simplified
+    if not working:
+        return assignment
+    if any(not clause for clause in working):
+        return None
+    # Split on the lexicographically first unassigned atom.
+    name = min(name for clause in working for (name, _v) in clause)
+    for value in (True, False):
+        simplified = simplify(name, value)
+        if simplified is None:
+            continue
+        result = dpll([frozenset(c) for c in simplified])
+        if result is not None:
+            result = dict(result)
+            result[name] = value
+            result.update(assignment)
+            return result
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Four-valued consequence via the reduction
+# ---------------------------------------------------------------------------
+
+def entails_by_reduction(
+    premises: Iterable[Formula], conclusion: Formula
+) -> bool:
+    """``premises |=4 conclusion`` decided by SAT over the doubled atoms.
+
+    The countermodel search asks for a classical model of all premise
+    encodings plus the negated conclusion encoding; unsatisfiability is
+    entailment.  Agrees with
+    :func:`repro.fourvalued.propositional.entails` (property-tested).
+    """
+    encodings: List[Classical] = [pos_encode(p) for p in premises]
+    encodings.append(CNot(pos_encode(conclusion)))
+    return dpll(to_cnf(encodings)) is None
+
+
+def satisfiable_by_reduction(formulas: Iterable[Formula]) -> bool:
+    """Whether some four-valued valuation designates every formula."""
+    encodings = [pos_encode(f) for f in formulas]
+    return dpll(to_cnf(encodings)) is not None
+
+
+def tautology_by_reduction(formula: Formula) -> bool:
+    """Whether the formula is designated under every valuation."""
+    return entails_by_reduction((), formula)

@@ -1,0 +1,182 @@
+"""Belnap's four-valued logic FOUR (paper Section 2.2).
+
+The truth-value set is ``FOUR = {t, f, TOP, BOTTOM}`` where ``TOP`` (also
+written ``{t, f}``) denotes *contradictory* information and ``BOTTOM``
+(``{}``) denotes *absence* of information.  Values form the smallest
+non-trivial bilattice, ordered two ways:
+
+* the *truth order* ``<=_t`` with ``f <= BOTTOM/TOP <= t``;
+* the *knowledge order* ``<=_k`` with ``BOTTOM <= t/f <= TOP``.
+
+This module provides the value type, both partial orders with their meets
+and joins, negation, and the three implications the paper builds its three
+inclusion axioms on: material (``|->``), internal (``>``), and strong
+(``->``), following Arieli & Avron.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet, Iterable
+
+
+class FourValue(enum.Enum):
+    """One of Belnap's four truth values.
+
+    The enum value is the classical-truth content as a frozenset: ``t`` is
+    ``{True}``, ``f`` is ``{False}``, ``TOP`` (contradiction) is
+    ``{True, False}`` and ``BOTTOM`` (no information) is ``frozenset()``.
+    """
+
+    TRUE = frozenset({True})
+    FALSE = frozenset({False})
+    BOTH = frozenset({True, False})
+    NEITHER = frozenset()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def has_truth(self) -> bool:
+        """Whether the value carries information of *being true*."""
+        return True in self.value
+
+    @property
+    def has_falsity(self) -> bool:
+        """Whether the value carries information of *being false*."""
+        return False in self.value
+
+    @property
+    def is_designated(self) -> bool:
+        """Membership of the designated set ``{t, TOP}`` of FOUR."""
+        return self.has_truth
+
+    @property
+    def is_classical(self) -> bool:
+        """Whether the value is one of the two classical values."""
+        return self in (FourValue.TRUE, FourValue.FALSE)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return _SYMBOLS[self]
+
+    def __str__(self) -> str:
+        return _SYMBOLS[self]
+
+    # ------------------------------------------------------------------
+    # Connectives (truth order)
+    # ------------------------------------------------------------------
+    def negate(self) -> "FourValue":
+        """Belnap negation: swaps truth and falsity evidence."""
+        return from_evidence(self.has_falsity, self.has_truth)
+
+    def __invert__(self) -> "FourValue":
+        return self.negate()
+
+    def conj(self, other: "FourValue") -> "FourValue":
+        """Meet in the truth order (four-valued conjunction)."""
+        return from_evidence(
+            self.has_truth and other.has_truth,
+            self.has_falsity or other.has_falsity,
+        )
+
+    def __and__(self, other: "FourValue") -> "FourValue":
+        return self.conj(other)
+
+    def disj(self, other: "FourValue") -> "FourValue":
+        """Join in the truth order (four-valued disjunction)."""
+        return from_evidence(
+            self.has_truth or other.has_truth,
+            self.has_falsity and other.has_falsity,
+        )
+
+    def __or__(self, other: "FourValue") -> "FourValue":
+        return self.disj(other)
+
+    # ------------------------------------------------------------------
+    # Implications (paper Section 2.2)
+    # ------------------------------------------------------------------
+    def material_implies(self, other: "FourValue") -> "FourValue":
+        """Material implication ``phi |-> psi  :=  ~phi v psi``."""
+        return self.negate().disj(other)
+
+    def internal_implies(self, other: "FourValue") -> "FourValue":
+        """Internal implication: ``psi`` if ``phi`` is designated, else ``t``."""
+        return other if self.is_designated else FourValue.TRUE
+
+    def strong_implies(self, other: "FourValue") -> "FourValue":
+        """Strong implication ``(phi > psi) ^ (~psi > ~phi)``."""
+        forward = self.internal_implies(other)
+        backward = other.negate().internal_implies(self.negate())
+        return forward.conj(backward)
+
+    def equivalent(self, other: "FourValue") -> "FourValue":
+        """Strong equivalence ``(phi -> psi) ^ (psi -> phi)``."""
+        return self.strong_implies(other).conj(other.strong_implies(self))
+
+    # ------------------------------------------------------------------
+    # Knowledge order
+    # ------------------------------------------------------------------
+    def knowledge_leq(self, other: "FourValue") -> bool:
+        """The information order ``<=_k``: BOTTOM below t/f below TOP."""
+        return self.value <= other.value
+
+    def truth_leq(self, other: "FourValue") -> bool:
+        """The truth order ``<=_t``: f below BOTTOM/TOP below t."""
+        self_rank = (self.has_truth, not self.has_falsity)
+        other_rank = (other.has_truth, not other.has_falsity)
+        return self_rank[0] <= other_rank[0] and self_rank[1] <= other_rank[1]
+
+    def consensus(self, other: "FourValue") -> "FourValue":
+        """Meet in the knowledge order (``gullibility``'s dual)."""
+        common = self.value & other.value
+        return FourValue(frozenset(common))
+
+    def gullibility(self, other: "FourValue") -> "FourValue":
+        """Join in the knowledge order: accept all evidence from both."""
+        return FourValue(frozenset(self.value | other.value))
+
+
+_SYMBOLS = {
+    FourValue.TRUE: "t",
+    FourValue.FALSE: "f",
+    FourValue.BOTH: "TOP",
+    FourValue.NEITHER: "BOT",
+}
+
+#: All four truth values, in a stable order (useful for enumeration).
+ALL_VALUES = (FourValue.TRUE, FourValue.FALSE, FourValue.BOTH, FourValue.NEITHER)
+
+#: The designated value set of FOUR (paper Section 2.2).
+DESIGNATED: FrozenSet[FourValue] = frozenset({FourValue.TRUE, FourValue.BOTH})
+
+
+def from_evidence(positive: bool, negative: bool) -> FourValue:
+    """Build a :class:`FourValue` from evidence-for / evidence-against bits."""
+    if positive and negative:
+        return FourValue.BOTH
+    if positive:
+        return FourValue.TRUE
+    if negative:
+        return FourValue.FALSE
+    return FourValue.NEITHER
+
+
+def from_classical(value: bool) -> FourValue:
+    """Embed a classical Boolean into FOUR."""
+    return FourValue.TRUE if value else FourValue.FALSE
+
+
+def big_conj(values: Iterable[FourValue]) -> FourValue:
+    """Four-valued conjunction of an iterable (empty conj is ``t``)."""
+    result = FourValue.TRUE
+    for value in values:
+        result = result.conj(value)
+    return result
+
+
+def big_disj(values: Iterable[FourValue]) -> FourValue:
+    """Four-valued disjunction of an iterable (empty disj is ``f``)."""
+    result = FourValue.FALSE
+    for value in values:
+        result = result.disj(value)
+    return result

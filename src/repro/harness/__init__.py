@@ -1,0 +1,25 @@
+"""Experiment harness: timing, table rendering, and the paper battery."""
+
+from .tables import format_table, print_table
+from .timing import Timer, time_call
+from .experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentResult,
+    TABLE4_EXPECTED,
+    example3_kb4,
+    example4_kb4,
+    run_all,
+)
+
+__all__ = [
+    "format_table",
+    "print_table",
+    "Timer",
+    "time_call",
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "TABLE4_EXPECTED",
+    "example3_kb4",
+    "example4_kb4",
+    "run_all",
+]

@@ -1,0 +1,47 @@
+"""Plain-text table rendering for the experiment harness.
+
+The benchmark and experiment scripts print paper-style tables; this keeps
+the formatting in one place (monospace boxes, right-padded cells) with no
+third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render rows as an aligned ASCII table."""
+    string_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in string_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return (
+            "| "
+            + " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+            + " |"
+        )
+
+    separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(separator)
+    parts.append(line(list(headers)))
+    parts.append(separator)
+    for row in string_rows:
+        parts.append(line(row))
+    parts.append(separator)
+    return "\n".join(parts)
+
+
+def print_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> None:
+    """Print an aligned ASCII table."""
+    print(format_table(headers, rows, title=title))

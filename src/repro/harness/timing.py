@@ -1,0 +1,51 @@
+"""Small timing utilities shared by benchmarks and experiment scripts."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+
+@dataclass
+class Timer:
+    """A context manager accumulating wall-clock durations.
+
+    >>> timer = Timer()
+    >>> with timer:
+    ...     pass
+    >>> timer.total >= 0
+    True
+    """
+
+    samples: List[float] = field(default_factory=list)
+    _started: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.samples.append(time.perf_counter() - self._started)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return statistics.mean(self.samples) if self.samples else 0.0
+
+    @property
+    def median(self) -> float:
+        return statistics.median(self.samples) if self.samples else 0.0
+
+
+def time_call(function: Callable[[], object], repeats: int = 3) -> float:
+    """The median wall-clock seconds of calling ``function``."""
+    timer = Timer()
+    for _ in range(repeats):
+        with timer:
+            function()
+    return timer.median

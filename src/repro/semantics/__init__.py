@@ -1,0 +1,28 @@
+"""Explicit model theory: Table 1 / Table 2-3 evaluators and enumerators.
+
+The classes here are executable transcriptions of the paper's semantic
+tables over finite structures, plus brute-force model enumeration used to
+cross-validate the tableau and to regenerate Table 4.
+"""
+
+from .interpretation import Interpretation
+from .four_interpretation import DataRolePair, FourInterpretation, RolePair
+from .enumeration import (
+    classical_satisfiable_by_enumeration,
+    enumerate_classical_models,
+    enumerate_four_models,
+    four_satisfiable_by_enumeration,
+    truth_patterns,
+)
+
+__all__ = [
+    "Interpretation",
+    "DataRolePair",
+    "FourInterpretation",
+    "RolePair",
+    "classical_satisfiable_by_enumeration",
+    "enumerate_classical_models",
+    "enumerate_four_models",
+    "four_satisfiable_by_enumeration",
+    "truth_patterns",
+]

@@ -1,0 +1,235 @@
+"""Exhaustive finite-model enumeration, classical and four-valued.
+
+On bounded domains both semantics are decidable by brute force: enumerate
+every assignment of extensions to the atomic signature and keep the ones
+satisfying the KB.  This gives the repository a *second, independent*
+semantic engine:
+
+* it cross-validates the tableau on randomised property tests (a finite
+  model found here forces the tableau to answer "satisfiable"; a tableau
+  "unsatisfiable" forbids any finite model);
+* it regenerates the paper's Table 4 exactly — all four-valued models of
+  Example 4 over ``{smith, kate}`` and their truth-value patterns;
+* it verifies Lemma 5/Theorem 6 by enumerating models on both sides of
+  the transformation.
+
+Enumeration is exponential in ``|signature| * domain**2``; callers keep
+domains at 1-3 elements and signatures at a handful of names.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..dl.errors import UnsupportedFeature
+from ..dl.individuals import Individual
+from ..dl.kb import KnowledgeBase
+from ..dl.roles import AtomicRole
+from ..fourvalued.bilattice import BilatticePair
+from ..four_dl.axioms4 import KnowledgeBase4
+from .four_interpretation import FourInterpretation, RolePair
+from .interpretation import Interpretation
+
+Element = Hashable
+
+
+def _subsets(items: Sequence[Element]) -> Iterator[FrozenSet[Element]]:
+    """All subsets of a sequence, smallest first."""
+    for size in range(len(items) + 1):
+        for combo in itertools.combinations(items, size):
+            yield frozenset(combo)
+
+
+# ---------------------------------------------------------------------------
+# Classical enumeration
+# ---------------------------------------------------------------------------
+
+def enumerate_classical_models(
+    kb: KnowledgeBase,
+    extra_elements: int = 0,
+    enumerate_maps: bool = False,
+) -> Iterator[Interpretation]:
+    """All classical models of ``kb`` over a fixed finite domain.
+
+    The domain is the KB's individuals plus ``extra_elements`` anonymous
+    elements.  With ``enumerate_maps`` false (the default) individuals name
+    themselves (unique-name reading); with it true every assignment of
+    individuals to domain elements is tried, which is the faithful OWL
+    reading when the KB contains equality axioms.
+    """
+    if list(kb.data_assertions) or kb.datatype_roles_in_signature():
+        raise UnsupportedFeature("enumeration does not cover datatype roles")
+    individuals = sorted(kb.individuals_in_signature())
+    domain: List[Element] = list(individuals) + [
+        f"_anon{i}" for i in range(extra_elements)
+    ]
+    if not domain:
+        domain = ["_anon0"]
+    concepts = sorted(kb.concepts_in_signature(), key=lambda c: c.name)
+    roles = sorted(kb.object_roles_in_signature(), key=lambda r: r.name)
+    pairs = list(itertools.product(domain, repeat=2))
+
+    if enumerate_maps and individuals:
+        maps: Iterable[Dict[Individual, Element]] = (
+            dict(zip(individuals, assignment))
+            for assignment in itertools.product(domain, repeat=len(individuals))
+        )
+    else:
+        maps = iter([{i: i for i in individuals}])
+
+    for individual_map in maps:
+        for concept_extensions in itertools.product(
+            *(list(_subsets(domain)) for _ in concepts)
+        ):
+            for role_extensions in itertools.product(
+                *(list(_subsets(pairs)) for _ in roles)
+            ):
+                interpretation = Interpretation(
+                    domain=frozenset(domain),
+                    concept_ext=dict(zip(concepts, concept_extensions)),
+                    role_ext=dict(zip(roles, role_extensions)),
+                    individual_map=dict(individual_map),
+                )
+                if interpretation.is_model(kb):
+                    yield interpretation
+
+
+def classical_satisfiable_by_enumeration(
+    kb: KnowledgeBase, max_extra_elements: int = 1
+) -> bool:
+    """Whether some finite model exists with up to ``max_extra_elements``
+    anonymous elements added to the individual domain.
+
+    ``True`` is definitive (a model is exhibited); ``False`` only means no
+    *small* model exists — SHOIN KBs can require larger or infinite models.
+    """
+    for extra in range(max_extra_elements + 1):
+        for _model in enumerate_classical_models(kb, extra_elements=extra):
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Four-valued enumeration
+# ---------------------------------------------------------------------------
+
+def enumerate_four_models(
+    kb4: KnowledgeBase4,
+    extra_elements: int = 0,
+    irreflexive_roles: Iterable[AtomicRole] = (),
+    product_roles: bool = False,
+) -> Iterator[FourInterpretation]:
+    """All four-valued models of ``kb4`` over the individual domain.
+
+    ``irreflexive_roles`` implements the paper's end-of-Section-3.3 note:
+    the *positive* extension of the named roles never contains a reflexive
+    pair (Example 4 treats ``hasChild`` that way).  With ``product_roles``
+    true, role evidence sets are restricted to the product form of
+    Table 2; the default accepts arbitrary pair sets, matching the
+    paper's own Example 4 models.
+    """
+    if list(kb4.data_assertions) or kb4.datatype_roles_in_signature():
+        raise UnsupportedFeature("enumeration does not cover datatype roles")
+    individuals = sorted(kb4.individuals_in_signature())
+    domain: List[Element] = list(individuals) + [
+        f"_anon{i}" for i in range(extra_elements)
+    ]
+    if not domain:
+        domain = ["_anon0"]
+    concepts = sorted(kb4.concepts_in_signature(), key=lambda c: c.name)
+    roles = sorted(kb4.object_roles_in_signature(), key=lambda r: r.name)
+    irreflexive = frozenset(irreflexive_roles)
+    all_pairs = list(itertools.product(domain, repeat=2))
+
+    concept_pairs = [
+        BilatticePair(p, n)
+        for p in _subsets(domain)
+        for n in _subsets(domain)
+    ]
+
+    def role_pairs_for(role: AtomicRole) -> List[RolePair]:
+        if role in irreflexive:
+            positive_pool = [(x, y) for (x, y) in all_pairs if x != y]
+        else:
+            positive_pool = all_pairs
+        candidates = [
+            RolePair(p, n)
+            for p in _subsets(positive_pool)
+            for n in _subsets(all_pairs)
+        ]
+        if product_roles:
+            candidates = [
+                c
+                for c in candidates
+                if _is_product(c.positive) and _is_product(c.negative)
+            ]
+        return candidates
+
+    role_choices = [role_pairs_for(role) for role in roles]
+
+    for concept_extensions in itertools.product(
+        *(concept_pairs for _ in concepts)
+    ):
+        for role_extensions in itertools.product(*role_choices):
+            interpretation = FourInterpretation(
+                domain=frozenset(domain),
+                concept_ext=dict(zip(concepts, concept_extensions)),
+                role_ext=dict(zip(roles, role_extensions)),
+                individual_map={i: i for i in individuals},
+            )
+            if interpretation.is_model(kb4):
+                yield interpretation
+
+
+def four_satisfiable_by_enumeration(
+    kb4: KnowledgeBase4, max_extra_elements: int = 0
+) -> bool:
+    """Whether a small four-valued model exists (definitive when ``True``)."""
+    for extra in range(max_extra_elements + 1):
+        for _model in enumerate_four_models(kb4, extra_elements=extra):
+            return True
+    return False
+
+
+def truth_patterns(
+    models: Iterable[FourInterpretation],
+    queries: Sequence[Tuple[str, object]],
+) -> FrozenSet[Tuple[str, ...]]:
+    """Project models onto rows of truth values, as in the paper's Table 4.
+
+    ``queries`` is a sequence of ``(label, probe)`` pairs where a probe is
+    either ``(concept, individual)`` or ``(role, source, target)``.  The
+    result is the set of distinct rows (as strings ``t``, ``f``, ``TOP``,
+    ``BOT``) realised by the models.
+    """
+    rows = set()
+    for model in models:
+        row: List[str] = []
+        for _label, probe in queries:
+            if len(probe) == 2:
+                concept, individual = probe
+                row.append(str(model.concept_value(concept, individual)))
+            else:
+                role, source, target = probe
+                row.append(str(model.role_value(role, source, target)))
+        rows.add(tuple(row))
+    return frozenset(rows)
+
+
+def _is_product(pairs: FrozenSet[Tuple[Element, Element]]) -> bool:
+    if not pairs:
+        return True
+    firsts = {x for (x, _) in pairs}
+    seconds = {y for (_, y) in pairs}
+    return len(pairs) == len(firsts) * len(seconds)

@@ -1,0 +1,516 @@
+"""Four-valued interpretations of SHOIN(D)4 — paper Tables 2 and 3.
+
+A :class:`FourInterpretation` assigns every atomic concept an evidence
+pair ``<P, N>`` over the domain and every role a pair of positive/negative
+pair-sets; :meth:`FourInterpretation.extension` evaluates any concept by
+the Table 2 equations and :meth:`FourInterpretation.satisfies` checks
+four-valued axioms by Table 3.
+
+Two places deliberately deviate from the paper's literal tables, both
+documented in DESIGN.md:
+
+* **Datatype quantifier rows.**  Table 2's datatype rows as printed break
+  the De Morgan dualities the paper itself proves (Proposition 4) for the
+  object case (they test ``y in D`` where the object analogue tests
+  membership of the *negative* projection, and use ``proj-`` of the role
+  where the analogue uses ``proj+``).  We implement the object-analogue
+  semantics: ``(not some U.D) = all U.not D`` holds by construction.
+* **Material role inclusion.**  Table 3 prints ``Delta x Delta \\
+  proj+(R1) <= proj+(R2)``; the proof of Theorem 6 uses ``proj-`` (it maps
+  ``R1 |-> R2`` to ``R1= [= R2+`` with ``(R1=) = complement of N1``), so we
+  implement the proof's version.
+
+The paper restricts role extensions to product form ``<P1 x P2, N1 x N2>``
+in Table 2 but its own Example 4 models use non-product negative parts;
+the class accepts arbitrary pair sets and offers :meth:`is_product_form`
+for callers that want the restriction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Tuple
+
+from ..dl import axioms as ax
+from ..dl.concepts import (
+    And,
+    AtLeast,
+    AtMost,
+    AtomicConcept,
+    Bottom,
+    Concept,
+    DataAtLeast,
+    DataAtMost,
+    DataExists,
+    DataForall,
+    Exists,
+    Forall,
+    Not,
+    OneOf,
+    Or,
+    QualifiedAtLeast,
+    QualifiedAtMost,
+    Top,
+)
+from ..dl.individuals import DataValue, Individual
+from ..dl.roles import AtomicRole, DatatypeRole, ObjectRole
+from ..fourvalued.bilattice import BilatticePair
+from ..fourvalued.truth import FourValue, from_evidence
+from ..four_dl.axioms4 import (
+    ConceptInclusion4,
+    DatatypeRoleInclusion4,
+    InclusionKind,
+    KnowledgeBase4,
+    RoleInclusion4,
+    Transitivity4,
+)
+
+Element = Hashable
+Pair = Tuple[Element, Element]
+DataPair = Tuple[Element, DataValue]
+
+
+@dataclass(frozen=True)
+class RolePair:
+    """Positive/negative evidence sets of pairs for one role."""
+
+    positive: FrozenSet[Pair]
+    negative: FrozenSet[Pair]
+
+    @staticmethod
+    def of(positive: Iterable[Pair] = (), negative: Iterable[Pair] = ()) -> "RolePair":
+        return RolePair(frozenset(positive), frozenset(negative))
+
+
+EMPTY_ROLE = RolePair(frozenset(), frozenset())
+
+
+@dataclass
+class FourInterpretation:
+    """A finite four-valued interpretation of SHOIN(D)4.
+
+    ``data_domain`` is the finite active concrete domain used when
+    datatype restrictions quantify or count over data values (the abstract
+    semantics uses the infinite value space; on finite structures the
+    active domain is the standard surrogate).
+    """
+
+    domain: FrozenSet[Element]
+    concept_ext: Dict[AtomicConcept, BilatticePair] = field(default_factory=dict)
+    role_ext: Dict[AtomicRole, RolePair] = field(default_factory=dict)
+    data_role_ext: Dict[DatatypeRole, "DataRolePair"] = field(default_factory=dict)
+    individual_map: Dict[Individual, Element] = field(default_factory=dict)
+    data_domain: FrozenSet[DataValue] = frozenset()
+
+    @staticmethod
+    def named(
+        individuals: Iterable[Individual],
+        concept_ext: Mapping[AtomicConcept, BilatticePair] = (),
+        role_ext: Mapping[AtomicRole, RolePair] = (),
+        data_role_ext: Mapping[DatatypeRole, "DataRolePair"] = (),
+        data_domain: Iterable[DataValue] = (),
+    ) -> "FourInterpretation":
+        """An interpretation whose domain is the individuals themselves."""
+        individuals = list(individuals)
+        return FourInterpretation(
+            domain=frozenset(individuals),
+            concept_ext=dict(concept_ext),
+            role_ext=dict(role_ext),
+            data_role_ext=dict(data_role_ext),
+            individual_map={i: i for i in individuals},
+            data_domain=frozenset(data_domain),
+        )
+
+    # ------------------------------------------------------------------
+    # Role extensions
+    # ------------------------------------------------------------------
+    def role_pair(self, role: ObjectRole) -> RolePair:
+        """The ``<P, N>`` pair-set extension of a role expression."""
+        base = self.role_ext.get(role.named, EMPTY_ROLE)
+        if role.is_inverse:
+            return RolePair(
+                frozenset((y, x) for (x, y) in base.positive),
+                frozenset((y, x) for (x, y) in base.negative),
+            )
+        return base
+
+    def data_role_pair(self, role: DatatypeRole) -> "DataRolePair":
+        return self.data_role_ext.get(role, DataRolePair(frozenset(), frozenset()))
+
+    # ------------------------------------------------------------------
+    # Concept extension (Table 2)
+    # ------------------------------------------------------------------
+    def extension(self, concept: Concept) -> BilatticePair:
+        """The evidence pair ``C^I = <P, N>`` per Table 2."""
+        if isinstance(concept, AtomicConcept):
+            return self.concept_ext.get(
+                concept, BilatticePair(frozenset(), frozenset())
+            )
+        if isinstance(concept, Top):
+            return BilatticePair(self.domain, frozenset())
+        if isinstance(concept, Bottom):
+            return BilatticePair(frozenset(), self.domain)
+        if isinstance(concept, Not):
+            return self.extension(concept.operand).negate()
+        if isinstance(concept, And):
+            result = BilatticePair(self.domain, frozenset())
+            for operand in concept.operands:
+                result = result.meet_t(self.extension(operand))
+            return result
+        if isinstance(concept, Or):
+            result = BilatticePair(frozenset(), self.domain)
+            for operand in concept.operands:
+                result = result.join_t(self.extension(operand))
+            return result
+        if isinstance(concept, OneOf):
+            positive = frozenset(
+                self.individual_map[i]
+                for i in concept.individuals
+                if i in self.individual_map
+            )
+            # Table 2 leaves the negative part N of a nominal unconstrained;
+            # the least-information choice is the empty set.
+            return BilatticePair(positive, frozenset())
+        if isinstance(concept, Exists):
+            role = self.role_pair(concept.role)
+            filler = self.extension(concept.filler)
+            positive = frozenset(
+                x
+                for x in self.domain
+                if any(
+                    (x, y) in role.positive and y in filler.positive
+                    for y in self.domain
+                )
+            )
+            negative = frozenset(
+                x
+                for x in self.domain
+                if all(
+                    y in filler.negative
+                    for y in self.domain
+                    if (x, y) in role.positive
+                )
+            )
+            return BilatticePair(positive, negative)
+        if isinstance(concept, Forall):
+            role = self.role_pair(concept.role)
+            filler = self.extension(concept.filler)
+            positive = frozenset(
+                x
+                for x in self.domain
+                if all(
+                    y in filler.positive
+                    for y in self.domain
+                    if (x, y) in role.positive
+                )
+            )
+            negative = frozenset(
+                x
+                for x in self.domain
+                if any(
+                    (x, y) in role.positive and y in filler.negative
+                    for y in self.domain
+                )
+            )
+            return BilatticePair(positive, negative)
+        if isinstance(concept, AtLeast):
+            role = self.role_pair(concept.role)
+            positive = frozenset(
+                x
+                for x in self.domain
+                if self._count_positive(role, x) >= concept.n
+            )
+            negative = frozenset(
+                x
+                for x in self.domain
+                if self._count_not_negative(role, x) < concept.n
+            )
+            return BilatticePair(positive, negative)
+        if isinstance(concept, AtMost):
+            role = self.role_pair(concept.role)
+            positive = frozenset(
+                x
+                for x in self.domain
+                if self._count_not_negative(role, x) <= concept.n
+            )
+            negative = frozenset(
+                x
+                for x in self.domain
+                if self._count_positive(role, x) > concept.n
+            )
+            return BilatticePair(positive, negative)
+        if isinstance(concept, QualifiedAtLeast):
+            # SHOIQ extension, by analogy with Table 2's unqualified rows:
+            # positive counts positively-supported fillers, negative counts
+            # the pairs not ruled out by either negative evidence.
+            role = self.role_pair(concept.role)
+            filler = self.extension(concept.filler)
+            positive = frozenset(
+                x
+                for x in self.domain
+                if sum(
+                    1
+                    for y in self.domain
+                    if (x, y) in role.positive and y in filler.positive
+                )
+                >= concept.n
+            )
+            negative = frozenset(
+                x
+                for x in self.domain
+                if sum(
+                    1
+                    for y in self.domain
+                    if (x, y) not in role.negative and y not in filler.negative
+                )
+                < concept.n
+            )
+            return BilatticePair(positive, negative)
+        if isinstance(concept, QualifiedAtMost):
+            role = self.role_pair(concept.role)
+            filler = self.extension(concept.filler)
+            positive = frozenset(
+                x
+                for x in self.domain
+                if sum(
+                    1
+                    for y in self.domain
+                    if (x, y) not in role.negative and y not in filler.negative
+                )
+                <= concept.n
+            )
+            negative = frozenset(
+                x
+                for x in self.domain
+                if sum(
+                    1
+                    for y in self.domain
+                    if (x, y) in role.positive and y in filler.positive
+                )
+                > concept.n
+            )
+            return BilatticePair(positive, negative)
+        if isinstance(concept, DataExists):
+            role = self.data_role_pair(concept.role)
+            positive = frozenset(
+                x
+                for x in self.domain
+                if any(
+                    (x, v) in role.positive and concept.range.contains(v)
+                    for v in self.data_domain
+                )
+            )
+            negative = frozenset(
+                x
+                for x in self.domain
+                if all(
+                    not concept.range.contains(v)
+                    for v in self.data_domain
+                    if (x, v) in role.positive
+                )
+            )
+            return BilatticePair(positive, negative)
+        if isinstance(concept, DataForall):
+            role = self.data_role_pair(concept.role)
+            positive = frozenset(
+                x
+                for x in self.domain
+                if all(
+                    concept.range.contains(v)
+                    for v in self.data_domain
+                    if (x, v) in role.positive
+                )
+            )
+            negative = frozenset(
+                x
+                for x in self.domain
+                if any(
+                    (x, v) in role.positive and not concept.range.contains(v)
+                    for v in self.data_domain
+                )
+            )
+            return BilatticePair(positive, negative)
+        if isinstance(concept, DataAtLeast):
+            role = self.data_role_pair(concept.role)
+            positive = frozenset(
+                x
+                for x in self.domain
+                if self._count_data_positive(role, x) >= concept.n
+            )
+            negative = frozenset(
+                x
+                for x in self.domain
+                if self._count_data_not_negative(role, x) < concept.n
+            )
+            return BilatticePair(positive, negative)
+        if isinstance(concept, DataAtMost):
+            role = self.data_role_pair(concept.role)
+            positive = frozenset(
+                x
+                for x in self.domain
+                if self._count_data_not_negative(role, x) <= concept.n
+            )
+            negative = frozenset(
+                x
+                for x in self.domain
+                if self._count_data_positive(role, x) > concept.n
+            )
+            return BilatticePair(positive, negative)
+        raise TypeError(f"unknown concept kind: {concept!r}")
+
+    def _count_positive(self, role: RolePair, x: Element) -> int:
+        return sum(1 for y in self.domain if (x, y) in role.positive)
+
+    def _count_not_negative(self, role: RolePair, x: Element) -> int:
+        return sum(1 for y in self.domain if (x, y) not in role.negative)
+
+    def _count_data_positive(self, role: "DataRolePair", x: Element) -> int:
+        return sum(1 for v in self.data_domain if (x, v) in role.positive)
+
+    def _count_data_not_negative(self, role: "DataRolePair", x: Element) -> int:
+        return sum(1 for v in self.data_domain if (x, v) not in role.negative)
+
+    # ------------------------------------------------------------------
+    # Pointwise truth values (Definition 3)
+    # ------------------------------------------------------------------
+    def concept_value(self, concept: Concept, individual: Individual) -> FourValue:
+        """``C^I(a)`` as one of the four truth values."""
+        element = self.individual_map[individual]
+        return self.extension(concept).value_of(element)
+
+    def role_value(
+        self, role: ObjectRole, source: Individual, target: Individual
+    ) -> FourValue:
+        """``R^I(a, b)`` as one of the four truth values."""
+        pair = (self.individual_map[source], self.individual_map[target])
+        extension = self.role_pair(role)
+        return from_evidence(pair in extension.positive, pair in extension.negative)
+
+    # ------------------------------------------------------------------
+    # Axiom satisfaction (Table 3)
+    # ------------------------------------------------------------------
+    def satisfies(self, axiom: object) -> bool:
+        """Whether the interpretation satisfies one SHOIN(D)4 axiom."""
+        if isinstance(axiom, ConceptInclusion4):
+            sub = self.extension(axiom.sub)
+            sup = self.extension(axiom.sup)
+            if axiom.kind is InclusionKind.MATERIAL:
+                return (self.domain - sub.negative) <= sup.positive
+            if axiom.kind is InclusionKind.INTERNAL:
+                return sub.positive <= sup.positive
+            return (
+                sub.positive <= sup.positive and sup.negative <= sub.negative
+            )
+        if isinstance(axiom, RoleInclusion4):
+            sub = self.role_pair(axiom.sub)
+            sup = self.role_pair(axiom.sup)
+            if axiom.kind is InclusionKind.MATERIAL:
+                all_pairs = frozenset(itertools.product(self.domain, repeat=2))
+                return (all_pairs - sub.negative) <= sup.positive
+            if axiom.kind is InclusionKind.INTERNAL:
+                return sub.positive <= sup.positive
+            return (
+                sub.positive <= sup.positive and sup.negative <= sub.negative
+            )
+        if isinstance(axiom, DatatypeRoleInclusion4):
+            sub = self.data_role_pair(axiom.sub)
+            sup = self.data_role_pair(axiom.sup)
+            if axiom.kind is InclusionKind.MATERIAL:
+                all_pairs = frozenset(
+                    itertools.product(self.domain, self.data_domain)
+                )
+                return (all_pairs - sub.negative) <= sup.positive
+            if axiom.kind is InclusionKind.INTERNAL:
+                return sub.positive <= sup.positive
+            return (
+                sub.positive <= sup.positive and sup.negative <= sub.negative
+            )
+        if isinstance(axiom, Transitivity4):
+            positive = self.role_ext.get(axiom.role, EMPTY_ROLE).positive
+            return all(
+                (x, z) in positive
+                for (x, y) in positive
+                for (y2, z) in positive
+                if y2 == y
+            )
+        if isinstance(axiom, ax.ConceptAssertion):
+            element = self.individual_map[axiom.individual]
+            return element in self.extension(axiom.concept).positive
+        if isinstance(axiom, ax.RoleAssertion):
+            pair = (
+                self.individual_map[axiom.source],
+                self.individual_map[axiom.target],
+            )
+            return pair in self.role_pair(axiom.role).positive
+        if isinstance(axiom, ax.NegativeRoleAssertion):
+            pair = (
+                self.individual_map[axiom.source],
+                self.individual_map[axiom.target],
+            )
+            return pair in self.role_pair(axiom.role).negative
+        if isinstance(axiom, ax.DataAssertion):
+            pair = (self.individual_map[axiom.source], axiom.value)
+            return pair in self.data_role_pair(axiom.role).positive
+        if isinstance(axiom, ax.SameIndividual):
+            return (
+                self.individual_map[axiom.left] == self.individual_map[axiom.right]
+            )
+        if isinstance(axiom, ax.DifferentIndividuals):
+            return (
+                self.individual_map[axiom.left] != self.individual_map[axiom.right]
+            )
+        raise TypeError(f"unknown axiom kind: {axiom!r}")
+
+    def is_model(self, kb4: KnowledgeBase4) -> bool:
+        """Whether the interpretation satisfies every axiom of the KB4."""
+        return all(self.satisfies(axiom) for axiom in kb4.axioms())
+
+    # ------------------------------------------------------------------
+    # Structural properties
+    # ------------------------------------------------------------------
+    def is_classical(self) -> bool:
+        """Whether every extension satisfies the two classical constraints.
+
+        With all pairs disjoint and exhaustive the interpretation collapses
+        to a Table 1 classical interpretation (paper Section 3.2 closing
+        remark).
+        """
+        for pair in self.concept_ext.values():
+            if not pair.is_classical_over(self.domain):
+                return False
+        all_pairs = frozenset(itertools.product(self.domain, repeat=2))
+        for role in self.role_ext.values():
+            if role.positive & role.negative:
+                return False
+            if role.positive | role.negative != all_pairs:
+                return False
+        return True
+
+    def is_product_form(self, role: AtomicRole) -> bool:
+        """Whether the role's extensions are products ``P1xP2`` / ``N1xN2``."""
+        extension = self.role_ext.get(role, EMPTY_ROLE)
+        return _is_product(extension.positive) and _is_product(extension.negative)
+
+
+@dataclass(frozen=True)
+class DataRolePair:
+    """Positive/negative evidence sets of (element, value) pairs."""
+
+    positive: FrozenSet[DataPair]
+    negative: FrozenSet[DataPair]
+
+    @staticmethod
+    def of(
+        positive: Iterable[DataPair] = (), negative: Iterable[DataPair] = ()
+    ) -> "DataRolePair":
+        return DataRolePair(frozenset(positive), frozenset(negative))
+
+
+def _is_product(pairs: FrozenSet[Pair]) -> bool:
+    """Whether a set of pairs equals the product of its projections."""
+    if not pairs:
+        return True
+    firsts = {x for (x, _) in pairs}
+    seconds = {y for (_, y) in pairs}
+    return len(pairs) == len(firsts) * len(seconds)

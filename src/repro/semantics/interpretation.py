@@ -1,0 +1,254 @@
+"""Classical (two-valued) interpretations of SHOIN(D) — paper Table 1.
+
+An :class:`Interpretation` is an explicit finite structure: a domain, an
+extension for every atomic concept and role, and an individual assignment.
+:meth:`Interpretation.extension` evaluates any concept expression by the
+Table 1 equations, and :meth:`Interpretation.satisfies` checks any axiom,
+making the class a direct executable transcription of the paper's Table 1.
+
+This evaluator is the ground truth the tableau is cross-validated against
+(via :mod:`repro.semantics.enumeration`) and the target of Definition 8's
+classical induced interpretation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Set, Tuple
+
+from ..dl import axioms as ax
+from ..dl.concepts import (
+    And,
+    AtLeast,
+    AtMost,
+    AtomicConcept,
+    Bottom,
+    Concept,
+    DataAtLeast,
+    DataAtMost,
+    DataExists,
+    DataForall,
+    Exists,
+    Forall,
+    Not,
+    OneOf,
+    Or,
+    QualifiedAtLeast,
+    QualifiedAtMost,
+    Top,
+)
+from ..dl.individuals import DataValue, Individual
+from ..dl.kb import KnowledgeBase
+from ..dl.roles import AtomicRole, DatatypeRole, ObjectRole
+
+Element = Hashable
+Pair = Tuple[Element, Element]
+DataPair = Tuple[Element, DataValue]
+
+
+@dataclass
+class Interpretation:
+    """A finite classical interpretation ``I = (Delta, .^I)``.
+
+    ``concept_ext`` and ``role_ext`` give the extensions of *atomic*
+    names; complex expressions are evaluated recursively.  Individuals not
+    listed in ``individual_map`` are unmapped and make ``satisfies`` raise
+    ``KeyError`` — callers populate the map for the KB signature.
+    """
+
+    domain: FrozenSet[Element]
+    concept_ext: Dict[AtomicConcept, FrozenSet[Element]] = field(default_factory=dict)
+    role_ext: Dict[AtomicRole, FrozenSet[Pair]] = field(default_factory=dict)
+    data_role_ext: Dict[DatatypeRole, FrozenSet[DataPair]] = field(
+        default_factory=dict
+    )
+    individual_map: Dict[Individual, Element] = field(default_factory=dict)
+
+    @staticmethod
+    def named(
+        individuals: Iterable[Individual],
+        concept_ext: Mapping[AtomicConcept, Iterable[Element]] = (),
+        role_ext: Mapping[AtomicRole, Iterable[Pair]] = (),
+        data_role_ext: Mapping[DatatypeRole, Iterable[DataPair]] = (),
+    ) -> "Interpretation":
+        """An interpretation whose domain is the individuals themselves."""
+        individuals = list(individuals)
+        return Interpretation(
+            domain=frozenset(individuals),
+            concept_ext={c: frozenset(e) for c, e in dict(concept_ext).items()},
+            role_ext={r: frozenset(e) for r, e in dict(role_ext).items()},
+            data_role_ext={
+                u: frozenset(e) for u, e in dict(data_role_ext).items()
+            },
+            individual_map={i: i for i in individuals},
+        )
+
+    # ------------------------------------------------------------------
+    # Extension evaluation (Table 1)
+    # ------------------------------------------------------------------
+    def role_extension(self, role: ObjectRole) -> FrozenSet[Pair]:
+        """The extension of an object role expression (inverse-aware)."""
+        base = self.role_ext.get(role.named, frozenset())
+        if role.is_inverse:
+            return frozenset((y, x) for (x, y) in base)
+        return base
+
+    def data_role_extension(self, role: DatatypeRole) -> FrozenSet[DataPair]:
+        """The extension of a datatype role."""
+        return self.data_role_ext.get(role, frozenset())
+
+    def extension(self, concept: Concept) -> FrozenSet[Element]:
+        """The extension ``C^I`` per the Table 1 equations."""
+        if isinstance(concept, AtomicConcept):
+            return self.concept_ext.get(concept, frozenset())
+        if isinstance(concept, Top):
+            return self.domain
+        if isinstance(concept, Bottom):
+            return frozenset()
+        if isinstance(concept, Not):
+            return self.domain - self.extension(concept.operand)
+        if isinstance(concept, And):
+            result = self.domain
+            for operand in concept.operands:
+                result &= self.extension(operand)
+            return result
+        if isinstance(concept, Or):
+            result: FrozenSet[Element] = frozenset()
+            for operand in concept.operands:
+                result |= self.extension(operand)
+            return result
+        if isinstance(concept, OneOf):
+            return frozenset(
+                self.individual_map[i]
+                for i in concept.individuals
+                if i in self.individual_map
+            )
+        if isinstance(concept, Exists):
+            pairs = self.role_extension(concept.role)
+            filler = self.extension(concept.filler)
+            return frozenset(x for (x, y) in pairs if y in filler)
+        if isinstance(concept, Forall):
+            pairs = self.role_extension(concept.role)
+            filler = self.extension(concept.filler)
+            return frozenset(
+                x
+                for x in self.domain
+                if all(y in filler for (x2, y) in pairs if x2 == x)
+            )
+        if isinstance(concept, AtLeast):
+            pairs = self.role_extension(concept.role)
+            return frozenset(
+                x
+                for x in self.domain
+                if len({y for (x2, y) in pairs if x2 == x}) >= concept.n
+            )
+        if isinstance(concept, AtMost):
+            pairs = self.role_extension(concept.role)
+            return frozenset(
+                x
+                for x in self.domain
+                if len({y for (x2, y) in pairs if x2 == x}) <= concept.n
+            )
+        if isinstance(concept, QualifiedAtLeast):
+            pairs = self.role_extension(concept.role)
+            filler = self.extension(concept.filler)
+            return frozenset(
+                x
+                for x in self.domain
+                if len({y for (x2, y) in pairs if x2 == x and y in filler})
+                >= concept.n
+            )
+        if isinstance(concept, QualifiedAtMost):
+            pairs = self.role_extension(concept.role)
+            filler = self.extension(concept.filler)
+            return frozenset(
+                x
+                for x in self.domain
+                if len({y for (x2, y) in pairs if x2 == x and y in filler})
+                <= concept.n
+            )
+        if isinstance(concept, DataExists):
+            pairs = self.data_role_extension(concept.role)
+            return frozenset(
+                x for (x, v) in pairs if concept.range.contains(v)
+            )
+        if isinstance(concept, DataForall):
+            pairs = self.data_role_extension(concept.role)
+            return frozenset(
+                x
+                for x in self.domain
+                if all(
+                    concept.range.contains(v) for (x2, v) in pairs if x2 == x
+                )
+            )
+        if isinstance(concept, DataAtLeast):
+            pairs = self.data_role_extension(concept.role)
+            return frozenset(
+                x
+                for x in self.domain
+                if len({v for (x2, v) in pairs if x2 == x}) >= concept.n
+            )
+        if isinstance(concept, DataAtMost):
+            pairs = self.data_role_extension(concept.role)
+            return frozenset(
+                x
+                for x in self.domain
+                if len({v for (x2, v) in pairs if x2 == x}) <= concept.n
+            )
+        raise TypeError(f"unknown concept kind: {concept!r}")
+
+    # ------------------------------------------------------------------
+    # Axiom satisfaction (Table 1, bottom block)
+    # ------------------------------------------------------------------
+    def satisfies(self, axiom: ax.Axiom) -> bool:
+        """Whether the interpretation satisfies one axiom."""
+        if isinstance(axiom, ax.ConceptInclusion):
+            return self.extension(axiom.sub) <= self.extension(axiom.sup)
+        if isinstance(axiom, ax.ConceptEquivalence):
+            return self.extension(axiom.left) == self.extension(axiom.right)
+        if isinstance(axiom, ax.RoleInclusion):
+            return self.role_extension(axiom.sub) <= self.role_extension(axiom.sup)
+        if isinstance(axiom, ax.DatatypeRoleInclusion):
+            return self.data_role_extension(axiom.sub) <= self.data_role_extension(
+                axiom.sup
+            )
+        if isinstance(axiom, ax.Transitivity):
+            pairs = self.role_extension(axiom.role)
+            return all(
+                (x, z) in pairs
+                for (x, y) in pairs
+                for (y2, z) in pairs
+                if y2 == y
+            )
+        if isinstance(axiom, ax.ConceptAssertion):
+            return self.individual_map[axiom.individual] in self.extension(
+                axiom.concept
+            )
+        if isinstance(axiom, ax.RoleAssertion):
+            return (
+                self.individual_map[axiom.source],
+                self.individual_map[axiom.target],
+            ) in self.role_extension(axiom.role)
+        if isinstance(axiom, ax.NegativeRoleAssertion):
+            return (
+                self.individual_map[axiom.source],
+                self.individual_map[axiom.target],
+            ) not in self.role_extension(axiom.role)
+        if isinstance(axiom, ax.DataAssertion):
+            return (
+                self.individual_map[axiom.source],
+                axiom.value,
+            ) in self.data_role_extension(axiom.role)
+        if isinstance(axiom, ax.SameIndividual):
+            return (
+                self.individual_map[axiom.left] == self.individual_map[axiom.right]
+            )
+        if isinstance(axiom, ax.DifferentIndividuals):
+            return (
+                self.individual_map[axiom.left] != self.individual_map[axiom.right]
+            )
+        raise TypeError(f"unknown axiom kind: {axiom!r}")
+
+    def is_model(self, kb: KnowledgeBase) -> bool:
+        """Whether the interpretation satisfies every axiom of the KB."""
+        return all(self.satisfies(axiom) for axiom in kb.axioms())

@@ -1,0 +1,35 @@
+"""Workload generation: random KBs and the paper's scenarios at scale."""
+
+from .generators import (
+    GeneratorConfig,
+    Signature,
+    generate_kb,
+    generate_kb4,
+    inject_contradictions,
+    inject_contradictions4,
+    random_concept,
+)
+from .scenarios import (
+    ALL_SCENARIOS,
+    Scenario,
+    adoption_families,
+    hospital_records,
+    medical_access_control,
+    penguin_taxonomy,
+)
+
+__all__ = [
+    "GeneratorConfig",
+    "Signature",
+    "generate_kb",
+    "generate_kb4",
+    "inject_contradictions",
+    "inject_contradictions4",
+    "random_concept",
+    "ALL_SCENARIOS",
+    "Scenario",
+    "adoption_families",
+    "hospital_records",
+    "medical_access_control",
+    "penguin_taxonomy",
+]

@@ -1,0 +1,299 @@
+"""Synthetic ontology generators for testing and benchmarking.
+
+The paper evaluates on toy examples only; to benchmark at scale this
+module generates random SHOIN(D) / SHOIN(D)4 knowledge bases with
+controllable size, constructor mix, and injected inconsistency.  All
+randomness flows through an explicit seed so every workload is exactly
+reproducible.
+
+The generators intentionally produce *reasoner-friendly* shapes (guarded
+depth, unqualified counting on fresh roles) so benchmark time measures
+scaling rather than pathological tableau blow-ups; the property tests use
+:func:`random_concept` with wilder settings to stress correctness.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..dl import axioms as ax
+from ..dl.concepts import (
+    And,
+    AtLeast,
+    AtMost,
+    AtomicConcept,
+    Concept,
+    Exists,
+    Forall,
+    Not,
+    OneOf,
+    Or,
+    QualifiedAtLeast,
+    QualifiedAtMost,
+    TOP,
+)
+from ..dl.individuals import Individual
+from ..dl.kb import KnowledgeBase
+from ..dl.roles import AtomicRole, ObjectRole
+from ..four_dl.axioms4 import (
+    ConceptInclusion4,
+    InclusionKind,
+    KnowledgeBase4,
+)
+
+
+@dataclass
+class Signature:
+    """A pool of names the generators draw from."""
+
+    concepts: List[AtomicConcept]
+    roles: List[AtomicRole]
+    individuals: List[Individual]
+
+    @staticmethod
+    def of_size(
+        n_concepts: int, n_roles: int, n_individuals: int
+    ) -> "Signature":
+        return Signature(
+            concepts=[AtomicConcept(f"C{i}") for i in range(n_concepts)],
+            roles=[AtomicRole(f"r{i}") for i in range(n_roles)],
+            individuals=[Individual(f"ind{i}") for i in range(n_individuals)],
+        )
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs for the random KB generators."""
+
+    n_concepts: int = 8
+    n_roles: int = 3
+    n_individuals: int = 6
+    n_tbox: int = 10
+    n_abox: int = 20
+    max_depth: int = 2
+    seed: int = 0
+    allow_negation: bool = True
+    allow_quantifiers: bool = True
+    allow_counting: bool = False
+    allow_nominals: bool = False
+    allow_qualified: bool = False
+    allow_negative_assertions: bool = False
+    max_cardinality: int = 2
+    #: Weights for material/internal/strong when generating KB4 TBoxes.
+    inclusion_weights: Tuple[float, float, float] = (0.2, 0.6, 0.2)
+
+
+def random_concept(
+    rng: random.Random,
+    signature: Signature,
+    depth: int,
+    allow_negation: bool = True,
+    allow_quantifiers: bool = True,
+    allow_counting: bool = False,
+    allow_nominals: bool = False,
+    allow_qualified: bool = False,
+    max_cardinality: int = 2,
+) -> Concept:
+    """A random concept of bounded depth over the signature."""
+    choices = ["atomic"]
+    if depth > 0:
+        choices += ["and", "or"]
+        if allow_negation:
+            choices.append("not")
+        if allow_quantifiers and signature.roles:
+            choices += ["exists", "forall"]
+        if allow_counting and signature.roles:
+            choices += ["atleast", "atmost"]
+        if allow_qualified and signature.roles:
+            choices += ["qatleast", "qatmost"]
+        if allow_nominals and signature.individuals:
+            choices.append("oneof")
+    kind = rng.choice(choices)
+
+    def recur() -> Concept:
+        return random_concept(
+            rng,
+            signature,
+            depth - 1,
+            allow_negation=allow_negation,
+            allow_quantifiers=allow_quantifiers,
+            allow_counting=allow_counting,
+            allow_nominals=allow_nominals,
+            allow_qualified=allow_qualified,
+            max_cardinality=max_cardinality,
+        )
+
+    if kind == "atomic":
+        return rng.choice(signature.concepts)
+    if kind == "not":
+        return Not(recur())
+    if kind == "and":
+        return And.of(recur(), recur())
+    if kind == "or":
+        return Or.of(recur(), recur())
+    role: ObjectRole = rng.choice(signature.roles)
+    if rng.random() < 0.15:
+        role = role.inverse()
+    if kind == "exists":
+        return Exists(role, recur())
+    if kind == "forall":
+        return Forall(role, recur())
+    if kind == "atleast":
+        return AtLeast(rng.randint(1, max_cardinality), role)
+    if kind == "atmost":
+        return AtMost(rng.randint(0, max_cardinality), role)
+    if kind == "qatleast":
+        return QualifiedAtLeast(rng.randint(1, max_cardinality), role, recur())
+    if kind == "qatmost":
+        return QualifiedAtMost(rng.randint(0, max_cardinality), role, recur())
+    count = rng.randint(1, min(2, len(signature.individuals)))
+    return OneOf(frozenset(rng.sample(signature.individuals, count)))
+
+
+def _random_concept(rng: random.Random, config: GeneratorConfig, signature: Signature) -> Concept:
+    return random_concept(
+        rng,
+        signature,
+        depth=config.max_depth,
+        allow_negation=config.allow_negation,
+        allow_quantifiers=config.allow_quantifiers,
+        allow_counting=config.allow_counting,
+        allow_nominals=config.allow_nominals,
+        allow_qualified=config.allow_qualified,
+        max_cardinality=config.max_cardinality,
+    )
+
+
+def generate_kb(config: GeneratorConfig) -> KnowledgeBase:
+    """A random classical KB per the configuration."""
+    rng = random.Random(config.seed)
+    signature = Signature.of_size(
+        config.n_concepts, config.n_roles, config.n_individuals
+    )
+    kb = KnowledgeBase()
+    for _ in range(config.n_tbox):
+        # Atomic-left inclusions keep the TBox acyclic-ish and the tableau
+        # fast while still exercising all constructors on the right.
+        sub = rng.choice(signature.concepts)
+        sup = _random_concept(rng, config, signature)
+        kb.add(ax.ConceptInclusion(sub, sup))
+    for _ in range(config.n_abox):
+        if rng.random() < 0.5 and signature.roles:
+            if config.allow_negative_assertions and rng.random() < 0.25:
+                kb.add(
+                    ax.NegativeRoleAssertion(
+                        rng.choice(signature.roles),
+                        rng.choice(signature.individuals),
+                        rng.choice(signature.individuals),
+                    )
+                )
+            else:
+                kb.add(
+                    ax.RoleAssertion(
+                        rng.choice(signature.roles),
+                        rng.choice(signature.individuals),
+                        rng.choice(signature.individuals),
+                    )
+                )
+        else:
+            concept = rng.choice(signature.concepts)
+            if config.allow_negation and rng.random() < 0.3:
+                kb.add(
+                    ax.ConceptAssertion(
+                        rng.choice(signature.individuals), Not(concept)
+                    )
+                )
+            else:
+                kb.add(
+                    ax.ConceptAssertion(rng.choice(signature.individuals), concept)
+                )
+    return kb
+
+
+def generate_kb4(config: GeneratorConfig) -> KnowledgeBase4:
+    """A random SHOIN(D)4 KB with mixed inclusion strengths."""
+    rng = random.Random(config.seed)
+    signature = Signature.of_size(
+        config.n_concepts, config.n_roles, config.n_individuals
+    )
+    kinds = [
+        InclusionKind.MATERIAL,
+        InclusionKind.INTERNAL,
+        InclusionKind.STRONG,
+    ]
+    kb4 = KnowledgeBase4()
+    for _ in range(config.n_tbox):
+        sub = rng.choice(signature.concepts)
+        sup = _random_concept(rng, config, signature)
+        kind = rng.choices(kinds, weights=config.inclusion_weights)[0]
+        kb4.add(ConceptInclusion4(sub, sup, kind))
+    for _ in range(config.n_abox):
+        if rng.random() < 0.5 and signature.roles:
+            if config.allow_negative_assertions and rng.random() < 0.25:
+                kb4.add(
+                    ax.NegativeRoleAssertion(
+                        rng.choice(signature.roles),
+                        rng.choice(signature.individuals),
+                        rng.choice(signature.individuals),
+                    )
+                )
+            else:
+                kb4.add(
+                    ax.RoleAssertion(
+                        rng.choice(signature.roles),
+                        rng.choice(signature.individuals),
+                        rng.choice(signature.individuals),
+                    )
+                )
+        else:
+            concept = rng.choice(signature.concepts)
+            individual = rng.choice(signature.individuals)
+            if rng.random() < 0.3:
+                kb4.add(ax.ConceptAssertion(individual, Not(concept)))
+            else:
+                kb4.add(ax.ConceptAssertion(individual, concept))
+    return kb4
+
+
+def inject_contradictions(
+    kb: KnowledgeBase, count: int, seed: int = 0
+) -> List[Tuple[Individual, AtomicConcept]]:
+    """Add ``count`` direct contradictions ``{A(a), not A(a)}`` to the KB.
+
+    Returns the (individual, concept) pairs made contradictory, so
+    benchmarks can verify the contradiction is detected and localised.
+    """
+    rng = random.Random(seed)
+    concepts = sorted(kb.concepts_in_signature(), key=lambda c: c.name)
+    individuals = sorted(kb.individuals_in_signature())
+    if not concepts or not individuals:
+        raise ValueError("KB has no concepts or individuals to contradict")
+    injected = []
+    for _ in range(count):
+        concept = rng.choice(concepts)
+        individual = rng.choice(individuals)
+        kb.add(ax.ConceptAssertion(individual, concept))
+        kb.add(ax.ConceptAssertion(individual, Not(concept)))
+        injected.append((individual, concept))
+    return injected
+
+
+def inject_contradictions4(
+    kb4: KnowledgeBase4, count: int, seed: int = 0
+) -> List[Tuple[Individual, AtomicConcept]]:
+    """The KB4 version of :func:`inject_contradictions`."""
+    rng = random.Random(seed)
+    concepts = sorted(kb4.concepts_in_signature(), key=lambda c: c.name)
+    individuals = sorted(kb4.individuals_in_signature())
+    if not concepts or not individuals:
+        raise ValueError("KB4 has no concepts or individuals to contradict")
+    injected = []
+    for _ in range(count):
+        concept = rng.choice(concepts)
+        individual = rng.choice(individuals)
+        kb4.add(ax.ConceptAssertion(individual, concept))
+        kb4.add(ax.ConceptAssertion(individual, Not(concept)))
+        injected.append((individual, concept))
+    return injected

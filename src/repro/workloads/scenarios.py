@@ -1,0 +1,163 @@
+"""Scaled versions of the paper's motivating scenarios (Examples 1-4).
+
+Each builder returns a SHOIN(D)4 KB plus the evidence queries the paper
+asks of it, parameterised by size so the same shapes drive benchmarks:
+
+* :func:`medical_access_control` — the access-control conflict of the
+  introduction and Example 2 (surgical vs urgency team membership);
+* :func:`hospital_records` — Example 1's ``hasPatient``-propagation with a
+  contradictory doctor, with many wards;
+* :func:`penguin_taxonomy` — Example 3's exception pattern over a chain
+  of bird species, material inclusion at the top;
+* :func:`adoption_families` — Example 4's number-restriction pattern over
+  many families.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..dl import axioms as ax
+from ..dl.concepts import And, AtLeast, AtomicConcept, Concept, Exists, Not
+from ..dl.individuals import Individual
+from ..dl.roles import AtomicRole
+from ..four_dl.axioms4 import KnowledgeBase4, internal, material, strong
+
+Query = Tuple[Individual, Concept]
+
+
+@dataclass
+class Scenario:
+    """A workload: a four-valued KB and the queries asked of it."""
+
+    name: str
+    kb4: KnowledgeBase4
+    queries: List[Query]
+    #: (individual, concept) pairs expected to be contradictory (BOTH).
+    expected_conflicts: List[Query]
+
+
+def medical_access_control(n_staff: int = 4, n_conflicted: int = 1) -> Scenario:
+    """Example 2 scaled: ``n_staff`` members, ``n_conflicted`` in both teams.
+
+    Surgical team members may not read patient records, urgency team
+    members may; conflicted members belong to both.  Unconflicted members
+    alternate between the two teams.
+    """
+    surgical = AtomicConcept("SurgicalTeam")
+    urgency = AtomicConcept("UrgencyTeam")
+    readers = AtomicConcept("ReadPatientRecordTeam")
+    patient = AtomicConcept("Patient")
+    kb4 = KnowledgeBase4()
+    kb4.add(internal(surgical, Not(readers)))
+    kb4.add(internal(urgency, readers))
+    queries: List[Query] = []
+    conflicts: List[Query] = []
+    for index in range(n_staff):
+        member = Individual(f"staff{index}")
+        if index < n_conflicted:
+            kb4.add(ax.ConceptAssertion(member, surgical))
+            kb4.add(ax.ConceptAssertion(member, urgency))
+            conflicts.append((member, readers))
+        elif index % 2 == 0:
+            kb4.add(ax.ConceptAssertion(member, surgical))
+        else:
+            kb4.add(ax.ConceptAssertion(member, urgency))
+        queries.append((member, readers))
+        queries.append((member, patient))
+    return Scenario("medical_access_control", kb4, queries, conflicts)
+
+
+def hospital_records(n_wards: int = 3) -> Scenario:
+    """Example 1 scaled: each ward has a doctor with a patient, one
+    contradictory doctor overall."""
+    doctor = AtomicConcept("Doctor")
+    patient = AtomicConcept("Patient")
+    has_patient = AtomicRole("hasPatient")
+    kb4 = KnowledgeBase4()
+    kb4.add(internal(Exists(has_patient, patient), doctor))
+    john = Individual("john")
+    kb4.add(ax.ConceptAssertion(john, doctor))
+    kb4.add(ax.ConceptAssertion(john, Not(doctor)))
+    queries: List[Query] = [(john, doctor)]
+    for index in range(n_wards):
+        carer = Individual(f"carer{index}")
+        sick = Individual(f"sick{index}")
+        kb4.add(ax.ConceptAssertion(sick, patient))
+        kb4.add(ax.RoleAssertion(has_patient, carer, sick))
+        queries.append((carer, doctor))
+        queries.append((sick, doctor))
+    return Scenario("hospital_records", kb4, queries, [(john, doctor)])
+
+
+def penguin_taxonomy(n_species: int = 3, n_birds_per_species: int = 1) -> Scenario:
+    """Example 3 scaled: a chain of flightless species under ``Bird``.
+
+    The material inclusion ``Bird and (hasWing some Wing) |-> Fly`` sits at
+    the top; each species ``S_i`` is internally included in the previous
+    one, has wings, and cannot fly.  Every bird individual ends up a
+    flightless exception without trivialising the KB.
+    """
+    bird = AtomicConcept("Bird")
+    fly = AtomicConcept("Fly")
+    wing = AtomicConcept("Wing")
+    has_wing = AtomicRole("hasWing")
+    kb4 = KnowledgeBase4()
+    kb4.add(material(And.of(bird, Exists(has_wing, wing)), fly))
+    previous = bird
+    species: List[AtomicConcept] = []
+    for index in range(n_species):
+        current = AtomicConcept(f"Species{index}")
+        kb4.add(internal(current, previous))
+        kb4.add(internal(current, Exists(has_wing, wing)))
+        kb4.add(internal(current, Not(fly)))
+        species.append(current)
+        previous = current
+    queries: List[Query] = []
+    conflicts: List[Query] = []
+    for s_index, current in enumerate(species):
+        for b_index in range(n_birds_per_species):
+            animal = Individual(f"bird_{s_index}_{b_index}")
+            feather = Individual(f"wing_{s_index}_{b_index}")
+            kb4.add(ax.ConceptAssertion(animal, current))
+            kb4.add(ax.ConceptAssertion(animal, bird))
+            kb4.add(ax.ConceptAssertion(feather, wing))
+            kb4.add(ax.RoleAssertion(has_wing, animal, feather))
+            queries.append((animal, fly))
+            queries.append((animal, bird))
+    return Scenario("penguin_taxonomy", kb4, queries, conflicts)
+
+
+def adoption_families(n_families: int = 2) -> Scenario:
+    """Example 4 scaled: single adopters with children.
+
+    ``hasChild min 1`` internally implies ``Parent``; parents are
+    *materially* (exception-tolerantly) married; each adopter is asserted
+    unmarried.  Because the marriage inclusion is material, the adopters
+    are exceptions, not contradictions: no query is expected BOTH.
+    """
+    parent = AtomicConcept("Parent")
+    married = AtomicConcept("Married")
+    has_child = AtomicRole("hasChild")
+    kb4 = KnowledgeBase4()
+    kb4.add(internal(AtLeast(1, has_child), parent))
+    kb4.add(material(parent, married))
+    queries: List[Query] = []
+    conflicts: List[Query] = []
+    for index in range(n_families):
+        adopter = Individual(f"adopter{index}")
+        child = Individual(f"child{index}")
+        kb4.add(ax.RoleAssertion(has_child, adopter, child))
+        kb4.add(ax.ConceptAssertion(adopter, Not(married)))
+        queries.append((adopter, parent))
+        queries.append((adopter, married))
+    return Scenario("adoption_families", kb4, queries, conflicts)
+
+
+ALL_SCENARIOS = (
+    medical_access_control,
+    hospital_records,
+    penguin_taxonomy,
+    adoption_families,
+)

@@ -1,0 +1,65 @@
+"""Classical baseline: honest answers when consistent, collapse when not."""
+
+from repro.baselines import ClassicalBaseline
+from repro.dl import (
+    AtomicConcept,
+    ConceptAssertion,
+    ConceptInclusion,
+    Individual,
+    KnowledgeBase,
+    Not,
+)
+
+A, B = AtomicConcept("A"), AtomicConcept("B")
+a, b = Individual("a"), Individual("b")
+
+
+def consistent_kb() -> KnowledgeBase:
+    return KnowledgeBase().add(
+        ConceptInclusion(A, B), ConceptAssertion(a, A), ConceptAssertion(b, Not(A))
+    )
+
+
+def inconsistent_kb() -> KnowledgeBase:
+    kb = consistent_kb()
+    kb.add(ConceptAssertion(b, A))
+    return kb
+
+
+class TestConsistentBehaviour:
+    def test_not_trivial(self):
+        assert not ClassicalBaseline(consistent_kb()).is_trivial()
+
+    def test_queries_answered_honestly(self):
+        baseline = ClassicalBaseline(consistent_kb())
+        assert baseline.query(a, A)
+        assert baseline.query(a, B)
+        assert not baseline.query(b, A)
+
+    def test_query_status(self):
+        baseline = ClassicalBaseline(consistent_kb())
+        assert baseline.query_status(a, A) == "yes"
+        assert baseline.query_status(b, A) == "no"
+        # b is not known to be B either way.
+        assert baseline.query_status(b, B) == "no"
+
+    def test_meaningful_answers_all_informative(self):
+        baseline = ClassicalBaseline(consistent_kb())
+        answers = baseline.meaningful_answers([(a, A), (b, A)])
+        assert "both" not in answers.values()
+
+
+class TestCollapse:
+    def test_trivial(self):
+        assert ClassicalBaseline(inconsistent_kb()).is_trivial()
+
+    def test_everything_entailed(self):
+        baseline = ClassicalBaseline(inconsistent_kb())
+        unrelated = AtomicConcept("CompletelyUnrelated")
+        assert baseline.query(a, unrelated)
+        assert baseline.query(a, Not(unrelated))
+
+    def test_all_statuses_both(self):
+        baseline = ClassicalBaseline(inconsistent_kb())
+        answers = baseline.meaningful_answers([(a, A), (b, B)])
+        assert set(answers.values()) == {"both"}

@@ -1,0 +1,149 @@
+"""Diagnosis and repair: justifications, hitting sets, repair semantics."""
+
+import pytest
+
+from repro.baselines import (
+    RepairReasoner,
+    minimal_inconsistent_subsets,
+    repairs,
+    shrink_to_minimal,
+)
+from repro.dl import (
+    AtomicConcept,
+    ConceptAssertion,
+    ConceptInclusion,
+    Individual,
+    KnowledgeBase,
+    Not,
+    Reasoner,
+)
+
+A, B, C = AtomicConcept("A"), AtomicConcept("B"), AtomicConcept("C")
+a, b = Individual("a"), Individual("b")
+
+
+def simple_conflict() -> KnowledgeBase:
+    return KnowledgeBase().add(
+        ConceptInclusion(A, B),
+        ConceptAssertion(a, A),
+        ConceptAssertion(a, Not(B)),
+        ConceptAssertion(b, C),  # innocent bystander
+    )
+
+
+def two_conflicts() -> KnowledgeBase:
+    kb = simple_conflict()
+    kb.add(ConceptAssertion(b, B), ConceptAssertion(b, Not(B)))
+    return kb
+
+
+class TestShrinking:
+    def test_minimal_core(self):
+        core = shrink_to_minimal(list(simple_conflict().axioms()))
+        assert set(core) == {
+            ConceptInclusion(A, B),
+            ConceptAssertion(a, A),
+            ConceptAssertion(a, Not(B)),
+        }
+
+    def test_core_is_minimal(self):
+        core = list(shrink_to_minimal(list(simple_conflict().axioms())))
+        for index in range(len(core)):
+            rest = KnowledgeBase.of(core[:index] + core[index + 1:])
+            assert Reasoner(rest).is_consistent()
+
+
+class TestJustifications:
+    def test_consistent_kb_has_none(self):
+        kb = KnowledgeBase().add(ConceptAssertion(a, A))
+        assert minimal_inconsistent_subsets(kb) == []
+
+    def test_single_justification(self):
+        mises = minimal_inconsistent_subsets(simple_conflict())
+        assert len(mises) == 1
+        assert ConceptAssertion(b, C) not in mises[0]
+
+    def test_two_independent_justifications(self):
+        mises = minimal_inconsistent_subsets(two_conflicts())
+        assert len(mises) == 2
+        union = frozenset().union(*mises)
+        assert ConceptAssertion(b, B) in union
+        assert ConceptAssertion(a, A) in union
+
+    def test_bound_respected(self):
+        mises = minimal_inconsistent_subsets(two_conflicts(), max_subsets=1)
+        assert len(mises) == 1
+
+
+class TestRepairs:
+    def test_consistent_kb_needs_no_repair(self):
+        kb = KnowledgeBase().add(ConceptAssertion(a, A))
+        assert repairs(kb) == []
+
+    def test_each_repair_restores_consistency(self):
+        kb = two_conflicts()
+        for repair in repairs(kb):
+            repaired = KnowledgeBase.of(
+                axiom for axiom in kb.axioms() if axiom not in repair
+            )
+            assert Reasoner(repaired).is_consistent()
+
+    def test_repairs_are_minimal(self):
+        kb = two_conflicts()
+        for repair in repairs(kb):
+            for axiom in repair:
+                smaller = repair - {axiom}
+                repaired = KnowledgeBase.of(
+                    x for x in kb.axioms() if x not in smaller
+                )
+                assert not Reasoner(repaired).is_consistent()
+
+    def test_single_conflict_has_three_repairs(self):
+        found = repairs(simple_conflict())
+        assert len(found) == 3
+        assert all(len(repair) == 1 for repair in found)
+
+
+class TestRepairReasoner:
+    def test_iar_keeps_innocent_facts(self):
+        reasoner = RepairReasoner(simple_conflict())
+        assert reasoner.iar_query(b, C)
+        assert not reasoner.iar_query(a, B)
+
+    def test_free_vs_blamed_partition(self):
+        reasoner = RepairReasoner(simple_conflict())
+        assert reasoner.free_axioms() == frozenset({ConceptAssertion(b, C)})
+        assert len(reasoner.blamed_axioms()) == 3
+
+    def test_cautious_and_brave(self):
+        reasoner = RepairReasoner(simple_conflict())
+        # Under some repairs a is B (drop "a : not B"), under others not.
+        assert reasoner.brave_query(a, A)
+        assert not reasoner.cautious_query(a, A)
+        assert reasoner.cautious_query(b, C)
+
+    def test_query_verdicts(self):
+        reasoner = RepairReasoner(simple_conflict())
+        assert reasoner.query(b, C) == "accepted"
+        assert reasoner.query(a, B) == "undetermined"
+
+    def test_consistent_kb_behaves_classically(self):
+        kb = KnowledgeBase().add(
+            ConceptInclusion(A, B), ConceptAssertion(a, A)
+        )
+        reasoner = RepairReasoner(kb)
+        assert reasoner.justifications == []
+        assert reasoner.query(a, B) == "accepted"
+        assert reasoner.iar_query(a, B)
+
+    def test_comparison_with_four_valued(self):
+        """Repair semantics loses what SHOIN(D)4 keeps: the conflicted
+        fact is undetermined after repair but BOTH four-valuedly."""
+        from repro.four_dl import Reasoner4, from_classical
+        from repro.fourvalued import FourValue
+
+        kb = simple_conflict()
+        repair_reasoner = RepairReasoner(kb)
+        assert repair_reasoner.query(a, B) == "undetermined"
+        four = Reasoner4(from_classical(kb))
+        assert four.assertion_value(a, B) is FourValue.BOTH

@@ -1,0 +1,119 @@
+"""Selection baseline: syntactic relevance rings and linear extension."""
+
+from repro.baselines import SelectionReasoner, axiom_symbols, query_symbols
+from repro.dl import (
+    AtomicConcept,
+    AtomicRole,
+    ConceptAssertion,
+    ConceptInclusion,
+    Exists,
+    Individual,
+    KnowledgeBase,
+    Not,
+    RoleAssertion,
+)
+
+A, B, C = AtomicConcept("A"), AtomicConcept("B"), AtomicConcept("C")
+r = AtomicRole("r")
+a, b, c = Individual("a"), Individual("b"), Individual("c")
+
+
+class TestAxiomSymbols:
+    def test_inclusion_symbols(self):
+        axiom = ConceptInclusion(A, Exists(r, B))
+        assert axiom_symbols(axiom) == frozenset({"A", "r", "B"})
+
+    def test_assertion_symbols(self):
+        assert axiom_symbols(ConceptAssertion(a, Not(A))) == frozenset({"a", "A"})
+        assert axiom_symbols(RoleAssertion(r, a, b)) == frozenset({"r", "a", "b"})
+
+    def test_query_symbols(self):
+        assert query_symbols(a, A & B) == frozenset({"a", "A", "B"})
+
+
+class TestRelevanceRings:
+    def test_ring_order(self):
+        kb = KnowledgeBase().add(
+            ConceptAssertion(a, A),        # ring 0 (shares a / A)
+            ConceptInclusion(A, B),        # ring 0 (shares A)
+            ConceptInclusion(B, C),        # ring 1 (reached via B)
+            ConceptAssertion(c, C),        # ring 2? shares C after ring1
+        )
+        reasoner = SelectionReasoner(kb)
+        rings = reasoner.relevance_rings(a, A)
+        assert ConceptAssertion(a, A) in rings[0]
+        assert ConceptInclusion(A, B) in rings[0]
+        assert ConceptInclusion(B, C) in rings[1]
+
+    def test_disconnected_axioms_in_final_ring(self):
+        unrelated = ConceptAssertion(Individual("zz"), AtomicConcept("ZZ"))
+        kb = KnowledgeBase().add(ConceptAssertion(a, A), unrelated)
+        rings = SelectionReasoner(kb).relevance_rings(a, A)
+        assert unrelated in rings[-1]
+
+
+class TestQuerying:
+    def test_consistent_kb_full_answers(self):
+        kb = KnowledgeBase().add(
+            ConceptInclusion(A, B), ConceptAssertion(a, A)
+        )
+        reasoner = SelectionReasoner(kb)
+        assert reasoner.query(a, B) == "accepted"
+        assert reasoner.query(a, Not(B)) == "rejected"
+        assert reasoner.query(b, B) == "undetermined"
+
+    def test_inconsistent_kb_still_answers_from_consistent_prefix(self):
+        # The contradiction involves b; queries about a's ring still work
+        # as long as the relevant prefix stays consistent.
+        kb = KnowledgeBase().add(
+            ConceptAssertion(a, A),
+            ConceptAssertion(b, B),
+            ConceptAssertion(b, Not(B)),
+        )
+        reasoner = SelectionReasoner(kb)
+        assert reasoner.query(a, A) == "accepted"
+
+    def test_contradiction_in_first_ring_undetermined(self):
+        kb = KnowledgeBase().add(
+            ConceptAssertion(a, A), ConceptAssertion(a, Not(A))
+        )
+        reasoner = SelectionReasoner(kb)
+        assert reasoner.query(a, A) == "undetermined"
+
+    def test_selection_loses_conclusions_the_paper_keeps(self):
+        """The paper's Section 5 point: selection ignores conflicting
+        axioms entirely, so a query whose evidence sits in the conflicted
+        ring gets no answer, while SHOIN(D)4 answers BOTH."""
+        from repro.four_dl import KnowledgeBase4, Reasoner4, internal
+        from repro.fourvalued import FourValue
+
+        kb = KnowledgeBase().add(
+            ConceptInclusion(A, B),
+            ConceptAssertion(a, A),
+            ConceptAssertion(a, Not(B)),
+        )
+        selection = SelectionReasoner(kb)
+        assert selection.query(a, B) == "undetermined"
+        kb4 = KnowledgeBase4().add(
+            internal(A, B),
+            ConceptAssertion(a, A),
+            ConceptAssertion(a, Not(B)),
+        )
+        assert Reasoner4(kb4).assertion_value(a, B) is FourValue.BOTH
+
+    def test_survey(self):
+        kb = KnowledgeBase().add(ConceptAssertion(a, A))
+        results = SelectionReasoner(kb).survey([(a, A), (a, B)])
+        assert results[0][2] == "accepted"
+        assert results[1][2] == "undetermined"
+
+    def test_selected_subset_is_consistent(self):
+        kb = KnowledgeBase().add(
+            ConceptAssertion(a, A),
+            ConceptAssertion(a, Not(A)),
+            ConceptAssertion(b, B),
+        )
+        from repro.dl import Reasoner
+
+        subset = SelectionReasoner(kb).selected_subset(b, B)
+        assert Reasoner(subset).is_consistent()

@@ -1,0 +1,92 @@
+"""Stratification baseline: possibilistic and lexicographic policies."""
+
+from repro.baselines import StratifiedReasoner, default_stratification
+from repro.dl import (
+    AtomicConcept,
+    ConceptAssertion,
+    ConceptInclusion,
+    Individual,
+    KnowledgeBase,
+    Not,
+)
+
+A, B, C = AtomicConcept("A"), AtomicConcept("B"), AtomicConcept("C")
+a, b = Individual("a"), Individual("b")
+
+
+class TestDefaultStratification:
+    def test_tbox_over_abox(self):
+        kb = KnowledgeBase().add(
+            ConceptInclusion(A, B), ConceptAssertion(a, A)
+        )
+        ranked = default_stratification(kb)
+        priorities = {repr(axiom): priority for axiom, priority in ranked}
+        assert priorities["A [= B"] == 0
+        assert priorities["a : A"] == 1
+
+
+class TestPossibilisticPolicy:
+    def test_consistent_keeps_everything(self):
+        kb = KnowledgeBase().add(
+            ConceptInclusion(A, B), ConceptAssertion(a, A)
+        )
+        reasoner = StratifiedReasoner(default_stratification(kb))
+        assert len(reasoner.retained_kb) == 2
+        assert reasoner.dropped_axioms() == []
+        assert reasoner.query(a, B) == "accepted"
+
+    def test_breaking_stratum_dropped_entirely(self):
+        # Stratum 0 is consistent; stratum 1 breaks -> whole stratum
+        # (including the innocent b-assertion) is drowned.
+        stratification = [
+            (ConceptInclusion(A, B), 0),
+            (ConceptAssertion(a, A), 1),
+            (ConceptAssertion(a, Not(B)), 1),
+            (ConceptAssertion(b, C), 1),
+        ]
+        reasoner = StratifiedReasoner(stratification)
+        assert len(reasoner.retained_kb) == 1
+        assert reasoner.query(b, C) == "undetermined"  # drowned
+
+    def test_priority_order_respected(self):
+        # The higher-certainty assertion wins over the conflicting one.
+        stratification = [
+            (ConceptAssertion(a, A), 0),
+            (ConceptAssertion(a, Not(A)), 1),
+        ]
+        reasoner = StratifiedReasoner(stratification)
+        assert reasoner.query(a, A) == "accepted"
+        assert reasoner.dropped_axioms() == [ConceptAssertion(a, Not(A))]
+
+
+class TestLexicographicPolicy:
+    def test_innocent_axioms_survive(self):
+        stratification = [
+            (ConceptInclusion(A, B), 0),
+            (ConceptAssertion(a, A), 1),
+            (ConceptAssertion(a, Not(B)), 1),
+            (ConceptAssertion(b, C), 1),
+        ]
+        reasoner = StratifiedReasoner(stratification, lexicographic=True)
+        # The axiom-by-axiom pass keeps what it can from the broken
+        # stratum, including the unrelated b : C.
+        assert reasoner.query(b, C) == "accepted"
+
+    def test_later_strata_still_considered(self):
+        stratification = [
+            (ConceptAssertion(a, A), 0),
+            (ConceptAssertion(a, Not(A)), 1),  # conflicts, dropped
+            (ConceptAssertion(b, B), 2),  # must survive
+        ]
+        reasoner = StratifiedReasoner(stratification, lexicographic=True)
+        assert reasoner.query(b, B) == "accepted"
+
+    def test_order_within_stratum_is_greedy(self):
+        # Whichever of the two conflicting axioms comes first survives.
+        stratification = [
+            (ConceptAssertion(a, A), 0),
+            (ConceptAssertion(a, Not(A)), 0),
+        ]
+        reasoner = StratifiedReasoner(stratification, lexicographic=True)
+        assert reasoner.query(a, A) == "accepted"
+        assert reasoner.dropped_axioms() == [ConceptAssertion(a, Not(A))]

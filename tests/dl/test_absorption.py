@@ -1,0 +1,137 @@
+"""Absorption (lazy unfolding of atomic-LHS inclusions): correctness.
+
+Absorption must never change answers — only speed.  These tests compare
+the absorbed and internalised configurations on directed cases and on
+random KBs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dl import (
+    AtomicConcept,
+    AtomicRole,
+    ConceptAssertion,
+    ConceptInclusion,
+    Exists,
+    Forall,
+    Individual,
+    KnowledgeBase,
+    Not,
+    OneOf,
+    Or,
+    Tableau,
+    TOP,
+)
+from repro.workloads import GeneratorConfig, generate_kb
+
+A, B = AtomicConcept("A"), AtomicConcept("B")
+r = AtomicRole("r")
+a, b = Individual("a"), Individual("b")
+
+
+def both_ways(kb: KnowledgeBase) -> tuple:
+    with_absorption = Tableau(kb, use_absorption=True).is_satisfiable()
+    without = Tableau(kb, use_absorption=False).is_satisfiable()
+    return with_absorption, without
+
+
+class TestAbsorptionSplitting:
+    def test_atomic_lhs_absorbed(self):
+        kb = KnowledgeBase.of([ConceptInclusion(A, B)])
+        tableau = Tableau(kb)
+        assert A in tableau.absorbed
+        assert tableau.universal == []
+
+    def test_complex_lhs_internalised(self):
+        kb = KnowledgeBase.of([ConceptInclusion(Exists(r, A), B)])
+        tableau = Tableau(kb)
+        assert tableau.absorbed == {}
+        assert len(tableau.universal) == 1
+
+    def test_top_lhs_internalised(self):
+        kb = KnowledgeBase.of([ConceptInclusion(TOP, A)])
+        tableau = Tableau(kb)
+        assert len(tableau.universal) == 1
+
+    def test_flag_disables(self):
+        kb = KnowledgeBase.of([ConceptInclusion(A, B)])
+        tableau = Tableau(kb, use_absorption=False)
+        assert tableau.absorbed == {}
+        assert len(tableau.universal) == 1
+
+
+class TestAnswersUnchanged:
+    @pytest.mark.parametrize(
+        "axioms",
+        [
+            # subsumption chain with a clash
+            [
+                ConceptInclusion(A, B),
+                ConceptAssertion(a, A),
+                ConceptAssertion(a, Not(B)),
+            ],
+            # satisfiable chain
+            [ConceptInclusion(A, B), ConceptAssertion(a, A)],
+            # absorbed nominal head
+            [
+                ConceptInclusion(A, OneOf.of("b")),
+                ConceptAssertion(a, A),
+                ConceptAssertion(b, B),
+            ],
+            # absorbed quantified head over a cycle (exercises blocking)
+            [ConceptInclusion(A, Exists(r, A)), ConceptAssertion(a, A)],
+            # mixed absorbed + internalised
+            [
+                ConceptInclusion(A, B),
+                ConceptInclusion(Exists(r, B), Not(A)),
+                ConceptAssertion(a, A),
+                ConceptAssertion(a, Exists(r, A)),
+            ],
+        ],
+    )
+    def test_directed_cases(self, axioms):
+        with_absorption, without = both_ways(KnowledgeBase.of(axioms))
+        assert with_absorption == without
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=50, deadline=None)
+    def test_random_kbs_agree(self, seed):
+        config = GeneratorConfig(
+            n_concepts=3,
+            n_roles=1,
+            n_individuals=2,
+            n_tbox=3,
+            n_abox=4,
+            max_depth=1,
+            seed=seed,
+        )
+        kb = generate_kb(config)
+        with_absorption = Tableau(
+            kb, use_absorption=True, max_branches=40_000
+        ).is_satisfiable()
+        without = Tableau(
+            kb, use_absorption=False, max_branches=40_000
+        ).is_satisfiable()
+        assert with_absorption == without
+
+    def test_absorbed_negative_information_still_propagates(self):
+        # A [= B absorbed: an explicit not-B instance of A must clash even
+        # though no universal disjunction carries the contrapositive.
+        kb = KnowledgeBase.of(
+            [
+                ConceptInclusion(A, B),
+                ConceptAssertion(a, Not(B)),
+                ConceptAssertion(a, A),
+            ]
+        )
+        assert not Tableau(kb).is_satisfiable()
+
+    def test_subsumption_probe_still_works(self):
+        from repro.dl import Reasoner
+
+        kb = KnowledgeBase.of([ConceptInclusion(A, B)])
+        reasoner = Reasoner(kb)
+        assert reasoner.subsumes(B, A)
+        assert not reasoner.subsumes(A, B)

@@ -1,0 +1,96 @@
+"""Unit tests for the classical axiom classes."""
+
+import pytest
+
+from repro.dl import (
+    AtomicConcept,
+    AtomicRole,
+    ConceptAssertion,
+    ConceptEquivalence,
+    ConceptInclusion,
+    DataAssertion,
+    DataValue,
+    DatatypeRole,
+    DifferentIndividuals,
+    Individual,
+    NegativeRoleAssertion,
+    Not,
+    RoleAssertion,
+    SameIndividual,
+    Transitivity,
+)
+from repro.dl.axioms import expand_equivalences
+
+A, B = AtomicConcept("A"), AtomicConcept("B")
+r = AtomicRole("r")
+a, b = Individual("a"), Individual("b")
+
+
+class TestEquality:
+    def test_axioms_equal_by_value(self):
+        assert ConceptInclusion(A, B) == ConceptInclusion(A, B)
+        assert ConceptInclusion(A, B) != ConceptInclusion(B, A)
+        assert RoleAssertion(r, a, b) == RoleAssertion(r, a, b)
+
+    def test_axioms_hashable(self):
+        axioms = {ConceptInclusion(A, B), ConceptInclusion(A, B)}
+        assert len(axioms) == 1
+
+    def test_assertion_kinds_distinct(self):
+        assert RoleAssertion(r, a, b) != NegativeRoleAssertion(r, a, b)
+
+
+class TestEquivalence:
+    def test_expands_to_both_inclusions(self):
+        equivalence = ConceptEquivalence(A, B)
+        assert equivalence.inclusions() == (
+            ConceptInclusion(A, B),
+            ConceptInclusion(B, A),
+        )
+
+    def test_expand_equivalences_helper(self):
+        axioms = list(
+            expand_equivalences(
+                iter([ConceptEquivalence(A, B), ConceptAssertion(a, A)])
+            )
+        )
+        assert axioms == [
+            ConceptInclusion(A, B),
+            ConceptInclusion(B, A),
+            ConceptAssertion(a, A),
+        ]
+
+
+class TestNormalisation:
+    def test_role_assertion_inverse(self):
+        assert RoleAssertion(r.inverse(), a, b).normalised() == RoleAssertion(
+            r, b, a
+        )
+        assert RoleAssertion(r, a, b).normalised() == RoleAssertion(r, a, b)
+
+    def test_negative_role_assertion_inverse(self):
+        assert NegativeRoleAssertion(
+            r.inverse(), a, b
+        ).normalised() == NegativeRoleAssertion(r, b, a)
+
+
+class TestReprs:
+    @pytest.mark.parametrize(
+        "axiom, expected",
+        [
+            (ConceptInclusion(A, B), "A [= B"),
+            (ConceptEquivalence(A, B), "A == B"),
+            (Transitivity(r), "Trans(r)"),
+            (ConceptAssertion(a, Not(A)), "a : (not A)"),
+            (RoleAssertion(r, a, b), "r(a, b)"),
+            (NegativeRoleAssertion(r, a, b), "not r(a, b)"),
+            (SameIndividual(a, b), "a = b"),
+            (DifferentIndividuals(a, b), "a != b"),
+        ],
+    )
+    def test_repr(self, axiom, expected):
+        assert repr(axiom) == expected
+
+    def test_data_assertion_repr(self):
+        axiom = DataAssertion(DatatypeRole("u"), a, DataValue.of(3))
+        assert repr(axiom) == "u(a, 3)"

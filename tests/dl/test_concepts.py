@@ -1,0 +1,128 @@
+"""Unit tests for the concept AST."""
+
+import pytest
+
+from repro.dl import (
+    BOTTOM,
+    TOP,
+    And,
+    AtLeast,
+    AtMost,
+    AtomicConcept,
+    AtomicRole,
+    DataAtLeast,
+    DataExists,
+    DatatypeRole,
+    Exists,
+    Forall,
+    INTEGER,
+    Individual,
+    Not,
+    OneOf,
+    Or,
+)
+from repro.dl.concepts import (
+    atomic_concepts,
+    datatype_roles,
+    nominals,
+    object_roles,
+)
+
+A, B, C = AtomicConcept("A"), AtomicConcept("B"), AtomicConcept("C")
+r = AtomicRole("r")
+u = DatatypeRole("u")
+
+
+class TestConstruction:
+    def test_operators_build_nodes(self):
+        assert (A & B) == And.of(A, B)
+        assert (A | B) == Or.of(A, B)
+        assert ~A == Not(A)
+
+    def test_and_flattens(self):
+        assert And.of(And.of(A, B), C) == And((A, B, C))
+        assert (A & B & C) == And((A, B, C))
+
+    def test_or_flattens(self):
+        assert Or.of(A, Or.of(B, C)) == Or((A, B, C))
+
+    def test_single_operand_collapses(self):
+        assert And.of(A) == A
+        assert Or.of(A) == A
+
+    def test_nodes_are_hashable_and_equal_by_value(self):
+        assert hash(Exists(r, A)) == hash(Exists(r, A))
+        assert Exists(r, A) == Exists(r, A)
+        assert Exists(r, A) != Exists(r, B)
+        assert len({A & B, A & B, A | B}) == 2
+
+    def test_oneof_of_names(self):
+        assert OneOf.of("a", "b").individuals == frozenset(
+            {Individual("a"), Individual("b")}
+        )
+
+    def test_oneof_order_irrelevant(self):
+        assert OneOf.of("a", "b") == OneOf.of("b", "a")
+
+
+class TestTraversal:
+    def test_subconcepts_counts_nested(self):
+        concept = And.of(A, Exists(r, Or.of(B, Not(C))))
+        names = [type(c).__name__ for c in concept.subconcepts()]
+        assert names.count("AtomicConcept") == 3
+        assert "Exists" in names and "Or" in names and "Not" in names
+
+    def test_size(self):
+        assert A.size() == 1
+        assert (A & B).size() == 3
+        assert Exists(r, A).size() == 2
+        assert Not(Exists(r, A & B)).size() == 5
+
+    def test_counting_constructors_are_leaves(self):
+        assert AtLeast(2, r).size() == 1
+        assert DataAtLeast(2, u).size() == 1
+
+
+class TestSignatureExtraction:
+    def test_atomic_concepts(self):
+        concept = And.of(A, Exists(r, B), Forall(r.inverse(), Not(C)))
+        assert atomic_concepts(concept) == frozenset({A, B, C})
+
+    def test_object_roles_include_inverse_expressions(self):
+        concept = And.of(Exists(r, A), AtMost(2, r.inverse()))
+        roles = object_roles(concept)
+        assert r in roles and r.inverse() in roles
+
+    def test_datatype_roles(self):
+        concept = And.of(DataExists(u, INTEGER), A)
+        assert datatype_roles(concept) == frozenset({u})
+
+    def test_nominals(self):
+        concept = Or.of(OneOf.of("a"), Exists(r, OneOf.of("b", "c")))
+        assert nominals(concept) == frozenset(
+            {Individual("a"), Individual("b"), Individual("c")}
+        )
+
+    def test_top_bottom_have_empty_signature(self):
+        assert atomic_concepts(TOP) == frozenset()
+        assert atomic_concepts(BOTTOM) == frozenset()
+
+
+class TestRepr:
+    @pytest.mark.parametrize(
+        "concept, expected",
+        [
+            (A, "A"),
+            (TOP, "Thing"),
+            (BOTTOM, "Nothing"),
+            (Not(A), "(not A)"),
+            (A & B, "(A and B)"),
+            (A | B, "(A or B)"),
+            (Exists(r, A), "(some r A)"),
+            (Forall(r, A), "(all r A)"),
+            (AtLeast(2, r), "(atleast 2 r)"),
+            (AtMost(3, r.inverse()), "(atmost 3 r-)"),
+        ],
+    )
+    def test_repr(self, concept, expected):
+        assert repr(concept) == expected

@@ -1,0 +1,135 @@
+"""Unit and property tests for the concrete domain."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dl import (
+    BOOLEAN,
+    DataAnd,
+    DataBottom,
+    DataComplement,
+    DataOneOf,
+    DataOr,
+    DataTop,
+    DataValue,
+    Datatype,
+    FLOAT,
+    INTEGER,
+    IntRange,
+    STRING,
+)
+from repro.dl.datatypes import conjunction_satisfiable, find_witnesses
+
+
+class TestMembership:
+    def test_primitive_datatypes(self):
+        assert INTEGER.contains(DataValue.of(3))
+        assert not INTEGER.contains(DataValue.of("3"))
+        assert STRING.contains(DataValue.of("x"))
+        assert FLOAT.contains(DataValue.of(1.5))
+        assert BOOLEAN.contains(DataValue.of(True))
+
+    def test_one_of(self):
+        enum = DataOneOf.of(1, 2, "three")
+        assert enum.contains(DataValue.of(1))
+        assert enum.contains(DataValue.of("three"))
+        assert not enum.contains(DataValue.of(3))
+
+    def test_int_range(self):
+        window = IntRange(0, 10)
+        assert window.contains(DataValue.of(0))
+        assert window.contains(DataValue.of(10))
+        assert not window.contains(DataValue.of(-1))
+        assert not window.contains(DataValue.of(11))
+        assert not window.contains(DataValue.of("5"))
+
+    def test_open_ended_ranges(self):
+        assert IntRange(5, None).contains(DataValue.of(10**9))
+        assert IntRange(None, 5).contains(DataValue.of(-(10**9)))
+
+    def test_complement(self):
+        assert DataComplement(INTEGER).contains(DataValue.of("x"))
+        assert not DataComplement(INTEGER).contains(DataValue.of(3))
+
+    def test_double_negation_collapses(self):
+        assert INTEGER.negate().negate() is INTEGER
+
+    def test_boolean_combinations(self):
+        both = DataAnd((INTEGER, IntRange(0, 5)))
+        assert both.contains(DataValue.of(3))
+        assert not both.contains(DataValue.of(9))
+        either = DataOr((IntRange(0, 1), IntRange(9, 10)))
+        assert either.contains(DataValue.of(9))
+        assert not either.contains(DataValue.of(5))
+
+    def test_top_bottom(self):
+        assert DataTop().contains(DataValue.of("anything"))
+        assert not DataBottom().contains(DataValue.of("anything"))
+
+
+class TestWitnessSearch:
+    def test_simple_satisfiable(self):
+        assert conjunction_satisfiable([INTEGER])
+        assert conjunction_satisfiable([IntRange(3, 3)])
+
+    def test_empty_conjunction(self):
+        assert conjunction_satisfiable([])
+
+    def test_contradictory_ranges(self):
+        assert not conjunction_satisfiable([IntRange(0, 3), IntRange(5, 9)])
+        assert not conjunction_satisfiable([INTEGER, DataComplement(INTEGER)])
+
+    def test_enumeration_intersection(self):
+        witnesses = find_witnesses([DataOneOf.of(1, 2, 3), IntRange(2, 9)], 2)
+        assert witnesses is not None
+        assert {w.to_python() for w in witnesses} == {2, 3}
+
+    def test_count_limited_by_range(self):
+        assert find_witnesses([IntRange(0, 2)], 3) is not None
+        assert find_witnesses([IntRange(0, 2)], 4) is None
+
+    def test_count_limited_by_enumeration(self):
+        assert find_witnesses([DataOneOf.of(1, 2)], 3) is None
+
+    def test_distinct_witnesses(self):
+        witnesses = find_witnesses([INTEGER], 10)
+        assert witnesses is not None
+        assert len(set(witnesses)) == 10
+
+    def test_string_witness_found(self):
+        witnesses = find_witnesses([STRING], 1)
+        assert witnesses is not None
+        assert witnesses[0].datatype == "string"
+
+    def test_complement_of_enumeration(self):
+        witnesses = find_witnesses(
+            [INTEGER, DataComplement(DataOneOf.of(0, 1))], 1
+        )
+        assert witnesses is not None
+        assert witnesses[0].to_python() not in (0, 1)
+
+
+class TestWitnessProperties:
+    @given(
+        st.integers(-50, 50),
+        st.integers(0, 20),
+        st.integers(1, 5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_range_witnesses_are_correct_and_distinct(self, low, width, count):
+        window = IntRange(low, low + width)
+        witnesses = find_witnesses([window], count)
+        if count <= width + 1:
+            assert witnesses is not None
+            assert len(set(witnesses)) == count
+            assert all(window.contains(w) for w in witnesses)
+        else:
+            assert witnesses is None
+
+    @given(st.lists(st.integers(-20, 20), min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_enumeration_witness_count_is_exact(self, values):
+        enum = DataOneOf.of(*values)
+        distinct = len(set(values))
+        assert find_witnesses([enum], distinct) is not None
+        assert find_witnesses([enum], distinct + 1) is None

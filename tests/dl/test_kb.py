@@ -1,0 +1,176 @@
+"""Unit tests for KnowledgeBase containers and role hierarchy closure."""
+
+import pytest
+
+from repro.dl import (
+    And,
+    AtomicConcept,
+    AtomicRole,
+    ConceptAssertion,
+    ConceptEquivalence,
+    ConceptInclusion,
+    DataAssertion,
+    DataValue,
+    DatatypeRole,
+    DatatypeRoleInclusion,
+    DifferentIndividuals,
+    Exists,
+    Individual,
+    KnowledgeBase,
+    OneOf,
+    RoleAssertion,
+    RoleInclusion,
+    SameIndividual,
+    Transitivity,
+    simple_roles,
+)
+
+A, B = AtomicConcept("A"), AtomicConcept("B")
+r, s, t = AtomicRole("r"), AtomicRole("s"), AtomicRole("t")
+u = DatatypeRole("u")
+a, b = Individual("a"), Individual("b")
+
+
+class TestConstruction:
+    def test_add_routes_by_type(self):
+        kb = KnowledgeBase()
+        kb.add(
+            ConceptInclusion(A, B),
+            RoleInclusion(r, s),
+            DatatypeRoleInclusion(u, u),
+            Transitivity(r),
+            ConceptAssertion(a, A),
+            RoleAssertion(r, a, b),
+            DataAssertion(u, a, DataValue.of(1)),
+            SameIndividual(a, a),
+            DifferentIndividuals(a, b),
+        )
+        assert len(kb.concept_inclusions) == 1
+        assert len(kb.role_inclusions) == 1
+        assert len(kb.datatype_role_inclusions) == 1
+        assert len(kb.transitivity_axioms) == 1
+        assert len(kb.concept_assertions) == 1
+        assert len(kb.role_assertions) == 1
+        assert len(kb.data_assertions) == 1
+        assert len(kb) == 9
+
+    def test_equivalence_expands_to_two_inclusions(self):
+        kb = KnowledgeBase().add(ConceptEquivalence(A, B))
+        assert kb.concept_inclusions == [
+            ConceptInclusion(A, B),
+            ConceptInclusion(B, A),
+        ]
+
+    def test_inverse_role_assertion_normalised(self):
+        kb = KnowledgeBase().add(RoleAssertion(r.inverse(), a, b))
+        assert kb.role_assertions == [RoleAssertion(r, b, a)]
+
+    def test_unknown_axiom_rejected(self):
+        with pytest.raises(TypeError):
+            KnowledgeBase().add("not an axiom")
+
+    def test_copy_is_independent(self):
+        kb = KnowledgeBase().add(ConceptInclusion(A, B))
+        clone = kb.copy()
+        clone.add(ConceptAssertion(a, A))
+        assert len(kb) == 1 and len(clone) == 2
+
+    def test_merged(self):
+        left = KnowledgeBase().add(ConceptInclusion(A, B))
+        right = KnowledgeBase().add(ConceptAssertion(a, A))
+        merged = left.merged(right)
+        assert len(merged) == 2
+        assert len(left) == 1 and len(right) == 1
+
+    def test_of_builds_from_iterable(self):
+        kb = KnowledgeBase.of([ConceptInclusion(A, B), ConceptAssertion(a, A)])
+        assert len(kb) == 2
+
+
+class TestSignature:
+    def test_concepts_from_all_positions(self):
+        kb = KnowledgeBase().add(
+            ConceptInclusion(A, Exists(r, B)),
+            ConceptAssertion(a, And.of(A, AtomicConcept("C"))),
+        )
+        names = {c.name for c in kb.concepts_in_signature()}
+        assert names == {"A", "B", "C"}
+
+    def test_roles_from_all_positions(self):
+        kb = KnowledgeBase().add(
+            ConceptInclusion(A, Exists(r.inverse(), B)),
+            RoleInclusion(s, t),
+            Transitivity(AtomicRole("w")),
+            RoleAssertion(AtomicRole("v"), a, b),
+        )
+        names = {x.name for x in kb.object_roles_in_signature()}
+        assert names == {"r", "s", "t", "w", "v"}
+
+    def test_individuals_include_nominals(self):
+        kb = KnowledgeBase().add(
+            ConceptInclusion(A, OneOf.of("n")),
+            RoleAssertion(r, a, b),
+            DifferentIndividuals(Individual("x"), Individual("y")),
+        )
+        names = {i.name for i in kb.individuals_in_signature()}
+        assert names == {"n", "a", "b", "x", "y"}
+
+    def test_datatype_roles(self):
+        kb = KnowledgeBase().add(DataAssertion(u, a, DataValue.of(1)))
+        assert kb.datatype_roles_in_signature() == frozenset({u})
+
+    def test_size_counts_ast_nodes(self):
+        kb = KnowledgeBase().add(ConceptInclusion(A, And.of(A, B)))
+        assert kb.size() == 1 + 3
+
+
+class TestRoleHierarchy:
+    def test_reflexive_transitive_closure(self):
+        kb = KnowledgeBase().add(RoleInclusion(r, s), RoleInclusion(s, t))
+        closure = kb.role_superroles()
+        assert closure[r] >= {r, s, t}
+        assert closure[s] >= {s, t}
+        assert t in closure[t]
+
+    def test_inverse_mirroring(self):
+        kb = KnowledgeBase().add(RoleInclusion(r, s))
+        closure = kb.role_superroles()
+        assert s.inverse() in closure[r.inverse()]
+
+    def test_inclusion_of_inverse_expressions(self):
+        kb = KnowledgeBase().add(RoleInclusion(r.inverse(), s))
+        closure = kb.role_superroles()
+        assert s in closure[r.inverse()]
+        assert s.inverse() in closure[r]
+
+    def test_cycle_handled(self):
+        kb = KnowledgeBase().add(RoleInclusion(r, s), RoleInclusion(s, r))
+        closure = kb.role_superroles()
+        assert closure[r] >= {r, s}
+        assert closure[s] >= {r, s}
+
+    def test_transitive_roles(self):
+        kb = KnowledgeBase().add(Transitivity(r))
+        assert kb.transitive_roles() == frozenset({r})
+        assert kb.is_transitive(r)
+        assert kb.is_transitive(r.inverse())
+        assert not kb.is_transitive(s)
+
+
+class TestSimpleRoles:
+    def test_transitive_role_not_simple(self):
+        kb = KnowledgeBase().add(Transitivity(r), RoleAssertion(r, a, b))
+        assert r not in simple_roles(kb)
+
+    def test_superrole_of_transitive_not_simple(self):
+        kb = KnowledgeBase().add(
+            Transitivity(r), RoleInclusion(r, s), RoleAssertion(s, a, b)
+        )
+        simple = simple_roles(kb)
+        assert s not in simple and r not in simple
+
+    def test_unrelated_role_simple(self):
+        kb = KnowledgeBase().add(
+            Transitivity(r), RoleAssertion(t, a, b)
+        )
+        assert t in simple_roles(kb)

@@ -1,0 +1,147 @@
+"""Finite-model extraction from the completion graph."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dl import (
+    And,
+    AtLeast,
+    AtMost,
+    AtomicConcept,
+    AtomicRole,
+    ConceptAssertion,
+    ConceptInclusion,
+    DataExists,
+    DatatypeRole,
+    Exists,
+    Individual,
+    IntRange,
+    KnowledgeBase,
+    Not,
+    RoleAssertion,
+    RoleInclusion,
+    SameIndividual,
+    Tableau,
+    Transitivity,
+)
+from repro.workloads import GeneratorConfig, generate_kb
+
+A, B = AtomicConcept("A"), AtomicConcept("B")
+r, s = AtomicRole("r"), AtomicRole("s")
+a, b, c = Individual("a"), Individual("b"), Individual("c")
+
+
+def extract(kb: KnowledgeBase):
+    tableau = Tableau(kb)
+    satisfiable = tableau.is_satisfiable()
+    return satisfiable, tableau.extract_model()
+
+
+class TestBasicExtraction:
+    def test_no_run_no_model(self):
+        assert Tableau(KnowledgeBase()).extract_model() is None
+
+    def test_unsat_no_model(self):
+        satisfiable, model = extract(
+            KnowledgeBase.of(
+                [ConceptAssertion(a, A), ConceptAssertion(a, Not(A))]
+            )
+        )
+        assert not satisfiable and model is None
+
+    def test_abox_model(self):
+        kb = KnowledgeBase.of(
+            [
+                ConceptInclusion(A, B),
+                ConceptAssertion(a, A),
+                RoleAssertion(r, a, b),
+            ]
+        )
+        satisfiable, model = extract(kb)
+        assert satisfiable and model is not None
+        assert model.is_model(kb)
+        assert model.satisfies(ConceptAssertion(a, B))
+
+    def test_existential_witnesses_in_domain(self):
+        kb = KnowledgeBase.of([ConceptAssertion(a, Exists(r, B))])
+        _satisfiable, model = extract(kb)
+        assert model is not None
+        assert len(model.domain) == 2
+        assert model.satisfies(ConceptAssertion(a, Exists(r, B)))
+
+    def test_blocking_returns_none(self):
+        kb = KnowledgeBase.of(
+            [ConceptInclusion(A, Exists(r, A)), ConceptAssertion(a, A)]
+        )
+        satisfiable, model = extract(kb)
+        assert satisfiable and model is None
+
+    def test_merged_individuals_share_element(self):
+        kb = KnowledgeBase.of(
+            [SameIndividual(a, b), ConceptAssertion(a, A)]
+        )
+        _satisfiable, model = extract(kb)
+        assert model is not None
+        assert model.individual_map[a] == model.individual_map[b]
+
+    def test_transitive_closure_in_model(self):
+        kb = KnowledgeBase.of(
+            [
+                Transitivity(r),
+                RoleAssertion(r, a, b),
+                RoleAssertion(r, b, c),
+            ]
+        )
+        _satisfiable, model = extract(kb)
+        assert model is not None
+        assert model.satisfies(RoleAssertion(r, a, c))
+
+    def test_role_hierarchy_in_model(self):
+        kb = KnowledgeBase.of(
+            [RoleInclusion(r, s), RoleAssertion(r, a, b)]
+        )
+        _satisfiable, model = extract(kb)
+        assert model is not None
+        assert model.satisfies(RoleAssertion(s, a, b))
+
+    def test_counting_model(self):
+        kb = KnowledgeBase.of(
+            [ConceptAssertion(a, And.of(AtLeast(2, r), AtMost(2, r)))]
+        )
+        _satisfiable, model = extract(kb)
+        assert model is not None
+        assert model.is_model(kb)
+
+    def test_datatype_model(self):
+        u = DatatypeRole("u")
+        kb = KnowledgeBase.of(
+            [ConceptAssertion(a, DataExists(u, IntRange(5, 5)))]
+        )
+        _satisfiable, model = extract(kb)
+        assert model is not None
+        pairs = model.data_role_extension(u)
+        assert any(value.to_python() == 5 for (_x, value) in pairs)
+
+
+class TestExtractionProperty:
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=50, deadline=None)
+    def test_extracted_model_always_verifies(self, seed):
+        """Extraction is checked: whenever it returns, the result models
+        the KB per the independent Table 1 evaluator."""
+        config = GeneratorConfig(
+            n_concepts=3,
+            n_roles=2,
+            n_individuals=3,
+            n_tbox=3,
+            n_abox=5,
+            max_depth=1,
+            seed=seed,
+        )
+        kb = generate_kb(config)
+        tableau = Tableau(kb, max_nodes=400, max_branches=40_000)
+        if tableau.is_satisfiable():
+            model = tableau.extract_model()
+            if model is not None:
+                assert model.is_model(kb)

@@ -1,0 +1,130 @@
+"""Negative role assertions (OWL 2 extension): classical stack tests."""
+
+from repro.dl import (
+    AtomicConcept,
+    AtomicRole,
+    ConceptAssertion,
+    Exists,
+    Forall,
+    BOTTOM,
+    Individual,
+    KnowledgeBase,
+    NegativeRoleAssertion,
+    Reasoner,
+    RoleAssertion,
+    RoleInclusion,
+    SameIndividual,
+    Tableau,
+    TOP,
+    Transitivity,
+)
+from repro.dl.owl import from_functional, to_functional
+from repro.dl.parser import parse_kb
+from repro.dl.printer import render_kb
+
+A = AtomicConcept("A")
+r, s = AtomicRole("r"), AtomicRole("s")
+a, b, c = Individual("a"), Individual("b"), Individual("c")
+
+
+class TestSyntax:
+    def test_inverse_normalisation(self):
+        assertion = NegativeRoleAssertion(r.inverse(), a, b)
+        assert assertion.normalised() == NegativeRoleAssertion(r, b, a)
+
+    def test_kb_routing(self):
+        kb = KnowledgeBase().add(NegativeRoleAssertion(r, a, b))
+        assert kb.negative_role_assertions == [NegativeRoleAssertion(r, a, b)]
+        assert r in kb.object_roles_in_signature()
+        assert {a, b} <= kb.individuals_in_signature()
+
+    def test_text_round_trip(self):
+        kb = parse_kb("not r(a, b)")
+        assert kb.negative_role_assertions == [NegativeRoleAssertion(r, a, b)]
+        assert list(parse_kb(render_kb(kb)).axioms()) == list(kb.axioms())
+
+    def test_owl_round_trip(self):
+        kb = KnowledgeBase().add(NegativeRoleAssertion(r, a, b))
+        assert list(from_functional(to_functional(kb)).axioms()) == list(kb.axioms())
+
+
+class TestTableau:
+    def test_direct_conflict(self):
+        kb = KnowledgeBase().add(
+            NegativeRoleAssertion(r, a, b), RoleAssertion(r, a, b)
+        )
+        assert not Tableau(kb).is_satisfiable()
+
+    def test_no_conflict_without_edge(self):
+        kb = KnowledgeBase().add(
+            NegativeRoleAssertion(r, a, b), RoleAssertion(r, a, c)
+        )
+        assert Tableau(kb).is_satisfiable()
+
+    def test_conflict_via_subrole(self):
+        kb = KnowledgeBase().add(
+            RoleInclusion(s, r),
+            NegativeRoleAssertion(r, a, b),
+            RoleAssertion(s, a, b),
+        )
+        assert not Tableau(kb).is_satisfiable()
+
+    def test_conflict_via_inverse(self):
+        kb = KnowledgeBase().add(
+            NegativeRoleAssertion(r.inverse(), a, b),  # = not r(b, a)
+            RoleAssertion(r, b, a),
+        )
+        assert not Tableau(kb).is_satisfiable()
+
+    def test_conflict_after_merge(self):
+        # b = c turns the forbidden (a, b) into the asserted (a, c).
+        kb = KnowledgeBase().add(
+            NegativeRoleAssertion(r, a, b),
+            RoleAssertion(r, a, c),
+            SameIndividual(b, c),
+        )
+        assert not Tableau(kb).is_satisfiable()
+
+    def test_conflict_via_transitivity(self):
+        # Trans(r) forces (a, c) into r's extension; the forbidden-pair
+        # check follows r-chains for transitive roles.
+        kb = KnowledgeBase().add(
+            Transitivity(r),
+            RoleAssertion(r, a, b),
+            RoleAssertion(r, b, c),
+            NegativeRoleAssertion(r, a, c),
+        )
+        assert not Tableau(kb).is_satisfiable()
+
+    def test_transitive_chain_to_other_target_fine(self):
+        kb = KnowledgeBase().add(
+            Transitivity(r),
+            RoleAssertion(r, a, b),
+            RoleAssertion(r, b, c),
+            NegativeRoleAssertion(r, c, a),
+        )
+        assert Tableau(kb).is_satisfiable()
+
+    def test_exists_still_satisfiable(self):
+        kb = KnowledgeBase().add(
+            NegativeRoleAssertion(r, a, b),
+            ConceptAssertion(a, Exists(r, TOP)),
+        )
+        assert Tableau(kb).is_satisfiable()
+
+
+class TestEntailment:
+    def test_entailed_by_forall_bottom(self):
+        kb = KnowledgeBase().add(ConceptAssertion(a, Forall(r, BOTTOM)))
+        reasoner = Reasoner(kb)
+        assert reasoner.entails(NegativeRoleAssertion(r, a, b))
+
+    def test_entailed_by_assertion(self):
+        kb = KnowledgeBase().add(NegativeRoleAssertion(r, a, b))
+        reasoner = Reasoner(kb)
+        assert reasoner.entails(NegativeRoleAssertion(r, a, b))
+        assert not reasoner.entails(NegativeRoleAssertion(r, a, c))
+
+    def test_not_entailed_by_default(self):
+        reasoner = Reasoner(KnowledgeBase().add(ConceptAssertion(a, A)))
+        assert not reasoner.entails(NegativeRoleAssertion(r, a, b))

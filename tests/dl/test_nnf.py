@@ -1,0 +1,152 @@
+"""NNF correctness: unit cases plus semantic preservation properties."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dl import (
+    BOTTOM,
+    TOP,
+    And,
+    AtLeast,
+    AtMost,
+    AtomicConcept,
+    AtomicRole,
+    Exists,
+    Forall,
+    Individual,
+    Not,
+    OneOf,
+    Or,
+    is_nnf,
+    negation_nnf,
+    nnf,
+)
+from repro.semantics import Interpretation
+from repro.workloads import Signature, random_concept
+
+A, B = AtomicConcept("A"), AtomicConcept("B")
+r = AtomicRole("r")
+
+
+class TestUnitCases:
+    def test_literals_unchanged(self):
+        assert nnf(A) == A
+        assert nnf(Not(A)) == Not(A)
+        assert nnf(TOP) == TOP
+
+    def test_double_negation(self):
+        assert nnf(Not(Not(A))) == A
+        assert nnf(Not(Not(Not(A)))) == Not(A)
+
+    def test_de_morgan(self):
+        assert nnf(Not(A & B)) == (Not(A) | Not(B))
+        assert nnf(Not(A | B)) == (Not(A) & Not(B))
+
+    def test_quantifier_duals(self):
+        assert nnf(Not(Exists(r, A))) == Forall(r, Not(A))
+        assert nnf(Not(Forall(r, A))) == Exists(r, Not(A))
+
+    def test_counting_duals(self):
+        assert nnf(Not(AtLeast(2, r))) == AtMost(1, r)
+        assert nnf(Not(AtMost(2, r))) == AtLeast(3, r)
+        assert nnf(Not(AtLeast(0, r))) == BOTTOM
+
+    def test_top_bottom_duals(self):
+        assert nnf(Not(TOP)) == BOTTOM
+        assert nnf(Not(BOTTOM)) == TOP
+
+    def test_negated_nominal_stays_literal(self):
+        nominal = OneOf.of("a")
+        assert nnf(Not(nominal)) == Not(nominal)
+
+    def test_nested(self):
+        concept = Not(And.of(A, Exists(r, Not(Or.of(A, B)))))
+        result = nnf(concept)
+        assert is_nnf(result)
+        assert result == Or.of(Not(A), Forall(r, Or.of(A, B)))
+
+    def test_negation_nnf_is_nnf_of_not(self):
+        concept = And.of(A, Exists(r, B))
+        assert negation_nnf(concept) == nnf(Not(concept))
+
+
+class TestIsNnf:
+    def test_positive_cases(self):
+        assert is_nnf(A)
+        assert is_nnf(Not(A))
+        assert is_nnf(Forall(r, Not(A) | B))
+
+    def test_negative_cases(self):
+        assert not is_nnf(Not(A & B))
+        assert not is_nnf(Exists(r, Not(Exists(r, A))))
+
+
+def random_interpretation(rng: random.Random, signature: Signature) -> Interpretation:
+    domain = ["d0", "d1", "d2"]
+    return Interpretation(
+        domain=frozenset(domain),
+        concept_ext={
+            concept: frozenset(x for x in domain if rng.random() < 0.5)
+            for concept in signature.concepts
+        },
+        role_ext={
+            role: frozenset(
+                (x, y)
+                for x in domain
+                for y in domain
+                if rng.random() < 0.4
+            )
+            for role in signature.roles
+        },
+        individual_map={i: rng.choice(domain) for i in signature.individuals},
+    )
+
+
+class TestSemanticPreservation:
+    """NNF must not change the classical extension (checked on models)."""
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=120, deadline=None)
+    def test_nnf_preserves_extension(self, seed):
+        rng = random.Random(seed)
+        signature = Signature.of_size(3, 2, 2)
+        concept = random_concept(
+            rng, signature, depth=3, allow_counting=True, allow_nominals=True
+        )
+        interpretation = random_interpretation(rng, signature)
+        assert interpretation.extension(concept) == interpretation.extension(
+            nnf(concept)
+        )
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=120, deadline=None)
+    def test_negation_nnf_is_complement(self, seed):
+        rng = random.Random(seed)
+        signature = Signature.of_size(3, 2, 2)
+        concept = random_concept(
+            rng, signature, depth=3, allow_counting=True, allow_nominals=True
+        )
+        interpretation = random_interpretation(rng, signature)
+        complement = interpretation.domain - interpretation.extension(concept)
+        assert interpretation.extension(negation_nnf(concept)) == complement
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=120, deadline=None)
+    def test_nnf_result_is_nnf(self, seed):
+        rng = random.Random(seed)
+        signature = Signature.of_size(3, 2, 2)
+        concept = random_concept(
+            rng, signature, depth=4, allow_counting=True, allow_nominals=True
+        )
+        assert is_nnf(nnf(concept))
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=80, deadline=None)
+    def test_nnf_idempotent(self, seed):
+        rng = random.Random(seed)
+        signature = Signature.of_size(3, 2, 2)
+        concept = random_concept(rng, signature, depth=3, allow_counting=True)
+        once = nnf(concept)
+        assert nnf(once) == once

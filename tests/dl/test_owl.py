@@ -1,0 +1,150 @@
+"""OWL functional-syntax round-trip and error tests."""
+
+import pytest
+
+from repro.dl import (
+    AtomicConcept,
+    AtomicRole,
+    ConceptAssertion,
+    ConceptInclusion,
+    Exists,
+    Individual,
+    KnowledgeBase,
+    Not,
+    ParseError,
+    RoleAssertion,
+    UnsupportedFeature,
+)
+from repro.dl.owl import from_functional, to_functional
+from repro.dl.parser import parse_kb
+from repro.workloads import GeneratorConfig, generate_kb
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+A, B = AtomicConcept("A"), AtomicConcept("B")
+r = AtomicRole("r")
+a, b = Individual("a"), Individual("b")
+
+
+class TestEmission:
+    def test_document_structure(self):
+        kb = KnowledgeBase().add(ConceptInclusion(A, B))
+        doc = to_functional(kb, iri="http://example.org/x")
+        assert doc.startswith("Prefix(:=<http://example.org/x#>)")
+        assert "Ontology(<http://example.org/x>" in doc
+        assert "SubClassOf(:A :B)" in doc
+        assert doc.rstrip().endswith(")")
+
+    def test_declarations_present(self):
+        kb = KnowledgeBase().add(
+            ConceptAssertion(a, A), RoleAssertion(r, a, b)
+        )
+        doc = to_functional(kb)
+        assert "Declaration(Class(:A))" in doc
+        assert "Declaration(ObjectProperty(:r))" in doc
+        assert "Declaration(NamedIndividual(:a))" in doc
+
+    def test_complex_class_expression(self):
+        kb = KnowledgeBase().add(ConceptInclusion(A, Exists(r, Not(B))))
+        doc = to_functional(kb)
+        assert (
+            "SubClassOf(:A ObjectSomeValuesFrom(:r ObjectComplementOf(:B)))"
+            in doc
+        )
+
+
+class TestParsing:
+    def test_minimal_document(self):
+        kb = from_functional(
+            "Ontology(<http://x>\n  SubClassOf(:A :B)\n)"
+        )
+        assert kb.concept_inclusions == [ConceptInclusion(A, B)]
+
+    def test_missing_ontology_block(self):
+        with pytest.raises(ParseError):
+            from_functional("SubClassOf(:A :B)")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(ParseError):
+            from_functional("Ontology(<http://x>\n  SubClassOf(:A :B)\n")
+
+    def test_unsupported_axiom(self):
+        with pytest.raises(UnsupportedFeature):
+            from_functional(
+                "Ontology(<http://x>\n  DisjointUnion(:A :B :C)\n)"
+            )
+
+    def test_declarations_skipped(self):
+        kb = from_functional(
+            "Ontology(<http://x>\n  Declaration(Class(:A))\n)"
+        )
+        assert len(kb) == 0
+
+    def test_inverse_role(self):
+        kb = from_functional(
+            "Ontology(<http://x>\n"
+            "  SubClassOf(:A ObjectSomeValuesFrom(ObjectInverseOf(:r) :B))\n)"
+        )
+        inclusion = kb.concept_inclusions[0]
+        assert inclusion.sup == Exists(r.inverse(), B)
+
+
+class TestRoundTrips:
+    def test_rich_kb_round_trip(self):
+        kb = parse_kb(
+            """
+            dataproperty age
+            transitive partOf
+            A subclassof r some B
+            A and not B subclassof r min 2
+            r subpropertyof s
+            a : A and (r only {b})
+            x : age some integer[0..10]
+            x : age only {1, 2, "three", true}
+            r(a, b)
+            age(a, 42)
+            a = aa
+            a != b
+            """
+        )
+        assert list(from_functional(to_functional(kb)).axioms()) == list(kb.axioms())
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_random_kb_round_trip(self, seed):
+        config = GeneratorConfig(
+            n_concepts=4,
+            n_roles=2,
+            n_individuals=3,
+            n_tbox=4,
+            n_abox=5,
+            max_depth=2,
+            allow_counting=True,
+            allow_nominals=True,
+            seed=seed,
+        )
+        kb = generate_kb(config)
+        assert list(from_functional(to_functional(kb)).axioms()) == list(kb.axioms())
+
+
+class TestDisjointClasses:
+    def test_pairwise_expansion(self):
+        from repro.dl import And, BOTTOM, ConceptInclusion
+
+        kb = from_functional(
+            "Ontology(<http://x>\n  DisjointClasses(:A :B :C)\n)"
+        )
+        assert len(kb.concept_inclusions) == 3
+        assert ConceptInclusion(And.of(A, B), BOTTOM) in kb.concept_inclusions
+
+    def test_disjointness_reasons(self):
+        from repro.dl import ConceptAssertion, Individual, Reasoner
+
+        kb = from_functional(
+            "Ontology(<http://x>\n"
+            "  DisjointClasses(:A :B)\n"
+            "  ClassAssertion(:A :x)\n"
+            "  ClassAssertion(:B :x)\n)"
+        )
+        assert not Reasoner(kb).is_consistent()

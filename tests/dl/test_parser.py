@@ -1,0 +1,247 @@
+"""Unit tests for the concept and KB parsers."""
+
+import pytest
+
+from repro.dl import (
+    And,
+    AtLeast,
+    AtMost,
+    AtomicConcept,
+    AtomicRole,
+    BOTTOM,
+    ConceptAssertion,
+    ConceptInclusion,
+    DataAssertion,
+    DataAtMost,
+    DataExists,
+    DataForall,
+    DataOneOf,
+    DataValue,
+    DatatypeRole,
+    DifferentIndividuals,
+    Exists,
+    Forall,
+    INTEGER,
+    Individual,
+    IntRange,
+    Not,
+    OneOf,
+    Or,
+    ParseError,
+    RoleAssertion,
+    RoleInclusion,
+    SameIndividual,
+    TOP,
+    Transitivity,
+)
+from repro.dl.parser import parse_concept, parse_kb, parse_kb4
+from repro.four_dl import ConceptInclusion4, InclusionKind
+
+A, B, C = AtomicConcept("A"), AtomicConcept("B"), AtomicConcept("C")
+r = AtomicRole("r")
+
+
+class TestConceptParsing:
+    @pytest.mark.parametrize(
+        "text, expected",
+        [
+            ("A", A),
+            ("Thing", TOP),
+            ("Nothing", BOTTOM),
+            ("not A", Not(A)),
+            ("A and B", A & B),
+            ("A or B", A | B),
+            ("not not A", Not(Not(A))),
+            ("(A)", A),
+            ("{a}", OneOf.of("a")),
+            ("{a, b}", OneOf.of("a", "b")),
+            ("r some A", Exists(r, A)),
+            ("r only A", Forall(r, A)),
+            ("r min 2", AtLeast(2, r)),
+            ("r max 0", AtMost(0, r)),
+            ("inverse(r) some A", Exists(r.inverse(), A)),
+        ],
+    )
+    def test_basic_forms(self, text, expected):
+        assert parse_concept(text) == expected
+
+    def test_precedence_not_binds_tightest(self):
+        assert parse_concept("not A and B") == And.of(Not(A), B)
+
+    def test_precedence_and_over_or(self):
+        assert parse_concept("A and B or C") == Or.of(And.of(A, B), C)
+        assert parse_concept("A or B and C") == Or.of(A, And.of(B, C))
+
+    def test_parentheses_override(self):
+        assert parse_concept("A and (B or C)") == And.of(A, Or.of(B, C))
+
+    def test_nary_flattening(self):
+        assert parse_concept("A and B and C") == And((A, B, C))
+
+    def test_quantifier_filler_is_unary(self):
+        # "r some A and B" parses as (r some A) and B.
+        assert parse_concept("r some A and B") == And.of(Exists(r, A), B)
+        assert parse_concept("r some (A and B)") == Exists(r, And.of(A, B))
+
+    def test_nested_quantifiers(self):
+        assert parse_concept("r some (r only A)") == Exists(r, Forall(r, A))
+
+    def test_datatype_restrictions(self):
+        u = DatatypeRole("age")
+        assert parse_concept("age some integer", ["age"]) == DataExists(u, INTEGER)
+        assert parse_concept("age some integer[1..5]", ["age"]) == DataExists(
+            u, IntRange(1, 5)
+        )
+        assert parse_concept("age some integer[..5]", ["age"]) == DataExists(
+            u, IntRange(None, 5)
+        )
+        assert parse_concept("age only {1, 2}", ["age"]) == DataForall(
+            u, DataOneOf.of(1, 2)
+        )
+        assert parse_concept("age max 1", ["age"]) == DataAtMost(1, u)
+
+    def test_string_and_boolean_literals(self):
+        u = DatatypeRole("tag")
+        parsed = parse_concept('tag some {"x", true}', ["tag"])
+        assert parsed == DataExists(
+            u, DataOneOf(frozenset({DataValue("string", "x"), DataValue("boolean", "true")}))
+        )
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "and A",
+            "A and",
+            "(A",
+            "r some",
+            "r min x",
+            "{",
+            "not",
+            "A B",
+            "inverse(r)",
+            "inverse(r) and A",
+        ],
+    )
+    def test_errors(self, bad):
+        with pytest.raises(ParseError):
+            parse_concept(bad)
+
+
+class TestKBParsing:
+    def test_full_kb(self):
+        kb = parse_kb(
+            """
+            # comment
+            dataproperty age
+            transitive partOf
+            A subclassof B
+            r subpropertyof s
+            a : A and not B
+            r(a, b)
+            age(a, 3)
+            a = aa
+            a != b
+            """
+        )
+        assert ConceptInclusion(A, B) in kb.concept_inclusions
+        assert RoleInclusion(r, AtomicRole("s")) in kb.role_inclusions
+        assert Transitivity(AtomicRole("partOf")) in kb.transitivity_axioms
+        assert ConceptAssertion(Individual("a"), And.of(A, Not(B))) in kb.concept_assertions
+        assert RoleAssertion(r, Individual("a"), Individual("b")) in kb.role_assertions
+        assert DataAssertion(
+            DatatypeRole("age"), Individual("a"), DataValue.of(3)
+        ) in kb.data_assertions
+        assert SameIndividual(Individual("a"), Individual("aa")) in kb.same_individuals
+        assert DifferentIndividuals(Individual("a"), Individual("b")) in kb.different_individuals
+
+    def test_comments_and_blank_lines_ignored(self):
+        kb = parse_kb("\n# only a comment\n\nA subclassof B\n")
+        assert len(kb) == 1
+
+    def test_complex_inclusion(self):
+        kb = parse_kb("A and (r some B) subclassof C or Nothing")
+        inclusion = kb.concept_inclusions[0]
+        assert inclusion.sub == And.of(A, Exists(r, B))
+        assert inclusion.sup == Or.of(C, BOTTOM)
+
+    def test_parse_error_reports_line(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_kb("A subclassof B\nthis is nonsense line\n")
+        assert "line 2" in str(excinfo.value)
+
+    def test_string_data_assertion(self):
+        kb = parse_kb('dataproperty name\nname(a, "Smith")\n')
+        assert kb.data_assertions[0].value == DataValue("string", "Smith")
+
+
+class TestKB4Parsing:
+    def test_three_inclusion_kinds(self):
+        kb4 = parse_kb4(
+            """
+            A < B
+            A |-> B
+            A -> B
+            """
+        )
+        kinds = [inc.kind for inc in kb4.concept_inclusions]
+        assert kinds == [
+            InclusionKind.INTERNAL,
+            InclusionKind.MATERIAL,
+            InclusionKind.STRONG,
+        ]
+
+    def test_complex_sides(self):
+        kb4 = parse_kb4("A and (r some B) |-> not C\n")
+        inclusion = kb4.concept_inclusions[0]
+        assert inclusion.sub == And.of(A, Exists(r, B))
+        assert inclusion.sup == Not(C)
+        assert inclusion.kind == InclusionKind.MATERIAL
+
+    def test_subclassof_maps_to_internal(self):
+        kb4 = parse_kb4("A subclassof B\n")
+        assert kb4.concept_inclusions[0].kind == InclusionKind.INTERNAL
+
+    def test_abox_shared_with_classical_syntax(self):
+        kb4 = parse_kb4("a : A\nr(a, b)\n")
+        assert len(kb4.concept_assertions) == 1
+        assert len(kb4.role_assertions) == 1
+
+    def test_paper_example3(self):
+        kb4 = parse_kb4(
+            """
+            Bird and (hasWing some Wing) |-> Fly
+            Penguin < Bird
+            Penguin < hasWing some Wing
+            Penguin < not Fly
+            tweety : Bird
+            tweety : Penguin
+            w : Wing
+            hasWing(tweety, w)
+            """
+        )
+        assert len(kb4.concept_inclusions) == 4
+        assert len(list(kb4.abox())) == 4
+
+    def test_datatype_role_inclusion4(self):
+        kb4 = parse_kb4("dataproperty age\ndataproperty years\nage < years\n")
+        assert len(kb4.datatype_role_inclusions) == 1
+
+
+class TestEquivalenceSyntax:
+    def test_classical_equivalence(self):
+        from repro.dl import ConceptEquivalence
+
+        kb = parse_kb("A equivalentto B and C\n")
+        assert kb.concept_inclusions == [
+            ConceptInclusion(A, And.of(B, C)),
+            ConceptInclusion(And.of(B, C), A),
+        ]
+
+    def test_four_valued_equivalence_becomes_two_internals(self):
+        kb4 = parse_kb4("A equivalentto B\n")
+        kinds = [(inc.sub, inc.sup, inc.kind) for inc in kb4.concept_inclusions]
+        assert kinds == [
+            (A, B, InclusionKind.INTERNAL),
+            (B, A, InclusionKind.INTERNAL),
+        ]

@@ -1,0 +1,124 @@
+"""Printer round-trip tests: parse(render(x)) == x."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dl import (
+    And,
+    AtomicConcept,
+    AtomicRole,
+    ConceptAssertion,
+    ConceptInclusion,
+    Exists,
+    Forall,
+    Individual,
+    KnowledgeBase,
+    Not,
+    OneOf,
+    Or,
+)
+from repro.dl.parser import parse_concept, parse_kb, parse_kb4
+from repro.dl.printer import render_axiom, render_concept, render_kb, render_kb4
+from repro.four_dl import internal, material, strong, KnowledgeBase4
+from repro.workloads import (
+    GeneratorConfig,
+    Signature,
+    generate_kb,
+    generate_kb4,
+    random_concept,
+)
+
+A, B = AtomicConcept("A"), AtomicConcept("B")
+r = AtomicRole("r")
+
+
+class TestConceptRendering:
+    def test_literals(self):
+        assert render_concept(A) == "A"
+        assert render_concept(Not(A)) == "not A"
+
+    def test_connectives_parenthesised(self):
+        assert render_concept(And.of(A, Or.of(A, B))) == "A and (A or B)"
+        assert render_concept(Not(And.of(A, B))) == "not (A and B)"
+
+    def test_quantifiers(self):
+        assert render_concept(Exists(r, A)) == "r some A"
+        assert (
+            render_concept(Forall(r.inverse(), Not(A)))
+            == "inverse(r) only not A"
+        )
+
+    def test_nominal_sorted(self):
+        assert render_concept(OneOf.of("b", "a")) == "{a, b}"
+
+
+class TestAxiomRendering:
+    def test_classical_inclusion(self):
+        assert render_axiom(ConceptInclusion(A, B)) == "A subclassof B"
+
+    def test_four_valued_kinds(self):
+        assert render_axiom(material(A, B)) == "A |-> B"
+        assert render_axiom(internal(A, B)) == "A < B"
+        assert render_axiom(strong(A, B)) == "A -> B"
+
+    def test_assertion(self):
+        axiom = ConceptAssertion(Individual("x"), And.of(A, B))
+        assert render_axiom(axiom) == "x : A and B"
+
+
+class TestRoundTrips:
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=150, deadline=None)
+    def test_concept_round_trip(self, seed):
+        rng = random.Random(seed)
+        signature = Signature.of_size(3, 2, 2)
+        concept = random_concept(
+            rng,
+            signature,
+            depth=3,
+            allow_counting=True,
+            allow_nominals=True,
+        )
+        rendered = render_concept(concept)
+        assert parse_concept(rendered) == concept
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_kb_round_trip(self, seed):
+        config = GeneratorConfig(
+            n_concepts=4,
+            n_roles=2,
+            n_individuals=3,
+            n_tbox=4,
+            n_abox=6,
+            max_depth=2,
+            allow_counting=True,
+            seed=seed,
+        )
+        kb = generate_kb(config)
+        assert list(parse_kb(render_kb(kb)).axioms()) == list(kb.axioms())
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_kb4_round_trip(self, seed):
+        config = GeneratorConfig(
+            n_concepts=4,
+            n_roles=2,
+            n_individuals=3,
+            n_tbox=4,
+            n_abox=6,
+            max_depth=2,
+            seed=seed,
+        )
+        kb4 = generate_kb4(config)
+        assert list(parse_kb4(render_kb4(kb4)).axioms()) == list(kb4.axioms())
+
+    def test_paper_kb4_round_trip(self):
+        kb4 = KnowledgeBase4().add(
+            material(And.of(A, Exists(r, B)), AtomicConcept("Fly")),
+            internal(A, Not(B)),
+            strong(B, A),
+        )
+        assert list(parse_kb4(render_kb4(kb4)).axioms()) == list(kb4.axioms())

@@ -1,0 +1,192 @@
+"""Qualified number restrictions (SHOIQ extension): full stack tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dl import (
+    And,
+    AtomicConcept,
+    AtomicRole,
+    BOTTOM,
+    ConceptAssertion,
+    ConceptInclusion,
+    DifferentIndividuals,
+    Exists,
+    Individual,
+    KnowledgeBase,
+    Not,
+    QualifiedAtLeast,
+    QualifiedAtMost,
+    Reasoner,
+    RoleAssertion,
+    Tableau,
+    is_nnf,
+    nnf,
+)
+from repro.semantics import Interpretation, classical_satisfiable_by_enumeration
+from repro.workloads import GeneratorConfig, Signature, generate_kb, random_concept
+
+A, B = AtomicConcept("A"), AtomicConcept("B")
+r = AtomicRole("r")
+a, b, c = Individual("a"), Individual("b"), Individual("c")
+
+
+class TestNnf:
+    def test_negation_duals(self):
+        assert nnf(Not(QualifiedAtLeast(2, r, A))) == QualifiedAtMost(1, r, A)
+        assert nnf(Not(QualifiedAtMost(2, r, A))) == QualifiedAtLeast(3, r, A)
+        assert nnf(Not(QualifiedAtLeast(0, r, A))) == BOTTOM
+
+    def test_filler_normalised(self):
+        concept = QualifiedAtLeast(1, r, Not(Not(A)))
+        assert nnf(concept) == QualifiedAtLeast(1, r, A)
+        assert is_nnf(nnf(Not(QualifiedAtMost(1, r, Not(A & B)))))
+
+
+class TestEvaluator:
+    def test_qualified_counting_extension(self):
+        interp = Interpretation(
+            domain=frozenset({"x", "y", "z"}),
+            concept_ext={A: frozenset({"y"})},
+            role_ext={r: frozenset({("x", "y"), ("x", "z")})},
+            individual_map={},
+        )
+        assert interp.extension(QualifiedAtLeast(1, r, A)) == frozenset({"x"})
+        assert interp.extension(QualifiedAtLeast(2, r, A)) == frozenset()
+        assert interp.extension(QualifiedAtMost(0, r, A)) == frozenset({"y", "z"})
+        assert interp.extension(QualifiedAtMost(1, r, Not(A))) == frozenset(
+            {"x", "y", "z"}
+        )
+
+
+class TestTableau:
+    def test_qualified_atleast_creates_typed_witnesses(self):
+        kb = KnowledgeBase.of(
+            [
+                ConceptAssertion(a, QualifiedAtLeast(2, r, A)),
+                ConceptInclusion(A, B),
+            ]
+        )
+        reasoner = Reasoner(kb)
+        assert reasoner.is_consistent()
+        assert reasoner.is_instance(a, QualifiedAtLeast(2, r, B))
+
+    def test_conflicting_qualified_bounds(self):
+        assert not Tableau(
+            KnowledgeBase.of(
+                [ConceptAssertion(a, And.of(QualifiedAtLeast(2, r, A), QualifiedAtMost(1, r, A)))]
+            )
+        ).is_satisfiable()
+
+    def test_disjoint_fillers_coexist(self):
+        assert Tableau(
+            KnowledgeBase.of(
+                [
+                    ConceptAssertion(
+                        a,
+                        And.of(
+                            QualifiedAtLeast(2, r, A),
+                            QualifiedAtMost(1, r, Not(A)),
+                        ),
+                    )
+                ]
+            )
+        ).is_satisfiable()
+
+    def test_choose_rule_decides_neighbours(self):
+        # Every r-successor must be A or not A; bounding both sides to
+        # zero with two provably distinct successors clashes.
+        kb = KnowledgeBase.of(
+            [
+                RoleAssertion(r, a, b),
+                RoleAssertion(r, a, c),
+                DifferentIndividuals(b, c),
+                ConceptAssertion(
+                    a, And.of(QualifiedAtMost(0, r, A), QualifiedAtMost(0, r, Not(A)))
+                ),
+            ]
+        )
+        assert not Tableau(kb).is_satisfiable()
+
+    def test_qualified_merging(self):
+        # Two successors both A under atmost-1-A merge; their labels join.
+        kb = KnowledgeBase.of(
+            [
+                RoleAssertion(r, a, b),
+                RoleAssertion(r, a, c),
+                ConceptAssertion(b, A),
+                ConceptAssertion(c, A),
+                ConceptAssertion(b, B),
+                ConceptAssertion(c, Not(B)),
+                ConceptAssertion(a, QualifiedAtMost(1, r, A)),
+            ]
+        )
+        assert not Tableau(kb).is_satisfiable()
+
+    def test_unqualified_equivalence(self):
+        # >= n r  ==  >= n r.Thing: decide both ways via subsumption.
+        from repro.dl import AtLeast, TOP
+
+        reasoner = Reasoner(KnowledgeBase())
+        assert reasoner.equivalent(AtLeast(2, r), QualifiedAtLeast(2, r, TOP))
+
+    def test_qualified_with_tbox_interaction(self):
+        kb = KnowledgeBase.of(
+            [
+                ConceptInclusion(A, Exists(r, B)),
+                ConceptAssertion(a, And.of(A, QualifiedAtMost(0, r, B))),
+            ]
+        )
+        assert not Tableau(kb).is_satisfiable()
+
+
+class TestCrossValidation:
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_tableau_vs_enumeration(self, seed):
+        config = GeneratorConfig(
+            n_concepts=2,
+            n_roles=1,
+            n_individuals=2,
+            n_tbox=1,
+            n_abox=2,
+            max_depth=1,
+            allow_qualified=True,
+            max_cardinality=2,
+            seed=seed,
+        )
+        kb = generate_kb(config)
+        tableau_sat = Tableau(kb, max_nodes=400, max_branches=40_000).is_satisfiable()
+        enum_sat = classical_satisfiable_by_enumeration(kb, max_extra_elements=1)
+        if enum_sat:
+            assert tableau_sat
+        if not tableau_sat:
+            assert not enum_sat
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_nnf_preserves_qualified_extensions(self, seed):
+        rng = random.Random(seed)
+        signature = Signature.of_size(2, 2, 1)
+        concept = random_concept(
+            rng, signature, depth=3, allow_qualified=True
+        )
+        domain = ["d0", "d1", "d2"]
+        interp = Interpretation(
+            domain=frozenset(domain),
+            concept_ext={
+                atom: frozenset(x for x in domain if rng.random() < 0.5)
+                for atom in signature.concepts
+            },
+            role_ext={
+                role: frozenset(
+                    (x, y) for x in domain for y in domain if rng.random() < 0.4
+                )
+                for role in signature.roles
+            },
+            individual_map={},
+        )
+        assert interp.extension(concept) == interp.extension(nnf(concept))

@@ -1,0 +1,216 @@
+"""Tests for the high-level classical reasoning services."""
+
+from repro.dl import (
+    And,
+    AtomicConcept,
+    AtomicRole,
+    ConceptAssertion,
+    ConceptInclusion,
+    Exists,
+    Individual,
+    KnowledgeBase,
+    Not,
+    OneOf,
+    Or,
+    Reasoner,
+    RoleAssertion,
+    RoleInclusion,
+    SameIndividual,
+    TOP,
+    Transitivity,
+)
+
+A, B, C = AtomicConcept("A"), AtomicConcept("B"), AtomicConcept("C")
+r, s = AtomicRole("r"), AtomicRole("s")
+a, b, c = Individual("a"), Individual("b"), Individual("c")
+
+
+def make_reasoner(*axioms) -> Reasoner:
+    return Reasoner(KnowledgeBase.of(axioms))
+
+
+class TestConsistency:
+    def test_consistent(self):
+        assert make_reasoner(ConceptAssertion(a, A)).is_consistent()
+
+    def test_inconsistent(self):
+        reasoner = make_reasoner(
+            ConceptAssertion(a, A), ConceptAssertion(a, Not(A))
+        )
+        assert not reasoner.is_consistent()
+
+    def test_consistency_memoised(self):
+        reasoner = make_reasoner(ConceptAssertion(a, A))
+        assert reasoner.is_consistent()
+        assert reasoner.is_consistent()
+
+
+class TestSubsumption:
+    def test_asserted_subsumption(self):
+        reasoner = make_reasoner(ConceptInclusion(A, B))
+        assert reasoner.subsumes(B, A)
+        assert not reasoner.subsumes(A, B)
+
+    def test_transitive_subsumption(self):
+        reasoner = make_reasoner(ConceptInclusion(A, B), ConceptInclusion(B, C))
+        assert reasoner.subsumes(C, A)
+
+    def test_structural_subsumption(self):
+        reasoner = make_reasoner()
+        assert reasoner.subsumes(A, And.of(A, B))
+        assert reasoner.subsumes(Or.of(A, B), A)
+        assert reasoner.subsumes(TOP, A)
+
+    def test_quantifier_subsumption(self):
+        reasoner = make_reasoner(ConceptInclusion(A, B))
+        assert reasoner.subsumes(Exists(r, B), Exists(r, A))
+
+    def test_equivalence(self):
+        reasoner = make_reasoner(
+            ConceptInclusion(A, B), ConceptInclusion(B, A)
+        )
+        assert reasoner.equivalent(A, B)
+        assert not reasoner.equivalent(A, C)
+
+
+class TestInstanceChecking:
+    def test_direct_assertion(self):
+        reasoner = make_reasoner(ConceptAssertion(a, A))
+        assert reasoner.is_instance(a, A)
+        assert not reasoner.is_instance(a, B)
+
+    def test_inferred_through_tbox(self):
+        reasoner = make_reasoner(
+            ConceptInclusion(A, B), ConceptAssertion(a, A)
+        )
+        assert reasoner.is_instance(a, B)
+
+    def test_inferred_through_role(self):
+        reasoner = make_reasoner(
+            RoleAssertion(r, a, b),
+            ConceptAssertion(b, A),
+        )
+        assert reasoner.is_instance(a, Exists(r, A))
+
+    def test_instances_of(self):
+        reasoner = make_reasoner(
+            ConceptAssertion(a, A),
+            ConceptAssertion(b, A),
+            ConceptAssertion(c, B),
+        )
+        assert reasoner.instances_of(A) == frozenset({a, b})
+
+    def test_types_of(self):
+        reasoner = make_reasoner(
+            ConceptInclusion(A, B), ConceptAssertion(a, A)
+        )
+        assert reasoner.types_of(a) == frozenset({A, B})
+
+
+class TestEntailment:
+    def test_concept_inclusion(self):
+        reasoner = make_reasoner(ConceptInclusion(A, B))
+        assert reasoner.entails(ConceptInclusion(A, B))
+        assert not reasoner.entails(ConceptInclusion(B, A))
+
+    def test_role_assertion_entailment(self):
+        reasoner = make_reasoner(RoleAssertion(r, a, b))
+        assert reasoner.entails(RoleAssertion(r, a, b))
+        assert not reasoner.entails(RoleAssertion(r, b, a))
+        assert not reasoner.entails(RoleAssertion(s, a, b))
+
+    def test_role_assertion_via_hierarchy(self):
+        reasoner = make_reasoner(RoleInclusion(r, s), RoleAssertion(r, a, b))
+        assert reasoner.entails(RoleAssertion(s, a, b))
+
+    def test_same_individual_entailment(self):
+        reasoner = make_reasoner(SameIndividual(a, b))
+        assert reasoner.entails(SameIndividual(a, b))
+        reasoner2 = make_reasoner(ConceptAssertion(a, A))
+        assert not reasoner2.entails(SameIndividual(a, b))
+
+    def test_same_individual_via_nominal(self):
+        reasoner = make_reasoner(ConceptAssertion(a, OneOf.of("b")))
+        assert reasoner.entails(SameIndividual(a, b))
+
+    def test_role_inclusion_entailment(self):
+        reasoner = make_reasoner(RoleInclusion(r, s))
+        assert reasoner.entails(RoleInclusion(r, s))
+        assert not reasoner.entails(RoleInclusion(s, r))
+
+    def test_entails_all(self):
+        reasoner = make_reasoner(
+            ConceptInclusion(A, B), ConceptAssertion(a, A)
+        )
+        assert reasoner.entails_all(
+            [ConceptAssertion(a, A), ConceptAssertion(a, B)]
+        )
+        assert not reasoner.entails_all(
+            [ConceptAssertion(a, A), ConceptAssertion(a, C)]
+        )
+
+    def test_inconsistent_kb_entails_everything(self):
+        reasoner = make_reasoner(
+            ConceptAssertion(a, A), ConceptAssertion(a, Not(A))
+        )
+        assert reasoner.entails(ConceptAssertion(b, C))
+        assert reasoner.entails(ConceptInclusion(TOP, C))
+
+
+class TestClassification:
+    def test_hierarchy(self):
+        reasoner = make_reasoner(
+            ConceptInclusion(A, B), ConceptInclusion(B, C)
+        )
+        hierarchy = reasoner.classify()
+        assert hierarchy[A] == frozenset({A, B, C})
+        assert hierarchy[B] == frozenset({B, C})
+        assert hierarchy[C] == frozenset({C})
+
+    def test_unsatisfiable_concepts(self):
+        reasoner = make_reasoner(
+            ConceptInclusion(A, B),
+            ConceptInclusion(A, Not(B)),
+            ConceptAssertion(a, C),
+        )
+        assert reasoner.unsatisfiable_concepts() == frozenset({A})
+
+    def test_transitive_role_classification_setting(self):
+        # Classification still works with transitivity present.
+        reasoner = make_reasoner(
+            Transitivity(r),
+            ConceptInclusion(A, Exists(r, B)),
+        )
+        hierarchy = reasoner.classify()
+        assert B in hierarchy
+
+
+class TestExtendedEntailment:
+    def test_concept_equivalence(self):
+        reasoner = make_reasoner(
+            ConceptInclusion(A, B), ConceptInclusion(B, A)
+        )
+        from repro.dl import ConceptEquivalence
+
+        assert reasoner.entails(ConceptEquivalence(A, B))
+        assert not reasoner.entails(ConceptEquivalence(A, C))
+
+    def test_different_individuals(self):
+        from repro.dl import DifferentIndividuals
+
+        reasoner = make_reasoner(
+            ConceptAssertion(a, A), ConceptAssertion(b, Not(A))
+        )
+        # a and b cannot be identified (A vs not A).
+        assert reasoner.entails(DifferentIndividuals(a, b))
+        neutral = make_reasoner(ConceptAssertion(a, A))
+        assert not neutral.entails(DifferentIndividuals(a, b))
+
+    def test_data_assertion_entailment(self):
+        from repro.dl import DataAssertion, DataValue, DatatypeRole
+
+        u = DatatypeRole("u")
+        reasoner = make_reasoner(DataAssertion(u, a, DataValue.of(7)))
+        assert reasoner.entails(DataAssertion(u, a, DataValue.of(7)))
+        assert not reasoner.entails(DataAssertion(u, a, DataValue.of(8)))
+        assert not reasoner.entails(DataAssertion(u, b, DataValue.of(7)))

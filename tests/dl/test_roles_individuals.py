@@ -1,0 +1,78 @@
+"""Unit tests for roles, individuals, and data values."""
+
+import pytest
+
+from repro.dl import AtomicRole, DataValue, DatatypeRole, Individual, InverseRole
+from repro.dl.roles import is_object_role
+
+
+class TestObjectRoles:
+    def test_inverse_normalises(self):
+        r = AtomicRole("r")
+        assert r.inverse() == InverseRole(r)
+        assert r.inverse().inverse() is r
+
+    def test_named_of_inverse(self):
+        r = AtomicRole("r")
+        assert r.inverse().named is r
+        assert r.named is r
+
+    def test_is_inverse_flag(self):
+        r = AtomicRole("r")
+        assert not r.is_inverse
+        assert r.inverse().is_inverse
+
+    def test_ordering_and_equality(self):
+        assert AtomicRole("a") < AtomicRole("b")
+        assert AtomicRole("a") == AtomicRole("a")
+        assert AtomicRole("a") != DatatypeRole("a")
+
+    def test_repr(self):
+        assert repr(AtomicRole("r")) == "r"
+        assert repr(AtomicRole("r").inverse()) == "r-"
+
+    def test_is_object_role(self):
+        assert is_object_role(AtomicRole("r"))
+        assert is_object_role(AtomicRole("r").inverse())
+        assert not is_object_role(DatatypeRole("u"))
+
+
+class TestIndividuals:
+    def test_equality_by_name(self):
+        assert Individual("a") == Individual("a")
+        assert Individual("a") != Individual("b")
+
+    def test_renamed(self):
+        assert Individual("a").renamed() == Individual("a_c")
+        assert Individual("a").renamed("_bar") == Individual("a_bar")
+
+    def test_sortable(self):
+        assert sorted([Individual("b"), Individual("a")]) == [
+            Individual("a"),
+            Individual("b"),
+        ]
+
+
+class TestDataValues:
+    @pytest.mark.parametrize(
+        "python_value, datatype",
+        [(3, "integer"), (2.5, "float"), ("hi", "string"), (True, "boolean")],
+    )
+    def test_of_infers_datatype(self, python_value, datatype):
+        assert DataValue.of(python_value).datatype == datatype
+
+    def test_bool_before_int(self):
+        # bool is a subclass of int; make sure it maps to boolean.
+        assert DataValue.of(False) == DataValue("boolean", "false")
+
+    def test_roundtrip_to_python(self):
+        for value in (3, -7, 2.5, "hi", True, False):
+            assert DataValue.of(value).to_python() == value
+
+    def test_equality_is_typed(self):
+        assert DataValue.of(1) != DataValue("string", "1")
+        assert DataValue.of(1) == DataValue("integer", "1")
+
+    def test_repr(self):
+        assert repr(DataValue.of(3)) == "3"
+        assert repr(DataValue.of("x")) == '"x"'

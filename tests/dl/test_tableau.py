@@ -1,0 +1,431 @@
+"""Behavioural tests for the SHOIN(D) tableau, feature by feature."""
+
+import pytest
+
+from repro.dl import (
+    BOTTOM,
+    TOP,
+    And,
+    AtLeast,
+    AtMost,
+    AtomicConcept,
+    AtomicRole,
+    ConceptAssertion,
+    ConceptInclusion,
+    DataAssertion,
+    DataAtLeast,
+    DataAtMost,
+    DataExists,
+    DataForall,
+    DataOneOf,
+    DataValue,
+    DatatypeRole,
+    DatatypeRoleInclusion,
+    DifferentIndividuals,
+    Exists,
+    Forall,
+    INTEGER,
+    Individual,
+    IntRange,
+    KnowledgeBase,
+    Not,
+    OneOf,
+    Or,
+    ReasonerLimitExceeded,
+    RoleAssertion,
+    RoleInclusion,
+    SameIndividual,
+    Tableau,
+    Transitivity,
+)
+
+A, B, C = AtomicConcept("A"), AtomicConcept("B"), AtomicConcept("C")
+r, s = AtomicRole("r"), AtomicRole("s")
+u = DatatypeRole("u")
+a, b, c = Individual("a"), Individual("b"), Individual("c")
+
+
+def satisfiable(*axioms) -> bool:
+    return Tableau(KnowledgeBase.of(axioms)).is_satisfiable()
+
+
+class TestBooleanReasoning:
+    def test_empty_kb_satisfiable(self):
+        assert Tableau(KnowledgeBase()).is_satisfiable()
+
+    def test_atomic_assertion(self):
+        assert satisfiable(ConceptAssertion(a, A))
+
+    def test_direct_contradiction(self):
+        assert not satisfiable(
+            ConceptAssertion(a, A), ConceptAssertion(a, Not(A))
+        )
+
+    def test_bottom_unsatisfiable(self):
+        assert not satisfiable(ConceptAssertion(a, BOTTOM))
+
+    def test_top_satisfiable(self):
+        assert satisfiable(ConceptAssertion(a, TOP))
+
+    def test_conjunction_decomposed(self):
+        assert not satisfiable(ConceptAssertion(a, And.of(A, Not(A))))
+
+    def test_disjunction_branches(self):
+        assert satisfiable(
+            ConceptAssertion(a, Or.of(A, B)), ConceptAssertion(a, Not(A))
+        )
+
+    def test_disjunction_both_closed(self):
+        assert not satisfiable(
+            ConceptAssertion(a, Or.of(A, B)),
+            ConceptAssertion(a, Not(A)),
+            ConceptAssertion(a, Not(B)),
+        )
+
+    def test_nested_disjunction(self):
+        concept = And.of(Or.of(A, B), Or.of(Not(A), C), Or.of(Not(B), C))
+        assert satisfiable(ConceptAssertion(a, And.of(concept, Not(C)))) is False
+
+
+class TestTBox:
+    def test_inclusion_propagates(self):
+        assert not satisfiable(
+            ConceptInclusion(A, B),
+            ConceptAssertion(a, And.of(A, Not(B))),
+        )
+
+    def test_chained_inclusions(self):
+        assert not satisfiable(
+            ConceptInclusion(A, B),
+            ConceptInclusion(B, C),
+            ConceptAssertion(a, And.of(A, Not(C))),
+        )
+
+    def test_disjointness(self):
+        assert not satisfiable(
+            ConceptInclusion(A, Not(B)),
+            ConceptAssertion(a, And.of(A, B)),
+        )
+
+    def test_global_unsatisfiability(self):
+        assert not satisfiable(
+            ConceptInclusion(TOP, A),
+            ConceptAssertion(a, Not(A)),
+        )
+
+    def test_cyclic_tbox_with_blocking(self):
+        # A [= some r.A would need an infinite chain; blocking finds the
+        # finite witness loop.
+        assert satisfiable(
+            ConceptInclusion(A, Exists(r, A)), ConceptAssertion(a, A)
+        )
+
+    def test_cyclic_tbox_with_forall_contradiction(self):
+        assert not satisfiable(
+            ConceptInclusion(A, Exists(r, A)),
+            ConceptInclusion(A, Forall(r, Not(A))),
+            ConceptAssertion(a, A),
+        )
+
+
+class TestQuantifiers:
+    def test_exists_creates_witness(self):
+        assert satisfiable(ConceptAssertion(a, Exists(r, A)))
+
+    def test_exists_forall_interaction(self):
+        assert not satisfiable(
+            ConceptAssertion(a, Exists(r, A)),
+            ConceptAssertion(a, Forall(r, Not(A))),
+        )
+
+    def test_forall_on_abox_edge(self):
+        assert not satisfiable(
+            RoleAssertion(r, a, b),
+            ConceptAssertion(a, Forall(r, A)),
+            ConceptAssertion(b, Not(A)),
+        )
+
+    def test_forall_vacuous(self):
+        assert satisfiable(ConceptAssertion(a, Forall(r, BOTTOM)))
+
+    def test_exists_bottom_unsatisfiable(self):
+        assert not satisfiable(ConceptAssertion(a, Exists(r, BOTTOM)))
+
+    def test_nested_quantifiers(self):
+        assert not satisfiable(
+            ConceptAssertion(a, Exists(r, Exists(r, A))),
+            ConceptAssertion(a, Forall(r, Forall(r, Not(A)))),
+        )
+
+
+class TestNumberRestrictions:
+    def test_atleast_satisfiable(self):
+        assert satisfiable(ConceptAssertion(a, AtLeast(3, r)))
+
+    def test_atleast_atmost_conflict(self):
+        assert not satisfiable(
+            ConceptAssertion(a, And.of(AtLeast(3, r), AtMost(2, r)))
+        )
+
+    def test_atleast_atmost_equal_ok(self):
+        assert satisfiable(
+            ConceptAssertion(a, And.of(AtLeast(2, r), AtMost(2, r)))
+        )
+
+    def test_atmost_merges_abox_neighbours(self):
+        # Two named successors under atmost 1 merge — consistent unless
+        # they are declared different.
+        assert satisfiable(
+            RoleAssertion(r, a, b),
+            RoleAssertion(r, a, c),
+            ConceptAssertion(a, AtMost(1, r)),
+        )
+
+    def test_atmost_with_different_individuals(self):
+        assert not satisfiable(
+            RoleAssertion(r, a, b),
+            RoleAssertion(r, a, c),
+            DifferentIndividuals(b, c),
+            ConceptAssertion(a, AtMost(1, r)),
+        )
+
+    def test_atmost_zero(self):
+        assert not satisfiable(
+            RoleAssertion(r, a, b), ConceptAssertion(a, AtMost(0, r))
+        )
+        assert satisfiable(ConceptAssertion(a, AtMost(0, r)))
+
+    def test_merge_propagates_labels(self):
+        # b and c merge under atmost 1; their labels combine and clash.
+        assert not satisfiable(
+            RoleAssertion(r, a, b),
+            RoleAssertion(r, a, c),
+            ConceptAssertion(a, AtMost(1, r)),
+            ConceptAssertion(b, A),
+            ConceptAssertion(c, Not(A)),
+        )
+
+    def test_atleast_zero_trivial(self):
+        assert satisfiable(ConceptAssertion(a, AtLeast(0, r)))
+
+    def test_counting_with_hierarchy(self):
+        # r [= s, two r-successors; atmost 1 on s forces merging.
+        assert not satisfiable(
+            RoleInclusion(r, s),
+            RoleAssertion(r, a, b),
+            RoleAssertion(r, a, c),
+            DifferentIndividuals(b, c),
+            ConceptAssertion(a, AtMost(1, s)),
+        )
+
+
+class TestRoleHierarchyAndTransitivity:
+    def test_subrole_propagates_forall(self):
+        assert not satisfiable(
+            RoleInclusion(r, s),
+            RoleAssertion(r, a, b),
+            ConceptAssertion(a, Forall(s, A)),
+            ConceptAssertion(b, Not(A)),
+        )
+
+    def test_transitivity_via_forall_plus(self):
+        assert not satisfiable(
+            Transitivity(r),
+            RoleAssertion(r, a, b),
+            RoleAssertion(r, b, c),
+            ConceptAssertion(a, Forall(r, A)),
+            ConceptAssertion(c, Not(A)),
+        )
+
+    def test_transitive_subrole_of_plain_role(self):
+        # Trans(r), r [= s: forall s.C must reach through r-chains.
+        assert not satisfiable(
+            Transitivity(r),
+            RoleInclusion(r, s),
+            RoleAssertion(r, a, b),
+            RoleAssertion(r, b, c),
+            ConceptAssertion(a, Forall(s, A)),
+            ConceptAssertion(c, Not(A)),
+        )
+
+    def test_without_transitivity_chain_is_fine(self):
+        assert satisfiable(
+            RoleAssertion(r, a, b),
+            RoleAssertion(r, b, c),
+            ConceptAssertion(a, Forall(r, A)),
+            ConceptAssertion(c, Not(A)),
+        )
+
+
+class TestInverseRoles:
+    def test_inverse_edge_seen_by_forall(self):
+        assert not satisfiable(
+            RoleAssertion(r, a, b),
+            ConceptAssertion(b, Forall(r.inverse(), A)),
+            ConceptAssertion(a, Not(A)),
+        )
+
+    def test_exists_inverse_creates_predecessor(self):
+        assert satisfiable(ConceptAssertion(a, Exists(r.inverse(), A)))
+
+    def test_inverse_interaction_with_fresh_nodes(self):
+        # a has an r-successor which must see a back through r-.
+        assert not satisfiable(
+            ConceptAssertion(a, Exists(r, Forall(r.inverse(), A))),
+            ConceptAssertion(a, Not(A)),
+        )
+
+    def test_inverse_role_assertion(self):
+        assert not satisfiable(
+            RoleAssertion(r.inverse(), a, b),  # = r(b, a)
+            ConceptAssertion(b, Forall(r, A)),
+            ConceptAssertion(a, Not(A)),
+        )
+
+
+class TestNominalsAndEquality:
+    def test_nominal_identifies_individuals(self):
+        assert not satisfiable(
+            ConceptAssertion(a, OneOf.of("b")),
+            ConceptAssertion(b, A),
+            ConceptAssertion(a, Not(A)),
+        )
+
+    def test_disjunctive_nominal(self):
+        assert satisfiable(
+            ConceptAssertion(a, OneOf.of("b", "c")),
+            ConceptAssertion(b, A),
+            ConceptAssertion(c, Not(A)),
+        )
+
+    def test_disjunctive_nominal_both_branches_closed(self):
+        assert not satisfiable(
+            ConceptAssertion(a, OneOf.of("b", "c")),
+            ConceptAssertion(a, A),
+            ConceptAssertion(b, Not(A)),
+            ConceptAssertion(c, Not(A)),
+        )
+
+    def test_negated_nominal(self):
+        assert not satisfiable(
+            ConceptAssertion(a, Not(OneOf.of("a")))
+        )
+        assert satisfiable(ConceptAssertion(a, Not(OneOf.of("b"))))
+
+    def test_same_individual_merges(self):
+        assert not satisfiable(
+            SameIndividual(a, b),
+            ConceptAssertion(a, A),
+            ConceptAssertion(b, Not(A)),
+        )
+
+    def test_different_individuals_blocks_nominal(self):
+        assert not satisfiable(
+            DifferentIndividuals(a, b),
+            ConceptAssertion(a, OneOf.of("b")),
+        )
+
+    def test_same_then_different_contradiction(self):
+        assert not satisfiable(SameIndividual(a, b), DifferentIndividuals(a, b))
+
+    def test_nominal_in_tbox(self):
+        # Everything is b: any two individuals must merge.
+        assert not satisfiable(
+            ConceptInclusion(TOP, OneOf.of("b")),
+            DifferentIndividuals(a, b),
+        )
+
+
+class TestDatatypes:
+    def test_data_exists(self):
+        assert satisfiable(ConceptAssertion(a, DataExists(u, INTEGER)))
+
+    def test_data_exists_forall_conflict(self):
+        assert not satisfiable(
+            ConceptAssertion(a, DataExists(u, IntRange(0, 3))),
+            ConceptAssertion(a, DataForall(u, IntRange(5, 9))),
+        )
+
+    def test_data_assertion_checked_against_forall(self):
+        assert not satisfiable(
+            DataAssertion(u, a, DataValue.of(7)),
+            ConceptAssertion(a, DataForall(u, IntRange(0, 3))),
+        )
+
+    def test_data_assertion_consistent(self):
+        assert satisfiable(
+            DataAssertion(u, a, DataValue.of(2)),
+            ConceptAssertion(a, DataForall(u, IntRange(0, 3))),
+        )
+
+    def test_data_atleast_within_range(self):
+        assert satisfiable(
+            ConceptAssertion(a, DataAtLeast(3, u)),
+            ConceptAssertion(a, DataForall(u, IntRange(0, 5))),
+        )
+
+    def test_data_atleast_exceeds_enumeration(self):
+        assert not satisfiable(
+            ConceptAssertion(a, DataAtLeast(3, u)),
+            ConceptAssertion(a, DataForall(u, DataOneOf.of(1, 2))),
+        )
+
+    def test_data_atmost(self):
+        assert not satisfiable(
+            ConceptAssertion(a, And.of(DataAtLeast(3, u), DataAtMost(1, u)))
+        )
+        assert satisfiable(
+            ConceptAssertion(a, And.of(DataAtLeast(2, u), DataAtMost(2, u)))
+        )
+
+    def test_data_assertion_with_distant_value(self):
+        # Regression: asserted literals far from the candidate spiral's
+        # anchors must still be found as their own witnesses.
+        assert satisfiable(DataAssertion(u, a, DataValue.of(10)))
+        assert satisfiable(DataAssertion(u, a, DataValue.of(123456)))
+        assert satisfiable(
+            DataAssertion(u, a, DataValue.of(987654)),
+            ConceptAssertion(a, DataExists(u, IntRange(1, 30))),
+        )
+
+    def test_data_assertion_plus_absorbed_range(self):
+        # Regression for the exact shape that thrashed: an asserted value
+        # and an existential range on the same individual.
+        assert satisfiable(
+            DataAssertion(u, a, DataValue.of(10)),
+            ConceptAssertion(a, DataExists(u, IntRange(1, 30))),
+        )
+
+    def test_datatype_role_hierarchy(self):
+        v = DatatypeRole("v")
+        assert not satisfiable(
+            DatatypeRoleInclusion(u, v),
+            DataAssertion(u, a, DataValue.of(7)),
+            ConceptAssertion(a, DataForall(v, IntRange(0, 3))),
+        )
+
+
+class TestLimitsAndProbes:
+    def test_node_limit_raises(self):
+        kb = KnowledgeBase.of(
+            [
+                ConceptInclusion(TOP, Exists(r, A)),
+                ConceptInclusion(TOP, Exists(s, A)),
+                ConceptAssertion(a, A),
+            ]
+        )
+        # An extremely small node budget trips before blocking kicks in.
+        with pytest.raises(ReasonerLimitExceeded):
+            Tableau(kb, max_nodes=2).is_satisfiable()
+
+    def test_concept_satisfiable_probe(self):
+        tableau = Tableau(KnowledgeBase.of([ConceptInclusion(A, B)]))
+        assert tableau.concept_satisfiable(A)
+        assert not tableau.concept_satisfiable(And.of(A, Not(B)))
+
+    def test_extra_assertions_do_not_mutate_kb(self):
+        kb = KnowledgeBase.of([ConceptAssertion(a, A)])
+        tableau = Tableau(kb)
+        assert not tableau.is_satisfiable([ConceptAssertion(a, Not(A))])
+        # The same tableau still answers the unmodified question.
+        assert tableau.is_satisfiable()

@@ -1,0 +1,268 @@
+"""Tableau stress tests: interactions between features.
+
+Each test combines at least two of {inverses, transitivity, hierarchy,
+counting, nominals, TBox cycles, datatypes} — the corners where tableau
+implementations typically break.
+"""
+
+import pytest
+
+from repro.dl import (
+    And,
+    AtLeast,
+    AtMost,
+    AtomicConcept,
+    AtomicRole,
+    BOTTOM,
+    ConceptAssertion,
+    ConceptInclusion,
+    DataExists,
+    DataForall,
+    DatatypeRole,
+    DifferentIndividuals,
+    Exists,
+    Forall,
+    Individual,
+    IntRange,
+    KnowledgeBase,
+    Not,
+    OneOf,
+    Or,
+    QualifiedAtLeast,
+    QualifiedAtMost,
+    Reasoner,
+    RoleAssertion,
+    RoleInclusion,
+    SameIndividual,
+    TOP,
+    Tableau,
+    Transitivity,
+)
+
+A, B, C = AtomicConcept("A"), AtomicConcept("B"), AtomicConcept("C")
+r, s, t = AtomicRole("r"), AtomicRole("s"), AtomicRole("t")
+a, b, c, d = (Individual(n) for n in "abcd")
+
+
+def satisfiable(*axioms) -> bool:
+    return Tableau(KnowledgeBase.of(axioms)).is_satisfiable()
+
+
+class TestInverseTransitivityInteraction:
+    def test_inverse_of_transitive_chain(self):
+        # r(a,b), r(b,c), Trans(r): c sees a through inverse(r).
+        assert not satisfiable(
+            Transitivity(r),
+            RoleAssertion(r, a, b),
+            RoleAssertion(r, b, c),
+            ConceptAssertion(c, Forall(r.inverse(), A)),
+            ConceptAssertion(a, Not(A)),
+        )
+
+    def test_transitive_role_under_hierarchy_and_inverse(self):
+        # Trans(r), r [= s: forall inverse(s) must reach back along
+        # r-chains seen through s.
+        assert not satisfiable(
+            Transitivity(r),
+            RoleInclusion(r, s),
+            RoleAssertion(r, a, b),
+            ConceptAssertion(b, Forall(s.inverse(), A)),
+            ConceptAssertion(a, Not(A)),
+        )
+
+
+class TestCountingWithHierarchy:
+    def test_subrole_successors_counted_in_super(self):
+        assert not satisfiable(
+            RoleInclusion(r, s),
+            RoleInclusion(t, s),
+            RoleAssertion(r, a, b),
+            RoleAssertion(t, a, c),
+            DifferentIndividuals(b, c),
+            ConceptAssertion(a, AtMost(1, s)),
+        )
+
+    def test_counting_inverse_neighbours(self):
+        # a has two distinct r-predecessors; atmost 1 inverse(r) clashes.
+        assert not satisfiable(
+            RoleAssertion(r, b, a),
+            RoleAssertion(r, c, a),
+            DifferentIndividuals(b, c),
+            ConceptAssertion(a, AtMost(1, r.inverse())),
+        )
+
+    def test_atleast_on_inverse(self):
+        assert satisfiable(ConceptAssertion(a, AtLeast(2, r.inverse())))
+
+    def test_qualified_counting_on_inverse(self):
+        assert not satisfiable(
+            ConceptAssertion(
+                a,
+                And.of(
+                    QualifiedAtLeast(1, r.inverse(), A),
+                    QualifiedAtMost(0, r.inverse(), TOP),
+                ),
+            )
+        )
+
+
+class TestNominalInteractions:
+    def test_nominal_forces_merge_through_forall(self):
+        # everything r-reachable from a is {b}; so the r-successor IS b.
+        assert not satisfiable(
+            ConceptAssertion(a, Exists(r, TOP)),
+            ConceptAssertion(a, Forall(r, OneOf.of("b"))),
+            ConceptAssertion(b, A),
+            ConceptAssertion(a, Forall(r, Not(A))),
+        )
+
+    def test_nominal_with_counting(self):
+        # a r-relates to b and c; all successors in {d}: b = c = d.
+        kb = KnowledgeBase.of(
+            [
+                RoleAssertion(r, a, b),
+                RoleAssertion(r, a, c),
+                ConceptAssertion(a, Forall(r, OneOf.of("d"))),
+                DifferentIndividuals(b, c),
+            ]
+        )
+        assert not Tableau(kb).is_satisfiable()
+
+    def test_nominal_cardinality_upper_bound(self):
+        # All of A collapses onto {a}: two distinct A's impossible.
+        assert not satisfiable(
+            ConceptInclusion(A, OneOf.of("a")),
+            ConceptAssertion(b, A),
+            ConceptAssertion(c, A),
+            DifferentIndividuals(b, c),
+        )
+
+    def test_nominal_disjunction_with_tbox(self):
+        assert satisfiable(
+            ConceptInclusion(A, OneOf.of("a", "b")),
+            ConceptAssertion(c, A),
+            DifferentIndividuals(c, a),
+        )
+
+
+class TestCyclesWithBlocking:
+    def test_mutual_recursion(self):
+        assert satisfiable(
+            ConceptInclusion(A, Exists(r, B)),
+            ConceptInclusion(B, Exists(r, A)),
+            ConceptAssertion(a, A),
+        )
+
+    def test_recursion_with_global_constraint(self):
+        assert satisfiable(
+            ConceptInclusion(TOP, Exists(r, TOP)),
+            ConceptAssertion(a, A),
+        )
+
+    def test_recursion_forced_unsat(self):
+        assert not satisfiable(
+            ConceptInclusion(A, Exists(r, A)),
+            ConceptInclusion(TOP, Forall(r, Not(A))),
+            ConceptAssertion(a, A),
+        )
+
+    def test_cycle_with_inverse_back_propagation(self):
+        assert not satisfiable(
+            ConceptInclusion(A, Exists(r, And.of(B, Forall(r.inverse(), Not(A))))),
+            ConceptAssertion(a, A),
+        )
+
+
+class TestDatatypeInteractions:
+    def test_datatype_with_tbox(self):
+        age = DatatypeRole("age")
+        minor = AtomicConcept("Minor")
+        assert not satisfiable(
+            ConceptInclusion(minor, DataForall(age, IntRange(0, 17))),
+            ConceptAssertion(a, And.of(minor, DataExists(age, IntRange(18, 99)))),
+        )
+
+    def test_datatype_disjunction(self):
+        age = DatatypeRole("age")
+        assert satisfiable(
+            ConceptAssertion(
+                a,
+                Or.of(
+                    DataExists(age, IntRange(0, 10)),
+                    DataExists(age, IntRange(90, 99)),
+                ),
+            ),
+            ConceptAssertion(a, DataForall(age, IntRange(50, 100))),
+        )
+
+    def test_object_and_data_constraints_together(self):
+        age = DatatypeRole("age")
+        assert satisfiable(
+            ConceptAssertion(
+                a,
+                And.of(
+                    Exists(r, A),
+                    DataExists(age, IntRange(5, 5)),
+                    AtMost(1, r),
+                ),
+            )
+        )
+
+
+class TestEqualityCascades:
+    def test_chain_of_merges(self):
+        assert not satisfiable(
+            SameIndividual(a, b),
+            SameIndividual(b, c),
+            ConceptAssertion(a, A),
+            ConceptAssertion(c, Not(A)),
+        )
+
+    def test_merge_rewires_edges(self):
+        assert not satisfiable(
+            SameIndividual(b, c),
+            RoleAssertion(r, a, b),
+            ConceptAssertion(a, Forall(r, A)),
+            ConceptAssertion(c, Not(A)),
+        )
+
+    def test_merge_conflicts_with_distinctness_via_counting(self):
+        # atmost 1 forces the merge of b and c, but they are distinct.
+        assert not satisfiable(
+            RoleAssertion(r, a, b),
+            RoleAssertion(r, a, c),
+            RoleAssertion(r, a, d),
+            DifferentIndividuals(b, c),
+            DifferentIndividuals(b, d),
+            DifferentIndividuals(c, d),
+            ConceptAssertion(a, AtMost(2, r)),
+        )
+
+
+class TestLargerConsistentOntology:
+    def test_family_ontology(self):
+        """A small but multi-feature consistent ontology."""
+        person = AtomicConcept("Person")
+        parent = AtomicConcept("Parent")
+        grandparent = AtomicConcept("Grandparent")
+        has_child = AtomicRole("hasChild")
+        descendant = AtomicRole("hasDescendant")
+        kb = KnowledgeBase.of(
+            [
+                ConceptInclusion(parent, person),
+                ConceptInclusion(parent, Exists(has_child, person)),
+                ConceptInclusion(
+                    grandparent, Exists(has_child, parent)
+                ),
+                RoleInclusion(has_child, descendant),
+                Transitivity(descendant),
+                ConceptAssertion(a, grandparent),
+                ConceptAssertion(a, person),
+            ]
+        )
+        reasoner = Reasoner(kb)
+        assert reasoner.is_consistent()
+        # A grandparent has a descendant who is a person two levels down.
+        assert reasoner.is_instance(a, Exists(descendant, Exists(descendant, person)))
+        assert reasoner.subsumes(person, parent)
+        assert not reasoner.subsumes(parent, person)

@@ -1,0 +1,109 @@
+"""Cross-validation: the tableau against exhaustive model enumeration.
+
+The enumerator is an independent, brute-force implementation of the
+Table 1 semantics.  On random small KBs the two engines must agree in the
+directions where the enumerator is conclusive:
+
+* enumerator finds a finite model  =>  tableau must answer satisfiable;
+* tableau answers unsatisfiable    =>  enumerator must find no model.
+
+This is the repository's substitute for comparing against an external
+OWL reasoner (DESIGN.md section 5).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dl import ConceptAssertion, KnowledgeBase, Tableau
+from repro.semantics import classical_satisfiable_by_enumeration
+from repro.workloads import GeneratorConfig, Signature, generate_kb, random_concept
+
+
+def check_agreement(kb: KnowledgeBase, extra_elements: int = 1) -> None:
+    tableau_sat = Tableau(kb, max_nodes=400, max_branches=40_000).is_satisfiable()
+    enum_sat = classical_satisfiable_by_enumeration(
+        kb, max_extra_elements=extra_elements
+    )
+    if enum_sat:
+        assert tableau_sat, f"enumerator found a model, tableau said unsat: {list(kb.axioms())}"
+    if not tableau_sat:
+        assert not enum_sat, f"tableau unsat but model exists: {list(kb.axioms())}"
+
+
+class TestRandomKBs:
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_boolean_kbs(self, seed):
+        config = GeneratorConfig(
+            n_concepts=2,
+            n_roles=1,
+            n_individuals=2,
+            n_tbox=2,
+            n_abox=3,
+            max_depth=1,
+            allow_quantifiers=False,
+            seed=seed,
+        )
+        check_agreement(generate_kb(config))
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_quantified_kbs(self, seed):
+        config = GeneratorConfig(
+            n_concepts=2,
+            n_roles=1,
+            n_individuals=2,
+            n_tbox=2,
+            n_abox=2,
+            max_depth=1,
+            seed=seed,
+        )
+        check_agreement(generate_kb(config))
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_counting_kbs(self, seed):
+        config = GeneratorConfig(
+            n_concepts=1,
+            n_roles=1,
+            n_individuals=2,
+            n_tbox=1,
+            n_abox=2,
+            max_depth=1,
+            allow_counting=True,
+            max_cardinality=2,
+            seed=seed,
+        )
+        check_agreement(generate_kb(config))
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_nominal_kbs(self, seed):
+        config = GeneratorConfig(
+            n_concepts=2,
+            n_roles=1,
+            n_individuals=2,
+            n_tbox=1,
+            n_abox=2,
+            max_depth=1,
+            allow_nominals=True,
+            seed=seed,
+        )
+        check_agreement(generate_kb(config))
+
+
+class TestRandomConceptSatisfiability:
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_single_concept_assertions(self, seed):
+        rng = random.Random(seed)
+        signature = Signature.of_size(2, 1, 1)
+        concept = random_concept(
+            rng, signature, depth=2, allow_counting=True, allow_nominals=True,
+            max_cardinality=2,
+        )
+        kb = KnowledgeBase.of([ConceptAssertion(signature.individuals[0], concept)])
+        check_agreement(kb, extra_elements=2)

@@ -1,0 +1,136 @@
+"""Unit tests for SHOIN(D)4 syntax containers."""
+
+import pytest
+
+from repro.dl import (
+    AtomicConcept,
+    AtomicRole,
+    ConceptAssertion,
+    ConceptInclusion,
+    DataAssertion,
+    DataValue,
+    DatatypeRole,
+    DifferentIndividuals,
+    Exists,
+    Individual,
+    KnowledgeBase,
+    Not,
+    OneOf,
+    RoleAssertion,
+    RoleInclusion,
+    SameIndividual,
+    Transitivity,
+)
+from repro.four_dl import (
+    ConceptInclusion4,
+    DatatypeRoleInclusion4,
+    InclusionKind,
+    KnowledgeBase4,
+    RoleInclusion4,
+    Transitivity4,
+    collapse_to_classical,
+    from_classical,
+    internal,
+    material,
+    strong,
+)
+
+A, B = AtomicConcept("A"), AtomicConcept("B")
+r, s = AtomicRole("r"), AtomicRole("s")
+u = DatatypeRole("u")
+a, b = Individual("a"), Individual("b")
+
+
+class TestInclusionConstructors:
+    def test_kinds(self):
+        assert material(A, B).kind is InclusionKind.MATERIAL
+        assert internal(A, B).kind is InclusionKind.INTERNAL
+        assert strong(A, B).kind is InclusionKind.STRONG
+
+    def test_symbols(self):
+        assert repr(material(A, B)) == "A |-> B"
+        assert repr(internal(A, B)) == "A < B"
+        assert repr(strong(A, B)) == "A -> B"
+
+    def test_value_equality(self):
+        assert material(A, B) == material(A, B)
+        assert material(A, B) != internal(A, B)
+
+
+class TestKnowledgeBase4:
+    def test_add_routes_axioms(self):
+        kb4 = KnowledgeBase4().add(
+            internal(A, B),
+            RoleInclusion4(r, s, InclusionKind.STRONG),
+            DatatypeRoleInclusion4(u, u, InclusionKind.INTERNAL),
+            Transitivity4(r),
+            ConceptAssertion(a, A),
+            RoleAssertion(r, a, b),
+            DataAssertion(u, a, DataValue.of(1)),
+            SameIndividual(a, a),
+            DifferentIndividuals(a, b),
+        )
+        assert len(kb4) == 9
+        assert len(list(kb4.tbox())) == 4
+        assert len(list(kb4.abox())) == 5
+
+    def test_rejects_classical_inclusion(self):
+        with pytest.raises(TypeError):
+            KnowledgeBase4().add(ConceptInclusion(A, B))
+
+    def test_inverse_role_assertion_normalised(self):
+        kb4 = KnowledgeBase4().add(RoleAssertion(r.inverse(), a, b))
+        assert kb4.role_assertions == [RoleAssertion(r, b, a)]
+
+    def test_signature(self):
+        kb4 = KnowledgeBase4().add(
+            internal(A, Exists(r, OneOf.of("n"))),
+            ConceptAssertion(a, B),
+        )
+        assert kb4.concepts_in_signature() == frozenset({A, B})
+        assert kb4.object_roles_in_signature() == frozenset({r})
+        assert {i.name for i in kb4.individuals_in_signature()} == {"a", "n"}
+
+    def test_copy_independent(self):
+        kb4 = KnowledgeBase4().add(internal(A, B))
+        clone = kb4.copy()
+        clone.add(ConceptAssertion(a, A))
+        assert len(kb4) == 1 and len(clone) == 2
+
+
+class TestConversions:
+    def test_from_classical_default_internal(self):
+        kb = KnowledgeBase().add(
+            ConceptInclusion(A, B),
+            RoleInclusion(r, s),
+            Transitivity(r),
+            ConceptAssertion(a, A),
+        )
+        kb4 = from_classical(kb)
+        assert kb4.concept_inclusions == [internal(A, B)]
+        assert kb4.role_inclusions == [RoleInclusion4(r, s, InclusionKind.INTERNAL)]
+        assert kb4.transitivity_axioms == [Transitivity4(r)]
+        assert kb4.concept_assertions == [ConceptAssertion(a, A)]
+
+    def test_from_classical_other_kinds(self):
+        kb = KnowledgeBase().add(ConceptInclusion(A, B))
+        kb4 = from_classical(kb, InclusionKind.MATERIAL)
+        assert kb4.concept_inclusions == [material(A, B)]
+
+    def test_collapse_round_trip(self):
+        kb = KnowledgeBase().add(
+            ConceptInclusion(A, B),
+            RoleInclusion(r, s),
+            ConceptAssertion(a, Not(A)),
+            RoleAssertion(r, a, b),
+        )
+        collapsed = collapse_to_classical(from_classical(kb))
+        assert list(collapsed.axioms()) == list(kb.axioms())
+
+    def test_collapse_forgets_strength(self):
+        kb4 = KnowledgeBase4().add(material(A, B), strong(B, A))
+        kb = collapse_to_classical(kb4)
+        assert kb.concept_inclusions == [
+            ConceptInclusion(A, B),
+            ConceptInclusion(B, A),
+        ]

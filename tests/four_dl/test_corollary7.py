@@ -1,0 +1,141 @@
+"""Corollary 7: inclusion entailment via unsatisfiability in the induced KB."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dl import (
+    AtomicConcept,
+    ConceptAssertion,
+    Individual,
+    Not,
+)
+from repro.four_dl import (
+    KnowledgeBase4,
+    Reasoner4,
+    internal,
+    material,
+    strong,
+)
+from repro.semantics.enumeration import enumerate_four_models
+from repro.workloads import GeneratorConfig, generate_kb4
+
+A, B, C = AtomicConcept("A"), AtomicConcept("B"), AtomicConcept("C")
+a = Individual("a")
+
+
+class TestInternalInclusionEntailment:
+    def test_asserted(self):
+        kb4 = KnowledgeBase4().add(internal(A, B))
+        reasoner = Reasoner4(kb4)
+        assert reasoner.entails_inclusion(internal(A, B))
+        assert not reasoner.entails_inclusion(internal(B, A))
+
+    def test_chaining(self):
+        kb4 = KnowledgeBase4().add(internal(A, B), internal(B, C))
+        assert Reasoner4(kb4).entails_inclusion(internal(A, C))
+
+    def test_internal_does_not_contrapose(self):
+        kb4 = KnowledgeBase4().add(internal(A, B))
+        reasoner = Reasoner4(kb4)
+        assert not reasoner.entails_inclusion(internal(Not(B), Not(A)))
+
+    def test_strong_entails_internal(self):
+        kb4 = KnowledgeBase4().add(strong(A, B))
+        reasoner = Reasoner4(kb4)
+        assert reasoner.entails_inclusion(internal(A, B))
+
+    def test_strong_contraposes(self):
+        kb4 = KnowledgeBase4().add(strong(A, B))
+        reasoner = Reasoner4(kb4)
+        assert reasoner.entails_inclusion(strong(Not(B), Not(A)))
+        assert reasoner.entails_inclusion(internal(Not(B), Not(A)))
+
+    def test_internal_does_not_entail_strong(self):
+        kb4 = KnowledgeBase4().add(internal(A, B))
+        assert not Reasoner4(kb4).entails_inclusion(strong(A, B))
+
+    def test_material_chain_does_not_detach(self):
+        # Material inclusions tolerate exceptions, so A |-> B plus an
+        # exception does not trivialise.
+        kb4 = KnowledgeBase4().add(
+            material(A, B),
+            ConceptAssertion(a, A),
+            ConceptAssertion(a, Not(B)),
+        )
+        reasoner = Reasoner4(kb4)
+        assert reasoner.is_satisfiable()
+        assert reasoner.entails_inclusion(material(A, B))
+
+    def test_reflexivity(self):
+        reasoner = Reasoner4(KnowledgeBase4())
+        assert reasoner.entails_inclusion(internal(A, A))
+        assert reasoner.entails_inclusion(strong(A, A))
+
+
+class TestAgainstEnumeration:
+    """Corollary 7's reductions agree with direct model checking."""
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_internal_inclusion_agreement(self, seed):
+        rng = random.Random(seed)
+        config = GeneratorConfig(
+            n_concepts=2, n_roles=1, n_individuals=1,
+            n_tbox=2, n_abox=2, max_depth=1, seed=seed,
+        )
+        kb4 = generate_kb4(config)
+        concepts = sorted(kb4.concepts_in_signature(), key=lambda c: c.name)
+        if len(concepts) < 2:
+            return
+        sub, sup = rng.sample(concepts, 2)
+        query = internal(sub, sup)
+        models = list(enumerate_four_models(kb4))
+        # Entailment over the enumerable fragment: all small models
+        # satisfy the inclusion.  The reduction quantifies over all
+        # models, so reduction-entailment implies enumeration-validity.
+        reduction = Reasoner4(kb4).entails_inclusion(query)
+        enumeration = all(m.satisfies(query) for m in models)
+        if reduction:
+            assert enumeration
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=12, deadline=None)
+    def test_material_inclusion_agreement(self, seed):
+        rng = random.Random(seed)
+        config = GeneratorConfig(
+            n_concepts=2, n_roles=0, n_individuals=1,
+            n_tbox=1, n_abox=2, max_depth=1,
+            allow_quantifiers=False, seed=seed,
+        )
+        kb4 = generate_kb4(config)
+        concepts = sorted(kb4.concepts_in_signature(), key=lambda c: c.name)
+        if len(concepts) < 2:
+            return
+        sub, sup = rng.sample(concepts, 2)
+        query = material(sub, sup)
+        reduction = Reasoner4(kb4).entails_inclusion(query)
+        models = list(enumerate_four_models(kb4))
+        if reduction:
+            assert all(m.satisfies(query) for m in models)
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=12, deadline=None)
+    def test_strong_inclusion_agreement(self, seed):
+        rng = random.Random(seed)
+        config = GeneratorConfig(
+            n_concepts=2, n_roles=0, n_individuals=1,
+            n_tbox=2, n_abox=1, max_depth=1,
+            allow_quantifiers=False, seed=seed,
+        )
+        kb4 = generate_kb4(config)
+        concepts = sorted(kb4.concepts_in_signature(), key=lambda c: c.name)
+        if len(concepts) < 2:
+            return
+        sub, sup = rng.sample(concepts, 2)
+        query = strong(sub, sup)
+        reduction = Reasoner4(kb4).entails_inclusion(query)
+        models = list(enumerate_four_models(kb4))
+        if reduction:
+            assert all(m.satisfies(query) for m in models)

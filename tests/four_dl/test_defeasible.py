@@ -1,0 +1,121 @@
+"""Prioritised paraconsistent adjudication (the future-work combination)."""
+
+import pytest
+
+from repro.dl import AtomicConcept, ConceptAssertion, Individual, Not
+from repro.four_dl import (
+    AdjudicatedFact,
+    DefeasibleReasoner4,
+    KnowledgeBase4,
+    default_stratification4,
+    internal,
+)
+from repro.fourvalued import FourValue
+
+A, B = AtomicConcept("A"), AtomicConcept("B")
+a, b = Individual("a"), Individual("b")
+
+
+class TestAdjudication:
+    def test_unconflicted_fact_passes_through(self):
+        strata = [(ConceptAssertion(a, A), 0)]
+        reasoner = DefeasibleReasoner4(strata)
+        verdict = reasoner.adjudicate(a, A)
+        assert verdict.value is FourValue.TRUE
+        assert verdict.preferred is FourValue.TRUE
+        assert verdict.conflict_stratum is None
+        assert not verdict.is_conflicted
+
+    def test_conflict_prefers_higher_priority(self):
+        strata = [
+            (ConceptAssertion(a, A), 0),
+            (ConceptAssertion(a, Not(A)), 1),
+        ]
+        verdict = DefeasibleReasoner4(strata).adjudicate(a, A)
+        assert verdict.value is FourValue.BOTH
+        assert verdict.preferred is FourValue.TRUE
+        assert verdict.conflict_stratum == 1
+
+    def test_conflict_prefers_negative_when_it_is_certain(self):
+        strata = [
+            (ConceptAssertion(a, Not(A)), 0),
+            (ConceptAssertion(a, A), 1),
+        ]
+        verdict = DefeasibleReasoner4(strata).adjudicate(a, A)
+        assert verdict.preferred is FourValue.FALSE
+
+    def test_conflict_within_top_stratum_has_no_preference(self):
+        strata = [
+            (ConceptAssertion(a, A), 0),
+            (ConceptAssertion(a, Not(A)), 0),
+        ]
+        verdict = DefeasibleReasoner4(strata).adjudicate(a, A)
+        assert verdict.value is FourValue.BOTH
+        assert verdict.preferred is FourValue.NEITHER
+        assert verdict.conflict_stratum == 0
+
+    def test_conflict_through_tbox(self):
+        strata = [
+            (internal(A, B), 0),
+            (ConceptAssertion(a, A), 1),
+            (ConceptAssertion(a, Not(B)), 2),
+        ]
+        reasoner = DefeasibleReasoner4(strata)
+        verdict = reasoner.adjudicate(a, B)
+        assert verdict.value is FourValue.BOTH
+        assert verdict.preferred is FourValue.TRUE  # entailed at stratum 1
+        assert verdict.conflict_stratum == 2
+
+    def test_describe(self):
+        strata = [
+            (ConceptAssertion(a, A), 0),
+            (ConceptAssertion(a, Not(A)), 1),
+        ]
+        verdict = DefeasibleReasoner4(strata).adjudicate(a, A)
+        assert "preferred reading t" in verdict.describe()
+        clean = AdjudicatedFact(FourValue.TRUE, FourValue.TRUE, None)
+        assert "no conflict" in clean.describe()
+
+
+class TestReport:
+    def test_conflict_report_lists_both_facts_only(self):
+        strata = [
+            (ConceptAssertion(a, A), 0),
+            (ConceptAssertion(a, Not(A)), 1),
+            (ConceptAssertion(b, B), 1),
+        ]
+        report = DefeasibleReasoner4(strata).conflict_report()
+        assert (a, A) in report
+        assert (b, B) not in report
+
+    def test_empty_report_on_clean_kb(self):
+        strata = [(ConceptAssertion(a, A), 0)]
+        assert DefeasibleReasoner4(strata).conflict_report() == {}
+
+
+class TestDefaultStratification:
+    def test_tbox_before_abox(self):
+        kb4 = KnowledgeBase4().add(
+            internal(A, B), ConceptAssertion(a, A)
+        )
+        ranked = default_stratification4(kb4)
+        priorities = {repr(axiom): priority for axiom, priority in ranked}
+        assert priorities["A < B"] == 0
+        assert priorities["a : A"] == 1
+
+    def test_default_keeps_everything(self):
+        kb4 = KnowledgeBase4().add(
+            internal(A, B),
+            ConceptAssertion(a, A),
+            ConceptAssertion(a, Not(B)),
+        )
+        reasoner = DefeasibleReasoner4(default_stratification4(kb4))
+        # Nothing deleted: the full-KB status is BOTH...
+        assert reasoner.assertion_value(a, B) is FourValue.BOTH
+        # ...while the TBox-only prefix had no opinion, so no preference.
+        verdict = reasoner.adjudicate(a, B)
+        assert verdict.conflict_stratum == 1
+
+    def test_empty_stratification(self):
+        reasoner = DefeasibleReasoner4([])
+        assert reasoner.assertion_value(a, A) is FourValue.NEITHER

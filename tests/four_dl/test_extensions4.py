@@ -1,0 +1,202 @@
+"""Four-valued layer over the SHOIQ extensions.
+
+Qualified counting and negative role assertions through the whole
+pipeline: Table-2-style evaluator, generalised Definition 5 clauses,
+Lemma 5 decomposability, and the reduction reasoner.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dl import (
+    AtomicConcept,
+    AtomicRole,
+    ConceptAssertion,
+    DifferentIndividuals,
+    Individual,
+    NegativeRoleAssertion,
+    Not,
+    QualifiedAtLeast,
+    QualifiedAtMost,
+    RoleAssertion,
+)
+from repro.four_dl import (
+    KnowledgeBase4,
+    Reasoner4,
+    classical_induced,
+    internal,
+    neg_transform,
+    pos_transform,
+)
+from repro.four_dl.axioms4 import InclusionKind, RoleInclusion4
+from repro.fourvalued import BilatticePair, FourValue
+from repro.semantics import FourInterpretation, RolePair
+from repro.workloads import Signature
+
+A, B = AtomicConcept("A"), AtomicConcept("B")
+r = AtomicRole("r")
+a, b, c = Individual("a"), Individual("b"), Individual("c")
+DOMAIN = ["x", "y", "z"]
+
+
+def random_four_interpretation(rng: random.Random, signature: Signature):
+    return FourInterpretation(
+        domain=frozenset(DOMAIN),
+        concept_ext={
+            concept: BilatticePair(
+                frozenset(e for e in DOMAIN if rng.random() < 0.5),
+                frozenset(e for e in DOMAIN if rng.random() < 0.5),
+            )
+            for concept in signature.concepts
+        },
+        role_ext={
+            role: RolePair(
+                frozenset((x, y) for x in DOMAIN for y in DOMAIN if rng.random() < 0.4),
+                frozenset((x, y) for x in DOMAIN for y in DOMAIN if rng.random() < 0.4),
+            )
+            for role in signature.roles
+        },
+    )
+
+
+def signature_kb4(signature: Signature) -> KnowledgeBase4:
+    kb4 = KnowledgeBase4()
+    for concept in signature.concepts:
+        kb4.add(internal(concept, concept))
+    for role in signature.roles:
+        kb4.add(RoleInclusion4(role, role, InclusionKind.INTERNAL))
+    return kb4
+
+
+class TestQualifiedLemma5:
+    """The generalised Definition 5 clauses stay decomposable."""
+
+    @given(st.integers(0, 10**6), st.integers(0, 3))
+    @settings(max_examples=100, deadline=None)
+    def test_qualified_atleast_projections(self, seed, n):
+        rng = random.Random(seed)
+        signature = Signature.of_size(2, 1, 0)
+        interp = random_four_interpretation(rng, signature)
+        classical = classical_induced(interp, signature_kb4(signature))
+        concept = QualifiedAtLeast(
+            n, signature.roles[0], rng.choice(signature.concepts)
+        )
+        evidence = interp.extension(concept)
+        assert classical.extension(pos_transform(concept)) == evidence.positive
+        assert classical.extension(neg_transform(concept)) == evidence.negative
+
+    @given(st.integers(0, 10**6), st.integers(0, 3))
+    @settings(max_examples=100, deadline=None)
+    def test_qualified_atmost_projections(self, seed, n):
+        rng = random.Random(seed)
+        signature = Signature.of_size(2, 1, 0)
+        interp = random_four_interpretation(rng, signature)
+        classical = classical_induced(interp, signature_kb4(signature))
+        filler = rng.choice(signature.concepts)
+        if rng.random() < 0.5:
+            filler = Not(filler)
+        concept = QualifiedAtMost(n, signature.roles[0], filler)
+        evidence = interp.extension(concept)
+        assert classical.extension(pos_transform(concept)) == evidence.positive
+        assert classical.extension(neg_transform(concept)) == evidence.negative
+
+    @given(st.integers(0, 10**6), st.integers(1, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_qualified_duality(self, seed, n):
+        """not(>= n R.C) = (<= n-1 R.C) four-valuedly."""
+        rng = random.Random(seed)
+        signature = Signature.of_size(2, 1, 0)
+        interp = random_four_interpretation(rng, signature)
+        filler = rng.choice(signature.concepts)
+        role = signature.roles[0]
+        assert interp.extension(
+            Not(QualifiedAtLeast(n, role, filler))
+        ) == interp.extension(QualifiedAtMost(n - 1, role, filler))
+        assert interp.extension(
+            Not(QualifiedAtMost(n, role, filler))
+        ) == interp.extension(QualifiedAtLeast(n + 1, role, filler))
+
+
+class TestQualifiedReasoning4:
+    def test_evidence_through_qualified_atleast(self):
+        busy = AtomicConcept("Busy")
+        kb4 = KnowledgeBase4().add(
+            internal(QualifiedAtLeast(2, r, A), busy),
+            RoleAssertion(r, a, b),
+            RoleAssertion(r, a, c),
+            ConceptAssertion(b, A),
+            ConceptAssertion(c, A),
+            DifferentIndividuals(b, c),
+        )
+        assert Reasoner4(kb4).assertion_value(a, busy) is FourValue.TRUE
+
+    def test_qualified_survives_contradiction(self):
+        busy = AtomicConcept("Busy")
+        kb4 = KnowledgeBase4().add(
+            internal(QualifiedAtLeast(1, r, A), busy),
+            RoleAssertion(r, a, b),
+            ConceptAssertion(b, A),
+            ConceptAssertion(b, Not(A)),  # contradictory filler evidence
+        )
+        reasoner = Reasoner4(kb4)
+        assert reasoner.is_satisfiable()
+        assert reasoner.assertion_value(a, busy) is FourValue.TRUE
+        assert reasoner.assertion_value(b, A) is FourValue.BOTH
+
+
+class TestNegativeRoleEvidence:
+    def test_role_value_both(self):
+        kb4 = KnowledgeBase4().add(
+            RoleAssertion(r, a, b), NegativeRoleAssertion(r, a, b)
+        )
+        reasoner = Reasoner4(kb4)
+        assert reasoner.is_satisfiable()
+        assert reasoner.role_value(r, a, b) is FourValue.BOTH
+
+    def test_role_value_classical_cases(self):
+        kb4 = KnowledgeBase4().add(
+            RoleAssertion(r, a, b), NegativeRoleAssertion(r, a, c)
+        )
+        reasoner = Reasoner4(kb4)
+        assert reasoner.role_value(r, a, b) is FourValue.TRUE
+        assert reasoner.role_value(r, a, c) is FourValue.FALSE
+        assert reasoner.role_value(r, b, c) is FourValue.NEITHER
+
+    def test_negative_evidence_via_strong_role_inclusion(self):
+        s = AtomicRole("s")
+        kb4 = KnowledgeBase4().add(
+            RoleInclusion4(r, s, InclusionKind.STRONG),
+            NegativeRoleAssertion(s, a, b),
+        )
+        reasoner = Reasoner4(kb4)
+        # Strong inclusion propagates negative evidence backward.
+        assert reasoner.role_evidence_against(r, a, b)
+
+    def test_internal_role_inclusion_no_negative_backflow(self):
+        s = AtomicRole("s")
+        kb4 = KnowledgeBase4().add(
+            RoleInclusion4(r, s, InclusionKind.INTERNAL),
+            NegativeRoleAssertion(s, a, b),
+        )
+        assert not Reasoner4(kb4).role_evidence_against(r, a, b)
+
+    def test_entails_dispatcher(self):
+        kb4 = KnowledgeBase4().add(NegativeRoleAssertion(r, a, b))
+        reasoner = Reasoner4(kb4)
+        assert reasoner.entails(NegativeRoleAssertion(r, a, b))
+        assert not reasoner.entails(RoleAssertion(r, a, b))
+
+    def test_four_model_checker_sees_negative_assertions(self):
+        from repro.semantics import enumerate_four_models
+
+        kb4 = KnowledgeBase4().add(
+            RoleAssertion(r, a, b), NegativeRoleAssertion(r, a, b)
+        )
+        models = list(enumerate_four_models(kb4))
+        assert models
+        assert all(
+            (a, b) in m.role_ext[r].positive and (a, b) in m.role_ext[r].negative
+            for m in models
+        )

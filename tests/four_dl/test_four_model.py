@@ -1,0 +1,78 @@
+"""Four-valued model extraction via Definition 9 (Reasoner4.four_model)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dl import (
+    AtomicConcept,
+    BOTTOM,
+    ConceptAssertion,
+    Individual,
+    Not,
+    RoleAssertion,
+    AtomicRole,
+)
+from repro.four_dl import KnowledgeBase4, Reasoner4, internal
+from repro.fourvalued import FourValue
+from repro.harness import example3_kb4, example4_kb4
+from repro.workloads import GeneratorConfig, generate_kb4
+
+A, B = AtomicConcept("A"), AtomicConcept("B")
+r = AtomicRole("r")
+a, b = Individual("a"), Individual("b")
+
+
+class TestFourModel:
+    def test_unsatisfiable_kb4_has_no_model(self):
+        kb4 = KnowledgeBase4().add(ConceptAssertion(a, BOTTOM))
+        assert Reasoner4(kb4).four_model() is None
+
+    def test_contradiction_yields_both_in_model(self):
+        kb4 = KnowledgeBase4().add(
+            ConceptAssertion(a, A), ConceptAssertion(a, Not(A))
+        )
+        model = Reasoner4(kb4).four_model()
+        assert model is not None
+        assert model.concept_value(A, a) is FourValue.BOTH
+
+    def test_model_satisfies_inclusions(self):
+        kb4 = KnowledgeBase4().add(
+            internal(A, B),
+            ConceptAssertion(a, A),
+            RoleAssertion(r, a, b),
+        )
+        model = Reasoner4(kb4).four_model()
+        assert model is not None
+        assert model.is_model(kb4)
+        assert model.concept_value(B, a).has_truth
+
+    def test_paper_example3_model_shape(self):
+        """The in-text model of Example 3: Bird(tweety) = TOP,
+        Fly(tweety) = f, Penguin(tweety) designated."""
+        model = Reasoner4(example3_kb4()).four_model()
+        assert model is not None
+        tweety = Individual("tweety")
+        assert model.concept_value(AtomicConcept("Fly"), tweety) is FourValue.FALSE
+        assert model.concept_value(AtomicConcept("Bird"), tweety) is FourValue.BOTH
+        assert model.concept_value(
+            AtomicConcept("Penguin"), tweety
+        ).is_designated
+
+    def test_paper_example4_model(self):
+        model = Reasoner4(example4_kb4()).four_model()
+        assert model is not None
+        assert model.is_model(example4_kb4())
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_extracted_model_verifies(self, seed):
+        config = GeneratorConfig(
+            n_concepts=3, n_roles=1, n_individuals=3,
+            n_tbox=3, n_abox=5, max_depth=1, seed=seed,
+        )
+        kb4 = generate_kb4(config)
+        reasoner = Reasoner4(kb4)
+        if reasoner.is_satisfiable():
+            model = reasoner.four_model()
+            if model is not None:
+                assert model.is_model(kb4)

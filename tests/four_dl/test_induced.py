@@ -1,0 +1,124 @@
+"""Definitions 8-9: the induced-interpretation correspondences."""
+
+import itertools
+
+from repro.dl import (
+    AtomicConcept,
+    AtomicRole,
+    ConceptAssertion,
+    Individual,
+    RoleAssertion,
+)
+from repro.four_dl import (
+    KnowledgeBase4,
+    classical_induced,
+    four_induced,
+    internal,
+)
+from repro.fourvalued import BilatticePair
+from repro.semantics import FourInterpretation, Interpretation, RolePair
+
+A, B = AtomicConcept("A"), AtomicConcept("B")
+r = AtomicRole("r")
+a, b = Individual("a"), Individual("b")
+
+
+def sample_kb4() -> KnowledgeBase4:
+    return KnowledgeBase4().add(
+        internal(A, B),
+        ConceptAssertion(a, A),
+        RoleAssertion(r, a, b),
+    )
+
+
+def sample_four_interpretation() -> FourInterpretation:
+    return FourInterpretation(
+        domain=frozenset({"x", "y"}),
+        concept_ext={
+            A: BilatticePair(frozenset({"x"}), frozenset({"y"})),
+            B: BilatticePair(frozenset({"x", "y"}), frozenset({"x"})),
+        },
+        role_ext={
+            r: RolePair(
+                frozenset({("x", "y")}), frozenset({("x", "x"), ("y", "y")})
+            )
+        },
+        individual_map={a: "x", b: "y"},
+    )
+
+
+class TestClassicalInduced:
+    def test_concept_halves(self):
+        induced = classical_induced(sample_four_interpretation(), sample_kb4())
+        assert induced.concept_ext[AtomicConcept("A__pos")] == frozenset({"x"})
+        assert induced.concept_ext[AtomicConcept("A__neg")] == frozenset({"y"})
+        assert induced.concept_ext[AtomicConcept("B__pos")] == frozenset({"x", "y"})
+        assert induced.concept_ext[AtomicConcept("B__neg")] == frozenset({"x"})
+
+    def test_role_halves(self):
+        induced = classical_induced(sample_four_interpretation(), sample_kb4())
+        assert induced.role_ext[AtomicRole("r__pos")] == frozenset({("x", "y")})
+        # r__eq is the complement of the negative part.
+        assert induced.role_ext[AtomicRole("r__eq")] == frozenset(
+            {("x", "y"), ("y", "x")}
+        )
+
+    def test_domain_and_individuals_preserved(self):
+        four = sample_four_interpretation()
+        induced = classical_induced(four, sample_kb4())
+        assert induced.domain == four.domain
+        assert induced.individual_map == four.individual_map
+
+    def test_missing_extensions_default_empty(self):
+        four = FourInterpretation(
+            domain=frozenset({"x"}), individual_map={a: "x"}
+        )
+        kb4 = KnowledgeBase4().add(ConceptAssertion(a, A))
+        induced = classical_induced(four, kb4)
+        assert induced.concept_ext[AtomicConcept("A__pos")] == frozenset()
+
+
+class TestFourInduced:
+    def test_round_trip_concepts_and_roles(self):
+        four = sample_four_interpretation()
+        kb4 = sample_kb4()
+        recovered = four_induced(classical_induced(four, kb4), kb4)
+        assert recovered.concept_ext == four.concept_ext
+        assert recovered.role_ext == four.role_ext
+        assert recovered.domain == four.domain
+        assert recovered.individual_map == four.individual_map
+
+    def test_reverse_round_trip_on_classical_side(self):
+        kb4 = sample_kb4()
+        classical = Interpretation(
+            domain=frozenset({"x", "y"}),
+            concept_ext={
+                AtomicConcept("A__pos"): frozenset({"x"}),
+                AtomicConcept("A__neg"): frozenset(),
+                AtomicConcept("B__pos"): frozenset({"y"}),
+                AtomicConcept("B__neg"): frozenset({"x", "y"}),
+            },
+            role_ext={
+                AtomicRole("r__pos"): frozenset({("x", "y")}),
+                AtomicRole("r__eq"): frozenset({("y", "x")}),
+            },
+            individual_map={a: "x", b: "y"},
+        )
+        recovered = classical_induced(four_induced(classical, kb4), kb4)
+        assert recovered.concept_ext == classical.concept_ext
+        assert recovered.role_ext == classical.role_ext
+
+    def test_eq_role_complement_semantics(self):
+        kb4 = sample_kb4()
+        classical = Interpretation(
+            domain=frozenset({"x", "y"}),
+            concept_ext={},
+            role_ext={
+                AtomicRole("r__pos"): frozenset(),
+                AtomicRole("r__eq"): frozenset(),  # everything negative
+            },
+            individual_map={a: "x", b: "y"},
+        )
+        four = four_induced(classical, kb4)
+        all_pairs = frozenset(itertools.product({"x", "y"}, repeat=2))
+        assert four.role_ext[r].negative == all_pairs

@@ -1,0 +1,117 @@
+"""Inconsistency-degree and conflict-profile tests."""
+
+import pytest
+
+from repro.dl import (
+    AtomicConcept,
+    AtomicRole,
+    ConceptAssertion,
+    Individual,
+    NegativeRoleAssertion,
+    Not,
+    RoleAssertion,
+)
+from repro.four_dl import (
+    KnowledgeBase4,
+    Reasoner4,
+    conflict_profile,
+    inconsistency_degree,
+    information_degree,
+    internal,
+)
+from repro.fourvalued import FourValue
+
+A, B = AtomicConcept("A"), AtomicConcept("B")
+r = AtomicRole("r")
+a, b = Individual("a"), Individual("b")
+
+
+class TestDegrees:
+    def test_clean_kb_has_zero_degree(self):
+        kb4 = KnowledgeBase4().add(ConceptAssertion(a, A))
+        reasoner = Reasoner4(kb4)
+        assert inconsistency_degree(reasoner) == 0.0
+
+    def test_fully_contradictory_fact(self):
+        kb4 = KnowledgeBase4().add(
+            ConceptAssertion(a, A), ConceptAssertion(a, Not(A))
+        )
+        # One individual, one concept: the single fact is BOTH.
+        assert inconsistency_degree(Reasoner4(kb4)) == 1.0
+
+    def test_degree_is_a_fraction(self):
+        kb4 = KnowledgeBase4().add(
+            ConceptAssertion(a, A),
+            ConceptAssertion(a, Not(A)),
+            ConceptAssertion(b, B),
+        )
+        # 4 facts (2 individuals x 2 concepts), 1 conflicting.
+        assert inconsistency_degree(Reasoner4(kb4)) == pytest.approx(0.25)
+
+    def test_information_degree(self):
+        kb4 = KnowledgeBase4().add(
+            ConceptAssertion(a, A),
+            ConceptAssertion(b, B),
+        )
+        # Decided: A(a)=t, B(b)=t; undecided: B(a), A(b).
+        assert information_degree(Reasoner4(kb4)) == pytest.approx(0.5)
+
+    def test_degree_monotone_in_conflicts(self):
+        base = KnowledgeBase4().add(
+            ConceptAssertion(a, A), ConceptAssertion(b, B)
+        )
+        low = inconsistency_degree(Reasoner4(base))
+        base.add(ConceptAssertion(a, Not(A)))
+        high = inconsistency_degree(Reasoner4(base))
+        assert high > low
+
+    def test_empty_kb(self):
+        reasoner = Reasoner4(KnowledgeBase4())
+        assert inconsistency_degree(reasoner) == 0.0
+        assert information_degree(reasoner) == 0.0
+
+
+class TestProfile:
+    def make_profile(self):
+        kb4 = KnowledgeBase4().add(
+            internal(A, B),
+            ConceptAssertion(a, A),
+            ConceptAssertion(a, Not(B)),
+            ConceptAssertion(b, B),
+            RoleAssertion(r, a, b),
+            NegativeRoleAssertion(r, a, b),
+        )
+        return conflict_profile(Reasoner4(kb4))
+
+    def test_counts_add_up(self):
+        profile = self.make_profile()
+        total = sum(profile.count(v) for v in FourValue)
+        assert total == profile.total
+
+    def test_concept_conflict_found(self):
+        profile = self.make_profile()
+        assert profile.concept_values[(a, B)] is FourValue.BOTH
+        assert profile.concept_values[(b, B)] is FourValue.TRUE
+
+    def test_role_conflict_found(self):
+        profile = self.make_profile()
+        assert profile.role_values[(a, b, r)] is FourValue.BOTH
+
+    def test_breakdowns(self):
+        profile = self.make_profile()
+        assert profile.conflicts_by_concept().get(B) == 1
+        by_individual = profile.conflicts_by_individual()
+        assert by_individual.get(a, 0) >= 2  # B(a) and r(a, b)
+
+    def test_rows_put_conflicts_first(self):
+        rows = self.make_profile().rows()
+        statuses = [status for _fact, status in rows]
+        first_non_both = next(
+            (i for i, s in enumerate(statuses) if s != "TOP"), len(statuses)
+        )
+        assert "TOP" not in statuses[first_non_both:]
+
+    def test_without_roles(self):
+        kb4 = KnowledgeBase4().add(RoleAssertion(r, a, b))
+        profile = conflict_profile(Reasoner4(kb4), include_roles=False)
+        assert profile.role_values == {}

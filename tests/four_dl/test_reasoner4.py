@@ -1,0 +1,212 @@
+"""Behavioural tests for the reduction-based four-valued reasoner."""
+
+from repro.dl import (
+    And,
+    AtomicConcept,
+    AtomicRole,
+    BOTTOM,
+    ConceptAssertion,
+    Exists,
+    Individual,
+    Not,
+    OneOf,
+    Or,
+    RoleAssertion,
+)
+from repro.four_dl import (
+    KnowledgeBase4,
+    Reasoner4,
+    internal,
+    material,
+    strong,
+)
+from repro.four_dl.axioms4 import RoleInclusion4, InclusionKind
+from repro.fourvalued import FourValue
+
+A, B, C = AtomicConcept("A"), AtomicConcept("B"), AtomicConcept("C")
+r, s = AtomicRole("r"), AtomicRole("s")
+a, b = Individual("a"), Individual("b")
+
+
+class TestSatisfiability:
+    def test_contradiction_is_satisfiable(self):
+        kb4 = KnowledgeBase4().add(
+            ConceptAssertion(a, A), ConceptAssertion(a, Not(A))
+        )
+        assert Reasoner4(kb4).is_satisfiable()
+
+    def test_bottom_is_unsatisfiable(self):
+        kb4 = KnowledgeBase4().add(ConceptAssertion(a, BOTTOM))
+        assert not Reasoner4(kb4).is_satisfiable()
+
+    def test_internal_chain_to_bottom_unsatisfiable(self):
+        kb4 = KnowledgeBase4().add(
+            internal(A, BOTTOM), ConceptAssertion(a, A)
+        )
+        assert not Reasoner4(kb4).is_satisfiable()
+
+    def test_concept_coherence(self):
+        kb4 = KnowledgeBase4().add(internal(A, BOTTOM))
+        reasoner = Reasoner4(kb4)
+        assert not reasoner.concept_coherent(A)
+        assert reasoner.concept_coherent(B)
+
+
+class TestEvidenceQueries:
+    def test_positive_evidence_propagates_internally(self):
+        kb4 = KnowledgeBase4().add(internal(A, B), ConceptAssertion(a, A))
+        reasoner = Reasoner4(kb4)
+        assert reasoner.evidence_for(a, B)
+        assert not reasoner.evidence_against(a, B)
+
+    def test_negative_evidence_needs_strength(self):
+        kb4 = KnowledgeBase4().add(
+            internal(A, B), ConceptAssertion(a, Not(B))
+        )
+        # Internal inclusion does not contrapose.
+        assert not Reasoner4(kb4).evidence_against(a, A)
+        kb4_strong = KnowledgeBase4().add(
+            strong(A, B), ConceptAssertion(a, Not(B))
+        )
+        assert Reasoner4(kb4_strong).evidence_against(a, A)
+
+    def test_evidence_on_complex_concepts(self):
+        kb4 = KnowledgeBase4().add(
+            ConceptAssertion(a, A), ConceptAssertion(a, B)
+        )
+        reasoner = Reasoner4(kb4)
+        assert reasoner.evidence_for(a, And.of(A, B))
+        assert reasoner.evidence_for(a, Or.of(A, C))
+        assert not reasoner.evidence_for(a, C)
+
+    def test_evidence_through_roles(self):
+        kb4 = KnowledgeBase4().add(
+            internal(Exists(r, B), A),
+            RoleAssertion(r, a, b),
+            ConceptAssertion(b, B),
+        )
+        assert Reasoner4(kb4).evidence_for(a, A)
+
+    def test_assertion_values(self):
+        kb4 = KnowledgeBase4().add(
+            ConceptAssertion(a, A),
+            ConceptAssertion(a, Not(A)),
+            ConceptAssertion(a, B),
+            ConceptAssertion(b, Not(C)),
+        )
+        reasoner = Reasoner4(kb4)
+        assert reasoner.assertion_value(a, A) is FourValue.BOTH
+        assert reasoner.assertion_value(a, B) is FourValue.TRUE
+        assert reasoner.assertion_value(b, C) is FourValue.FALSE
+        assert reasoner.assertion_value(b, B) is FourValue.NEITHER
+
+    def test_role_evidence(self):
+        kb4 = KnowledgeBase4().add(
+            RoleInclusion4(r, s, InclusionKind.INTERNAL),
+            RoleAssertion(r, a, b),
+        )
+        reasoner = Reasoner4(kb4)
+        assert reasoner.role_evidence_for(r, a, b)
+        assert reasoner.role_evidence_for(s, a, b)
+        assert not reasoner.role_evidence_for(s, b, a)
+
+    def test_nominal_evidence(self):
+        kb4 = KnowledgeBase4().add(
+            ConceptAssertion(a, OneOf.of("b")), ConceptAssertion(b, A)
+        )
+        assert Reasoner4(kb4).evidence_for(a, A)
+
+
+class TestEntailsDispatcher:
+    def test_assertion_entailment(self):
+        kb4 = KnowledgeBase4().add(ConceptAssertion(a, A))
+        reasoner = Reasoner4(kb4)
+        assert reasoner.entails(ConceptAssertion(a, A))
+        assert not reasoner.entails(ConceptAssertion(a, B))
+
+    def test_role_assertion_entailment(self):
+        kb4 = KnowledgeBase4().add(RoleAssertion(r, a, b))
+        assert Reasoner4(kb4).entails(RoleAssertion(r, a, b))
+
+    def test_inclusion_entailment(self):
+        kb4 = KnowledgeBase4().add(internal(A, B))
+        assert Reasoner4(kb4).entails(internal(A, B))
+
+    def test_role_inclusion_entailment(self):
+        kb4 = KnowledgeBase4().add(RoleInclusion4(r, s, InclusionKind.INTERNAL))
+        reasoner = Reasoner4(kb4)
+        assert reasoner.entails(RoleInclusion4(r, s, InclusionKind.INTERNAL))
+        assert not reasoner.entails(RoleInclusion4(s, r, InclusionKind.INTERNAL))
+
+
+class TestClassification4:
+    def test_internal_hierarchy(self):
+        kb4 = KnowledgeBase4().add(internal(A, B), internal(B, C))
+        hierarchy = Reasoner4(kb4).classify()
+        assert hierarchy[A] == frozenset({A, B, C})
+        assert hierarchy[B] == frozenset({B, C})
+        assert hierarchy[C] == frozenset({C})
+
+    def test_classification_survives_contradiction(self):
+        kb4 = KnowledgeBase4().add(
+            internal(A, B),
+            ConceptAssertion(a, A),
+            ConceptAssertion(a, Not(A)),
+        )
+        hierarchy = Reasoner4(kb4).classify()
+        # Unlike classical classification (everything subsumes everything
+        # in an inconsistent KB), the taxonomy stays meaningful.
+        assert B in hierarchy[A]
+        assert A not in hierarchy[B]
+
+    def test_strong_kind_classification(self):
+        from repro.four_dl import InclusionKind, strong
+
+        kb4 = KnowledgeBase4().add(strong(A, B))
+        strong_hierarchy = Reasoner4(kb4).classify(InclusionKind.STRONG)
+        assert B in strong_hierarchy[A]
+        kb4_weak = KnowledgeBase4().add(internal(A, B))
+        weak = Reasoner4(kb4_weak).classify(InclusionKind.STRONG)
+        assert B not in weak[A]
+
+
+class TestDiagnostics:
+    def test_individual_report(self):
+        kb4 = KnowledgeBase4().add(
+            ConceptAssertion(a, A),
+            ConceptAssertion(a, Not(A)),
+            ConceptAssertion(a, B),
+        )
+        report = Reasoner4(kb4).individual_report(a)
+        assert report[A] is FourValue.BOTH
+        assert report[B] is FourValue.TRUE
+
+    def test_contradictory_facts_localised(self):
+        kb4 = KnowledgeBase4().add(
+            ConceptAssertion(a, A),
+            ConceptAssertion(a, Not(A)),
+            ConceptAssertion(b, B),
+        )
+        conflicts = Reasoner4(kb4).contradictory_facts()
+        assert conflicts == {a: frozenset({A})}
+
+    def test_no_conflicts_on_clean_kb(self):
+        kb4 = KnowledgeBase4().add(ConceptAssertion(a, A))
+        assert Reasoner4(kb4).contradictory_facts() == {}
+
+    def test_derived_contradiction_found(self):
+        # The contradiction arises through the TBox, not a direct pair.
+        kb4 = KnowledgeBase4().add(
+            internal(A, B),
+            internal(C, Not(B)),
+            ConceptAssertion(a, A),
+            ConceptAssertion(a, C),
+        )
+        conflicts = Reasoner4(kb4).contradictory_facts()
+        assert B in conflicts[a]
+
+    def test_classical_kb_exposed(self):
+        kb4 = KnowledgeBase4().add(internal(A, B))
+        reasoner = Reasoner4(kb4)
+        assert len(reasoner.classical_kb) == 1
+        assert reasoner.classical_reasoner.is_consistent()

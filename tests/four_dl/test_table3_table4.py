@@ -1,0 +1,115 @@
+"""Dedicated reproductions of paper Tables 3 and 4."""
+
+import pytest
+
+from repro.dl import AtLeast, AtomicConcept, AtomicRole, Individual, Not
+from repro.four_dl.axioms4 import InclusionKind
+from repro.fourvalued import BilatticePair, FourValue
+from repro.harness import TABLE4_EXPECTED, example4_kb4
+from repro.harness.experiments import (
+    experiment_table3,
+    experiment_table4,
+)
+from repro.semantics import (
+    FourInterpretation,
+    RolePair,
+    enumerate_four_models,
+    truth_patterns,
+)
+
+smith, kate = Individual("smith"), Individual("kate")
+has_child = AtomicRole("hasChild")
+parent, married = AtomicConcept("Parent"), AtomicConcept("Married")
+
+
+class TestTable3Experiment:
+    def test_all_rows_match(self):
+        result = experiment_table3()
+        assert result.passed, result.render()
+
+
+class TestTable4:
+    def test_experiment_passes(self):
+        result = experiment_table4()
+        assert result.passed, result.render()
+
+    def test_exactly_nine_patterns(self):
+        kb4 = example4_kb4()
+        models = enumerate_four_models(kb4, irreflexive_roles=[has_child])
+        queries = [
+            ("hasChild(s,k)", (has_child, smith, kate)),
+            (">=1.hasChild(s)", (AtLeast(1, has_child), smith)),
+            ("Parent(s)", (parent, smith)),
+            ("Married(s)", (married, smith)),
+        ]
+        patterns = truth_patterns(models, queries)
+        assert patterns == TABLE4_EXPECTED
+        assert len(patterns) == 9
+
+    def test_married_never_true_or_unknown_at_smith(self):
+        """The ABox forces negative evidence for Married(smith), so its
+        status is f or TOP in every model — exactly as Table 4 shows."""
+        kb4 = example4_kb4()
+        for model in enumerate_four_models(kb4, irreflexive_roles=[has_child]):
+            value = model.concept_value(married, smith)
+            assert value in (FourValue.FALSE, FourValue.BOTH)
+
+    def test_parent_always_has_positive_evidence(self):
+        """hasChild(smith, kate) plus the internal inclusion force
+        Parent(smith) to be t or TOP in every model."""
+        kb4 = example4_kb4()
+        for model in enumerate_four_models(kb4, irreflexive_roles=[has_child]):
+            value = model.concept_value(parent, smith)
+            assert value in (FourValue.TRUE, FourValue.BOTH)
+
+    def test_m9_is_a_model(self):
+        """The paper's M9, verbatim: all four statements contradictory or
+        false."""
+        kb4 = example4_kb4()
+        m9 = FourInterpretation(
+            domain=frozenset({smith, kate}),
+            concept_ext={
+                parent: BilatticePair(frozenset({smith}), frozenset({smith, kate})),
+                married: BilatticePair(frozenset({kate}), frozenset({smith})),
+            },
+            role_ext={
+                has_child: RolePair(
+                    frozenset({(smith, kate)}),
+                    frozenset({(smith, kate), (smith, smith), (kate, kate), (kate, smith)}),
+                )
+            },
+            individual_map={smith: smith, kate: kate},
+        )
+        assert m9.is_model(kb4)
+        assert m9.concept_value(parent, smith) is FourValue.BOTH
+        assert m9.concept_value(married, smith) is FourValue.FALSE
+        assert m9.role_value(has_child, smith, kate) is FourValue.BOTH
+        assert m9.concept_value(AtLeast(1, has_child), smith) is FourValue.BOTH
+
+    def test_m1_shape_is_a_model(self):
+        """An M1-shaped model: everything classical except Married(smith)."""
+        kb4 = example4_kb4()
+        m1 = FourInterpretation(
+            domain=frozenset({smith, kate}),
+            concept_ext={
+                parent: BilatticePair(frozenset({smith}), frozenset({kate})),
+                married: BilatticePair(
+                    frozenset({smith, kate}), frozenset({smith})
+                ),
+            },
+            role_ext={
+                has_child: RolePair(frozenset({(smith, kate)}), frozenset())
+            },
+            individual_map={smith: smith, kate: kate},
+        )
+        assert m1.is_model(kb4)
+        assert m1.concept_value(married, smith) is FourValue.BOTH
+        assert m1.concept_value(parent, smith) is FourValue.TRUE
+
+    def test_without_irreflexivity_more_models_exist(self):
+        kb4 = example4_kb4()
+        restricted = sum(
+            1 for _ in enumerate_four_models(kb4, irreflexive_roles=[has_child])
+        )
+        unrestricted = sum(1 for _ in enumerate_four_models(kb4))
+        assert unrestricted > restricted

@@ -1,0 +1,176 @@
+"""Theorem 6 and Lemma 5 as executable properties.
+
+Lemma 5 (decomposability): for any concept C and four-valued
+interpretation I, ``C^I = <P, N>`` iff the classical induced
+interpretation gives ``pos_transform(C) = P`` and ``neg_transform(C) = N``.
+
+Theorem 6 (model correspondence): I is a model of K iff its classical
+induced interpretation is a model of the induced KB — and conversely via
+the four-valued induced interpretation.
+
+Both are checked over random concepts/KBs and random interpretations.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dl import ConceptAssertion, Individual, RoleAssertion
+from repro.four_dl import (
+    KnowledgeBase4,
+    classical_induced,
+    four_induced,
+    neg_transform,
+    pos_transform,
+    transform_kb,
+)
+from repro.four_dl.axioms4 import ConceptInclusion4, InclusionKind, RoleInclusion4
+from repro.fourvalued import BilatticePair
+from repro.semantics import FourInterpretation, RolePair
+from repro.semantics.enumeration import enumerate_classical_models, enumerate_four_models
+from repro.workloads import GeneratorConfig, Signature, generate_kb4, random_concept
+
+DOMAIN = ["d0", "d1"]
+
+
+def random_four_interpretation(
+    rng: random.Random, signature: Signature
+) -> FourInterpretation:
+    def subset():
+        return frozenset(x for x in DOMAIN if rng.random() < 0.5)
+
+    def pair_set():
+        return frozenset(
+            (x, y) for x in DOMAIN for y in DOMAIN if rng.random() < 0.4
+        )
+
+    return FourInterpretation(
+        domain=frozenset(DOMAIN),
+        concept_ext={
+            concept: BilatticePair(subset(), subset())
+            for concept in signature.concepts
+        },
+        role_ext={
+            role: RolePair(pair_set(), pair_set()) for role in signature.roles
+        },
+        individual_map={i: rng.choice(DOMAIN) for i in signature.individuals},
+    )
+
+
+def kb4_over(signature: Signature) -> KnowledgeBase4:
+    """A KB4 mentioning the whole signature (so induced maps cover it)."""
+    kb4 = KnowledgeBase4()
+    for concept in signature.concepts:
+        kb4.add(ConceptInclusion4(concept, concept, InclusionKind.INTERNAL))
+    for role in signature.roles:
+        kb4.add(RoleInclusion4(role, role, InclusionKind.INTERNAL))
+    for individual in signature.individuals:
+        kb4.add(ConceptAssertion(individual, signature.concepts[0]))
+    return kb4
+
+
+class TestLemma5:
+    """Decomposability of concept semantics."""
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=150, deadline=None)
+    def test_positive_and_negative_projections(self, seed):
+        rng = random.Random(seed)
+        signature = Signature.of_size(3, 2, 2)
+        concept = random_concept(
+            rng, signature, depth=3, allow_counting=True
+        )
+        four = random_four_interpretation(rng, signature)
+        classical = classical_induced(four, kb4_over(signature))
+        evidence = four.extension(concept)
+        assert classical.extension(pos_transform(concept)) == evidence.positive
+        assert classical.extension(neg_transform(concept)) == evidence.negative
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_projection_with_nominals(self, seed):
+        rng = random.Random(seed)
+        signature = Signature.of_size(2, 1, 2)
+        concept = random_concept(
+            rng, signature, depth=2, allow_nominals=True
+        )
+        four = random_four_interpretation(rng, signature)
+        classical = classical_induced(four, kb4_over(signature))
+        evidence = four.extension(concept)
+        assert classical.extension(pos_transform(concept)) == evidence.positive
+        assert classical.extension(neg_transform(concept)) == evidence.negative
+
+
+class TestTheorem6:
+    """Model correspondence in both directions."""
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_forward_direction(self, seed):
+        """Every four-valued model maps to a classical model of the
+        induced KB."""
+        config = GeneratorConfig(
+            n_concepts=2, n_roles=1, n_individuals=2,
+            n_tbox=2, n_abox=3, max_depth=1, seed=seed,
+        )
+        kb4 = generate_kb4(config)
+        induced_kb = transform_kb(kb4)
+        count = 0
+        for model in enumerate_four_models(kb4):
+            assert classical_induced(model, kb4).is_model(induced_kb)
+            count += 1
+            if count >= 8:
+                break
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_backward_direction(self, seed):
+        """Every classical model of the induced KB maps to a four-valued
+        model of the original KB4."""
+        config = GeneratorConfig(
+            n_concepts=2, n_roles=1, n_individuals=2,
+            n_tbox=1, n_abox=2, max_depth=1, seed=seed,
+        )
+        kb4 = generate_kb4(config)
+        induced_kb = transform_kb(kb4)
+        count = 0
+        for classical_model in enumerate_classical_models(induced_kb):
+            four_model = four_induced(classical_model, kb4)
+            assert four_model.is_model(kb4)
+            count += 1
+            if count >= 8:
+                break
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_satisfiability_transfer(self, seed):
+        """A four-valued model found by enumeration forces the reduction
+        reasoner to answer satisfiable."""
+        from repro.four_dl import Reasoner4
+
+        config = GeneratorConfig(
+            n_concepts=2, n_roles=1, n_individuals=2,
+            n_tbox=2, n_abox=3, max_depth=1, seed=seed,
+        )
+        kb4 = generate_kb4(config)
+        has_enum_model = False
+        for _model in enumerate_four_models(kb4):
+            has_enum_model = True
+            break
+        if has_enum_model:
+            assert Reasoner4(kb4).is_satisfiable()
+
+    def test_plain_contradictions_always_satisfiable(self):
+        """The headline: a KB4 with direct contradictions has models, and
+        the reduction sees them."""
+        from repro.dl import AtomicConcept, Not
+        from repro.four_dl import Reasoner4
+
+        A = AtomicConcept("A")
+        a = Individual("a")
+        kb4 = KnowledgeBase4().add(
+            ConceptAssertion(a, A), ConceptAssertion(a, Not(A))
+        )
+        assert Reasoner4(kb4).is_satisfiable()
+        assert any(True for _ in enumerate_four_models(kb4))

@@ -1,0 +1,261 @@
+"""Definition 5-7 transformation: case-by-case unit tests + size bounds."""
+
+import pytest
+
+from repro.dl import (
+    And,
+    AtLeast,
+    AtMost,
+    AtomicConcept,
+    AtomicRole,
+    BOTTOM,
+    ConceptAssertion,
+    ConceptInclusion,
+    DataAssertion,
+    DataAtLeast,
+    DataAtMost,
+    DataComplement,
+    DataExists,
+    DataForall,
+    DataValue,
+    DatatypeRole,
+    DatatypeRoleInclusion,
+    DifferentIndividuals,
+    Exists,
+    Forall,
+    INTEGER,
+    Individual,
+    Not,
+    OneOf,
+    Or,
+    RoleAssertion,
+    RoleInclusion,
+    SameIndividual,
+    TOP,
+    Transitivity,
+)
+from repro.four_dl import (
+    DatatypeRoleInclusion4,
+    InclusionKind,
+    KnowledgeBase4,
+    RoleInclusion4,
+    Transitivity4,
+    base_name,
+    eq_role,
+    internal,
+    material,
+    neg_transform,
+    negative_concept,
+    pos_transform,
+    positive_concept,
+    positive_role,
+    strong,
+    transform_axiom,
+    transform_kb,
+)
+from repro.workloads import GeneratorConfig, generate_kb4
+
+A, B = AtomicConcept("A"), AtomicConcept("B")
+Ap, An = AtomicConcept("A__pos"), AtomicConcept("A__neg")
+Bp, Bn = AtomicConcept("B__pos"), AtomicConcept("B__neg")
+r = AtomicRole("r")
+rp, req = AtomicRole("r__pos"), AtomicRole("r__eq")
+u = DatatypeRole("u")
+up, ueq = DatatypeRole("u__pos"), DatatypeRole("u__eq")
+a, b = Individual("a"), Individual("b")
+
+
+class TestConceptTransform:
+    """Definition 5, clause by clause."""
+
+    def test_clause_1_2_atoms(self):
+        assert pos_transform(A) == Ap
+        assert pos_transform(Not(A)) == An
+        assert neg_transform(A) == An
+        assert neg_transform(Not(A)) == Ap
+
+    def test_clause_3_4_top_bottom(self):
+        assert pos_transform(TOP) == TOP
+        assert pos_transform(BOTTOM) == BOTTOM
+        assert neg_transform(TOP) == BOTTOM
+        assert neg_transform(BOTTOM) == TOP
+
+    def test_clause_5_6_boolean(self):
+        assert pos_transform(A & B) == (Ap & Bp)
+        assert pos_transform(A | B) == (Ap | Bp)
+
+    def test_clause_7_8_quantifiers(self):
+        assert pos_transform(Exists(r, A)) == Exists(rp, Ap)
+        assert pos_transform(Forall(r, A)) == Forall(rp, Ap)
+
+    def test_clause_9_10_counting(self):
+        assert pos_transform(AtLeast(2, r)) == AtLeast(2, rp)
+        assert pos_transform(AtMost(2, r)) == AtMost(2, req)
+
+    def test_clause_11_double_negation(self):
+        assert pos_transform(Not(Not(A))) == Ap
+        assert neg_transform(Not(Not(A))) == An
+
+    def test_clause_12_13_de_morgan(self):
+        assert neg_transform(A & B) == (An | Bn)
+        assert neg_transform(A | B) == (An & Bn)
+        assert pos_transform(Not(A & B)) == (An | Bn)
+
+    def test_clause_14_15_negated_quantifiers(self):
+        assert neg_transform(Exists(r, A)) == Forall(rp, An)
+        assert neg_transform(Forall(r, A)) == Exists(rp, An)
+
+    def test_clause_16_17_negated_counting(self):
+        assert neg_transform(AtLeast(2, r)) == AtMost(1, req)
+        assert neg_transform(AtMost(2, r)) == AtLeast(3, rp)
+        assert neg_transform(AtLeast(0, r)) == BOTTOM
+
+    def test_clause_18_nominals(self):
+        nominal = OneOf.of("o1", "o2")
+        assert pos_transform(nominal) == nominal
+        assert neg_transform(nominal) == BOTTOM
+
+    def test_clause_19_inverse_roles(self):
+        assert positive_role(r.inverse()) == rp.inverse()
+        assert eq_role(r.inverse()) == req.inverse()
+        assert pos_transform(Exists(r.inverse(), A)) == Exists(rp.inverse(), Ap)
+
+    def test_datatype_transforms(self):
+        assert pos_transform(DataExists(u, INTEGER)) == DataExists(up, INTEGER)
+        assert pos_transform(DataForall(u, INTEGER)) == DataForall(up, INTEGER)
+        assert pos_transform(DataAtLeast(2, u)) == DataAtLeast(2, up)
+        assert pos_transform(DataAtMost(2, u)) == DataAtMost(2, ueq)
+        assert neg_transform(DataExists(u, INTEGER)) == DataForall(
+            up, DataComplement(INTEGER)
+        )
+        assert neg_transform(DataAtLeast(2, u)) == DataAtMost(1, ueq)
+
+    def test_nesting(self):
+        concept = Not(And.of(A, Exists(r, Not(B))))
+        assert pos_transform(concept) == Or.of(An, Forall(rp, Bp))
+
+
+class TestAxiomTransform:
+    """Definition 6."""
+
+    def test_material_concept(self):
+        axioms = list(transform_axiom(material(A, B)))
+        assert axioms == [ConceptInclusion(Not(An), Bp)]
+
+    def test_internal_concept(self):
+        axioms = list(transform_axiom(internal(A, B)))
+        assert axioms == [ConceptInclusion(Ap, Bp)]
+
+    def test_strong_concept(self):
+        axioms = list(transform_axiom(strong(A, B)))
+        assert axioms == [
+            ConceptInclusion(Ap, Bp),
+            ConceptInclusion(Bn, An),
+        ]
+
+    def test_complex_material(self):
+        axioms = list(transform_axiom(material(And.of(A, B), Not(A))))
+        assert axioms == [ConceptInclusion(Not(Or.of(An, Bn)), An)]
+
+    def test_role_inclusions(self):
+        s = AtomicRole("s")
+        sp, seq = AtomicRole("s__pos"), AtomicRole("s__eq")
+        assert list(
+            transform_axiom(RoleInclusion4(r, s, InclusionKind.MATERIAL))
+        ) == [RoleInclusion(req, sp)]
+        assert list(
+            transform_axiom(RoleInclusion4(r, s, InclusionKind.INTERNAL))
+        ) == [RoleInclusion(rp, sp)]
+        assert list(
+            transform_axiom(RoleInclusion4(r, s, InclusionKind.STRONG))
+        ) == [RoleInclusion(rp, sp), RoleInclusion(req, seq)]
+
+    def test_datatype_role_inclusions(self):
+        v = DatatypeRole("v")
+        vp = DatatypeRole("v__pos")
+        assert list(
+            transform_axiom(DatatypeRoleInclusion4(u, v, InclusionKind.INTERNAL))
+        ) == [DatatypeRoleInclusion(up, vp)]
+
+    def test_transitivity(self):
+        assert list(transform_axiom(Transitivity4(r))) == [Transitivity(rp)]
+
+    def test_assertions(self):
+        assert list(transform_axiom(ConceptAssertion(a, Not(A)))) == [
+            ConceptAssertion(a, An)
+        ]
+        assert list(transform_axiom(RoleAssertion(r, a, b))) == [
+            RoleAssertion(rp, a, b)
+        ]
+        assert list(
+            transform_axiom(DataAssertion(u, a, DataValue.of(1)))
+        ) == [DataAssertion(up, a, DataValue.of(1))]
+        assert list(transform_axiom(SameIndividual(a, b))) == [SameIndividual(a, b)]
+        assert list(transform_axiom(DifferentIndividuals(a, b))) == [
+            DifferentIndividuals(a, b)
+        ]
+
+
+class TestTransformKB:
+    def test_paper_example5_transformation(self):
+        """Example 5: the induced KB of the penguin ontology."""
+        from repro.harness import example3_kb4
+
+        induced = transform_kb(example3_kb4())
+        bird_n = AtomicConcept("Bird__neg")
+        fly_p, fly_n = AtomicConcept("Fly__pos"), AtomicConcept("Fly__neg")
+        penguin_p = AtomicConcept("Penguin__pos")
+        wing_p, wing_n = AtomicConcept("Wing__pos"), AtomicConcept("Wing__neg")
+        has_wing_p = AtomicRole("hasWing__pos")
+        # The material bird axiom: not(Bird- or all hasWing+.Wing-) [= Fly+.
+        assert (
+            ConceptInclusion(
+                Not(Or.of(bird_n, Forall(has_wing_p, wing_n))), fly_p
+            )
+            in induced.concept_inclusions
+        )
+        assert ConceptInclusion(penguin_p, AtomicConcept("Bird__pos")) in (
+            induced.concept_inclusions
+        )
+        assert ConceptInclusion(penguin_p, fly_n) in induced.concept_inclusions
+        assert (
+            ConceptAssertion(Individual("tweety"), penguin_p)
+            in induced.concept_assertions
+        )
+        assert (
+            RoleAssertion(has_wing_p, Individual("tweety"), Individual("w"))
+            in induced.role_assertions
+        )
+
+    def test_axiom_count_linear(self):
+        # Strong inclusions double; everything else maps one-to-one.
+        kb4 = KnowledgeBase4().add(
+            material(A, B), internal(A, B), strong(A, B), ConceptAssertion(a, A)
+        )
+        induced = transform_kb(kb4)
+        assert len(induced) == 5
+
+    def test_size_ratio_bounded_on_random_kbs(self):
+        for seed in range(5):
+            config = GeneratorConfig(
+                n_tbox=10, n_abox=10, max_depth=3, seed=seed,
+                allow_counting=True,
+            )
+            kb4 = generate_kb4(config)
+            induced = transform_kb(kb4)
+            # Worst case 2x axioms (strong) and constant per-node growth.
+            assert len(induced) <= 2 * len(kb4)
+
+
+class TestNames:
+    def test_base_name_strips_suffixes(self):
+        assert base_name("A__pos") == "A"
+        assert base_name("A__neg") == "A"
+        assert base_name("r__eq") == "r"
+        assert base_name("plain") == "plain"
+
+    def test_signature_doubling_names(self):
+        assert positive_concept(A).name == "A__pos"
+        assert negative_concept(A).name == "A__neg"
+        assert positive_role(r) == rp
+        assert eq_role(r) == req

@@ -1,0 +1,113 @@
+"""Unit and property tests for evidence pairs (paper Definition 1)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fourvalued import BilatticePair, FourValue, bottom, top
+
+DOMAIN = frozenset({"a", "b", "c"})
+
+subsets = st.frozensets(st.sampled_from(sorted(DOMAIN)))
+pairs = st.builds(BilatticePair, subsets, subsets)
+
+
+class TestProjections:
+    def test_definition1(self):
+        pair = BilatticePair.of({"a"}, {"b"})
+        assert pair.proj_positive() == frozenset({"a"})
+        assert pair.proj_negative() == frozenset({"b"})
+
+    def test_of_accepts_iterables(self):
+        pair = BilatticePair.of(["a", "a"], ())
+        assert pair.positive == frozenset({"a"})
+        assert pair.negative == frozenset()
+
+    def test_classical_embedding(self):
+        pair = BilatticePair.classical({"a"}, DOMAIN)
+        assert pair.positive == frozenset({"a"})
+        assert pair.negative == frozenset({"b", "c"})
+        assert pair.is_classical_over(DOMAIN)
+
+    def test_overlap_is_not_classical(self):
+        pair = BilatticePair.of({"a"}, {"a", "b", "c"})
+        assert not pair.is_classical_over(DOMAIN)
+
+    def test_gap_is_not_classical(self):
+        pair = BilatticePair.of({"a"}, {"b"})
+        assert not pair.is_classical_over(DOMAIN)
+
+
+class TestOperations:
+    def test_negation_swaps(self):
+        pair = BilatticePair.of({"a"}, {"b"})
+        assert ~pair == BilatticePair.of({"b"}, {"a"})
+
+    def test_meet_join_truth(self):
+        left = BilatticePair.of({"a", "b"}, {"c"})
+        right = BilatticePair.of({"b"}, {"a"})
+        assert (left & right) == BilatticePair.of({"b"}, {"a", "c"})
+        assert (left | right) == BilatticePair.of({"a", "b"}, set())
+
+    def test_top_bottom(self):
+        assert top(DOMAIN) == BilatticePair(DOMAIN, frozenset())
+        assert bottom(DOMAIN) == BilatticePair(frozenset(), DOMAIN)
+
+    def test_value_of(self):
+        pair = BilatticePair.of({"a", "b"}, {"b"})
+        assert pair.value_of("a") is FourValue.TRUE
+        assert pair.value_of("b") is FourValue.BOTH
+        assert pair.value_of("c") is FourValue.NEITHER
+        assert (~pair).value_of("a") is FourValue.FALSE
+
+
+class TestLatticeLaws:
+    @given(pairs, pairs)
+    @settings(max_examples=80, deadline=None)
+    def test_de_morgan(self, left, right):
+        assert ~(left & right) == (~left | ~right)
+        assert ~(left | right) == (~left & ~right)
+
+    @given(pairs)
+    @settings(max_examples=80, deadline=None)
+    def test_double_negation(self, pair):
+        assert ~~pair == pair
+
+    @given(pairs, pairs)
+    @settings(max_examples=80, deadline=None)
+    def test_meet_join_are_truth_bounds(self, left, right):
+        meet, join = left & right, left | right
+        assert meet.truth_leq(left) and meet.truth_leq(right)
+        assert left.truth_leq(join) and right.truth_leq(join)
+
+    @given(pairs, pairs)
+    @settings(max_examples=80, deadline=None)
+    def test_knowledge_bounds(self, left, right):
+        assert left.meet_k(right).knowledge_leq(left)
+        assert left.knowledge_leq(left.join_k(right))
+
+    @given(pairs, pairs, pairs)
+    @settings(max_examples=60, deadline=None)
+    def test_associativity(self, a, b, c):
+        assert (a & b) & c == a & (b & c)
+        assert (a | b) | c == a | (b | c)
+
+    @given(pairs, pairs)
+    @settings(max_examples=60, deadline=None)
+    def test_absorption(self, a, b):
+        assert a & (a | b) == a
+        assert a | (a & b) == a
+
+    @given(pairs)
+    @settings(max_examples=40, deadline=None)
+    def test_units(self, pair):
+        # Proposition 3 at the bilattice level.
+        assert pair & top(DOMAIN | pair.positive | pair.negative) == pair
+        assert pair | bottom(DOMAIN | pair.positive | pair.negative) == pair
+
+    @given(pairs)
+    @settings(max_examples=40, deadline=None)
+    def test_pointwise_value_matches_sets(self, pair):
+        for element in sorted(DOMAIN):
+            value = pair.value_of(element)
+            assert value.has_truth == (element in pair.positive)
+            assert value.has_falsity == (element in pair.negative)

@@ -1,0 +1,173 @@
+"""Propositions 1-2 and the implication counterexamples (paper Section 2.2)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fourvalued import (
+    Atom,
+    FourValue,
+    entails,
+    equivalent,
+    multi_entails,
+    tautology,
+    valuations,
+)
+
+p, q, r = Atom("p"), Atom("q"), Atom("r")
+
+
+class TestProposition1:
+    """Internal implication obeys the deduction theorem and modus ponens."""
+
+    def test_deduction_theorem_forward(self):
+        # Gamma, psi |=4 phi implies Gamma |=4 psi > phi.
+        assert entails([p, q], q)
+        assert entails([p], q.internal(q))
+
+    def test_deduction_theorem_both_directions_small(self):
+        # For a battery of sequents: Gamma, psi |= phi iff Gamma |= psi > phi.
+        gammas = [[], [p], [~p], [p, ~p]]
+        for gamma in gammas:
+            for psi in (p, q, ~q):
+                for phi in (p, q, p & q, p | q):
+                    left = entails(list(gamma) + [psi], phi)
+                    right = entails(gamma, psi.internal(phi))
+                    assert left == right, (gamma, psi, phi)
+
+    def test_modus_ponens(self):
+        # If Gamma |= psi and Gamma |= psi > phi then Gamma |= phi.
+        gamma = [p, p.internal(q)]
+        assert entails(gamma, p)
+        assert entails(gamma, p.internal(q))
+        assert entails(gamma, q)
+
+    def test_multi_conclusion_form(self):
+        # Gamma, psi |=4 phi, Delta iff Gamma |=4 psi > phi, Delta.
+        assert multi_entails([p, q], [r, q]) == multi_entails(
+            [p], [q.internal(r), q]
+        )
+
+
+class TestImplicationCounterexamples:
+    """The paper's two counterexamples separating the implications."""
+
+    def test_material_fails_modus_ponens(self):
+        # {psi, ~psi, ~phi} |=4 psi |-> phi, but not |=4 phi.
+        premises = [p, ~p, ~q]
+        assert entails(premises, p.material(q))
+        assert not entails(premises, q)
+
+    def test_strong_fails_deduction_theorem(self):
+        # {psi, phi, ~phi} |=4 phi, but {phi, ~phi} does not entail
+        # psi -> phi.
+        assert entails([p, q, ~q], q)
+        assert not entails([q, ~q], p.strong(q))
+
+    def test_internal_not_contraposable(self):
+        # q > p designated does not make ~p > ~q designated: find a
+        # valuation separating them.
+        separated = False
+        for valuation in valuations(["p", "q"]):
+            forward = q.internal(p).evaluate(valuation).is_designated
+            contra = (~p).internal(~q).evaluate(valuation).is_designated
+            if forward and not contra:
+                separated = True
+        assert separated
+
+    def test_strong_is_contraposable(self):
+        for valuation in valuations(["p", "q"]):
+            forward = p.strong(q).evaluate(valuation)
+            contra = (~q).strong(~p).evaluate(valuation)
+            assert forward.is_designated == contra.is_designated
+
+
+class TestProposition2:
+    """Strong equivalence is a congruence: substitution preserves it."""
+
+    def test_congruence_under_negation(self):
+        assert entails([p.iff(q)], (~p).iff(~q))
+
+    def test_congruence_under_conjunction(self):
+        assert entails([p.iff(q)], (p & r).iff(q & r))
+
+    def test_congruence_under_disjunction(self):
+        assert entails([p.iff(q)], (p | r).iff(q | r))
+
+    def test_congruence_under_nesting(self):
+        context = lambda x: ~(x & r) | (x & ~r)
+        assert entails([p.iff(q)], context(p).iff(context(q)))
+
+    def test_material_equivalence_is_not_congruent(self):
+        # Material biconditional does not support substitution: exhibit
+        # the failure for the negation context.
+        mat_iff = (p.material(q)) & (q.material(p))
+        assert not entails([mat_iff], (~p).iff(~q))
+
+
+class TestConsequenceBasics:
+    def test_no_classical_tautologies_of_excluded_middle(self):
+        # p or ~p is NOT a four-valued tautology (p = BOT undercuts it).
+        assert not tautology(p | ~p)
+
+    def test_no_explosion(self):
+        # p, ~p does not entail arbitrary q: paraconsistency at the
+        # propositional core.
+        assert not entails([p, ~p], q)
+
+    def test_conjunction_elimination(self):
+        assert entails([p & q], p)
+        assert entails([p & q], q)
+
+    def test_disjunction_introduction(self):
+        assert entails([p], p | q)
+
+    def test_entailment_reflexive_monotone(self):
+        assert entails([p], p)
+        assert entails([p, q], p)
+
+
+@st.composite
+def formulas(draw, depth=2):
+    if depth == 0:
+        return draw(st.sampled_from([p, q, r]))
+    kind = draw(st.sampled_from(["atom", "not", "and", "or", "mat", "int", "strong"]))
+    if kind == "atom":
+        return draw(st.sampled_from([p, q, r]))
+    left = draw(formulas(depth=depth - 1))
+    if kind == "not":
+        return ~left
+    right = draw(formulas(depth=depth - 1))
+    if kind == "and":
+        return left & right
+    if kind == "or":
+        return left | right
+    if kind == "mat":
+        return left.material(right)
+    if kind == "int":
+        return left.internal(right)
+    return left.strong(right)
+
+
+class TestPropertyBased:
+    @given(formulas())
+    @settings(max_examples=60, deadline=None)
+    def test_double_negation_equivalence(self, formula):
+        assert equivalent(formula, ~~formula)
+
+    @given(formulas(), formulas())
+    @settings(max_examples=60, deadline=None)
+    def test_de_morgan_equivalence(self, left, right):
+        assert equivalent(~(left & right), ~left | ~right)
+        assert equivalent(~(left | right), ~left & ~right)
+
+    @given(formulas(), formulas())
+    @settings(max_examples=60, deadline=None)
+    def test_entailment_cut(self, left, right):
+        # If |= left and left |= right then |= right.
+        if tautology(left) and entails([left], right):
+            assert tautology(right)
+
+    @given(formulas())
+    @settings(max_examples=40, deadline=None)
+    def test_material_implication_is_definable(self, formula):
+        assert equivalent(formula.material(q), ~formula | q)

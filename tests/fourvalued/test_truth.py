@@ -1,0 +1,175 @@
+"""Unit tests for Belnap's FOUR: values, orders, connectives."""
+
+import pytest
+
+from repro.fourvalued import ALL_VALUES, DESIGNATED, FourValue, from_classical, from_evidence
+from repro.fourvalued.truth import big_conj, big_disj
+
+T, F, TOP, BOT = FourValue.TRUE, FourValue.FALSE, FourValue.BOTH, FourValue.NEITHER
+
+
+class TestValueBasics:
+    def test_four_distinct_values(self):
+        assert len(set(ALL_VALUES)) == 4
+
+    def test_evidence_bits(self):
+        assert T.has_truth and not T.has_falsity
+        assert F.has_falsity and not F.has_truth
+        assert TOP.has_truth and TOP.has_falsity
+        assert not BOT.has_truth and not BOT.has_falsity
+
+    def test_designated_set_is_t_and_top(self):
+        assert DESIGNATED == {T, TOP}
+        assert T.is_designated and TOP.is_designated
+        assert not F.is_designated and not BOT.is_designated
+
+    def test_classical_embedding(self):
+        assert from_classical(True) is T
+        assert from_classical(False) is F
+        assert T.is_classical and F.is_classical
+        assert not TOP.is_classical and not BOT.is_classical
+
+    def test_from_evidence(self):
+        assert from_evidence(True, False) is T
+        assert from_evidence(False, True) is F
+        assert from_evidence(True, True) is TOP
+        assert from_evidence(False, False) is BOT
+
+    def test_str_symbols(self):
+        assert str(T) == "t" and str(F) == "f"
+        assert str(TOP) == "TOP" and str(BOT) == "BOT"
+
+
+class TestNegation:
+    def test_negation_swaps_t_f(self):
+        assert ~T is F
+        assert ~F is T
+
+    def test_negation_fixes_top_and_bottom(self):
+        assert ~TOP is TOP
+        assert ~BOT is BOT
+
+    @pytest.mark.parametrize("value", ALL_VALUES)
+    def test_double_negation(self, value):
+        assert ~~value is value
+
+
+class TestConjunctionDisjunction:
+    def test_classical_fragment(self):
+        assert (T & T) is T and (T & F) is F and (F & F) is F
+        assert (T | F) is T and (F | F) is F
+
+    def test_top_bottom_meet(self):
+        # TOP and BOT meet to f in the truth order: conj of (t-evidence
+        # only present in one, f-evidence from TOP) has falsity, no truth.
+        assert (TOP & BOT) is F
+        assert (TOP | BOT) is T
+
+    def test_conj_with_top(self):
+        assert (T & TOP) is TOP
+        assert (F & TOP) is F
+        assert (BOT & TOP) is F
+
+    def test_disj_with_top(self):
+        assert (T | TOP) is T
+        assert (F | TOP) is TOP
+        assert (BOT | TOP) is T
+
+    @pytest.mark.parametrize("a", ALL_VALUES)
+    @pytest.mark.parametrize("b", ALL_VALUES)
+    def test_commutativity(self, a, b):
+        assert (a & b) is (b & a)
+        assert (a | b) is (b | a)
+
+    @pytest.mark.parametrize("a", ALL_VALUES)
+    @pytest.mark.parametrize("b", ALL_VALUES)
+    def test_de_morgan(self, a, b):
+        assert ~(a & b) is (~a | ~b)
+        assert ~(a | b) is (~a & ~b)
+
+    @pytest.mark.parametrize("a", ALL_VALUES)
+    def test_idempotence(self, a):
+        assert (a & a) is a
+        assert (a | a) is a
+
+    def test_big_conj_disj(self):
+        assert big_conj([]) is T
+        assert big_disj([]) is F
+        assert big_conj([T, TOP, T]) is TOP
+        assert big_disj([F, BOT, F]) is BOT
+
+
+class TestImplications:
+    def test_material_definition(self):
+        for a in ALL_VALUES:
+            for b in ALL_VALUES:
+                assert a.material_implies(b) is (~a | b)
+
+    def test_material_tolerates_contradictory_antecedent(self):
+        # phi = TOP, psi = f: material implication still designated.
+        assert TOP.material_implies(F).is_designated
+
+    def test_internal_designated_antecedent_passes_consequent(self):
+        for b in ALL_VALUES:
+            assert T.internal_implies(b) is b
+            assert TOP.internal_implies(b) is b
+
+    def test_internal_undesignated_antecedent_gives_t(self):
+        for b in ALL_VALUES:
+            assert F.internal_implies(b) is T
+            assert BOT.internal_implies(b) is T
+
+    def test_strong_definition(self):
+        for a in ALL_VALUES:
+            for b in ALL_VALUES:
+                expected = a.internal_implies(b) & (~b).internal_implies(~a)
+                assert a.strong_implies(b) is expected
+
+    def test_strong_rejects_exceptions(self):
+        # Strong implication from TOP to f is not designated.
+        assert not TOP.strong_implies(F).is_designated
+
+    def test_strong_lack_of_information_propagates_back(self):
+        # Antecedent BOT: the forward internal implication is t, but the
+        # contrapositive (~psi > ~phi) can undercut designation when the
+        # consequent carries falsity evidence.
+        assert BOT.strong_implies(BOT).is_designated
+        assert not BOT.strong_implies(F).is_designated
+        assert BOT.strong_implies(T).is_designated
+
+    def test_equivalence_reflexive(self):
+        for a in ALL_VALUES:
+            assert a.equivalent(a).is_designated
+
+
+class TestOrders:
+    def test_truth_order_extremes(self):
+        for value in ALL_VALUES:
+            assert F.truth_leq(value)
+            assert value.truth_leq(T)
+
+    def test_truth_order_top_bottom_incomparable(self):
+        assert not TOP.truth_leq(BOT)
+        assert not BOT.truth_leq(TOP)
+
+    def test_knowledge_order_extremes(self):
+        for value in ALL_VALUES:
+            assert BOT.knowledge_leq(value)
+            assert value.knowledge_leq(TOP)
+
+    def test_knowledge_order_t_f_incomparable(self):
+        assert not T.knowledge_leq(F)
+        assert not F.knowledge_leq(T)
+
+    def test_consensus_and_gullibility(self):
+        assert T.consensus(F) is BOT
+        assert T.gullibility(F) is TOP
+        assert T.consensus(TOP) is T
+        assert BOT.gullibility(F) is F
+
+    @pytest.mark.parametrize("a", ALL_VALUES)
+    @pytest.mark.parametrize("b", ALL_VALUES)
+    def test_meet_join_are_bounds(self, a, b):
+        meet, join = a & b, a | b
+        assert meet.truth_leq(a) and meet.truth_leq(b)
+        assert a.truth_leq(join) and b.truth_leq(join)

@@ -1,0 +1,71 @@
+"""Unit tests for the harness utilities (tables, timing, result type)."""
+
+import time
+
+from repro.harness import ExperimentResult, Timer, format_table, time_call
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "n"], [("a", 1), ("longer", 22)])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # box is rectangular
+        assert "| name   | n  |" in text
+        assert "| longer | 22 |" in text
+
+    def test_title(self):
+        text = format_table(["x"], [(1,)], title="My Table")
+        assert text.startswith("My Table\n")
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "| a | b |" in text
+
+    def test_wide_headers(self):
+        text = format_table(["extremely wide header"], [("x",)])
+        assert "extremely wide header" in text
+
+    def test_cell_stringification(self):
+        text = format_table(["v"], [(None,), (1.5,), (frozenset(),)])
+        assert "None" in text and "1.5" in text
+
+
+class TestTimer:
+    def test_accumulates_samples(self):
+        timer = Timer()
+        for _ in range(3):
+            with timer:
+                pass
+        assert len(timer.samples) == 3
+        assert timer.total >= 0
+        assert timer.mean >= 0
+        assert timer.median >= 0
+
+    def test_empty_timer_statistics(self):
+        timer = Timer()
+        assert timer.mean == 0.0
+        assert timer.median == 0.0
+        assert timer.total == 0.0
+
+    def test_measures_sleep(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.01)
+        assert timer.total >= 0.009
+
+    def test_time_call(self):
+        assert time_call(lambda: sum(range(100)), repeats=3) >= 0
+
+
+class TestExperimentResult:
+    def test_render_pass(self):
+        result = ExperimentResult(
+            "demo", ["a"], [("x",)], passed=True, note="a note"
+        )
+        rendered = result.render()
+        assert "[PASS]" in rendered
+        assert "a note" in rendered
+
+    def test_render_fail(self):
+        result = ExperimentResult("demo", ["a"], [("x",)], passed=False)
+        assert "[FAIL]" in result.render()

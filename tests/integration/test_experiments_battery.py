@@ -1,0 +1,38 @@
+"""The whole experiment battery must reproduce the paper."""
+
+import pytest
+
+from repro.harness import ALL_EXPERIMENTS
+
+FAST_EXPERIMENTS = [
+    name
+    for name in ALL_EXPERIMENTS
+    if name not in ("theorem6", "transform_scaling", "reduction_overhead")
+]
+
+
+@pytest.mark.parametrize("name", FAST_EXPERIMENTS)
+def test_fast_experiment_passes(name):
+    result = ALL_EXPERIMENTS[name]()
+    assert result.passed, result.render()
+
+
+def test_theorem6_experiment_smaller_sample():
+    from repro.harness.experiments import experiment_theorem6
+
+    result = experiment_theorem6(trials=8, seed=3)
+    assert result.passed, result.render()
+
+
+def test_transform_scaling_short_sweep():
+    from repro.harness.experiments import experiment_transform_scaling
+
+    result = experiment_transform_scaling(sizes=(10, 40, 120))
+    assert result.passed, result.render()
+
+
+def test_results_render_as_tables():
+    result = ALL_EXPERIMENTS["table1"]()
+    rendered = result.render()
+    assert "Table 1" in rendered
+    assert rendered.count("|") > 10

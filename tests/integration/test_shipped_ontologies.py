@@ -1,0 +1,71 @@
+"""The ontology files shipped in ontologies/ parse, audit, and round-trip."""
+
+import glob
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.dl import Reasoner
+from repro.dl.owl import from_functional, to_functional
+from repro.dl.parser import parse_kb4
+from repro.dl.printer import render_kb4
+from repro.four_dl import Reasoner4, transform_kb
+
+ONTOLOGY_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "ontologies"
+)
+ONTOLOGY_FILES = sorted(glob.glob(os.path.join(ONTOLOGY_DIR, "*.kb4")))
+
+
+def test_directory_is_populated():
+    names = {os.path.basename(path) for path in ONTOLOGY_FILES}
+    assert {
+        "penguin.kb4",
+        "medical.kb4",
+        "adoption.kb4",
+        "university.kb4",
+    } <= names
+
+
+@pytest.mark.parametrize("path", ONTOLOGY_FILES, ids=os.path.basename)
+class TestEveryShippedOntology:
+    def test_parses(self, path):
+        with open(path) as handle:
+            kb4 = parse_kb4(handle.read())
+        assert len(kb4) > 0
+
+    def test_four_valued_satisfiable(self, path):
+        with open(path) as handle:
+            kb4 = parse_kb4(handle.read())
+        assert Reasoner4(kb4).is_satisfiable()
+
+    def test_text_round_trip(self, path):
+        with open(path) as handle:
+            kb4 = parse_kb4(handle.read())
+        assert list(parse_kb4(render_kb4(kb4)).axioms()) == list(kb4.axioms())
+
+    def test_induced_kb_exports_to_owl(self, path):
+        with open(path) as handle:
+            kb4 = parse_kb4(handle.read())
+        induced = transform_kb(kb4)
+        recovered = from_functional(to_functional(induced))
+        assert list(recovered.axioms()) == list(induced.axioms())
+        assert Reasoner(recovered).is_consistent()
+
+    def test_cli_check(self, path, capsys):
+        assert main(["check", path]) == 0
+        assert "four-valued satisfiable: True" in capsys.readouterr().out
+
+
+class TestPaperOntologiesCollapseClassically:
+    """All three paper ontologies are classically inconsistent on purpose."""
+
+    @pytest.mark.parametrize("name", ["penguin", "medical", "university"])
+    def test_classical_collapse(self, name):
+        from repro.four_dl import collapse_to_classical
+
+        path = os.path.join(ONTOLOGY_DIR, f"{name}.kb4")
+        with open(path) as handle:
+            kb4 = parse_kb4(handle.read())
+        assert not Reasoner(collapse_to_classical(kb4)).is_consistent()

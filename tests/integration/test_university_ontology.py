@@ -1,0 +1,192 @@
+"""A realistic multi-feature ontology, end to end through the text syntax.
+
+One mid-sized university ontology exercising most of the implemented
+language: taxonomy with all three inclusion strengths, role hierarchy,
+inverse roles, transitivity, qualified counting, datatypes, nominals,
+negative role assertions, and a couple of deliberately conflicting
+imports.  The tests pin down dozens of expected entailments.
+"""
+
+import pytest
+
+from repro.dl import AtomicConcept, AtomicRole, Individual, Reasoner
+from repro.dl.parser import parse_kb4
+from repro.four_dl import (
+    Reasoner4,
+    collapse_to_classical,
+    conflict_profile,
+    transform_kb,
+)
+from repro.fourvalued import FourValue
+
+ONTOLOGY = """
+# ---- declarations -------------------------------------------------
+dataproperty credits
+transitive partOfOrg
+
+# ---- terminology --------------------------------------------------
+Professor < Faculty
+Lecturer < Faculty
+Faculty < Staff
+Staff < Person
+Student < Person
+# exact: whoever teaches something is staff (strong: not-staff can't teach)
+teaches some Course -> Staff
+# generally, faculty hold doctorates (exceptions tolerated)
+Faculty |-> Doctorate
+# supervising two funded students makes you a ProjectLead
+supervises min 2 FundedStudent < ProjectLead
+FundedStudent < Student
+# courses worth credits
+Course < credits some integer[1..30]
+# heads of department are professors, and the department is an organisation
+headOf some Department -> Professor
+Department < Organisation
+# role hierarchy
+headOf subpropertyof memberOf
+memberOf subpropertyof affiliatedWith
+
+# ---- facts ---------------------------------------------------------
+ada : Professor
+ada : Doctorate
+grace : Lecturer
+# grace has no doctorate -- an exception, not a contradiction:
+grace : not Doctorate
+alan : Student
+kurt : FundedStudent
+emmy : FundedStudent
+kurt != emmy
+supervises(ada, kurt)
+supervises(ada, emmy)
+teaches(grace, logic101)
+logic101 : Course
+credits(logic101, 10)
+headOf(ada, mathsDept)
+mathsDept : Department
+partOfOrg(mathsDept, scienceFaculty)
+partOfOrg(scienceFaculty, university)
+# corrupted import: alan recorded both as enrolled and as not enrolled
+enrolledIn(alan, logic101)
+not enrolledIn(alan, logic101)
+# nominal: the rector is a specific person
+Rector < {ada}
+"""
+
+
+@pytest.fixture(scope="module")
+def reasoner():
+    return Reasoner4(parse_kb4(ONTOLOGY))
+
+
+def value(reasoner, name, concept_name):
+    return reasoner.assertion_value(
+        Individual(name), AtomicConcept(concept_name)
+    )
+
+
+class TestTaxonomy:
+    def test_professor_chain(self, reasoner):
+        assert value(reasoner, "ada", "Faculty") is FourValue.TRUE
+        assert value(reasoner, "ada", "Staff") is FourValue.TRUE
+        assert value(reasoner, "ada", "Person") is FourValue.TRUE
+
+    def test_lecturer_chain(self, reasoner):
+        assert value(reasoner, "grace", "Staff") is FourValue.TRUE
+
+    def test_students_are_persons(self, reasoner):
+        assert value(reasoner, "alan", "Person") is FourValue.TRUE
+        assert value(reasoner, "kurt", "Person") is FourValue.TRUE
+
+    def test_no_overreach(self, reasoner):
+        assert value(reasoner, "alan", "Staff") is FourValue.NEITHER
+        assert value(reasoner, "ada", "Student") is FourValue.NEITHER
+
+
+class TestExceptionsAndConflicts:
+    def test_grace_is_an_exception_not_a_conflict(self, reasoner):
+        # Material Faculty |-> Doctorate tolerates grace.
+        assert value(reasoner, "grace", "Doctorate") is FourValue.FALSE
+        assert value(reasoner, "ada", "Doctorate") is FourValue.TRUE
+
+    def test_alan_enrolment_is_conflicted(self, reasoner):
+        enrolled = AtomicRole("enrolledIn")
+        status = reasoner.role_value(
+            enrolled, Individual("alan"), Individual("logic101")
+        )
+        assert status is FourValue.BOTH
+
+    def test_conflicts_are_localised(self, reasoner):
+        # The enrolment conflict does not contaminate concept facts.
+        assert reasoner.contradictory_facts() == {}
+
+    def test_whole_kb_satisfiable_classically_not(self, reasoner):
+        assert reasoner.is_satisfiable()
+        assert not Reasoner(
+            collapse_to_classical(reasoner.kb4)
+        ).is_consistent()
+
+
+class TestQualifiedCounting:
+    def test_ada_is_project_lead(self, reasoner):
+        assert value(reasoner, "ada", "ProjectLead") is FourValue.TRUE
+
+    def test_single_supervision_insufficient(self):
+        single = ONTOLOGY.replace("supervises(ada, emmy)\n", "")
+        reasoner = Reasoner4(parse_kb4(single))
+        assert value(reasoner, "ada", "ProjectLead") is FourValue.NEITHER
+
+
+class TestStrongInclusions:
+    def test_teaching_implies_staff(self, reasoner):
+        assert value(reasoner, "grace", "Staff") is FourValue.TRUE
+
+    def test_head_of_department_is_professor(self, reasoner):
+        assert value(reasoner, "ada", "Professor") is FourValue.TRUE
+
+    def test_contraposition_of_strong_inclusion(self):
+        # Strong: not-Staff propagates back to "teaches nothing relevant".
+        extended = ONTOLOGY + "\nvisitor : not Staff\n"
+        reasoner = Reasoner4(parse_kb4(extended))
+        from repro.dl.parser import parse_concept
+
+        teaches_course = parse_concept("teaches some Course")
+        assert reasoner.evidence_against(Individual("visitor"), teaches_course)
+
+
+class TestRoleMachinery:
+    def test_role_hierarchy(self, reasoner):
+        affiliated = AtomicRole("affiliatedWith")
+        assert reasoner.role_evidence_for(
+            affiliated, Individual("ada"), Individual("mathsDept")
+        )
+
+    def test_transitive_organisation(self, reasoner):
+        part_of = AtomicRole("partOfOrg")
+        assert reasoner.role_evidence_for(
+            part_of, Individual("mathsDept"), Individual("university")
+        )
+
+    def test_nominal_rector(self):
+        extended = ONTOLOGY + "\nsomeone : Rector\n"
+        reasoner = Reasoner4(parse_kb4(extended))
+        # The rector collapses onto ada, so someone is a professor.
+        assert value(reasoner, "someone", "Professor") is FourValue.TRUE
+
+
+class TestMetricsOnRealisticOntology:
+    def test_profile(self, reasoner):
+        profile = conflict_profile(reasoner)
+        assert profile.inconsistency_degree < 0.05
+        assert profile.information_degree > 0.1
+        # the only BOTH is the role conflict
+        assert profile.count(FourValue.BOTH) == 1
+
+
+class TestTransformationScale:
+    def test_induced_kb_parses_and_reasons(self, reasoner):
+        induced = transform_kb(reasoner.kb4)
+        classical = Reasoner(induced)
+        assert classical.is_consistent()
+        assert classical.is_instance(
+            Individual("ada"), AtomicConcept("ProjectLead__pos")
+        )

@@ -1,0 +1,142 @@
+"""Tests for exhaustive classical and four-valued model enumeration."""
+
+import pytest
+
+from repro.dl import (
+    AtomicConcept,
+    AtomicRole,
+    ConceptAssertion,
+    ConceptInclusion,
+    DataAssertion,
+    DataValue,
+    DatatypeRole,
+    Individual,
+    KnowledgeBase,
+    Not,
+    RoleAssertion,
+    UnsupportedFeature,
+)
+from repro.four_dl import KnowledgeBase4, internal
+from repro.semantics import (
+    classical_satisfiable_by_enumeration,
+    enumerate_classical_models,
+    enumerate_four_models,
+    four_satisfiable_by_enumeration,
+    truth_patterns,
+)
+
+A, B = AtomicConcept("A"), AtomicConcept("B")
+r = AtomicRole("r")
+a, b = Individual("a"), Individual("b")
+
+
+class TestClassicalEnumeration:
+    def test_empty_kb_has_models(self):
+        models = list(enumerate_classical_models(KnowledgeBase()))
+        assert models  # single anonymous element, free extensions
+
+    def test_model_counts_single_atom(self):
+        kb = KnowledgeBase().add(ConceptAssertion(a, A))
+        models = list(enumerate_classical_models(kb))
+        # Domain {a}; A must contain a (1 choice): 1 model.
+        assert len(models) == 1
+
+    def test_model_counts_two_concepts(self):
+        kb = KnowledgeBase().add(ConceptAssertion(a, A))
+        kb.add(ConceptInclusion(A, B))
+        models = list(enumerate_classical_models(kb))
+        # A={a} forced, B must contain a: 1 model.
+        assert len(models) == 1
+
+    def test_unsatisfiable_has_no_models(self):
+        kb = KnowledgeBase().add(
+            ConceptAssertion(a, A), ConceptAssertion(a, Not(A))
+        )
+        assert list(enumerate_classical_models(kb)) == []
+        assert not classical_satisfiable_by_enumeration(kb)
+
+    def test_every_yielded_interpretation_is_model(self):
+        kb = KnowledgeBase().add(
+            ConceptInclusion(A, B),
+            RoleAssertion(r, a, b),
+        )
+        models = list(enumerate_classical_models(kb))
+        assert models
+        assert all(m.is_model(kb) for m in models)
+
+    def test_extra_elements_extend_domain(self):
+        kb = KnowledgeBase().add(ConceptAssertion(a, A))
+        model = next(enumerate_classical_models(kb, extra_elements=2))
+        assert len(model.domain) == 3
+
+    def test_enumerate_maps_allows_merging(self):
+        from repro.dl import SameIndividual
+
+        kb = KnowledgeBase().add(
+            SameIndividual(a, b), ConceptAssertion(a, A)
+        )
+        # Identity maps cannot satisfy a = b; map enumeration can.
+        assert list(enumerate_classical_models(kb)) == []
+        models = list(enumerate_classical_models(kb, enumerate_maps=True))
+        assert models
+        assert all(m.individual_map[a] == m.individual_map[b] for m in models)
+
+    def test_datatype_rejected(self):
+        kb = KnowledgeBase().add(
+            DataAssertion(DatatypeRole("u"), a, DataValue.of(1))
+        )
+        with pytest.raises(UnsupportedFeature):
+            list(enumerate_classical_models(kb))
+
+
+class TestFourEnumeration:
+    def test_contradiction_still_has_models(self):
+        kb4 = KnowledgeBase4().add(
+            ConceptAssertion(a, A), ConceptAssertion(a, Not(A))
+        )
+        models = list(enumerate_four_models(kb4))
+        assert models
+        assert all(m.is_model(kb4) for m in models)
+        assert four_satisfiable_by_enumeration(kb4)
+
+    def test_model_count_single_assertion(self):
+        kb4 = KnowledgeBase4().add(ConceptAssertion(a, A))
+        # Domain {a}: P must contain a (1 way), N free (2 ways).
+        assert len(list(enumerate_four_models(kb4))) == 2
+
+    def test_internal_inclusion_constrains(self):
+        kb4 = KnowledgeBase4().add(internal(A, B), ConceptAssertion(a, A))
+        models = list(enumerate_four_models(kb4))
+        # P_A={a} forced; P_B must contain a; N_A, N_B free: 2*2 = 4.
+        assert len(models) == 4
+
+    def test_irreflexive_restriction(self):
+        kb4 = KnowledgeBase4().add(RoleAssertion(r, a, b))
+        unrestricted = list(enumerate_four_models(kb4))
+        restricted = list(enumerate_four_models(kb4, irreflexive_roles=[r]))
+        assert len(restricted) < len(unrestricted)
+        assert all(
+            (x, x) not in m.role_ext[r].positive
+            for m in restricted
+            for x in m.domain
+        )
+
+    def test_product_role_restriction(self):
+        kb4 = KnowledgeBase4().add(RoleAssertion(r, a, b))
+        products = list(enumerate_four_models(kb4, product_roles=True))
+        assert products
+        assert all(m.is_product_form(r) for m in products)
+
+    def test_truth_patterns_projection(self):
+        kb4 = KnowledgeBase4().add(
+            ConceptAssertion(a, A), ConceptAssertion(a, Not(A))
+        )
+        models = enumerate_four_models(kb4)
+        patterns = truth_patterns(models, [("A(a)", (A, a))])
+        assert patterns == frozenset({("TOP",)})
+
+    def test_truth_patterns_role_probe(self):
+        kb4 = KnowledgeBase4().add(RoleAssertion(r, a, b))
+        models = enumerate_four_models(kb4)
+        patterns = truth_patterns(models, [("r(a,b)", (r, a, b))])
+        assert patterns == frozenset({("t",), ("TOP",)})

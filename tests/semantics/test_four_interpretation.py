@@ -1,0 +1,219 @@
+"""Four-valued evaluator: Table 2 concept semantics and Table 3 axioms."""
+
+import pytest
+
+from repro.dl import (
+    And,
+    AtLeast,
+    AtMost,
+    AtomicConcept,
+    AtomicRole,
+    BOTTOM,
+    ConceptAssertion,
+    DataValue,
+    DifferentIndividuals,
+    Exists,
+    Forall,
+    Individual,
+    Not,
+    OneOf,
+    Or,
+    RoleAssertion,
+    SameIndividual,
+    TOP,
+)
+from repro.four_dl import (
+    KnowledgeBase4,
+    Transitivity4,
+    internal,
+    material,
+    strong,
+)
+from repro.four_dl.axioms4 import RoleInclusion4, InclusionKind
+from repro.fourvalued import BilatticePair, FourValue
+from repro.semantics import FourInterpretation, RolePair
+
+A, B = AtomicConcept("A"), AtomicConcept("B")
+r = AtomicRole("r")
+a, b = Individual("a"), Individual("b")
+
+
+def pair(p, n):
+    return BilatticePair(frozenset(p), frozenset(n))
+
+
+@pytest.fixture
+def interp():
+    return FourInterpretation(
+        domain=frozenset({"x", "y"}),
+        concept_ext={
+            A: pair({"x"}, {"x", "y"}),
+            B: pair({"x", "y"}, set()),
+        },
+        role_ext={
+            r: RolePair(frozenset({("x", "y")}), frozenset({("x", "x"), ("x", "y")}))
+        },
+        individual_map={a: "x", b: "y"},
+    )
+
+
+class TestConceptExtensions:
+    def test_negation_swaps(self, interp):
+        assert interp.extension(Not(A)) == pair({"x", "y"}, {"x"})
+
+    def test_boolean(self, interp):
+        assert interp.extension(A & B) == pair({"x"}, {"x", "y"})
+        assert interp.extension(A | B) == pair({"x", "y"}, set())
+
+    def test_top_bottom(self, interp):
+        assert interp.extension(TOP) == pair({"x", "y"}, set())
+        assert interp.extension(BOTTOM) == pair(set(), {"x", "y"})
+
+    def test_oneof_negative_is_empty(self, interp):
+        assert interp.extension(OneOf.of("a")) == pair({"x"}, set())
+
+    def test_exists(self, interp):
+        # positive: x has positive r-edge to y with y in proj+(B).
+        # negative: all positive successors in proj-(B)={}: only y (vacuous).
+        assert interp.extension(Exists(r, B)) == pair({"x"}, {"y"})
+
+    def test_forall(self, interp):
+        assert interp.extension(Forall(r, B)) == pair({"x", "y"}, set())
+        # Forall r.A: x's successor y not in proj+(A) -> x out; negative:
+        # y in proj-(A) -> x in negative part.
+        assert interp.extension(Forall(r, A)) == pair({"y"}, {"x"})
+
+    def test_atleast(self, interp):
+        # positive counts proj+ successors; negative counts non-negative.
+        assert interp.extension(AtLeast(1, r)) == pair({"x"}, {"x"})
+        # y has two not-negatively-excluded successors, so only x lands in
+        # the negative part of ">= 2 r".
+        assert interp.extension(AtLeast(2, r)) == pair(set(), {"x"})
+
+    def test_atmost(self, interp):
+        assert interp.extension(AtMost(0, r)) == pair({"x"}, {"x"})
+        assert interp.extension(AtMost(2, r)) == pair({"x", "y"}, set())
+
+    def test_inverse_role_pair(self, interp):
+        flipped = interp.role_pair(r.inverse())
+        assert flipped.positive == frozenset({("y", "x")})
+        assert flipped.negative == frozenset({("x", "x"), ("y", "x")})
+
+
+class TestTruthValues:
+    def test_concept_value(self, interp):
+        assert interp.concept_value(A, a) is FourValue.BOTH
+        assert interp.concept_value(A, b) is FourValue.FALSE
+        assert interp.concept_value(B, a) is FourValue.TRUE
+        assert interp.concept_value(AtomicConcept("C"), a) is FourValue.NEITHER
+
+    def test_role_value(self, interp):
+        assert interp.role_value(r, a, b) is FourValue.BOTH
+        assert interp.role_value(r, a, a) is FourValue.FALSE
+        assert interp.role_value(r, b, a) is FourValue.NEITHER
+
+
+class TestAxiomSatisfaction:
+    def test_internal(self, interp):
+        assert interp.satisfies(internal(A, B))
+        assert not interp.satisfies(internal(B, A))
+
+    def test_material(self, interp):
+        # domain minus proj-(A) = {} -> trivially material-included in B.
+        assert interp.satisfies(material(A, B))
+        # domain minus proj-(B) = {x,y} must be inside proj+(A)={x}.
+        assert not interp.satisfies(material(B, A))
+
+    def test_strong(self, interp):
+        # strong A->B: positive ok; proj-(B)={} subset of proj-(A) ok.
+        assert interp.satisfies(strong(A, B))
+        assert not interp.satisfies(strong(B, A))
+
+    def test_role_inclusions(self, interp):
+        assert interp.satisfies(
+            RoleInclusion4(r, r, InclusionKind.INTERNAL)
+        )
+        # material r |-> r: all pairs minus proj-(r) must be in proj+(r);
+        # (y,x) is in neither -> fails.
+        assert not interp.satisfies(
+            RoleInclusion4(r, r, InclusionKind.MATERIAL)
+        )
+
+    def test_transitivity4_checks_positive_part(self):
+        interp = FourInterpretation(
+            domain=frozenset({"x", "y", "z"}),
+            role_ext={
+                r: RolePair(
+                    frozenset({("x", "y"), ("y", "z")}), frozenset()
+                )
+            },
+        )
+        assert not interp.satisfies(Transitivity4(r))
+        closed = FourInterpretation(
+            domain=frozenset({"x", "y", "z"}),
+            role_ext={
+                r: RolePair(
+                    frozenset({("x", "y"), ("y", "z"), ("x", "z")}),
+                    frozenset({("z", "z")}),
+                )
+            },
+        )
+        assert closed.satisfies(Transitivity4(r))
+
+    def test_assertions(self, interp):
+        assert interp.satisfies(ConceptAssertion(a, A))
+        assert interp.satisfies(ConceptAssertion(a, Not(A)))
+        assert not interp.satisfies(ConceptAssertion(b, A))
+        assert interp.satisfies(ConceptAssertion(b, Not(A)))
+        assert interp.satisfies(RoleAssertion(r, a, b))
+        assert not interp.satisfies(RoleAssertion(r, b, a))
+
+    def test_equality(self, interp):
+        assert not interp.satisfies(SameIndividual(a, b))
+        assert interp.satisfies(DifferentIndividuals(a, b))
+
+    def test_is_model(self, interp):
+        kb4 = KnowledgeBase4().add(
+            internal(A, B), ConceptAssertion(a, A), ConceptAssertion(a, Not(A))
+        )
+        assert interp.is_model(kb4)
+        kb4.add(ConceptAssertion(b, A))
+        assert not interp.is_model(kb4)
+
+
+class TestStructuralProperties:
+    def test_is_classical_detects_gaps_and_gluts(self, interp):
+        assert not interp.is_classical()
+        classical = FourInterpretation(
+            domain=frozenset({"x", "y"}),
+            concept_ext={A: pair({"x"}, {"y"})},
+            role_ext={
+                r: RolePair(
+                    frozenset({("x", "y")}),
+                    frozenset({("x", "x"), ("y", "x"), ("y", "y")}),
+                )
+            },
+        )
+        assert classical.is_classical()
+
+    def test_product_form(self):
+        interp = FourInterpretation(
+            domain=frozenset({"x", "y"}),
+            role_ext={
+                r: RolePair(
+                    frozenset({("x", "x"), ("x", "y")}),
+                    frozenset({("x", "y"), ("y", "x")}),
+                )
+            },
+        )
+        # positive {x} x {x,y} is a product; negative is not.
+        assert not interp.is_product_form(r)
+        interp2 = FourInterpretation(
+            domain=frozenset({"x", "y"}),
+            role_ext={
+                r: RolePair(
+                    frozenset({("x", "x"), ("x", "y")}), frozenset()
+                )
+            },
+        )
+        assert interp2.is_product_form(r)

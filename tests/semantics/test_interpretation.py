@@ -1,0 +1,162 @@
+"""Classical interpretation evaluator: Table 1 semantics, axiom by axiom."""
+
+import pytest
+
+from repro.dl import (
+    And,
+    AtLeast,
+    AtMost,
+    AtomicConcept,
+    AtomicRole,
+    BOTTOM,
+    ConceptAssertion,
+    ConceptEquivalence,
+    ConceptInclusion,
+    DataAssertion,
+    DataAtLeast,
+    DataAtMost,
+    DataExists,
+    DataForall,
+    DataValue,
+    DatatypeRole,
+    DatatypeRoleInclusion,
+    DifferentIndividuals,
+    Exists,
+    Forall,
+    INTEGER,
+    Individual,
+    IntRange,
+    KnowledgeBase,
+    Not,
+    OneOf,
+    Or,
+    RoleAssertion,
+    RoleInclusion,
+    SameIndividual,
+    TOP,
+    Transitivity,
+)
+from repro.semantics import Interpretation
+
+A, B = AtomicConcept("A"), AtomicConcept("B")
+r, s = AtomicRole("r"), AtomicRole("s")
+u = DatatypeRole("u")
+a, b = Individual("a"), Individual("b")
+
+
+@pytest.fixture
+def interp():
+    return Interpretation(
+        domain=frozenset({"x", "y", "z"}),
+        concept_ext={A: frozenset({"x", "y"}), B: frozenset({"y"})},
+        role_ext={
+            r: frozenset({("x", "y"), ("y", "z")}),
+            s: frozenset({("x", "y"), ("y", "z"), ("x", "z")}),
+        },
+        data_role_ext={
+            u: frozenset({("x", DataValue.of(1)), ("x", DataValue.of(9))})
+        },
+        individual_map={a: "x", b: "y"},
+    )
+
+
+class TestConceptExtensions:
+    def test_boolean(self, interp):
+        assert interp.extension(Not(A)) == frozenset({"z"})
+        assert interp.extension(A & B) == frozenset({"y"})
+        assert interp.extension(A | B) == frozenset({"x", "y"})
+        assert interp.extension(TOP) == frozenset({"x", "y", "z"})
+        assert interp.extension(BOTTOM) == frozenset()
+
+    def test_oneof_uses_individual_map(self, interp):
+        assert interp.extension(OneOf.of("a", "b")) == frozenset({"x", "y"})
+
+    def test_oneof_skips_unmapped(self, interp):
+        assert interp.extension(OneOf.of("ghost")) == frozenset()
+
+    def test_quantifiers(self, interp):
+        assert interp.extension(Exists(r, B)) == frozenset({"x"})
+        # forall: x's successor y is in A; y's successor z is not; z vacuous.
+        assert interp.extension(Forall(r, A)) == frozenset({"x", "z"})
+
+    def test_inverse_quantifier(self, interp):
+        # inverse(r)-successors: y -> x, z -> y.
+        assert interp.extension(Exists(r.inverse(), A)) == frozenset({"y", "z"})
+
+    def test_counting(self, interp):
+        assert interp.extension(AtLeast(1, s)) == frozenset({"x", "y"})
+        assert interp.extension(AtLeast(2, s)) == frozenset({"x"})
+        assert interp.extension(AtMost(0, s)) == frozenset({"z"})
+
+    def test_data_quantifiers(self, interp):
+        assert interp.extension(DataExists(u, IntRange(0, 5))) == frozenset({"x"})
+        assert interp.extension(DataForall(u, IntRange(0, 5))) == frozenset(
+            {"y", "z"}
+        )
+        assert interp.extension(DataForall(u, INTEGER)) == frozenset(
+            {"x", "y", "z"}
+        )
+
+    def test_data_counting(self, interp):
+        assert interp.extension(DataAtLeast(2, u)) == frozenset({"x"})
+        assert interp.extension(DataAtMost(0, u)) == frozenset({"y", "z"})
+
+    def test_unknown_atomic_is_empty(self, interp):
+        assert interp.extension(AtomicConcept("Unknown")) == frozenset()
+
+
+class TestAxiomSatisfaction:
+    def test_concept_inclusion(self, interp):
+        assert interp.satisfies(ConceptInclusion(B, A))
+        assert not interp.satisfies(ConceptInclusion(A, B))
+
+    def test_equivalence(self, interp):
+        assert interp.satisfies(ConceptEquivalence(A, A | B))
+        assert not interp.satisfies(ConceptEquivalence(A, B))
+
+    def test_role_inclusion(self, interp):
+        assert interp.satisfies(RoleInclusion(r, s))
+        assert not interp.satisfies(RoleInclusion(s, r))
+
+    def test_role_inclusion_with_inverses(self, interp):
+        assert interp.satisfies(RoleInclusion(r.inverse(), s.inverse()))
+
+    def test_transitivity(self, interp):
+        assert interp.satisfies(Transitivity(s))
+        assert not interp.satisfies(Transitivity(r))
+
+    def test_assertions(self, interp):
+        assert interp.satisfies(ConceptAssertion(a, A))
+        assert not interp.satisfies(ConceptAssertion(b, Not(A)))
+        assert interp.satisfies(RoleAssertion(r, a, b))
+        assert not interp.satisfies(RoleAssertion(r, b, a))
+        assert interp.satisfies(RoleAssertion(r.inverse(), b, a))
+        assert interp.satisfies(DataAssertion(u, a, DataValue.of(1)))
+        assert not interp.satisfies(DataAssertion(u, b, DataValue.of(1)))
+
+    def test_equality_axioms(self, interp):
+        assert not interp.satisfies(SameIndividual(a, b))
+        assert interp.satisfies(DifferentIndividuals(a, b))
+
+    def test_datatype_role_inclusion(self, interp):
+        assert interp.satisfies(DatatypeRoleInclusion(u, u))
+        v = DatatypeRole("v")
+        assert not interp.satisfies(DatatypeRoleInclusion(u, v))
+
+    def test_is_model(self, interp):
+        kb = KnowledgeBase().add(
+            ConceptInclusion(B, A), ConceptAssertion(a, A), RoleAssertion(r, a, b)
+        )
+        assert interp.is_model(kb)
+        kb.add(ConceptAssertion(a, B))
+        assert not interp.is_model(kb)
+
+
+class TestNamedConstructor:
+    def test_named_identity_map(self):
+        interp = Interpretation.named(
+            [a, b], concept_ext={A: [a]}, role_ext={r: [(a, b)]}
+        )
+        assert interp.domain == frozenset({a, b})
+        assert interp.satisfies(ConceptAssertion(a, A))
+        assert interp.satisfies(RoleAssertion(r, a, b))

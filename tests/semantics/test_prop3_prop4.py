@@ -1,0 +1,171 @@
+"""Propositions 3 and 4: unit laws and dualities hold four-valuedly.
+
+These are the paper's sanity theorems for the Table 2 semantics: the
+top/bottom unit laws (Prop. 3) and the involution / De Morgan / quantifier
+/ counting dualities (Prop. 4).  Checked as properties over random
+four-valued interpretations and random concepts.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dl import (
+    AtLeast,
+    AtMost,
+    And,
+    BOTTOM,
+    Exists,
+    Forall,
+    Not,
+    Or,
+    TOP,
+)
+from repro.fourvalued import BilatticePair
+from repro.semantics import FourInterpretation, RolePair
+from repro.workloads import Signature, random_concept
+
+DOMAIN = ["d0", "d1", "d2"]
+
+
+def random_four_interpretation(rng: random.Random, signature: Signature) -> FourInterpretation:
+    def random_subset():
+        return frozenset(x for x in DOMAIN if rng.random() < 0.5)
+
+    def random_pairs():
+        return frozenset(
+            (x, y) for x in DOMAIN for y in DOMAIN if rng.random() < 0.35
+        )
+
+    return FourInterpretation(
+        domain=frozenset(DOMAIN),
+        concept_ext={
+            concept: BilatticePair(random_subset(), random_subset())
+            for concept in signature.concepts
+        },
+        role_ext={
+            role: RolePair(random_pairs(), random_pairs())
+            for role in signature.roles
+        },
+        individual_map={i: rng.choice(DOMAIN) for i in signature.individuals},
+    )
+
+
+def draw_concept(seed: int, depth: int = 2):
+    rng = random.Random(seed)
+    signature = Signature.of_size(3, 2, 2)
+    concept = random_concept(
+        rng, signature, depth=depth, allow_counting=True, allow_nominals=True
+    )
+    return concept, random_four_interpretation(rng, signature), rng, signature
+
+
+class TestProposition3:
+    """Unit laws: C n Thing = C, C u Thing = Thing, etc."""
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=100, deadline=None)
+    def test_units(self, seed):
+        concept, interp, _rng, _sig = draw_concept(seed)
+        extension = interp.extension(concept)
+        assert interp.extension(And.of(concept, TOP)) == extension
+        assert interp.extension(Or.of(concept, TOP)) == interp.extension(TOP)
+        assert interp.extension(And.of(concept, BOTTOM)) == interp.extension(BOTTOM)
+        assert interp.extension(Or.of(concept, BOTTOM)) == extension
+
+
+class TestProposition4:
+    """Dualities: double negation, De Morgan, quantifiers, counting."""
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=100, deadline=None)
+    def test_double_negation(self, seed):
+        concept, interp, _rng, _sig = draw_concept(seed)
+        assert interp.extension(Not(Not(concept))) == interp.extension(concept)
+
+    def test_top_bottom_duals(self):
+        _c, interp, _rng, _sig = draw_concept(0)
+        assert interp.extension(Not(TOP)) == interp.extension(BOTTOM)
+        assert interp.extension(Not(BOTTOM)) == interp.extension(TOP)
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=100, deadline=None)
+    def test_de_morgan(self, seed):
+        left, interp, rng, signature = draw_concept(seed)
+        right = random_concept(rng, signature, depth=2)
+        assert interp.extension(Not(Or.of(left, right))) == interp.extension(
+            And.of(Not(left), Not(right))
+        )
+        assert interp.extension(Not(And.of(left, right))) == interp.extension(
+            Or.of(Not(left), Not(right))
+        )
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=100, deadline=None)
+    def test_quantifier_duals(self, seed):
+        filler, interp, rng, signature = draw_concept(seed, depth=1)
+        role = rng.choice(signature.roles)
+        assert interp.extension(Not(Forall(role, filler))) == interp.extension(
+            Exists(role, Not(filler))
+        )
+        assert interp.extension(Not(Exists(role, filler))) == interp.extension(
+            Forall(role, Not(filler))
+        )
+
+    @given(st.integers(0, 10**6), st.integers(1, 3))
+    @settings(max_examples=100, deadline=None)
+    def test_counting_duals(self, seed, n):
+        _c, interp, rng, signature = draw_concept(seed)
+        role = rng.choice(signature.roles)
+        # not(>= n r) = (<= n-1 r), not(<= n r) = (>= n+1 r).
+        assert interp.extension(Not(AtLeast(n, role))) == interp.extension(
+            AtMost(n - 1, role)
+        )
+        assert interp.extension(Not(AtMost(n, role))) == interp.extension(
+            AtLeast(n + 1, role)
+        )
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_classical_restriction_recovers_table1(self, seed):
+        """When extensions satisfy the classical constraints, proj+ agrees
+        with the two-valued evaluator (paper Section 3.2 closing remark)."""
+        from repro.semantics import Interpretation
+
+        rng = random.Random(seed)
+        signature = Signature.of_size(3, 2, 2)
+        domain = frozenset(DOMAIN)
+        concept_ext = {}
+        classical_ext = {}
+        for concept in signature.concepts:
+            positive = frozenset(x for x in DOMAIN if rng.random() < 0.5)
+            concept_ext[concept] = BilatticePair(positive, domain - positive)
+            classical_ext[concept] = positive
+        role_ext = {}
+        classical_roles = {}
+        all_pairs = {(x, y) for x in DOMAIN for y in DOMAIN}
+        for role in signature.roles:
+            positive = frozenset(
+                p for p in all_pairs if rng.random() < 0.35
+            )
+            role_ext[role] = RolePair(positive, frozenset(all_pairs) - positive)
+            classical_roles[role] = positive
+        individual_map = {i: rng.choice(DOMAIN) for i in signature.individuals}
+        four = FourInterpretation(
+            domain=domain,
+            concept_ext=concept_ext,
+            role_ext=role_ext,
+            individual_map=individual_map,
+        )
+        two = Interpretation(
+            domain=domain,
+            concept_ext=classical_ext,
+            role_ext=classical_roles,
+            individual_map=individual_map,
+        )
+        concept = random_concept(rng, signature, depth=2, allow_counting=True)
+        four_pair = four.extension(concept)
+        classical = two.extension(concept)
+        assert four_pair.positive == classical
+        assert four_pair.negative == domain - classical

@@ -1,0 +1,116 @@
+"""API surface stability: the documented public names exist and work.
+
+These tests pin down the public API a downstream user depends on, so an
+accidental rename or dropped export fails loudly.
+"""
+
+import pytest
+
+import repro
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_subpackages(self):
+        for name in (
+            "fourvalued",
+            "dl",
+            "semantics",
+            "four_dl",
+            "baselines",
+            "workloads",
+            "harness",
+        ):
+            assert hasattr(repro, name), name
+
+
+class TestDlSurface:
+    def test_all_exports_resolve(self):
+        from repro import dl
+
+        for name in dl.__all__:
+            assert hasattr(dl, name), name
+
+    def test_core_types_importable(self):
+        from repro.dl import (
+            AtomicConcept,
+            AtomicRole,
+            Individual,
+            KnowledgeBase,
+            Reasoner,
+            Tableau,
+        )
+
+        kb = KnowledgeBase()
+        assert Reasoner(kb).is_consistent()
+
+
+class TestFourDlSurface:
+    def test_all_exports_resolve(self):
+        from repro import four_dl
+
+        for name in four_dl.__all__:
+            assert hasattr(four_dl, name), name
+
+    def test_quickstart_snippet(self):
+        """The README quickstart, verbatim."""
+        from repro.dl import AtomicConcept, ConceptAssertion, Individual, Not
+        from repro.four_dl import KnowledgeBase4, Reasoner4, internal
+        from repro.fourvalued import FourValue
+
+        employee, person = AtomicConcept("Employee"), AtomicConcept("Person")
+        pat = Individual("pat")
+        kb4 = KnowledgeBase4().add(
+            internal(employee, person),
+            ConceptAssertion(pat, employee),
+            ConceptAssertion(pat, Not(employee)),
+        )
+        reasoner = Reasoner4(kb4)
+        assert reasoner.is_satisfiable()
+        assert reasoner.assertion_value(pat, employee) is FourValue.BOTH
+        assert reasoner.assertion_value(pat, person) is FourValue.TRUE
+        assert reasoner.contradictory_facts() == {pat: frozenset({employee})}
+
+
+class TestFourvaluedSurface:
+    def test_all_exports_resolve(self):
+        from repro import fourvalued
+
+        for name in fourvalued.__all__:
+            assert hasattr(fourvalued, name), name
+
+
+class TestOtherSurfaces:
+    def test_semantics_exports(self):
+        from repro import semantics
+
+        for name in semantics.__all__:
+            assert hasattr(semantics, name), name
+
+    def test_baselines_exports(self):
+        from repro import baselines
+
+        for name in baselines.__all__:
+            assert hasattr(baselines, name), name
+
+    def test_workloads_exports(self):
+        from repro import workloads
+
+        for name in workloads.__all__:
+            assert hasattr(workloads, name), name
+
+    def test_harness_exports(self):
+        from repro import harness
+
+        for name in harness.__all__:
+            assert hasattr(harness, name), name
+
+    def test_cli_entrypoint(self):
+        from repro.cli import build_parser, main
+
+        parser = build_parser()
+        assert parser.prog == "repro"
+        with pytest.raises(SystemExit):
+            parser.parse_args([])  # command is required

@@ -1,0 +1,114 @@
+"""Generator tests: determinism, size control, contradiction injection."""
+
+import pytest
+
+from repro.dl import Not, Reasoner
+from repro.dl.printer import render_kb, render_kb4
+from repro.four_dl import Reasoner4
+from repro.fourvalued import FourValue
+from repro.workloads import (
+    GeneratorConfig,
+    Signature,
+    generate_kb,
+    generate_kb4,
+    inject_contradictions,
+    inject_contradictions4,
+)
+
+
+class TestSignature:
+    def test_of_size(self):
+        signature = Signature.of_size(3, 2, 4)
+        assert len(signature.concepts) == 3
+        assert len(signature.roles) == 2
+        assert len(signature.individuals) == 4
+
+    def test_names_are_stable(self):
+        assert Signature.of_size(2, 1, 1).concepts[0].name == "C0"
+
+
+class TestDeterminism:
+    def test_same_seed_same_kb(self):
+        config = GeneratorConfig(seed=42)
+        assert render_kb(generate_kb(config)) == render_kb(generate_kb(config))
+
+    def test_different_seed_different_kb(self):
+        assert render_kb(generate_kb(GeneratorConfig(seed=1))) != render_kb(
+            generate_kb(GeneratorConfig(seed=2))
+        )
+
+    def test_same_seed_same_kb4(self):
+        config = GeneratorConfig(seed=42)
+        assert render_kb4(generate_kb4(config)) == render_kb4(
+            generate_kb4(config)
+        )
+
+
+class TestSizeControl:
+    def test_axiom_counts(self):
+        config = GeneratorConfig(n_tbox=7, n_abox=11, seed=0)
+        kb = generate_kb(config)
+        assert len(kb.concept_inclusions) == 7
+        assert len(list(kb.abox())) == 11
+
+    def test_signature_bounds_respected(self):
+        config = GeneratorConfig(
+            n_concepts=3, n_roles=2, n_individuals=4, seed=5
+        )
+        kb = generate_kb(config)
+        assert len(kb.concepts_in_signature()) <= 3
+        assert len(kb.object_roles_in_signature()) <= 2
+        assert len(kb.individuals_in_signature()) <= 4
+
+    def test_constructor_flags(self):
+        config = GeneratorConfig(
+            allow_quantifiers=False,
+            allow_negation=False,
+            n_tbox=10,
+            n_abox=0,
+            seed=3,
+        )
+        kb = generate_kb(config)
+        rendered = render_kb(kb)
+        assert "some" not in rendered and "only" not in rendered
+        assert "not" not in rendered
+
+    def test_inclusion_weights(self):
+        config = GeneratorConfig(
+            n_tbox=30, n_abox=0, inclusion_weights=(1.0, 0.0, 0.0), seed=1
+        )
+        kb4 = generate_kb4(config)
+        from repro.four_dl import InclusionKind
+
+        assert all(
+            inc.kind is InclusionKind.MATERIAL for inc in kb4.concept_inclusions
+        )
+
+
+class TestContradictionInjection:
+    def test_injection_makes_classically_inconsistent(self):
+        config = GeneratorConfig(n_tbox=2, n_abox=4, max_depth=1, seed=9)
+        kb = generate_kb(config)
+        injected = inject_contradictions(kb, 2, seed=1)
+        assert len(injected) == 2
+        assert not Reasoner(kb).is_consistent()
+
+    def test_injection4_yields_both_values(self):
+        config = GeneratorConfig(n_tbox=1, n_abox=3, max_depth=1, seed=9)
+        kb4 = generate_kb4(config)
+        injected = inject_contradictions4(kb4, 1, seed=1)
+        individual, concept = injected[0]
+        assert Reasoner4(kb4).assertion_value(individual, concept) is FourValue.BOTH
+
+    def test_injection_requires_signature(self):
+        from repro.dl import KnowledgeBase
+
+        with pytest.raises(ValueError):
+            inject_contradictions(KnowledgeBase(), 1)
+
+    def test_injection_reproducible(self):
+        config = GeneratorConfig(n_tbox=1, n_abox=3, seed=9)
+        kb_a, kb_b = generate_kb(config), generate_kb(config)
+        assert inject_contradictions(kb_a, 3, seed=7) == inject_contradictions(
+            kb_b, 3, seed=7
+        )

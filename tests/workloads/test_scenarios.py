@@ -1,0 +1,126 @@
+"""Scenario builders: expected conflicts and paraconsistent answers."""
+
+import pytest
+
+from repro.dl import AtomicConcept, Individual, Reasoner
+from repro.four_dl import Reasoner4, collapse_to_classical
+from repro.fourvalued import FourValue
+from repro.workloads import (
+    ALL_SCENARIOS,
+    adoption_families,
+    hospital_records,
+    medical_access_control,
+    penguin_taxonomy,
+)
+
+
+class TestScenarioShapes:
+    @pytest.mark.parametrize("builder", ALL_SCENARIOS)
+    def test_default_scenarios_are_4_satisfiable(self, builder):
+        scenario = builder()
+        assert Reasoner4(scenario.kb4).is_satisfiable(), scenario.name
+
+    @pytest.mark.parametrize("builder", ALL_SCENARIOS)
+    def test_queries_reference_signature(self, builder):
+        scenario = builder()
+        individuals = scenario.kb4.individuals_in_signature()
+        for individual, _concept in scenario.queries:
+            assert individual in individuals
+
+
+class TestMedicalAccessControl:
+    def test_conflicted_member_is_both(self):
+        scenario = medical_access_control(n_staff=3, n_conflicted=1)
+        reasoner = Reasoner4(scenario.kb4)
+        readers = AtomicConcept("ReadPatientRecordTeam")
+        assert reasoner.assertion_value(Individual("staff0"), readers) is (
+            FourValue.BOTH
+        )
+
+    def test_unconflicted_members_classical(self):
+        scenario = medical_access_control(n_staff=3, n_conflicted=1)
+        reasoner = Reasoner4(scenario.kb4)
+        readers = AtomicConcept("ReadPatientRecordTeam")
+        # staff1 is odd -> urgency -> may read.
+        assert reasoner.assertion_value(Individual("staff1"), readers) is (
+            FourValue.TRUE
+        )
+        # staff2 is even -> surgical -> may not read.
+        assert reasoner.assertion_value(Individual("staff2"), readers) is (
+            FourValue.FALSE
+        )
+
+    def test_classical_projection_inconsistent_iff_conflicted(self):
+        clean = medical_access_control(n_staff=2, n_conflicted=0)
+        assert Reasoner(collapse_to_classical(clean.kb4)).is_consistent()
+        conflicted = medical_access_control(n_staff=2, n_conflicted=1)
+        assert not Reasoner(
+            collapse_to_classical(conflicted.kb4)
+        ).is_consistent()
+
+    def test_expected_conflicts_found(self):
+        scenario = medical_access_control(n_staff=4, n_conflicted=2)
+        reasoner = Reasoner4(scenario.kb4)
+        for individual, concept in scenario.expected_conflicts:
+            assert reasoner.assertion_value(individual, concept) is FourValue.BOTH
+
+
+class TestHospitalRecords:
+    def test_propagation_survives_contradiction(self):
+        scenario = hospital_records(n_wards=2)
+        reasoner = Reasoner4(scenario.kb4)
+        doctor = AtomicConcept("Doctor")
+        assert reasoner.assertion_value(Individual("carer0"), doctor) is (
+            FourValue.TRUE
+        )
+        assert reasoner.assertion_value(Individual("john"), doctor) is (
+            FourValue.BOTH
+        )
+
+    def test_scaling_parameter(self):
+        small = hospital_records(n_wards=1)
+        large = hospital_records(n_wards=5)
+        assert len(large.kb4) > len(small.kb4)
+
+
+class TestPenguinTaxonomy:
+    def test_species_chain_flightless(self):
+        scenario = penguin_taxonomy(n_species=2)
+        reasoner = Reasoner4(scenario.kb4)
+        fly = AtomicConcept("Fly")
+        assert reasoner.assertion_value(Individual("bird_0_0"), fly) is (
+            FourValue.FALSE
+        )
+        assert reasoner.assertion_value(Individual("bird_1_0"), fly) is (
+            FourValue.FALSE
+        )
+
+    def test_classical_projection_trivialises(self):
+        scenario = penguin_taxonomy(n_species=1)
+        assert not Reasoner(collapse_to_classical(scenario.kb4)).is_consistent()
+
+    def test_no_expected_conflicts(self):
+        # Material inclusion makes penguins exceptions, not contradictions.
+        scenario = penguin_taxonomy(n_species=2)
+        assert scenario.expected_conflicts == []
+        reasoner = Reasoner4(scenario.kb4)
+        assert reasoner.contradictory_facts() == {}
+
+
+class TestAdoptionFamilies:
+    def test_parent_true_married_false(self):
+        scenario = adoption_families(n_families=2)
+        reasoner = Reasoner4(scenario.kb4)
+        assert reasoner.assertion_value(
+            Individual("adopter0"), AtomicConcept("Parent")
+        ) is FourValue.TRUE
+        assert reasoner.assertion_value(
+            Individual("adopter1"), AtomicConcept("Married")
+        ) is FourValue.FALSE
+
+    def test_children_unconstrained(self):
+        scenario = adoption_families(n_families=1)
+        reasoner = Reasoner4(scenario.kb4)
+        assert reasoner.assertion_value(
+            Individual("child0"), AtomicConcept("Parent")
+        ) is FourValue.NEITHER
