@@ -9,10 +9,16 @@ allowed; plain ``subclassof`` reads as internal inclusion).  Commands:
 * ``query FILE a C``  — the entailed Belnap status of ``C(a)``;
 * ``audit FILE``      — full conflict report: localised contradictions,
   inconsistency/information degrees, per-concept breakdown;
+* ``classify FILE``   — the atomic concept hierarchy under a chosen
+  inclusion strength (internal by default);
 * ``transform FILE``  — print the classical induced KB (Definitions 5-7);
 * ``export-owl FILE`` — the induced KB as OWL functional syntax, ready
   for any external OWL DL reasoner;
 * ``experiments``     — run the paper-reproduction battery.
+
+``check``, ``query``, ``audit``, and ``classify`` accept ``--stats`` to
+print the reasoning-work counters (tableau runs, cache hits, branches)
+after the answer.
 
 Exit status is 0 on success, 1 when a check fails (inconsistent /
 unsatisfiable / query not entailed), 2 on usage or parse errors.
@@ -31,7 +37,7 @@ from .dl.parser import ConceptParser, parse_kb4
 from .dl.printer import render_axiom
 from .dl.owl import to_functional
 from .dl.reasoner import Reasoner
-from .four_dl.axioms4 import KnowledgeBase4, collapse_to_classical
+from .four_dl.axioms4 import InclusionKind, KnowledgeBase4, collapse_to_classical
 from .four_dl.metrics import conflict_profile
 from .four_dl.reasoner4 import Reasoner4
 from .four_dl.transform import transform_kb
@@ -42,6 +48,11 @@ from .harness.tables import print_table
 def _load_kb4(path: str) -> KnowledgeBase4:
     with open(path) as handle:
         return parse_kb4(handle.read())
+
+
+def _print_stats(args: argparse.Namespace, reasoner: Reasoner4) -> None:
+    if getattr(args, "stats", False):
+        print(f"work: {reasoner.stats.render()}")
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -57,6 +68,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
             "the ontology contradicts itself classically but stays "
             "meaningful four-valuedly; run 'audit' to localise the conflicts"
         )
+    _print_stats(args, reasoner)
     return 0 if four_ok else 1
 
 
@@ -76,6 +88,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         FourValue.NEITHER: "no entailed evidence either way",
     }[value]
     print(f"{args.concept}({args.individual}) = {value}  ({explanation})")
+    _print_stats(args, reasoner)
     return 0 if value in (FourValue.TRUE, FourValue.BOTH) else 1
 
 
@@ -102,7 +115,28 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         print_table(
             ["fact", "status"], profile.rows(), title="\nFull fact census:"
         )
+    _print_stats(args, reasoner)
     return 0 if not conflicts else 1
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    kb4 = _load_kb4(args.file)
+    kind = InclusionKind[args.kind.upper()]
+    reasoner = Reasoner4(kb4)
+    hierarchy = reasoner.classify(kind=kind)
+    rows = []
+    for atom in sorted(hierarchy, key=lambda a: a.name):
+        supers = sorted(
+            sup.name for sup in hierarchy[atom] if sup != atom
+        )
+        rows.append((atom.name, ", ".join(supers) if supers else "-"))
+    print_table(
+        ["concept", f"{args.kind} subsumers"],
+        rows,
+        title=f"Hierarchy ({args.kind} inclusion):",
+    )
+    _print_stats(args, reasoner)
+    return 0
 
 
 def _cmd_repair(args: argparse.Namespace) -> int:
@@ -171,14 +205,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
+    stats_help = "print reasoning-work counters after the answer"
+
     check = commands.add_parser("check", help="satisfiability check")
     check.add_argument("file", help="ontology file (concrete syntax)")
+    check.add_argument("--stats", action="store_true", help=stats_help)
     check.set_defaults(handler=_cmd_check)
 
     query = commands.add_parser("query", help="Belnap status of C(a)")
     query.add_argument("file")
     query.add_argument("individual", help="individual name")
     query.add_argument("concept", help="concept expression")
+    query.add_argument("--stats", action="store_true", help=stats_help)
     query.set_defaults(handler=_cmd_query)
 
     audit = commands.add_parser("audit", help="conflict report and degrees")
@@ -189,7 +227,21 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument(
         "--no-roles", action="store_true", help="skip role-atom statuses"
     )
+    audit.add_argument("--stats", action="store_true", help=stats_help)
     audit.set_defaults(handler=_cmd_audit)
+
+    classify = commands.add_parser(
+        "classify", help="atomic concept hierarchy"
+    )
+    classify.add_argument("file")
+    classify.add_argument(
+        "--kind",
+        choices=["material", "internal", "strong"],
+        default="internal",
+        help="inclusion strength (default: internal)",
+    )
+    classify.add_argument("--stats", action="store_true", help=stats_help)
+    classify.set_defaults(handler=_cmd_classify)
 
     repair = commands.add_parser(
         "repair", help="diagnose: justifications + minimal repairs"

@@ -1,0 +1,96 @@
+"""A cross-query cache for satisfiability answers, keyed on canonical probes.
+
+Every reasoning service (Corollary 7 reduces the four-valued ones too)
+bottoms out in "is the KB plus these extra assertions satisfiable?".  The
+cache memoises exactly that question.  Soundness rests on two invariants:
+
+* **Canonical keys.**  A probe set is keyed by the NNF of its concept
+  assertions (plus normalised role/equality assertions), so syntactically
+  different but tableau-identical probes share one entry — the tableau
+  itself NNF-normalises assertions on graph construction, which is why NNF
+  equality implies answer equality.
+* **Invalidation on mutation.**  Keys say nothing about the KB; the owning
+  reasoner compares the KB's monotone ``version`` counter on every query
+  and clears the cache (and rebuilds its tableau) whenever the KB changed.
+  A cache instance must therefore only ever be shared by reasoners over
+  the *same* knowledge base (e.g. a :class:`~repro.four_dl.reasoner4.Reasoner4`
+  and the classical reasoner it delegates to).
+
+The cache never stores completion graphs, only boolean verdicts, so a
+model-extraction request always re-runs the tableau.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+from . import axioms as ax
+from .nnf import nnf
+
+#: One canonical probe: a small tagged tuple (hashable, order-free).
+ProbeKey = Tuple
+#: A full cache key: the canonical probe set (empty = plain consistency).
+CacheKey = FrozenSet[ProbeKey]
+
+CONSISTENCY_KEY: CacheKey = frozenset()
+
+
+def probe_key(axiom: ax.ABoxAxiom) -> ProbeKey:
+    """The canonical key of one extra assertion.
+
+    Concept assertions are keyed by NNF; role assertions by their
+    normalised (named-role) form; equality axioms order-insensitively.
+    """
+    if isinstance(axiom, ax.ConceptAssertion):
+        return ("c", axiom.individual, nnf(axiom.concept))
+    if isinstance(axiom, ax.RoleAssertion):
+        normalised = axiom.normalised()
+        return ("r", normalised.role, normalised.source, normalised.target)
+    if isinstance(axiom, ax.NegativeRoleAssertion):
+        normalised = axiom.normalised()
+        return ("nr", normalised.role, normalised.source, normalised.target)
+    if isinstance(axiom, ax.SameIndividual):
+        left, right = sorted((axiom.left, axiom.right))
+        return ("same", left, right)
+    if isinstance(axiom, ax.DifferentIndividuals):
+        left, right = sorted((axiom.left, axiom.right))
+        return ("diff", left, right)
+    if isinstance(axiom, ax.DataAssertion):
+        return ("d", axiom.role, axiom.source, axiom.value)
+    raise TypeError(f"not a cacheable probe: {axiom!r}")
+
+
+def probe_set_key(axioms: Iterable[ax.ABoxAxiom]) -> CacheKey:
+    """The canonical, order-free key of a whole probe set."""
+    return frozenset(probe_key(axiom) for axiom in axioms)
+
+
+class QueryCache:
+    """Memoised satisfiability verdicts, shared across reasoning services.
+
+    ``enabled=False`` turns the cache into a transparent no-op (every
+    lookup misses, nothing is stored) — used by differential tests and
+    ablation benchmarks to compare cached against cold runs.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._entries: Dict[CacheKey, bool] = {}
+
+    def lookup(self, key: CacheKey) -> Optional[bool]:
+        """The cached verdict for a canonical key, or ``None`` on a miss."""
+        if not self.enabled:
+            return None
+        return self._entries.get(key)
+
+    def store(self, key: CacheKey, value: bool) -> None:
+        """Record a verdict (no-op when disabled)."""
+        if self.enabled:
+            self._entries[key] = value
+
+    def clear(self) -> None:
+        """Drop every entry (called by reasoners on KB mutation)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -52,11 +52,23 @@ class KnowledgeBase:
         default_factory=list
     )
 
+    def __post_init__(self) -> None:
+        # Monotone mutation counter (not a dataclass field: equality and
+        # repr stay purely axiom-based).  Reasoners compare it on every
+        # query to invalidate caches and rebuild tableaux after add().
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """A counter incremented by every mutation; caches key on it."""
+        return self._version
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     def add(self, *axioms_: ax.Axiom) -> "KnowledgeBase":
         """Add axioms of any kind; returns self for chaining."""
+        self._version += len(axioms_)
         for axiom in axioms_:
             if isinstance(axiom, ax.ConceptEquivalence):
                 for inclusion in axiom.inclusions():

@@ -10,12 +10,21 @@ OWL DL entailment):
 * instance checking ``a : C`` — unsatisfiability of ``KB + {a : not C}``;
 * role-assertion entailment — via nominals: ``R(a, b)`` is entailed iff
   ``KB + {a : all R.not {b}}`` is unsatisfiable;
-* classification — pairwise subsumption over the atomic signature.
+* classification — told-subsumer seeding plus enhanced top-down /
+  bottom-up traversal insertion into a growing taxonomy DAG.
+
+Every service funnels through one cached satisfiability entry point
+(:meth:`Reasoner._satisfiable_with`): probes are canonicalised to NNF and
+looked up in a :class:`~repro.dl.cache.QueryCache` before the tableau
+runs.  The cache is invalidated — and the tableau rebuilt — whenever the
+KB's ``version`` counter moves, so mutating the KB after queries never
+serves stale answers.  :class:`~repro.dl.stats.ReasonerStats` counters
+record how much work each service actually did.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
 
 from .axioms import (
     Axiom,
@@ -29,6 +38,7 @@ from .axioms import (
     RoleInclusion,
     SameIndividual,
 )
+from .cache import CONSISTENCY_KEY, QueryCache, probe_set_key
 from .concepts import (
     And,
     AtomicConcept,
@@ -40,15 +50,24 @@ from .concepts import (
 )
 from .individuals import Individual
 from .kb import KnowledgeBase
+from .stats import ReasonerStats
 from .tableau import DEFAULT_MAX_BRANCHES, DEFAULT_MAX_NODES, Tableau
+
+#: The fresh individual used for concept-satisfiability probes.  Fixing
+#: the name keeps the cache key of ``is_satisfiable(C)`` canonical.
+_PROBE = Individual("__probe__")
 
 
 class Reasoner:
     """Classical SHOIN(D) reasoner for a fixed knowledge base.
 
     All services are answered by refutation through one shared
-    :class:`~repro.dl.tableau.Tableau` instance; results of consistency and
-    subsumption checks are memoised because classification re-asks them.
+    :class:`~repro.dl.tableau.Tableau` instance.  Verdicts are memoised in
+    a :class:`~repro.dl.cache.QueryCache` keyed on NNF-canonical probe
+    sets; the cache may be passed in to share answers between reasoner
+    views of the *same* KB (never of different KBs — invalidation is
+    per-KB-version).  ``use_cache=False`` disables memoisation entirely,
+    for differential tests and ablation benchmarks.
     """
 
     def __init__(
@@ -56,24 +75,60 @@ class Reasoner:
         kb: KnowledgeBase,
         max_nodes: int = DEFAULT_MAX_NODES,
         max_branches: int = DEFAULT_MAX_BRANCHES,
+        cache: Optional[QueryCache] = None,
+        use_cache: bool = True,
+        stats: Optional[ReasonerStats] = None,
     ):
         self.kb = kb
-        self._tableau = Tableau(kb, max_nodes=max_nodes, max_branches=max_branches)
-        self._consistent: Optional[bool] = None
-        self._subsumption_cache: Dict[Tuple[Concept, Concept], bool] = {}
+        self.max_nodes = max_nodes
+        self.max_branches = max_branches
+        self.stats = stats if stats is not None else ReasonerStats()
+        self.cache = cache if cache is not None else QueryCache(enabled=use_cache)
+        self._tableau = self._build_tableau()
+        self._kb_version = kb.version
+
+    def _build_tableau(self) -> Tableau:
+        return Tableau(
+            self.kb,
+            max_nodes=self.max_nodes,
+            max_branches=self.max_branches,
+            stats=self.stats,
+        )
+
+    def _sync(self) -> None:
+        """Invalidate on KB mutation: rebuild the tableau, drop the cache.
+
+        The tableau preprocesses the KB once (absorption, role-hierarchy
+        closure), so it is as stale as the cache after an ``add()``.
+        """
+        if self._kb_version != self.kb.version:
+            self._tableau = self._build_tableau()
+            self.cache.clear()
+            self._kb_version = self.kb.version
+
+    def _satisfiable_with(self, probes: Sequence) -> bool:
+        """The single cached satisfiability entry point of every service."""
+        self._sync()
+        key = probe_set_key(probes) if probes else CONSISTENCY_KEY
+        cached = self.cache.lookup(key)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached
+        self.stats.cache_misses += 1
+        result = self._tableau.is_satisfiable(probes)
+        self.cache.store(key, result)
+        return result
 
     # ------------------------------------------------------------------
     # Core services
     # ------------------------------------------------------------------
     def is_consistent(self) -> bool:
         """Whether the KB has a classical model."""
-        if self._consistent is None:
-            self._consistent = self._tableau.is_satisfiable()
-        return self._consistent
+        return self._satisfiable_with(())
 
     def is_satisfiable(self, concept: Concept) -> bool:
         """Whether ``concept`` has an instance in some model of the KB."""
-        return self._tableau.concept_satisfiable(concept)
+        return self._satisfiable_with((ConceptAssertion(_PROBE, concept),))
 
     def model(self):
         """A verified finite model of the KB, or ``None``.
@@ -81,6 +136,9 @@ class Reasoner:
         ``None`` means either the KB is inconsistent or its canonical
         model is not finitely representable from the completion graph
         (see :meth:`~repro.dl.tableau.Tableau.extract_model`).
+
+        Model extraction needs the completion graph, which the query
+        cache never stores, so this always re-runs the tableau.
         """
         if not self.is_consistent():
             return None
@@ -90,17 +148,13 @@ class Reasoner:
 
     def subsumes(self, sup: Concept, sub: Concept) -> bool:
         """Whether ``sub [= sup`` holds in every model of the KB."""
-        key = (sub, sup)
-        if key not in self._subsumption_cache:
-            self._subsumption_cache[key] = not self.is_satisfiable(
-                And.of(sub, Not(sup))
-            )
-        return self._subsumption_cache[key]
+        self.stats.subsumption_tests += 1
+        return not self.is_satisfiable(And.of(sub, Not(sup)))
 
     def is_instance(self, individual: Individual, concept: Concept) -> bool:
         """Whether ``a : C`` holds in every model of the KB."""
         probe = ConceptAssertion(individual, Not(concept))
-        return not self._tableau.is_satisfiable([probe])
+        return not self._satisfiable_with((probe,))
 
     def entails(self, axiom: Axiom) -> bool:
         """Whether the KB entails the given axiom."""
@@ -114,11 +168,11 @@ class Reasoner:
                 axiom.source,
                 Forall(axiom.role, Not(OneOf(frozenset({axiom.target})))),
             )
-            return not self._tableau.is_satisfiable([probe])
+            return not self._satisfiable_with((probe,))
         if isinstance(axiom, NegativeRoleAssertion):
             # not R(a, b) is entailed iff asserting R(a, b) is impossible.
             probe = RoleAssertion(axiom.role, axiom.source, axiom.target)
-            return not self._tableau.is_satisfiable([probe])
+            return not self._satisfiable_with((probe,))
         if isinstance(axiom, SameIndividual):
             pair = OneOf(frozenset({axiom.right}))
             return self.is_instance(axiom.left, pair)
@@ -129,7 +183,7 @@ class Reasoner:
         if isinstance(axiom, DifferentIndividuals):
             # a != b is entailed iff identifying them is impossible.
             probe = SameIndividual(axiom.left, axiom.right)
-            return not self._tableau.is_satisfiable([probe])
+            return not self._satisfiable_with((probe,))
         if isinstance(axiom, DataAssertion):
             # U(a, v) is entailed iff "all of a's U-values differ from v"
             # is impossible.
@@ -138,23 +192,35 @@ class Reasoner:
 
             excluded = DataOneOf(frozenset({axiom.value})).negate()
             probe = ConceptAssertion(axiom.source, DataForall(axiom.role, excluded))
-            return not self._tableau.is_satisfiable([probe])
+            return not self._satisfiable_with((probe,))
         if isinstance(axiom, RoleInclusion):
             # R [= S is entailed iff two fresh individuals connected by R
             # but provably not by S are impossible.
             source = Individual("__sub_probe_a__")
             target = Individual("__sub_probe_b__")
             nominal = OneOf(frozenset({target}))
-            probes = [
+            probes = (
                 ConceptAssertion(source, Exists(axiom.sub, nominal)),
                 ConceptAssertion(source, Forall(axiom.sup, Not(nominal))),
-            ]
-            return not self._tableau.is_satisfiable(probes)
+            )
+            return not self._satisfiable_with(probes)
         raise NotImplementedError(f"entailment of {type(axiom).__name__}")
 
     def entails_all(self, axioms: Iterable[Axiom]) -> bool:
-        """Whether the KB entails every axiom (OWL DL ontology entailment)."""
-        return all(self.entails(axiom) for axiom in axioms)
+        """Whether the KB entails every axiom (OWL DL ontology entailment).
+
+        The batch is deduplicated and sorted into a canonical order so
+        repeated probes hit the cache and related probes run adjacently;
+        order cannot change the verdict (every check is independent).
+        """
+        unique = sorted(set(axioms), key=repr)
+        return all(self.entails(axiom) for axiom in unique)
+
+    def entailments(self, axioms: Iterable[Axiom]) -> Dict[Axiom, bool]:
+        """The per-axiom verdicts of a batch, evaluated in cache-friendly
+        (deduplicated, canonically sorted) order."""
+        unique = sorted(set(axioms), key=repr)
+        return {axiom: self.entails(axiom) for axiom in unique}
 
     # ------------------------------------------------------------------
     # Derived services
@@ -179,19 +245,194 @@ class Reasoner:
             if self.is_instance(individual, concept)
         )
 
-    def classify(self) -> Dict[AtomicConcept, FrozenSet[AtomicConcept]]:
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    def classify(
+        self, atoms: Optional[Iterable[AtomicConcept]] = None
+    ) -> Dict[AtomicConcept, FrozenSet[AtomicConcept]]:
         """The full atomic subsumption hierarchy.
 
         Maps each atomic concept to the set of its (not necessarily
-        strict) atomic subsumers, computed by pairwise subsumption tests.
+        strict) atomic subsumers.  Instead of the naive pairwise sweep
+        (kept as :meth:`classify_pairwise`, the reference oracle), each
+        concept is inserted into a growing taxonomy DAG:
+
+        * **told subsumers** — inclusions ``A [= B1 and ... and Bk`` with
+          atomic left side yield asserted subsumers, closed transitively;
+          they answer traversal questions without the tableau and fix a
+          parents-before-children insertion order;
+        * **enhanced top search** — a node is tested only when *all* its
+          parents subsume the new concept (if any parent fails, no
+          descendant can subsume, by transitivity);
+        * **enhanced bottom search** — dually, a node is tested only when
+          all its children are subsumed by the new concept.
+
+        The result is identical to the pairwise sweep; the number of
+        tableau runs (see :attr:`stats`) is far below ``n**2`` on any
+        hierarchy that is not a flat clique.
         """
-        atoms = sorted(self.kb.concepts_in_signature(), key=lambda a: a.name)
+        if atoms is None:
+            atoms = self.kb.concepts_in_signature()
+        ordered = sorted(set(atoms), key=lambda a: a.name)
+        universe = frozenset(ordered)
+        if not ordered:
+            return {}
+        if not self.is_consistent():
+            # Everything subsumes everything in an inconsistent KB.
+            return {atom: universe for atom in ordered}
+        told = self._told_subsumers(universe)
+        taxonomy = _Taxonomy()
+        unsatisfiable: List[AtomicConcept] = []
+        for concept in _told_order(ordered, told):
+            if not self.is_satisfiable(concept):
+                # Bottom-equivalent: subsumed by every atom, subsumes
+                # only other unsatisfiable atoms.
+                unsatisfiable.append(concept)
+                continue
+            self._insert(taxonomy, concept, told)
+        hierarchy = taxonomy.hierarchy()
+        for atom in unsatisfiable:
+            hierarchy[atom] = universe
+        return hierarchy
+
+    def classify_pairwise(
+        self, atoms: Optional[Iterable[AtomicConcept]] = None
+    ) -> Dict[AtomicConcept, FrozenSet[AtomicConcept]]:
+        """The O(n^2) pairwise reference classification.
+
+        Same result as :meth:`classify`; kept for differential testing
+        and as the benchmark baseline for the traversal classifier.
+        """
+        if atoms is None:
+            atoms = self.kb.concepts_in_signature()
+        ordered = sorted(set(atoms), key=lambda a: a.name)
         hierarchy: Dict[AtomicConcept, FrozenSet[AtomicConcept]] = {}
-        for sub in atoms:
+        for sub in ordered:
             hierarchy[sub] = frozenset(
-                sup for sup in atoms if self.subsumes(sup, sub)
+                sup for sup in ordered if self.subsumes(sup, sub)
             )
         return hierarchy
+
+    def _told_subsumers(
+        self, atoms: FrozenSet[AtomicConcept]
+    ) -> Dict[AtomicConcept, FrozenSet[AtomicConcept]]:
+        """Transitively closed asserted subsumers, restricted to ``atoms``.
+
+        Sound by construction: ``A [= B1 and ... and Bk`` entails
+        ``A [= Bi`` for every conjunct, and subsumption is transitive.
+        """
+        direct: Dict[AtomicConcept, Set[AtomicConcept]] = {}
+        for inclusion in self.kb.concept_inclusions:
+            sub = inclusion.sub
+            if isinstance(sub, AtomicConcept) and sub in atoms:
+                direct.setdefault(sub, set()).update(
+                    _conjoined_atoms(inclusion.sup, atoms)
+                )
+        closed: Dict[AtomicConcept, FrozenSet[AtomicConcept]] = {}
+        for atom in atoms:
+            reached: Set[AtomicConcept] = set()
+            frontier = list(direct.get(atom, ()))
+            while frontier:
+                current = frontier.pop()
+                if current in reached or current == atom:
+                    continue
+                reached.add(current)
+                frontier.extend(direct.get(current, ()))
+            if reached:
+                closed[atom] = frozenset(reached)
+        return closed
+
+    def _insert(
+        self,
+        taxonomy: "_Taxonomy",
+        concept: AtomicConcept,
+        told: Dict[AtomicConcept, FrozenSet[AtomicConcept]],
+    ) -> None:
+        """Place one satisfiable atom into the taxonomy DAG."""
+        subsumers = self._top_search(taxonomy, concept, told)
+        parents = {
+            node
+            for node in subsumers
+            if node is not taxonomy.top
+            and not any(child in subsumers for child in node.children)
+        } or {taxonomy.top}
+        subsumees = self._bottom_search(taxonomy, concept, told)
+        equivalent = subsumers & subsumees
+        if equivalent:
+            # C sits exactly on an existing node: merge, no new edges.
+            node = next(iter(equivalent))
+            node.members.add(concept)
+            return
+        children = {
+            node
+            for node in subsumees
+            if not any(parent in subsumees for parent in node.parents)
+        }
+        taxonomy.insert(concept, parents, children)
+
+    def _top_search(
+        self,
+        taxonomy: "_Taxonomy",
+        concept: AtomicConcept,
+        told: Dict[AtomicConcept, FrozenSet[AtomicConcept]],
+    ) -> Set["_TaxonomyNode"]:
+        """All nodes whose representative subsumes ``concept``.
+
+        Enhanced traversal: subsumers are upward-closed in the DAG, so a
+        node with a non-subsuming parent is pruned without a tableau call;
+        told subsumers short-circuit positively.
+        """
+        told_subsumers = told.get(concept, frozenset())
+        decided: Dict[_TaxonomyNode, bool] = {taxonomy.top: True}
+
+        def subsumes_concept(node: _TaxonomyNode) -> bool:
+            known = decided.get(node)
+            if known is not None:
+                return known
+            if not all(subsumes_concept(parent) for parent in node.parents):
+                result = False
+            elif node.members & told_subsumers:
+                self.stats.told_subsumptions += 1
+                result = True
+            else:
+                result = self.subsumes(node.rep, concept)
+            decided[node] = result
+            return result
+
+        return {node for node in taxonomy.nodes if subsumes_concept(node)}
+
+    def _bottom_search(
+        self,
+        taxonomy: "_Taxonomy",
+        concept: AtomicConcept,
+        told: Dict[AtomicConcept, FrozenSet[AtomicConcept]],
+    ) -> Set["_TaxonomyNode"]:
+        """All nodes whose representative is subsumed by ``concept``.
+
+        Dual pruning: subsumees are downward-closed, so a node with a
+        non-subsumed child cannot be subsumed; a node whose own told
+        subsumers include ``concept`` is subsumed without a tableau call.
+        """
+        decided: Dict[_TaxonomyNode, bool] = {}
+
+        def subsumed_by_concept(node: _TaxonomyNode) -> bool:
+            known = decided.get(node)
+            if known is not None:
+                return known
+            if not all(subsumed_by_concept(child) for child in node.children):
+                result = False
+            elif any(
+                concept in told.get(member, ()) for member in node.members
+            ):
+                self.stats.told_subsumptions += 1
+                result = True
+            else:
+                result = self.subsumes(concept, node.rep)
+            decided[node] = result
+            return result
+
+        return {node for node in taxonomy.nodes if subsumed_by_concept(node)}
 
     def unsatisfiable_concepts(self) -> FrozenSet[AtomicConcept]:
         """Atomic concepts with no possible instances under the KB."""
@@ -200,3 +441,123 @@ class Reasoner:
             for concept in self.kb.concepts_in_signature()
             if not self.is_satisfiable(concept)
         )
+
+
+# ---------------------------------------------------------------------------
+# Taxonomy DAG
+# ---------------------------------------------------------------------------
+
+class _TaxonomyNode:
+    """One equivalence class of atomic concepts in the taxonomy DAG."""
+
+    __slots__ = ("members", "parents", "children")
+
+    def __init__(self, members: Set[AtomicConcept]):
+        self.members = members
+        self.parents: Set[_TaxonomyNode] = set()
+        self.children: Set[_TaxonomyNode] = set()
+
+    @property
+    def rep(self) -> AtomicConcept:
+        """The representative used in tableau tests."""
+        return next(iter(self.members))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<node {sorted(m.name for m in self.members)}>"
+
+
+class _Taxonomy:
+    """A growing subsumption DAG with a virtual top element.
+
+    Edges are covering links between equivalence classes; the ancestor
+    closure over inserted atoms always equals entailed subsumption —
+    that invariant is what makes the enhanced searches complete.
+    """
+
+    def __init__(self) -> None:
+        self.top = _TaxonomyNode(set())
+        self.nodes: List[_TaxonomyNode] = []
+
+    def insert(
+        self,
+        concept: AtomicConcept,
+        parents: Set[_TaxonomyNode],
+        children: Set[_TaxonomyNode],
+    ) -> None:
+        node = _TaxonomyNode({concept})
+        for parent in parents:
+            # Direct parent-child links now route through the new node.
+            for child in children & parent.children:
+                parent.children.discard(child)
+                child.parents.discard(parent)
+            parent.children.add(node)
+            node.parents.add(parent)
+        for child in children:
+            child.parents.add(node)
+            node.children.add(child)
+        self.nodes.append(node)
+
+    def hierarchy(self) -> Dict[AtomicConcept, FrozenSet[AtomicConcept]]:
+        """Reflexive-transitive subsumers of every inserted atom."""
+        ancestors: Dict[_TaxonomyNode, FrozenSet[AtomicConcept]] = {
+            self.top: frozenset()
+        }
+
+        def ancestry(node: _TaxonomyNode) -> FrozenSet[AtomicConcept]:
+            known = ancestors.get(node)
+            if known is None:
+                known = frozenset(node.members).union(
+                    *(ancestry(parent) for parent in node.parents)
+                )
+                ancestors[node] = known
+            return known
+
+        result: Dict[AtomicConcept, FrozenSet[AtomicConcept]] = {}
+        for node in self.nodes:
+            subsumers = ancestry(node)
+            for member in node.members:
+                result[member] = subsumers
+        return result
+
+
+def _conjoined_atoms(
+    concept: Concept, atoms: FrozenSet[AtomicConcept]
+) -> Set[AtomicConcept]:
+    """The atomic conjuncts of a concept (told-subsumer candidates)."""
+    if isinstance(concept, AtomicConcept):
+        return {concept} if concept in atoms else set()
+    if isinstance(concept, And):
+        found: Set[AtomicConcept] = set()
+        for operand in concept.operands:
+            found |= _conjoined_atoms(operand, atoms)
+        return found
+    return set()
+
+
+def _told_order(
+    atoms: Sequence[AtomicConcept],
+    told: Dict[AtomicConcept, FrozenSet[AtomicConcept]],
+) -> List[AtomicConcept]:
+    """Atoms in told-subsumer topological order (parents first).
+
+    Inserting a concept after its told subsumers lets the traversal
+    searches answer those nodes without tableau calls.  Cycles (mutual
+    told subsumption) fall back to the incoming deterministic order.
+    """
+    ordered: List[AtomicConcept] = []
+    visiting: Set[AtomicConcept] = set()
+    placed: Set[AtomicConcept] = set()
+
+    def visit(atom: AtomicConcept) -> None:
+        if atom in placed or atom in visiting:
+            return
+        visiting.add(atom)
+        for subsumer in sorted(told.get(atom, ()), key=lambda a: a.name):
+            visit(subsumer)
+        visiting.discard(atom)
+        placed.add(atom)
+        ordered.append(atom)
+
+    for atom in atoms:
+        visit(atom)
+    return ordered

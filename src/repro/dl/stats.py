@@ -1,0 +1,82 @@
+"""Reasoner statistics: call counters shared by tableau, cache, and services.
+
+Wall-clock timings (``harness.timing``) vary with the machine; these
+counters do not.  They let benchmarks and tests assert *how much work* a
+reasoning service performed — tableau runs issued, branches explored,
+query-cache hits — so an optimisation like traversal classification can be
+pinned down as "strictly fewer tableau calls than the pairwise sweep"
+rather than "felt faster today".
+
+One :class:`ReasonerStats` instance is threaded through a
+:class:`~repro.dl.reasoner.Reasoner` (and, for the four-valued layer,
+through :class:`~repro.four_dl.reasoner4.Reasoner4` into the classical
+reasoner it reduces to), accumulating monotonically.  ``snapshot()`` and
+subtraction give per-operation deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict
+
+
+@dataclass
+class ReasonerStats:
+    """Monotone counters of reasoning work.
+
+    * ``tableau_runs`` — completed :meth:`Tableau.is_satisfiable` calls;
+    * ``branches_explored`` — completion-graph branches searched across
+      all runs (each run explores at least one);
+    * ``cache_hits`` / ``cache_misses`` — query-cache outcomes;
+    * ``subsumption_tests`` — tableau-backed subsumption questions asked
+      (cache hits included; compare with ``tableau_runs`` to see sharing);
+    * ``told_subsumptions`` — subsumption questions answered from told
+      (asserted) information during classification, no tableau involved.
+    """
+
+    tableau_runs: int = 0
+    branches_explored: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    subsumption_tests: int = 0
+    told_subsumptions: int = 0
+
+    def snapshot(self) -> "ReasonerStats":
+        """An independent copy of the current counter values."""
+        return ReasonerStats(**self.as_dict())
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        for item in fields(self):
+            setattr(self, item.name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        """The counters as an ordered name -> value mapping."""
+        return {item.name: getattr(self, item.name) for item in fields(self)}
+
+    def __sub__(self, earlier: "ReasonerStats") -> "ReasonerStats":
+        """The per-counter difference (``later - snapshot`` = work since)."""
+        return ReasonerStats(
+            **{
+                name: value - getattr(earlier, name)
+                for name, value in self.as_dict().items()
+            }
+        )
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of cache lookups answered from the cache (0.0 if none)."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def render(self) -> str:
+        """A compact single-line human-readable summary."""
+        return (
+            f"tableau runs: {self.tableau_runs}"
+            f" | branches: {self.branches_explored}"
+            f" | cache: {self.cache_hits} hits"
+            f" / {self.cache_misses} misses"
+            f" ({self.cache_hit_rate:.0%})"
+            f" | subsumption tests: {self.subsumption_tests}"
+            f" (told: {self.told_subsumptions})"
+        )

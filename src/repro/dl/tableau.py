@@ -59,6 +59,7 @@ from .individuals import Individual
 from .kb import KnowledgeBase
 from .nnf import negation_nnf, nnf
 from .roles import AtomicRole, DatatypeRole, ObjectRole
+from .stats import ReasonerStats
 
 NodeId = int
 DEFAULT_MAX_NODES = 4000
@@ -294,10 +295,13 @@ class Tableau:
         max_branches: int = DEFAULT_MAX_BRANCHES,
         use_bcp: bool = True,
         use_absorption: bool = True,
+        stats: Optional["ReasonerStats"] = None,
     ):
         self.kb = kb
         self.max_nodes = max_nodes
         self.max_branches = max_branches
+        #: Optional shared counters (runs, branches) updated by every call.
+        self.stats = stats
         #: Boolean constraint propagation on disjunctions (fail-first +
         #: immediate-clash screening).  Disable only for ablation studies.
         self.use_bcp = use_bcp
@@ -330,6 +334,8 @@ class Tableau:
         self, extra_assertions: Iterable = ()
     ) -> bool:
         """Whether the KB (plus optional extra ABox axioms) has a model."""
+        if self.stats is not None:
+            self.stats.tableau_runs += 1
         self._complete_graph: Optional[_Graph] = None
         graph = self._initial_graph(extra_assertions)
         if graph is None:
@@ -529,6 +535,8 @@ class Tableau:
     # ------------------------------------------------------------------
     def _solve(self, graph: _Graph) -> bool:
         self._branches_used += 1
+        if self.stats is not None:
+            self.stats.branches_explored += 1
         if self._branches_used > self.max_branches:
             raise ReasonerLimitExceeded(
                 f"tableau exceeded {self.max_branches} branches"

@@ -36,6 +36,7 @@ from .transform import (
     positive_data_role,
     positive_role,
     transform_axiom,
+    cached_transform_kb,
     transform_kb,
 )
 from .induced import classical_induced, four_induced
@@ -79,6 +80,7 @@ __all__ = [
     "positive_role",
     "transform_axiom",
     "transform_kb",
+    "cached_transform_kb",
     "classical_induced",
     "four_induced",
     "Reasoner4",

@@ -140,11 +140,22 @@ class KnowledgeBase4:
         default_factory=list
     )
 
+    def __post_init__(self) -> None:
+        # Monotone mutation counter mirroring KnowledgeBase.version:
+        # Reasoner4 re-transforms and drops cached answers when it moves.
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """A counter incremented by every mutation; caches key on it."""
+        return self._version
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     def add(self, *axioms_: object) -> "KnowledgeBase4":
         """Add four-valued TBox axioms or classical ABox assertions."""
+        self._version += len(axioms_)
         for axiom in axioms_:
             if isinstance(axiom, ConceptInclusion4):
                 self.concept_inclusions.append(axiom)

@@ -21,13 +21,15 @@ Examples 1-3 demonstrate).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Optional
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
 from ..dl import axioms as ax
+from ..dl.cache import QueryCache
 from ..dl.concepts import And, AtomicConcept, Concept, Not
 from ..dl.individuals import Individual
 from ..dl.kb import KnowledgeBase
 from ..dl.reasoner import Reasoner
+from ..dl.stats import ReasonerStats
 from ..dl.tableau import DEFAULT_MAX_BRANCHES, DEFAULT_MAX_NODES
 from ..fourvalued.truth import FourValue, from_evidence
 from .axioms4 import (
@@ -37,30 +39,64 @@ from .axioms4 import (
     RoleInclusion4,
 )
 from .transform import (
+    cached_transform_kb,
     neg_transform,
     pos_transform,
+    positive_concept,
     positive_role,
     eq_role,
-    transform_kb,
 )
 
 
 class Reasoner4:
-    """Four-valued reasoner over a SHOIN(D)4 knowledge base."""
+    """Four-valued reasoner over a SHOIN(D)4 knowledge base.
+
+    The induced classical KB is transformed at most once per KB4 state
+    (shared by all reasoner views of the same KB4), and every reduced
+    query flows through the classical reasoner's NNF-keyed
+    :class:`~repro.dl.cache.QueryCache` — the four-valued layer inherits
+    cross-query caching for free because Corollary 7 phrases all its
+    services as classical satisfiability.  Mutating the KB4 after queries
+    is safe: the reasoner notices the version change, re-transforms, and
+    drops every cached verdict.
+    """
 
     def __init__(
         self,
         kb4: KnowledgeBase4,
         max_nodes: int = DEFAULT_MAX_NODES,
         max_branches: int = DEFAULT_MAX_BRANCHES,
+        cache: Optional[QueryCache] = None,
+        use_cache: bool = True,
+        stats: Optional[ReasonerStats] = None,
     ):
         self.kb4 = kb4
-        #: The classical induced KB of Definition 7.
-        self.classical_kb: KnowledgeBase = transform_kb(kb4)
+        self.max_nodes = max_nodes
+        self.max_branches = max_branches
+        #: Work counters, preserved across mutation-triggered rebuilds.
+        self.stats = stats if stats is not None else ReasonerStats()
+        self.cache = cache if cache is not None else QueryCache(enabled=use_cache)
+        self._kb4_version = kb4.version
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        #: The classical induced KB of Definition 7 (memoised per version).
+        self.classical_kb: KnowledgeBase = cached_transform_kb(self.kb4)
         #: The classical reasoner all queries reduce to.
         self.classical_reasoner = Reasoner(
-            self.classical_kb, max_nodes=max_nodes, max_branches=max_branches
+            self.classical_kb,
+            max_nodes=self.max_nodes,
+            max_branches=self.max_branches,
+            cache=self.cache,
+            stats=self.stats,
         )
+
+    def _sync(self) -> None:
+        """Re-transform and invalidate after any KB4 mutation."""
+        if self._kb4_version != self.kb4.version:
+            self.cache.clear()
+            self._rebuild()
+            self._kb4_version = self.kb4.version
 
     # ------------------------------------------------------------------
     # Satisfiability (Theorem 6)
@@ -73,10 +109,12 @@ class Reasoner4:
         a KB4 four-valued-unsatisfiable; genuine clashes (e.g. an
         individual asserted into ``Bottom``) still can.
         """
+        self._sync()
         return self.classical_reasoner.is_consistent()
 
     def concept_coherent(self, concept: Concept) -> bool:
         """Whether some four-valued model gives the concept positive evidence."""
+        self._sync()
         return self.classical_reasoner.is_satisfiable(pos_transform(concept))
 
     def four_model(self):
@@ -90,6 +128,7 @@ class Reasoner4:
         from ..semantics.four_interpretation import FourInterpretation
         from .induced import four_induced
 
+        self._sync()
         classical_model = self.classical_reasoner.model()
         if classical_model is None:
             return None
@@ -112,12 +151,14 @@ class Reasoner4:
         The paper's query "is there any information indicating ``a`` is a
         ``C``?" (Example 1).
         """
+        self._sync()
         return self.classical_reasoner.is_instance(
             individual, pos_transform(concept)
         )
 
     def evidence_against(self, individual: Individual, concept: Concept) -> bool:
         """``K |=4 a : not C`` — every model puts ``a`` in ``proj-(C)``."""
+        self._sync()
         return self.classical_reasoner.is_instance(
             individual, neg_transform(concept)
         )
@@ -134,10 +175,29 @@ class Reasoner4:
             self.evidence_against(individual, concept),
         )
 
+    def assertion_values(
+        self, pairs: Iterable[Tuple[Individual, Concept]]
+    ) -> Dict[Tuple[Individual, Concept], FourValue]:
+        """The Belnap status of every ``C(a)`` in a batch.
+
+        Probes are deduplicated and sorted concept-first, so the two
+        evidence directions of one concept (and repeated concepts across
+        individuals) run adjacently and resolve from the query cache
+        instead of fresh tableau calls.
+        """
+        ordered = sorted(
+            set(pairs), key=lambda pair: (repr(pair[1]), pair[0])
+        )
+        return {
+            (individual, concept): self.assertion_value(individual, concept)
+            for individual, concept in ordered
+        }
+
     def role_evidence_for(
         self, role, source: Individual, target: Individual
     ) -> bool:
         """Whether ``K |=4 R(a, b)`` (positive role evidence entailed)."""
+        self._sync()
         return self.classical_reasoner.entails(
             ax.RoleAssertion(positive_role(role), source, target)
         )
@@ -151,6 +211,7 @@ class Reasoner4:
         the classical ``R=`` half, i.e. the induced KB entails the negative
         assertion on ``R=``.
         """
+        self._sync()
         return self.classical_reasoner.entails(
             ax.NegativeRoleAssertion(eq_role(role), source, target)
         )
@@ -173,6 +234,7 @@ class Reasoner4:
         Implemented by Corollary 7's reductions to concept
         unsatisfiability in the induced KB.
         """
+        self._sync()
         sub, sup = inclusion.sub, inclusion.sup
         if inclusion.kind is InclusionKind.MATERIAL:
             probe = And.of(Not(neg_transform(sub)), Not(pos_transform(sup)))
@@ -188,6 +250,7 @@ class Reasoner4:
 
     def entails_role_inclusion(self, inclusion: RoleInclusion4) -> bool:
         """Whether the KB4 entails a role inclusion of the given kind."""
+        self._sync()
         if inclusion.kind is InclusionKind.MATERIAL:
             return self.classical_reasoner.entails(
                 ax.RoleInclusion(eq_role(inclusion.sub), positive_role(inclusion.sup))
@@ -234,8 +297,25 @@ class Reasoner4:
         chosen inclusion kind (internal by default: the positive-evidence
         taxonomy).  Unlike classical classification, this stays
         informative on inconsistent ontologies.
+
+        Internal inclusion ``A < B`` holds iff classically
+        ``A+ [= B+`` (Corollary 7), so the internal taxonomy is computed
+        by the classical told-subsumer/traversal classifier over the
+        positive atoms — far fewer tableau calls than the pairwise sweep.
+        The material and strong kinds mix both polarities and keep the
+        pairwise loop (each probe still flows through the query cache).
         """
         atoms = sorted(self.kb4.concepts_in_signature(), key=lambda a: a.name)
+        if kind is InclusionKind.INTERNAL:
+            self._sync()
+            by_pos = {positive_concept(atom): atom for atom in atoms}
+            positive_hierarchy = self.classical_reasoner.classify(
+                atoms=by_pos.keys()
+            )
+            return {
+                by_pos[pos_atom]: frozenset(by_pos[sup] for sup in subsumers)
+                for pos_atom, subsumers in positive_hierarchy.items()
+            }
         hierarchy: Dict[AtomicConcept, FrozenSet[AtomicConcept]] = {}
         for sub in atoms:
             hierarchy[sub] = frozenset(

@@ -310,3 +310,20 @@ def transform_kb(kb4: KnowledgeBase4) -> KnowledgeBase:
     for axiom in kb4.axioms():
         classical.add(*transform_axiom(axiom))
     return classical
+
+
+def cached_transform_kb(kb4: KnowledgeBase4) -> KnowledgeBase:
+    """The induced KB, transformed at most once per KB4 version.
+
+    The result is memoised on the KB4 instance keyed by its mutation
+    counter, so any number of :class:`~repro.four_dl.reasoner4.Reasoner4`
+    views (and repeated reasoner rebuilds after mutations) share one
+    transformation per KB4 state.  Callers must treat the returned KB as
+    read-only — mutating it would desynchronise it from its source.
+    """
+    cached = getattr(kb4, "_induced_cache", None)
+    if cached is not None and cached[0] == kb4.version:
+        return cached[1]
+    induced = transform_kb(kb4)
+    kb4._induced_cache = (kb4.version, induced)
+    return induced

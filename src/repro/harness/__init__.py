@@ -1,7 +1,7 @@
 """Experiment harness: timing, table rendering, and the paper battery."""
 
 from .tables import format_table, print_table
-from .timing import Timer, time_call
+from .timing import Measurement, Timer, measure, time_call
 from .experiments import (
     ALL_EXPERIMENTS,
     ExperimentResult,
@@ -14,7 +14,9 @@ from .experiments import (
 __all__ = [
     "format_table",
     "print_table",
+    "Measurement",
     "Timer",
+    "measure",
     "time_call",
     "ALL_EXPERIMENTS",
     "ExperimentResult",

@@ -5,7 +5,11 @@ from __future__ import annotations
 import statistics
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List
+from typing import Callable, List, Optional, TypeVar
+
+from ..dl.stats import ReasonerStats
+
+_T = TypeVar("_T")
 
 
 @dataclass
@@ -49,3 +53,35 @@ def time_call(function: Callable[[], object], repeats: int = 3) -> float:
         with timer:
             function()
     return timer.median
+
+
+@dataclass
+class Measurement:
+    """One timed call together with the reasoner work it performed."""
+
+    result: object
+    seconds: float
+    stats: Optional[ReasonerStats] = None
+
+    def render(self) -> str:
+        line = f"{self.seconds:.3f}s"
+        if self.stats is not None:
+            line += f" | {self.stats.render()}"
+        return line
+
+
+def measure(
+    function: Callable[[], _T], stats: Optional[ReasonerStats] = None
+) -> Measurement:
+    """Call ``function`` once, capturing wall time and the stats delta.
+
+    When ``stats`` is a reasoner's :class:`ReasonerStats`, the returned
+    measurement carries only the work done *during* the call, so hot
+    (cached) and cold runs can be compared counter-for-counter.
+    """
+    before = stats.snapshot() if stats is not None else None
+    started = time.perf_counter()
+    result = function()
+    seconds = time.perf_counter() - started
+    delta = stats - before if stats is not None and before is not None else None
+    return Measurement(result=result, seconds=seconds, stats=delta)

