@@ -1,0 +1,48 @@
+"""Stats-regression guard: university classification must not get slower.
+
+The recorded baseline (``baseline_university_stats.json``) pins the
+tableau-run and branch counters of classifying the shipped university
+ontology with the default configuration.  CI fails when either counter
+regresses by more than 10% — catching silent search-quality regressions
+(a broken optimisation, a de-tuned heuristic) that wall-clock timing on
+shared runners cannot detect reliably.
+
+To re-record after an *intentional* change, run this workload and copy
+the counters into the JSON file alongside an explanation in the PR.
+"""
+
+import json
+import os
+
+from repro.dl.parser import parse_kb4
+from repro.four_dl import Reasoner4
+
+HERE = os.path.dirname(__file__)
+BASELINE_PATH = os.path.join(HERE, "baseline_university_stats.json")
+ONTOLOGY_PATH = os.path.join(HERE, os.pardir, "ontologies", "university.kb4")
+
+TOLERANCE = 1.10
+
+
+def _classify_stats():
+    with open(ONTOLOGY_PATH) as handle:
+        kb4 = parse_kb4(handle.read())
+    reasoner = Reasoner4(kb4)
+    reasoner.classify()
+    return reasoner.stats
+
+
+def test_university_classification_counters_within_baseline():
+    with open(BASELINE_PATH) as handle:
+        baseline = json.load(handle)
+    stats = _classify_stats()
+    assert stats.tableau_runs <= baseline["tableau_runs"] * TOLERANCE, (
+        f"tableau runs regressed: {stats.tableau_runs} vs recorded "
+        f"{baseline['tableau_runs']} (+10% tolerance); if intentional, "
+        f"re-record {BASELINE_PATH}"
+    )
+    assert stats.branches_explored <= baseline["branches_explored"] * TOLERANCE, (
+        f"branches regressed: {stats.branches_explored} vs recorded "
+        f"{baseline['branches_explored']} (+10% tolerance); if intentional, "
+        f"re-record {BASELINE_PATH}"
+    )

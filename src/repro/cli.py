@@ -17,8 +17,10 @@ allowed; plain ``subclassof`` reads as internal inclusion).  Commands:
 * ``experiments``     — run the paper-reproduction battery.
 
 ``check``, ``query``, ``audit``, and ``classify`` accept ``--stats`` to
-print the reasoning-work counters (tableau runs, cache hits, branches)
-after the answer.
+print the reasoning-work counters (tableau runs, cache hits, branches,
+trail length, backjumps) after the answer, and ``--search
+{trail,copying}`` to pick the tableau search strategy (trail-based
+backjumping by default; ``copying`` is the copy-per-branch reference).
 
 Exit status is 0 on success, 1 when a check fails (inconsistent /
 unsatisfiable / query not entailed), 2 on usage or parse errors.
@@ -50,6 +52,10 @@ def _load_kb4(path: str) -> KnowledgeBase4:
         return parse_kb4(handle.read())
 
 
+def _make_reasoner(args: argparse.Namespace, kb4: KnowledgeBase4) -> Reasoner4:
+    return Reasoner4(kb4, search=getattr(args, "search", "trail"))
+
+
 def _print_stats(args: argparse.Namespace, reasoner: Reasoner4) -> None:
     if getattr(args, "stats", False):
         print(f"work: {reasoner.stats.render()}")
@@ -57,9 +63,11 @@ def _print_stats(args: argparse.Namespace, reasoner: Reasoner4) -> None:
 
 def _cmd_check(args: argparse.Namespace) -> int:
     kb4 = _load_kb4(args.file)
-    reasoner = Reasoner4(kb4)
+    reasoner = _make_reasoner(args, kb4)
     four_ok = reasoner.is_satisfiable()
-    classical_ok = Reasoner(collapse_to_classical(kb4)).is_consistent()
+    classical_ok = Reasoner(
+        collapse_to_classical(kb4), search=getattr(args, "search", "trail")
+    ).is_consistent()
     print(f"axioms:                  {len(kb4)}")
     print(f"four-valued satisfiable: {four_ok}")
     print(f"classically consistent:  {classical_ok}")
@@ -79,7 +87,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     )
     concept = parser.parse(args.concept)
     individual = Individual(args.individual)
-    reasoner = Reasoner4(kb4)
+    reasoner = _make_reasoner(args, kb4)
     value = reasoner.assertion_value(individual, concept)
     explanation = {
         FourValue.TRUE: "evidence for, none against",
@@ -94,7 +102,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 def _cmd_audit(args: argparse.Namespace) -> int:
     kb4 = _load_kb4(args.file)
-    reasoner = Reasoner4(kb4)
+    reasoner = _make_reasoner(args, kb4)
     print(f"axioms: {len(kb4)}")
     print(f"four-valued satisfiable: {reasoner.is_satisfiable()}")
     profile = conflict_profile(reasoner, include_roles=not args.no_roles)
@@ -122,7 +130,7 @@ def _cmd_audit(args: argparse.Namespace) -> int:
 def _cmd_classify(args: argparse.Namespace) -> int:
     kb4 = _load_kb4(args.file)
     kind = InclusionKind[args.kind.upper()]
-    reasoner = Reasoner4(kb4)
+    reasoner = _make_reasoner(args, kb4)
     hierarchy = reasoner.classify(kind=kind)
     rows = []
     for atom in sorted(hierarchy, key=lambda a: a.name):
@@ -206,17 +214,30 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     stats_help = "print reasoning-work counters after the answer"
+    search_help = (
+        "tableau search strategy: trail-based with backjumping (default) "
+        "or the copy-per-branch reference implementation"
+    )
+
+    def add_reasoning_flags(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument("--stats", action="store_true", help=stats_help)
+        subparser.add_argument(
+            "--search",
+            choices=["trail", "copying"],
+            default="trail",
+            help=search_help,
+        )
 
     check = commands.add_parser("check", help="satisfiability check")
     check.add_argument("file", help="ontology file (concrete syntax)")
-    check.add_argument("--stats", action="store_true", help=stats_help)
+    add_reasoning_flags(check)
     check.set_defaults(handler=_cmd_check)
 
     query = commands.add_parser("query", help="Belnap status of C(a)")
     query.add_argument("file")
     query.add_argument("individual", help="individual name")
     query.add_argument("concept", help="concept expression")
-    query.add_argument("--stats", action="store_true", help=stats_help)
+    add_reasoning_flags(query)
     query.set_defaults(handler=_cmd_query)
 
     audit = commands.add_parser("audit", help="conflict report and degrees")
@@ -227,7 +248,7 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument(
         "--no-roles", action="store_true", help="skip role-atom statuses"
     )
-    audit.add_argument("--stats", action="store_true", help=stats_help)
+    add_reasoning_flags(audit)
     audit.set_defaults(handler=_cmd_audit)
 
     classify = commands.add_parser(
@@ -240,7 +261,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="internal",
         help="inclusion strength (default: internal)",
     )
-    classify.add_argument("--stats", action="store_true", help=stats_help)
+    add_reasoning_flags(classify)
     classify.set_defaults(handler=_cmd_classify)
 
     repair = commands.add_parser(

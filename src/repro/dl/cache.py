@@ -18,11 +18,20 @@ cache memoises exactly that question.  Soundness rests on two invariants:
 
 The cache never stores completion graphs, only boolean verdicts, so a
 model-extraction request always re-runs the tableau.
+
+Capacity is bounded: entries live in LRU order and the least recently
+used verdict is evicted once ``maxsize`` is exceeded, so long sessions
+issuing millions of distinct probes cannot grow the cache without bound.
+``maxsize=None`` restores the old unbounded behaviour.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+from collections import OrderedDict
+from typing import TYPE_CHECKING, FrozenSet, Iterable, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .stats import ReasonerStats
 
 from . import axioms as ax
 from .nnf import nnf
@@ -71,22 +80,52 @@ class QueryCache:
     ``enabled=False`` turns the cache into a transparent no-op (every
     lookup misses, nothing is stored) — used by differential tests and
     ablation benchmarks to compare cached against cold runs.
+
+    ``maxsize`` bounds the number of retained verdicts; the least
+    recently *used* (looked up or stored) entry is evicted first.
+    ``maxsize=None`` keeps the old unbounded behaviour.  Evictions are
+    counted on the cache itself (``evictions``) and, when a
+    :class:`~repro.dl.stats.ReasonerStats` is attached via ``stats``,
+    on its ``cache_evictions`` counter too.
     """
 
-    def __init__(self, enabled: bool = True):
+    def __init__(
+        self,
+        enabled: bool = True,
+        maxsize: Optional[int] = 4096,
+        stats: "Optional[ReasonerStats]" = None,
+    ):
+        if maxsize is not None and maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1 or None, got {maxsize!r}")
         self.enabled = enabled
-        self._entries: Dict[CacheKey, bool] = {}
+        self.maxsize = maxsize
+        self.stats = stats
+        self.evictions = 0
+        self._entries: "OrderedDict[CacheKey, bool]" = OrderedDict()
 
     def lookup(self, key: CacheKey) -> Optional[bool]:
         """The cached verdict for a canonical key, or ``None`` on a miss."""
         if not self.enabled:
             return None
-        return self._entries.get(key)
+        value = self._entries.get(key)
+        if value is not None:
+            self._entries.move_to_end(key)
+        return value
 
     def store(self, key: CacheKey, value: bool) -> None:
-        """Record a verdict (no-op when disabled)."""
-        if self.enabled:
+        """Record a verdict (no-op when disabled), evicting LRU overflow."""
+        if not self.enabled:
+            return
+        if key in self._entries:
             self._entries[key] = value
+            self._entries.move_to_end(key)
+            return
+        self._entries[key] = value
+        if self.maxsize is not None and len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            if self.stats is not None:
+                self.stats.cache_evictions += 1
 
     def clear(self) -> None:
         """Drop every entry (called by reasoners on KB mutation)."""

@@ -26,3 +26,20 @@ class ReasonerLimitExceeded(ReproError):
 
 class UnsupportedFeature(ReproError):
     """Raised when an input uses a feature outside the implemented fragment."""
+
+
+class UnsupportedAxiomError(UnsupportedFeature):
+    """Raised when an entailment service is asked about an axiom kind it
+    does not (yet) decide.
+
+    Carries the offending axiom so callers can report or skip it; being a
+    :class:`UnsupportedFeature` subtype, pre-existing ``except
+    UnsupportedFeature`` handlers keep working.
+    """
+
+    def __init__(self, axiom: object, service: str = "entails"):
+        super().__init__(
+            f"{service} does not support {type(axiom).__name__} axioms: {axiom!r}"
+        )
+        self.axiom = axiom
+        self.service = service

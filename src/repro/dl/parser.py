@@ -82,7 +82,9 @@ from .datatypes import (
     FLOAT,
     INTEGER,
     STRING,
+    DataAnd,
     DataOneOf,
+    DataOr,
     DataRange,
     IntRange,
 )
@@ -336,7 +338,7 @@ class ConceptParser:
         _kind, value, position = token
         if value == "(":
             stream.next()
-            inner = self._data_range(stream)
+            inner = self._data_or_range(stream)
             stream.expect(")")
             return inner
         if value == "{":
@@ -360,6 +362,27 @@ class ConceptParser:
             stream.next()
             return BOOLEAN
         raise ParseError(f"unexpected token {value!r} in data range", position)
+
+    def _data_or_range(self, stream: _TokenStream) -> DataRange:
+        """A Boolean data-range ladder, legal only inside parentheses.
+
+        Top-level data ranges stay unary so a concept-level ``and``/``or``
+        after ``role some RANGE`` keeps binding to the *concept* grammar.
+        """
+        operands = [self._data_and_range(stream)]
+        while stream.accept("or"):
+            operands.append(self._data_and_range(stream))
+        if len(operands) == 1:
+            return operands[0]
+        return DataOr(tuple(operands))
+
+    def _data_and_range(self, stream: _TokenStream) -> DataRange:
+        operands = [self._data_range(stream)]
+        while stream.accept("and"):
+            operands.append(self._data_range(stream))
+        if len(operands) == 1:
+            return operands[0]
+        return DataAnd(tuple(operands))
 
     def _optional_integer(self, stream: _TokenStream) -> Optional[int]:
         token = stream.peek()

@@ -65,9 +65,9 @@ def render_range(range_: DataRange) -> str:
     if isinstance(range_, Datatype):
         return range_.name
     if isinstance(range_, DataTop):
-        return "string or not string"  # no dedicated literal; never emitted
+        return "(string or not string)"  # no dedicated literal
     if isinstance(range_, DataBottom):
-        return "integer and not integer"
+        return "(integer and not integer)"
     if isinstance(range_, IntRange):
         low = "" if range_.minimum is None else str(range_.minimum)
         high = "" if range_.maximum is None else str(range_.maximum)
@@ -78,9 +78,11 @@ def render_range(range_: DataRange) -> str:
     if isinstance(range_, DataComplement):
         return f"not ({render_range(range_.operand)})"
     if isinstance(range_, DataAnd):
-        raise NotImplementedError("DataAnd has no concrete syntax")
+        inner = " and ".join(render_range(o) for o in range_.operands)
+        return f"({inner})"
     if isinstance(range_, DataOr):
-        raise NotImplementedError("DataOr has no concrete syntax")
+        inner = " or ".join(render_range(o) for o in range_.operands)
+        return f"({inner})"
     raise TypeError(f"unknown data range: {range_!r}")
 
 

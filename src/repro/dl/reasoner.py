@@ -39,6 +39,7 @@ from .axioms import (
     SameIndividual,
 )
 from .cache import CONSISTENCY_KEY, QueryCache, probe_set_key
+from .errors import UnsupportedAxiomError
 from .concepts import (
     And,
     AtomicConcept,
@@ -78,12 +79,23 @@ class Reasoner:
         cache: Optional[QueryCache] = None,
         use_cache: bool = True,
         stats: Optional[ReasonerStats] = None,
+        search: str = "trail",
+        cache_maxsize: Optional[int] = 4096,
     ):
         self.kb = kb
         self.max_nodes = max_nodes
         self.max_branches = max_branches
+        #: Tableau search mode: ``"trail"`` (backjumping, default) or
+        #: ``"copying"`` (the copy-per-branch reference oracle).
+        self.search = search
         self.stats = stats if stats is not None else ReasonerStats()
-        self.cache = cache if cache is not None else QueryCache(enabled=use_cache)
+        self.cache = (
+            cache
+            if cache is not None
+            else QueryCache(enabled=use_cache, maxsize=cache_maxsize)
+        )
+        if self.cache.stats is None:
+            self.cache.stats = self.stats
         self._tableau = self._build_tableau()
         self._kb_version = kb.version
 
@@ -93,6 +105,7 @@ class Reasoner:
             max_nodes=self.max_nodes,
             max_branches=self.max_branches,
             stats=self.stats,
+            search=self.search,
         )
 
     def _sync(self) -> None:
@@ -204,7 +217,7 @@ class Reasoner:
                 ConceptAssertion(source, Forall(axiom.sup, Not(nominal))),
             )
             return not self._satisfiable_with(probes)
-        raise NotImplementedError(f"entailment of {type(axiom).__name__}")
+        raise UnsupportedAxiomError(axiom)
 
     def entails_all(self, axioms: Iterable[Axiom]) -> bool:
         """Whether the KB entails every axiom (OWL DL ontology entailment).

@@ -28,18 +28,32 @@ class ReasonerStats:
     * ``branches_explored`` — completion-graph branches searched across
       all runs (each run explores at least one);
     * ``cache_hits`` / ``cache_misses`` — query-cache outcomes;
+    * ``cache_evictions`` — entries dropped by the query cache's LRU bound;
     * ``subsumption_tests`` — tableau-backed subsumption questions asked
       (cache hits included; compare with ``tableau_runs`` to see sharing);
     * ``told_subsumptions`` — subsumption questions answered from told
-      (asserted) information during classification, no tableau involved.
+      (asserted) information during classification, no tableau involved;
+    * ``trail_length`` — undo entries recorded by trail-based search
+      (the in-place mutations that replace whole-graph copies);
+    * ``backjumps`` — clashes whose dependency set let the search jump
+      over at least one pending branch point;
+    * ``branch_points_skipped`` — branch points discarded unexplored by
+      those jumps (each had untried alternatives pruned);
+    * ``blocking_checks`` — node blocking signatures (re)computed; with
+      incremental maintenance this stays far below nodes x iterations.
     """
 
     tableau_runs: int = 0
     branches_explored: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_evictions: int = 0
     subsumption_tests: int = 0
     told_subsumptions: int = 0
+    trail_length: int = 0
+    backjumps: int = 0
+    branch_points_skipped: int = 0
+    blocking_checks: int = 0
 
     def snapshot(self) -> "ReasonerStats":
         """An independent copy of the current counter values."""
@@ -71,7 +85,7 @@ class ReasonerStats:
 
     def render(self) -> str:
         """A compact single-line human-readable summary."""
-        return (
+        line = (
             f"tableau runs: {self.tableau_runs}"
             f" | branches: {self.branches_explored}"
             f" | cache: {self.cache_hits} hits"
@@ -80,3 +94,13 @@ class ReasonerStats:
             f" | subsumption tests: {self.subsumption_tests}"
             f" (told: {self.told_subsumptions})"
         )
+        if self.trail_length or self.backjumps or self.blocking_checks:
+            line += (
+                f" | trail: {self.trail_length}"
+                f" | backjumps: {self.backjumps}"
+                f" (skipped {self.branch_points_skipped})"
+                f" | blocking checks: {self.blocking_checks}"
+            )
+        if self.cache_evictions:
+            line += f" | evictions: {self.cache_evictions}"
+        return line

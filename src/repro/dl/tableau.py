@@ -15,9 +15,26 @@ The TBox is *internalised*: each inclusion ``C [= D`` contributes the
 universal constraint ``nnf(not C or D)`` added to every node.  Termination
 on blockable nodes uses anywhere pairwise (double) blocking, as required in
 the presence of inverse roles.  Nondeterminism (disjunction, at-most
-merging, nominal choice) is explored by depth-first search with full graph
-copying at choice points — simple, and fast enough for the workloads of
-this reproduction.
+merging, nominal choice) is explored by depth-first search in one of two
+modes, selected by the ``search`` constructor flag:
+
+* ``search="trail"`` (the default) mutates one completion graph in
+  place, records an undo entry on a *trail* for every effect, and rolls
+  back to the last choice point instead of copying.  Every derived fact
+  carries the set of branch points its derivation used, and on a clash
+  the search *backjumps* straight to the deepest branch point the clash
+  actually depends on, skipping irrelevant pending alternatives
+  (dependency-directed backtracking in the style of FaCT/HermiT).
+  Blocking is maintained incrementally: node signatures are cached and
+  recomputed only when the node, its parent, or the search state
+  changed.
+* ``search="copying"`` is the original copy-per-branch chronological
+  search, kept verbatim as the reference oracle for differential tests
+  (the same pattern as ``classify`` vs ``classify_pairwise``).
+
+Both modes apply the same rules in the same order, so their verdicts
+always agree; the trail mode merely prunes alternatives a clash provably
+cannot depend on.
 
 Known limitation (documented in README): the corner where nominals,
 inverse roles and number restrictions interact (the "NIO" case needing the
@@ -279,6 +296,31 @@ class _Graph:
         return True
 
 
+@dataclass
+class _Choice:
+    """One nondeterministic choice point found on a stable graph.
+
+    ``alternatives`` are plain-data descriptors (see
+    :meth:`Tableau._apply_descriptor`), one per branch, tried in order:
+
+    * ``("add", node, concept)`` — add ``concept`` to the node label;
+    * ``("nominal", node, individual)`` — resolve a multi-nominal to one
+      individual (merging with its root node if bound);
+    * ``("merge", victim, survivor)`` — identify two object nodes;
+    * ``("data_merge", victim, survivor)`` — identify two data nodes.
+
+    ``trigger`` lists the dependency keys of the facts whose presence
+    created this choice (used by trail search to seed the branch point's
+    dependency set); ``None`` means the trigger is not tracked precisely
+    and the choice must be assumed to depend on every open branch point.
+    An empty ``alternatives`` list is a clash: the triggering disjunction
+    has no open operand left.
+    """
+
+    alternatives: List[Tuple]
+    trigger: Optional[List[Tuple]] = None
+
+
 class Tableau:
     """Tableau satisfiability checker for one knowledge base.
 
@@ -296,10 +338,18 @@ class Tableau:
         use_bcp: bool = True,
         use_absorption: bool = True,
         stats: Optional["ReasonerStats"] = None,
+        search: str = "trail",
     ):
+        if search not in ("trail", "copying"):
+            raise ValueError(
+                f"search must be 'trail' or 'copying', got {search!r}"
+            )
         self.kb = kb
         self.max_nodes = max_nodes
         self.max_branches = max_branches
+        #: ``"trail"`` for in-place search with dependency-directed
+        #: backjumping, ``"copying"`` for the copy-per-branch oracle.
+        self.search = search
         #: Optional shared counters (runs, branches) updated by every call.
         self.stats = stats
         #: Boolean constraint propagation on disjunctions (fail-first +
@@ -341,7 +391,14 @@ class Tableau:
         if graph is None:
             return False
         self._branches_used = 0
-        return self._solve(graph)
+        if self.search == "copying":
+            return self._solve(graph)
+        engine = _TrailEngine(self, graph)
+        try:
+            return engine.solve()
+        finally:
+            if self.stats is not None:
+                self.stats.trail_length += engine.trail_total
 
     def concept_satisfiable(self, concept: Concept) -> bool:
         """Whether ``concept`` is satisfiable w.r.t. the KB."""
@@ -533,7 +590,8 @@ class Tableau:
     # ------------------------------------------------------------------
     # Search driver
     # ------------------------------------------------------------------
-    def _solve(self, graph: _Graph) -> bool:
+    def _use_branch(self) -> None:
+        """Count one explored branch against the shared budget."""
         self._branches_used += 1
         if self.stats is not None:
             self.stats.branches_explored += 1
@@ -541,6 +599,9 @@ class Tableau:
             raise ReasonerLimitExceeded(
                 f"tableau exceeded {self.max_branches} branches"
             )
+
+    def _solve(self, graph: _Graph) -> bool:
+        self._use_branch()
         while True:
             if len(graph.labels) > self.max_nodes:
                 raise ReasonerLimitExceeded(
@@ -551,12 +612,14 @@ class Tableau:
                 return False
             if status == "changed":
                 continue
-            choice = self._find_choice(graph)
+            choice = self._find_choice(graph, self._blocked_nodes(graph))
             if choice is None:
                 return self._final_checks(graph)
-            for alternative in choice:
+            for descriptor in choice.alternatives:
                 branch = graph.copy()
-                if alternative(branch) and self._solve(branch):
+                if self._apply_descriptor(branch, descriptor) and self._solve(
+                    branch
+                ):
                     return True
             return False
 
@@ -898,18 +961,19 @@ class Tableau:
     # ------------------------------------------------------------------
     # Nondeterministic choices
     # ------------------------------------------------------------------
-    def _find_choice(self, graph: _Graph):
-        """The next choice point: a list of graph-mutating alternatives.
+    def _find_choice(
+        self, graph: _Graph, blocked: Set[NodeId]
+    ) -> Optional[_Choice]:
+        """The next choice point on a stable graph, or ``None`` (complete).
 
         Disjunctions are screened by Boolean constraint propagation:
         operands that clash immediately with the node label are dropped,
         and among all open disjunctions the one with the fewest open
         operands is branched first (fail-first).  A disjunction with no
-        open operand returns an empty alternative list, failing the
-        branch without further search.
+        open operand returns a choice with an empty alternative list,
+        failing the branch without further search.
         """
-        blocked = self._blocked_nodes(graph)
-        best_or: Optional[List] = None
+        best_or: Optional[_Choice] = None
         for node in graph.nodes():
             label = graph.labels[node]
             for concept in sorted(label, key=self._sort_key):
@@ -917,22 +981,32 @@ class Tableau:
                     operand in label for operand in concept.operands
                 ):
                     if not self.use_bcp:
-                        return [
-                            self._adder(node, operand)
-                            for operand in concept.operands
-                        ]
-                    open_operands = [
-                        operand
-                        for operand in concept.operands
-                        if not self._immediately_clashes(graph, node, operand)
-                    ]
+                        return _Choice(
+                            [("add", node, operand) for operand in concept.operands],
+                            [("N", node), ("L", node, concept)],
+                        )
+                    open_operands = []
+                    trigger = [("N", node), ("L", node, concept)]
+                    for operand in concept.operands:
+                        if not self._immediately_clashes(graph, node, operand):
+                            open_operands.append(operand)
+                        elif isinstance(operand, AtomicConcept):
+                            # Screened by Not(operand) in the label.
+                            trigger.append(("L", node, Not(operand)))
+                        elif isinstance(operand, Not):
+                            # Screened by the un-negated atom in the label.
+                            trigger.append(("L", node, operand.operand))
+                        # A Bottom operand clashes unconditionally.
                     if not open_operands:
-                        return []
-                    if best_or is None or len(open_operands) < len(best_or):
-                        best_or = [
-                            self._adder(node, operand) for operand in open_operands
-                        ]
-                        if len(best_or) == 1:
+                        return _Choice([], trigger)
+                    if best_or is None or len(open_operands) < len(
+                        best_or.alternatives
+                    ):
+                        best_or = _Choice(
+                            [("add", node, operand) for operand in open_operands],
+                            trigger,
+                        )
+                        if len(best_or.alternatives) == 1:
                             return best_or
                 # Nominal choice: {o1,...,ok} with k > 1, not yet resolved
                 # by a singleton nominal already in the label.
@@ -944,10 +1018,13 @@ class Tableau:
                         for other in label
                     )
                     if not resolved:
-                        return [
-                            self._nominal_chooser(node, concept, individual)
-                            for individual in sorted(concept.individuals)
-                        ]
+                        return _Choice(
+                            [
+                                ("nominal", node, individual)
+                                for individual in sorted(concept.individuals)
+                            ],
+                            [("N", node), ("L", node, concept)],
+                        )
         if best_or is not None:
             return best_or
         for node in graph.nodes():
@@ -965,10 +1042,12 @@ class Tableau:
                             concept.filler not in neighbour_label
                             and negated not in neighbour_label
                         ):
-                            return [
-                                self._adder(neighbour, concept.filler),
-                                self._adder(neighbour, negated),
-                            ]
+                            return _Choice(
+                                [
+                                    ("add", neighbour, concept.filler),
+                                    ("add", neighbour, negated),
+                                ]
+                            )
             if node in blocked:
                 continue
             # <=-rule: choose two non-distinct neighbours to merge.
@@ -988,7 +1067,9 @@ class Tableau:
                             if not graph.are_distinct(a, b)
                         ]
                         if pairs:
-                            return [self._merger(a, b, graph) for a, b in pairs]
+                            return _Choice(
+                                [self._merge_descriptor(a, b, graph) for a, b in pairs]
+                            )
                 if isinstance(concept, AtMost):
                     neighbours = graph.neighbours(node, concept.role, self.hierarchy)
                     if len(neighbours) > concept.n:
@@ -998,7 +1079,9 @@ class Tableau:
                             if not graph.are_distinct(a, b)
                         ]
                         if pairs:
-                            return [self._merger(a, b, graph) for a, b in pairs]
+                            return _Choice(
+                                [self._merge_descriptor(a, b, graph) for a, b in pairs]
+                            )
                 if isinstance(concept, DataAtMost):
                     neighbours = graph.data_neighbours(
                         node, concept.role, self.data_hierarchy
@@ -1010,7 +1093,12 @@ class Tableau:
                             if frozenset({a, b}) not in graph.data_distinct
                         ]
                         if pairs:
-                            return [self._data_merger(a, b) for a, b in pairs]
+                            return _Choice(
+                                [
+                                    ("data_merge", max(a, b), min(a, b))
+                                    for a, b in pairs
+                                ]
+                            )
         return None
 
     def _sort_key(self, concept: Concept) -> str:
@@ -1038,61 +1126,60 @@ class Tableau:
         return False
 
     @staticmethod
-    def _adder(node: NodeId, concept: Concept):
-        def apply(graph: _Graph) -> bool:
-            if node not in graph.labels:
-                return False
-            graph.labels[node].add(concept)
-            return True
+    def _merge_descriptor(left: NodeId, right: NodeId, graph: _Graph) -> Tuple:
+        """A ``("merge", victim, survivor)`` descriptor for two nodes.
 
-        return apply
-
-    @staticmethod
-    def _nominal_chooser(node: NodeId, concept: OneOf, individual: Individual):
-        def apply(graph: _Graph) -> bool:
-            if node not in graph.labels:
-                return False
-            # The multi-nominal stays in the label (labels are monotone;
-            # removing it would make the or-rule refire forever).
-            graph.labels[node].add(OneOf(frozenset({individual})))
-            existing = graph.roots.get(individual)
-            if existing is not None:
-                if existing == node:
-                    return True
-                return graph.merge(node, existing)
-            graph.roots[individual] = node
-            graph.root_nodes.add(node)
-            return True
-
-        return apply
-
-    def _merger(self, left: NodeId, right: NodeId, graph: _Graph):
+        Merges the younger (and preferably blockable) node into the older.
+        """
         order = graph.creation_order
-        # Merge the younger (and preferably blockable) node into the older.
         survivor, victim = (left, right) if order[left] <= order[right] else (right, left)
         if graph.is_root(victim) and not graph.is_root(survivor):
             survivor, victim = victim, survivor
+        return ("merge", victim, survivor)
 
-        def apply(branch: _Graph) -> bool:
+    @staticmethod
+    def _apply_descriptor(branch: _Graph, descriptor: Tuple) -> bool:
+        """Apply one choice alternative to a branch copy (copying search).
+
+        Returns False when the alternative immediately clashes, mirroring
+        the trail engine's :meth:`_TrailEngine._apply_choice`.
+        """
+        kind = descriptor[0]
+        if kind == "add":
+            _, node, concept = descriptor
+            if node not in branch.labels:
+                return False
+            branch.labels[node].add(concept)
+            return True
+        if kind == "nominal":
+            _, node, individual = descriptor
+            if node not in branch.labels:
+                return False
+            # The multi-nominal stays in the label (labels are monotone;
+            # removing it would make the or-rule refire forever).
+            branch.labels[node].add(OneOf(frozenset({individual})))
+            existing = branch.roots.get(individual)
+            if existing is not None:
+                if existing == node:
+                    return True
+                return branch.merge(node, existing)
+            branch.roots[individual] = node
+            branch.root_nodes.add(node)
+            return True
+        if kind == "merge":
+            _, victim, survivor = descriptor
             if victim not in branch.labels or survivor not in branch.labels:
                 return False
             return branch.merge(victim, survivor)
-
-        return apply
-
-    @staticmethod
-    def _data_merger(left: NodeId, right: NodeId):
-        survivor, victim = (left, right) if left <= right else (right, left)
-
-        def apply(branch: _Graph) -> bool:
+        if kind == "data_merge":
+            _, victim, survivor = descriptor
             if (
                 victim not in branch.data_labels
                 or survivor not in branch.data_labels
             ):
                 return False
             return branch.merge_data(victim, survivor)
-
-        return apply
+        raise AssertionError(f"unknown choice descriptor {descriptor!r}")
 
     # ------------------------------------------------------------------
     # Final (datatype) checks
@@ -1118,6 +1205,947 @@ class Tableau:
         self._data_assignment = assigned
         self._complete_graph = graph
         return True
+
+
+#: The empty dependency set (facts present since graph initialisation).
+EMPTY: FrozenSet[int] = frozenset()
+
+
+@dataclass
+class _ChoicePoint:
+    """One open branch point on the trail engine's search stack.
+
+    ``mark`` is the trail length when the point was pushed (rolling back
+    to it restores the exact graph the choice was found on); ``base_deps``
+    are the branch-point levels the *existence* of the choice depends on;
+    ``failure_deps`` accumulates the dependency sets of failed
+    alternatives (minus this point's own level) for backjump propagation.
+    """
+
+    level: int
+    mark: int
+    alternatives: List[Tuple]
+    base_deps: FrozenSet[int]
+    index: int = 0
+    failure_deps: Set[int] = field(default_factory=set)
+
+
+class _TrailEngine:
+    """In-place tableau search with a trail and dependency-directed
+    backjumping.
+
+    The engine mutates one :class:`_Graph`; every effect pushes an undo
+    entry on ``trail``.  Alongside the graph it keeps ``deps``: for every
+    derived fact, the frozenset of branch-point levels its derivation
+    used (facts from the initial graph have the empty set and are simply
+    absent from the mapping).  On a clash, the union of the participating
+    facts' dependency sets tells the search the deepest branch point the
+    clash can possibly be fixed at; everything above is rolled back and
+    its untried alternatives discarded (``branch_points_skipped``).  An
+    empty clash dependency set proves unsatisfiability outright.
+
+    Dependency sets are deliberately over-approximated where precise
+    tracking would be costly (transitive-role chains, merge and
+    choose-rule choices, concrete-domain failures); an over-approximation
+    only reduces how far a jump goes, never its soundness.
+
+    Fact keys in ``deps``:
+
+    * ``("N", node)`` / ``("DN", node)`` — (data) node existence;
+    * ``("L", node, concept)`` / ``("DL", node, range)`` — label facts;
+    * ``("E", s, t, role)`` / ``("DE", s, t, role)`` — edge facts
+      (object edges keyed in stored named-role direction);
+    * ``("NEQ", pair)`` / ``("DNEQ", pair)`` — distinctness facts;
+    * ``("F", s, t, role)`` — forbidden (negated role) facts;
+    * ``("ROOT", individual)`` — a root binding made by a nominal choice.
+    """
+
+    def __init__(self, tableau: Tableau, graph: _Graph):
+        self.t = tableau
+        self.g = graph
+        self.trail: List[Tuple] = []
+        self.trail_total = 0
+        self.deps: Dict[Tuple, FrozenSet[int]] = {}
+        self.stack: List[_ChoicePoint] = []
+        self._last_blocked: Set[NodeId] = set()
+        # Incremental blocking state: per-node monotone change counters, a
+        # global epoch bumped on merges/rollbacks/root changes, and the
+        # signature cache keyed on all three.
+        self._versions: Dict[NodeId, int] = {n: 0 for n in graph.labels}
+        self._sig_cache: Dict[NodeId, Tuple] = {}
+        self._epoch = 0
+
+    # ------------------------------------------------------------------
+    # Search driver
+    # ------------------------------------------------------------------
+    def solve(self) -> bool:
+        t = self.t
+        t._use_branch()
+        while True:
+            if len(self.g.labels) > t.max_nodes:
+                raise ReasonerLimitExceeded(
+                    f"tableau exceeded {t.max_nodes} nodes"
+                )
+            status = self._expand_once()
+            if status == "changed":
+                continue
+            if status != "stable":
+                _, clash = status
+                if not self._backjump(clash):
+                    return False
+                continue
+            choice = t._find_choice(self.g, self._last_blocked)
+            if choice is None:
+                if t._final_checks(self.g):
+                    return True
+                # Concrete-domain failure: the witness search spans the
+                # whole graph, so its dependencies are not tracked.
+                if not self._backjump(self._all_levels()):
+                    return False
+                continue
+            cp = _ChoicePoint(
+                level=len(self.stack),
+                mark=len(self.trail),
+                alternatives=choice.alternatives,
+                base_deps=self._choice_base_deps(choice),
+            )
+            self.stack.append(cp)
+            if not self._advance(cp):
+                clash = frozenset(cp.base_deps | cp.failure_deps)
+                self.stack.pop()
+                if not self._backjump(clash):
+                    return False
+
+    def _advance(self, cp: _ChoicePoint) -> bool:
+        """Apply the next untried alternative at ``cp``; False = exhausted."""
+        deps = cp.base_deps | frozenset({cp.level})
+        while cp.index < len(cp.alternatives):
+            descriptor = cp.alternatives[cp.index]
+            cp.index += 1
+            clash = self._apply_choice(descriptor, deps)
+            if clash is None:
+                self.t._use_branch()
+                return True
+            cp.failure_deps |= clash - {cp.level}
+            self._undo_to(cp.mark)
+        return False
+
+    def _backjump(self, clash: FrozenSet[int]) -> bool:
+        """Resume the search after a clash with dependency set ``clash``.
+
+        Returns True when an alternative was applied at the deepest branch
+        point in ``clash`` (search continues), False when the whole search
+        space is exhausted (unsatisfiable).
+        """
+        stats = self.t.stats
+        while True:
+            if not self.stack:
+                return False
+            if not clash:
+                # The clash depends on no choice at all: unsatisfiable
+                # regardless of every pending alternative.
+                if stats is not None:
+                    stats.backjumps += 1
+                    stats.branch_points_skipped += len(self.stack)
+                self.stack.clear()
+                return False
+            target = max(clash)
+            skipped = len(self.stack) - 1 - target
+            if skipped > 0:
+                if stats is not None:
+                    stats.backjumps += 1
+                    stats.branch_points_skipped += skipped
+                del self.stack[target + 1:]
+            cp = self.stack[-1]
+            self._undo_to(cp.mark)
+            cp.failure_deps |= clash - {cp.level}
+            if self._advance(cp):
+                return True
+            clash = frozenset(cp.base_deps | cp.failure_deps)
+            self.stack.pop()
+
+    def _all_levels(self) -> FrozenSet[int]:
+        return frozenset(range(len(self.stack)))
+
+    def _choice_base_deps(self, choice: _Choice) -> FrozenSet[int]:
+        if choice.trigger is None:
+            return self._all_levels()
+        out = EMPTY
+        for key in choice.trigger:
+            out |= self._dep(key)
+        return out
+
+    # ------------------------------------------------------------------
+    # Choice application
+    # ------------------------------------------------------------------
+    def _apply_choice(
+        self, descriptor: Tuple, deps: FrozenSet[int]
+    ) -> Optional[FrozenSet[int]]:
+        """Apply one alternative; None on success, clash deps on failure."""
+        g = self.g
+        kind = descriptor[0]
+        if kind == "add":
+            _, node, concept = descriptor
+            self._add_label(node, concept, deps)
+            return None
+        if kind == "nominal":
+            _, node, individual = descriptor
+            self._add_label(node, OneOf(frozenset({individual})), deps)
+            existing = g.roots.get(individual)
+            if existing is not None:
+                if existing == node:
+                    return None
+                return self._merge(
+                    node, existing, deps | self._dep(("ROOT", individual))
+                )
+            self._log(("dictset", g.roots, individual, False, None))
+            g.roots[individual] = node
+            self._set_deps(("ROOT", individual), deps | self._dep(("N", node)))
+            if node not in g.root_nodes:
+                g.root_nodes.add(node)
+                self._log(("setadd", g.root_nodes, node))
+                self._epoch += 1
+            return None
+        if kind == "merge":
+            _, victim, survivor = descriptor
+            return self._merge(victim, survivor, deps)
+        if kind == "data_merge":
+            _, victim, survivor = descriptor
+            return self._merge_data(victim, survivor, deps)
+        raise AssertionError(f"unknown choice descriptor {descriptor!r}")
+
+    # ------------------------------------------------------------------
+    # Trail bookkeeping
+    # ------------------------------------------------------------------
+    def _log(self, entry: Tuple) -> None:
+        self.trail.append(entry)
+        self.trail_total += 1
+
+    def _undo_to(self, mark: int) -> None:
+        trail = self.trail
+        if len(trail) <= mark:
+            return
+        g = self.g
+        deps = self.deps
+        while len(trail) > mark:
+            entry = trail.pop()
+            op = entry[0]
+            if op == "setadd":
+                entry[1].discard(entry[2])
+            elif op == "deps":
+                _, key, old = entry
+                if old is None:
+                    deps.pop(key, None)
+                else:
+                    deps[key] = old
+            elif op == "dictpop":
+                entry[1][entry[2]] = entry[3]
+            elif op == "dictnew":
+                del entry[1][entry[2]]
+            elif op == "setdel":
+                entry[1].add(entry[2])
+            elif op == "dictset":
+                _, mapping, key, had, old = entry
+                if had:
+                    mapping[key] = old
+                else:
+                    mapping.pop(key, None)
+            elif op == "node":
+                node = entry[1]
+                g.labels.pop(node, None)
+                g.parent.pop(node, None)
+                g.creation_order.pop(node, None)
+                g.next_id = node
+                self._versions.pop(node, None)
+                self._sig_cache.pop(node, None)
+            elif op == "dnode":
+                node = entry[1]
+                g.data_labels.pop(node, None)
+                g.next_id = node
+        self._epoch += 1
+
+    def _dep(self, key: Tuple) -> FrozenSet[int]:
+        return self.deps.get(key, EMPTY)
+
+    def _set_deps(self, key: Tuple, new: FrozenSet[int]) -> None:
+        old = self.deps.get(key)
+        if new == old or (not new and old is None):
+            return
+        self._log(("deps", key, old))
+        if new:
+            self.deps[key] = new
+        else:
+            self.deps.pop(key, None)
+
+    def _bump(self, node: NodeId) -> None:
+        self._versions[node] = self._versions.get(node, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Logged graph mutations
+    # ------------------------------------------------------------------
+    def _add_label(
+        self, node: NodeId, concept: Concept, deps: FrozenSet[int]
+    ) -> bool:
+        label = self.g.labels[node]
+        if concept in label:
+            # Keep the existing (older, still-valid) justification.
+            return False
+        label.add(concept)
+        self._log(("setadd", label, concept))
+        self._bump(node)
+        full = deps | self._dep(("N", node))
+        if full:
+            self._set_deps(("L", node, concept), full)
+        return True
+
+    def _add_edge(
+        self, source: NodeId, target: NodeId, role: ObjectRole, deps: FrozenSet[int]
+    ) -> bool:
+        if role.is_inverse:
+            source, target, role = target, source, role.named
+        return self._add_edge_raw(source, target, role, deps)
+
+    def _add_edge_raw(
+        self, source: NodeId, target: NodeId, role: AtomicRole, deps: FrozenSet[int]
+    ) -> bool:
+        edges = self.g.edges
+        key = (source, target)
+        roles = edges.get(key)
+        if roles is None:
+            roles = set()
+            edges[key] = roles
+            self._log(("dictnew", edges, key))
+        if role in roles:
+            return False
+        roles.add(role)
+        self._log(("setadd", roles, role))
+        self._bump(source)
+        self._bump(target)
+        full = deps | self._dep(("N", source)) | self._dep(("N", target))
+        if full:
+            self._set_deps(("E", source, target, role), full)
+        return True
+
+    def _add_data_label(
+        self, node: NodeId, rng: DataRange, deps: FrozenSet[int]
+    ) -> bool:
+        labels = self.g.data_labels[node]
+        if rng in labels:
+            return False
+        labels.add(rng)
+        self._log(("setadd", labels, rng))
+        full = deps | self._dep(("DN", node))
+        if full:
+            self._set_deps(("DL", node, rng), full)
+        return True
+
+    def _add_data_edge(
+        self, source: NodeId, target: NodeId, role: DatatypeRole, deps: FrozenSet[int]
+    ) -> bool:
+        edges = self.g.data_edges
+        key = (source, target)
+        roles = edges.get(key)
+        if roles is None:
+            roles = set()
+            edges[key] = roles
+            self._log(("dictnew", edges, key))
+        if role in roles:
+            return False
+        roles.add(role)
+        self._log(("setadd", roles, role))
+        full = deps | self._dep(("N", source)) | self._dep(("DN", target))
+        if full:
+            self._set_deps(("DE", source, target, role), full)
+        return True
+
+    def _new_node(self, parent: Optional[NodeId], deps: FrozenSet[int]) -> NodeId:
+        node = self.g.new_node(parent)
+        self._log(("node", node))
+        self._versions[node] = 0
+        if deps:
+            self._set_deps(("N", node), deps)
+        return node
+
+    def _new_data_node(self, deps: FrozenSet[int]) -> NodeId:
+        node = self.g.new_data_node()
+        self._log(("dnode", node))
+        if deps:
+            self._set_deps(("DN", node), deps)
+        return node
+
+    def _set_distinct(
+        self, left: NodeId, right: NodeId, deps: FrozenSet[int]
+    ) -> None:
+        if left == right:
+            return
+        pair = frozenset({left, right})
+        if pair in self.g.distinct:
+            return
+        self.g.distinct.add(pair)
+        self._log(("setadd", self.g.distinct, pair))
+        if deps:
+            self._set_deps(("NEQ", pair), deps)
+
+    def _set_data_distinct(
+        self, left: NodeId, right: NodeId, deps: FrozenSet[int]
+    ) -> None:
+        if left == right:
+            return
+        pair = frozenset({left, right})
+        if pair in self.g.data_distinct:
+            return
+        self.g.data_distinct.add(pair)
+        self._log(("setadd", self.g.data_distinct, pair))
+        if deps:
+            self._set_deps(("DNEQ", pair), deps)
+
+    # ------------------------------------------------------------------
+    # Logged merging (mirrors _Graph.merge / merge_data)
+    # ------------------------------------------------------------------
+    def _merge(
+        self, victim: NodeId, survivor: NodeId, rdeps: FrozenSet[int]
+    ) -> Optional[FrozenSet[int]]:
+        """Merge ``victim`` into ``survivor``; clash deps on failure."""
+        g = self.g
+        if victim == survivor:
+            return None
+        pair = frozenset({victim, survivor})
+        if pair in g.distinct:
+            return (
+                rdeps
+                | self._dep(("NEQ", pair))
+                | self._dep(("N", victim))
+                | self._dep(("N", survivor))
+            )
+        # Every moved fact additionally depends on the merge reason and
+        # on the victim having existed.
+        base = rdeps | self._dep(("N", victim))
+        victim_label = g.labels.pop(victim)
+        self._log(("dictpop", g.labels, victim, victim_label))
+        for concept in victim_label:
+            self._add_label(
+                survivor, concept, base | self._dep(("L", victim, concept))
+            )
+        for key in [k for k in g.edges if victim in k]:
+            roles = g.edges.pop(key)
+            self._log(("dictpop", g.edges, key, roles))
+            source, target = key
+            new_source = survivor if source == victim else source
+            new_target = survivor if target == victim else target
+            for role in roles:
+                self._add_edge_raw(
+                    new_source,
+                    new_target,
+                    role,
+                    base | self._dep(("E", source, target, role)),
+                )
+        for key in [k for k in g.data_edges if k[0] == victim]:
+            roles = g.data_edges.pop(key)
+            self._log(("dictpop", g.data_edges, key, roles))
+            for role in roles:
+                self._add_data_edge(
+                    survivor,
+                    key[1],
+                    role,
+                    base | self._dep(("DE", victim, key[1], role)),
+                )
+        for dpair in [p for p in g.distinct if victim in p]:
+            g.distinct.discard(dpair)
+            self._log(("setdel", g.distinct, dpair))
+            (other,) = dpair - {victim}
+            moved = base | self._dep(("NEQ", dpair))
+            if other == survivor:
+                return moved | self._dep(("N", survivor))
+            npair = frozenset({survivor, other})
+            if npair not in g.distinct:
+                g.distinct.add(npair)
+                self._log(("setadd", g.distinct, npair))
+                if moved:
+                    self._set_deps(("NEQ", npair), moved)
+        for key in [k for k in g.forbidden if victim in k]:
+            roles = g.forbidden.pop(key)
+            self._log(("dictpop", g.forbidden, key, roles))
+            source, target = key
+            new_source = survivor if source == victim else source
+            new_target = survivor if target == victim else target
+            nkey = (new_source, new_target)
+            existing = g.forbidden.get(nkey)
+            if existing is None:
+                existing = set()
+                g.forbidden[nkey] = existing
+                self._log(("dictnew", g.forbidden, nkey))
+            for role in roles:
+                if role not in existing:
+                    existing.add(role)
+                    self._log(("setadd", existing, role))
+                    fdeps = base | self._dep(("F", source, target, role))
+                    if fdeps:
+                        self._set_deps(
+                            ("F", new_source, new_target, role), fdeps
+                        )
+        for individual in [i for i, n in g.roots.items() if n == victim]:
+            self._log(("dictset", g.roots, individual, True, victim))
+            g.roots[individual] = survivor
+            rd = base | self._dep(("ROOT", individual))
+            if rd:
+                self._set_deps(("ROOT", individual), rd)
+        if victim in g.root_nodes:
+            g.root_nodes.discard(victim)
+            self._log(("setdel", g.root_nodes, victim))
+            if survivor not in g.root_nodes:
+                g.root_nodes.add(survivor)
+                self._log(("setadd", g.root_nodes, survivor))
+        if victim in g.parent:
+            self._log(("dictset", g.parent, victim, True, g.parent[victim]))
+            g.parent.pop(victim)
+        # Children of the victim re-hang under the survivor so blocking
+        # ancestry stays acyclic.
+        for child in [c for c, p in g.parent.items() if p == victim]:
+            self._log(("dictset", g.parent, child, True, victim))
+            g.parent[child] = survivor
+        old_order = g.creation_order.get(survivor, survivor)
+        new_order = min(old_order, g.creation_order.get(victim, victim))
+        if new_order != old_order:
+            self._log(("dictset", g.creation_order, survivor, True, old_order))
+            g.creation_order[survivor] = new_order
+        if victim in g.creation_order:
+            self._log(
+                ("dictset", g.creation_order, victim, True, g.creation_order[victim])
+            )
+            g.creation_order.pop(victim)
+        self._bump(survivor)
+        self._epoch += 1
+        return None
+
+    def _merge_data(
+        self, victim: NodeId, survivor: NodeId, rdeps: FrozenSet[int]
+    ) -> Optional[FrozenSet[int]]:
+        g = self.g
+        if victim == survivor:
+            return None
+        pair = frozenset({victim, survivor})
+        if pair in g.data_distinct:
+            return (
+                rdeps
+                | self._dep(("DNEQ", pair))
+                | self._dep(("DN", victim))
+                | self._dep(("DN", survivor))
+            )
+        base = rdeps | self._dep(("DN", victim))
+        victim_labels = g.data_labels.pop(victim)
+        self._log(("dictpop", g.data_labels, victim, victim_labels))
+        for rng in victim_labels:
+            self._add_data_label(
+                survivor, rng, base | self._dep(("DL", victim, rng))
+            )
+        for key in [k for k in g.data_edges if k[1] == victim]:
+            roles = g.data_edges.pop(key)
+            self._log(("dictpop", g.data_edges, key, roles))
+            for role in roles:
+                self._add_data_edge(
+                    key[0],
+                    survivor,
+                    role,
+                    base | self._dep(("DE", key[0], victim, role)),
+                )
+        for dpair in [p for p in g.data_distinct if victim in p]:
+            g.data_distinct.discard(dpair)
+            self._log(("setdel", g.data_distinct, dpair))
+            (other,) = dpair - {victim}
+            moved = base | self._dep(("DNEQ", dpair))
+            if other == survivor:
+                return moved | self._dep(("DN", survivor))
+            npair = frozenset({survivor, other})
+            if npair not in g.data_distinct:
+                g.data_distinct.add(npair)
+                self._log(("setadd", g.data_distinct, npair))
+                if moved:
+                    self._set_deps(("DNEQ", npair), moved)
+        return None
+
+    # ------------------------------------------------------------------
+    # Deterministic expansion (mirrors Tableau._apply_deterministic)
+    # ------------------------------------------------------------------
+    def _expand_once(self):
+        """One deterministic expansion pass.
+
+        Returns ``"changed"``, ``"stable"``, or ``("clash", deps)``; the
+        rule order mirrors :meth:`Tableau._apply_deterministic` exactly so
+        both search modes explore comparable branches.
+        """
+        t, g = self.t, self.g
+        changed = False
+        for (source, target), roles in g.forbidden.items():
+            if source not in g.labels or target not in g.labels:
+                continue
+            for role in roles:
+                if target in g.neighbours(source, role, t.hierarchy):
+                    return (
+                        "clash",
+                        self._dep(("F", source, target, role))
+                        | self._pair_edge_deps(source, target)
+                        | self._dep(("N", source))
+                        | self._dep(("N", target)),
+                    )
+                for sub_role, supers in t.hierarchy.items():
+                    if role not in supers or not t.kb.is_transitive(sub_role):
+                        continue
+                    if t._chain_reachable(g, source, target, sub_role):
+                        # The chain may thread through many edges; deps
+                        # are not tracked along it.
+                        return ("clash", self._all_levels())
+        blocked = self._blocked_nodes()
+        self._last_blocked = blocked
+        for node in g.nodes():
+            label = g.labels[node]
+            clash = self._clash_deps(node)
+            if clash is not None:
+                return ("clash", clash)
+            for concept in list(label):
+                if isinstance(concept, Top):
+                    continue
+                if isinstance(concept, And):
+                    cdeps = self._dep(("L", node, concept))
+                    for operand in concept.operands:
+                        if self._add_label(node, operand, cdeps):
+                            changed = True
+                # Absorbed inclusions: A in label fires its definitions.
+                if isinstance(concept, AtomicConcept):
+                    consequences = t.absorbed.get(concept, ())
+                    if consequences:
+                        cdeps = self._dep(("L", node, concept))
+                        for consequence in consequences:
+                            if self._add_label(node, consequence, cdeps):
+                                changed = True
+            # Universal (internalised TBox) constraints.
+            for constraint in t.universal:
+                if self._add_label(node, constraint, EMPTY):
+                    changed = True
+            if changed:
+                continue
+            # all-rule and all+-rule.
+            for concept in list(label):
+                if isinstance(concept, Forall):
+                    cdeps = self._dep(("L", node, concept)) | self._dep(
+                        ("N", node)
+                    )
+                    for neighbour in g.neighbours(
+                        node, concept.role, t.hierarchy
+                    ):
+                        if self._add_label(
+                            neighbour,
+                            concept.filler,
+                            cdeps | self._pair_edge_deps(node, neighbour),
+                        ):
+                            changed = True
+                    if self._propagate_transitive(node, concept, cdeps):
+                        changed = True
+                elif isinstance(concept, DataForall):
+                    cdeps = self._dep(("L", node, concept)) | self._dep(
+                        ("N", node)
+                    )
+                    for neighbour in g.data_neighbours(
+                        node, concept.role, t.data_hierarchy
+                    ):
+                        if self._add_data_label(
+                            neighbour,
+                            concept.range,
+                            cdeps | self._data_edge_deps(node, neighbour),
+                        ):
+                            changed = True
+            if changed:
+                continue
+            if node in blocked:
+                continue
+            # some-rule.
+            for concept in list(label):
+                if isinstance(concept, Exists):
+                    if not any(
+                        concept.filler in g.labels[n]
+                        for n in g.neighbours(node, concept.role, t.hierarchy)
+                    ):
+                        cdeps = self._dep(("L", node, concept)) | self._dep(
+                            ("N", node)
+                        )
+                        fresh = self._new_node(node, cdeps)
+                        self._add_edge(node, fresh, concept.role, cdeps)
+                        self._add_label(fresh, concept.filler, cdeps)
+                        changed = True
+                elif isinstance(concept, AtLeast):
+                    neighbours = g.neighbours(node, concept.role, t.hierarchy)
+                    if not t._has_n_pairwise_distinct(g, neighbours, concept.n):
+                        cdeps = self._dep(("L", node, concept)) | self._dep(
+                            ("N", node)
+                        )
+                        fresh_nodes = []
+                        for _ in range(concept.n):
+                            fresh = self._new_node(node, cdeps)
+                            self._add_edge(node, fresh, concept.role, cdeps)
+                            fresh_nodes.append(fresh)
+                        for left, right in itertools.combinations(fresh_nodes, 2):
+                            self._set_distinct(left, right, cdeps)
+                        if concept.n > 0:
+                            changed = True
+                elif isinstance(concept, QualifiedAtLeast):
+                    matching = {
+                        y
+                        for y in g.neighbours(node, concept.role, t.hierarchy)
+                        if concept.filler in g.labels[y]
+                    }
+                    if not t._has_n_pairwise_distinct(g, matching, concept.n):
+                        cdeps = self._dep(("L", node, concept)) | self._dep(
+                            ("N", node)
+                        )
+                        fresh_nodes = []
+                        for _ in range(concept.n):
+                            fresh = self._new_node(node, cdeps)
+                            self._add_edge(node, fresh, concept.role, cdeps)
+                            self._add_label(fresh, concept.filler, cdeps)
+                            fresh_nodes.append(fresh)
+                        for left, right in itertools.combinations(fresh_nodes, 2):
+                            self._set_distinct(left, right, cdeps)
+                        if concept.n > 0:
+                            changed = True
+                elif isinstance(concept, DataExists):
+                    if not any(
+                        concept.range in g.data_labels[n]
+                        for n in g.data_neighbours(
+                            node, concept.role, t.data_hierarchy
+                        )
+                    ):
+                        cdeps = self._dep(("L", node, concept)) | self._dep(
+                            ("N", node)
+                        )
+                        fresh = self._new_data_node(cdeps)
+                        self._add_data_edge(node, fresh, concept.role, cdeps)
+                        self._add_data_label(fresh, concept.range, cdeps)
+                        changed = True
+                elif isinstance(concept, DataAtLeast):
+                    neighbours = g.data_neighbours(
+                        node, concept.role, t.data_hierarchy
+                    )
+                    if t._max_pairwise_distinct_data(g, neighbours) < concept.n:
+                        cdeps = self._dep(("L", node, concept)) | self._dep(
+                            ("N", node)
+                        )
+                        fresh_nodes = []
+                        for _ in range(concept.n):
+                            fresh = self._new_data_node(cdeps)
+                            self._add_data_edge(node, fresh, concept.role, cdeps)
+                            self._add_data_label(fresh, DataTop(), cdeps)
+                            fresh_nodes.append(fresh)
+                        for left, right in itertools.combinations(fresh_nodes, 2):
+                            self._set_data_distinct(left, right, cdeps)
+                        if concept.n > 0:
+                            changed = True
+            if changed:
+                continue
+        # Deterministic nominal identification: two alive nodes sharing a
+        # singleton nominal must be the same element.
+        for concept, holders in t._nominal_holders(g).items():
+            if len(holders) > 1:
+                ordered = sorted(holders, key=lambda n: g.creation_order[n])
+                survivor = ordered[0]
+                rdeps = EMPTY
+                for holder in ordered:
+                    rdeps = (
+                        rdeps
+                        | self._dep(("L", holder, concept))
+                        | self._dep(("N", holder))
+                    )
+                for victim in ordered[1:]:
+                    clash = self._merge(victim, survivor, rdeps)
+                    if clash is not None:
+                        return ("clash", clash)
+                return "changed"
+        if changed:
+            return "changed"
+        return "stable"
+
+    def _propagate_transitive(
+        self, node: NodeId, concept: Forall, cdeps: FrozenSet[int]
+    ) -> bool:
+        """The all+-rule with dependency propagation."""
+        t, g = self.t, self.g
+        changed = False
+        for sub_role, supers in t.hierarchy.items():
+            if concept.role not in supers:
+                continue
+            if not t.kb.is_transitive(sub_role):
+                continue
+            carried = Forall(sub_role, concept.filler)
+            for neighbour in g.neighbours(node, sub_role, t.hierarchy):
+                if self._add_label(
+                    neighbour,
+                    carried,
+                    cdeps | self._pair_edge_deps(node, neighbour),
+                ):
+                    changed = True
+        return changed
+
+    # ------------------------------------------------------------------
+    # Clash dependency extraction (mirrors Tableau._has_clash)
+    # ------------------------------------------------------------------
+    def _clash_deps(self, node: NodeId) -> Optional[FrozenSet[int]]:
+        """The clash's dependency set, or None when the node is clash-free."""
+        t, g = self.t, self.g
+        label = g.labels[node]
+        ndeps = self._dep(("N", node))
+        for concept in label:
+            if isinstance(concept, Bottom):
+                return ndeps | self._dep(("L", node, concept))
+            if isinstance(concept, Not):
+                if concept.operand in label:
+                    return (
+                        ndeps
+                        | self._dep(("L", node, concept))
+                        | self._dep(("L", node, concept.operand))
+                    )
+                if isinstance(concept.operand, OneOf):
+                    for other in concept.operand.individuals:
+                        if g.roots.get(other) == node:
+                            return (
+                                ndeps
+                                | self._dep(("L", node, concept))
+                                | self._dep(("ROOT", other))
+                            )
+            if isinstance(concept, AtMost):
+                neighbours = g.neighbours(node, concept.role, t.hierarchy)
+                if len(neighbours) > concept.n and all(
+                    g.are_distinct(a, b)
+                    for a, b in itertools.combinations(sorted(neighbours), 2)
+                ):
+                    out = ndeps | self._dep(("L", node, concept))
+                    for y in neighbours:
+                        out |= self._pair_edge_deps(node, y) | self._dep(
+                            ("N", y)
+                        )
+                    for a, b in itertools.combinations(sorted(neighbours), 2):
+                        out |= self._dep(("NEQ", frozenset({a, b})))
+                    return out
+            if isinstance(concept, QualifiedAtMost):
+                matching = {
+                    y
+                    for y in g.neighbours(node, concept.role, t.hierarchy)
+                    if concept.filler in g.labels[y]
+                }
+                if len(matching) > concept.n and all(
+                    g.are_distinct(a, b)
+                    for a, b in itertools.combinations(sorted(matching), 2)
+                ):
+                    out = ndeps | self._dep(("L", node, concept))
+                    for y in matching:
+                        out |= (
+                            self._pair_edge_deps(node, y)
+                            | self._dep(("N", y))
+                            | self._dep(("L", y, concept.filler))
+                        )
+                    for a, b in itertools.combinations(sorted(matching), 2):
+                        out |= self._dep(("NEQ", frozenset({a, b})))
+                    return out
+            if isinstance(concept, DataAtMost):
+                neighbours = g.data_neighbours(
+                    node, concept.role, t.data_hierarchy
+                )
+                if len(neighbours) > concept.n and all(
+                    frozenset({a, b}) in g.data_distinct
+                    for a, b in itertools.combinations(sorted(neighbours), 2)
+                ):
+                    out = ndeps | self._dep(("L", node, concept))
+                    for y in neighbours:
+                        out |= self._data_edge_deps(node, y) | self._dep(
+                            ("DN", y)
+                        )
+                    for a, b in itertools.combinations(sorted(neighbours), 2):
+                        out |= self._dep(("DNEQ", frozenset({a, b})))
+                    return out
+        return None
+
+    def _pair_edge_deps(self, a: NodeId, b: NodeId) -> FrozenSet[int]:
+        """Union of the deps of every edge fact between two object nodes."""
+        out = EMPTY
+        for role in self.g.edges.get((a, b), ()):
+            out |= self._dep(("E", a, b, role))
+        for role in self.g.edges.get((b, a), ()):
+            out |= self._dep(("E", b, a, role))
+        return out
+
+    def _data_edge_deps(self, source: NodeId, target: NodeId) -> FrozenSet[int]:
+        out = EMPTY
+        for role in self.g.data_edges.get((source, target), ()):
+            out |= self._dep(("DE", source, target, role))
+        return out
+
+    # ------------------------------------------------------------------
+    # Incremental blocking
+    # ------------------------------------------------------------------
+    def _blocked_nodes(self) -> Set[NodeId]:
+        """Anywhere pairwise-blocked nodes, via cached blocking signatures.
+
+        Equivalent to :meth:`Tableau._blocked_nodes` — a node is directly
+        blocked iff an earlier (by creation order) blockable node has the
+        same (label, parent label, connecting roles) signature — but nodes
+        are hash-grouped by signature instead of compared pairwise, and a
+        signature is recomputed only when the node or its parent changed
+        since it was cached (``blocking_checks`` counts recomputations).
+        """
+        g = self.g
+        order = g.creation_order
+        groups: Dict[Tuple, List[NodeId]] = {}
+        blockable = [
+            n
+            for n in g.nodes()
+            if not g.is_root(n) and g.parent.get(n) is not None
+        ]
+        for node in blockable:
+            parent = g.parent[node]
+            if parent is None or parent not in g.labels:
+                continue
+            groups.setdefault(self._signature(node, parent), []).append(node)
+        directly_blocked: Set[NodeId] = set()
+        for members in groups.values():
+            if len(members) > 1:
+                members.sort(key=lambda n: order[n])
+                directly_blocked.update(members[1:])
+        blocked: Set[NodeId] = set()
+        for node in blockable:
+            current: Optional[NodeId] = node
+            while current is not None:
+                if current in directly_blocked:
+                    blocked.add(node)
+                    break
+                current = g.parent.get(current)
+        return blocked
+
+    def _signature(self, node: NodeId, parent: NodeId) -> Tuple:
+        own_version = self._versions.get(node, 0)
+        parent_version = self._versions.get(parent, 0)
+        cached = self._sig_cache.get(node)
+        if cached is not None:
+            sig, c_parent, c_own, c_pv, c_epoch = cached
+            if (
+                c_epoch == self._epoch
+                and c_parent == parent
+                and c_own == own_version
+                and c_pv == parent_version
+            ):
+                return sig
+        if self.t.stats is not None:
+            self.t.stats.blocking_checks += 1
+        g = self.g
+        sig = (
+            frozenset(g.labels[node]),
+            frozenset(g.labels[parent]),
+            g.edge_roles_between(parent, node),
+        )
+        self._sig_cache[node] = (
+            sig,
+            parent,
+            own_version,
+            parent_version,
+            self._epoch,
+        )
+        return sig
 
 
 def _transitive_closure(pairs: Set[Tuple[NodeId, NodeId]]) -> Set[Tuple[NodeId, NodeId]]:

@@ -38,11 +38,13 @@ from .axioms4 import (
     KnowledgeBase4,
     RoleInclusion4,
 )
+from ..dl.errors import UnsupportedAxiomError
 from .transform import (
     cached_transform_kb,
     neg_transform,
     pos_transform,
     positive_concept,
+    positive_data_role,
     positive_role,
     eq_role,
 )
@@ -69,13 +71,22 @@ class Reasoner4:
         cache: Optional[QueryCache] = None,
         use_cache: bool = True,
         stats: Optional[ReasonerStats] = None,
+        search: str = "trail",
+        cache_maxsize: Optional[int] = 4096,
     ):
         self.kb4 = kb4
         self.max_nodes = max_nodes
         self.max_branches = max_branches
+        #: Tableau search mode, forwarded to the classical reasoner:
+        #: ``"trail"`` (backjumping, default) or ``"copying"`` (oracle).
+        self.search = search
         #: Work counters, preserved across mutation-triggered rebuilds.
         self.stats = stats if stats is not None else ReasonerStats()
-        self.cache = cache if cache is not None else QueryCache(enabled=use_cache)
+        self.cache = (
+            cache
+            if cache is not None
+            else QueryCache(enabled=use_cache, maxsize=cache_maxsize)
+        )
         self._kb4_version = kb4.version
         self._rebuild()
 
@@ -89,6 +100,7 @@ class Reasoner4:
             max_branches=self.max_branches,
             cache=self.cache,
             stats=self.stats,
+            search=self.search,
         )
 
     def _sync(self) -> None:
@@ -249,7 +261,15 @@ class Reasoner4:
         ) and not self.classical_reasoner.is_satisfiable(second)
 
     def entails_role_inclusion(self, inclusion: RoleInclusion4) -> bool:
-        """Whether the KB4 entails a role inclusion of the given kind."""
+        """Whether the KB4 entails a role inclusion of the given kind.
+
+        The probes mirror how :func:`~repro.four_dl.transform.transform_axiom`
+        translates each inclusion strength (paper Table 3): material
+        ``R |-> S`` holds when the classical ``R= [= S+`` does (evidence
+        not-against ``R`` forces evidence for ``S``); internal ``R < S``
+        is ``R+ [= S+`` alone; strong ``R -> S`` adds the contrapositive
+        carrier ``R= [= S=`` on top of ``R+ [= S+``.
+        """
         self._sync()
         if inclusion.kind is InclusionKind.MATERIAL:
             return self.classical_reasoner.entails(
@@ -283,7 +303,23 @@ class Reasoner4:
             return self.role_evidence_against(
                 axiom.role, axiom.source, axiom.target
             )
-        raise NotImplementedError(f"4-valued entailment of {type(axiom).__name__}")
+        if isinstance(axiom, (ax.SameIndividual, ax.DifferentIndividuals)):
+            # Definition 6 leaves individuals untouched by the signature
+            # doubling, so (in)equality holds four-valuedly iff it holds
+            # in the induced classical KB.
+            self._sync()
+            return self.classical_reasoner.entails(axiom)
+        if isinstance(axiom, ax.DataAssertion):
+            # Datatype assertions are two-valued in the paper; only the
+            # datatype role is doubled, and positive evidence lives on
+            # the U+ half.
+            self._sync()
+            return self.classical_reasoner.entails(
+                ax.DataAssertion(
+                    positive_data_role(axiom.role), axiom.source, axiom.value
+                )
+            )
+        raise UnsupportedAxiomError(axiom, service="4-valued entails")
 
     # ------------------------------------------------------------------
     # Classification

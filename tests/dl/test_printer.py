@@ -122,3 +122,62 @@ class TestRoundTrips:
             strong(B, A),
         )
         assert list(parse_kb4(render_kb4(kb4)).axioms()) == list(kb4.axioms())
+
+
+class TestDataRangeRoundTrips:
+    """Boolean data ranges render as parenthesised ladders and re-parse.
+
+    Regression: ``render_range`` used to raise ``NotImplementedError`` on
+    ``DataAnd``/``DataOr``, crashing any KB dump containing a combined
+    range.
+    """
+
+    def _round_trip(self, range_):
+        from repro.dl.concepts import DataExists
+        from repro.dl.roles import DatatypeRole
+
+        concept = DataExists(DatatypeRole("u"), range_)
+        rendered = render_concept(concept)
+        assert parse_concept(rendered, datatype_roles=["u"]) == concept
+        return rendered
+
+    def test_data_and_renders_and_reparses(self):
+        from repro.dl.datatypes import INTEGER, DataAnd, IntRange
+
+        rendered = self._round_trip(DataAnd((INTEGER, IntRange(0, 5))))
+        assert rendered == "u some (integer and integer[0..5])"
+
+    def test_data_or_renders_and_reparses(self):
+        from repro.dl.datatypes import DataOr, IntRange
+
+        rendered = self._round_trip(DataOr((IntRange(0, 1), IntRange(9, 10))))
+        assert rendered == "u some (integer[0..1] or integer[9..10])"
+
+    def test_nested_ladders_keep_structure(self):
+        from repro.dl.datatypes import (
+            STRING,
+            INTEGER,
+            DataAnd,
+            DataComplement,
+            DataOneOf,
+            DataOr,
+            IntRange,
+        )
+
+        self._round_trip(
+            DataOr((DataAnd((INTEGER, IntRange(None, 3))), STRING))
+        )
+        self._round_trip(
+            DataComplement(DataAnd((INTEGER, DataOneOf.of(1, 2))))
+        )
+        self._round_trip(
+            DataAnd((DataAnd((INTEGER, STRING)), IntRange(1, 2)))
+        )
+
+    def test_concept_level_and_still_binds_outside_the_range(self):
+        from repro.dl.concepts import And as ConceptAnd
+
+        parsed = parse_concept(
+            "u some (integer and integer[1..30]) and A", datatype_roles=["u"]
+        )
+        assert isinstance(parsed, ConceptAnd)

@@ -93,6 +93,84 @@ class TestQueryCache:
         assert cache.lookup(frozenset()) is None
 
 
+def _keys(n):
+    return [
+        probe_set_key([ConceptAssertion(x, AtomicConcept(f"K{i}"))])
+        for i in range(n)
+    ]
+
+
+class TestLruCapacity:
+    def test_overflow_evicts_least_recently_used(self):
+        cache = QueryCache(maxsize=2)
+        k0, k1, k2 = _keys(3)
+        cache.store(k0, True)
+        cache.store(k1, False)
+        cache.store(k2, True)
+        assert cache.lookup(k0) is None
+        assert cache.lookup(k1) is False
+        assert cache.lookup(k2) is True
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_lookup_refreshes_recency(self):
+        cache = QueryCache(maxsize=2)
+        k0, k1, k2 = _keys(3)
+        cache.store(k0, True)
+        cache.store(k1, True)
+        assert cache.lookup(k0) is True  # k1 is now the oldest
+        cache.store(k2, True)
+        assert cache.lookup(k1) is None
+        assert cache.lookup(k0) is True
+
+    def test_overwrite_refreshes_recency_without_eviction(self):
+        cache = QueryCache(maxsize=2)
+        k0, k1, k2 = _keys(3)
+        cache.store(k0, True)
+        cache.store(k1, True)
+        cache.store(k0, False)  # overwrite, not insert: no eviction
+        assert cache.evictions == 0
+        cache.store(k2, True)  # evicts k1, the least recently stored
+        assert cache.lookup(k1) is None
+        assert cache.lookup(k0) is False
+
+    def test_unbounded_when_maxsize_is_none(self):
+        cache = QueryCache(maxsize=None)
+        for key in _keys(5000):
+            cache.store(key, True)
+        assert len(cache) == 5000
+        assert cache.evictions == 0
+
+    def test_rejects_non_positive_maxsize(self):
+        with pytest.raises(ValueError):
+            QueryCache(maxsize=0)
+        with pytest.raises(ValueError):
+            QueryCache(maxsize=-3)
+
+    def test_evictions_reported_on_attached_stats(self):
+        from repro.dl import ReasonerStats
+
+        stats = ReasonerStats()
+        cache = QueryCache(maxsize=1, stats=stats)
+        k0, k1 = _keys(2)
+        cache.store(k0, True)
+        cache.store(k1, True)
+        assert stats.cache_evictions == 1
+        assert cache.evictions == 1
+
+    def test_reasoner_plumbs_maxsize_and_counts_evictions(self):
+        kb = KnowledgeBase()
+        kb.add(ConceptAssertion(x, A), ConceptInclusion(A, B))
+        reasoner = Reasoner(kb, cache_maxsize=1)
+        reasoner.is_instance(x, A)
+        reasoner.is_instance(x, B)
+        assert reasoner.stats.cache_evictions >= 1
+        # the surviving entry still serves hits
+        baseline = reasoner.stats.snapshot()
+        reasoner.is_instance(x, B)
+        assert (reasoner.stats - baseline).cache_hits == 1
+
+
 class TestReasonerCacheWiring:
     def test_repeated_identical_probe_runs_the_tableau_once(self):
         kb = KnowledgeBase()

@@ -1,0 +1,174 @@
+"""Trail-based search vs the copy-per-branch oracle.
+
+The trail engine must agree with the copying search on every verdict
+while never exploring more branches; on clashes independent of recent
+choices it must *backjump*, skipping choice points chronological
+backtracking would re-explore.  The crafted KB below is built so that
+BCP cannot screen the padding disjuncts (they are conjunctions, not
+literals), forcing genuine choice points in both modes.
+"""
+
+import pytest
+
+from repro.dl import (
+    And,
+    AtomicConcept,
+    AtomicRole,
+    ConceptAssertion,
+    ConceptInclusion,
+    Exists,
+    Individual,
+    KnowledgeBase,
+    Not,
+    Or,
+    Reasoner,
+    RoleAssertion,
+    Tableau,
+)
+from repro.dl.errors import ReasonerLimitExceeded
+
+A, B, C = AtomicConcept("A"), AtomicConcept("B"), AtomicConcept("C")
+r = AtomicRole("r")
+a, b = Individual("a"), Individual("b")
+
+
+def atom(name):
+    return AtomicConcept(name)
+
+
+def deep_disjunction_kb(padding):
+    """A KB whose inconsistency is independent of ``padding`` open choices.
+
+    Individuals ``a1..aN`` each carry a satisfiable disjunction of
+    conjunctions (opaque to BCP), and ``z`` carries a disjunction both of
+    whose disjuncts clash only after absorption expands the TBox — so the
+    refutation of ``z`` happens *below* the padding choice points on the
+    search stack, and its clash depends on none of them.
+    """
+    kb = KnowledgeBase()
+    kb.add(ConceptInclusion(atom("P1"), Not(atom("P2"))))
+    kb.add(ConceptInclusion(atom("Q1"), Not(atom("Q2"))))
+    for i in range(1, padding + 1):
+        kb.add(
+            ConceptAssertion(
+                Individual(f"a{i}"),
+                Or.of(
+                    And.of(atom(f"A{i}x"), atom(f"A{i}y")),
+                    And.of(atom(f"B{i}x"), atom(f"B{i}y")),
+                ),
+            )
+        )
+    kb.add(
+        ConceptAssertion(
+            Individual("z"),
+            Or.of(
+                And.of(atom("P1"), atom("P2")),
+                And.of(atom("Q1"), atom("Q2")),
+            ),
+        )
+    )
+    return kb
+
+
+class TestSearchModeFlag:
+    def test_invalid_mode_is_rejected(self):
+        with pytest.raises(ValueError):
+            Tableau(KnowledgeBase(), search="chronological")
+
+    def test_reasoner_forwards_the_mode(self):
+        kb = KnowledgeBase()
+        kb.add(ConceptAssertion(a, A))
+        assert Reasoner(kb, search="copying")._tableau.search == "copying"
+        assert Reasoner(kb)._tableau.search == "trail"
+
+
+class TestVerdictParity:
+    def test_crafted_kb_verdicts_agree(self):
+        for padding in (0, 2, 4):
+            kb = deep_disjunction_kb(padding)
+            assert not Reasoner(kb, search="trail", use_cache=False).is_consistent()
+            assert not Reasoner(kb, search="copying", use_cache=False).is_consistent()
+
+    def test_satisfiable_kb_verdicts_agree(self):
+        kb = KnowledgeBase()
+        kb.add(
+            ConceptAssertion(a, Or.of(And.of(A, B), And.of(B, C))),
+            ConceptAssertion(b, Exists(r, Or.of(A, C))),
+            RoleAssertion(r, a, b),
+            ConceptInclusion(A, Not(C)),
+        )
+        assert Reasoner(kb, search="trail", use_cache=False).is_consistent()
+        assert Reasoner(kb, search="copying", use_cache=False).is_consistent()
+
+    def test_repeated_queries_on_one_tableau_are_stable(self):
+        # the trail must fully restore the shared graph between queries
+        kb = KnowledgeBase()
+        kb.add(
+            ConceptAssertion(a, Or.of(A, B)),
+            ConceptInclusion(A, Not(B)),
+        )
+        reasoner = Reasoner(kb, use_cache=False)
+        answers = [
+            reasoner.is_consistent(),
+            reasoner.is_instance(a, Or.of(A, B)),
+            reasoner.is_instance(a, A),
+            reasoner.is_consistent(),
+            reasoner.is_instance(a, Or.of(A, B)),
+        ]
+        assert answers == [True, True, False, True, True]
+
+
+class TestBackjumping:
+    def test_trail_backjumps_and_explores_strictly_fewer_branches(self):
+        kb = deep_disjunction_kb(4)
+        trail = Reasoner(kb, search="trail", use_cache=False)
+        copying = Reasoner(kb, search="copying", use_cache=False)
+        assert not trail.is_consistent()
+        assert not copying.is_consistent()
+        assert trail.stats.backjumps > 0
+        assert trail.stats.branch_points_skipped >= 4
+        assert (
+            trail.stats.branches_explored < copying.stats.branches_explored
+        )
+
+    def test_savings_grow_with_padding_depth(self):
+        # chronological search pays 2^N; the backjumping trail pays N
+        trail_counts, copying_counts = [], []
+        for padding in (2, 4, 6):
+            trail = Reasoner(
+                deep_disjunction_kb(padding), search="trail", use_cache=False
+            )
+            copying = Reasoner(
+                deep_disjunction_kb(padding), search="copying", use_cache=False
+            )
+            assert not trail.is_consistent()
+            assert not copying.is_consistent()
+            trail_counts.append(trail.stats.branches_explored)
+            copying_counts.append(copying.stats.branches_explored)
+        assert trail_counts == [padding + 3 for padding in (2, 4, 6)]
+        assert copying_counts == [2 ** (padding + 2) - 1 for padding in (2, 4, 6)]
+
+    def test_trail_counters_stay_zero_in_copying_mode(self):
+        kb = deep_disjunction_kb(3)
+        copying = Reasoner(kb, search="copying", use_cache=False)
+        assert not copying.is_consistent()
+        assert copying.stats.backjumps == 0
+        assert copying.stats.branch_points_skipped == 0
+        assert copying.stats.trail_length == 0
+
+    def test_trail_records_its_length(self):
+        kb = deep_disjunction_kb(3)
+        trail = Reasoner(kb, search="trail", use_cache=False)
+        assert not trail.is_consistent()
+        assert trail.stats.trail_length > 0
+
+
+class TestBranchBudget:
+    def test_both_modes_respect_max_branches(self):
+        kb = deep_disjunction_kb(8)
+        with pytest.raises(ReasonerLimitExceeded):
+            Reasoner(kb, search="copying", use_cache=False, max_branches=64).is_consistent()
+        # the trail needs only padding + 3 branches
+        trail = Reasoner(kb, search="trail", use_cache=False, max_branches=64)
+        assert not trail.is_consistent()
+        assert trail.stats.branches_explored <= 11

@@ -138,6 +138,59 @@ class TestEntailsDispatcher:
         assert reasoner.entails(RoleInclusion4(r, s, InclusionKind.INTERNAL))
         assert not reasoner.entails(RoleInclusion4(s, r, InclusionKind.INTERNAL))
 
+    def test_same_individual_entailment(self):
+        # a = b follows from a nominal pin; Definition 6 leaves
+        # individuals untouched, so the verdict passes through classically.
+        from repro.dl import SameIndividual
+
+        kb4 = KnowledgeBase4().add(ConceptAssertion(a, OneOf.of("b")))
+        reasoner = Reasoner4(kb4)
+        assert reasoner.entails(SameIndividual(a, b))
+        assert not Reasoner4(KnowledgeBase4()).entails(SameIndividual(a, b))
+
+    def test_different_individuals_entailment(self):
+        from repro.dl import DifferentIndividuals
+
+        kb4 = KnowledgeBase4().add(DifferentIndividuals(a, b))
+        assert Reasoner4(kb4).entails(DifferentIndividuals(a, b))
+        empty = Reasoner4(KnowledgeBase4())
+        assert not empty.entails(DifferentIndividuals(a, b))
+
+    def test_data_assertion_entailment(self):
+        from repro.dl import DataAssertion, DataValue
+        from repro.dl.roles import DatatypeRole
+
+        u = DatatypeRole("u")
+        kb4 = KnowledgeBase4().add(DataAssertion(u, a, DataValue.of(10)))
+        reasoner = Reasoner4(kb4)
+        assert reasoner.entails(DataAssertion(u, a, DataValue.of(10)))
+        assert not reasoner.entails(DataAssertion(u, a, DataValue.of(11)))
+
+    def test_unsupported_axiom_raises_typed_error(self):
+        # Regression: this used to surface as a bare NotImplementedError.
+        import pytest
+
+        from repro.dl import Transitivity, UnsupportedAxiomError, UnsupportedFeature
+
+        reasoner = Reasoner4(KnowledgeBase4().add(ConceptAssertion(a, A)))
+        with pytest.raises(UnsupportedAxiomError) as excinfo:
+            reasoner.entails(Transitivity(r))
+        assert excinfo.value.axiom == Transitivity(r)
+        assert isinstance(excinfo.value, UnsupportedFeature)
+
+    def test_classical_reasoner_unsupported_axiom_is_typed(self):
+        import pytest
+
+        from repro.dl import (
+            KnowledgeBase,
+            Reasoner,
+            Transitivity,
+            UnsupportedAxiomError,
+        )
+
+        with pytest.raises(UnsupportedAxiomError):
+            Reasoner(KnowledgeBase()).entails(Transitivity(r))
+
 
 class TestClassification4:
     def test_internal_hierarchy(self):

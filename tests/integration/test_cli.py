@@ -131,6 +131,32 @@ class TestStatsFlag:
         assert "work:" not in capsys.readouterr().out
 
 
+class TestSearchFlag:
+    def test_trail_is_the_default_and_reports_trail_counters(
+        self, penguin_file, capsys
+    ):
+        assert main(["check", penguin_file, "--stats"]) == 0
+        assert "trail:" in capsys.readouterr().out
+
+    def test_copying_mode_omits_trail_counters(self, penguin_file, capsys):
+        assert main(["check", penguin_file, "--stats", "--search", "copying"]) == 0
+        assert "trail:" not in capsys.readouterr().out
+
+    def test_modes_agree_on_the_answer(self, penguin_file, capsys):
+        trail = main(["query", penguin_file, "tweety", "Penguin", "--search", "trail"])
+        trail_out = capsys.readouterr().out.splitlines()[0]
+        copying = main(
+            ["query", penguin_file, "tweety", "Penguin", "--search", "copying"]
+        )
+        copying_out = capsys.readouterr().out.splitlines()[0]
+        assert trail == copying
+        assert trail_out == copying_out
+
+    def test_unknown_mode_is_a_usage_error(self, penguin_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["check", penguin_file, "--search", "dfs"])
+
+
 class TestTransformAndExport:
     def test_transform_prints_induced_kb(self, penguin_file, capsys):
         assert main(["transform", penguin_file]) == 0

@@ -12,7 +12,10 @@ seeded random KBs we cross-check them pairwise:
   classical reasoner, bypassing ``Reasoner4``'s shared cache and
   memoised transform entirely;
 * **tableau vs model enumeration** — on tiny signatures the brute-force
-  enumerator is conclusive and arbitrates both of the above.
+  enumerator is conclusive and arbitrates both of the above;
+* **trail vs copying search** — the backjumping trail engine must match
+  the copy-per-branch oracle verdict for verdict while never exploring
+  more branches.
 
 The seeds are fixed ranges, not hypothesis draws, so a failure names the
 exact KB: rebuild it with ``generate_kb(GeneratorConfig(seed=...))``.
@@ -190,6 +193,48 @@ class TestTableauVsEnumeration:
             assert not enum_sat, f"seed={seed}: unsat but 4-model exists"
 
 
+class TestTrailVsCopying:
+    """The trail engine vs the copy-per-branch oracle, seed for seed.
+
+    Verdicts must be identical and the backjumping trail must never
+    explore *more* branches than chronological backtracking.
+    """
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_classical_verdicts_and_branch_bounds_agree(self, seed):
+        kb = generate_kb(GeneratorConfig(seed=seed, **SMALL))
+        atoms, individuals = _signature(kb)
+        trail = Reasoner(kb, use_cache=False, search="trail")
+        copying = Reasoner(kb, use_cache=False, search="copying")
+        assert _probe_answers(trail, atoms, individuals) == _probe_answers(
+            copying, atoms, individuals
+        ), f"seed={seed}"
+        assert (
+            trail.stats.branches_explored <= copying.stats.branches_explored
+        ), f"seed={seed}"
+        assert copying.stats.trail_length == 0
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_four_valued_verdicts_agree(self, seed):
+        kb4 = generate_kb4(GeneratorConfig(seed=seed, **SMALL))
+        atoms = sorted(kb4.concepts_in_signature(), key=lambda a: a.name)
+        individuals = sorted(
+            kb4.individuals_in_signature(), key=lambda i: i.name
+        )
+        trail = Reasoner4(kb4, use_cache=False, search="trail")
+        copying = Reasoner4(kb4, use_cache=False, search="copying")
+        for individual in individuals:
+            for atom in atoms:
+                assert trail.assertion_value(
+                    individual, atom
+                ) is copying.assertion_value(
+                    individual, atom
+                ), f"seed={seed} {atom.name}({individual.name})"
+        assert (
+            trail.stats.branches_explored <= copying.stats.branches_explored
+        ), f"seed={seed}"
+
+
 class TestMutationUnderFuzz:
     """Invalidation fuzz: answers after a mutation match a fresh reasoner."""
 
@@ -209,5 +254,5 @@ class TestMutationUnderFuzz:
 
 def test_fuzz_coverage_floor():
     """The suite must keep exercising at least 200 distinct seeded KBs."""
-    cases = 100 + 40 + 60 + 30 + 30 + 60 + 25 + 25
+    cases = 100 + 40 + 60 + 30 + 30 + 60 + 25 + 25 + 40 + 20
     assert cases >= 200

@@ -1,0 +1,94 @@
+"""Counter-backed evidence that trail search with backjumping beats copying.
+
+Acceptance is measured in *work* (branch counters), not wall-clock: on
+the shipped university ontology the trail engine must never explore more
+branches than the copy-per-branch oracle, agree with it on every
+verdict, and on a refutation query whose clash is independent of the
+ontology's many root-level disjunction choices it must answer within a
+branch budget the chronological search provably blows through.
+"""
+
+import os
+
+import pytest
+
+from repro.dl import And, Exists, Not, Or, Reasoner
+from repro.dl.concepts import AtomicConcept
+from repro.dl.errors import ReasonerLimitExceeded
+from repro.dl.parser import parse_kb4
+from repro.dl.roles import AtomicRole
+from repro.four_dl import positive_concept, positive_role, transform_kb
+
+ONTOLOGY_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "ontologies"
+)
+
+
+def _induced(name):
+    with open(os.path.join(ONTOLOGY_DIR, name)) as handle:
+        return transform_kb(parse_kb4(handle.read()))
+
+
+def _pos(name):
+    return positive_concept(AtomicConcept(name))
+
+
+#: A concept unsatisfiable w.r.t. the university TBox: anything supervised
+#: that is a professor or a lecturer is a person (via the Faculty/Staff
+#: chain), so it cannot also lack positive Person evidence.  Refuting it
+#: requires branching on the Professor/Lecturer disjunct *below* every
+#: unrelated root-level choice the ontology's ABox opens.
+def _impossible_supervisee():
+    return Exists(
+        positive_role(AtomicRole("supervises")),
+        And.of(Or.of(_pos("Professor"), _pos("Lecturer")), Not(_pos("Person"))),
+    )
+
+
+def test_university_trail_answers_within_a_budget_copying_blows():
+    induced = _induced("university.kb4")
+    trail = Reasoner(induced, search="trail", use_cache=False)
+    assert not trail.is_satisfiable(_impossible_supervisee())
+    assert trail.stats.branches_explored < 100
+    assert trail.stats.backjumps > 0
+    assert trail.stats.branch_points_skipped > 0
+    # the probe grows fresh successors, so incremental blocking actually ran
+    assert trail.stats.blocking_checks > 0
+
+    copying = Reasoner(
+        induced, search="copying", use_cache=False, max_branches=5000
+    )
+    with pytest.raises(ReasonerLimitExceeded):
+        copying.is_satisfiable(_impossible_supervisee())
+    # strictly fewer branches: the oracle burnt its whole budget and the
+    # trail finished in under 2% of it
+    assert trail.stats.branches_explored < copying.stats.branches_explored
+
+
+def test_university_battery_verdicts_agree_and_trail_never_does_more():
+    induced = _induced("university.kb4")
+    atoms = sorted(induced.concepts_in_signature(), key=lambda c: c.name)
+    individuals = sorted(induced.individuals_in_signature())
+
+    def battery(reasoner):
+        answers = [reasoner.is_consistent()]
+        answers += [
+            reasoner.is_instance(individual, atom)
+            for individual in individuals[:4]
+            for atom in atoms
+        ]
+        return answers
+
+    trail = Reasoner(induced, search="trail", use_cache=False)
+    copying = Reasoner(induced, search="copying", use_cache=False)
+    assert battery(trail) == battery(copying)
+    assert trail.stats.branches_explored <= copying.stats.branches_explored
+    assert trail.stats.tableau_runs == copying.stats.tableau_runs
+
+
+def test_university_classification_identical_across_modes():
+    induced = _induced("university.kb4")
+    trail = Reasoner(induced, search="trail", use_cache=False)
+    copying = Reasoner(induced, search="copying", use_cache=False)
+    assert trail.classify() == copying.classify()
+    assert trail.stats.branches_explored <= copying.stats.branches_explored
