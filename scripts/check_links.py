@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Fail on broken intra-repository Markdown links.
+
+Scans every tracked ``*.md`` file for inline links and images
+(``[text](target)``), resolves relative targets against the containing
+file, and exits 1 listing any target that does not exist.  External
+links (``http(s)://``, ``mailto:``) and pure in-page anchors (``#...``)
+are skipped; a ``file.md#anchor`` target is checked for the file part
+only.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+SKIP_DIRS = {".git", ".pytest_cache", "__pycache__", ".claude", "node_modules"}
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def markdown_files() -> list:
+    files = []
+    for path in REPO.rglob("*.md"):
+        if any(part in SKIP_DIRS for part in path.parts):
+            continue
+        files.append(path)
+    return sorted(files)
+
+
+def check_file(path: Path) -> list:
+    broken = []
+    for match in LINK.finditer(path.read_text()):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            broken.append((target, resolved))
+    return broken
+
+
+def main() -> int:
+    failures = 0
+    for path in markdown_files():
+        for target, resolved in check_file(path):
+            print(
+                f"{path.relative_to(REPO)}: broken link '{target}' "
+                f"(no such file: {resolved})",
+                file=sys.stderr,
+            )
+            failures += 1
+    if failures:
+        print(f"{failures} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"all intra-repo links OK across {len(markdown_files())} files")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,12 +22,22 @@ Quick start::
 
 __version__ = "1.0.0"
 
-from . import baselines, dl, four_dl, fourvalued, harness, semantics, workloads
+from . import (
+    baselines,
+    dl,
+    explain,
+    four_dl,
+    fourvalued,
+    harness,
+    semantics,
+    workloads,
+)
 
 __all__ = [
     "__version__",
     "baselines",
     "dl",
+    "explain",
     "four_dl",
     "fourvalued",
     "harness",

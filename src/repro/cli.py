@@ -22,6 +22,13 @@ trail length, backjumps) after the answer, and ``--search
 {trail,copying}`` to pick the tableau search strategy (trail-based
 backjumping by default; ``copying`` is the copy-per-branch reference).
 
+``check`` and ``query`` additionally accept ``--explain`` — print a
+subset-minimal justification citing the original KB4 axioms, annotated
+with their Table 3 inclusion strength — and ``--trace`` to dump the
+structured tableau search trace of each probe run (``--trace`` implies
+``--explain``).  For a ``query`` answering BOTH, both evidence
+directions are justified separately.
+
 Exit status is 0 on success, 1 when a check fails (inconsistent /
 unsatisfiable / query not entailed), 2 on usage or parse errors.
 """
@@ -32,7 +39,8 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .dl.concepts import AtomicConcept
+from .dl import axioms as ax
+from .dl.concepts import AtomicConcept, Not
 from .dl.errors import ParseError, ReproError
 from .dl.individuals import Individual
 from .dl.parser import ConceptParser, parse_kb4
@@ -45,6 +53,9 @@ from .four_dl.reasoner4 import Reasoner4
 from .four_dl.transform import transform_kb
 from .fourvalued.truth import FourValue
 from .harness.tables import print_table
+
+#: Cap on full --trace output per probe run, to keep terminals usable.
+TRACE_LINE_LIMIT = 60
 
 
 def _load_kb4(path: str) -> KnowledgeBase4:
@@ -59,6 +70,19 @@ def _make_reasoner(args: argparse.Namespace, kb4: KnowledgeBase4) -> Reasoner4:
 def _print_stats(args: argparse.Namespace, reasoner: Reasoner4) -> None:
     if getattr(args, "stats", False):
         print(f"work: {reasoner.stats.render()}")
+
+
+def _explain_requested(args: argparse.Namespace) -> bool:
+    return getattr(args, "explain", False) or getattr(args, "trace", False)
+
+
+def _print_traces(args: argparse.Namespace, traces) -> None:
+    from .explain import render_trace
+
+    if not getattr(args, "trace", False):
+        return
+    for trace in traces:
+        print(render_trace(trace, max_lines=TRACE_LINE_LIMIT))
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -76,6 +100,31 @@ def _cmd_check(args: argparse.Namespace) -> int:
             "the ontology contradicts itself classically but stays "
             "meaningful four-valuedly; run 'audit' to localise the conflicts"
         )
+    if _explain_requested(args):
+        if not four_ok:
+            explanation = reasoner.explain_unsatisfiability(
+                trace=getattr(args, "trace", False)
+            )
+            print()
+            print(explanation.render(heading="--- why four-valued unsatisfiable ---"))
+            _print_traces(args, explanation.traces)
+        elif not classical_ok:
+            classical = Reasoner(
+                collapse_to_classical(kb4),
+                search=getattr(args, "search", "trail"),
+            )
+            explanation = classical.explain_inconsistency(
+                trace=getattr(args, "trace", False)
+            )
+            print()
+            print(
+                explanation.render(
+                    heading="--- why classically inconsistent (collapsed) ---"
+                )
+            )
+            _print_traces(args, explanation.traces)
+        else:
+            print("nothing to explain: the ontology is satisfiable both ways")
     _print_stats(args, reasoner)
     return 0 if four_ok else 1
 
@@ -96,6 +145,25 @@ def _cmd_query(args: argparse.Namespace) -> int:
         FourValue.NEITHER: "no entailed evidence either way",
     }[value]
     print(f"{args.concept}({args.individual}) = {value}  ({explanation})")
+    if _explain_requested(args):
+        directions = []
+        if value in (FourValue.TRUE, FourValue.BOTH):
+            directions.append(
+                ("evidence for", ax.ConceptAssertion(individual, concept))
+            )
+        if value in (FourValue.FALSE, FourValue.BOTH):
+            directions.append(
+                ("evidence against", ax.ConceptAssertion(individual, Not(concept)))
+            )
+        if not directions:
+            print("nothing to explain: neither direction is entailed")
+        for label, query_axiom in directions:
+            result = reasoner.explain(
+                query_axiom, trace=getattr(args, "trace", False)
+            )
+            print()
+            print(result.render(heading=f"--- {label} ---"))
+            _print_traces(args, result.traces)
     _print_stats(args, reasoner)
     return 0 if value in (FourValue.TRUE, FourValue.BOTH) else 1
 
@@ -219,6 +287,15 @@ def build_parser() -> argparse.ArgumentParser:
         "or the copy-per-branch reference implementation"
     )
 
+    explain_help = (
+        "print a minimal justification citing the original KB4 axioms, "
+        "annotated with their Table 3 inclusion strength"
+    )
+    trace_help = (
+        "also dump the structured tableau search trace of each probe run "
+        "(implies --explain)"
+    )
+
     def add_reasoning_flags(subparser: argparse.ArgumentParser) -> None:
         subparser.add_argument("--stats", action="store_true", help=stats_help)
         subparser.add_argument(
@@ -228,9 +305,18 @@ def build_parser() -> argparse.ArgumentParser:
             help=search_help,
         )
 
+    def add_explain_flags(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--explain", action="store_true", help=explain_help
+        )
+        subparser.add_argument(
+            "--trace", action="store_true", help=trace_help
+        )
+
     check = commands.add_parser("check", help="satisfiability check")
     check.add_argument("file", help="ontology file (concrete syntax)")
     add_reasoning_flags(check)
+    add_explain_flags(check)
     check.set_defaults(handler=_cmd_check)
 
     query = commands.add_parser("query", help="Belnap status of C(a)")
@@ -238,6 +324,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("individual", help="individual name")
     query.add_argument("concept", help="concept expression")
     add_reasoning_flags(query)
+    add_explain_flags(query)
     query.set_defaults(handler=_cmd_query)
 
     audit = commands.add_parser("audit", help="conflict report and degrees")

@@ -82,6 +82,16 @@ class Reasoner:
         search: str = "trail",
         cache_maxsize: Optional[int] = 4096,
     ):
+        """Bind a reasoner to ``kb``.
+
+        ``max_nodes`` / ``max_branches`` bound the tableau search
+        (:class:`~repro.dl.errors.ReasonerLimitExceeded` on overrun);
+        ``cache`` shares an existing :class:`~repro.dl.cache.QueryCache`
+        across reasoners, while ``use_cache=False`` / ``cache_maxsize``
+        configure a private one; ``stats`` shares a
+        :class:`~repro.dl.stats.ReasonerStats`; ``search`` picks the
+        tableau strategy (``"trail"`` or ``"copying"``).
+        """
         self.kb = kb
         self.max_nodes = max_nodes
         self.max_branches = max_branches
@@ -218,6 +228,215 @@ class Reasoner:
             )
             return not self._satisfiable_with(probes)
         raise UnsupportedAxiomError(axiom)
+
+    # ------------------------------------------------------------------
+    # Explanation
+    # ------------------------------------------------------------------
+    def _entailment_probes(self, axiom: Axiom):
+        """The refutation probe sets of :meth:`entails`.
+
+        Returns a tuple of probe tuples; the axiom is entailed iff the KB
+        is unsatisfiable together with *each* probe set.  Mirrors the
+        dispatch of :meth:`entails` exactly (kept separate so the
+        explanation path cannot perturb the counters of the query path).
+        """
+        if isinstance(axiom, ConceptInclusion):
+            return (
+                (
+                    ConceptAssertion(
+                        _PROBE, And.of(axiom.sub, Not(axiom.sup))
+                    ),
+                ),
+            )
+        if isinstance(axiom, ConceptAssertion):
+            return ((ConceptAssertion(axiom.individual, Not(axiom.concept)),),)
+        if isinstance(axiom, RoleAssertion):
+            probe = ConceptAssertion(
+                axiom.source,
+                Forall(axiom.role, Not(OneOf(frozenset({axiom.target})))),
+            )
+            return ((probe,),)
+        if isinstance(axiom, NegativeRoleAssertion):
+            return ((RoleAssertion(axiom.role, axiom.source, axiom.target),),)
+        if isinstance(axiom, SameIndividual):
+            pair = OneOf(frozenset({axiom.right}))
+            return ((ConceptAssertion(axiom.left, Not(pair)),),)
+        if isinstance(axiom, ConceptEquivalence):
+            return self._entailment_probes(
+                ConceptInclusion(axiom.left, axiom.right)
+            ) + self._entailment_probes(
+                ConceptInclusion(axiom.right, axiom.left)
+            )
+        if isinstance(axiom, DifferentIndividuals):
+            return ((SameIndividual(axiom.left, axiom.right),),)
+        if isinstance(axiom, DataAssertion):
+            from .datatypes import DataOneOf
+            from .concepts import DataForall
+
+            excluded = DataOneOf(frozenset({axiom.value})).negate()
+            probe = ConceptAssertion(
+                axiom.source, DataForall(axiom.role, excluded)
+            )
+            return ((probe,),)
+        if isinstance(axiom, RoleInclusion):
+            source = Individual("__sub_probe_a__")
+            target = Individual("__sub_probe_b__")
+            nominal = OneOf(frozenset({target}))
+            return (
+                (
+                    ConceptAssertion(source, Exists(axiom.sub, nominal)),
+                    ConceptAssertion(source, Forall(axiom.sup, Not(nominal))),
+                ),
+            )
+        raise UnsupportedAxiomError(axiom, service="explain")
+
+    def _provenance_tableau(self) -> Tableau:
+        """A provenance-tracking trail tableau over the current KB.
+
+        Built lazily and rebuilt when the KB version moves; separate from
+        the main tableau so the default query path never pays for axiom
+        tagging.
+        """
+        cached = getattr(self, "_traced_tableau", None)
+        if cached is not None and cached.kb is self.kb and (
+            getattr(self, "_traced_tableau_version", None) == self.kb.version
+        ):
+            return cached
+        tableau = Tableau(
+            self.kb,
+            max_nodes=self.max_nodes,
+            max_branches=self.max_branches,
+            stats=self.stats,
+            search="trail",
+            track_provenance=True,
+        )
+        self._traced_tableau = tableau
+        self._traced_tableau_version = self.kb.version
+        return tableau
+
+    def _shrink_check(self, axiom: Axiom):
+        """The monotone re-check used by justification shrinking.
+
+        Each call builds a fresh sub-KB reasoner with the query cache
+        *bypassed*: cached verdicts describe the full KB and must not
+        leak into questions about its subsets.
+        """
+
+        def check(axioms: Sequence[Axiom]) -> bool:
+            self.stats.shrink_probes += 1
+            sub = Reasoner(
+                KnowledgeBase.of(axioms),
+                max_nodes=self.max_nodes,
+                max_branches=self.max_branches,
+                use_cache=False,
+                search=self.search,
+            )
+            try:
+                return sub.entails(axiom)
+            except Exception:
+                # A sub-KB that blows a resource limit cannot support
+                # the deletion, so the axiom is kept.
+                return False
+
+        return check
+
+    def explain(self, axiom: Axiom, trace: bool = False):
+        """Why (or that) the KB entails ``axiom``.
+
+        Returns an :class:`repro.explain.model.Explanation`.  When the
+        axiom is entailed it carries one subset-minimal
+        :class:`~repro.explain.model.Justification` per independent
+        evidence direction (equivalences merge both directions into one
+        justification, since both must hold together).  The tableau's
+        clash provenance seeds the search; deletion-based shrinking with
+        the cache bypassed guarantees minimality regardless of the seed.
+
+        With ``trace=True`` the probe runs record structured clash
+        traces (trail search; see :class:`repro.explain.model.Trace`).
+        """
+        from ..explain.justify import minimal_justification
+        from ..explain.model import Explanation, Trace
+
+        self._sync()
+        probe_sets = self._entailment_probes(axiom)
+        tableau = self._provenance_tableau()
+        traces = []
+        entailed = True
+        seed: Set[Axiom] = set()
+        seed_known = True
+        for probes in probe_sets:
+            recorder = Trace() if trace else None
+            satisfiable = tableau.is_satisfiable(probes, trace=recorder)
+            if recorder is not None:
+                traces.append(recorder)
+            if satisfiable:
+                entailed = False
+                break
+            core = tableau.last_unsat_core
+            if core is None:
+                seed_known = False
+            else:
+                seed |= core
+        if not entailed:
+            return Explanation(
+                query=axiom, entailed=False, traces=tuple(traces)
+            )
+        check = self._shrink_check(axiom)
+        justification = minimal_justification(
+            list(self.kb.axioms()),
+            check,
+            seed=frozenset(seed) if seed_known else None,
+        )
+        self.stats.explanations_computed += 1
+        return Explanation(
+            query=axiom,
+            entailed=True,
+            justifications=(justification,),
+            traces=tuple(traces),
+        )
+
+    def explain_inconsistency(self, trace: bool = False):
+        """A minimal unsatisfiable axiom subset, when the KB has one.
+
+        Returns an :class:`repro.explain.model.InconsistencyExplanation`;
+        its justification is a MUPS (minimal classically-unsatisfiable
+        sub-KB) found by the same provenance-seeded deletion shrinking.
+        """
+        from ..explain.justify import minimal_justification
+        from ..explain.model import InconsistencyExplanation, Trace
+
+        self._sync()
+        tableau = self._provenance_tableau()
+        recorder = Trace() if trace else None
+        if tableau.is_satisfiable(trace=recorder):
+            return InconsistencyExplanation(
+                consistent=True,
+                traces=(recorder,) if recorder is not None else (),
+            )
+
+        def check(axioms: Sequence[Axiom]) -> bool:
+            self.stats.shrink_probes += 1
+            sub = Reasoner(
+                KnowledgeBase.of(axioms),
+                max_nodes=self.max_nodes,
+                max_branches=self.max_branches,
+                use_cache=False,
+                search=self.search,
+            )
+            try:
+                return not sub.is_consistent()
+            except Exception:
+                return False
+
+        justification = minimal_justification(
+            list(self.kb.axioms()), check, seed=tableau.last_unsat_core
+        )
+        self.stats.explanations_computed += 1
+        return InconsistencyExplanation(
+            consistent=False,
+            justification=justification,
+            traces=(recorder,) if recorder is not None else (),
+        )
 
     def entails_all(self, axioms: Iterable[Axiom]) -> bool:
         """Whether the KB entails every axiom (OWL DL ontology entailment).

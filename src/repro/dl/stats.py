@@ -40,7 +40,14 @@ class ReasonerStats:
     * ``branch_points_skipped`` — branch points discarded unexplored by
       those jumps (each had untried alternatives pruned);
     * ``blocking_checks`` — node blocking signatures (re)computed; with
-      incremental maintenance this stays far below nodes x iterations.
+      incremental maintenance this stays far below nodes x iterations;
+    * ``explanations_computed`` — ``explain(...)`` calls that produced an
+      :class:`~repro.explain.model.Explanation`;
+    * ``shrink_probes`` — entailment re-checks issued by deletion-based
+      justification shrinking (each runs on a candidate sub-KB with the
+      query cache bypassed);
+    * ``trace_events`` — structured trace events recorded while a
+      :class:`~repro.explain.model.Trace` was attached to a tableau run.
     """
 
     tableau_runs: int = 0
@@ -54,6 +61,9 @@ class ReasonerStats:
     backjumps: int = 0
     branch_points_skipped: int = 0
     blocking_checks: int = 0
+    explanations_computed: int = 0
+    shrink_probes: int = 0
+    trace_events: int = 0
 
     def snapshot(self) -> "ReasonerStats":
         """An independent copy of the current counter values."""
@@ -103,4 +113,11 @@ class ReasonerStats:
             )
         if self.cache_evictions:
             line += f" | evictions: {self.cache_evictions}"
+        if self.explanations_computed or self.shrink_probes:
+            line += (
+                f" | explanations: {self.explanations_computed}"
+                f" (shrink probes: {self.shrink_probes})"
+            )
+        if self.trace_events:
+            line += f" | trace events: {self.trace_events}"
         return line

@@ -328,6 +328,16 @@ class Tableau:
     hierarchy closure) happens once in the constructor; each
     :meth:`is_satisfiable` call explores a fresh completion graph, with
     optional extra assertions (used for entailment-by-refutation).
+
+    With ``track_provenance=True`` (trail search only) every KB axiom is
+    assigned a negative *axiom tag* threaded through the trail engine's
+    per-fact dependency sets alongside the non-negative branch-point
+    levels.  After an unsatisfiable run, :attr:`last_unsat_core` holds
+    the axioms whose tags reached the final clash — an unsat-core *seed*
+    for justification search (callers re-verify it; see
+    :mod:`repro.explain.justify`).  Axioms acting through preprocessed
+    closures (role inclusions, transitivity, datatype role inclusions)
+    are not tracked individually and are always included in the core.
     """
 
     def __init__(
@@ -339,7 +349,18 @@ class Tableau:
         use_absorption: bool = True,
         stats: Optional["ReasonerStats"] = None,
         search: str = "trail",
+        track_provenance: bool = False,
     ):
+        """Compile ``kb`` into a reusable satisfiability engine.
+
+        ``use_bcp`` / ``use_absorption`` toggle the two switchable
+        optimisations (ablation studies only); ``search`` picks the
+        trail or copying engine; ``track_provenance=True`` additionally
+        tags every axiom so refutations expose
+        :attr:`last_unsat_core` and clash traces (trail search only;
+        costs a little per run, so reasoners keep a separate traced
+        instance instead of enabling it by default).
+        """
         if search not in ("trail", "copying"):
             raise ValueError(
                 f"search must be 'trail' or 'copying', got {search!r}"
@@ -363,42 +384,223 @@ class Tableau:
         self.hierarchy = kb.role_superroles()
         self.data_hierarchy = self._datatype_hierarchy()
         self.transitive = kb.transitive_roles()
+        #: Provenance bookkeeping (all empty when tracking is off, so the
+        #: default search path carries no extra per-fact work).
+        self.track_provenance = track_provenance
+        self._axiom_tags: Dict[int, object] = {}
+        self._tag_of: Dict[object, int] = {}
+        self.universal_deps: Dict[Concept, FrozenSet[int]] = {}
+        self.absorbed_deps: Dict[Tuple, FrozenSet[int]] = {}
+        self.last_unsat_core: Optional[FrozenSet] = None
+        if track_provenance:
+            for axiom in kb.axioms():
+                if axiom not in self._tag_of:
+                    tag = -(len(self._tag_of) + 1)
+                    self._tag_of[axiom] = tag
+                    self._axiom_tags[tag] = axiom
+            #: Axioms whose effect flows through preprocessed closures
+            #: (hierarchies, transitivity); never tracked per-fact, always
+            #: part of any reported core.
+            self._background_axioms = frozenset(
+                itertools.chain(
+                    kb.role_inclusions,
+                    kb.datatype_role_inclusions,
+                    kb.transitivity_axioms,
+                )
+            )
+        else:
+            self._background_axioms = frozenset()
         self.universal: List[Concept] = []
         self.absorbed: Dict[AtomicConcept, List[Concept]] = {}
         for inclusion in kb.concept_inclusions:
+            tag = self._tag_of.get(inclusion)
             if use_absorption and isinstance(inclusion.sub, AtomicConcept):
-                self.absorbed.setdefault(inclusion.sub, []).append(
-                    nnf(inclusion.sup)
-                )
+                consequence = nnf(inclusion.sup)
+                self.absorbed.setdefault(inclusion.sub, []).append(consequence)
+                if tag is not None:
+                    akey = (inclusion.sub, consequence)
+                    self.absorbed_deps[akey] = self.absorbed_deps.get(
+                        akey, EMPTY
+                    ) | frozenset({tag})
             else:
-                self.universal.append(
-                    nnf(Or.of(negation_nnf(inclusion.sub), inclusion.sup))
+                constraint = nnf(
+                    Or.of(negation_nnf(inclusion.sub), inclusion.sup)
                 )
+                self.universal.append(constraint)
+                if tag is not None:
+                    self.universal_deps[constraint] = self.universal_deps.get(
+                        constraint, EMPTY
+                    ) | frozenset({tag})
         self._branches_used = 0
         self._sort_keys: Dict[Concept, str] = {}
+        # Per-run provenance/trace state (populated by is_satisfiable).
+        self._active_trace = None
+        self._run_tag_axioms: Dict[int, object] = dict(self._axiom_tags)
+        self._run_tags: FrozenSet[int] = frozenset(self._axiom_tags)
+        self._pending_init_deps: Dict[Tuple, FrozenSet[int]] = {}
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
     def is_satisfiable(
-        self, extra_assertions: Iterable = ()
+        self, extra_assertions: Iterable = (), trace=None
     ) -> bool:
-        """Whether the KB (plus optional extra ABox axioms) has a model."""
+        """Whether the KB (plus optional extra ABox axioms) has a model.
+
+        ``trace``, when given, is a :class:`repro.explain.model.Trace`
+        that records the run's structured search events (trail search
+        only; the copying oracle records just the verdict).
+        """
         if self.stats is not None:
             self.stats.tableau_runs += 1
         self._complete_graph: Optional[_Graph] = None
-        graph = self._initial_graph(extra_assertions)
+        self.last_unsat_core = None
+        self._active_trace = trace
+        if trace is not None and trace.stats is None:
+            trace.stats = self.stats
+        extra = list(extra_assertions)
+        record: Optional[List] = None
+        if self.track_provenance:
+            record = []
+            self._prepare_run_tags(extra)
+        graph = self._initial_graph(extra, record=record)
         if graph is None:
+            # Only SameIndividual/DifferentIndividuals conflicts abort
+            # graph construction, so they bound the core seed.
+            if self.track_provenance:
+                self.last_unsat_core = frozenset(
+                    itertools.chain(
+                        self.kb.same_individuals, self.kb.different_individuals
+                    )
+                )
+            if trace is not None:
+                trace.emit("verdict", (False,))
             return False
+        if self.track_provenance:
+            self._pending_init_deps = self._seed_provenance(
+                graph, extra, record or []
+            )
+        if trace is not None:
+            trace.emit(
+                "init", (len(graph.labels), len(self._pending_init_deps))
+            )
         self._branches_used = 0
         if self.search == "copying":
-            return self._solve(graph)
+            result = self._solve(graph)
+            if trace is not None:
+                trace.emit("verdict", (result,))
+            return result
         engine = _TrailEngine(self, graph)
         try:
-            return engine.solve()
+            result = engine.solve()
+            if self.track_provenance and not result:
+                self.last_unsat_core = self._resolve_core(engine.final_clash)
+            if trace is not None:
+                trace.emit("verdict", (result,))
+            return result
         finally:
             if self.stats is not None:
                 self.stats.trail_length += engine.trail_total
+
+    def _prepare_run_tags(self, extra: List) -> None:
+        """Assign fresh (negative) tags to this run's probe assertions."""
+        tag_axioms = dict(self._axiom_tags)
+        next_tag = -(len(tag_axioms) + 1)
+        self._probe_tag_of: Dict[object, int] = {}
+        for axiom in extra:
+            if axiom in self._tag_of or axiom in self._probe_tag_of:
+                continue
+            self._probe_tag_of[axiom] = next_tag
+            tag_axioms[next_tag] = axiom
+            next_tag -= 1
+        self._run_tag_axioms = tag_axioms
+        self._run_tags = frozenset(tag_axioms)
+
+    def _seed_provenance(
+        self, graph: _Graph, extra: List, record: List
+    ) -> Dict[Tuple, FrozenSet[int]]:
+        """Initial-fact dependency map: trail fact key -> axiom tags.
+
+        Keys are computed against the *final* root bindings (after the
+        SameIndividual merges of graph construction), so they match the
+        facts the trail engine actually sees.
+        """
+        from .axioms import (
+            ConceptAssertion,
+            DataAssertion,
+            DifferentIndividuals,
+            NegativeRoleAssertion,
+            RoleAssertion,
+            SameIndividual,
+        )
+
+        out: Dict[Tuple, Set[int]] = {}
+        data_nodes = iter(record)
+
+        def note(key: Tuple, tag: int) -> None:
+            out.setdefault(key, set()).add(tag)
+
+        for axiom in itertools.chain(self.kb.abox(), extra):
+            tag = self._tag_of.get(axiom)
+            if tag is None:
+                tag = self._probe_tag_of.get(axiom)
+            if isinstance(axiom, DataAssertion):
+                recorded_axiom, data_node = next(data_nodes)
+                assert recorded_axiom is axiom
+            if tag is None:
+                continue
+            if isinstance(axiom, ConceptAssertion):
+                node = graph.roots[axiom.individual]
+                note(("L", node, nnf(axiom.concept)), tag)
+            elif isinstance(axiom, RoleAssertion):
+                source, target, role = axiom.source, axiom.target, axiom.role
+                if role.is_inverse:
+                    source, target, role = target, source, role.named
+                note(("E", graph.roots[source], graph.roots[target], role), tag)
+            elif isinstance(axiom, NegativeRoleAssertion):
+                normalised = axiom.normalised()
+                note(
+                    (
+                        "F",
+                        graph.roots[normalised.source],
+                        graph.roots[normalised.target],
+                        normalised.role,
+                    ),
+                    tag,
+                )
+            elif isinstance(axiom, DataAssertion):
+                note(("DN", data_node), tag)
+                note(
+                    (
+                        "DL",
+                        data_node,
+                        _ExactValue(axiom.value.datatype, axiom.value.lexical),
+                    ),
+                    tag,
+                )
+                note(
+                    ("DE", graph.roots[axiom.source], data_node, axiom.role),
+                    tag,
+                )
+            elif isinstance(axiom, SameIndividual):
+                # The merge's effects spread over the surviving node;
+                # over-approximate by tagging the node's existence.
+                note(("N", graph.roots[axiom.left]), tag)
+            elif isinstance(axiom, DifferentIndividuals):
+                pair = frozenset(
+                    {graph.roots[axiom.left], graph.roots[axiom.right]}
+                )
+                note(("NEQ", pair), tag)
+        return {key: frozenset(tags) for key, tags in out.items()}
+
+    def _resolve_core(self, clash: FrozenSet[int]) -> FrozenSet:
+        """Map final-clash tags back to KB axioms (probe tags dropped)."""
+        core = {
+            self._axiom_tags[tag]
+            for tag in clash
+            if tag < 0 and tag in self._axiom_tags
+        }
+        return frozenset(core) | self._background_axioms
 
     def concept_satisfiable(self, concept: Concept) -> bool:
         """Whether ``concept`` is satisfiable w.r.t. the KB."""
@@ -519,7 +721,9 @@ class Tableau:
             closure[role] = frozenset(reached)
         return closure
 
-    def _initial_graph(self, extra_assertions: Iterable) -> Optional[_Graph]:
+    def _initial_graph(
+        self, extra_assertions: Iterable, record: Optional[List] = None
+    ) -> Optional[_Graph]:
         from .axioms import (
             ConceptAssertion,
             DataAssertion,
@@ -569,6 +773,10 @@ class Tableau:
                 ).add(named)
             elif isinstance(axiom, DataAssertion):
                 data_node = graph.new_data_node()
+                if record is not None:
+                    # Provenance seeding needs to know which data node
+                    # each assertion created (see _seed_provenance).
+                    record.append((axiom, data_node))
                 graph.data_labels[data_node].add(
                     _ExactValue(axiom.value.datatype, axiom.value.lexical)
                 )
@@ -1266,6 +1474,16 @@ class _TrailEngine:
         self.trail: List[Tuple] = []
         self.trail_total = 0
         self.deps: Dict[Tuple, FrozenSet[int]] = {}
+        # Axiom provenance: negative tags live in the same dependency
+        # sets as branch-point levels; the initial facts are pre-seeded
+        # (never undone — the trail never rolls below mark 0).
+        self._tags: FrozenSet[int] = tableau._run_tags
+        if tableau.track_provenance:
+            self.deps.update(tableau._pending_init_deps)
+        #: Dependency set of the clash that exhausted the search (only
+        #: meaningful after solve() returned False).
+        self.final_clash: FrozenSet[int] = EMPTY
+        self.trace = tableau._active_trace
         self.stack: List[_ChoicePoint] = []
         self._last_blocked: Set[NodeId] = set()
         # Incremental blocking state: per-node monotone change counters, a
@@ -1291,6 +1509,7 @@ class _TrailEngine:
                 continue
             if status != "stable":
                 _, clash = status
+                self._trace_clash("expansion clash", clash)
                 if not self._backjump(clash):
                     return False
                 continue
@@ -1300,6 +1519,7 @@ class _TrailEngine:
                     return True
                 # Concrete-domain failure: the witness search spans the
                 # whole graph, so its dependencies are not tracked.
+                self._trace_clash("concrete-domain failure", EMPTY)
                 if not self._backjump(self._all_levels()):
                     return False
                 continue
@@ -1310,6 +1530,18 @@ class _TrailEngine:
                 base_deps=self._choice_base_deps(choice),
             )
             self.stack.append(cp)
+            if self.trace is not None:
+                self.trace.emit(
+                    "choice",
+                    (
+                        cp.level,
+                        self._describe(cp.alternatives[0])
+                        if cp.alternatives
+                        else "empty disjunction",
+                        len(cp.alternatives),
+                    ),
+                    len(self.stack) - 1,
+                )
             if not self._advance(cp):
                 clash = frozenset(cp.base_deps | cp.failure_deps)
                 self.stack.pop()
@@ -1322,10 +1554,17 @@ class _TrailEngine:
         while cp.index < len(cp.alternatives):
             descriptor = cp.alternatives[cp.index]
             cp.index += 1
+            if self.trace is not None:
+                self.trace.emit(
+                    "try",
+                    (cp.level, self._describe(descriptor)),
+                    len(self.stack),
+                )
             clash = self._apply_choice(descriptor, deps)
             if clash is None:
                 self.t._use_branch()
                 return True
+            self._trace_clash("alternative failed", clash)
             cp.failure_deps |= clash - {cp.level}
             self._undo_to(cp.mark)
         return False
@@ -1335,26 +1574,39 @@ class _TrailEngine:
 
         Returns True when an alternative was applied at the deepest branch
         point in ``clash`` (search continues), False when the whole search
-        space is exhausted (unsatisfiable).
+        space is exhausted (unsatisfiable).  With provenance tracking,
+        negative axiom tags ride along in ``clash``; only the
+        non-negative branch-point levels steer the jump, and the tag part
+        of the final clash survives in :attr:`final_clash` as the
+        unsat-core seed.
         """
         stats = self.t.stats
         while True:
+            levels = self._levels(clash)
             if not self.stack:
+                self.final_clash = clash
                 return False
-            if not clash:
+            if not levels:
                 # The clash depends on no choice at all: unsatisfiable
                 # regardless of every pending alternative.
                 if stats is not None:
                     stats.backjumps += 1
                     stats.branch_points_skipped += len(self.stack)
                 self.stack.clear()
+                self.final_clash = clash
                 return False
-            target = max(clash)
+            target = max(levels)
             skipped = len(self.stack) - 1 - target
             if skipped > 0:
                 if stats is not None:
                     stats.backjumps += 1
                     stats.branch_points_skipped += skipped
+                if self.trace is not None:
+                    self.trace.emit(
+                        "backjump",
+                        (len(self.stack) - 1, target, skipped),
+                        len(self.stack),
+                    )
                 del self.stack[target + 1:]
             cp = self.stack[-1]
             self._undo_to(cp.mark)
@@ -1364,8 +1616,48 @@ class _TrailEngine:
             clash = frozenset(cp.base_deps | cp.failure_deps)
             self.stack.pop()
 
+    def _levels(self, deps: FrozenSet[int]) -> FrozenSet[int]:
+        """The branch-point part of a dependency set (axiom tags dropped)."""
+        if not self._tags:
+            return deps
+        return frozenset(level for level in deps if level >= 0)
+
     def _all_levels(self) -> FrozenSet[int]:
-        return frozenset(range(len(self.stack)))
+        return frozenset(range(len(self.stack))) | self._tags
+
+    # ------------------------------------------------------------------
+    # Trace emission
+    # ------------------------------------------------------------------
+    def _trace_clash(self, reason: str, clash: FrozenSet[int]) -> None:
+        if self.trace is None:
+            return
+        axioms = self._resolve_axioms(clash)
+        self.trace.emit("clash", (reason, axioms), len(self.stack))
+
+    def _resolve_axioms(self, deps: FrozenSet[int]) -> Tuple:
+        """The source axioms named by a dependency set, in KB order."""
+        tag_axioms = self.t._run_tag_axioms
+        return tuple(
+            tag_axioms[tag]
+            for tag in sorted((t for t in deps if t < 0), reverse=True)
+            if tag in tag_axioms
+        )
+
+    @staticmethod
+    def _describe(descriptor: Tuple) -> str:
+        """A compact human-readable label for a choice descriptor."""
+        from .printer import render_concept
+
+        kind = descriptor[0]
+        if kind == "add":
+            return f"add {render_concept(descriptor[2])} to n{descriptor[1]}"
+        if kind == "nominal":
+            return f"bind n{descriptor[1]} to {descriptor[2].name}"
+        if kind == "merge":
+            return f"merge n{descriptor[1]} into n{descriptor[2]}"
+        if kind == "data_merge":
+            return f"merge data node n{descriptor[1]} into n{descriptor[2]}"
+        return repr(descriptor)
 
     def _choice_base_deps(self, choice: _Choice) -> FrozenSet[int]:
         if choice.trigger is None:
@@ -1496,6 +1788,10 @@ class _TrailEngine:
         full = deps | self._dep(("N", node))
         if full:
             self._set_deps(("L", node, concept), full)
+        if self.trace is not None:
+            self.trace.emit(
+                "derive", (("L", node, concept),), len(self.stack)
+            )
         return True
 
     def _add_edge(
@@ -1524,6 +1820,10 @@ class _TrailEngine:
         full = deps | self._dep(("N", source)) | self._dep(("N", target))
         if full:
             self._set_deps(("E", source, target, role), full)
+        if self.trace is not None:
+            self.trace.emit(
+                "derive", (("E", source, target, role),), len(self.stack)
+            )
         return True
 
     def _add_data_label(
@@ -1537,6 +1837,8 @@ class _TrailEngine:
         full = deps | self._dep(("DN", node))
         if full:
             self._set_deps(("DL", node, rng), full)
+        if self.trace is not None:
+            self.trace.emit("derive", (("DL", node, rng),), len(self.stack))
         return True
 
     def _add_data_edge(
@@ -1556,6 +1858,10 @@ class _TrailEngine:
         full = deps | self._dep(("N", source)) | self._dep(("DN", target))
         if full:
             self._set_deps(("DE", source, target, role), full)
+        if self.trace is not None:
+            self.trace.emit(
+                "derive", (("DE", source, target, role),), len(self.stack)
+            )
         return True
 
     def _new_node(self, parent: Optional[NodeId], deps: FrozenSet[int]) -> NodeId:
@@ -1815,11 +2121,23 @@ class _TrailEngine:
                     if consequences:
                         cdeps = self._dep(("L", node, concept))
                         for consequence in consequences:
-                            if self._add_label(node, consequence, cdeps):
+                            adeps = cdeps
+                            if t.absorbed_deps:
+                                adeps = cdeps | t.absorbed_deps.get(
+                                    (concept, consequence), EMPTY
+                                )
+                            if self._add_label(node, consequence, adeps):
                                 changed = True
-            # Universal (internalised TBox) constraints.
+            # Universal (internalised TBox) constraints; with provenance
+            # each carries the tags of the inclusions it internalises.
+            universal_deps = t.universal_deps
             for constraint in t.universal:
-                if self._add_label(node, constraint, EMPTY):
+                udeps = (
+                    universal_deps.get(constraint, EMPTY)
+                    if universal_deps
+                    else EMPTY
+                )
+                if self._add_label(node, constraint, udeps):
                     changed = True
             if changed:
                 continue

@@ -1,0 +1,52 @@
+"""Explanation and provenance: justifications, clash traces, rendering.
+
+The reasoning layers answer *whether* an entailment holds; this package
+answers *why*.  It has three parts:
+
+* :mod:`.model` — the :class:`~repro.explain.model.Trace` /
+  :class:`~repro.explain.model.Explanation` /
+  :class:`~repro.explain.model.Justification` containers;
+* :mod:`.justify` — deletion-based shrinking to a subset-minimal axiom
+  set, seeded (but never trusted blindly) by the tableau's clash
+  provenance;
+* :mod:`.render` — terminal rendering, annotating four-valued axioms
+  with their Table 3 inclusion strength.
+
+Entry points for users are
+:meth:`repro.dl.reasoner.Reasoner.explain`,
+:meth:`repro.four_dl.reasoner4.Reasoner4.explain`, and the CLI's
+``--explain`` / ``--trace`` flags.
+"""
+
+from .justify import is_minimal, minimal_justification
+from .model import (
+    DEFAULT_MAX_EVENTS,
+    Explanation,
+    InconsistencyExplanation,
+    Justification,
+    Trace,
+    TraceEvent,
+)
+from .render import (
+    render_explanation,
+    render_inconsistency,
+    render_justification_lines,
+    render_trace,
+    render_trace_summary,
+)
+
+__all__ = [
+    "DEFAULT_MAX_EVENTS",
+    "Explanation",
+    "InconsistencyExplanation",
+    "Justification",
+    "Trace",
+    "TraceEvent",
+    "is_minimal",
+    "minimal_justification",
+    "render_explanation",
+    "render_inconsistency",
+    "render_justification_lines",
+    "render_trace",
+    "render_trace_summary",
+]

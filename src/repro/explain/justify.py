@@ -1,0 +1,81 @@
+"""Deletion-based justification search (minimal entailing axiom sets).
+
+Entailment from a knowledge base is monotone: adding axioms never
+retracts an answer.  That makes the classic deletion (contraction)
+algorithm sound for *any* entailment checker handed in as a callback:
+walk the axiom list, drop each axiom in turn, and keep the drop exactly
+when the remainder still entails the query.  The result is
+subset-minimal — removing any single surviving axiom defeats the
+entailment — though not necessarily globally smallest (computing a
+cardinality-minimum justification is harder and not needed here).
+
+The tableau's dependency-directed provenance (see
+:mod:`repro.dl.tableau`) supplies an *unsat-core seed*: the axioms whose
+tags reached the final clash.  The seed is only a hint — it is verified
+by a real entailment check before use and the search falls back to the
+full axiom list if it fails — so soundness never rests on the
+provenance bookkeeping, only performance does.
+
+Every candidate check runs on a freshly built sub-KB with the query
+cache bypassed (cached answers describe the *full* KB and would poison
+the shrink), and counts into ``ReasonerStats.shrink_probes``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, FrozenSet, List, Optional, Sequence
+
+from .model import Justification
+
+#: A monotone entailment check over a candidate axiom list.
+CheckFn = Callable[[Sequence[Any]], bool]
+
+
+def minimal_justification(
+    axioms: Sequence[Any],
+    check: CheckFn,
+    seed: Optional[FrozenSet[Any]] = None,
+) -> Justification:
+    """Shrink ``axioms`` to a subset-minimal list still passing ``check``.
+
+    ``axioms`` must already pass ``check`` (the caller establishes the
+    entailment first).  ``seed``, when given, is a candidate core (for
+    example the tableau's clash provenance); it is trusted only after
+    ``check`` confirms it and is otherwise discarded.  Axioms are
+    considered for deletion in list order, so the result is
+    deterministic for a fixed knowledge base ordering regardless of
+    cache state or prior queries.
+
+    >>> axioms = ["a", "b", "c", "d"]
+    >>> entails = lambda kept: "b" in kept and "d" in kept
+    >>> minimal_justification(axioms, entails).axioms
+    ('b', 'd')
+    """
+    core: List[Any] = list(axioms)
+    if seed is not None and len(seed) < len(core):
+        seeded = [axiom for axiom in core if axiom in seed]
+        if check(seeded):
+            core = seeded
+    index = 0
+    while index < len(core):
+        candidate = core[:index] + core[index + 1 :]
+        if check(candidate):
+            core = candidate
+        else:
+            index += 1
+    return Justification(tuple(core))
+
+
+def is_minimal(justification: Justification, check: CheckFn) -> bool:
+    """True when ``check`` fails after removing any single axiom.
+
+    Used by the test battery to verify minimality independently of the
+    shrinking code that produced the justification.
+    """
+    axioms = list(justification.axioms)
+    if not check(axioms):
+        return False
+    for index in range(len(axioms)):
+        if check(axioms[:index] + axioms[index + 1 :]):
+            return False
+    return True

@@ -1,0 +1,191 @@
+"""Data model for explanations: traces, events, and justifications.
+
+A :class:`Trace` is attached to a single tableau run and records the
+structured search events — facts derived, branch points opened,
+alternatives tried, clashes (with the facts and source axioms involved),
+dependency-directed backjumps, and the final verdict.  A
+:class:`Justification` is a subset-minimal set of knowledge-base axioms
+that entails a query, and an :class:`Explanation` bundles the query, the
+entailment verdict, the justification(s), and any traces gathered along
+the way.
+
+All three are plain containers; the search logic that fills a trace
+lives in :mod:`repro.dl.tableau` and the minimisation logic in
+:mod:`repro.explain.justify`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Default cap on recorded events; runs emitting more mark the trace
+#: ``truncated`` instead of growing without bound.
+DEFAULT_MAX_EVENTS = 10_000
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured search event.
+
+    ``kind`` is one of:
+
+    * ``"init"``     — run started; payload ``(node_count, fact_count)``;
+    * ``"derive"``   — a fact was added; payload is the trail fact key
+      (``("L", node, concept)``, ``("E", source, target, role)``, ...);
+    * ``"choice"``   — a branch point was opened; payload
+      ``(level, description, alternatives)``;
+    * ``"try"``      — an alternative was applied; payload
+      ``(level, description)``;
+    * ``"clash"``    — a contradiction was found; payload
+      ``(reason, axioms)`` where ``axioms`` are the source axioms the
+      clash depends on (empty when provenance is not tracked);
+    * ``"backjump"`` — the search jumped over branch points; payload
+      ``(from_level, to_level, skipped)``;
+    * ``"verdict"``  — run finished; payload ``(satisfiable,)``.
+
+    ``depth`` is the branch-stack depth at emission time.
+    """
+
+    kind: str
+    payload: Tuple[Any, ...]
+    depth: int = 0
+
+
+class Trace:
+    """A bounded recorder of :class:`TraceEvent` objects for one run.
+
+    Pass an instance as the ``trace=`` argument of
+    :meth:`repro.dl.tableau.Tableau.is_satisfiable` (trail search only),
+    or let :meth:`repro.dl.reasoner.Reasoner.explain` build one for you
+    via ``trace=True``.
+
+    >>> trace = Trace(max_events=2)
+    >>> trace.emit("derive", (("L", 0, "C"),))
+    >>> trace.emit("clash", ("complement", ()))
+    >>> trace.emit("verdict", (False,))  # over the cap: dropped
+    >>> [event.kind for event in trace.events], trace.truncated
+    (['derive', 'clash'], True)
+    """
+
+    def __init__(self, max_events: int = DEFAULT_MAX_EVENTS) -> None:
+        self.events: List[TraceEvent] = []
+        self.max_events = max_events
+        self.truncated = False
+        #: Optional ReasonerStats; set by the tableau when the run starts
+        #: so ``trace_events`` counts recorded events.
+        self.stats: Optional[Any] = None
+
+    def emit(self, kind: str, payload: Tuple[Any, ...], depth: int = 0) -> None:
+        """Record one event (silently dropped once ``max_events`` is hit)."""
+        if len(self.events) >= self.max_events:
+            self.truncated = True
+            return
+        self.events.append(TraceEvent(kind, tuple(payload), depth))
+        if self.stats is not None:
+            self.stats.trace_events += 1
+
+    def counts(self) -> Dict[str, int]:
+        """Event counts per kind, in first-seen order."""
+        out: Dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    @property
+    def clashes(self) -> List[TraceEvent]:
+        """The recorded clash events."""
+        return [event for event in self.events if event.kind == "clash"]
+
+    @property
+    def branch_points(self) -> List[TraceEvent]:
+        """The recorded branch-point (``choice``) events."""
+        return [event for event in self.events if event.kind == "choice"]
+
+    @property
+    def verdict(self) -> Optional[bool]:
+        """The run's satisfiability verdict, or ``None`` if unfinished."""
+        for event in reversed(self.events):
+            if event.kind == "verdict":
+                return bool(event.payload[0])
+        return None
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        summary = ", ".join(f"{k}={v}" for k, v in self.counts().items())
+        return f"Trace({summary or 'empty'})"
+
+
+@dataclass(frozen=True)
+class Justification:
+    """A subset-minimal set of axioms entailing one query.
+
+    ``axioms`` preserves knowledge-base order; removing any single
+    member defeats the entailment (the minimality tests assert exactly
+    this).  For four-valued queries the axioms are the *original* KB4
+    axioms — material/internal/strong inclusions and assertions — not
+    the induced classical ``A__pos``/``A__neg`` artifacts.
+    """
+
+    axioms: Tuple[Any, ...]
+
+    def __len__(self) -> int:
+        return len(self.axioms)
+
+    def __iter__(self):
+        return iter(self.axioms)
+
+    def __contains__(self, axiom: Any) -> bool:
+        return axiom in self.axioms
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """The full answer to ``explain(query)``.
+
+    * ``query`` — the axiom (classical or four-valued) that was asked;
+    * ``entailed`` — whether the knowledge base entails it;
+    * ``justifications`` — one :class:`Justification` per independent
+      evidence direction (empty when not entailed; a strong inclusion or
+      an equivalence contributes a single merged justification because
+      both directions must hold together);
+    * ``traces`` — the clash traces of the probe runs, when requested.
+    """
+
+    query: Any
+    entailed: bool
+    justifications: Tuple[Justification, ...] = ()
+    traces: Tuple[Trace, ...] = ()
+
+    @property
+    def justification(self) -> Optional[Justification]:
+        """The first justification, or ``None`` when not entailed."""
+        return self.justifications[0] if self.justifications else None
+
+    def render(self, heading: Optional[str] = None) -> str:
+        """Human-readable multi-line rendering (see :mod:`.render`)."""
+        from .render import render_explanation
+
+        return render_explanation(self, heading=heading)
+
+
+@dataclass(frozen=True)
+class InconsistencyExplanation:
+    """Why a knowledge base is unsatisfiable/inconsistent.
+
+    ``justification`` is a subset-minimal axiom set that is already
+    unsatisfiable on its own (a MUPS); ``traces`` optionally carry the
+    clash trace of the refutation run.
+    """
+
+    consistent: bool
+    justification: Optional[Justification] = None
+    traces: Tuple[Trace, ...] = field(default_factory=tuple)
+
+    def render(self, heading: Optional[str] = None) -> str:
+        """Human-readable multi-line rendering (see :mod:`.render`)."""
+        from .render import render_inconsistency
+
+        return render_inconsistency(self, heading=heading)

@@ -1,0 +1,178 @@
+"""Human-readable rendering of explanations, justifications, and traces.
+
+Axioms print in the concrete syntax of :mod:`repro.dl.printer`.
+Four-valued inclusions are additionally annotated with their Table 3
+inclusion strength (``material |->``, ``internal <``, ``strong ->``) so
+an explanation of a ``Reasoner4`` answer reads in terms of the original
+SHOIN(D)4 ontology, never the induced ``A__pos``/``A__neg`` signature.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from ..dl import axioms as ax
+from ..dl.printer import render_axiom, render_concept
+from ..four_dl.axioms4 import (
+    ConceptInclusion4,
+    DatatypeRoleInclusion4,
+    RoleInclusion4,
+    Transitivity4,
+)
+from .model import Explanation, InconsistencyExplanation, Trace, TraceEvent
+
+
+def axiom_annotation(axiom: Any) -> str:
+    """A short tag describing the axiom's species and strength."""
+    if isinstance(
+        axiom, (ConceptInclusion4, RoleInclusion4, DatatypeRoleInclusion4)
+    ):
+        return f"{axiom.kind.name.lower()} inclusion ({axiom.kind.symbol})"
+    if isinstance(axiom, Transitivity4):
+        return "transitivity"
+    if isinstance(axiom, ax.ABoxAxiom):
+        return "assertion"
+    if isinstance(axiom, ax.TBoxAxiom):
+        return "classical axiom"
+    return "axiom"
+
+
+def render_justification_lines(axioms: Any, indent: str = "  ") -> List[str]:
+    """One ``axiom  [annotation]`` line per justification member."""
+    rendered = [(render_axiom(axiom), axiom_annotation(axiom)) for axiom in axioms]
+    width = max((len(text) for text, _ in rendered), default=0)
+    return [f"{indent}{text.ljust(width)}  [{tag}]" for text, tag in rendered]
+
+
+def render_explanation(
+    explanation: Explanation, heading: Optional[str] = None
+) -> str:
+    """Multi-line rendering of an :class:`Explanation`."""
+    lines: List[str] = []
+    if heading:
+        lines.append(heading)
+    query = explanation.query
+    try:
+        query_text = render_axiom(query)
+    except Exception:
+        query_text = repr(query)
+    lines.append(f"query: {query_text}")
+    if not explanation.entailed:
+        lines.append("not entailed: no justification exists")
+    else:
+        many = len(explanation.justifications) > 1
+        for index, justification in enumerate(explanation.justifications, 1):
+            label = f" {index}" if many else ""
+            lines.append(
+                f"justification{label} ({len(justification)} axiom"
+                f"{'s' if len(justification) != 1 else ''}, minimal):"
+            )
+            lines.extend(render_justification_lines(justification))
+    for trace in explanation.traces:
+        lines.append(render_trace_summary(trace))
+    return "\n".join(lines)
+
+
+def render_inconsistency(
+    explanation: InconsistencyExplanation, heading: Optional[str] = None
+) -> str:
+    """Multi-line rendering of an :class:`InconsistencyExplanation`."""
+    lines: List[str] = []
+    if heading:
+        lines.append(heading)
+    if explanation.consistent:
+        lines.append("consistent: nothing to explain")
+    else:
+        justification = explanation.justification
+        if justification is None:
+            lines.append("inconsistent (no minimal core computed)")
+        else:
+            lines.append(
+                f"minimal inconsistent core ({len(justification)} axiom"
+                f"{'s' if len(justification) != 1 else ''}):"
+            )
+            lines.extend(render_justification_lines(justification))
+    for trace in explanation.traces:
+        lines.append(render_trace_summary(trace))
+    return "\n".join(lines)
+
+
+def _render_fact_key(key: Any) -> str:
+    """Compact rendering of a trail fact key for trace output."""
+    if not isinstance(key, tuple) or not key:
+        return repr(key)
+    kind = key[0]
+    if kind in ("L", "DL") and len(key) == 3:
+        try:
+            return f"{kind}(n{key[1]}: {render_concept(key[2])})"
+        except Exception:
+            return f"{kind}(n{key[1]}: {key[2]!r})"
+    if kind in ("E", "DE", "F") and len(key) == 4:
+        role = getattr(key[3], "name", key[3])
+        return f"{kind}({role}: n{key[1]} -> n{key[2]})"
+    return repr(key)
+
+
+def render_trace_event(event: TraceEvent) -> str:
+    """One line per :class:`TraceEvent`."""
+    pad = "  " * min(event.depth, 8)
+    if event.kind == "init":
+        nodes, facts = event.payload
+        return f"{pad}init: {nodes} nodes, {facts} facts"
+    if event.kind == "derive":
+        return f"{pad}derive {_render_fact_key(event.payload[0])}"
+    if event.kind == "choice":
+        level, description, alternatives = event.payload
+        return f"{pad}branch point L{level}: {description} ({alternatives} alternatives)"
+    if event.kind == "try":
+        level, description = event.payload
+        return f"{pad}try L{level}: {description}"
+    if event.kind == "clash":
+        reason, axioms = event.payload
+        line = f"{pad}clash: {reason}"
+        if axioms:
+            cited = "; ".join(render_axiom(axiom) for axiom in axioms)
+            line += f"  [from: {cited}]"
+        return line
+    if event.kind == "backjump":
+        from_level, to_level, skipped = event.payload
+        return (
+            f"{pad}backjump L{from_level} -> L{to_level}"
+            f" (skipped {skipped} branch points)"
+        )
+    if event.kind == "verdict":
+        return f"{pad}verdict: {'satisfiable' if event.payload[0] else 'unsatisfiable'}"
+    return f"{pad}{event.kind}: {event.payload!r}"
+
+
+def render_trace(trace: Trace, max_lines: Optional[int] = None) -> str:
+    """Full (optionally capped) line-per-event rendering of a trace."""
+    events = trace.events if max_lines is None else trace.events[:max_lines]
+    lines = [render_trace_event(event) for event in events]
+    dropped = len(trace.events) - len(events)
+    if dropped:
+        lines.append(f"... {dropped} more events")
+    if trace.truncated:
+        lines.append(f"... trace truncated at {trace.max_events} events")
+    return "\n".join(lines)
+
+
+def render_trace_summary(trace: Trace) -> str:
+    """A one-line digest of a trace (event counts + verdict)."""
+    counts = trace.counts()
+    bits = [
+        f"{counts.get(kind, 0)} {label}"
+        for kind, label in (
+            ("derive", "facts derived"),
+            ("choice", "branch points"),
+            ("clash", "clashes"),
+            ("backjump", "backjumps"),
+        )
+    ]
+    verdict = trace.verdict
+    tail = (
+        "unfinished"
+        if verdict is None
+        else ("satisfiable" if verdict else "unsatisfiable")
+    )
+    return f"trace: {', '.join(bits)} -> {tail}"

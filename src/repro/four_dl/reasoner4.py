@@ -74,6 +74,14 @@ class Reasoner4:
         search: str = "trail",
         cache_maxsize: Optional[int] = 4096,
     ):
+        """Bind a four-valued reasoner to ``kb4``.
+
+        All parameters mirror :class:`repro.dl.reasoner.Reasoner` and
+        are forwarded to the classical reasoner over the induced KB:
+        search-space budgets, a shareable query cache (or
+        ``use_cache=False`` / ``cache_maxsize`` for a private one),
+        shared statistics, and the tableau ``search`` strategy.
+        """
         self.kb4 = kb4
         self.max_nodes = max_nodes
         self.max_branches = max_branches
@@ -320,6 +328,216 @@ class Reasoner4:
                 )
             )
         raise UnsupportedAxiomError(axiom, service="4-valued entails")
+
+    # ------------------------------------------------------------------
+    # Explanation
+    # ------------------------------------------------------------------
+    def _entailment_probe_sets(self, axiom: object):
+        """Classical probe sets deciding a four-valued entailment.
+
+        Mirrors :meth:`entails`: the axiom holds iff the induced KB is
+        unsatisfiable with *each* returned probe set (Corollary 7).
+        """
+        from ..dl.reasoner import _PROBE
+
+        classical = self.classical_reasoner
+        if isinstance(axiom, ConceptInclusion4):
+            sub, sup = axiom.sub, axiom.sup
+            if axiom.kind is InclusionKind.MATERIAL:
+                probe = And.of(Not(neg_transform(sub)), Not(pos_transform(sup)))
+                return ((ax.ConceptAssertion(_PROBE, probe),),)
+            if axiom.kind is InclusionKind.INTERNAL:
+                probe = And.of(pos_transform(sub), Not(pos_transform(sup)))
+                return ((ax.ConceptAssertion(_PROBE, probe),),)
+            first = And.of(pos_transform(sub), Not(pos_transform(sup)))
+            second = And.of(neg_transform(sup), Not(neg_transform(sub)))
+            return (
+                (ax.ConceptAssertion(_PROBE, first),),
+                (ax.ConceptAssertion(_PROBE, second),),
+            )
+        if isinstance(axiom, RoleInclusion4):
+            if axiom.kind is InclusionKind.MATERIAL:
+                return classical._entailment_probes(
+                    ax.RoleInclusion(eq_role(axiom.sub), positive_role(axiom.sup))
+                )
+            internal = classical._entailment_probes(
+                ax.RoleInclusion(
+                    positive_role(axiom.sub), positive_role(axiom.sup)
+                )
+            )
+            if axiom.kind is InclusionKind.INTERNAL:
+                return internal
+            return internal + classical._entailment_probes(
+                ax.RoleInclusion(eq_role(axiom.sub), eq_role(axiom.sup))
+            )
+        if isinstance(axiom, ax.ConceptAssertion):
+            return classical._entailment_probes(
+                ax.ConceptAssertion(
+                    axiom.individual, pos_transform(axiom.concept)
+                )
+            )
+        if isinstance(axiom, ax.RoleAssertion):
+            return classical._entailment_probes(
+                ax.RoleAssertion(
+                    positive_role(axiom.role), axiom.source, axiom.target
+                )
+            )
+        if isinstance(axiom, ax.NegativeRoleAssertion):
+            return classical._entailment_probes(
+                ax.NegativeRoleAssertion(
+                    eq_role(axiom.role), axiom.source, axiom.target
+                )
+            )
+        if isinstance(axiom, (ax.SameIndividual, ax.DifferentIndividuals)):
+            return classical._entailment_probes(axiom)
+        if isinstance(axiom, ax.DataAssertion):
+            return classical._entailment_probes(
+                ax.DataAssertion(
+                    positive_data_role(axiom.role), axiom.source, axiom.value
+                )
+            )
+        raise UnsupportedAxiomError(axiom, service="4-valued explain")
+
+    def _shrink_check(self, axiom: object):
+        """The sub-KB4 entailment re-check used by justification shrinking.
+
+        Builds a fresh four-valued reasoner per candidate subset with the
+        query cache bypassed, so cached full-KB verdicts never leak into
+        questions about sub-KBs.
+        """
+
+        def check(axioms4) -> bool:
+            self.stats.shrink_probes += 1
+            sub = Reasoner4(
+                KnowledgeBase4.of(axioms4),
+                max_nodes=self.max_nodes,
+                max_branches=self.max_branches,
+                use_cache=False,
+                search=self.search,
+            )
+            try:
+                return sub.entails(axiom)
+            except Exception:
+                return False
+
+        return check
+
+    def explain(self, axiom: object, trace: bool = False):
+        """Why the KB4 four-valuedly entails ``axiom``.
+
+        Returns an :class:`repro.explain.model.Explanation` whose
+        justifications cite the *original* KB4 axioms — material /
+        internal / strong inclusions (Table 3) and assertions — never the
+        induced ``A__pos``/``A__neg`` artifacts.  The classical unsat
+        core of each probe run is mapped back through the
+        transformation's provenance map to seed the search; minimality
+        comes from deletion-based shrinking over KB4 axioms with the
+        cache bypassed.
+
+        With ``trace=True`` each probe run records a structured clash
+        trace over the induced KB.
+        """
+        from ..explain.justify import minimal_justification
+        from ..explain.model import Explanation, Trace
+        from .transform import cached_transform_provenance
+
+        self._sync()
+        probe_sets = self._entailment_probe_sets(axiom)
+        tableau = self.classical_reasoner._provenance_tableau()
+        provenance = cached_transform_provenance(self.kb4)
+        traces = []
+        entailed = True
+        seed: set = set()
+        seed_known = True
+        for probes in probe_sets:
+            recorder = Trace() if trace else None
+            satisfiable = tableau.is_satisfiable(probes, trace=recorder)
+            if recorder is not None:
+                traces.append(recorder)
+            if satisfiable:
+                entailed = False
+                break
+            core = tableau.last_unsat_core
+            if core is None:
+                seed_known = False
+                continue
+            for classical_axiom in core:
+                sources = provenance.get(classical_axiom)
+                if sources is None:
+                    # An induced axiom we cannot attribute (should not
+                    # happen); fall back to shrinking from the full KB4.
+                    seed_known = False
+                else:
+                    seed.update(sources)
+        if not entailed:
+            return Explanation(
+                query=axiom, entailed=False, traces=tuple(traces)
+            )
+        justification = minimal_justification(
+            list(self.kb4.axioms()),
+            self._shrink_check(axiom),
+            seed=frozenset(seed) if seed_known else None,
+        )
+        self.stats.explanations_computed += 1
+        return Explanation(
+            query=axiom,
+            entailed=True,
+            justifications=(justification,),
+            traces=tuple(traces),
+        )
+
+    def explain_unsatisfiability(self, trace: bool = False):
+        """A minimal four-valued-unsatisfiable sub-KB4, when one exists.
+
+        Returns an :class:`repro.explain.model.InconsistencyExplanation`
+        over KB4 axioms (Theorem 6 reduces the check to classical
+        consistency of each candidate's induced KB).
+        """
+        from ..explain.justify import minimal_justification
+        from ..explain.model import InconsistencyExplanation, Trace
+        from .transform import cached_transform_provenance
+
+        self._sync()
+        tableau = self.classical_reasoner._provenance_tableau()
+        recorder = Trace() if trace else None
+        if tableau.is_satisfiable(trace=recorder):
+            return InconsistencyExplanation(
+                consistent=True,
+                traces=(recorder,) if recorder is not None else (),
+            )
+        seed = None
+        core = tableau.last_unsat_core
+        if core is not None:
+            provenance = cached_transform_provenance(self.kb4)
+            mapped = [provenance.get(classical_axiom) for classical_axiom in core]
+            if all(sources is not None for sources in mapped):
+                seed = frozenset(
+                    source for sources in mapped for source in sources
+                )
+
+        def check(axioms4) -> bool:
+            self.stats.shrink_probes += 1
+            sub = Reasoner4(
+                KnowledgeBase4.of(axioms4),
+                max_nodes=self.max_nodes,
+                max_branches=self.max_branches,
+                use_cache=False,
+                search=self.search,
+            )
+            try:
+                return not sub.is_satisfiable()
+            except Exception:
+                return False
+
+        justification = minimal_justification(
+            list(self.kb4.axioms()), check, seed=seed
+        )
+        self.stats.explanations_computed += 1
+        return InconsistencyExplanation(
+            consistent=False,
+            justification=justification,
+            traces=(recorder,) if recorder is not None else (),
+        )
 
     # ------------------------------------------------------------------
     # Classification

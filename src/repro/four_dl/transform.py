@@ -31,7 +31,7 @@ Design notes (see DESIGN.md):
 
 from __future__ import annotations
 
-from typing import Iterator, List, Union
+from typing import Dict, Iterator, List, Tuple, Union
 
 from ..dl import axioms as ax
 from ..dl.concepts import (
@@ -312,6 +312,41 @@ def transform_kb(kb4: KnowledgeBase4) -> KnowledgeBase:
     return classical
 
 
+#: induced classical axiom -> the KB4 axioms it was induced by.
+ProvenanceMap = Dict[ax.Axiom, Tuple[Axiom4OrAssertion, ...]]
+
+
+def transform_kb_with_provenance(
+    kb4: KnowledgeBase4,
+) -> Tuple[KnowledgeBase, ProvenanceMap]:
+    """The induced KB plus a map from induced axioms back to sources.
+
+    The map keys each classical axiom by the exact object the induced
+    :class:`~repro.dl.kb.KnowledgeBase` stores (role assertions are
+    normalised, matching ``KnowledgeBase.add``), and its values are every
+    KB4 axiom that induced it — a tuple because distinct four-valued
+    axioms can induce the same classical axiom (e.g. an internal and a
+    strong inclusion share their ``C+ [= D+`` half).  This is how an
+    unsat core over the induced KB is cited back as *original* KB4
+    axioms with their Table 3 inclusion strength.
+    """
+    classical = KnowledgeBase()
+    provenance: Dict[ax.Axiom, List[Axiom4OrAssertion]] = {}
+    for axiom in kb4.axioms():
+        for induced_axiom in transform_axiom(axiom):
+            classical.add(induced_axiom)
+            if isinstance(
+                induced_axiom, (ax.RoleAssertion, ax.NegativeRoleAssertion)
+            ):
+                induced_axiom = induced_axiom.normalised()
+            sources = provenance.setdefault(induced_axiom, [])
+            if axiom not in sources:
+                sources.append(axiom)
+    return classical, {
+        key: tuple(sources) for key, sources in provenance.items()
+    }
+
+
 def cached_transform_kb(kb4: KnowledgeBase4) -> KnowledgeBase:
     """The induced KB, transformed at most once per KB4 version.
 
@@ -321,9 +356,20 @@ def cached_transform_kb(kb4: KnowledgeBase4) -> KnowledgeBase:
     transformation per KB4 state.  Callers must treat the returned KB as
     read-only — mutating it would desynchronise it from its source.
     """
+    return _cached_transform(kb4)[0]
+
+
+def cached_transform_provenance(kb4: KnowledgeBase4) -> ProvenanceMap:
+    """The provenance map of :func:`cached_transform_kb`'s result."""
+    return _cached_transform(kb4)[1]
+
+
+def _cached_transform(
+    kb4: KnowledgeBase4,
+) -> Tuple[KnowledgeBase, ProvenanceMap]:
     cached = getattr(kb4, "_induced_cache", None)
     if cached is not None and cached[0] == kb4.version:
-        return cached[1]
-    induced = transform_kb(kb4)
-    kb4._induced_cache = (kb4.version, induced)
-    return induced
+        return cached[1], cached[2]
+    induced, provenance = transform_kb_with_provenance(kb4)
+    kb4._induced_cache = (kb4.version, induced, provenance)
+    return induced, provenance

@@ -897,6 +897,127 @@ def experiment_extensions() -> ExperimentResult:
     )
 
 
+def experiment_explanations() -> ExperimentResult:
+    """Explanation battery: the conflicts of Examples 1, 2, and 3 all
+    yield the hand-identifiable minimal justification, verified minimal."""
+    from ..dl.printer import render_axiom
+    from ..explain import is_minimal
+
+    def cited(kb4: KnowledgeBase4, query) -> str:
+        explanation = Reasoner4(kb4).explain(query)
+        if not explanation.entailed:
+            return "not entailed"
+        return "; ".join(sorted(render_axiom(a) for a in explanation.justification))
+
+    def expect(*axioms) -> str:
+        return "; ".join(sorted(render_axiom(a) for a in axioms))
+
+    def verified_minimal(kb4: KnowledgeBase4, query) -> bool:
+        justification = Reasoner4(kb4).explain(query).justification
+        return is_minimal(
+            justification,
+            lambda axioms: Reasoner4(
+                KnowledgeBase4.of(axioms), use_cache=False
+            ).entails(query),
+        )
+
+    doctor, patient = AtomicConcept("Doctor"), AtomicConcept("Patient")
+    has_patient = AtomicRole("hasPatient")
+    john, mary, bill = (Individual(n) for n in ("john", "mary", "bill"))
+    propagation = internal(Exists(has_patient, patient), doctor)
+    ex1 = KnowledgeBase4().add(
+        propagation,
+        ax.ConceptAssertion(john, doctor),
+        ax.ConceptAssertion(john, Not(doctor)),
+        ax.ConceptAssertion(mary, patient),
+        ax.RoleAssertion(has_patient, bill, mary),
+    )
+
+    scenario = medical_access_control(n_staff=1, n_conflicted=1)
+    staff0 = Individual("staff0")
+    surgical = AtomicConcept("SurgicalTeam")
+    urgency = AtomicConcept("UrgencyTeam")
+    readers = AtomicConcept("ReadPatientRecordTeam")
+
+    ex3 = example3_kb4()
+    penguin, fly = AtomicConcept("Penguin"), AtomicConcept("Fly")
+    tweety = Individual("tweety")
+
+    checks = [
+        (
+            "ex1: why john IS a doctor",
+            cited(ex1, ax.ConceptAssertion(john, doctor)),
+            expect(ax.ConceptAssertion(john, doctor)),
+        ),
+        (
+            "ex1: why john is NOT a doctor",
+            cited(ex1, ax.ConceptAssertion(john, Not(doctor))),
+            expect(ax.ConceptAssertion(john, Not(doctor))),
+        ),
+        (
+            "ex1: why bill is a doctor (derived)",
+            cited(ex1, ax.ConceptAssertion(bill, doctor)),
+            expect(
+                propagation,
+                ax.ConceptAssertion(mary, patient),
+                ax.RoleAssertion(has_patient, bill, mary),
+            ),
+        ),
+        (
+            "ex2: why staff0 may read",
+            cited(scenario.kb4, ax.ConceptAssertion(staff0, readers)),
+            expect(
+                internal(urgency, readers),
+                ax.ConceptAssertion(staff0, urgency),
+            ),
+        ),
+        (
+            "ex2: why staff0 may NOT read",
+            cited(scenario.kb4, ax.ConceptAssertion(staff0, Not(readers))),
+            expect(
+                internal(surgical, Not(readers)),
+                ax.ConceptAssertion(staff0, surgical),
+            ),
+        ),
+        (
+            "ex3: why tweety does not fly",
+            cited(ex3, ax.ConceptAssertion(tweety, Not(fly))),
+            expect(
+                internal(penguin, Not(fly)),
+                ax.ConceptAssertion(tweety, penguin),
+            ),
+        ),
+        (
+            "ex3: defeated default stays unexplained",
+            cited(ex3, ax.ConceptAssertion(tweety, fly)),
+            "not entailed",
+        ),
+        (
+            "all justifications verified minimal",
+            all(
+                verified_minimal(kb4, query)
+                for kb4, query in [
+                    (ex1, ax.ConceptAssertion(john, doctor)),
+                    (ex1, ax.ConceptAssertion(bill, doctor)),
+                    (scenario.kb4, ax.ConceptAssertion(staff0, readers)),
+                    (ex3, ax.ConceptAssertion(tweety, Not(fly))),
+                ]
+            ),
+            True,
+        ),
+    ]
+    rows = [
+        (name, str(computed), str(expected), "ok" if computed == expected else "MISMATCH")
+        for name, computed, expected in checks
+    ]
+    return ExperimentResult(
+        "Explanations (minimal justifications for Examples 1-3 conflicts)",
+        ["query", "computed", "expected", "status"],
+        rows,
+        all(r[3] == "ok" for r in rows),
+    )
+
+
 ALL_EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "table1": experiment_table1,
     "table2": experiment_table2,
@@ -911,6 +1032,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "paraconsistency": experiment_paraconsistency,
     "reduction_overhead": experiment_reduction_overhead,
     "extensions": experiment_extensions,
+    "explanations": experiment_explanations,
 }
 
 

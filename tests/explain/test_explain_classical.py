@@ -1,0 +1,191 @@
+"""Reasoner.explain: minimality, determinism, and inconsistency cores."""
+
+import pytest
+
+from repro.dl import (
+    And,
+    AtomicConcept,
+    AtomicRole,
+    ConceptAssertion,
+    ConceptInclusion,
+    Exists,
+    Individual,
+    KnowledgeBase,
+    Not,
+    RoleAssertion,
+)
+from repro.dl.reasoner import Reasoner
+from repro.explain import is_minimal
+
+A, B, C, D = (AtomicConcept(n) for n in "ABCD")
+r = AtomicRole("r")
+a, b = Individual("a"), Individual("b")
+
+
+def chain_kb():
+    """A [= B [= C plus a : A, with an irrelevant axiom about b."""
+    return KnowledgeBase.of(
+        [
+            ConceptInclusion(A, B),
+            ConceptInclusion(B, C),
+            ConceptAssertion(a, A),
+            ConceptAssertion(b, D),
+        ]
+    )
+
+
+def entails_via_fresh_reasoner(axiom):
+    """An independent minimality check: rebuild from scratch every time."""
+
+    def check(axioms):
+        return Reasoner(KnowledgeBase.of(axioms), use_cache=False).entails(
+            axiom
+        )
+
+    return check
+
+
+def test_explained_justification_is_minimal():
+    kb = chain_kb()
+    query = ConceptAssertion(a, C)
+    explanation = Reasoner(kb).explain(query)
+    assert explanation.entailed
+    justification = explanation.justification
+    assert set(justification) == {
+        ConceptInclusion(A, B),
+        ConceptInclusion(B, C),
+        ConceptAssertion(a, A),
+    }
+    assert is_minimal(justification, entails_via_fresh_reasoner(query))
+
+
+def test_removing_any_single_axiom_defeats_the_entailment():
+    kb = chain_kb()
+    query = ConceptAssertion(a, C)
+    justification = Reasoner(kb).explain(query).justification
+    for dropped in justification:
+        remainder = [ax for ax in justification if ax != dropped]
+        sub = Reasoner(KnowledgeBase.of(remainder), use_cache=False)
+        assert not sub.entails(query)
+
+
+def test_subsumption_explanation():
+    kb = chain_kb()
+    query = ConceptInclusion(A, C)
+    explanation = Reasoner(kb).explain(query)
+    assert explanation.entailed
+    assert set(explanation.justification) == {
+        ConceptInclusion(A, B),
+        ConceptInclusion(B, C),
+    }
+
+
+def test_not_entailed_yields_no_justification():
+    explanation = Reasoner(chain_kb()).explain(ConceptAssertion(a, D))
+    assert not explanation.entailed
+    assert explanation.justifications == ()
+    assert explanation.justification is None
+
+
+def test_deterministic_across_repeated_runs_and_cache_states():
+    query = ConceptAssertion(a, C)
+    reasoner = Reasoner(chain_kb())
+    first = reasoner.explain(query).justification.axioms
+    # Warm the cache with unrelated queries, then explain again.
+    reasoner.entails(query)
+    reasoner.is_instance(b, D)
+    second = reasoner.explain(query).justification.axioms
+    # And once more on a completely fresh reasoner with caching off.
+    third = (
+        Reasoner(chain_kb(), use_cache=False).explain(query).justification.axioms
+    )
+    assert first == second == third
+
+
+def test_explain_does_not_poison_the_query_cache():
+    reasoner = Reasoner(chain_kb())
+    reasoner.explain(ConceptAssertion(a, C))
+    # Post-explanation answers still describe the full KB.
+    assert reasoner.entails(ConceptAssertion(a, C))
+    assert reasoner.entails(ConceptAssertion(b, D))
+    assert not reasoner.entails(ConceptAssertion(a, D))
+
+
+def test_role_chain_explanation_is_minimal():
+    kb = KnowledgeBase.of(
+        [
+            ConceptInclusion(Exists(r, B), C),
+            ConceptAssertion(b, B),
+            RoleAssertion(r, a, b),
+            ConceptAssertion(a, D),
+        ]
+    )
+    query = ConceptAssertion(a, C)
+    explanation = Reasoner(kb).explain(query)
+    assert explanation.entailed
+    assert set(explanation.justification) == {
+        ConceptInclusion(Exists(r, B), C),
+        ConceptAssertion(b, B),
+        RoleAssertion(r, a, b),
+    }
+    assert is_minimal(explanation.justification, entails_via_fresh_reasoner(query))
+
+
+def test_explain_inconsistency_finds_minimal_core():
+    kb = KnowledgeBase.of(
+        [
+            ConceptInclusion(A, B),
+            ConceptAssertion(a, A),
+            ConceptAssertion(a, Not(B)),
+            ConceptAssertion(b, D),
+        ]
+    )
+    reasoner = Reasoner(kb)
+    result = reasoner.explain_inconsistency()
+    assert not result.consistent
+    assert set(result.justification) == {
+        ConceptInclusion(A, B),
+        ConceptAssertion(a, A),
+        ConceptAssertion(a, Not(B)),
+    }
+
+    def still_inconsistent(axioms):
+        return not Reasoner(
+            KnowledgeBase.of(axioms), use_cache=False
+        ).is_consistent()
+
+    assert is_minimal(result.justification, still_inconsistent)
+
+
+def test_explain_inconsistency_on_consistent_kb():
+    result = Reasoner(chain_kb()).explain_inconsistency()
+    assert result.consistent
+    assert result.justification is None
+
+
+def test_explanation_stats_counters():
+    reasoner = Reasoner(chain_kb())
+    assert reasoner.stats.explanations_computed == 0
+    reasoner.explain(ConceptAssertion(a, C))
+    assert reasoner.stats.explanations_computed == 1
+    assert reasoner.stats.shrink_probes > 0
+
+
+def test_trace_records_probe_refutation():
+    reasoner = Reasoner(chain_kb())
+    explanation = reasoner.explain(ConceptAssertion(a, C), trace=True)
+    assert len(explanation.traces) == 1
+    trace = explanation.traces[0]
+    assert trace.verdict is False
+    assert trace.clashes
+    assert reasoner.stats.trace_events == len(trace)
+
+
+def test_explain_after_kb_mutation_sees_new_axioms():
+    kb = KnowledgeBase.of([ConceptInclusion(A, B), ConceptAssertion(a, A)])
+    reasoner = Reasoner(kb)
+    assert not reasoner.explain(ConceptAssertion(a, C)).entailed
+    kb.add(ConceptInclusion(B, C))
+    explanation = reasoner.explain(ConceptAssertion(a, C))
+    assert explanation.entailed
+    assert ConceptInclusion(B, C) in explanation.justification

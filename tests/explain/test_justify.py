@@ -1,0 +1,74 @@
+"""Unit tests for deletion-based justification shrinking."""
+
+from repro.explain import Justification, is_minimal, minimal_justification
+
+
+def entails_bd(kept):
+    return "b" in kept and "d" in kept
+
+
+def test_minimal_justification_basic():
+    result = minimal_justification(["a", "b", "c", "d"], entails_bd)
+    assert result.axioms == ("b", "d")
+    assert is_minimal(result, entails_bd)
+
+
+def test_minimal_justification_preserves_input_order():
+    result = minimal_justification(["d", "c", "b", "a"], entails_bd)
+    assert result.axioms == ("d", "b")
+
+
+def test_seed_is_used_when_it_checks_out():
+    probes = []
+
+    def check(kept):
+        probes.append(tuple(kept))
+        return entails_bd(kept)
+
+    result = minimal_justification(
+        ["a", "b", "c", "d"], check, seed=frozenset({"b", "d"})
+    )
+    assert result.axioms == ("b", "d")
+    # The seed verification probe plus one deletion probe per seed member.
+    assert len(probes) == 3
+
+
+def test_bad_seed_is_rejected_not_trusted():
+    # A seed missing a needed axiom must not corrupt the result.
+    result = minimal_justification(
+        ["a", "b", "c", "d"], entails_bd, seed=frozenset({"b"})
+    )
+    assert result.axioms == ("b", "d")
+    assert is_minimal(result, entails_bd)
+
+
+def test_oversized_seed_still_shrinks_to_minimal():
+    result = minimal_justification(
+        ["a", "b", "c", "d"], entails_bd, seed=frozenset({"a", "b", "d"})
+    )
+    assert result.axioms == ("b", "d")
+
+
+def test_everything_needed():
+    def check(kept):
+        return set(kept) == {"x", "y"}
+
+    result = minimal_justification(["x", "y"], check)
+    assert result.axioms == ("x", "y")
+
+
+def test_nothing_needed():
+    result = minimal_justification(["a", "b"], lambda kept: True)
+    assert result.axioms == ()
+
+
+def test_is_minimal_detects_redundancy():
+    fat = Justification(("a", "b", "d"))
+    assert not is_minimal(fat, entails_bd)
+    assert is_minimal(Justification(("b", "d")), entails_bd)
+
+
+def test_deterministic_across_runs():
+    first = minimal_justification(["a", "b", "c", "d"], entails_bd)
+    second = minimal_justification(["a", "b", "c", "d"], entails_bd)
+    assert first.axioms == second.axioms
