@@ -46,3 +46,7 @@ def test_university_classification_counters_within_baseline():
         f"{baseline['branches_explored']} (+10% tolerance); if intentional, "
         f"re-record {BASELINE_PATH}"
     )
+    assert stats.budget_aborts == 0, (
+        f"unbudgeted classification hit {stats.budget_aborts} budget "
+        f"abort(s): the default configuration must never impose a budget"
+    )

@@ -12,9 +12,10 @@ entailed).  The paraconsistency benchmarks compare this against
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from ..dl.axioms import Axiom, ConceptAssertion
+from ..dl.budget import Budget
 from ..dl.concepts import Concept, Not
 from ..dl.individuals import Individual
 from ..dl.kb import KnowledgeBase
@@ -23,7 +24,13 @@ from ..dl.tableau import DEFAULT_MAX_BRANCHES, DEFAULT_MAX_NODES
 
 
 class ClassicalBaseline:
-    """Classical entailment, including its collapse on inconsistent input."""
+    """Classical entailment, including its collapse on inconsistent input.
+
+    A ``budget`` bounds every probe made through the wrapped
+    :class:`~repro.dl.reasoner.Reasoner`; boolean entry points raise
+    :class:`~repro.dl.errors.BudgetExceeded` on exhaustion while
+    :meth:`query_status` degrades to ``"unknown"``.
+    """
 
     name = "classical"
 
@@ -32,9 +39,16 @@ class ClassicalBaseline:
         kb: KnowledgeBase,
         max_nodes: int = DEFAULT_MAX_NODES,
         max_branches: int = DEFAULT_MAX_BRANCHES,
+        budget: Optional[Budget] = None,
     ):
         self.kb = kb
-        self.reasoner = Reasoner(kb, max_nodes=max_nodes, max_branches=max_branches)
+        self._budget = budget
+        self.reasoner = Reasoner(
+            kb,
+            max_nodes=max_nodes,
+            max_branches=max_branches,
+            budget=budget,
+        )
 
     def is_trivial(self) -> bool:
         """Whether every query is answered "yes" (KB inconsistent)."""
@@ -45,16 +59,24 @@ class ClassicalBaseline:
         return self.reasoner.is_instance(individual, concept)
 
     def query_status(self, individual: Individual, concept: Concept) -> str:
-        """One of ``yes`` / ``no`` / ``both`` — ``both`` marks collapse.
+        """One of ``yes`` / ``no`` / ``both`` / ``unknown``.
 
         ``both`` means the KB entails ``a : C`` *and* ``a : not C``, the
         tell-tale of classical explosion (or an over-constrained a).
+        ``unknown`` means a direction could not be decided within the
+        configured budget.
         """
-        positive = self.query(individual, concept)
-        negative = self.query(individual, Not(concept))
-        if positive and negative:
+        positive = self.reasoner.instance_verdict(
+            individual, concept, budget=self._budget
+        )
+        negative = self.reasoner.instance_verdict(
+            individual, Not(concept), budget=self._budget
+        )
+        if positive.is_unknown() or negative.is_unknown():
+            return "unknown"
+        if positive.is_true() and negative.is_true():
             return "both"
-        if positive:
+        if positive.is_true():
             return "yes"
         return "no"
 

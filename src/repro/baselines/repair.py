@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..dl.axioms import Axiom
+from ..dl.budget import Budget, DegradationRecord, Verdict
 from ..dl.concepts import Concept, Not
 from ..dl.individuals import Individual
 from ..dl.kb import KnowledgeBase
@@ -35,31 +36,58 @@ from ..dl.tableau import DEFAULT_MAX_BRANCHES, DEFAULT_MAX_NODES
 AxiomSet = Tuple[Axiom, ...]
 
 
-def _consistent(
-    axioms: Sequence[Axiom], max_nodes: int, max_branches: int
-) -> bool:
+def _consistency(
+    axioms: Sequence[Axiom],
+    max_nodes: int,
+    max_branches: int,
+    budget: Optional[Budget] = None,
+) -> Verdict:
     kb = KnowledgeBase.of(axioms)
-    return Reasoner(kb, max_nodes=max_nodes, max_branches=max_branches).is_consistent()
+    reasoner = Reasoner(kb, max_nodes=max_nodes, max_branches=max_branches)
+    return reasoner.consistency_verdict(budget=budget)
+
+
+def _record(
+    degradations: Optional[List[DegradationRecord]],
+    context: str,
+    verdict: Verdict,
+) -> None:
+    if degradations is not None:
+        degradations.append(
+            DegradationRecord(
+                context=context, reason=verdict.reason, message=verdict.message
+            )
+        )
 
 
 def shrink_to_minimal(
     axioms: Sequence[Axiom],
     max_nodes: int = DEFAULT_MAX_NODES,
     max_branches: int = DEFAULT_MAX_BRANCHES,
+    budget: Optional[Budget] = None,
+    degradations: Optional[List[DegradationRecord]] = None,
 ) -> AxiomSet:
     """One minimal inconsistent subset of an inconsistent axiom list.
 
     Deletion-based shrinking: drop each axiom in turn; if the rest stays
     inconsistent the axiom is redundant for the conflict and is removed.
     The result is subset-minimal (every proper subset is consistent).
+
+    An undecidable deletion probe (``budget`` exhausted) keeps the axiom
+    conservatively — the result is then a *sound but possibly
+    non-minimal* inconsistent subset — and appends a
+    :class:`~repro.dl.budget.DegradationRecord` to ``degradations``.
     """
     core: List[Axiom] = list(axioms)
     index = 0
     while index < len(core):
         candidate = core[:index] + core[index + 1:]
-        if not _consistent(candidate, max_nodes, max_branches):
+        verdict = _consistency(candidate, max_nodes, max_branches, budget)
+        if verdict.is_false():
             core = candidate
         else:
+            if verdict.is_unknown():
+                _record(degradations, f"shrink probe #{index}", verdict)
             index += 1
     return tuple(core)
 
@@ -69,6 +97,8 @@ def minimal_inconsistent_subsets(
     max_subsets: int = 10,
     max_nodes: int = DEFAULT_MAX_NODES,
     max_branches: int = DEFAULT_MAX_BRANCHES,
+    budget: Optional[Budget] = None,
+    degradations: Optional[List[DegradationRecord]] = None,
 ) -> List[FrozenSet[Axiom]]:
     """Up to ``max_subsets`` minimal inconsistent subsets (justifications).
 
@@ -77,9 +107,18 @@ def minimal_inconsistent_subsets(
     missed so far.  With a large enough bound this enumerates all MISes;
     the bound keeps worst cases (exponentially many justifications)
     controlled.
+
+    Frontier branches whose consistency probe exhausts ``budget`` are
+    skipped and recorded in ``degradations`` instead of aborting the
+    whole enumeration (the returned MISes are still genuine — only
+    completeness of the enumeration degrades).
     """
     all_axioms = list(kb.axioms())
-    if _consistent(all_axioms, max_nodes, max_branches):
+    overall = _consistency(all_axioms, max_nodes, max_branches, budget)
+    if overall.is_unknown():
+        _record(degradations, "full-KB consistency", overall)
+        return []
+    if overall.is_true():
         return []
     found: List[FrozenSet[Axiom]] = []
     # Each frontier entry is a set of axioms removed from the full KB.
@@ -91,9 +130,25 @@ def minimal_inconsistent_subsets(
             continue
         explored.add(removed)
         remaining = [axiom for axiom in all_axioms if axiom not in removed]
-        if _consistent(remaining, max_nodes, max_branches):
+        verdict = _consistency(remaining, max_nodes, max_branches, budget)
+        if verdict.is_unknown():
+            _record(
+                degradations,
+                f"frontier branch (-{len(removed)} axioms)",
+                verdict,
+            )
             continue
-        mis = frozenset(shrink_to_minimal(remaining, max_nodes, max_branches))
+        if verdict.is_true():
+            continue
+        mis = frozenset(
+            shrink_to_minimal(
+                remaining,
+                max_nodes,
+                max_branches,
+                budget=budget,
+                degradations=degradations,
+            )
+        )
         if mis not in found:
             found.append(mis)
         for axiom in mis:
@@ -107,6 +162,8 @@ def repairs(
     max_repairs: int = 20,
     max_nodes: int = DEFAULT_MAX_NODES,
     max_branches: int = DEFAULT_MAX_BRANCHES,
+    budget: Optional[Budget] = None,
+    degradations: Optional[List[DegradationRecord]] = None,
 ) -> List[FrozenSet[Axiom]]:
     """Minimal hitting sets of the justifications: the candidate repairs.
 
@@ -114,7 +171,12 @@ def repairs(
     (no proper subset is also a repair w.r.t. the found justifications).
     """
     justifications = minimal_inconsistent_subsets(
-        kb, max_subsets=max_subsets, max_nodes=max_nodes, max_branches=max_branches
+        kb,
+        max_subsets=max_subsets,
+        max_nodes=max_nodes,
+        max_branches=max_branches,
+        budget=budget,
+        degradations=degradations,
     )
     if not justifications:
         return []
@@ -139,7 +201,13 @@ def repairs(
 
 
 class RepairReasoner:
-    """Query answering under repair semantics."""
+    """Query answering under repair semantics.
+
+    With a ``budget``, every consistency probe of the diagnosis phase is
+    bounded; undecidable probes are skipped and listed in
+    :attr:`degradations` instead of aborting construction, and queries
+    whose entailment checks exhaust the budget answer ``"undetermined"``.
+    """
 
     name = "repair"
 
@@ -150,13 +218,18 @@ class RepairReasoner:
         max_repairs: int = 20,
         max_nodes: int = DEFAULT_MAX_NODES,
         max_branches: int = DEFAULT_MAX_BRANCHES,
+        budget: Optional[Budget] = None,
     ):
         self.kb = kb
         self._max_nodes = max_nodes
         self._max_branches = max_branches
+        self._budget = budget
+        #: Skip-and-record log of budget-exhausted diagnosis/query steps.
+        self.degradations: List[DegradationRecord] = []
         self.justifications = minimal_inconsistent_subsets(
             kb, max_subsets=max_subsets, max_nodes=max_nodes,
-            max_branches=max_branches,
+            max_branches=max_branches, budget=budget,
+            degradations=self.degradations,
         )
         self.repair_sets = repairs(
             kb,
@@ -164,6 +237,8 @@ class RepairReasoner:
             max_repairs=max_repairs,
             max_nodes=max_nodes,
             max_branches=max_branches,
+            budget=budget,
+            degradations=self.degradations,
         )
         self._repaired_reasoners = [
             Reasoner(
@@ -221,10 +296,42 @@ class RepairReasoner:
             for reasoner in self._repaired_reasoners
         )
 
+    def _cautious_verdict(
+        self, individual: Individual, concept: Concept
+    ) -> Verdict:
+        """Cautious entailment as a degrading three-way verdict.
+
+        FALSE dominates (some repair provably refutes), then UNKNOWN
+        (some repair could not be decided within budget), then TRUE.
+        """
+        unknown: Optional[Verdict] = None
+        for reasoner in self._repaired_reasoners:
+            verdict = reasoner.instance_verdict(
+                individual, concept, budget=self._budget
+            )
+            if verdict.is_false():
+                return Verdict.FALSE
+            if verdict.is_unknown():
+                unknown = verdict
+        return unknown if unknown is not None else Verdict.TRUE
+
     def query(self, individual: Individual, concept: Concept) -> str:
-        """Three-valued verdict under cautious repair semantics."""
-        if self.cautious_query(individual, concept):
+        """Three-valued verdict under cautious repair semantics.
+
+        Budget-exhausted entailment checks degrade to ``"undetermined"``
+        (recorded in :attr:`degradations`) instead of raising.
+        """
+        positive = self._cautious_verdict(individual, concept)
+        if positive.is_true():
             return "accepted"
-        if self.cautious_query(individual, Not(concept)):
+        negative = self._cautious_verdict(individual, Not(concept))
+        if negative.is_true():
             return "rejected"
+        for direction, verdict in (("", positive), ("not ", negative)):
+            if verdict.is_unknown():
+                _record(
+                    self.degradations,
+                    f"query {individual.name} : {direction}{concept}",
+                    verdict,
+                )
         return "undetermined"

@@ -22,9 +22,10 @@ the contradiction (paper Section 5).
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..dl import axioms as ax
+from ..dl.budget import Budget, DegradationRecord
 from ..dl.concepts import (
     Concept,
     Not,
@@ -85,7 +86,14 @@ def query_symbols(individual: Individual, concept: Concept) -> FrozenSet[Symbol]
 
 
 class SelectionReasoner:
-    """Linear-extension reasoning over syntactically relevant subsets."""
+    """Linear-extension reasoning over syntactically relevant subsets.
+
+    With a ``budget``, ring-extension consistency checks and query
+    entailment checks are bounded: an undecidable ring stops the
+    extension (reasoning proceeds over the rings decided so far) and an
+    undecidable query answers ``"undetermined"``; both are recorded in
+    :attr:`degradations`.
+    """
 
     name = "selection"
 
@@ -94,6 +102,7 @@ class SelectionReasoner:
         kb: KnowledgeBase,
         max_nodes: int = DEFAULT_MAX_NODES,
         max_branches: int = DEFAULT_MAX_BRANCHES,
+        budget: Optional[Budget] = None,
     ):
         self.kb = kb
         self.axioms: List[ax.Axiom] = list(kb.axioms())
@@ -102,6 +111,9 @@ class SelectionReasoner:
         ]
         self._max_nodes = max_nodes
         self._max_branches = max_branches
+        self._budget = budget
+        #: Skip-and-record log of budget-exhausted selection/query steps.
+        self.degradations: List[DegradationRecord] = []
 
     # ------------------------------------------------------------------
     # Relevance rings
@@ -142,29 +154,59 @@ class SelectionReasoner:
     ) -> KnowledgeBase:
         """The largest consistent union of relevance rings (linear extension)."""
         selected = KnowledgeBase()
-        for ring in self.relevance_rings(individual, concept):
+        for depth, ring in enumerate(self.relevance_rings(individual, concept)):
             candidate = selected.copy()
             candidate.add(*ring)
-            if Reasoner(
+            verdict = Reasoner(
                 candidate,
                 max_nodes=self._max_nodes,
                 max_branches=self._max_branches,
-            ).is_consistent():
+            ).consistency_verdict(budget=self._budget)
+            if verdict.is_true():
                 selected = candidate
             else:
+                if verdict.is_unknown():
+                    # Skip-and-record: stop extending at the ring whose
+                    # consistency could not be decided within budget.
+                    self.degradations.append(
+                        DegradationRecord(
+                            context=f"relevance ring {depth}",
+                            reason=verdict.reason,
+                            message=verdict.message,
+                        )
+                    )
                 break
         return selected
 
     def query(self, individual: Individual, concept: Concept) -> str:
-        """``accepted`` / ``rejected`` / ``undetermined`` for ``a : C``."""
+        """``accepted`` / ``rejected`` / ``undetermined`` for ``a : C``.
+
+        Budget-exhausted entailment checks degrade to ``"undetermined"``
+        (recorded in :attr:`degradations`) instead of raising.
+        """
         subset = self.selected_subset(individual, concept)
         reasoner = Reasoner(
             subset, max_nodes=self._max_nodes, max_branches=self._max_branches
         )
-        if reasoner.is_instance(individual, concept):
+        positive = reasoner.instance_verdict(
+            individual, concept, budget=self._budget
+        )
+        if positive.is_true():
             return "accepted"
-        if reasoner.is_instance(individual, Not(concept)):
+        negative = reasoner.instance_verdict(
+            individual, Not(concept), budget=self._budget
+        )
+        if negative.is_true():
             return "rejected"
+        for direction, verdict in (("", positive), ("not ", negative)):
+            if verdict.is_unknown():
+                self.degradations.append(
+                    DegradationRecord(
+                        context=f"query {individual.name} : {direction}{concept}",
+                        reason=verdict.reason,
+                        message=verdict.message,
+                    )
+                )
         return "undetermined"
 
     def survey(

@@ -13,9 +13,10 @@ heuristic used in practice when no domain knowledge is available.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..dl.axioms import ABoxAxiom, Axiom, TBoxAxiom
+from ..dl.budget import Budget, DegradationRecord, Verdict
 from ..dl.concepts import Concept, Not
 from ..dl.individuals import Individual
 from ..dl.kb import KnowledgeBase
@@ -36,7 +37,14 @@ def default_stratification(kb: KnowledgeBase) -> List[Tuple[Axiom, int]]:
 
 
 class StratifiedReasoner:
-    """Reasoning with the largest consistent prefix of priority strata."""
+    """Reasoning with the largest consistent prefix of priority strata.
+
+    With a ``budget``, stratum-consistency checks and query entailment
+    checks are bounded: an undecidable stratum is treated conservatively
+    as breaking (its axioms are not retained) and an undecidable query
+    answers ``"undetermined"``; both are recorded in
+    :attr:`degradations`.
+    """
 
     name = "stratified"
 
@@ -46,11 +54,15 @@ class StratifiedReasoner:
         lexicographic: bool = False,
         max_nodes: int = DEFAULT_MAX_NODES,
         max_branches: int = DEFAULT_MAX_BRANCHES,
+        budget: Optional[Budget] = None,
     ):
         self.stratification = list(stratification)
         self.lexicographic = lexicographic
         self._max_nodes = max_nodes
         self._max_branches = max_branches
+        self._budget = budget
+        #: Skip-and-record log of budget-exhausted selection/query steps.
+        self.degradations: List[DegradationRecord] = []
         self._selected = self._select()
         self._reasoner = Reasoner(
             self._selected,
@@ -67,10 +79,17 @@ class StratifiedReasoner:
             by_priority.setdefault(priority, []).append(axiom)
         return [by_priority[p] for p in sorted(by_priority)]
 
-    def _consistent(self, kb: KnowledgeBase) -> bool:
+    def _consistency(self, kb: KnowledgeBase) -> Verdict:
         return Reasoner(
             kb, max_nodes=self._max_nodes, max_branches=self._max_branches
-        ).is_consistent()
+        ).consistency_verdict(budget=self._budget)
+
+    def _record(self, context: str, verdict: Verdict) -> None:
+        self.degradations.append(
+            DegradationRecord(
+                context=context, reason=verdict.reason, message=verdict.message
+            )
+        )
 
     def _select(self) -> KnowledgeBase:
         """The retained sub-KB under the configured policy.
@@ -81,21 +100,31 @@ class StratifiedReasoner:
         "drowning").  *Lexicographic*: within the breaking stratum, keep
         each axiom that is individually consistent with what is already
         retained, and continue with later strata.
+
+        A consistency probe that exhausts the budget is treated like a
+        *failed* probe (the candidate is not retained — sound, since only
+        provably consistent unions are reasoned over) and recorded.
         """
         selected = KnowledgeBase()
-        for stratum in self._strata():
+        for depth, stratum in enumerate(self._strata()):
             candidate = selected.copy()
             candidate.add(*stratum)
-            if self._consistent(candidate):
+            verdict = self._consistency(candidate)
+            if verdict.is_true():
                 selected = candidate
                 continue
+            if verdict.is_unknown():
+                self._record(f"stratum {depth}", verdict)
             if not self.lexicographic:
                 break
             for axiom in stratum:
                 candidate = selected.copy()
                 candidate.add(axiom)
-                if self._consistent(candidate):
+                verdict = self._consistency(candidate)
+                if verdict.is_true():
                     selected = candidate
+                elif verdict.is_unknown():
+                    self._record(f"stratum {depth} axiom {axiom}", verdict)
         return selected
 
     # ------------------------------------------------------------------
@@ -118,11 +147,26 @@ class StratifiedReasoner:
         return dropped
 
     def query(self, individual: Individual, concept: Concept) -> str:
-        """``accepted`` / ``rejected`` / ``undetermined`` over the retained KB."""
-        if self._reasoner.is_instance(individual, concept):
+        """``accepted`` / ``rejected`` / ``undetermined`` over the retained KB.
+
+        Budget-exhausted entailment checks degrade to ``"undetermined"``
+        (recorded in :attr:`degradations`) instead of raising.
+        """
+        positive = self._reasoner.instance_verdict(
+            individual, concept, budget=self._budget
+        )
+        if positive.is_true():
             return "accepted"
-        if self._reasoner.is_instance(individual, Not(concept)):
+        negative = self._reasoner.instance_verdict(
+            individual, Not(concept), budget=self._budget
+        )
+        if negative.is_true():
             return "rejected"
+        for direction, verdict in (("", positive), ("not ", negative)):
+            if verdict.is_unknown():
+                self._record(
+                    f"query {individual.name} : {direction}{concept}", verdict
+                )
         return "undetermined"
 
     def survey(

@@ -29,8 +29,16 @@ structured tableau search trace of each probe run (``--trace`` implies
 ``--explain``).  For a ``query`` answering BOTH, both evidence
 directions are justified separately.
 
+``check``, ``query``, ``classify``, and ``repair`` accept reasoning
+budgets: ``--timeout SECONDS`` (wall-clock deadline), ``--max-nodes N``
+and ``--max-branches N``.  A command that cannot decide its question
+within the budget prints a one-line ``unknown: ...`` message and exits
+with status 3 instead of crashing (``classify`` additionally prints the
+partial hierarchy it did decide).
+
 Exit status is 0 on success, 1 when a check fails (inconsistent /
-unsatisfiable / query not entailed), 2 on usage or parse errors.
+unsatisfiable / query not entailed), 2 on usage or parse errors, and 3
+when the answer is UNKNOWN because a reasoning budget was exhausted.
 """
 
 from __future__ import annotations
@@ -40,8 +48,9 @@ import sys
 from typing import List, Optional
 
 from .dl import axioms as ax
+from .dl.budget import Budget
 from .dl.concepts import AtomicConcept, Not
-from .dl.errors import ParseError, ReproError
+from .dl.errors import ParseError, ReasonerLimitExceeded, ReproError
 from .dl.individuals import Individual
 from .dl.parser import ConceptParser, parse_kb4
 from .dl.printer import render_axiom
@@ -57,6 +66,9 @@ from .harness.tables import print_table
 #: Cap on full --trace output per probe run, to keep terminals usable.
 TRACE_LINE_LIMIT = 60
 
+#: Exit status for answers degraded to UNKNOWN by budget exhaustion.
+EXIT_UNKNOWN = 3
+
 
 def _load_kb4(path: str) -> KnowledgeBase4:
     with open(path) as handle:
@@ -65,6 +77,23 @@ def _load_kb4(path: str) -> KnowledgeBase4:
 
 def _make_reasoner(args: argparse.Namespace, kb4: KnowledgeBase4) -> Reasoner4:
     return Reasoner4(kb4, search=getattr(args, "search", "trail"))
+
+
+def _verdict_word(verdict) -> str:
+    """``True`` / ``False`` / ``unknown`` for CLI output."""
+    return "unknown" if verdict.is_unknown() else str(bool(verdict))
+
+
+def _budget_from(args: argparse.Namespace) -> Optional[Budget]:
+    """The :class:`~repro.dl.budget.Budget` the flags describe, if any."""
+    timeout = getattr(args, "timeout", None)
+    max_nodes = getattr(args, "budget_nodes", None)
+    max_branches = getattr(args, "budget_branches", None)
+    if timeout is None and max_nodes is None and max_branches is None:
+        return None
+    return Budget(
+        deadline=timeout, max_nodes=max_nodes, max_branches=max_branches
+    )
 
 
 def _print_stats(args: argparse.Namespace, reasoner: Reasoner4) -> None:
@@ -87,14 +116,25 @@ def _print_traces(args: argparse.Namespace, traces) -> None:
 
 def _cmd_check(args: argparse.Namespace) -> int:
     kb4 = _load_kb4(args.file)
+    budget = _budget_from(args)
     reasoner = _make_reasoner(args, kb4)
-    four_ok = reasoner.is_satisfiable()
-    classical_ok = Reasoner(
+    four = reasoner.is_satisfiable_verdict(budget=budget)
+    classical = Reasoner(
         collapse_to_classical(kb4), search=getattr(args, "search", "trail")
-    ).is_consistent()
+    ).consistency_verdict(budget=budget)
     print(f"axioms:                  {len(kb4)}")
-    print(f"four-valued satisfiable: {four_ok}")
-    print(f"classically consistent:  {classical_ok}")
+    print(f"four-valued satisfiable: {_verdict_word(four)}")
+    print(f"classically consistent:  {_verdict_word(classical)}")
+    if four.is_unknown() or classical.is_unknown():
+        degraded = four if four.is_unknown() else classical
+        print(
+            f"unknown: satisfiability undecided within budget "
+            f"({degraded.reason.value}); retry with a larger budget"
+        )
+        _print_stats(args, reasoner)
+        return EXIT_UNKNOWN
+    four_ok = bool(four)
+    classical_ok = bool(classical)
     if four_ok and not classical_ok:
         print(
             "the ontology contradicts itself classically but stays "
@@ -136,8 +176,18 @@ def _cmd_query(args: argparse.Namespace) -> int:
     )
     concept = parser.parse(args.concept)
     individual = Individual(args.individual)
+    budget = _budget_from(args)
     reasoner = _make_reasoner(args, kb4)
-    value = reasoner.assertion_value(individual, concept)
+    bounded = reasoner.assertion_value_bounded(individual, concept, budget=budget)
+    if bounded.is_unknown():
+        print(
+            f"{args.concept}({args.individual}) = unknown  "
+            f"(budget exhausted: {bounded.reason.value}; "
+            f"retry with a larger budget)"
+        )
+        _print_stats(args, reasoner)
+        return EXIT_UNKNOWN
+    value = bounded.value
     explanation = {
         FourValue.TRUE: "evidence for, none against",
         FourValue.FALSE: "evidence against, none for",
@@ -198,8 +248,17 @@ def _cmd_audit(args: argparse.Namespace) -> int:
 def _cmd_classify(args: argparse.Namespace) -> int:
     kb4 = _load_kb4(args.file)
     kind = InclusionKind[args.kind.upper()]
+    budget = _budget_from(args)
     reasoner = _make_reasoner(args, kb4)
-    hierarchy = reasoner.classify(kind=kind)
+    if budget is None:
+        hierarchy = reasoner.classify(kind=kind)
+        undecided: tuple = ()
+        reason = None
+    else:
+        partial = reasoner.classify_bounded(kind=kind, budget=budget)
+        hierarchy = partial.hierarchy
+        undecided = partial.undecided
+        reason = partial.reason
     rows = []
     for atom in sorted(hierarchy, key=lambda a: a.name):
         supers = sorted(
@@ -212,6 +271,12 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         title=f"Hierarchy ({args.kind} inclusion):",
     )
     _print_stats(args, reasoner)
+    if undecided:
+        print(
+            f"unknown: {len(undecided)} subsumption pairs undecided within "
+            f"budget ({reason.value}); the hierarchy above is partial"
+        )
+        return EXIT_UNKNOWN
     return 0
 
 
@@ -220,10 +285,17 @@ def _cmd_repair(args: argparse.Namespace) -> int:
     from .four_dl.axioms4 import collapse_to_classical as collapse
 
     kb4 = _load_kb4(args.file)
+    budget = _budget_from(args)
     repairer = RepairReasoner(
-        collapse(kb4), max_subsets=args.max_justifications
+        collapse(kb4), max_subsets=args.max_justifications, budget=budget
     )
     if not repairer.justifications:
+        if repairer.degradations:
+            print(
+                f"unknown: diagnosis undecided within budget "
+                f"({repairer.degradations[0].reason.value})"
+            )
+            return EXIT_UNKNOWN
         print("the ontology is classically consistent; nothing to repair")
         return 0
     print(f"justifications found: {len(repairer.justifications)}")
@@ -235,6 +307,12 @@ def _cmd_repair(args: argparse.Namespace) -> int:
     for index, repair in enumerate(repairer.repair_sets, start=1):
         removed = "; ".join(sorted(render_axiom(axiom) for axiom in repair))
         print(f"  repair {index}: remove {{ {removed} }}")
+    if repairer.degradations:
+        print(
+            f"unknown: {len(repairer.degradations)} diagnosis probes "
+            f"undecided within budget; the report above may be incomplete"
+        )
+        return EXIT_UNKNOWN
     return 1
 
 
@@ -313,10 +391,34 @@ def build_parser() -> argparse.ArgumentParser:
             "--trace", action="store_true", help=trace_help
         )
 
+    def add_budget_flags(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--timeout",
+            type=float,
+            metavar="SECONDS",
+            help="wall-clock reasoning deadline; exceeding it answers "
+            "unknown (exit status 3) instead of crashing",
+        )
+        subparser.add_argument(
+            "--max-nodes",
+            type=int,
+            dest="budget_nodes",
+            metavar="N",
+            help="cap completion-graph nodes per tableau run",
+        )
+        subparser.add_argument(
+            "--max-branches",
+            type=int,
+            dest="budget_branches",
+            metavar="N",
+            help="cap total branches explored while answering",
+        )
+
     check = commands.add_parser("check", help="satisfiability check")
     check.add_argument("file", help="ontology file (concrete syntax)")
     add_reasoning_flags(check)
     add_explain_flags(check)
+    add_budget_flags(check)
     check.set_defaults(handler=_cmd_check)
 
     query = commands.add_parser("query", help="Belnap status of C(a)")
@@ -325,6 +427,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("concept", help="concept expression")
     add_reasoning_flags(query)
     add_explain_flags(query)
+    add_budget_flags(query)
     query.set_defaults(handler=_cmd_query)
 
     audit = commands.add_parser("audit", help="conflict report and degrees")
@@ -349,6 +452,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="inclusion strength (default: internal)",
     )
     add_reasoning_flags(classify)
+    add_budget_flags(classify)
     classify.set_defaults(handler=_cmd_classify)
 
     repair = commands.add_parser(
@@ -358,6 +462,7 @@ def build_parser() -> argparse.ArgumentParser:
     repair.add_argument(
         "--max-justifications", type=int, default=10, dest="max_justifications"
     )
+    add_budget_flags(repair)
     repair.set_defaults(handler=_cmd_repair)
 
     transform = commands.add_parser(
@@ -394,6 +499,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ParseError as error:
         print(f"parse error: {error}", file=sys.stderr)
         return 2
+    except ReasonerLimitExceeded as error:
+        print(f"unknown: {error}", file=sys.stderr)
+        return EXIT_UNKNOWN
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -1,0 +1,394 @@
+"""Resource governance: budgets, meters, verdicts, and escalation.
+
+The tableau for SHOIN(D) is worst-case non-elementary, so a production
+service must be able to *bound* every query and degrade gracefully when
+the bound is hit — the same design stance the paper takes towards
+inconsistency (answer usefully instead of collapsing).  This module is
+the vocabulary for that:
+
+* :class:`Budget` — an immutable resource envelope: wall-clock deadline,
+  node / branch / trail caps, and an optional cooperative
+  :class:`CancelToken`;
+* :class:`BudgetMeter` — the running state of one budgeted service call,
+  ticked by the tableau at rule-application and choice-point boundaries
+  (amortised, never per-fact) and raising
+  :class:`~repro.dl.errors.BudgetExceeded` when the envelope is blown;
+* :class:`Verdict` — a three-way answer (``TRUE`` / ``FALSE`` /
+  ``UNKNOWN``) carrying the :class:`~repro.dl.errors.DegradationReason`
+  when the search gave up.  ``UNKNOWN`` is *sound but incomplete*
+  degradation: a budgeted service never flips a decidable answer, it
+  only withholds one (see THEORY.md §10);
+* :func:`retry_with_escalation` — re-run an UNKNOWN probe under
+  geometrically larger budgets up to a ceiling;
+* :class:`DegradationRecord` — the skip-and-record entry baselines
+  append instead of aborting a whole run.
+
+Clock injection (``Budget(clock=...)``) exists for the fault-injection
+harness (:mod:`repro.harness.chaos`), which replays deadline expiry at
+deterministic, seeded tableau steps.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable, ClassVar, Optional
+
+from .errors import BudgetExceeded, DegradationReason
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .stats import ReasonerStats
+
+#: How many meter ticks pass between wall-clock reads by default.  Rule
+#: application is orders of magnitude cheaper than a clock syscall, so
+#: the deadline check is amortised; the first tick of every metered
+#: scope always reads the clock, so an already-expired budget aborts a
+#: fresh search immediately.
+DEFAULT_CHECK_INTERVAL = 16
+
+
+class CancelToken:
+    """A cooperative cancellation flag shared between caller and search.
+
+    The caller keeps a reference and calls :meth:`cancel` (e.g. from a
+    signal handler or another thread); the tableau polls :meth:`is_set`
+    through its :class:`BudgetMeter` at choice-point boundaries and
+    aborts with ``DegradationReason.CANCELLED``.  Setting the flag is
+    idempotent and cannot be undone — create a new token per request.
+    """
+
+    __slots__ = ("_cancelled",)
+
+    def __init__(self) -> None:
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Request cancellation of every search metered on this token."""
+        self._cancelled = True
+
+    def is_set(self) -> bool:
+        """Whether cancellation has been requested."""
+        return self._cancelled
+
+
+@dataclass(frozen=True)
+class Budget:
+    """An immutable resource envelope for one reasoning service call.
+
+    All limits are optional (``None`` = unlimited):
+
+    * ``deadline`` — wall-clock seconds the whole call may take;
+    * ``max_nodes`` — completion-graph size cap per tableau run
+      (tightens, never loosens, the tableau's own cap);
+    * ``max_branches`` — branches explored, cumulative across every
+      tableau run of the call;
+    * ``max_trail`` — trail entries recorded, cumulative across runs;
+    * ``cancel`` — a :class:`CancelToken` polled during search;
+    * ``clock`` — the monotonic time source (injectable for
+      deterministic tests and the chaos harness);
+    * ``check_interval`` — ticks between wall-clock reads.
+
+    Budgets are reusable and thread-safe (frozen); each service call
+    derives its own mutable :class:`BudgetMeter` via :meth:`start`.
+    """
+
+    deadline: Optional[float] = None
+    max_nodes: Optional[int] = None
+    max_branches: Optional[int] = None
+    max_trail: Optional[int] = None
+    cancel: Optional[CancelToken] = None
+    clock: Callable[[], float] = time.monotonic
+    check_interval: int = DEFAULT_CHECK_INTERVAL
+
+    def __post_init__(self) -> None:
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {self.deadline!r}")
+        for name in ("max_nodes", "max_branches", "max_trail"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value!r}")
+        if self.check_interval < 1:
+            raise ValueError(
+                f"check_interval must be >= 1, got {self.check_interval!r}"
+            )
+
+    def start(self, stats: "Optional[ReasonerStats]" = None) -> "BudgetMeter":
+        """Begin a metered scope: fix the absolute deadline, zero counters."""
+        return BudgetMeter(self, stats=stats)
+
+    def scaled(self, factor: float) -> "Budget":
+        """A geometrically larger copy (used by :func:`retry_with_escalation`).
+
+        Every finite limit is multiplied by ``factor``; unlimited axes
+        stay unlimited and the cancel token / clock carry over unchanged.
+        """
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor!r}")
+
+        def scale_int(value: Optional[int]) -> Optional[int]:
+            return None if value is None else max(1, int(value * factor))
+
+        return replace(
+            self,
+            deadline=None if self.deadline is None else self.deadline * factor,
+            max_nodes=scale_int(self.max_nodes),
+            max_branches=scale_int(self.max_branches),
+            max_trail=scale_int(self.max_trail),
+        )
+
+
+class BudgetMeter:
+    """The running state of one budgeted service call.
+
+    Created by :meth:`Budget.start`; threaded through every tableau run
+    the call issues, so cumulative limits (deadline, branches, trail)
+    span the whole service call rather than a single run.  All checks
+    raise :class:`~repro.dl.errors.BudgetExceeded` with the matching
+    :class:`~repro.dl.errors.DegradationReason`; once a meter has
+    expired it keeps raising immediately, so follow-up probes on the
+    same scope abort at their first tick.
+    """
+
+    __slots__ = (
+        "budget",
+        "stats",
+        "deadline_at",
+        "branches",
+        "trail",
+        "_ticks",
+        "_expired",
+    )
+
+    def __init__(self, budget: Budget, stats: "Optional[ReasonerStats]" = None):
+        self.budget = budget
+        self.stats = stats
+        self.deadline_at = (
+            None
+            if budget.deadline is None
+            else budget.clock() + budget.deadline
+        )
+        self.branches = 0
+        self.trail = 0
+        self._ticks = 0
+        self._expired: Optional[DegradationReason] = None
+
+    @property
+    def max_nodes(self) -> Optional[int]:
+        """The per-run node cap of the underlying budget (``None`` = no cap)."""
+        return self.budget.max_nodes
+
+    def _abort(self, reason: DegradationReason, message: str) -> None:
+        self._expired = reason
+        raise BudgetExceeded(message, reason)
+
+    def tick(self) -> None:
+        """One amortised budget check (called at search loop boundaries).
+
+        The cancel token is polled on every tick (a flag read); the
+        wall clock only every ``check_interval`` ticks — but always on
+        the first, so an expired deadline stops a fresh run immediately.
+        """
+        if self._expired is not None:
+            raise BudgetExceeded(
+                f"budget already exhausted ({self._expired.value})",
+                self._expired,
+            )
+        budget = self.budget
+        if budget.cancel is not None and budget.cancel.is_set():
+            self._abort(DegradationReason.CANCELLED, "search cancelled")
+        if self.deadline_at is not None:
+            if self._ticks % budget.check_interval == 0:
+                if self.stats is not None:
+                    self.stats.deadline_checks += 1
+                if budget.clock() > self.deadline_at:
+                    self._abort(
+                        DegradationReason.DEADLINE,
+                        f"deadline of {budget.deadline}s exceeded",
+                    )
+            self._ticks += 1
+
+    def note_branch(self) -> None:
+        """Count one explored branch against the cumulative branch cap."""
+        self.tick()
+        self.branches += 1
+        limit = self.budget.max_branches
+        if limit is not None and self.branches > limit:
+            self._abort(
+                DegradationReason.BRANCHES,
+                f"budget exceeded {limit} branches",
+            )
+
+    def note_trail(self, entries: int) -> None:
+        """Count newly recorded trail entries against the trail cap."""
+        self.trail += entries
+        limit = self.budget.max_trail
+        if limit is not None and self.trail > limit:
+            self._abort(
+                DegradationReason.TRAIL,
+                f"budget exceeded {limit} trail entries",
+            )
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """A three-way reasoning answer: ``TRUE``, ``FALSE``, or ``UNKNOWN``.
+
+    Decided verdicts carry ``value`` ``True`` / ``False``; an UNKNOWN
+    verdict carries ``value=None`` plus the
+    :class:`~repro.dl.errors.DegradationReason` that stopped the search
+    and a human-readable message.  UNKNOWN is *degradation*, not a truth
+    value: a budgeted service either returns the same answer the
+    unbudgeted one would, or UNKNOWN — never the opposite answer (see
+    THEORY.md §10).
+
+    Truth-testing an UNKNOWN verdict with ``bool(...)`` raises
+    ``TypeError`` on purpose: silently treating "don't know" as "no" is
+    exactly the bug this type exists to prevent.  Branch on
+    :meth:`is_true` / :meth:`is_false` / :meth:`is_unknown` instead.
+    """
+
+    value: Optional[bool]
+    reason: Optional[DegradationReason] = None
+    message: str = ""
+
+    #: The two decided singletons, assigned right after the class body.
+    TRUE: ClassVar["Verdict"]
+    FALSE: ClassVar["Verdict"]
+
+    def __post_init__(self) -> None:
+        if self.value is None and self.reason is None:
+            raise ValueError("an UNKNOWN verdict needs a DegradationReason")
+        if self.value is not None and self.reason is not None:
+            raise ValueError("a decided verdict cannot carry a reason")
+
+    @classmethod
+    def of(cls, value: bool) -> "Verdict":
+        """The decided verdict for a boolean answer."""
+        return cls.TRUE if value else cls.FALSE
+
+    @classmethod
+    def unknown(
+        cls, reason: DegradationReason, message: str = ""
+    ) -> "Verdict":
+        """An UNKNOWN verdict recording why the search gave up."""
+        return cls(value=None, reason=reason, message=message)
+
+    def is_true(self) -> bool:
+        """Whether this is the decided TRUE verdict."""
+        return self.value is True
+
+    def is_false(self) -> bool:
+        """Whether this is the decided FALSE verdict."""
+        return self.value is False
+
+    def is_unknown(self) -> bool:
+        """Whether the search degraded instead of deciding."""
+        return self.value is None
+
+    def negate(self) -> "Verdict":
+        """The verdict of the negated question (UNKNOWN stays UNKNOWN)."""
+        if self.value is None:
+            return self
+        return Verdict.of(not self.value)
+
+    def __bool__(self) -> bool:
+        if self.value is None:
+            raise TypeError(
+                "cannot truth-test an UNKNOWN verdict "
+                f"(reason: {self.reason.value}); "
+                "branch on is_true()/is_false()/is_unknown()"
+            )
+        return self.value
+
+    def __str__(self) -> str:
+        if self.value is None:
+            return f"UNKNOWN({self.reason.value})"
+        return "TRUE" if self.value else "FALSE"
+
+
+Verdict.TRUE = Verdict(value=True)
+Verdict.FALSE = Verdict(value=False)
+
+
+@dataclass(frozen=True)
+class DegradationRecord:
+    """One skipped step of a degraded batch service.
+
+    Baselines and bounded classification append these instead of
+    aborting the whole run: ``context`` names the skipped unit (an
+    axiom, a stratum, a concept pair), ``reason`` says which resource
+    ran out.
+    """
+
+    context: str
+    reason: DegradationReason
+    message: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.context}: {self.reason.value}"
+
+
+def retry_with_escalation(
+    probe: Callable[[Optional[Budget]], Verdict],
+    budget: Budget,
+    factor: float = 4.0,
+    attempts: int = 3,
+    ceiling: Optional[Budget] = None,
+    stats: "Optional[ReasonerStats]" = None,
+) -> Verdict:
+    """Re-run an UNKNOWN probe under geometrically larger budgets.
+
+    ``probe`` is called with the current :class:`Budget` and must return
+    a :class:`Verdict`; after an UNKNOWN answer the budget is scaled by
+    ``factor`` and the probe retried, up to ``attempts`` total calls.
+    ``ceiling`` (when given) clamps every escalated limit; escalation
+    stops early once the ceiling is reached without deciding.  Decided
+    answers return immediately — escalation can turn UNKNOWN into a
+    decision but never perturb one (each attempt is an independent,
+    sound probe).  Cancellation is not escalated: an UNKNOWN with reason
+    ``CANCELLED`` returns as-is, since a larger budget cannot override
+    an explicit cancel request.
+
+    Every retry increments the ``escalations`` stats counter when a
+    :class:`~repro.dl.stats.ReasonerStats` is supplied.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts!r}")
+    if factor <= 1.0:
+        raise ValueError(f"factor must be > 1, got {factor!r}")
+    current = budget
+    verdict = probe(current)
+    for _ in range(attempts - 1):
+        if not verdict.is_unknown():
+            return verdict
+        if verdict.reason is DegradationReason.CANCELLED:
+            return verdict
+        escalated = current.scaled(factor)
+        if ceiling is not None:
+            escalated = _clamp(escalated, ceiling)
+            if escalated == current:
+                return verdict
+        current = escalated
+        if stats is not None:
+            stats.escalations += 1
+        verdict = probe(current)
+    return verdict
+
+
+def _clamp(budget: Budget, ceiling: Budget) -> Budget:
+    """Limit every axis of ``budget`` to the corresponding ceiling axis."""
+
+    def tighter(value, cap):
+        if cap is None:
+            return value
+        if value is None:
+            return cap
+        return min(value, cap)
+
+    return replace(
+        budget,
+        deadline=tighter(budget.deadline, ceiling.deadline),
+        max_nodes=tighter(budget.max_nodes, ceiling.max_nodes),
+        max_branches=tighter(budget.max_branches, ceiling.max_branches),
+        max_trail=tighter(budget.max_trail, ceiling.max_trail),
+    )

@@ -19,6 +19,24 @@ cache memoises exactly that question.  Soundness rests on two invariants:
 The cache never stores completion graphs, only boolean verdicts, so a
 model-extraction request always re-runs the tableau.
 
+**Abort-safety audit (decided-only commit).**  Budgeted searches can be
+aborted mid-run (:class:`~repro.dl.errors.BudgetExceeded`, cooperative
+cancellation, or an injected chaos fault), which raises the question of
+poisoning: could a half-finished search commit a wrong verdict?  It
+cannot, by construction — the only call site that writes this cache is
+``Reasoner._satisfiable_with``, and its ``store`` happens strictly
+*after* ``Tableau.is_satisfiable`` returns a boolean.  Every abort is an
+exception, which propagates past the store; the aborted probe leaves no
+entry, and the next ask recomputes cold.  The same argument covers the
+:class:`~repro.four_dl.reasoner4.Reasoner4` pathway: its transform memo
+(:func:`~repro.four_dl.transform.cached_transform_kb`) is a *purely
+syntactic* rewrite that never runs a tableau, so no abort can occur
+inside it, and its satisfiability answers flow through this cache via
+the delegated classical reasoner.  The invariant is enforced by the
+fault-injection suite (:mod:`repro.harness.chaos`), which interleaves
+aborted and successful probes and demands post-abort answers identical
+to a cold reasoner's.
+
 Capacity is bounded: entries live in LRU order and the least recently
 used verdict is evicted once ``maxsize`` is exceeded, so long sessions
 issuing millions of distinct probes cannot grow the cache without bound.

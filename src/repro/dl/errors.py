@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import enum
+
 
 class ReproError(Exception):
     """Base class of all library errors."""
@@ -22,6 +24,46 @@ class ReasonerLimitExceeded(ReproError):
     budget turns a runaway search into a diagnosable error instead of an
     unbounded loop.
     """
+
+
+class DegradationReason(enum.Enum):
+    """Why a reasoning service gave up before reaching a verdict.
+
+    Attached to every :class:`BudgetExceeded` and surfaced on the
+    structured ``UNKNOWN`` verdicts of the budgeted service APIs
+    (:mod:`repro.dl.budget`), so callers can distinguish a wall-clock
+    timeout from a memory-style cap from a cooperative cancellation.
+    """
+
+    #: The wall-clock deadline of the active :class:`~repro.dl.budget.Budget`
+    #: passed mid-search.
+    DEADLINE = "deadline"
+    #: A completion graph grew past the node cap.
+    NODES = "nodes"
+    #: The search explored more branches than the branch cap allows.
+    BRANCHES = "branches"
+    #: The trail of the in-place search engine grew past the trail cap.
+    TRAIL = "trail"
+    #: A cooperative :class:`~repro.dl.budget.CancelToken` was triggered.
+    CANCELLED = "cancelled"
+    #: An unexpected error was contained by a degrading service (the
+    #: fault-injection harness exercises this path; real searches abort
+    #: with one of the specific reasons above).
+    ERROR = "error"
+
+
+class BudgetExceeded(ReasonerLimitExceeded):
+    """A search was aborted because a :class:`~repro.dl.budget.Budget` ran out.
+
+    Subclasses :class:`ReasonerLimitExceeded`, so pre-existing handlers
+    (and tests) for cap overruns keep working; new code can catch this
+    type and read :attr:`reason` to learn *which* resource was exhausted.
+    """
+
+    def __init__(self, message: str, reason: "DegradationReason"):
+        super().__init__(message)
+        #: The exhausted resource, as a :class:`DegradationReason`.
+        self.reason = reason
 
 
 class UnsupportedFeature(ReproError):

@@ -24,7 +24,9 @@ record how much work each service actually did.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .axioms import (
     Axiom,
@@ -38,8 +40,15 @@ from .axioms import (
     RoleInclusion,
     SameIndividual,
 )
+from .budget import Budget, BudgetMeter, Verdict, retry_with_escalation
 from .cache import CONSISTENCY_KEY, QueryCache, probe_set_key
-from .errors import UnsupportedAxiomError
+from .errors import (
+    BudgetExceeded,
+    DegradationReason,
+    ParseError,
+    UnsupportedAxiomError,
+    UnsupportedFeature,
+)
 from .concepts import (
     And,
     AtomicConcept,
@@ -81,6 +90,7 @@ class Reasoner:
         stats: Optional[ReasonerStats] = None,
         search: str = "trail",
         cache_maxsize: Optional[int] = 4096,
+        budget: Optional[Budget] = None,
     ):
         """Bind a reasoner to ``kb``.
 
@@ -90,11 +100,16 @@ class Reasoner:
         across reasoners, while ``use_cache=False`` / ``cache_maxsize``
         configure a private one; ``stats`` shares a
         :class:`~repro.dl.stats.ReasonerStats`; ``search`` picks the
-        tableau strategy (``"trail"`` or ``"copying"``).
+        tableau strategy (``"trail"`` or ``"copying"``); ``budget``
+        attaches a default :class:`~repro.dl.budget.Budget` governing
+        every service call (per-call ``budget=`` arguments override it).
         """
         self.kb = kb
         self.max_nodes = max_nodes
         self.max_branches = max_branches
+        #: The default resource envelope of every service call (None =
+        #: only the tableau's own node/branch caps apply).
+        self.budget = budget
         #: Tableau search mode: ``"trail"`` (backjumping, default) or
         #: ``"copying"`` (the copy-per-branch reference oracle).
         self.search = search
@@ -108,6 +123,9 @@ class Reasoner:
             self.cache.stats = self.stats
         self._tableau = self._build_tableau()
         self._kb_version = kb.version
+        # The meter of the currently executing budgeted service call, if
+        # any (installed by _metered; spans every probe of the call).
+        self._active_meter: Optional[BudgetMeter] = None
 
     def _build_tableau(self) -> Tableau:
         return Tableau(
@@ -130,7 +148,15 @@ class Reasoner:
             self._kb_version = self.kb.version
 
     def _satisfiable_with(self, probes: Sequence) -> bool:
-        """The single cached satisfiability entry point of every service."""
+        """The single cached satisfiability entry point of every service.
+
+        Cache-soundness invariant: a verdict is stored only *after* the
+        tableau decided it.  An aborted search (budget exhaustion,
+        cancellation, or any other exception) propagates past the
+        ``store`` call, so a partial search can never poison the cache —
+        post-abort lookups either hit an earlier *decided* entry or
+        re-run the tableau from scratch.
+        """
         self._sync()
         key = probe_set_key(probes) if probes else CONSISTENCY_KEY
         cached = self.cache.lookup(key)
@@ -138,9 +164,57 @@ class Reasoner:
             self.stats.cache_hits += 1
             return cached
         self.stats.cache_misses += 1
-        result = self._tableau.is_satisfiable(probes)
+        meter = self._active_meter
+        if meter is None and self.budget is not None:
+            # Boolean APIs under a constructor-level budget: each probe
+            # gets its own metered scope (and raises on exhaustion).
+            meter = self.budget.start(self.stats)
+        try:
+            result = self._tableau.is_satisfiable(probes, meter=meter)
+        except BudgetExceeded:
+            self.stats.budget_aborts += 1
+            raise
         self.cache.store(key, result)
         return result
+
+    @contextmanager
+    def _metered(self, meter: Optional[BudgetMeter]):
+        """Install ``meter`` as the scope of every nested tableau probe."""
+        previous = self._active_meter
+        self._active_meter = meter
+        try:
+            yield
+        finally:
+            self._active_meter = previous
+
+    def _start_meter(self, budget: Optional[Budget]) -> Optional[BudgetMeter]:
+        """Begin a metered scope from ``budget`` or the default budget."""
+        chosen = budget if budget is not None else self.budget
+        return None if chosen is None else chosen.start(self.stats)
+
+    def _run_bounded(self, thunk, budget: Optional[Budget]) -> Verdict:
+        """Run a boolean service degradingly: decided answer or UNKNOWN.
+
+        Budget exhaustion (and, defensively, any unexpected mid-search
+        error) becomes a structured UNKNOWN verdict; usage errors
+        (unsupported axioms, parse errors) still propagate — they are
+        the caller's bug, not a resource condition.  UNKNOWN is sound:
+        the thunk either returned the unbudgeted answer or nothing.
+        """
+        meter = self._start_meter(budget)
+        try:
+            with self._metered(meter):
+                return Verdict.of(thunk())
+        except BudgetExceeded as exc:
+            self.stats.unknown_verdicts += 1
+            return Verdict.unknown(exc.reason, str(exc))
+        except (ParseError, UnsupportedFeature):
+            raise
+        except Exception as exc:  # contain faults, degrade to UNKNOWN
+            self.stats.unknown_verdicts += 1
+            return Verdict.unknown(
+                DegradationReason.ERROR, f"{type(exc).__name__}: {exc}"
+            )
 
     # ------------------------------------------------------------------
     # Core services
@@ -228,6 +302,155 @@ class Reasoner:
             )
             return not self._satisfiable_with(probes)
         raise UnsupportedAxiomError(axiom)
+
+    # ------------------------------------------------------------------
+    # Degrading (budgeted) services
+    # ------------------------------------------------------------------
+    def consistency_verdict(self, budget: Optional[Budget] = None) -> Verdict:
+        """Three-way consistency: TRUE, FALSE, or UNKNOWN on exhaustion.
+
+        The degrading counterpart of :meth:`is_consistent`: instead of
+        raising :class:`~repro.dl.errors.BudgetExceeded` when the
+        ``budget`` (or the constructor-level default budget) runs out,
+        the exhaustion is returned as a structured
+        :class:`~repro.dl.budget.Verdict` carrying the
+        :class:`~repro.dl.errors.DegradationReason`.
+        """
+        return self._run_bounded(self.is_consistent, budget)
+
+    def satisfiable_verdict(
+        self, concept: Concept, budget: Optional[Budget] = None
+    ) -> Verdict:
+        """Three-way concept satisfiability (degrading :meth:`is_satisfiable`)."""
+        return self._run_bounded(lambda: self.is_satisfiable(concept), budget)
+
+    def instance_verdict(
+        self,
+        individual: Individual,
+        concept: Concept,
+        budget: Optional[Budget] = None,
+    ) -> Verdict:
+        """Three-way instance checking (degrading :meth:`is_instance`)."""
+        return self._run_bounded(
+            lambda: self.is_instance(individual, concept), budget
+        )
+
+    def subsumption_verdict(
+        self, sup: Concept, sub: Concept, budget: Optional[Budget] = None
+    ) -> Verdict:
+        """Three-way subsumption (degrading :meth:`subsumes`)."""
+        return self._run_bounded(lambda: self.subsumes(sup, sub), budget)
+
+    def entails_verdict(
+        self, axiom: Axiom, budget: Optional[Budget] = None
+    ) -> Verdict:
+        """Three-way entailment (degrading :meth:`entails`).
+
+        The whole dispatch of :meth:`entails` — including multi-probe
+        axioms like equivalences — runs under one metered scope, so the
+        deadline and the cumulative branch/trail caps govern the entire
+        question, not each probe separately.  Unsupported axiom kinds
+        still raise :class:`~repro.dl.errors.UnsupportedAxiomError`.
+        """
+        return self._run_bounded(lambda: self.entails(axiom), budget)
+
+    def entails_with_escalation(
+        self,
+        axiom: Axiom,
+        budget: Budget,
+        factor: float = 4.0,
+        attempts: int = 3,
+        ceiling: Optional[Budget] = None,
+    ) -> Verdict:
+        """Entailment under :func:`~repro.dl.budget.retry_with_escalation`.
+
+        Starts from ``budget`` and geometrically enlarges it (by
+        ``factor``, up to ``attempts`` probes, clamped to ``ceiling``)
+        while the answer stays UNKNOWN.
+        """
+        return retry_with_escalation(
+            lambda b: self.entails_verdict(axiom, budget=b),
+            budget,
+            factor=factor,
+            attempts=attempts,
+            ceiling=ceiling,
+            stats=self.stats,
+        )
+
+    def classify_bounded(
+        self,
+        atoms: Optional[Iterable[AtomicConcept]] = None,
+        budget: Optional[Budget] = None,
+    ) -> "PartialClassification":
+        """Classification that degrades to a *partial* hierarchy.
+
+        Probes atomic subsumption pairwise (memoised by the query cache)
+        under one metered scope.  When the budget runs out the decided
+        rows are returned as-is together with the list of undecided
+        ``(sub, sup)`` pairs and the :class:`~repro.dl.errors.DegradationReason`
+        — never a wrong or partially-filled row.  With no exhaustion the
+        result equals :meth:`classify` exactly.
+        """
+        if atoms is None:
+            atoms = self.kb.concepts_in_signature()
+        ordered = sorted(set(atoms), key=lambda a: a.name)
+        if not ordered:
+            return PartialClassification(
+                hierarchy={}, undecided=(), reason=None
+            )
+        universe = frozenset(ordered)
+        meter = self._start_meter(budget)
+        reason: Optional[DegradationReason] = None
+        message = ""
+        hierarchy: Dict[AtomicConcept, FrozenSet[AtomicConcept]] = {}
+        undecided: List[Tuple[AtomicConcept, AtomicConcept]] = []
+        with self._metered(meter):
+            try:
+                consistent = self.is_consistent()
+            except BudgetExceeded as exc:
+                return PartialClassification(
+                    hierarchy={},
+                    undecided=tuple(
+                        (sub, sup) for sub in ordered for sup in ordered
+                    ),
+                    reason=exc.reason,
+                    message=str(exc),
+                )
+            if not consistent:
+                # Everything subsumes everything in an inconsistent KB.
+                return PartialClassification(
+                    hierarchy={atom: universe for atom in ordered},
+                    undecided=(),
+                    reason=None,
+                )
+            for row, sub in enumerate(ordered):
+                if reason is not None:
+                    undecided.extend((sub, sup) for sup in ordered)
+                    continue
+                subsumers: Set[AtomicConcept] = set()
+                for col, sup in enumerate(ordered):
+                    try:
+                        if self.subsumes(sup, sub):
+                            subsumers.add(sup)
+                    except BudgetExceeded as exc:
+                        # Skip-and-record: the rest of this row and all
+                        # later rows become undecided pairs.
+                        reason = exc.reason
+                        message = str(exc)
+                        undecided.extend(
+                            (sub, later) for later in ordered[col:]
+                        )
+                        break
+                else:
+                    hierarchy[sub] = frozenset(subsumers)
+        if reason is not None:
+            self.stats.unknown_verdicts += 1
+        return PartialClassification(
+            hierarchy=hierarchy,
+            undecided=tuple(undecided),
+            reason=reason,
+            message=message,
+        )
 
     # ------------------------------------------------------------------
     # Explanation
@@ -673,6 +896,33 @@ class Reasoner:
             for concept in self.kb.concepts_in_signature()
             if not self.is_satisfiable(concept)
         )
+
+
+# ---------------------------------------------------------------------------
+# Partial classification
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PartialClassification:
+    """The possibly-degraded result of :meth:`Reasoner.classify_bounded`.
+
+    ``hierarchy`` maps every *fully decided* atom to its complete
+    subsumer set (rows are all-or-nothing, so a present row is exactly
+    what :meth:`Reasoner.classify` would report); ``undecided`` lists
+    the ``(sub, sup)`` pairs the budget did not cover; ``reason`` and
+    ``message`` describe the exhaustion (both empty when the
+    classification completed).
+    """
+
+    hierarchy: Dict["AtomicConcept", FrozenSet["AtomicConcept"]]
+    undecided: Tuple[Tuple["AtomicConcept", "AtomicConcept"], ...]
+    reason: Optional[DegradationReason] = None
+    message: str = ""
+
+    @property
+    def complete(self) -> bool:
+        """Whether every requested pair was decided."""
+        return not self.undecided
 
 
 # ---------------------------------------------------------------------------

@@ -47,7 +47,15 @@ class ReasonerStats:
       justification shrinking (each runs on a candidate sub-KB with the
       query cache bypassed);
     * ``trace_events`` — structured trace events recorded while a
-      :class:`~repro.explain.model.Trace` was attached to a tableau run.
+      :class:`~repro.explain.model.Trace` was attached to a tableau run;
+    * ``deadline_checks`` — amortised wall-clock reads performed by
+      :class:`~repro.dl.budget.BudgetMeter` ticks (far below tick count);
+    * ``budget_aborts`` — searches stopped by an exhausted
+      :class:`~repro.dl.budget.Budget` (deadline, caps, or cancellation);
+    * ``unknown_verdicts`` — structured UNKNOWN answers returned by the
+      degrading service APIs instead of raising;
+    * ``escalations`` — budget enlargements performed by
+      :func:`~repro.dl.budget.retry_with_escalation` retries.
     """
 
     tableau_runs: int = 0
@@ -64,6 +72,10 @@ class ReasonerStats:
     explanations_computed: int = 0
     shrink_probes: int = 0
     trace_events: int = 0
+    deadline_checks: int = 0
+    budget_aborts: int = 0
+    unknown_verdicts: int = 0
+    escalations: int = 0
 
     def snapshot(self) -> "ReasonerStats":
         """An independent copy of the current counter values."""
@@ -120,4 +132,11 @@ class ReasonerStats:
             )
         if self.trace_events:
             line += f" | trace events: {self.trace_events}"
+        if self.budget_aborts or self.unknown_verdicts or self.escalations:
+            line += (
+                f" | budget: {self.budget_aborts} aborts"
+                f" / {self.unknown_verdicts} unknown"
+                f" (escalations: {self.escalations},"
+                f" deadline checks: {self.deadline_checks})"
+            )
         return line

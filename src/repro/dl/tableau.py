@@ -70,8 +70,9 @@ from .concepts import (
     QualifiedAtMost,
     Top,
 )
+from .budget import BudgetMeter
 from .datatypes import DataRange, DataTop, find_witnesses
-from .errors import ReasonerLimitExceeded
+from .errors import BudgetExceeded, DegradationReason
 from .individuals import Individual
 from .kb import KnowledgeBase
 from .nnf import negation_nnf, nnf
@@ -432,6 +433,8 @@ class Tableau:
                         constraint, EMPTY
                     ) | frozenset({tag})
         self._branches_used = 0
+        #: The active budget meter of the current run (None = unbudgeted).
+        self._meter: Optional[BudgetMeter] = None
         self._sort_keys: Dict[Concept, str] = {}
         # Per-run provenance/trace state (populated by is_satisfiable).
         self._active_trace = None
@@ -443,14 +446,25 @@ class Tableau:
     # Public API
     # ------------------------------------------------------------------
     def is_satisfiable(
-        self, extra_assertions: Iterable = (), trace=None
+        self,
+        extra_assertions: Iterable = (),
+        trace=None,
+        meter: Optional[BudgetMeter] = None,
     ) -> bool:
         """Whether the KB (plus optional extra ABox axioms) has a model.
 
         ``trace``, when given, is a :class:`repro.explain.model.Trace`
         that records the run's structured search events (trail search
         only; the copying oracle records just the verdict).
+
+        ``meter``, when given, is a :class:`~repro.dl.budget.BudgetMeter`
+        ticked at rule-application and choice-point boundaries; an
+        exhausted budget aborts the run with
+        :class:`~repro.dl.errors.BudgetExceeded`.  The same meter may
+        span several runs, so cumulative limits (deadline, branches,
+        trail) govern a whole service call.
         """
+        self._meter = meter
         if self.stats is not None:
             self.stats.tableau_runs += 1
         self._complete_graph: Optional[_Graph] = None
@@ -804,17 +818,34 @@ class Tableau:
         if self.stats is not None:
             self.stats.branches_explored += 1
         if self._branches_used > self.max_branches:
-            raise ReasonerLimitExceeded(
-                f"tableau exceeded {self.max_branches} branches"
+            raise BudgetExceeded(
+                f"tableau exceeded {self.max_branches} branches",
+                DegradationReason.BRANCHES,
+            )
+        if self._meter is not None:
+            self._meter.note_branch()
+
+    def _node_cap(self) -> int:
+        """The effective per-run node cap (budget tightens, never loosens)."""
+        meter = self._meter
+        if meter is not None and meter.max_nodes is not None:
+            return min(self.max_nodes, meter.max_nodes)
+        return self.max_nodes
+
+    def _check_nodes(self, graph: _Graph) -> None:
+        """Abort when the completion graph outgrew the node cap."""
+        cap = self._node_cap()
+        if len(graph.labels) > cap:
+            raise BudgetExceeded(
+                f"tableau exceeded {cap} nodes", DegradationReason.NODES
             )
 
     def _solve(self, graph: _Graph) -> bool:
         self._use_branch()
         while True:
-            if len(graph.labels) > self.max_nodes:
-                raise ReasonerLimitExceeded(
-                    f"tableau exceeded {self.max_nodes} nodes"
-                )
+            if self._meter is not None:
+                self._meter.tick()
+            self._check_nodes(graph)
             status = self._apply_deterministic(graph)
             if status == "clash":
                 return False
@@ -1498,12 +1529,16 @@ class _TrailEngine:
     # ------------------------------------------------------------------
     def solve(self) -> bool:
         t = self.t
+        meter = t._meter
         t._use_branch()
+        reported_trail = 0
         while True:
-            if len(self.g.labels) > t.max_nodes:
-                raise ReasonerLimitExceeded(
-                    f"tableau exceeded {t.max_nodes} nodes"
-                )
+            if meter is not None:
+                meter.tick()
+                if self.trail_total > reported_trail:
+                    meter.note_trail(self.trail_total - reported_trail)
+                    reported_trail = self.trail_total
+            t._check_nodes(self.g)
             status = self._expand_once()
             if status == "changed":
                 continue

@@ -40,7 +40,7 @@ from .transform import (
     transform_kb,
 )
 from .induced import classical_induced, four_induced
-from .reasoner4 import Reasoner4
+from .reasoner4 import BoundedFourValue, Reasoner4
 from .defeasible import (
     AdjudicatedFact,
     DefeasibleReasoner4,
@@ -83,6 +83,7 @@ __all__ = [
     "cached_transform_kb",
     "classical_induced",
     "four_induced",
+    "BoundedFourValue",
     "Reasoner4",
     "AdjudicatedFact",
     "DefeasibleReasoner4",

@@ -21,14 +21,16 @@ Examples 1-3 demonstrate).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
 from ..dl import axioms as ax
+from ..dl.budget import Budget, Verdict
 from ..dl.cache import QueryCache
 from ..dl.concepts import And, AtomicConcept, Concept, Not
 from ..dl.individuals import Individual
 from ..dl.kb import KnowledgeBase
-from ..dl.reasoner import Reasoner
+from ..dl.reasoner import PartialClassification, Reasoner
 from ..dl.stats import ReasonerStats
 from ..dl.tableau import DEFAULT_MAX_BRANCHES, DEFAULT_MAX_NODES
 from ..fourvalued.truth import FourValue, from_evidence
@@ -38,7 +40,13 @@ from .axioms4 import (
     KnowledgeBase4,
     RoleInclusion4,
 )
-from ..dl.errors import UnsupportedAxiomError
+from ..dl.errors import (
+    BudgetExceeded,
+    DegradationReason,
+    ParseError,
+    UnsupportedAxiomError,
+    UnsupportedFeature,
+)
 from .transform import (
     cached_transform_kb,
     neg_transform,
@@ -48,6 +56,31 @@ from .transform import (
     positive_role,
     eq_role,
 )
+
+
+@dataclass(frozen=True)
+class BoundedFourValue:
+    """The possibly-degraded outcome of a budgeted Belnap-status query.
+
+    ``value`` is one of the four truth values when both evidence
+    directions were decided within budget, or ``None`` with ``reason``
+    (a :class:`~repro.dl.errors.DegradationReason`) when the search was
+    stopped.  Degradation is sound: a decided value always equals what
+    the unbudgeted :meth:`Reasoner4.assertion_value` would return.
+    """
+
+    value: Optional[FourValue]
+    reason: Optional[DegradationReason] = None
+    message: str = ""
+
+    def is_unknown(self) -> bool:
+        """Whether the query degraded instead of deciding."""
+        return self.value is None
+
+    def __str__(self) -> str:
+        if self.value is None:
+            return f"UNKNOWN({self.reason.value})"
+        return self.value.name
 
 
 class Reasoner4:
@@ -73,6 +106,7 @@ class Reasoner4:
         stats: Optional[ReasonerStats] = None,
         search: str = "trail",
         cache_maxsize: Optional[int] = 4096,
+        budget: Optional[Budget] = None,
     ):
         """Bind a four-valued reasoner to ``kb4``.
 
@@ -80,11 +114,15 @@ class Reasoner4:
         are forwarded to the classical reasoner over the induced KB:
         search-space budgets, a shareable query cache (or
         ``use_cache=False`` / ``cache_maxsize`` for a private one),
-        shared statistics, and the tableau ``search`` strategy.
+        shared statistics, the tableau ``search`` strategy, and a
+        default :class:`~repro.dl.budget.Budget` governing every
+        service call.
         """
         self.kb4 = kb4
         self.max_nodes = max_nodes
         self.max_branches = max_branches
+        #: Default resource envelope, forwarded to the classical reasoner.
+        self.budget = budget
         #: Tableau search mode, forwarded to the classical reasoner:
         #: ``"trail"`` (backjumping, default) or ``"copying"`` (oracle).
         self.search = search
@@ -109,6 +147,7 @@ class Reasoner4:
             cache=self.cache,
             stats=self.stats,
             search=self.search,
+            budget=self.budget,
         )
 
     def _sync(self) -> None:
@@ -328,6 +367,166 @@ class Reasoner4:
                 )
             )
         raise UnsupportedAxiomError(axiom, service="4-valued entails")
+
+    # ------------------------------------------------------------------
+    # Degrading (budgeted) services
+    # ------------------------------------------------------------------
+    def _run_bounded(self, thunk, budget: Optional[Budget]) -> Verdict:
+        """Run a boolean four-valued service degradingly (see
+        :meth:`repro.dl.reasoner.Reasoner._run_bounded`)."""
+        self._sync()
+        return self.classical_reasoner._run_bounded(thunk, budget)
+
+    def is_satisfiable_verdict(self, budget: Optional[Budget] = None) -> Verdict:
+        """Three-way four-valued satisfiability (degrading
+        :meth:`is_satisfiable`): TRUE, FALSE, or UNKNOWN with a
+        :class:`~repro.dl.errors.DegradationReason` on budget exhaustion."""
+        return self._run_bounded(self.is_satisfiable, budget)
+
+    def entails_verdict(
+        self, axiom: object, budget: Optional[Budget] = None
+    ) -> Verdict:
+        """Three-way four-valued entailment (degrading :meth:`entails`).
+
+        Multi-probe axioms (strong inclusions, equivalence-like splits)
+        run under one metered scope, so the budget governs the whole
+        question.  Unsupported axiom kinds still raise
+        :class:`~repro.dl.errors.UnsupportedAxiomError`.
+        """
+        return self._run_bounded(lambda: self.entails(axiom), budget)
+
+    def evidence_for_verdict(
+        self,
+        individual: Individual,
+        concept: Concept,
+        budget: Optional[Budget] = None,
+    ) -> Verdict:
+        """Three-way positive-evidence query (degrading :meth:`evidence_for`)."""
+        return self._run_bounded(
+            lambda: self.evidence_for(individual, concept), budget
+        )
+
+    def evidence_against_verdict(
+        self,
+        individual: Individual,
+        concept: Concept,
+        budget: Optional[Budget] = None,
+    ) -> Verdict:
+        """Three-way negative-evidence query (degrading :meth:`evidence_against`)."""
+        return self._run_bounded(
+            lambda: self.evidence_against(individual, concept), budget
+        )
+
+    def assertion_value_bounded(
+        self,
+        individual: Individual,
+        concept: Concept,
+        budget: Optional[Budget] = None,
+    ) -> "BoundedFourValue":
+        """The Belnap status of ``C(a)``, degrading to UNKNOWN.
+
+        Both evidence directions run under *one* metered scope, so the
+        deadline and cumulative caps govern the combined question.  On
+        exhaustion the outcome carries ``value=None`` plus the
+        :class:`~repro.dl.errors.DegradationReason` — the four truth
+        values are never guessed from a half-finished search.
+        """
+        self._sync()
+        classical = self.classical_reasoner
+        meter = classical._start_meter(budget)
+        try:
+            with classical._metered(meter):
+                value = from_evidence(
+                    self.evidence_for(individual, concept),
+                    self.evidence_against(individual, concept),
+                )
+            return BoundedFourValue(value=value)
+        except BudgetExceeded as exc:
+            self.stats.unknown_verdicts += 1
+            return BoundedFourValue(
+                value=None, reason=exc.reason, message=str(exc)
+            )
+        except (ParseError, UnsupportedFeature):
+            raise
+        except Exception as exc:  # contain faults, degrade to UNKNOWN
+            self.stats.unknown_verdicts += 1
+            return BoundedFourValue(
+                value=None,
+                reason=DegradationReason.ERROR,
+                message=f"{type(exc).__name__}: {exc}",
+            )
+
+    def classify_bounded(
+        self,
+        kind: InclusionKind = InclusionKind.INTERNAL,
+        budget: Optional[Budget] = None,
+    ) -> PartialClassification:
+        """Classification that degrades to a partial hierarchy.
+
+        The four-valued counterpart of
+        :meth:`repro.dl.reasoner.Reasoner.classify_bounded`: decided rows
+        are exactly what :meth:`classify` would report; exhausted pairs
+        are listed as undecided with the
+        :class:`~repro.dl.errors.DegradationReason`.
+        """
+        from .transform import positive_concept
+
+        atoms = sorted(self.kb4.concepts_in_signature(), key=lambda a: a.name)
+        self._sync()
+        if kind is InclusionKind.INTERNAL:
+            by_pos = {positive_concept(atom): atom for atom in atoms}
+            partial = self.classical_reasoner.classify_bounded(
+                atoms=by_pos.keys(), budget=budget
+            )
+            return PartialClassification(
+                hierarchy={
+                    by_pos[pos_atom]: frozenset(
+                        by_pos[sup] for sup in subsumers
+                    )
+                    for pos_atom, subsumers in partial.hierarchy.items()
+                },
+                undecided=tuple(
+                    (by_pos[sub], by_pos[sup])
+                    for sub, sup in partial.undecided
+                ),
+                reason=partial.reason,
+                message=partial.message,
+            )
+        classical = self.classical_reasoner
+        meter = classical._start_meter(budget)
+        hierarchy: Dict[AtomicConcept, FrozenSet[AtomicConcept]] = {}
+        undecided = []
+        reason: Optional[DegradationReason] = None
+        message = ""
+        with classical._metered(meter):
+            for sub in atoms:
+                if reason is not None:
+                    undecided.extend((sub, sup) for sup in atoms)
+                    continue
+                row = set()
+                for col, sup in enumerate(atoms):
+                    try:
+                        if self.entails_inclusion(
+                            ConceptInclusion4(sub, sup, kind)
+                        ):
+                            row.add(sup)
+                    except BudgetExceeded as exc:
+                        reason = exc.reason
+                        message = str(exc)
+                        undecided.extend(
+                            (sub, later) for later in atoms[col:]
+                        )
+                        break
+                else:
+                    hierarchy[sub] = frozenset(row)
+        if reason is not None:
+            self.stats.unknown_verdicts += 1
+        return PartialClassification(
+            hierarchy=hierarchy,
+            undecided=tuple(undecided),
+            reason=reason,
+            message=message,
+        )
 
     # ------------------------------------------------------------------
     # Explanation

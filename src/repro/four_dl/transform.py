@@ -355,6 +355,11 @@ def cached_transform_kb(kb4: KnowledgeBase4) -> KnowledgeBase:
     views (and repeated reasoner rebuilds after mutations) share one
     transformation per KB4 state.  Callers must treat the returned KB as
     read-only — mutating it would desynchronise it from its source.
+
+    Abort-safety: the transformation is purely syntactic — it runs no
+    tableau and checks no budget — so a budget abort can never happen
+    while this memo is being populated; aborted reasoning cannot poison
+    it (see the audit note in :mod:`repro.dl.cache`).
     """
     return _cached_transform(kb4)[0]
 

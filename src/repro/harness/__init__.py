@@ -1,7 +1,16 @@
-"""Experiment harness: timing, table rendering, and the paper battery."""
+"""Experiment harness: timing, tables, the paper battery, chaos testing."""
 
 from .tables import format_table, print_table
 from .timing import Measurement, Timer, measure, time_call
+from .chaos import (
+    ChaosCaseResult,
+    ChaosError,
+    ChaosReport,
+    ScriptedCancelToken,
+    SteppedClock,
+    run_chaos_case,
+    run_chaos_suite,
+)
 from .experiments import (
     ALL_EXPERIMENTS,
     ExperimentResult,
@@ -12,6 +21,13 @@ from .experiments import (
 )
 
 __all__ = [
+    "ChaosCaseResult",
+    "ChaosError",
+    "ChaosReport",
+    "ScriptedCancelToken",
+    "SteppedClock",
+    "run_chaos_case",
+    "run_chaos_suite",
     "format_table",
     "print_table",
     "Measurement",

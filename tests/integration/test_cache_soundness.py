@@ -152,3 +152,68 @@ class TestSharedCache:
         reasoner4 = Reasoner4(kb4)
         assert reasoner4.cache is reasoner4.classical_reasoner.cache
         assert reasoner4.stats is reasoner4.classical_reasoner.stats
+
+
+class TestAbortedProbesNeverPoison:
+    """Decided-only commit: aborted searches must leave no cache entry.
+
+    Interleaves budget-aborted probes with successful ones on a single
+    reasoner and demands that (a) nothing was stored for the aborted
+    ask and (b) every later answer equals a cold reasoner's.
+    """
+
+    def _conflicted_kb(self):
+        A, B = AtomicConcept("A"), AtomicConcept("B")
+        x = Individual("x")
+        kb = KnowledgeBase()
+        kb.add(
+            ConceptAssertion(x, A),
+            ConceptInclusion(A, B),
+            ConceptAssertion(Individual("y"), Not(B)),
+        )
+        return kb, A, B, x
+
+    def test_aborted_probe_stores_nothing(self):
+        from repro.dl import Budget
+
+        kb, A, B, x = self._conflicted_kb()
+        reasoner = Reasoner(kb)
+        tight = Budget(max_nodes=1)
+        verdict = reasoner.instance_verdict(x, B, budget=tight)
+        # The probe must actually have been aborted for this test to bite.
+        assert verdict.is_unknown()
+        assert len(reasoner.cache) == 0
+        assert reasoner.stats.budget_aborts >= 1
+
+    def test_interleaved_aborts_match_cold_answers(self):
+        from repro.dl import Budget
+
+        kb, A, B, x = self._conflicted_kb()
+        victim = Reasoner(kb)
+        cold = Reasoner(kb, use_cache=False)
+        tight = Budget(max_nodes=1)
+        probes = [
+            lambda r, budget=None: r.consistency_verdict(budget=budget),
+            lambda r, budget=None: r.instance_verdict(x, B, budget=budget),
+            lambda r, budget=None: r.instance_verdict(x, Not(A), budget=budget),
+        ]
+        for probe in probes:
+            probe(victim, tight)  # may abort; must not commit
+            warm = probe(victim)  # unbudgeted: decides and commits
+            probe(victim, tight)  # abort again, now with a warm cache
+            again = probe(victim)
+            reference = probe(cold)
+            assert not warm.is_unknown()
+            assert bool(warm) == bool(again) == bool(reference)
+
+    def test_abort_then_mutation_then_fresh_answers(self):
+        from repro.dl import Budget
+
+        kb, A, B, x = self._conflicted_kb()
+        reasoner = Reasoner(kb)
+        tight = Budget(max_nodes=1)
+        assert reasoner.instance_verdict(x, B, budget=tight).is_unknown()
+        kb.add(ConceptAssertion(x, Not(B)))
+        fresh = Reasoner(kb, use_cache=False)
+        assert reasoner.is_consistent() == fresh.is_consistent()
+        assert reasoner.is_instance(x, B) == fresh.is_instance(x, B)
