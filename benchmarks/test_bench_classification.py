@@ -14,9 +14,26 @@ import pytest
 from repro.dl import Reasoner
 from repro.dl.parser import parse_kb4
 from repro.four_dl import Reasoner4, transform_kb
+from repro.obs import BenchRecord, maybe_write_bench_record
 from repro.workloads import GeneratorConfig, generate_kb
 
 ONTOLOGY_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "ontologies")
+
+
+def _emit_record(name, workload, benchmark, stats):
+    """Persist a BENCH_*.json record iff REPRO_BENCH_OUT is set."""
+    try:
+        samples = list(benchmark.stats.stats.data)
+    except AttributeError:  # pytest-benchmark internals moved
+        samples = []
+    maybe_write_bench_record(
+        BenchRecord(
+            name=name,
+            workload=workload,
+            seconds=samples,
+            counters=stats.as_dict(),
+        )
+    )
 
 
 @pytest.fixture(scope="module")
@@ -35,6 +52,12 @@ def test_university_traversal_classification(benchmark, university_induced):
     n = len(university_induced.concepts_in_signature())
     assert len(hierarchy) == n
     assert reasoner.stats.tableau_runs < n * n
+    _emit_record(
+        "university_traversal_classification",
+        "Reasoner.classify() on the induced university KB",
+        benchmark,
+        reasoner.stats,
+    )
 
 
 def test_university_pairwise_classification(benchmark, university_induced):
@@ -47,6 +70,12 @@ def test_university_pairwise_classification(benchmark, university_induced):
     n = len(university_induced.concepts_in_signature())
     assert len(hierarchy) == n
     assert reasoner.stats.tableau_runs == n * n
+    _emit_record(
+        "university_pairwise_classification",
+        "Reasoner.classify_pairwise() on the induced university KB",
+        benchmark,
+        reasoner.stats,
+    )
 
 
 @pytest.mark.parametrize("n_concepts", [8, 16])

@@ -13,9 +13,11 @@ the counters into the JSON file alongside an explanation in the PR.
 
 import json
 import os
+import time
 
 from repro.dl.parser import parse_kb4
 from repro.four_dl import Reasoner4
+from repro.obs import BenchRecord, Tracer, maybe_write_bench_record, tracing
 
 HERE = os.path.dirname(__file__)
 BASELINE_PATH = os.path.join(HERE, "baseline_university_stats.json")
@@ -24,18 +26,29 @@ ONTOLOGY_PATH = os.path.join(HERE, os.pardir, "ontologies", "university.kb4")
 TOLERANCE = 1.10
 
 
-def _classify_stats():
+def _classify_stats(tracer=None):
     with open(ONTOLOGY_PATH) as handle:
         kb4 = parse_kb4(handle.read())
     reasoner = Reasoner4(kb4)
-    reasoner.classify()
-    return reasoner.stats
+    with tracing(tracer):
+        started = time.perf_counter()
+        reasoner.classify()
+        seconds = time.perf_counter() - started
+    return reasoner.stats, seconds
 
 
 def test_university_classification_counters_within_baseline():
     with open(BASELINE_PATH) as handle:
         baseline = json.load(handle)
-    stats = _classify_stats()
+    stats, seconds = _classify_stats()
+    maybe_write_bench_record(
+        BenchRecord(
+            name="university_classify",
+            workload="Reasoner4.classify() on ontologies/university.kb4",
+            seconds=[seconds],
+            counters=stats.as_dict(),
+        )
+    )
     assert stats.tableau_runs <= baseline["tableau_runs"] * TOLERANCE, (
         f"tableau runs regressed: {stats.tableau_runs} vs recorded "
         f"{baseline['tableau_runs']} (+10% tolerance); if intentional, "
@@ -49,4 +62,21 @@ def test_university_classification_counters_within_baseline():
     assert stats.budget_aborts == 0, (
         f"unbudgeted classification hit {stats.budget_aborts} budget "
         f"abort(s): the default configuration must never impose a budget"
+    )
+
+
+def test_tracing_disabled_causes_zero_counter_drift():
+    """The observability instrumentation must be work-neutral.
+
+    The reasoning stack is permanently instrumented with span call
+    sites; with no tracer installed they are no-ops, and even with one
+    installed they only *observe*.  Either way the reasoner must do
+    byte-identical work: every counter equal between a traced and an
+    untraced classification of the same ontology.
+    """
+    plain, _ = _classify_stats(tracer=None)
+    traced, _ = _classify_stats(tracer=Tracer())
+    assert traced.as_dict() == plain.as_dict(), (
+        "observability instrumentation changed the reasoner's work "
+        "counters; tracing must be a pure observer"
     )

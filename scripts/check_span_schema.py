@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Validate a --profile JSON-lines span dump against the span schema.
+
+Used by the CI observability job (and handy locally):
+
+    python scripts/check_span_schema.py spans.jsonl [more.jsonl ...]
+
+Exit status 0 when every line of every file is a valid span record and
+the parent/child structure reconstructs; 1 otherwise, with one line per
+problem.  The schema itself lives in ``repro.obs.export`` (SPAN_FIELDS,
+SPAN_SCHEMA_VERSION) and is documented in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.obs.export import (  # noqa: E402  (path bootstrap above)
+    PHASE_SPANS,
+    read_spans_jsonl,
+    validate_span_record,
+)
+
+
+def check_file(path: str) -> list:
+    """Every schema problem found in one span dump."""
+    problems = []
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except OSError as error:
+        return [f"{path}: {error}"]
+    if not text.strip():
+        return [f"{path}: empty span dump"]
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            problems.append(f"{path}:{line_number}: not JSON ({error})")
+            continue
+        for problem in validate_span_record(record):
+            problems.append(f"{path}:{line_number}: {problem}")
+    if problems:
+        return problems
+    # Structural pass: the forest must reconstruct, and a dump from the
+    # instrumented pipeline should contain at least one known phase.
+    try:
+        roots = read_spans_jsonl(text)
+    except ValueError as error:
+        return [f"{path}: {error}"]
+    names = {span.name for root in roots for span in root.walk()}
+    if not names & PHASE_SPANS:
+        problems.append(
+            f"{path}: no known phase span present "
+            f"(expected one of {', '.join(sorted(PHASE_SPANS))})"
+        )
+    return problems
+
+
+def main(argv: list) -> int:
+    if not argv:
+        print("usage: check_span_schema.py SPANFILE [SPANFILE ...]")
+        return 2
+    all_problems = []
+    for path in argv:
+        all_problems.extend(check_file(path))
+    for problem in all_problems:
+        print(problem)
+    if not all_problems:
+        print(f"{len(argv)} span dump(s) valid")
+    return 1 if all_problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -29,6 +29,7 @@ from . import (
     four_dl,
     fourvalued,
     harness,
+    obs,
     semantics,
     workloads,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "four_dl",
     "fourvalued",
     "harness",
+    "obs",
     "semantics",
     "workloads",
 ]

@@ -31,6 +31,7 @@ from ..dl.concepts import Concept, Not
 from ..dl.individuals import Individual
 from ..dl.kb import KnowledgeBase
 from ..dl.reasoner import Reasoner
+from ..dl.stats import ReasonerStats
 from ..dl.tableau import DEFAULT_MAX_BRANCHES, DEFAULT_MAX_NODES
 
 AxiomSet = Tuple[Axiom, ...]
@@ -41,9 +42,12 @@ def _consistency(
     max_nodes: int,
     max_branches: int,
     budget: Optional[Budget] = None,
+    stats: Optional[ReasonerStats] = None,
 ) -> Verdict:
     kb = KnowledgeBase.of(axioms)
-    reasoner = Reasoner(kb, max_nodes=max_nodes, max_branches=max_branches)
+    reasoner = Reasoner(
+        kb, max_nodes=max_nodes, max_branches=max_branches, stats=stats
+    )
     return reasoner.consistency_verdict(budget=budget)
 
 
@@ -66,6 +70,7 @@ def shrink_to_minimal(
     max_branches: int = DEFAULT_MAX_BRANCHES,
     budget: Optional[Budget] = None,
     degradations: Optional[List[DegradationRecord]] = None,
+    stats: Optional[ReasonerStats] = None,
 ) -> AxiomSet:
     """One minimal inconsistent subset of an inconsistent axiom list.
 
@@ -82,7 +87,9 @@ def shrink_to_minimal(
     index = 0
     while index < len(core):
         candidate = core[:index] + core[index + 1:]
-        verdict = _consistency(candidate, max_nodes, max_branches, budget)
+        verdict = _consistency(
+            candidate, max_nodes, max_branches, budget, stats
+        )
         if verdict.is_false():
             core = candidate
         else:
@@ -99,6 +106,7 @@ def minimal_inconsistent_subsets(
     max_branches: int = DEFAULT_MAX_BRANCHES,
     budget: Optional[Budget] = None,
     degradations: Optional[List[DegradationRecord]] = None,
+    stats: Optional[ReasonerStats] = None,
 ) -> List[FrozenSet[Axiom]]:
     """Up to ``max_subsets`` minimal inconsistent subsets (justifications).
 
@@ -114,7 +122,7 @@ def minimal_inconsistent_subsets(
     completeness of the enumeration degrades).
     """
     all_axioms = list(kb.axioms())
-    overall = _consistency(all_axioms, max_nodes, max_branches, budget)
+    overall = _consistency(all_axioms, max_nodes, max_branches, budget, stats)
     if overall.is_unknown():
         _record(degradations, "full-KB consistency", overall)
         return []
@@ -130,7 +138,9 @@ def minimal_inconsistent_subsets(
             continue
         explored.add(removed)
         remaining = [axiom for axiom in all_axioms if axiom not in removed]
-        verdict = _consistency(remaining, max_nodes, max_branches, budget)
+        verdict = _consistency(
+            remaining, max_nodes, max_branches, budget, stats
+        )
         if verdict.is_unknown():
             _record(
                 degradations,
@@ -147,6 +157,7 @@ def minimal_inconsistent_subsets(
                 max_branches,
                 budget=budget,
                 degradations=degradations,
+                stats=stats,
             )
         )
         if mis not in found:
@@ -164,6 +175,7 @@ def repairs(
     max_branches: int = DEFAULT_MAX_BRANCHES,
     budget: Optional[Budget] = None,
     degradations: Optional[List[DegradationRecord]] = None,
+    stats: Optional[ReasonerStats] = None,
 ) -> List[FrozenSet[Axiom]]:
     """Minimal hitting sets of the justifications: the candidate repairs.
 
@@ -177,6 +189,7 @@ def repairs(
         max_branches=max_branches,
         budget=budget,
         degradations=degradations,
+        stats=stats,
     )
     if not justifications:
         return []
@@ -207,6 +220,11 @@ class RepairReasoner:
     bounded; undecidable probes are skipped and listed in
     :attr:`degradations` instead of aborting construction, and queries
     whose entailment checks exhaust the budget answer ``"undetermined"``.
+
+    ``stats`` (a shared :class:`~repro.dl.stats.ReasonerStats`) counts
+    every tableau run the diagnosis and the repaired reasoners perform;
+    a fresh instance is created when none is passed, exposed as
+    :attr:`stats` either way.
     """
 
     name = "repair"
@@ -219,17 +237,20 @@ class RepairReasoner:
         max_nodes: int = DEFAULT_MAX_NODES,
         max_branches: int = DEFAULT_MAX_BRANCHES,
         budget: Optional[Budget] = None,
+        stats: Optional[ReasonerStats] = None,
     ):
         self.kb = kb
         self._max_nodes = max_nodes
         self._max_branches = max_branches
         self._budget = budget
+        #: Work counters shared by every reasoner this instance creates.
+        self.stats = stats if stats is not None else ReasonerStats()
         #: Skip-and-record log of budget-exhausted diagnosis/query steps.
         self.degradations: List[DegradationRecord] = []
         self.justifications = minimal_inconsistent_subsets(
             kb, max_subsets=max_subsets, max_nodes=max_nodes,
             max_branches=max_branches, budget=budget,
-            degradations=self.degradations,
+            degradations=self.degradations, stats=self.stats,
         )
         self.repair_sets = repairs(
             kb,
@@ -239,6 +260,7 @@ class RepairReasoner:
             max_branches=max_branches,
             budget=budget,
             degradations=self.degradations,
+            stats=self.stats,
         )
         self._repaired_reasoners = [
             Reasoner(
@@ -247,6 +269,7 @@ class RepairReasoner:
                 ),
                 max_nodes=max_nodes,
                 max_branches=max_branches,
+                stats=self.stats,
             )
             for repair in (self.repair_sets or [frozenset()])
         ]
@@ -259,6 +282,7 @@ class RepairReasoner:
             ),
             max_nodes=max_nodes,
             max_branches=max_branches,
+            stats=self.stats,
         )
 
     # ------------------------------------------------------------------

@@ -14,7 +14,9 @@ allowed; plain ``subclassof`` reads as internal inclusion).  Commands:
 * ``transform FILE``  — print the classical induced KB (Definitions 5-7);
 * ``export-owl FILE`` — the induced KB as OWL functional syntax, ready
   for any external OWL DL reasoner;
-* ``experiments``     — run the paper-reproduction battery.
+* ``experiments``     — run the paper-reproduction battery;
+* ``profile FILE``    — phase report over a ``--profile FILE`` span dump
+  (``--folded OUT`` renders flamegraph.pl-compatible folded stacks).
 
 ``check``, ``query``, ``audit``, and ``classify`` accept ``--stats`` to
 print the reasoning-work counters (tableau runs, cache hits, branches,
@@ -28,6 +30,13 @@ with their Table 3 inclusion strength — and ``--trace`` to dump the
 structured tableau search trace of each probe run (``--trace`` implies
 ``--explain``).  For a ``query`` answering BOTH, both evidence
 directions are justified separately.
+
+``check``, ``query``, ``audit``, ``classify``, and ``repair`` accept
+observability flags (see ``docs/OBSERVABILITY.md``): ``--profile``
+prints the nested span tree of the run (``--profile FILE`` writes it as
+JSON lines instead), and ``--metrics-out FILE`` writes Prometheus-style
+text metrics — span-duration histograms plus the reasoning-work
+counters.  ``repair`` also accepts ``--stats``.
 
 ``check``, ``query``, ``classify``, and ``repair`` accept reasoning
 budgets: ``--timeout SECONDS`` (wall-clock deadline), ``--max-nodes N``
@@ -62,6 +71,18 @@ from .four_dl.reasoner4 import Reasoner4
 from .four_dl.transform import transform_kb
 from .fourvalued.truth import FourValue
 from .harness.tables import print_table
+from .obs import (
+    Tracer,
+    active_tracer,
+    phase_breakdown,
+    read_spans_jsonl,
+    render_prometheus,
+    render_span_tree,
+    tracing,
+    write_spans_jsonl,
+)
+from .obs.export import folded_stacks
+from .obs.spans import span as obs_span
 
 #: Cap on full --trace output per probe run, to keep terminals usable.
 TRACE_LINE_LIMIT = 60
@@ -71,12 +92,25 @@ EXIT_UNKNOWN = 3
 
 
 def _load_kb4(path: str) -> KnowledgeBase4:
-    with open(path) as handle:
-        return parse_kb4(handle.read())
+    with obs_span("parse") as span:
+        span.set("path", path)
+        with open(path) as handle:
+            kb4 = parse_kb4(handle.read())
+        span.set("axioms", len(kb4))
+        return kb4
+
+
+def _watch_stats(stats) -> None:
+    """Register ``stats`` with the active tracer, if tracing is on."""
+    tracer = active_tracer()
+    if tracer is not None:
+        tracer.watch_stats(stats)
 
 
 def _make_reasoner(args: argparse.Namespace, kb4: KnowledgeBase4) -> Reasoner4:
-    return Reasoner4(kb4, search=getattr(args, "search", "trail"))
+    reasoner = Reasoner4(kb4, search=getattr(args, "search", "trail"))
+    _watch_stats(reasoner.stats)
+    return reasoner
 
 
 def _verdict_word(verdict) -> str:
@@ -119,9 +153,11 @@ def _cmd_check(args: argparse.Namespace) -> int:
     budget = _budget_from(args)
     reasoner = _make_reasoner(args, kb4)
     four = reasoner.is_satisfiable_verdict(budget=budget)
-    classical = Reasoner(
+    classical_reasoner = Reasoner(
         collapse_to_classical(kb4), search=getattr(args, "search", "trail")
-    ).consistency_verdict(budget=budget)
+    )
+    _watch_stats(classical_reasoner.stats)
+    classical = classical_reasoner.consistency_verdict(budget=budget)
     print(f"axioms:                  {len(kb4)}")
     print(f"four-valued satisfiable: {_verdict_word(four)}")
     print(f"classically consistent:  {_verdict_word(classical)}")
@@ -289,15 +325,22 @@ def _cmd_repair(args: argparse.Namespace) -> int:
     repairer = RepairReasoner(
         collapse(kb4), max_subsets=args.max_justifications, budget=budget
     )
+    _watch_stats(repairer.stats)
+
+    def finish(status: int) -> int:
+        if getattr(args, "stats", False):
+            print(f"work: {repairer.stats.render()}")
+        return status
+
     if not repairer.justifications:
         if repairer.degradations:
             print(
                 f"unknown: diagnosis undecided within budget "
                 f"({repairer.degradations[0].reason.value})"
             )
-            return EXIT_UNKNOWN
+            return finish(EXIT_UNKNOWN)
         print("the ontology is classically consistent; nothing to repair")
-        return 0
+        return finish(0)
     print(f"justifications found: {len(repairer.justifications)}")
     for index, justification in enumerate(repairer.justifications, start=1):
         print(f"  justification {index}:")
@@ -312,8 +355,8 @@ def _cmd_repair(args: argparse.Namespace) -> int:
             f"unknown: {len(repairer.degradations)} diagnosis probes "
             f"undecided within budget; the report above may be incomplete"
         )
-        return EXIT_UNKNOWN
-    return 1
+        return finish(EXIT_UNKNOWN)
+    return finish(1)
 
 
 def _cmd_transform(args: argparse.Namespace) -> int:
@@ -349,6 +392,43 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         print("FAILED:", ", ".join(failures))
         return 1
     print(f"All {len(results)} experiments reproduce the paper.")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    with open(args.spanfile) as handle:
+        try:
+            roots = read_spans_jsonl(handle.read())
+        except ValueError as error:
+            print(f"error: {args.spanfile}: {error}", file=sys.stderr)
+            return 2
+    if not roots:
+        print("no spans in file", file=sys.stderr)
+        return 2
+    rows = [
+        (
+            name,
+            count,
+            f"{total:.4f}",
+            f"{p50:.4f}",
+            f"{p95:.4f}",
+            f"{peak:.4f}",
+            share,
+        )
+        for name, count, total, p50, p95, peak, share in phase_breakdown(roots)
+    ]
+    print_table(
+        ["span", "count", "total s", "p50 s", "p95 s", "max s", "share"],
+        rows,
+        title=f"Profile of {args.spanfile}:",
+    )
+    if args.tree:
+        print()
+        print(render_span_tree(roots))
+    if args.folded:
+        with open(args.folded, "w") as handle:
+            handle.write(folded_stacks(roots))
+        print(f"wrote folded stacks to {args.folded}", file=sys.stderr)
     return 0
 
 
@@ -391,6 +471,24 @@ def build_parser() -> argparse.ArgumentParser:
             "--trace", action="store_true", help=trace_help
         )
 
+    def add_obs_flags(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--profile",
+            nargs="?",
+            const="",
+            metavar="FILE",
+            help="trace the run as nested spans; bare --profile prints the "
+            "span tree, --profile FILE writes machine-readable JSON lines "
+            "(one span per line; see docs/OBSERVABILITY.md)",
+        )
+        subparser.add_argument(
+            "--metrics-out",
+            dest="metrics_out",
+            metavar="FILE",
+            help="write Prometheus-style text metrics (span-duration "
+            "histograms and reasoner work counters) after the run",
+        )
+
     def add_budget_flags(subparser: argparse.ArgumentParser) -> None:
         subparser.add_argument(
             "--timeout",
@@ -419,6 +517,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_reasoning_flags(check)
     add_explain_flags(check)
     add_budget_flags(check)
+    add_obs_flags(check)
     check.set_defaults(handler=_cmd_check)
 
     query = commands.add_parser("query", help="Belnap status of C(a)")
@@ -428,6 +527,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_reasoning_flags(query)
     add_explain_flags(query)
     add_budget_flags(query)
+    add_obs_flags(query)
     query.set_defaults(handler=_cmd_query)
 
     audit = commands.add_parser("audit", help="conflict report and degrees")
@@ -439,6 +539,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-roles", action="store_true", help="skip role-atom statuses"
     )
     add_reasoning_flags(audit)
+    add_obs_flags(audit)
     audit.set_defaults(handler=_cmd_audit)
 
     classify = commands.add_parser(
@@ -453,6 +554,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_reasoning_flags(classify)
     add_budget_flags(classify)
+    add_obs_flags(classify)
     classify.set_defaults(handler=_cmd_classify)
 
     repair = commands.add_parser(
@@ -462,7 +564,9 @@ def build_parser() -> argparse.ArgumentParser:
     repair.add_argument(
         "--max-justifications", type=int, default=10, dest="max_justifications"
     )
+    repair.add_argument("--stats", action="store_true", help=stats_help)
     add_budget_flags(repair)
+    add_obs_flags(repair)
     repair.set_defaults(handler=_cmd_repair)
 
     transform = commands.add_parser(
@@ -485,14 +589,77 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiments.add_argument("names", nargs="*", help="subset to run")
     experiments.set_defaults(handler=_cmd_experiments)
+
+    profile = commands.add_parser(
+        "profile", help="report on a --profile FILE span dump"
+    )
+    profile.add_argument("spanfile", help="JSON-lines span dump to analyse")
+    profile.add_argument(
+        "--tree", action="store_true", help="also print the full span tree"
+    )
+    profile.add_argument(
+        "--folded",
+        metavar="FILE",
+        help="write flamegraph.pl-compatible folded stacks",
+    )
+    profile.set_defaults(handler=_cmd_profile)
     return parser
+
+
+def _export_observability(args: argparse.Namespace, tracer: Tracer) -> None:
+    """Emit the requested span / metrics artefacts after a traced run."""
+    profile = getattr(args, "profile", None)
+    if profile == "":
+        print()
+        print(render_span_tree(tracer.roots), end="")
+        rows = [
+            (name, count, f"{total:.4f}", f"{p95:.4f}", share)
+            for name, count, total, _, p95, _, share in phase_breakdown(
+                tracer.roots
+            )
+        ]
+        print_table(
+            ["span", "count", "total s", "p95 s", "share"],
+            rows,
+            title="\nPhase breakdown:",
+        )
+    elif profile:
+        count = write_spans_jsonl(tracer.roots, profile)
+        print(f"wrote {count} spans to {profile}", file=sys.stderr)
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        with open(metrics_out, "w") as handle:
+            handle.write(
+                render_prometheus(
+                    tracer.registry, counters=tracer.counter_totals()
+                )
+            )
+        print(f"wrote metrics to {metrics_out}", file=sys.stderr)
+
+
+def _run_handler(args: argparse.Namespace) -> int:
+    """Dispatch to the subcommand, traced when observability flags ask."""
+    wants_tracing = (
+        getattr(args, "profile", None) is not None
+        or getattr(args, "metrics_out", None) is not None
+    )
+    if not wants_tracing:
+        return args.handler(args)
+    tracer = Tracer()
+    try:
+        with tracing(tracer), obs_span(args.command) as root:
+            status = args.handler(args)
+            root.set("exit_status", status)
+        return status
+    finally:
+        _export_observability(args, tracer)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.handler(args)
+        return _run_handler(args)
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

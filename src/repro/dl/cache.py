@@ -52,6 +52,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .stats import ReasonerStats
 
 from . import axioms as ax
+from ..obs.spans import add_event
 from .nnf import nnf
 
 #: One canonical probe: a small tagged tuple (hashable, order-free).
@@ -142,6 +143,7 @@ class QueryCache:
         if self.maxsize is not None and len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
             self.evictions += 1
+            add_event("cache_eviction", {"entries": len(self._entries)})
             if self.stats is not None:
                 self.stats.cache_evictions += 1
 

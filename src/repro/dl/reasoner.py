@@ -62,6 +62,7 @@ from .individuals import Individual
 from .kb import KnowledgeBase
 from .stats import ReasonerStats
 from .tableau import DEFAULT_MAX_BRANCHES, DEFAULT_MAX_NODES, Tableau
+from ..obs.spans import add_event, set_gauge, span as obs_span
 
 #: The fresh individual used for concept-satisfiability probes.  Fixing
 #: the name keeps the cache key of ``is_satisfiable(C)`` canonical.
@@ -158,8 +159,10 @@ class Reasoner:
         re-run the tableau from scratch.
         """
         self._sync()
-        key = probe_set_key(probes) if probes else CONSISTENCY_KEY
-        cached = self.cache.lookup(key)
+        with obs_span("cache_probe") as probe_span:
+            key = probe_set_key(probes) if probes else CONSISTENCY_KEY
+            cached = self.cache.lookup(key)
+            probe_span.set("hit", cached is not None)
         if cached is not None:
             self.stats.cache_hits += 1
             return cached
@@ -175,6 +178,7 @@ class Reasoner:
             self.stats.budget_aborts += 1
             raise
         self.cache.store(key, result)
+        set_gauge("repro_query_cache_entries", len(self.cache))
         return result
 
     @contextmanager
@@ -207,11 +211,16 @@ class Reasoner:
                 return Verdict.of(thunk())
         except BudgetExceeded as exc:
             self.stats.unknown_verdicts += 1
+            add_event("unknown_verdict", {"reason": exc.reason.value})
             return Verdict.unknown(exc.reason, str(exc))
         except (ParseError, UnsupportedFeature):
             raise
         except Exception as exc:  # contain faults, degrade to UNKNOWN
             self.stats.unknown_verdicts += 1
+            add_event(
+                "unknown_verdict",
+                {"reason": DegradationReason.ERROR.value},
+            )
             return Verdict.unknown(
                 DegradationReason.ERROR, f"{type(exc).__name__}: {exc}"
             )
@@ -733,23 +742,25 @@ class Reasoner:
         universe = frozenset(ordered)
         if not ordered:
             return {}
-        if not self.is_consistent():
-            # Everything subsumes everything in an inconsistent KB.
-            return {atom: universe for atom in ordered}
-        told = self._told_subsumers(universe)
-        taxonomy = _Taxonomy()
-        unsatisfiable: List[AtomicConcept] = []
-        for concept in _told_order(ordered, told):
-            if not self.is_satisfiable(concept):
-                # Bottom-equivalent: subsumed by every atom, subsumes
-                # only other unsatisfiable atoms.
-                unsatisfiable.append(concept)
-                continue
-            self._insert(taxonomy, concept, told)
-        hierarchy = taxonomy.hierarchy()
-        for atom in unsatisfiable:
-            hierarchy[atom] = universe
-        return hierarchy
+        with obs_span("classify", stats=self.stats) as span:
+            span.set("atoms", len(ordered))
+            if not self.is_consistent():
+                # Everything subsumes everything in an inconsistent KB.
+                return {atom: universe for atom in ordered}
+            told = self._told_subsumers(universe)
+            taxonomy = _Taxonomy()
+            unsatisfiable: List[AtomicConcept] = []
+            for concept in _told_order(ordered, told):
+                if not self.is_satisfiable(concept):
+                    # Bottom-equivalent: subsumed by every atom, subsumes
+                    # only other unsatisfiable atoms.
+                    unsatisfiable.append(concept)
+                    continue
+                self._insert(taxonomy, concept, told)
+            hierarchy = taxonomy.hierarchy()
+            for atom in unsatisfiable:
+                hierarchy[atom] = universe
+            return hierarchy
 
     def classify_pairwise(
         self, atoms: Optional[Iterable[AtomicConcept]] = None

@@ -105,8 +105,20 @@ class ReasonerStats:
         lookups = self.cache_hits + self.cache_misses
         return self.cache_hits / lookups if lookups else 0.0
 
-    def render(self) -> str:
-        """A compact single-line human-readable summary."""
+    def render(self, verbose: bool = False) -> str:
+        """A single-line human-readable summary.
+
+        Every counter is accounted for: it is either printed in its
+        group or its group is *named* in a trailing ``zero: ...`` note,
+        so a reader can tell "not shown" apart from "not measured".
+        ``verbose=True`` prints every group unconditionally (the full
+        dump), eliding nothing.
+
+        >>> ReasonerStats(deadline_checks=2).render().split(" | ")[-2]
+        'budget: 0 aborts / 0 unknown (escalations: 0, deadline checks: 2)'
+        >>> "zero:" in ReasonerStats().render(verbose=True)
+        False
+        """
         line = (
             f"tableau runs: {self.tableau_runs}"
             f" | branches: {self.branches_explored}"
@@ -116,27 +128,52 @@ class ReasonerStats:
             f" | subsumption tests: {self.subsumption_tests}"
             f" (told: {self.told_subsumptions})"
         )
-        if self.trail_length or self.backjumps or self.blocking_checks:
-            line += (
-                f" | trail: {self.trail_length}"
+        groups = (
+            (
+                "trail",
+                self.trail_length
+                or self.backjumps
+                or self.branch_points_skipped
+                or self.blocking_checks,
+                f"trail: {self.trail_length}"
                 f" | backjumps: {self.backjumps}"
                 f" (skipped {self.branch_points_skipped})"
-                f" | blocking checks: {self.blocking_checks}"
-            )
-        if self.cache_evictions:
-            line += f" | evictions: {self.cache_evictions}"
-        if self.explanations_computed or self.shrink_probes:
-            line += (
-                f" | explanations: {self.explanations_computed}"
-                f" (shrink probes: {self.shrink_probes})"
-            )
-        if self.trace_events:
-            line += f" | trace events: {self.trace_events}"
-        if self.budget_aborts or self.unknown_verdicts or self.escalations:
-            line += (
-                f" | budget: {self.budget_aborts} aborts"
+                f" | blocking checks: {self.blocking_checks}",
+            ),
+            (
+                "evictions",
+                self.cache_evictions,
+                f"evictions: {self.cache_evictions}",
+            ),
+            (
+                "explanations",
+                self.explanations_computed or self.shrink_probes,
+                f"explanations: {self.explanations_computed}"
+                f" (shrink probes: {self.shrink_probes})",
+            ),
+            (
+                "trace events",
+                self.trace_events,
+                f"trace events: {self.trace_events}",
+            ),
+            (
+                "budget",
+                self.budget_aborts
+                or self.unknown_verdicts
+                or self.escalations
+                or self.deadline_checks,
+                f"budget: {self.budget_aborts} aborts"
                 f" / {self.unknown_verdicts} unknown"
                 f" (escalations: {self.escalations},"
-                f" deadline checks: {self.deadline_checks})"
-            )
+                f" deadline checks: {self.deadline_checks})",
+            ),
+        )
+        elided = []
+        for label, nonzero, rendered in groups:
+            if verbose or nonzero:
+                line += f" | {rendered}"
+            else:
+                elided.append(label)
+        if elided:
+            line += f" | zero: {', '.join(elided)}"
         return line

@@ -78,6 +78,7 @@ from .kb import KnowledgeBase
 from .nnf import negation_nnf, nnf
 from .roles import AtomicRole, DatatypeRole, ObjectRole
 from .stats import ReasonerStats
+from ..obs.spans import span as obs_span
 
 NodeId = int
 DEFAULT_MAX_NODES = 4000
@@ -463,7 +464,24 @@ class Tableau:
         :class:`~repro.dl.errors.BudgetExceeded`.  The same meter may
         span several runs, so cumulative limits (deadline, branches,
         trail) govern a whole service call.
+
+        Each run is wrapped in a ``tableau_run`` observability span
+        (search strategy, probe count, verdict, and the stats counters
+        it incremented); with tracing disabled the wrapper is a no-op.
         """
+        with obs_span("tableau_run", stats=self.stats) as span:
+            span.set("search", self.search)
+            result = self._run_satisfiable(extra_assertions, trace, meter, span)
+            span.set("satisfiable", result)
+            return result
+
+    def _run_satisfiable(
+        self,
+        extra_assertions: Iterable,
+        trace,
+        meter: Optional[BudgetMeter],
+        span,
+    ) -> bool:
         self._meter = meter
         if self.stats is not None:
             self.stats.tableau_runs += 1
@@ -473,6 +491,7 @@ class Tableau:
         if trace is not None and trace.stats is None:
             trace.stats = self.stats
         extra = list(extra_assertions)
+        span.set("probes", len(extra))
         record: Optional[List] = None
         if self.track_provenance:
             record = []

@@ -25,10 +25,24 @@ from __future__ import annotations
 
 from typing import Any, Callable, FrozenSet, List, Optional, Sequence
 
+from ..obs.spans import span as obs_span
 from .model import Justification
 
 #: A monotone entailment check over a candidate axiom list.
 CheckFn = Callable[[Sequence[Any]], bool]
+
+
+def _probed(check: CheckFn) -> CheckFn:
+    """``check`` wrapped in a ``shrink_probe`` observability span."""
+
+    def probed(candidate: Sequence[Any]) -> bool:
+        with obs_span("shrink_probe") as span:
+            span.set("candidate_axioms", len(candidate))
+            kept = check(candidate)
+            span.set("entailed", kept)
+            return kept
+
+    return probed
 
 
 def minimal_justification(
@@ -51,19 +65,24 @@ def minimal_justification(
     >>> minimal_justification(axioms, entails).axioms
     ('b', 'd')
     """
-    core: List[Any] = list(axioms)
-    if seed is not None and len(seed) < len(core):
-        seeded = [axiom for axiom in core if axiom in seed]
-        if check(seeded):
-            core = seeded
-    index = 0
-    while index < len(core):
-        candidate = core[:index] + core[index + 1 :]
-        if check(candidate):
-            core = candidate
-        else:
-            index += 1
-    return Justification(tuple(core))
+    with obs_span("justify") as span:
+        check = _probed(check)
+        core: List[Any] = list(axioms)
+        span.set("candidates", len(core))
+        span.set("seeded", seed is not None)
+        if seed is not None and len(seed) < len(core):
+            seeded = [axiom for axiom in core if axiom in seed]
+            if check(seeded):
+                core = seeded
+        index = 0
+        while index < len(core):
+            candidate = core[:index] + core[index + 1 :]
+            if check(candidate):
+                core = candidate
+            else:
+                index += 1
+        span.set("kept", len(core))
+        return Justification(tuple(core))
 
 
 def is_minimal(justification: Justification, check: CheckFn) -> bool:

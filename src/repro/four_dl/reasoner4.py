@@ -34,6 +34,7 @@ from ..dl.reasoner import PartialClassification, Reasoner
 from ..dl.stats import ReasonerStats
 from ..dl.tableau import DEFAULT_MAX_BRANCHES, DEFAULT_MAX_NODES
 from ..fourvalued.truth import FourValue, from_evidence
+from ..obs.spans import add_event, span as obs_span
 from .axioms4 import (
     ConceptInclusion4,
     InclusionKind,
@@ -211,16 +212,24 @@ class Reasoner4:
         ``C``?" (Example 1).
         """
         self._sync()
-        return self.classical_reasoner.is_instance(
-            individual, pos_transform(concept)
-        )
+        with obs_span("evidence_probe") as span:
+            span.set("direction", "for")
+            entailed = self.classical_reasoner.is_instance(
+                individual, pos_transform(concept)
+            )
+            span.set("entailed", entailed)
+            return entailed
 
     def evidence_against(self, individual: Individual, concept: Concept) -> bool:
         """``K |=4 a : not C`` — every model puts ``a`` in ``proj-(C)``."""
         self._sync()
-        return self.classical_reasoner.is_instance(
-            individual, neg_transform(concept)
-        )
+        with obs_span("evidence_probe") as span:
+            span.set("direction", "against")
+            entailed = self.classical_reasoner.is_instance(
+                individual, neg_transform(concept)
+            )
+            span.set("entailed", entailed)
+            return entailed
 
     def assertion_value(self, individual: Individual, concept: Concept) -> FourValue:
         """The entailed Belnap status of ``C(a)``.
@@ -443,6 +452,7 @@ class Reasoner4:
             return BoundedFourValue(value=value)
         except BudgetExceeded as exc:
             self.stats.unknown_verdicts += 1
+            add_event("unknown_verdict", {"reason": exc.reason.value})
             return BoundedFourValue(
                 value=None, reason=exc.reason, message=str(exc)
             )
@@ -450,6 +460,9 @@ class Reasoner4:
             raise
         except Exception as exc:  # contain faults, degrade to UNKNOWN
             self.stats.unknown_verdicts += 1
+            add_event(
+                "unknown_verdict", {"reason": DegradationReason.ERROR.value}
+            )
             return BoundedFourValue(
                 value=None,
                 reason=DegradationReason.ERROR,
@@ -769,14 +782,17 @@ class Reasoner4:
                 by_pos[pos_atom]: frozenset(by_pos[sup] for sup in subsumers)
                 for pos_atom, subsumers in positive_hierarchy.items()
             }
-        hierarchy: Dict[AtomicConcept, FrozenSet[AtomicConcept]] = {}
-        for sub in atoms:
-            hierarchy[sub] = frozenset(
-                sup
-                for sup in atoms
-                if self.entails_inclusion(ConceptInclusion4(sub, sup, kind))
-            )
-        return hierarchy
+        with obs_span("classify", stats=self.stats) as span:
+            span.set("atoms", len(atoms))
+            span.set("kind", kind.name.lower())
+            hierarchy: Dict[AtomicConcept, FrozenSet[AtomicConcept]] = {}
+            for sub in atoms:
+                hierarchy[sub] = frozenset(
+                    sup
+                    for sup in atoms
+                    if self.entails_inclusion(ConceptInclusion4(sub, sup, kind))
+                )
+            return hierarchy
 
     # ------------------------------------------------------------------
     # Survey helpers

@@ -58,6 +58,7 @@ from ..dl.concepts import (
 )
 from ..dl.kb import KnowledgeBase
 from ..dl.roles import AtomicRole, DatatypeRole, InverseRole, ObjectRole
+from ..obs.spans import span as obs_span
 from .axioms4 import (
     ConceptInclusion4,
     DatatypeRoleInclusion4,
@@ -375,6 +376,11 @@ def _cached_transform(
     cached = getattr(kb4, "_induced_cache", None)
     if cached is not None and cached[0] == kb4.version:
         return cached[1], cached[2]
-    induced, provenance = transform_kb_with_provenance(kb4)
-    kb4._induced_cache = (kb4.version, induced, provenance)
+    # The memoised fast path above is span-free: only actual transform
+    # work shows up as a ``transform`` phase in profiles.
+    with obs_span("transform") as span:
+        span.set("axioms_in", len(kb4))
+        induced, provenance = transform_kb_with_provenance(kb4)
+        span.set("axioms_out", len(induced))
+        kb4._induced_cache = (kb4.version, induced, provenance)
     return induced, provenance

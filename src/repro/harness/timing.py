@@ -8,6 +8,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, TypeVar
 
 from ..dl.stats import ReasonerStats
+from ..obs.metrics import percentile
 
 _T = TypeVar("_T")
 
@@ -16,22 +17,35 @@ _T = TypeVar("_T")
 class Timer:
     """A context manager accumulating wall-clock durations.
 
+    Re-entrant: entries nest on a stack, so a timed region may itself
+    time sub-regions with the same timer (each exit appends the sample
+    for its own entry).  Exiting more often than entering raises
+    ``RuntimeError`` instead of silently recording garbage.
+
     >>> timer = Timer()
     >>> with timer:
-    ...     pass
+    ...     with timer:
+    ...         pass
+    >>> len(timer.samples)
+    2
     >>> timer.total >= 0
     True
     """
 
     samples: List[float] = field(default_factory=list)
-    _started: float = 0.0
+    _starts: List[float] = field(default_factory=list)
 
     def __enter__(self) -> "Timer":
-        self._started = time.perf_counter()
+        self._starts.append(time.perf_counter())
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        self.samples.append(time.perf_counter() - self._started)
+        if not self._starts:
+            raise RuntimeError(
+                "Timer.__exit__ without a matching __enter__ "
+                "(unbalanced context-manager use)"
+            )
+        self.samples.append(time.perf_counter() - self._starts.pop())
 
     @property
     def total(self) -> float:
@@ -44,6 +58,18 @@ class Timer:
     @property
     def median(self) -> float:
         return statistics.median(self.samples) if self.samples else 0.0
+
+    @property
+    def p95(self) -> float:
+        """The 95th-percentile sample (0.0 when no samples were taken)."""
+        return percentile(self.samples, 0.95)
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation (0.0 with fewer than two samples)."""
+        if len(self.samples) < 2:
+            return 0.0
+        return statistics.stdev(self.samples)
 
 
 def time_call(function: Callable[[], object], repeats: int = 3) -> float:

@@ -1,0 +1,119 @@
+"""``BENCH_*.json`` run records: machine-readable benchmark results.
+
+The benchmark suite's timing assertions protect against regressions but
+leave no data behind — this module gives every benchmark a one-call way
+to persist what it measured, in a stable JSON shape the perf trajectory
+can be reconstructed from:
+
+.. code-block:: json
+
+    {
+      "schema": 1,
+      "name": "university_classify",
+      "workload": "classify ontologies/university.kb4 (internal)",
+      "seconds": {"count": 3, "total": ..., "mean": ..., "p50": ...,
+                   "p95": ..., "max": ...},
+      "counters": {"tableau_runs": ..., "branches_explored": ...},
+      "metadata": {"python": "3.12.1", ...}
+    }
+
+Records are written as ``BENCH_<name>.json`` into the directory named by
+the ``REPRO_BENCH_OUT`` environment variable; when the variable is
+unset, :func:`maybe_write_bench_record` is a no-op, so the default test
+run stays write-free.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from .metrics import percentile
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BENCH_OUT_ENV",
+    "BenchRecord",
+    "write_bench_record",
+    "maybe_write_bench_record",
+]
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Environment variable naming the output directory for BENCH records.
+BENCH_OUT_ENV = "REPRO_BENCH_OUT"
+
+
+@dataclass
+class BenchRecord:
+    """One benchmark run: what was measured, how long it took, what work.
+
+    ``seconds`` holds raw wall-clock samples (one per repeat); the
+    summary statistics are derived on serialisation so records stay
+    consistent however they were collected.  ``counters`` is typically
+    ``stats.as_dict()`` of the run's :class:`~repro.dl.stats.ReasonerStats`.
+    """
+
+    name: str
+    workload: str
+    seconds: Sequence[float] = ()
+    counters: Dict[str, int] = field(default_factory=dict)
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict:
+        """The JSON-able record (the ``BENCH_*.json`` shape)."""
+        samples = list(self.seconds)
+        metadata = {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        }
+        metadata.update(self.metadata)
+        return {
+            "schema": BENCH_SCHEMA_VERSION,
+            "name": self.name,
+            "workload": self.workload,
+            "seconds": {
+                "count": len(samples),
+                "total": sum(samples),
+                "mean": sum(samples) / len(samples) if samples else 0.0,
+                "p50": percentile(samples, 0.5),
+                "p95": percentile(samples, 0.95),
+                "max": max(samples) if samples else 0.0,
+            },
+            "counters": dict(self.counters),
+            "metadata": metadata,
+        }
+
+    @property
+    def filename(self) -> str:
+        """The canonical ``BENCH_<name>.json`` file name."""
+        safe = "".join(
+            ch if ch.isalnum() or ch in "-_" else "_" for ch in self.name
+        )
+        return f"BENCH_{safe}.json"
+
+
+def write_bench_record(record: BenchRecord, directory: str) -> str:
+    """Write ``record`` into ``directory``; returns the file path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, record.filename)
+    with open(path, "w") as handle:
+        json.dump(record.as_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def maybe_write_bench_record(record: BenchRecord) -> Optional[str]:
+    """Write the record iff ``REPRO_BENCH_OUT`` names a directory.
+
+    The benchmark suite calls this unconditionally; without the
+    environment variable the call is a no-op returning ``None``, so
+    plain test runs never touch the filesystem.
+    """
+    directory = os.environ.get(BENCH_OUT_ENV)
+    if not directory:
+        return None
+    return write_bench_record(record, directory)

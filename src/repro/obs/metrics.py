@@ -1,0 +1,220 @@
+"""Metric primitives: log-scale timing histograms and gauges.
+
+The observability layer adds two aggregate metric kinds on top of the
+monotone counters :class:`~repro.dl.stats.ReasonerStats` already
+provides:
+
+* :class:`Histogram` — a fixed-bucket log-scale duration histogram with
+  exact ``count`` / ``sum`` / ``max`` and interpolated quantiles
+  (``p50`` / ``p95``).  Fixed buckets keep observation O(log buckets)
+  with zero allocation, so enabled tracing stays cheap;
+* :class:`Gauge` — a last-value-wins instantaneous reading (e.g. the
+  query-cache entry count).
+
+A :class:`MetricsRegistry` owns named instances of both and is what the
+Prometheus-style exporter (:func:`repro.obs.export.render_prometheus`)
+serialises.  The metric *names* are a stable schema documented in
+``docs/OBSERVABILITY.md``.
+
+:func:`percentile` is the one exact-quantile implementation shared by
+the whole codebase (``harness.timing.Timer`` reuses it for its ``p95``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "percentile",
+    "Histogram",
+    "Gauge",
+    "MetricsRegistry",
+    "SPAN_DURATION_METRIC",
+]
+
+#: The histogram family recording per-span-name durations.
+SPAN_DURATION_METRIC = "repro_span_duration_seconds"
+
+#: Fixed log-scale bucket upper bounds, in seconds: powers of two from
+#: ~1 microsecond (2**-20) to ~17 minutes (2**10).  Durations above the
+#: last bound land in the implicit +Inf bucket.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(2.0 ** e for e in range(-20, 11))
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-quantile of ``samples`` by linear interpolation.
+
+    ``q`` is a fraction in ``[0, 1]``; an empty sample list yields 0.0.
+
+    >>> percentile([1.0, 2.0, 3.0, 4.0], 0.5)
+    2.5
+    >>> percentile([5.0], 0.95)
+    5.0
+    >>> percentile([], 0.5)
+    0.0
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be within [0, 1], got {q!r}")
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return ordered[lower]
+    fraction = position - lower
+    return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+
+class Histogram:
+    """A fixed-bucket log-scale histogram of observed values.
+
+    Buckets are cumulative-upper-bound style (Prometheus ``le``
+    semantics): ``counts[i]`` holds the number of observations with
+    ``value <= bounds[i]``... stored non-cumulatively internally and
+    cumulated on export.  ``quantile`` interpolates linearly inside the
+    bucket that crosses the requested rank, which is exact enough for
+    phase breakdowns; ``max`` (and ``min``) are tracked exactly.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "overflow", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS):
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError("bucket bounds must be sorted ascending")
+        self.counts: List[int] = [0] * len(self.bounds)
+        self.overflow = 0  # observations above the last bound (+Inf bucket)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation (negative values clamp to zero)."""
+        if value < 0.0:
+            value = 0.0
+        index = bisect.bisect_left(self.bounds, value)
+        if index >= len(self.bounds):
+            self.overflow += 1
+        else:
+            self.counts[index] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def quantile(self, q: float) -> float:
+        """The interpolated ``q``-quantile of the observations (0 if empty).
+
+        >>> h = Histogram("t")
+        >>> for v in (0.001, 0.002, 0.004, 0.1): h.observe(v)
+        >>> 0.001 <= h.quantile(0.5) <= 0.01
+        True
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be within [0, 1], got {q!r}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0.0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if seen + bucket_count >= rank:
+                low = self.bounds[index - 1] if index > 0 else 0.0
+                high = self.bounds[index]
+                fraction = (rank - seen) / bucket_count
+                estimate = low + (high - low) * fraction
+                return min(estimate, self.max)
+            seen += bucket_count
+        return self.max
+
+    @property
+    def p50(self) -> float:
+        """The interpolated median."""
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        """The interpolated 95th percentile."""
+        return self.quantile(0.95)
+
+    @property
+    def mean(self) -> float:
+        """The exact arithmetic mean (0.0 if empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, Prometheus-style.
+
+        The final pair uses ``math.inf`` and equals :attr:`count`.
+        """
+        pairs: List[Tuple[float, int]] = []
+        running = 0
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            running += bucket_count
+            pairs.append((bound, running))
+        pairs.append((math.inf, running + self.overflow))
+        return pairs
+
+
+class Gauge:
+    """A last-value-wins instantaneous metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: float = 0.0):
+        self.name = name
+        self.value = value
+
+    def set(self, value: float) -> None:
+        """Replace the reading."""
+        self.value = value
+
+
+class MetricsRegistry:
+    """Named histograms and gauges for one profiled activity.
+
+    Span-duration histograms live in one labelled family
+    (:data:`SPAN_DURATION_METRIC`, label ``span``); free-form histograms
+    and gauges are registered by bare name.  All lookups create on first
+    use, so instrumentation never needs registration boilerplate.
+    """
+
+    def __init__(self) -> None:
+        self.histograms: Dict[str, Histogram] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        #: span name -> duration histogram (the labelled family).
+        self.span_durations: Dict[str, Histogram] = {}
+
+    def histogram(self, name: str) -> Histogram:
+        """The named free-form histogram, created on first use."""
+        found = self.histograms.get(name)
+        if found is None:
+            found = self.histograms[name] = Histogram(name)
+        return found
+
+    def gauge(self, name: str) -> Gauge:
+        """The named gauge, created on first use."""
+        found = self.gauges.get(name)
+        if found is None:
+            found = self.gauges[name] = Gauge(name)
+        return found
+
+    def span_duration(self, span_name: str) -> Histogram:
+        """The duration histogram of one span name, created on first use."""
+        found = self.span_durations.get(span_name)
+        if found is None:
+            found = self.span_durations[span_name] = Histogram(
+                SPAN_DURATION_METRIC
+            )
+        return found

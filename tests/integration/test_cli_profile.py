@@ -1,0 +1,210 @@
+"""CLI observability integration tests (--profile / --metrics-out / profile).
+
+Includes the acceptance criterion of the telemetry subsystem: a profiled
+``repro query`` on the shipped university ontology emits a span tree
+whose exclusively-attributed phase durations sum to within 10% of the
+root span's total, and the JSON-lines dump round-trips.
+"""
+
+import json
+import os
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.obs import phase_durations, read_spans_jsonl
+
+ONTOLOGY_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "ontologies"
+)
+UNIVERSITY = os.path.join(ONTOLOGY_DIR, "university.kb4")
+PENGUIN = os.path.join(ONTOLOGY_DIR, "penguin.kb4")
+
+
+class TestProfileFlag:
+    def test_bare_profile_prints_span_tree_and_breakdown(self, capsys):
+        status = main(["query", UNIVERSITY, "anna", "Student", "--profile"])
+        out = capsys.readouterr().out
+        assert status in (0, 1)
+        assert "query" in out
+        assert "tableau_run" in out
+        assert "Phase breakdown:" in out
+
+    def test_profile_file_writes_round_trippable_jsonl(self, tmp_path, capsys):
+        span_file = str(tmp_path / "spans.jsonl")
+        main(["query", UNIVERSITY, "anna", "Student", "--profile", span_file])
+        capsys.readouterr()
+        with open(span_file) as handle:
+            text = handle.read()
+        for line in text.splitlines():
+            json.loads(line)  # every line is standalone JSON
+        roots = read_spans_jsonl(text)
+        assert len(roots) == 1
+        assert roots[0].name == "query"
+        names = {span.name for span in roots[0].walk()}
+        assert {"parse", "evidence_probe", "tableau_run"} <= names
+
+    def test_phase_durations_sum_within_ten_percent_of_total(
+        self, tmp_path, capsys
+    ):
+        span_file = str(tmp_path / "spans.jsonl")
+        main(["query", UNIVERSITY, "anna", "Student", "--profile", span_file])
+        capsys.readouterr()
+        with open(span_file) as handle:
+            roots = read_spans_jsonl(handle.read())
+        total = sum(root.duration for root in roots)
+        covered = sum(phase_durations(roots).values())
+        assert total > 0
+        assert covered <= total * 1.001  # exclusive attribution never exceeds
+        assert covered >= total * 0.90, (
+            f"phases cover only {100 * covered / total:.1f}% of the "
+            f"{total:.4f}s root span"
+        )
+
+    def test_unknown_verdict_recorded_as_event(self, tmp_path, capsys):
+        span_file = str(tmp_path / "spans.jsonl")
+        status = main(
+            [
+                "query",
+                UNIVERSITY,
+                "anna",
+                "Student",
+                "--max-branches",
+                "1",
+                "--profile",
+                span_file,
+            ]
+        )
+        capsys.readouterr()
+        assert status == 3
+        with open(span_file) as handle:
+            roots = read_spans_jsonl(handle.read())
+        events = [
+            event.name
+            for root in roots
+            for span in root.walk()
+            for event in span.events
+        ]
+        assert "unknown_verdict" in events
+        assert "budget_abort" in events
+
+
+class TestMetricsOut:
+    def test_metrics_file_is_prometheus_text(self, tmp_path, capsys):
+        metrics_file = str(tmp_path / "metrics.prom")
+        main(["check", PENGUIN, "--metrics-out", metrics_file])
+        capsys.readouterr()
+        with open(metrics_file) as handle:
+            text = handle.read()
+        assert "# TYPE repro_span_duration_seconds histogram" in text
+        assert "# TYPE repro_tableau_runs_total counter" in text
+        # Counter totals reflect real work (the check ran tableaux).
+        match = re.search(r"^repro_tableau_runs_total (\d+)$", text, re.M)
+        assert match and int(match.group(1)) > 0
+
+    def test_metric_names_match_documented_schema(self, tmp_path, capsys):
+        metrics_file = str(tmp_path / "metrics.prom")
+        main(["check", PENGUIN, "--metrics-out", metrics_file])
+        capsys.readouterr()
+        with open(metrics_file) as handle:
+            text = handle.read()
+        for line in text.splitlines():
+            if line.startswith("#") or not line.strip():
+                continue
+            name = re.match(r"([a-zA-Z_:][a-zA-Z0-9_:]*)", line).group(1)
+            assert name.startswith("repro_"), f"undocumented metric {name!r}"
+
+
+class TestProfileSubcommand:
+    @pytest.fixture
+    def span_file(self, tmp_path, capsys):
+        path = str(tmp_path / "spans.jsonl")
+        main(["query", UNIVERSITY, "anna", "Student", "--profile", path])
+        capsys.readouterr()
+        return path
+
+    def test_report_table(self, span_file, capsys):
+        status = main(["profile", span_file])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "tableau_run" in out
+        assert "share" in out
+
+    def test_tree_flag(self, span_file, capsys):
+        main(["profile", span_file, "--tree"])
+        out = capsys.readouterr().out
+        assert "  parse" in out
+
+    def test_folded_output_is_flamegraph_compatible(
+        self, span_file, tmp_path, capsys
+    ):
+        folded = str(tmp_path / "out.folded")
+        status = main(["profile", span_file, "--folded", folded])
+        capsys.readouterr()
+        assert status == 0
+        with open(folded) as handle:
+            lines = handle.read().splitlines()
+        assert lines
+        for line in lines:
+            assert re.fullmatch(r"[^ ]+(;[^ ]+)* \d+", line), line
+
+    def test_rejects_malformed_span_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"schema": 1}\n')
+        status = main(["profile", str(bad)])
+        capsys.readouterr()
+        assert status == 2
+
+
+class TestFlagParity:
+    """Every reasoning subcommand accepts the observability flags."""
+
+    CASES = [
+        ("check", [PENGUIN]),
+        ("query", [PENGUIN, "tweety", "Fly"]),
+        ("audit", [PENGUIN]),
+        ("classify", [PENGUIN]),
+        ("repair", [PENGUIN]),
+    ]
+
+    @pytest.mark.parametrize(
+        "command,operands", CASES, ids=[c for c, _ in CASES]
+    )
+    def test_stats_flag(self, command, operands, capsys):
+        status = main([command, *operands, "--stats"])
+        out = capsys.readouterr().out
+        assert status in (0, 1)
+        assert "work: tableau runs:" in out
+
+    @pytest.mark.parametrize(
+        "command,operands", CASES, ids=[c for c, _ in CASES]
+    )
+    def test_profile_flag(self, command, operands, tmp_path, capsys):
+        span_file = str(tmp_path / "spans.jsonl")
+        status = main([command, *operands, "--profile", span_file])
+        capsys.readouterr()
+        assert status in (0, 1)
+        with open(span_file) as handle:
+            roots = read_spans_jsonl(handle.read())
+        assert [root.name for root in roots] == [command]
+
+    @pytest.mark.parametrize(
+        "command,operands", CASES, ids=[c for c, _ in CASES]
+    )
+    def test_metrics_out_flag(self, command, operands, tmp_path, capsys):
+        metrics_file = str(tmp_path / "metrics.prom")
+        status = main([command, *operands, "--metrics-out", metrics_file])
+        capsys.readouterr()
+        assert status in (0, 1)
+        with open(metrics_file) as handle:
+            assert "repro_span_duration_seconds" in handle.read()
+
+
+class TestNoObservabilityByDefault:
+    def test_plain_run_writes_no_artefacts(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        status = main(["check", PENGUIN])
+        capsys.readouterr()
+        assert status in (0, 1)
+        assert os.listdir(tmp_path) == []

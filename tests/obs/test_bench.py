@@ -1,0 +1,74 @@
+"""Unit tests for BENCH_*.json run records (repro.obs.bench)."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.bench import (
+    BENCH_OUT_ENV,
+    BENCH_SCHEMA_VERSION,
+    BenchRecord,
+    maybe_write_bench_record,
+    write_bench_record,
+)
+
+
+def _record():
+    return BenchRecord(
+        name="university_classify",
+        workload="classify ontologies/university.kb4 (internal)",
+        seconds=[0.5, 0.7, 0.6],
+        counters={"tableau_runs": 110, "branches_explored": 3865},
+        metadata={"search": "trail"},
+    )
+
+
+class TestBenchRecord:
+    def test_as_dict_shape(self):
+        data = _record().as_dict()
+        assert data["schema"] == BENCH_SCHEMA_VERSION
+        assert data["name"] == "university_classify"
+        assert data["seconds"]["count"] == 3
+        assert data["seconds"]["total"] == pytest.approx(1.8)
+        assert data["seconds"]["max"] == 0.7
+        assert data["seconds"]["p50"] == 0.6
+        assert data["counters"]["tableau_runs"] == 110
+        assert data["metadata"]["search"] == "trail"
+        assert "python" in data["metadata"]
+
+    def test_empty_samples_yield_zero_statistics(self):
+        data = BenchRecord(name="n", workload="w").as_dict()
+        assert data["seconds"] == {
+            "count": 0,
+            "total": 0,
+            "mean": 0.0,
+            "p50": 0.0,
+            "p95": 0.0,
+            "max": 0.0,
+        }
+
+    def test_filename_sanitised(self):
+        record = BenchRecord(name="uni/classify v2", workload="w")
+        assert record.filename == "BENCH_uni_classify_v2.json"
+
+    def test_record_is_json_serialisable(self):
+        json.dumps(_record().as_dict())
+
+
+class TestWriting:
+    def test_write_bench_record_creates_file(self, tmp_path):
+        path = write_bench_record(_record(), str(tmp_path / "out"))
+        assert os.path.basename(path) == "BENCH_university_classify.json"
+        with open(path) as handle:
+            data = json.load(handle)
+        assert data["schema"] == BENCH_SCHEMA_VERSION
+
+    def test_maybe_write_is_noop_without_env(self, monkeypatch):
+        monkeypatch.delenv(BENCH_OUT_ENV, raising=False)
+        assert maybe_write_bench_record(_record()) is None
+
+    def test_maybe_write_honours_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(BENCH_OUT_ENV, str(tmp_path))
+        path = maybe_write_bench_record(_record())
+        assert path is not None and os.path.exists(path)

@@ -1,0 +1,236 @@
+"""Unit tests for the span/metric exporters (repro.obs.export)."""
+
+import json
+
+import pytest
+
+from repro.dl.stats import ReasonerStats
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    folded_stacks,
+    phase_breakdown,
+    phase_durations,
+    read_spans_jsonl,
+    render_prometheus,
+    render_span_tree,
+    span,
+    spans_to_jsonl,
+    tracing,
+    validate_span_record,
+)
+from repro.obs.export import PHASE_SPANS, SPAN_SCHEMA_VERSION
+
+
+def _sample_forest():
+    """A small realistic forest: query > (parse, 2x probe > tableau)."""
+    stats = ReasonerStats()
+    tracer = Tracer()
+    with tracing(tracer):
+        with span("query") as root:
+            root.set("exit_status", 0)
+            with span("parse") as parse:
+                parse.set("axioms", 35)
+            for direction in ("for", "against"):
+                with span("evidence_probe") as probe:
+                    probe.set("direction", direction)
+                    with span("tableau_run", stats=stats) as run:
+                        stats.tableau_runs += 1
+                        run.event("clash", {"node": 1})
+    return tracer.roots
+
+
+class TestJsonLines:
+    def test_round_trip_preserves_everything(self):
+        roots = _sample_forest()
+        restored = read_spans_jsonl(spans_to_jsonl(roots))
+        assert len(restored) == 1
+        original, copy = roots[0], restored[0]
+        assert [s.name for s in original.walk()] == [
+            s.name for s in copy.walk()
+        ]
+        for before, after in zip(original.walk(), copy.walk()):
+            assert after.attributes == before.attributes
+            assert after.stats_delta == before.stats_delta
+            assert after.duration == pytest.approx(before.duration)
+            assert [e.name for e in after.events] == [
+                e.name for e in before.events
+            ]
+
+    def test_parents_emitted_before_children(self):
+        lines = spans_to_jsonl(_sample_forest()).splitlines()
+        seen = set()
+        for line in lines:
+            record = json.loads(line)
+            assert record["parent"] is None or record["parent"] in seen
+            seen.add(record["id"])
+
+    def test_every_line_is_schema_valid(self):
+        for line in spans_to_jsonl(_sample_forest()).splitlines():
+            assert validate_span_record(json.loads(line)) == []
+
+    def test_read_rejects_non_json(self):
+        with pytest.raises(ValueError, match="line 1"):
+            read_spans_jsonl("not json\n")
+
+    def test_read_rejects_missing_fields(self):
+        with pytest.raises(ValueError, match="missing field"):
+            read_spans_jsonl(json.dumps({"schema": SPAN_SCHEMA_VERSION}) + "\n")
+
+    def test_read_rejects_orphan_child(self):
+        record = {
+            "schema": SPAN_SCHEMA_VERSION,
+            "id": 5,
+            "parent": 99,
+            "name": "x",
+            "start": 0.0,
+            "duration": 0.0,
+            "attributes": {},
+            "events": [],
+            "stats": None,
+        }
+        with pytest.raises(ValueError, match="parent 99"):
+            read_spans_jsonl(json.dumps(record) + "\n")
+
+    def test_validate_flags_bad_types_and_versions(self):
+        record = {
+            "schema": 999,
+            "id": "zero",
+            "parent": None,
+            "name": "x",
+            "start": 0.0,
+            "duration": -1.0,
+            "attributes": {},
+            "events": [{"oops": True}],
+            "stats": None,
+        }
+        problems = validate_span_record(record)
+        assert any("schema" in p for p in problems)
+        assert any("'id'" in p for p in problems)
+        assert any("negative duration" in p for p in problems)
+        assert any("event #0" in p for p in problems)
+
+    def test_empty_forest_serialises_to_empty_text(self):
+        assert spans_to_jsonl([]) == ""
+        assert read_spans_jsonl("") == []
+
+
+class TestFoldedStacks:
+    def test_lines_match_flamegraph_input_format(self):
+        text = folded_stacks(_sample_forest())
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            path, _, micros = line.rpartition(" ")
+            assert path
+            assert micros.isdigit()
+            for frame in path.split(";"):
+                assert frame
+                assert " " not in frame
+
+    def test_self_times_sum_to_root_total(self):
+        roots = _sample_forest()
+        text = folded_stacks(roots)
+        total_micros = sum(
+            int(line.rpartition(" ")[2]) for line in text.splitlines()
+        )
+        root_micros = int(round(roots[0].duration * 1e6))
+        # Integer rounding may drop/add <1us per span.
+        assert abs(total_micros - root_micros) <= len(text.splitlines())
+
+    def test_frame_names_sanitised(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            with span("bad;name with spaces"):
+                pass
+        line = folded_stacks(tracer.roots).splitlines()[0]
+        assert line.startswith("bad:name_with_spaces ")
+
+
+class TestPrometheus:
+    def test_histogram_family_and_counters(self):
+        roots = _sample_forest()
+        tracer = Tracer()
+        for root in roots:
+            for sp in root.walk():
+                tracer.registry.span_duration(sp.name).observe(sp.duration)
+        text = render_prometheus(
+            tracer.registry, counters={"tableau_runs": 2, "cache_hits": 0}
+        )
+        assert "# TYPE repro_span_duration_seconds histogram" in text
+        assert 'span="tableau_run"' in text
+        assert 'le="+Inf"' in text
+        assert "# TYPE repro_tableau_runs_total counter" in text
+        assert "repro_tableau_runs_total 2" in text
+        assert "repro_cache_hits_total 0" in text
+
+    def test_bucket_counts_are_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.span_duration("x")
+        for value in (1e-6, 1e-3, 1e-1):
+            histogram.observe(value)
+        text = render_prometheus(registry)
+        counts = [
+            int(line.rpartition(" ")[2])
+            for line in text.splitlines()
+            if line.startswith("repro_span_duration_seconds_bucket")
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 3
+
+    def test_gauges_render(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_query_cache_entries").set(42)
+        text = render_prometheus(registry)
+        assert "# TYPE repro_query_cache_entries gauge" in text
+        assert "repro_query_cache_entries 42.0" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestHumanRenderings:
+    def test_span_tree_shows_names_attributes_events(self):
+        text = render_span_tree(_sample_forest())
+        assert "query" in text
+        assert "direction=for" in text
+        assert "! clash" in text
+        assert "  parse" in text  # indented child
+
+    def test_deep_trees_elide_below_max_depth(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            with span("a"), span("b"), span("c"), span("d"):
+                pass
+        text = render_span_tree(tracer.roots, max_depth=2)
+        assert "children elided" in text
+        assert "  c" not in text
+
+
+class TestPhaseAttribution:
+    def test_phase_spans_cover_the_instrumented_names(self):
+        assert {"parse", "transform", "tableau_run", "justify"} <= PHASE_SPANS
+
+    def test_nested_phases_attribute_exclusively(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            with span("query"):
+                with span("justify"):
+                    with span("shrink_probe"):
+                        with span("tableau_run"):
+                            pass
+        totals = phase_durations(tracer.roots)
+        assert set(totals) == {"justify"}
+
+    def test_phases_sum_to_at_most_root_duration(self):
+        roots = _sample_forest()
+        totals = phase_durations(roots)
+        assert sum(totals.values()) <= roots[0].duration * 1.001
+
+    def test_breakdown_rows_shape(self):
+        rows = phase_breakdown(_sample_forest())
+        names = [row[0] for row in rows]
+        assert "query" in names and "tableau_run" in names
+        for name, count, total, p50, p95, peak, share in rows:
+            assert count >= 1
+            assert 0.0 <= p50 <= p95 <= peak <= total + 1e-9
+            assert share == "" or share.endswith("%")

@@ -1,0 +1,126 @@
+"""Unit tests for histograms, gauges, and the metrics registry."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_empty_yields_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single_sample(self):
+        assert percentile([3.0], 0.95) == 3.0
+
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.5
+
+    def test_extremes(self):
+        samples = [5.0, 1.0, 3.0]
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 1.0) == 5.0
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 0.5) == percentile(
+            [1.0, 2.0, 3.0], 0.5
+        )
+
+    def test_rejects_out_of_range_quantile(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestHistogram:
+    def test_default_buckets_are_log_scale_powers_of_two(self):
+        assert DEFAULT_BUCKETS[0] == 2.0 ** -20
+        assert DEFAULT_BUCKETS[-1] == 2.0 ** 10
+        ratios = {
+            DEFAULT_BUCKETS[i + 1] / DEFAULT_BUCKETS[i]
+            for i in range(len(DEFAULT_BUCKETS) - 1)
+        }
+        assert ratios == {2.0}
+
+    def test_exact_count_sum_min_max(self):
+        histogram = Histogram("t")
+        for value in (0.001, 0.003, 0.010):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(0.014)
+        assert histogram.min == 0.001
+        assert histogram.max == 0.010
+        assert histogram.mean == pytest.approx(0.014 / 3)
+
+    def test_negative_observations_clamp_to_zero(self):
+        histogram = Histogram("t")
+        histogram.observe(-1.0)
+        assert histogram.min == 0.0
+        assert histogram.sum == 0.0
+
+    def test_overflow_bucket(self):
+        histogram = Histogram("t", bounds=(0.1, 1.0))
+        histogram.observe(50.0)
+        assert histogram.overflow == 1
+        bound, cumulative = histogram.cumulative_buckets()[-1]
+        assert bound == math.inf
+        assert cumulative == 1
+
+    def test_cumulative_buckets_are_monotone_and_end_at_count(self):
+        histogram = Histogram("t")
+        for value in (1e-6, 1e-4, 1e-2, 1.0, 5.0):
+            histogram.observe(value)
+        pairs = histogram.cumulative_buckets()
+        counts = [cumulative for _, cumulative in pairs]
+        assert counts == sorted(counts)
+        assert counts[-1] == histogram.count
+
+    def test_quantile_is_bracketed_by_min_and_max(self):
+        histogram = Histogram("t")
+        for value in (0.002, 0.004, 0.008, 0.016, 0.5):
+            histogram.observe(value)
+        for q in (0.1, 0.5, 0.9, 0.95):
+            assert histogram.min <= histogram.quantile(q) <= histogram.max
+
+    def test_quantile_of_empty_is_zero(self):
+        assert Histogram("t").quantile(0.5) == 0.0
+        assert Histogram("t").p50 == 0.0
+        assert Histogram("t").p95 == 0.0
+
+    def test_p95_at_least_p50(self):
+        histogram = Histogram("t")
+        for value in (0.001, 0.001, 0.002, 0.004, 0.1):
+            histogram.observe(value)
+        assert histogram.p95 >= histogram.p50
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("t", bounds=(1.0, 0.1))
+
+
+class TestGaugeAndRegistry:
+    def test_gauge_last_value_wins(self):
+        gauge = Gauge("g")
+        gauge.set(3.0)
+        gauge.set(7.0)
+        assert gauge.value == 7.0
+
+    def test_registry_creates_on_first_use_and_reuses(self):
+        registry = MetricsRegistry()
+        assert registry.histogram("h") is registry.histogram("h")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.span_duration("parse") is registry.span_duration(
+            "parse"
+        )
+
+    def test_span_duration_family_keyed_by_span_name(self):
+        registry = MetricsRegistry()
+        registry.span_duration("parse").observe(0.001)
+        registry.span_duration("tableau_run").observe(0.002)
+        assert set(registry.span_durations) == {"parse", "tableau_run"}

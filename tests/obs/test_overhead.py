@@ -1,0 +1,80 @@
+"""Overhead guarantees of the observability layer.
+
+Two promises the subsystem makes:
+
+* **Disabled is free of side effects** — with no tracer installed, the
+  instrumented reasoning stack performs *byte-identical* work: every
+  ``ReasonerStats`` counter matches a run with tracing enabled (the
+  instrumentation can never change what the reasoner computes, only
+  observe it).
+* **Enabled is cheap** — full span tracing on the university-ontology
+  classification costs less than 2x the untraced wall-clock time.
+
+Wall-clock assertions are best-of-three to shrug off scheduler noise.
+"""
+
+import json
+import os
+import time
+
+from repro.dl.parser import parse_kb4
+from repro.four_dl import Reasoner4
+from repro.obs import Tracer, active_tracer, spans_to_jsonl, tracing
+
+ONTOLOGY_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "ontologies"
+)
+
+
+def _university_kb4():
+    with open(os.path.join(ONTOLOGY_DIR, "university.kb4")) as handle:
+        return parse_kb4(handle.read())
+
+
+def _classify(kb4, tracer):
+    reasoner = Reasoner4(kb4)
+    with tracing(tracer):
+        hierarchy = reasoner.classify()
+    return hierarchy, reasoner.stats
+
+
+def test_null_recorder_keeps_stats_byte_identical():
+    assert active_tracer() is None
+    kb4 = _university_kb4()
+    plain_hierarchy, plain_stats = _classify(kb4, None)
+    traced_hierarchy, traced_stats = _classify(kb4, Tracer())
+    assert traced_hierarchy == plain_hierarchy
+    plain_bytes = json.dumps(plain_stats.as_dict(), sort_keys=True).encode()
+    traced_bytes = json.dumps(traced_stats.as_dict(), sort_keys=True).encode()
+    assert traced_bytes == plain_bytes
+
+
+def test_enabled_tracer_stays_under_two_x():
+    kb4 = _university_kb4()
+    _classify(kb4, None)  # warm any lazy imports/caches
+
+    def best_of(tracer_factory, repeats=3):
+        best = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            _classify(kb4, tracer_factory())
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    untraced = best_of(lambda: None)
+    traced = best_of(Tracer)
+    assert traced < untraced * 2.0, (
+        f"enabled tracing cost {traced / untraced:.2f}x "
+        f"({traced:.3f}s vs {untraced:.3f}s untraced)"
+    )
+
+
+def test_traced_classification_produces_a_coherent_forest():
+    kb4 = _university_kb4()
+    tracer = Tracer()
+    _classify(kb4, tracer)
+    names = {sp.name for root in tracer.roots for sp in root.walk()}
+    assert "classify" in names
+    assert "tableau_run" in names
+    # The forest serialises without error and is non-trivial.
+    assert len(spans_to_jsonl(tracer.roots).splitlines()) > 10

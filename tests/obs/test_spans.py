@@ -1,0 +1,221 @@
+"""Unit tests for the span tracer (repro.obs.spans)."""
+
+import pytest
+
+from repro.dl.stats import ReasonerStats
+from repro.obs import (
+    Tracer,
+    active_tracer,
+    add_event,
+    set_gauge,
+    span,
+    tracing,
+)
+from repro.obs.spans import _NULL_SPAN
+
+
+class TestDisabledPath:
+    def test_span_returns_shared_null_singleton(self):
+        assert active_tracer() is None
+        first = span("tableau_run")
+        second = span("cache_probe", stats=ReasonerStats())
+        assert first is second is _NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        with span("anything") as sp:
+            sp.set("key", "value")
+            sp.event("mark")
+        assert active_tracer() is None
+
+    def test_add_event_and_set_gauge_are_noops(self):
+        add_event("cache_eviction")
+        set_gauge("repro_query_cache_entries", 7)
+
+
+class TestTracing:
+    def test_install_and_restore(self):
+        tracer = Tracer()
+        assert active_tracer() is None
+        with tracing(tracer):
+            assert active_tracer() is tracer
+        assert active_tracer() is None
+
+    def test_nested_install_restores_previous(self):
+        outer, inner = Tracer(), Tracer()
+        with tracing(outer):
+            with tracing(inner):
+                assert active_tracer() is inner
+            assert active_tracer() is outer
+
+    def test_tracing_none_disables_inside_a_scope(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            with tracing(None):
+                assert span("x") is _NULL_SPAN
+            assert active_tracer() is tracer
+
+
+class TestSpanTrees:
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            with span("query"):
+                with span("cache_probe"):
+                    pass
+                with span("tableau_run"):
+                    pass
+        assert len(tracer.roots) == 1
+        root = tracer.roots[0]
+        assert root.name == "query"
+        assert [child.name for child in root.children] == [
+            "cache_probe",
+            "tableau_run",
+        ]
+        assert root.duration >= sum(c.duration for c in root.children)
+        assert root.self_time >= 0.0
+
+    def test_sibling_roots_accumulate_in_order(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            with span("first"):
+                pass
+            with span("second"):
+                pass
+        assert [root.name for root in tracer.roots] == ["first", "second"]
+
+    def test_attributes_and_events(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            with span("tableau_run") as sp:
+                sp.set("search", "trail")
+                sp.event("clash", {"node": 3})
+        root = tracer.roots[0]
+        assert root.attributes == {"search": "trail"}
+        assert len(root.events) == 1
+        assert root.events[0].name == "clash"
+        assert root.events[0].attributes == {"node": 3}
+        assert root.events[0].at >= 0.0
+
+    def test_add_event_lands_on_innermost_open_span(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            with span("outer"):
+                with span("inner"):
+                    add_event("cache_eviction", {"entries": 4})
+        inner = tracer.roots[0].children[0]
+        assert [event.name for event in inner.events] == ["cache_eviction"]
+
+    def test_walk_is_depth_first(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            with span("a"):
+                with span("b"):
+                    with span("c"):
+                        pass
+                with span("d"):
+                    pass
+        names = [sp.name for sp in tracer.roots[0].walk()]
+        assert names == ["a", "b", "c", "d"]
+
+
+class TestStatsDeltas:
+    def test_delta_keeps_only_changed_counters(self):
+        stats = ReasonerStats(tableau_runs=5)
+        tracer = Tracer()
+        with tracing(tracer):
+            with span("tableau_run", stats=stats):
+                stats.tableau_runs += 1
+                stats.branches_explored += 3
+        assert tracer.roots[0].stats_delta == {
+            "tableau_runs": 1,
+            "branches_explored": 3,
+        }
+
+    def test_no_stats_object_means_no_delta(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            with span("cache_probe"):
+                pass
+        assert tracer.roots[0].stats_delta is None
+
+    def test_counter_totals_do_not_double_count_nested_spans(self):
+        stats = ReasonerStats()
+        tracer = Tracer()
+        with tracing(tracer):
+            with span("classify", stats=stats):
+                with span("tableau_run", stats=stats):
+                    stats.tableau_runs += 1
+        assert tracer.counter_totals()["tableau_runs"] == 1
+
+    def test_counter_totals_sum_distinct_stats_objects(self):
+        four, classical = ReasonerStats(), ReasonerStats()
+        tracer = Tracer()
+        with tracing(tracer):
+            with span("a", stats=four):
+                four.tableau_runs += 2
+            with span("b", stats=classical):
+                classical.tableau_runs += 3
+        assert tracer.counter_totals()["tableau_runs"] == 5
+
+    def test_watch_stats_is_idempotent(self):
+        stats = ReasonerStats(tableau_runs=4)
+        tracer = Tracer()
+        tracer.watch_stats(stats)
+        tracer.watch_stats(stats)
+        assert tracer.watched_stats == [stats]
+        assert tracer.counter_totals()["tableau_runs"] == 4
+
+
+class TestExceptionEvents:
+    def test_budget_abort_exception_becomes_event(self):
+        class FakeReason:
+            value = "deadline"
+
+        class FakeBudgetExceeded(Exception):
+            reason = FakeReason()
+
+        tracer = Tracer()
+        with tracing(tracer):
+            with pytest.raises(FakeBudgetExceeded):
+                with span("tableau_run"):
+                    raise FakeBudgetExceeded("out of time")
+        events = tracer.roots[0].events
+        assert [event.name for event in events] == ["budget_abort"]
+        assert events[0].attributes == {"reason": "deadline"}
+
+    def test_plain_exception_recorded_generically(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            with pytest.raises(ValueError):
+                with span("parse"):
+                    raise ValueError("bad syntax")
+        events = tracer.roots[0].events
+        assert [event.name for event in events] == ["exception"]
+        assert events[0].attributes == {"type": "ValueError"}
+
+    def test_span_still_closed_and_attached_after_exception(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            with span("outer"):
+                with pytest.raises(RuntimeError):
+                    with span("inner"):
+                        raise RuntimeError("boom")
+        assert [c.name for c in tracer.roots[0].children] == ["inner"]
+        assert tracer.current is None
+
+
+class TestRegistryFeed:
+    def test_every_span_close_feeds_duration_histogram(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            for _ in range(3):
+                with span("tableau_run"):
+                    pass
+        histogram = tracer.registry.span_duration("tableau_run")
+        assert histogram.count == 3
+
+    def test_set_gauge_reaches_registry(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            set_gauge("repro_query_cache_entries", 11)
+        assert tracer.registry.gauge("repro_query_cache_entries").value == 11
