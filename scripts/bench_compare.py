@@ -1,0 +1,290 @@
+#!/usr/bin/env python
+"""Gate eval runs on p95 regressions against the committed baseline.
+
+Compares the per-probe p50/p95 timings of one or more eval run
+directories (``repro eval run`` output: ``manifest.json`` +
+``metrics.jsonl``) against ``benchmarks/BASELINE.json``::
+
+    python scripts/bench_compare.py eval/results/<run-id> [more-runs...]
+    python scripts/bench_compare.py --update eval/results/<run-id>
+
+Exit status 0 when every probe is within tolerance, 1 on any p95
+regression or probe missing from the run, 2 on usage/IO errors.  A
+regression is ``run_p95 > max(baseline_p95, min_seconds) * p95_ratio``:
+the ratio tolerance absorbs machine noise and the ``min_seconds`` floor
+keeps microsecond probes from gating on scheduler jitter.  Tolerances
+come from the baseline file and can be overridden per invocation
+(``--p95-tolerance``, ``--min-seconds``).
+
+``--update`` refreshes the baseline from the run instead of comparing —
+the *only* honest way to move the baseline (see docs/EVAL.md: refresh
+from a quiet machine, commit the diff with the run's manifest data, and
+explain the movement in the PR).  Probes the run no longer produces are
+dropped from that suite's baseline section on update.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.eval.manifest import (  # noqa: E402  (path bootstrap above)
+    read_metrics_jsonl,
+    validate_manifest,
+)
+from repro.harness.tables import format_table  # noqa: E402
+
+BASELINE_SCHEMA_VERSION = 1
+
+DEFAULT_BASELINE = REPO / "benchmarks" / "BASELINE.json"
+
+#: Default tolerances written into fresh baselines (overridable there).
+DEFAULT_TOLERANCES = {
+    "p95_ratio": 1.6,
+    "min_seconds": 0.005,
+}
+
+
+class CompareError(Exception):
+    """Usage or IO problem (exit status 2)."""
+
+
+def load_run(run_dir: Path) -> Tuple[str, Dict[str, Dict[str, float]]]:
+    """``(suite, {probe: {p50, p95, phase, status}})`` of one run dir."""
+    manifest_path = run_dir / "manifest.json"
+    metrics_path = run_dir / "metrics.jsonl"
+    if not manifest_path.is_file() or not metrics_path.is_file():
+        raise CompareError(
+            f"{run_dir}: not an eval run directory "
+            f"(need manifest.json and metrics.jsonl)"
+        )
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise CompareError(f"{manifest_path}: {error}") from None
+    problems = validate_manifest(manifest)
+    if problems:
+        raise CompareError(f"{manifest_path}: {'; '.join(problems)}")
+    try:
+        records = read_metrics_jsonl(metrics_path.read_text())
+    except (OSError, ValueError) as error:
+        raise CompareError(f"{metrics_path}: {error}") from None
+    probes = {
+        record["probe"]: {
+            "p50": float(record["seconds"]["p50"]),
+            "p95": float(record["seconds"]["p95"]),
+            "phase": record["phase"],
+            "status": record["status"],
+        }
+        for record in records
+    }
+    return manifest["suite"], probes
+
+
+def load_baseline(path: Path) -> Dict:
+    if not path.is_file():
+        raise CompareError(
+            f"{path}: baseline not found; create it with --update"
+        )
+    try:
+        baseline = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise CompareError(f"{path}: {error}") from None
+    if baseline.get("schema") not in (None, BASELINE_SCHEMA_VERSION):
+        raise CompareError(
+            f"{path}: unknown baseline schema {baseline.get('schema')!r}"
+        )
+    baseline.setdefault("suites", {})
+    baseline.setdefault("tolerances", dict(DEFAULT_TOLERANCES))
+    return baseline
+
+
+def compare_suite(
+    suite: str,
+    run_probes: Dict[str, Dict[str, float]],
+    baseline: Dict,
+    p95_ratio: Optional[float] = None,
+    min_seconds: Optional[float] = None,
+) -> Tuple[List[Tuple], bool]:
+    """``(table_rows, failed)`` for one run against the baseline.
+
+    Rows are ``(probe, phase, base p95, run p95, ratio, verdict)``;
+    verdicts: ``ok``, ``improved``, ``REGRESSED``, ``MISSING`` (probe in
+    baseline but absent from the run), ``new`` (informational).
+    """
+    tolerances = baseline.get("tolerances", {})
+    ratio_cap = (
+        p95_ratio
+        if p95_ratio is not None
+        else float(tolerances.get("p95_ratio", DEFAULT_TOLERANCES["p95_ratio"]))
+    )
+    floor = (
+        min_seconds
+        if min_seconds is not None
+        else float(
+            tolerances.get("min_seconds", DEFAULT_TOLERANCES["min_seconds"])
+        )
+    )
+    base_suite = baseline["suites"].get(suite)
+    if base_suite is None:
+        raise CompareError(
+            f"baseline has no suite {suite!r}; record one with --update"
+        )
+    rows: List[Tuple] = []
+    failed = False
+
+    def fmt(seconds: Optional[float]) -> str:
+        return "-" if seconds is None else f"{seconds * 1e3:.2f} ms"
+
+    for probe in sorted(base_suite):
+        base_p95 = float(base_suite[probe]["p95"])
+        entry = run_probes.get(probe)
+        if entry is None:
+            rows.append((probe, base_suite[probe].get("phase", "?"),
+                         fmt(base_p95), "-", "-", "MISSING"))
+            failed = True
+            continue
+        run_p95 = entry["p95"]
+        allowed = max(base_p95, floor) * ratio_cap
+        ratio = run_p95 / max(base_p95, floor)
+        if run_p95 > allowed:
+            verdict = "REGRESSED"
+            failed = True
+        elif base_p95 > floor and run_p95 < base_p95 / ratio_cap:
+            verdict = "improved"
+        else:
+            verdict = "ok"
+        rows.append(
+            (probe, entry["phase"], fmt(base_p95), fmt(run_p95),
+             f"{ratio:.2f}x", verdict)
+        )
+    for probe in sorted(set(run_probes) - set(base_suite)):
+        entry = run_probes[probe]
+        rows.append(
+            (probe, entry["phase"], "-", fmt(entry["p95"]), "-", "new")
+        )
+    return rows, failed
+
+
+def update_baseline(
+    path: Path, suite: str, run_probes: Dict[str, Dict[str, float]]
+) -> None:
+    """Rewrite ``suite``'s section of the baseline from the run."""
+    if path.is_file():
+        baseline = load_baseline(path)
+    else:
+        baseline = {
+            "schema": BASELINE_SCHEMA_VERSION,
+            "tolerances": dict(DEFAULT_TOLERANCES),
+            "suites": {},
+            "metadata": {},
+        }
+    baseline["schema"] = BASELINE_SCHEMA_VERSION
+    baseline["suites"][suite] = {
+        probe: {
+            "phase": entry["phase"],
+            "p50": round(entry["p50"], 6),
+            "p95": round(entry["p95"], 6),
+        }
+        for probe, entry in sorted(run_probes.items())
+    }
+    metadata = baseline.setdefault("metadata", {})
+    metadata[suite] = {
+        "updated": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "runs", nargs="+", metavar="RUN_DIR", help="eval run directories"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help=f"baseline file (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--p95-tolerance",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="override the baseline's p95 ratio tolerance",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="override the baseline's micro-probe floor",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="refresh the baseline from the runs instead of comparing",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        failed = False
+        for run_arg in args.runs:
+            run_dir = Path(run_arg)
+            suite, run_probes = load_run(run_dir)
+            if args.update:
+                update_baseline(args.baseline, suite, run_probes)
+                print(
+                    f"baseline {args.baseline}: suite {suite!r} refreshed "
+                    f"from {run_dir.name} ({len(run_probes)} probes)"
+                )
+                continue
+            baseline = load_baseline(args.baseline)
+            rows, suite_failed = compare_suite(
+                suite,
+                run_probes,
+                baseline,
+                p95_ratio=args.p95_tolerance,
+                min_seconds=args.min_seconds,
+            )
+            failed = failed or suite_failed
+            print(
+                format_table(
+                    ["probe", "phase", "baseline p95", "run p95", "ratio",
+                     "verdict"],
+                    rows,
+                    title=f"{suite} vs {args.baseline.name}:",
+                )
+            )
+            bad = [row for row in rows if row[-1] in ("REGRESSED", "MISSING")]
+            if bad:
+                print(
+                    f"{len(bad)} probe(s) regressed or missing in "
+                    f"{run_dir.name}"
+                )
+            print()
+    except CompareError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if failed:
+        print("p95 regression gate: FAILED")
+        return 1
+    if not args.update:
+        print("p95 regression gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Validate eval run directories against the manifest/metric schemas.
+
+Sibling of ``check_span_schema.py``, for ``repro eval run`` output::
+
+    python scripts/check_manifest_schema.py eval/results/<run-id> [...]
+
+Each argument is a run directory; its ``manifest.json`` is checked
+against :data:`repro.eval.manifest.MANIFEST_FIELDS`, every line of its
+``metrics.jsonl`` against :data:`~repro.eval.manifest.METRIC_FIELDS`,
+and the two are cross-checked (the metric records must cover exactly
+the manifest's probe list, with matching suite and seed).  Exit status
+0 when every directory is valid; 1 otherwise, one line per problem.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.eval.manifest import (  # noqa: E402  (path bootstrap above)
+    validate_manifest,
+    validate_metric_record,
+)
+
+
+def check_run_dir(path_arg: str) -> list:
+    """Every schema problem found in one run directory."""
+    run_dir = Path(path_arg)
+    problems = []
+    manifest_path = run_dir / "manifest.json"
+    metrics_path = run_dir / "metrics.jsonl"
+    if not run_dir.is_dir():
+        return [f"{run_dir}: not a directory"]
+
+    manifest = None
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except OSError as error:
+        problems.append(f"{manifest_path}: {error}")
+    except json.JSONDecodeError as error:
+        problems.append(f"{manifest_path}: not JSON ({error})")
+    if manifest is not None:
+        problems += [
+            f"{manifest_path}: {problem}"
+            for problem in validate_manifest(manifest)
+        ]
+
+    records = []
+    try:
+        text = metrics_path.read_text()
+    except OSError as error:
+        problems.append(f"{metrics_path}: {error}")
+        text = ""
+    if not text.strip() and not problems:
+        problems.append(f"{metrics_path}: empty metrics dump")
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            problems.append(
+                f"{metrics_path}:{line_number}: not JSON ({error})"
+            )
+            continue
+        line_problems = validate_metric_record(record)
+        problems += [
+            f"{metrics_path}:{line_number}: {problem}"
+            for problem in line_problems
+        ]
+        if not line_problems:
+            records.append((line_number, record))
+
+    # Cross-checks only make sense on individually-valid artefacts.
+    if manifest is not None and records and not problems:
+        recorded = [record["probe"] for _, record in records]
+        if recorded != list(manifest.get("probes", [])):
+            problems.append(
+                f"{run_dir}: metrics.jsonl probes disagree with the "
+                f"manifest probe list"
+            )
+        for line_number, record in records:
+            for field in ("suite", "seed"):
+                if record.get(field) != manifest.get(field):
+                    problems.append(
+                        f"{metrics_path}:{line_number}: {field} "
+                        f"{record.get(field)!r} != manifest "
+                        f"{manifest.get(field)!r}"
+                    )
+    return problems
+
+
+def main(argv: list) -> int:
+    if not argv:
+        print("usage: check_manifest_schema.py RUN_DIR [RUN_DIR ...]")
+        return 2
+    all_problems = []
+    for path in argv:
+        all_problems.extend(check_run_dir(path))
+    for problem in all_problems:
+        print(problem)
+    if not all_problems:
+        print(f"{len(argv)} run director{'y' if len(argv) == 1 else 'ies'} valid")
+    return 1 if all_problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -25,6 +25,7 @@ __version__ = "1.0.0"
 from . import (
     baselines,
     dl,
+    eval,
     explain,
     four_dl,
     fourvalued,
@@ -38,6 +39,7 @@ __all__ = [
     "__version__",
     "baselines",
     "dl",
+    "eval",
     "explain",
     "four_dl",
     "fourvalued",

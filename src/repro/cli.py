@@ -15,6 +15,11 @@ allowed; plain ``subclassof`` reads as internal inclusion).  Commands:
 * ``export-owl FILE`` — the induced KB as OWL functional syntax, ready
   for any external OWL DL reasoner;
 * ``experiments``     — run the paper-reproduction battery;
+* ``eval run``        — execute a declarative eval suite into an
+  isolated ``eval/results/<run-id>/`` directory (``manifest.json`` +
+  ``metrics.jsonl`` + ``SUMMARY.md`` + a ``BENCH_*.json`` trajectory
+  record, all schema-validated; see ``docs/EVAL.md``); ``eval list``
+  names the suites;
 * ``profile FILE``    — phase report over a ``--profile FILE`` span dump
   (``--folded OUT`` renders flamegraph.pl-compatible folded stacks).
 
@@ -395,6 +400,49 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_eval(args: argparse.Namespace) -> int:
+    from .eval import ALL_SUITES, EvalRunError, run_suite
+
+    if args.eval_command == "list":
+        rows = [
+            (name, "yes" if suite.needs_scale else "no", suite.description)
+            for name, suite in sorted(ALL_SUITES.items())
+        ]
+        print_table(["suite", "needs --scale", "description"], rows)
+        return 0
+    print(f"running suite {args.suite!r} (seed {args.seed}) ...")
+    try:
+        result = run_suite(
+            args.suite,
+            out_root=args.out,
+            seed=args.seed,
+            repeats=args.repeats,
+            scale=args.scale,
+            only=args.only or None,
+            echo=print,
+        )
+    except EvalRunError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"run directory: {result.directory}")
+    print(
+        f"wrote manifest.json, metrics.jsonl ({len(result.metrics)} probes), "
+        f"SUMMARY.md, {result.bench_path.name} (all schema-validated)"
+    )
+    if result.unknown_probes:
+        print(
+            f"note: {len(result.unknown_probes)} probe(s) degraded to "
+            f"unknown within budget: {', '.join(result.unknown_probes)}"
+        )
+    if result.failed_probes:
+        print(
+            f"FAILED probes: {', '.join(result.failed_probes)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     with open(args.spanfile) as handle:
         try:
@@ -589,6 +637,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiments.add_argument("names", nargs="*", help="subset to run")
     experiments.set_defaults(handler=_cmd_experiments)
+
+    eval_parser = commands.add_parser(
+        "eval", help="scale-proof eval runs (manifests + metrics + summary)"
+    )
+    eval_commands = eval_parser.add_subparsers(
+        dest="eval_command", required=True
+    )
+    eval_run = eval_commands.add_parser(
+        "run", help="execute a suite into an isolated run directory"
+    )
+    eval_run.add_argument(
+        "--suite",
+        required=True,
+        help="suite name (see 'repro eval list')",
+    )
+    eval_run.add_argument(
+        "--out",
+        default="eval/results",
+        help="parent directory for run directories (default: eval/results)",
+    )
+    eval_run.add_argument(
+        "--seed", type=int, default=0, help="corpus seed (default: 0)"
+    )
+    eval_run.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override every probe's repeat count",
+    )
+    eval_run.add_argument(
+        "--scale",
+        action="store_true",
+        help="allow 10^4+-axiom suites (scaling_large)",
+    )
+    eval_run.add_argument(
+        "--only",
+        nargs="*",
+        metavar="PROBE",
+        help="restrict the run to the named probes",
+    )
+    eval_run.set_defaults(handler=_cmd_eval)
+    eval_list = eval_commands.add_parser(
+        "list", help="list the available suites"
+    )
+    eval_list.set_defaults(handler=_cmd_eval)
 
     profile = commands.add_parser(
         "profile", help="report on a --profile FILE span dump"

@@ -1,0 +1,53 @@
+"""Scale-proof evaluation: declarative suites, run manifests, trajectory.
+
+The artifact layer of the repo: ``repro eval run --suite <name>``
+executes a declarative probe suite (:mod:`repro.eval.spec`) into an
+isolated ``eval/results/<run-id>/`` directory with a config-snapshot
+``manifest.json``, schema-versioned ``metrics.jsonl``, a rendered
+``SUMMARY.md``, and a ``BENCH_<suite>.json`` perf-trajectory record
+(:mod:`repro.eval.runner`).  The schemas live in
+:mod:`repro.eval.manifest`; ``scripts/check_manifest_schema.py``
+re-validates any run directory and ``scripts/bench_compare.py`` gates
+p95 regressions against ``benchmarks/BASELINE.json``.
+
+See ``docs/EVAL.md`` for the run-directory layout and the honest-
+baseline-refresh workflow.
+"""
+
+from .manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    METRIC_SCHEMA_VERSION,
+    METRIC_STATUSES,
+    TIMING_FIELDS,
+    build_manifest,
+    git_revision,
+    read_metrics_jsonl,
+    strip_timing,
+    validate_manifest,
+    validate_metric_record,
+)
+from .runner import EvalRunError, ProbeMetric, RunResult, run_suite
+from .spec import ALL_SUITES, EvalSettings, Probe, ProbeResult, Suite, get_suite
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "METRIC_SCHEMA_VERSION",
+    "METRIC_STATUSES",
+    "TIMING_FIELDS",
+    "build_manifest",
+    "git_revision",
+    "read_metrics_jsonl",
+    "strip_timing",
+    "validate_manifest",
+    "validate_metric_record",
+    "EvalRunError",
+    "ProbeMetric",
+    "RunResult",
+    "run_suite",
+    "ALL_SUITES",
+    "EvalSettings",
+    "Probe",
+    "ProbeResult",
+    "Suite",
+    "get_suite",
+]

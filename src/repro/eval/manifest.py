@@ -1,0 +1,252 @@
+"""Run manifests and metric records: the schemas of an eval run directory.
+
+Every ``repro eval run`` writes an isolated ``eval/results/<run-id>/``
+directory whose contents are machine-readable and schema-versioned:
+
+* ``manifest.json`` — one JSON object snapshotting everything needed to
+  re-run the suite: suite name, seed, repeats, the probe list, the git
+  revision, and the python/platform environment (schema
+  :data:`MANIFEST_SCHEMA_VERSION`, fields :data:`MANIFEST_FIELDS`);
+* ``metrics.jsonl`` — one JSON object per probe (schema
+  :data:`METRIC_SCHEMA_VERSION`, fields :data:`METRIC_FIELDS`).  All
+  wall-clock measurements live under the single ``seconds`` key
+  (:data:`TIMING_FIELDS`), so two runs of the same suite with the same
+  seed agree byte-for-byte after :func:`strip_timing` — the determinism
+  contract ``scripts/check_manifest_schema.py`` and the tests enforce.
+
+The validators mirror ``repro.obs.export.validate_span_record``: they
+return a list of problems (empty = valid) instead of raising, so CI can
+report every defect of a dump in one pass.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+from typing import Dict, List, Optional, Sequence
+
+from ..obs.bench import BENCH_SCHEMA_VERSION
+from ..obs.export import SPAN_SCHEMA_VERSION
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "METRIC_SCHEMA_VERSION",
+    "MANIFEST_FIELDS",
+    "METRIC_FIELDS",
+    "TIMING_FIELDS",
+    "METRIC_STATUSES",
+    "build_manifest",
+    "git_revision",
+    "validate_manifest",
+    "validate_metric_record",
+    "strip_timing",
+    "read_metrics_jsonl",
+]
+
+#: Bumped whenever a manifest field is added/renamed.
+MANIFEST_SCHEMA_VERSION = 1
+
+#: Bumped whenever a metric-record field is added/renamed.
+METRIC_SCHEMA_VERSION = 1
+
+#: Required fields of ``manifest.json`` and their types.
+MANIFEST_FIELDS = {
+    "schema": int,
+    "run_id": str,
+    "suite": str,
+    "description": str,
+    "seed": int,
+    "repeats": (int, type(None)),
+    "scale": bool,
+    "created": str,
+    "probes": list,
+    "git": dict,
+    "environment": dict,
+    "schema_versions": dict,
+}
+
+#: Required fields of one ``metrics.jsonl`` record and their types.
+METRIC_FIELDS = {
+    "schema": int,
+    "suite": str,
+    "probe": str,
+    "phase": str,
+    "seed": int,
+    "status": str,
+    "seconds": dict,
+    "counters": dict,
+    "extra": dict,
+}
+
+#: Metric-record keys holding wall-clock measurements; everything else
+#: must be identical across same-seed runs (the determinism contract).
+TIMING_FIELDS = ("seconds",)
+
+#: Allowed ``status`` values: ``ok`` (measured and correct), ``fail``
+#: (the probe's own correctness assertion failed), ``unknown`` (the
+#: probe degraded within its reasoning budget — recorded, not hidden).
+METRIC_STATUSES = frozenset({"ok", "fail", "unknown"})
+
+#: Required keys of the ``seconds`` summary block.
+_SECONDS_KEYS = frozenset({"count", "total", "mean", "p50", "p95", "max"})
+
+
+def git_revision(repo_root: Optional[str] = None) -> Dict[str, object]:
+    """The current git revision and dirtiness, or ``None`` fields.
+
+    Never raises: an eval run outside a checkout (or without git on
+    PATH) still produces a valid manifest, just an unpinned one.
+    """
+    cwd = repo_root or os.getcwd()
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return {"rev": None, "dirty": None}
+    if rev.returncode != 0:
+        return {"rev": None, "dirty": None}
+    return {
+        "rev": rev.stdout.strip(),
+        "dirty": bool(status.stdout.strip()) if status.returncode == 0 else None,
+    }
+
+
+def build_manifest(
+    run_id: str,
+    suite: str,
+    description: str,
+    seed: int,
+    repeats: Optional[int],
+    scale: bool,
+    created: str,
+    probes: Sequence[str],
+    repo_root: Optional[str] = None,
+) -> Dict[str, object]:
+    """The ``manifest.json`` object for one run (already schema-valid)."""
+    return {
+        "schema": MANIFEST_SCHEMA_VERSION,
+        "run_id": run_id,
+        "suite": suite,
+        "description": description,
+        "seed": seed,
+        "repeats": repeats,
+        "scale": scale,
+        "created": created,
+        "probes": list(probes),
+        "git": git_revision(repo_root),
+        "environment": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+        },
+        "schema_versions": {
+            "manifest": MANIFEST_SCHEMA_VERSION,
+            "metric": METRIC_SCHEMA_VERSION,
+            "bench": BENCH_SCHEMA_VERSION,
+            "span": SPAN_SCHEMA_VERSION,
+        },
+    }
+
+
+def _check_fields(record: Dict, fields: Dict) -> List[str]:
+    problems = []
+    for name, expected in fields.items():
+        if name not in record:
+            problems.append(f"missing field {name!r}")
+        elif not isinstance(record[name], expected):
+            problems.append(
+                f"field {name!r} has type {type(record[name]).__name__}"
+            )
+    return problems
+
+
+def validate_manifest(record: object) -> List[str]:
+    """Schema problems of a parsed ``manifest.json`` (empty = valid)."""
+    if not isinstance(record, dict):
+        return ["manifest is not a JSON object"]
+    problems = _check_fields(record, MANIFEST_FIELDS)
+    if record.get("schema") not in (None, MANIFEST_SCHEMA_VERSION):
+        problems.append(f"unknown schema version {record.get('schema')!r}")
+    probes = record.get("probes")
+    if isinstance(probes, list):
+        if not probes:
+            problems.append("empty probe list")
+        for index, probe in enumerate(probes):
+            if not isinstance(probe, str):
+                problems.append(f"probe #{index} is not a string")
+    environment = record.get("environment")
+    if isinstance(environment, dict) and "python" not in environment:
+        problems.append("environment missing 'python'")
+    git = record.get("git")
+    if isinstance(git, dict) and "rev" not in git:
+        problems.append("git block missing 'rev'")
+    return problems
+
+
+def validate_metric_record(record: object) -> List[str]:
+    """Schema problems of one parsed ``metrics.jsonl`` line (empty = valid)."""
+    if not isinstance(record, dict):
+        return ["record is not a JSON object"]
+    problems = _check_fields(record, METRIC_FIELDS)
+    if record.get("schema") not in (None, METRIC_SCHEMA_VERSION):
+        problems.append(f"unknown schema version {record.get('schema')!r}")
+    status = record.get("status")
+    if isinstance(status, str) and status not in METRIC_STATUSES:
+        problems.append(f"unknown status {status!r}")
+    seconds = record.get("seconds")
+    if isinstance(seconds, dict):
+        missing = _SECONDS_KEYS - set(seconds)
+        if missing:
+            problems.append(
+                f"seconds block missing {', '.join(sorted(missing))}"
+            )
+        for key, value in seconds.items():
+            if not isinstance(value, (int, float)):
+                problems.append(f"seconds[{key!r}] is not numeric")
+            elif value < 0:
+                problems.append(f"seconds[{key!r}] is negative")
+    counters = record.get("counters")
+    if isinstance(counters, dict):
+        for key, value in counters.items():
+            if not isinstance(value, int):
+                problems.append(f"counter {key!r} is not an integer")
+    return problems
+
+
+def strip_timing(record: Dict) -> Dict:
+    """The record without its wall-clock fields (determinism compare)."""
+    return {
+        key: value for key, value in record.items() if key not in TIMING_FIELDS
+    }
+
+
+def read_metrics_jsonl(text: str) -> List[Dict]:
+    """Parse a ``metrics.jsonl`` dump, raising ``ValueError`` on defects."""
+    records = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"line {line_number}: not JSON ({error})") from None
+        problems = validate_metric_record(record)
+        if problems:
+            raise ValueError(f"line {line_number}: {'; '.join(problems)}")
+        records.append(record)
+    return records

@@ -1,0 +1,338 @@
+"""Execute an eval suite into an isolated, self-validating run directory.
+
+``run_suite`` is the engine behind ``repro eval run``: it times every
+probe of a suite (fresh state per repeat), then writes::
+
+    eval/results/<run-id>/
+        manifest.json     config snapshot, seed, git rev, environment
+        metrics.jsonl     one schema-versioned record per probe
+        SUMMARY.md        the human rendering (tables + probe blocks)
+        BENCH_<suite>.json  perf-trajectory record (repro.obs.bench shape)
+
+and **self-validates** the directory against the schemas in
+:mod:`repro.eval.manifest` before reporting success — a run that cannot
+be re-read by ``scripts/check_manifest_schema.py`` raises
+:class:`EvalRunError` instead of exiting 0.  The same BENCH record is
+additionally written to ``$REPRO_BENCH_OUT`` when set, feeding the
+committed trajectory under ``benchmarks/trajectory/``.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..obs.bench import BenchRecord, maybe_write_bench_record, write_bench_record
+from ..obs.metrics import percentile
+from .manifest import (
+    METRIC_SCHEMA_VERSION,
+    build_manifest,
+    read_metrics_jsonl,
+    validate_manifest,
+)
+from .spec import EvalSettings, Probe, ProbeResult, Suite, get_suite
+
+__all__ = ["EvalRunError", "ProbeMetric", "RunResult", "run_suite"]
+
+
+class EvalRunError(RuntimeError):
+    """A run directory failed its own schema validation (or bad usage)."""
+
+
+@dataclass
+class ProbeMetric:
+    """One executed probe: its result plus the timing summary."""
+
+    probe: Probe
+    result: ProbeResult
+    samples: List[float] = field(default_factory=list)
+
+    def seconds_summary(self) -> Dict[str, float]:
+        samples = self.samples
+        return {
+            "count": len(samples),
+            "total": sum(samples),
+            "mean": sum(samples) / len(samples) if samples else 0.0,
+            "p50": percentile(samples, 0.5),
+            "p95": percentile(samples, 0.95),
+            "max": max(samples) if samples else 0.0,
+        }
+
+    def record(self, suite: str, seed: int) -> Dict[str, object]:
+        """The ``metrics.jsonl`` record of this probe."""
+        return {
+            "schema": METRIC_SCHEMA_VERSION,
+            "suite": suite,
+            "probe": self.probe.name,
+            "phase": self.probe.phase,
+            "seed": seed,
+            "status": self.result.status,
+            "seconds": self.seconds_summary(),
+            "counters": dict(self.result.counters),
+            "extra": dict(self.result.extra),
+        }
+
+
+@dataclass
+class RunResult:
+    """Where a run landed and how it went."""
+
+    run_id: str
+    suite: str
+    directory: Path
+    metrics: List[ProbeMetric]
+    bench_path: Path
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / "manifest.json"
+
+    @property
+    def metrics_path(self) -> Path:
+        return self.directory / "metrics.jsonl"
+
+    @property
+    def summary_path(self) -> Path:
+        return self.directory / "SUMMARY.md"
+
+    @property
+    def failed_probes(self) -> List[str]:
+        return [m.probe.name for m in self.metrics if m.result.status == "fail"]
+
+    @property
+    def unknown_probes(self) -> List[str]:
+        return [
+            m.probe.name for m in self.metrics if m.result.status == "unknown"
+        ]
+
+
+def _unique_run_dir(out_root: Path, suite: str, seed: int) -> Path:
+    stamp = _dt.datetime.now(_dt.timezone.utc).strftime("%Y%m%dT%H%M%S")
+    base = f"{suite}-seed{seed}-{stamp}"
+    candidate = out_root / base
+    counter = 2
+    while candidate.exists():
+        candidate = out_root / f"{base}-{counter}"
+        counter += 1
+    return candidate
+
+
+def _execute(probe: Probe, seed: int, repeats: Optional[int]) -> ProbeMetric:
+    count = repeats if repeats is not None else probe.repeats
+    samples: List[float] = []
+    result: Optional[ProbeResult] = None
+    for index in range(max(1, count)):
+        start = time.perf_counter()
+        outcome = probe.run(seed)
+        samples.append(time.perf_counter() - start)
+        if index == 0:
+            # The deterministic payload comes from the cold repeat;
+            # later repeats only contribute timing samples.
+            result = outcome
+    assert result is not None
+    return ProbeMetric(probe=probe, result=result, samples=samples)
+
+
+def _format_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.2f}"
+
+
+def _render_summary(
+    run_id: str,
+    suite: Suite,
+    seed: int,
+    metrics: Sequence[ProbeMetric],
+    manifest: Dict[str, object],
+) -> str:
+    git = manifest.get("git", {})
+    environment = manifest.get("environment", {})
+    lines = [
+        f"# Eval run `{run_id}`",
+        "",
+        f"- **suite:** `{suite.name}` — {suite.description}",
+        f"- **seed:** {seed}",
+        f"- **git:** `{git.get('rev') or 'unknown'}`"
+        + (" (dirty)" if git.get("dirty") else ""),
+        f"- **python:** {environment.get('python')} on "
+        f"{environment.get('platform')}",
+        f"- **created:** {manifest.get('created')}",
+        "",
+        "Regenerate with "
+        f"`repro eval run --suite {suite.name} --seed {seed}` "
+        "(timings are machine-local; every other field is deterministic).",
+        "",
+        "## Probes",
+        "",
+        "| probe | phase | status | p50 ms | p95 ms | repeats |",
+        "|---|---|---|---:|---:|---:|",
+    ]
+    for metric in metrics:
+        seconds = metric.seconds_summary()
+        lines.append(
+            f"| {metric.probe.name} | {metric.probe.phase} "
+            f"| {metric.result.status} | {_format_ms(seconds['p50'])} "
+            f"| {_format_ms(seconds['p95'])} | {seconds['count']} |"
+        )
+    blocks = [m for m in metrics if m.result.summary]
+    if blocks:
+        lines += ["", "## Probe reports", ""]
+        for metric in blocks:
+            lines += [
+                f"### {metric.probe.name}",
+                "",
+                "```",
+                metric.result.summary.rstrip(),
+                "```",
+                "",
+            ]
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _self_validate(result: RunResult) -> List[str]:
+    """Re-read the run directory through the public schemas."""
+    problems: List[str] = []
+    try:
+        manifest = json.loads(result.manifest_path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"manifest.json unreadable: {error}"]
+    problems += [f"manifest.json: {p}" for p in validate_manifest(manifest)]
+    try:
+        records = read_metrics_jsonl(result.metrics_path.read_text())
+    except (OSError, ValueError) as error:
+        problems.append(f"metrics.jsonl: {error}")
+        records = []
+    if records and manifest.get("probes"):
+        recorded = [r["probe"] for r in records]
+        if recorded != list(manifest["probes"]):
+            problems.append(
+                "metrics.jsonl probes disagree with the manifest probe list"
+            )
+    try:
+        if not result.summary_path.read_text().strip():
+            problems.append("SUMMARY.md is empty")
+    except OSError as error:
+        problems.append(f"SUMMARY.md unreadable: {error}")
+    return problems
+
+
+def run_suite(
+    suite_name: str,
+    out_root: str = "eval/results",
+    seed: int = 0,
+    repeats: Optional[int] = None,
+    scale: bool = False,
+    only: Optional[Sequence[str]] = None,
+    echo=None,
+) -> RunResult:
+    """Run a suite into ``out_root/<run-id>/`` and self-validate it.
+
+    ``repeats`` overrides every probe's repeat hint; ``only`` restricts
+    to the named probes; ``echo`` (e.g. ``print``) receives one progress
+    line per probe.  Raises :class:`EvalRunError` on unknown suites or
+    probes, a suite needing ``--scale`` without it, or a run directory
+    that fails self-validation — so a zero exit always means a valid,
+    re-readable artefact.
+    """
+    try:
+        suite = get_suite(suite_name)
+    except KeyError as error:
+        raise EvalRunError(str(error)) from None
+    if suite.needs_scale and not scale:
+        raise EvalRunError(
+            f"suite {suite.name!r} generates 10^4+-axiom corpora; "
+            f"pass --scale to confirm"
+        )
+    probes = suite.build(EvalSettings(seed=seed, scale=scale))
+    if only:
+        known = {probe.name for probe in probes}
+        missing = sorted(set(only) - known)
+        if missing:
+            raise EvalRunError(
+                f"unknown probes: {', '.join(missing)}; "
+                f"available: {', '.join(sorted(known))}"
+            )
+        probes = [probe for probe in probes if probe.name in only]
+
+    metrics: List[ProbeMetric] = []
+    for probe in probes:
+        metric = _execute(probe, seed, repeats)
+        metrics.append(metric)
+        if echo is not None:
+            seconds = metric.seconds_summary()
+            echo(
+                f"  {probe.name:40s} {metric.result.status:8s} "
+                f"p95={_format_ms(seconds['p95'])}ms"
+            )
+
+    out = Path(out_root)
+    directory = _unique_run_dir(out, suite.name, seed)
+    directory.mkdir(parents=True, exist_ok=False)
+    run_id = directory.name
+    created = _dt.datetime.now(_dt.timezone.utc).isoformat(timespec="seconds")
+    manifest = build_manifest(
+        run_id=run_id,
+        suite=suite.name,
+        description=suite.description,
+        seed=seed,
+        repeats=repeats,
+        scale=scale,
+        created=created,
+        probes=[metric.probe.name for metric in metrics],
+    )
+    (directory / "manifest.json").write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+    )
+    (directory / "metrics.jsonl").write_text(
+        "".join(
+            json.dumps(metric.record(suite.name, seed), sort_keys=True) + "\n"
+            for metric in metrics
+        )
+    )
+
+    bench = BenchRecord(
+        name=suite.name,
+        workload=suite.description,
+        seconds=[metric.seconds_summary()["total"] for metric in metrics],
+        counters=_aggregate_counters(metrics),
+        metadata={
+            "run_id": run_id,
+            "suite": suite.name,
+            "seed": str(seed),
+            "probes": str(len(metrics)),
+            "statuses": ",".join(
+                sorted({metric.result.status for metric in metrics})
+            ),
+        },
+    )
+    bench_path = Path(write_bench_record(bench, str(directory)))
+    maybe_write_bench_record(bench)  # honour $REPRO_BENCH_OUT too
+
+    result = RunResult(
+        run_id=run_id,
+        suite=suite.name,
+        directory=directory,
+        metrics=metrics,
+        bench_path=bench_path,
+    )
+    (directory / "SUMMARY.md").write_text(
+        _render_summary(run_id, suite, seed, metrics, manifest)
+    )
+    problems = _self_validate(result)
+    if problems:
+        raise EvalRunError(
+            "run directory failed self-validation:\n  "
+            + "\n  ".join(problems)
+        )
+    return result
+
+
+def _aggregate_counters(metrics: Sequence[ProbeMetric]) -> Dict[str, int]:
+    totals: Dict[str, int] = {}
+    for metric in metrics:
+        for name, value in metric.result.counters.items():
+            totals[name] = totals.get(name, 0) + value
+    return totals

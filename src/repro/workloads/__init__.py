@@ -9,6 +9,13 @@ from .generators import (
     inject_contradictions4,
     random_concept,
 )
+from .scaling import (
+    ScalingConfig,
+    ScalingProfile,
+    generate_scaling_kb4,
+    measured_clash_density,
+    scaling_sweep,
+)
 from .scenarios import (
     ALL_SCENARIOS,
     Scenario,
@@ -26,6 +33,11 @@ __all__ = [
     "inject_contradictions",
     "inject_contradictions4",
     "random_concept",
+    "ScalingConfig",
+    "ScalingProfile",
+    "generate_scaling_kb4",
+    "measured_clash_density",
+    "scaling_sweep",
     "ALL_SCENARIOS",
     "Scenario",
     "adoption_families",

@@ -1,0 +1,330 @@
+"""Parameterised scaling corpus: large KB4 workloads by inconsistency profile.
+
+The paper's claims are shape claims (the transformation is polynomial,
+SHOIN(D)4 costs the same as SHOIN(D), contradictions stay local) and
+EXPERIMENTS.md verifies them at toy sizes only.  This module generates
+the 10^4-10^6-axiom end of the curve: knowledge bases whose *size* and
+*inconsistency profile* are both dialled in explicitly, so the eval
+suites (:mod:`repro.eval`) can sweep them and the regression gate can
+hold each phase to a recorded p95.
+
+Every generator is a pure function of its :class:`ScalingConfig` —
+``generate_scaling_kb4`` called twice with the same config produces a
+byte-identical knowledge base (``render_kb4`` output compares equal),
+which is what lets run manifests pin a corpus by ``(profile, n_axioms,
+seed)`` instead of shipping gigabytes of ontology text.
+
+Profiles
+--------
+
+* ``exception_chain`` — penguin-style defeasible chains: specialisation
+  towers ``C_{i+1} < C_i`` with material defaults ``C_i |-> D_i`` and
+  exceptional subclasses overriding them (``C_{i+1} < not D_i``).
+  Classically unsatisfiable almost everywhere, four-valuedly benign;
+* ``clash_density`` — a flat corpus where a controllable fraction of
+  axioms form direct ``{A(a), not A(a)}`` contradiction pairs;
+* ``abox_heavy`` — ~90% assertions over a thin terminology (data-load
+  shape: many individuals, few concepts);
+* ``tbox_heavy`` — ~90% terminology over a small ABox (schema-load
+  shape: classification-dominated work).
+
+All profiles honour ``clash_density`` except ``exception_chain``, whose
+inconsistency comes from the defeated defaults rather than raw clashes.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from ..dl import axioms as ax
+from ..dl.concepts import AtomicConcept, Exists, Not
+from ..dl.individuals import Individual
+from ..dl.roles import AtomicRole
+from ..four_dl.axioms4 import (
+    ConceptInclusion4,
+    InclusionKind,
+    KnowledgeBase4,
+)
+
+__all__ = [
+    "ScalingProfile",
+    "ScalingConfig",
+    "generate_scaling_kb4",
+    "measured_clash_density",
+    "scaling_sweep",
+]
+
+
+class ScalingProfile(enum.Enum):
+    """The inconsistency/workload shapes the scaling corpus covers."""
+
+    EXCEPTION_CHAIN = "exception_chain"
+    CLASH_DENSITY = "clash_density"
+    ABOX_HEAVY = "abox_heavy"
+    TBOX_HEAVY = "tbox_heavy"
+
+
+@dataclass(frozen=True)
+class ScalingConfig:
+    """One point of the scaling corpus.
+
+    ``n_axioms`` is hit exactly (the generators pad with plain
+    assertions); ``clash_density`` is the target fraction of axioms that
+    participate in a direct ``{A(a), not A(a)}`` contradiction pair, and
+    is matched within one pair.
+    """
+
+    n_axioms: int = 10_000
+    profile: ScalingProfile = ScalingProfile.ABOX_HEAVY
+    clash_density: float = 0.02
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_axioms < 8:
+            raise ValueError("scaling corpus starts at 8 axioms")
+        if not 0.0 <= self.clash_density <= 0.5:
+            raise ValueError("clash_density must be within [0, 0.5]")
+
+    @property
+    def name(self) -> str:
+        """A stable slug naming this corpus point (used in run records)."""
+        return f"{self.profile.value}-n{self.n_axioms}-s{self.seed}"
+
+
+def _rng(config: ScalingConfig) -> random.Random:
+    # String seeding hashes via SHA-512, deterministic across processes
+    # and platforms (unlike hash()-seeded ints under PYTHONHASHSEED).
+    return random.Random(
+        f"scaling:{config.profile.value}:{config.n_axioms}:{config.seed}"
+    )
+
+
+def _pools(
+    config: ScalingConfig,
+) -> Tuple[List[AtomicConcept], List[AtomicRole], List[Individual]]:
+    """Signature pools sized to the corpus (sub-linear in ``n_axioms``)."""
+    n = config.n_axioms
+    n_concepts = max(8, int(math.isqrt(n)))
+    n_roles = max(3, int(math.isqrt(n)) // 4)
+    n_individuals = max(8, n // 4)
+    return (
+        [AtomicConcept(f"C{i}") for i in range(n_concepts)],
+        [AtomicRole(f"r{i}") for i in range(n_roles)],
+        [Individual(f"i{i}") for i in range(n_individuals)],
+    )
+
+
+def _clash_pairs(
+    rng: random.Random,
+    budget: int,
+    concepts: List[AtomicConcept],
+    individuals: List[Individual],
+) -> Iterator[object]:
+    """``budget // 2`` direct contradiction pairs (2 axioms each)."""
+    for _ in range(budget // 2):
+        concept = rng.choice(concepts)
+        individual = rng.choice(individuals)
+        yield ax.ConceptAssertion(individual, concept)
+        yield ax.ConceptAssertion(individual, Not(concept))
+
+
+def _filler_assertions(
+    rng: random.Random,
+    budget: int,
+    concepts: List[AtomicConcept],
+    roles: List[AtomicRole],
+    individuals: List[Individual],
+    role_fraction: float = 0.3,
+) -> Iterator[object]:
+    """Plain (non-contradictory) ABox axioms to pad a corpus to size."""
+    for _ in range(budget):
+        if rng.random() < role_fraction:
+            yield ax.RoleAssertion(
+                rng.choice(roles),
+                rng.choice(individuals),
+                rng.choice(individuals),
+            )
+        else:
+            yield ax.ConceptAssertion(
+                rng.choice(individuals), rng.choice(concepts)
+            )
+
+
+def _thin_tbox(
+    rng: random.Random,
+    budget: int,
+    concepts: List[AtomicConcept],
+    roles: List[AtomicRole],
+) -> Iterator[object]:
+    """Atomic-left inclusions of mixed strengths (tableau-friendly)."""
+    kinds = [InclusionKind.MATERIAL, InclusionKind.INTERNAL, InclusionKind.STRONG]
+    weights = (0.2, 0.6, 0.2)
+    for _ in range(budget):
+        sub = rng.choice(concepts)
+        if rng.random() < 0.15 and roles:
+            sup: object = Exists(rng.choice(roles), rng.choice(concepts))
+        else:
+            sup = rng.choice(concepts)
+        kind = rng.choices(kinds, weights=weights)[0]
+        yield ConceptInclusion4(sub, sup, kind)
+
+
+def _exception_chain_axioms(config: ScalingConfig) -> Iterator[object]:
+    """Towers of defeasible defaults with exceptional subclasses.
+
+    Each 5-axiom block ``b`` is a penguin in miniature::
+
+        B_b   < A_b          (specialisation)
+        A_b  |-> D_b         (material default: As are normally D)
+        B_b   < not D_b      (the exception: Bs override the default)
+        x_b   : B_b          (an exceptional witness)
+        y_b   : A_b          (a normal witness keeping the default live)
+
+    Collapsed classically the corpus explodes at every block; in
+    SHOIN(D)4 every block stays local, which is exactly the shape the
+    paraconsistency experiment measures at toy size.
+    """
+    rng = _rng(config)
+    n = config.n_axioms
+    blocks = n // 5
+    concepts, roles, individuals = _pools(config)
+    for b in range(blocks):
+        base = AtomicConcept(f"A{b}")
+        special = AtomicConcept(f"B{b}")
+        default = AtomicConcept(f"D{b}")
+        yield ConceptInclusion4(special, base, InclusionKind.INTERNAL)
+        yield ConceptInclusion4(base, default, InclusionKind.MATERIAL)
+        yield ConceptInclusion4(special, Not(default), InclusionKind.INTERNAL)
+        yield ax.ConceptAssertion(Individual(f"x{b}"), special)
+        yield ax.ConceptAssertion(Individual(f"y{b}"), base)
+    yield from _filler_assertions(
+        rng, n - blocks * 5, concepts, roles, individuals
+    )
+
+
+def _clash_density_axioms(config: ScalingConfig) -> Iterator[object]:
+    rng = _rng(config)
+    n = config.n_axioms
+    concepts, roles, individuals = _pools(config)
+    clash_budget = int(round(n * config.clash_density))
+    tbox_budget = n // 10
+    yield from _thin_tbox(rng, tbox_budget, concepts, roles)
+    emitted = 2 * (clash_budget // 2)
+    yield from _clash_pairs(rng, clash_budget, concepts, individuals)
+    yield from _filler_assertions(
+        rng, n - tbox_budget - emitted, concepts, roles, individuals
+    )
+
+
+def _abox_heavy_axioms(config: ScalingConfig) -> Iterator[object]:
+    rng = _rng(config)
+    n = config.n_axioms
+    concepts, roles, individuals = _pools(config)
+    tbox_budget = n // 10
+    clash_budget = int(round(n * config.clash_density))
+    yield from _thin_tbox(rng, tbox_budget, concepts, roles)
+    emitted = 2 * (clash_budget // 2)
+    yield from _clash_pairs(rng, clash_budget, concepts, individuals)
+    yield from _filler_assertions(
+        rng,
+        n - tbox_budget - emitted,
+        concepts,
+        roles,
+        individuals,
+        role_fraction=0.4,
+    )
+
+
+def _tbox_heavy_axioms(config: ScalingConfig) -> Iterator[object]:
+    rng = _rng(config)
+    n = config.n_axioms
+    concepts, roles, individuals = _pools(config)
+    abox_budget = n // 10
+    tbox_budget = n - abox_budget
+    clash_budget = min(int(round(n * config.clash_density)), abox_budget)
+    yield from _thin_tbox(rng, tbox_budget, concepts, roles)
+    emitted = 2 * (clash_budget // 2)
+    yield from _clash_pairs(rng, clash_budget, concepts, individuals)
+    yield from _filler_assertions(
+        rng, abox_budget - emitted, concepts, roles, individuals
+    )
+
+
+_PROFILE_BUILDERS = {
+    ScalingProfile.EXCEPTION_CHAIN: _exception_chain_axioms,
+    ScalingProfile.CLASH_DENSITY: _clash_density_axioms,
+    ScalingProfile.ABOX_HEAVY: _abox_heavy_axioms,
+    ScalingProfile.TBOX_HEAVY: _tbox_heavy_axioms,
+}
+
+
+def generate_scaling_kb4(config: ScalingConfig) -> KnowledgeBase4:
+    """The KB4 at one corpus point; deterministic in ``config``.
+
+    ``len(result) == config.n_axioms`` exactly, and rendering the result
+    with :func:`repro.dl.printer.render_kb4` is byte-stable across calls
+    and processes.
+    """
+    kb4 = KnowledgeBase4()
+    count = 0
+    for axiom in _PROFILE_BUILDERS[config.profile](config):
+        kb4.add(axiom)
+        count += 1
+    if count != config.n_axioms:
+        raise AssertionError(
+            f"generator bug: {config.name} produced {count} axioms, "
+            f"wanted {config.n_axioms}"
+        )
+    return kb4
+
+
+def measured_clash_density(kb4: KnowledgeBase4) -> float:
+    """The fraction of axioms in direct ``{A(a), not A(a)}`` pairs.
+
+    Counts syntactic complementary concept-assertion pairs only — the
+    quantity the ``clash_density`` knob controls — not entailed
+    contradictions (those are the reasoner's job to find).
+    """
+    positive: Dict[Tuple[str, str], int] = {}
+    negative: Dict[Tuple[str, str], int] = {}
+    for axiom in kb4.abox():
+        if not isinstance(axiom, ax.ConceptAssertion):
+            continue
+        concept = axiom.concept
+        if isinstance(concept, AtomicConcept):
+            key = (axiom.individual.name, concept.name)
+            positive[key] = positive.get(key, 0) + 1
+        elif isinstance(concept, Not) and isinstance(
+            concept.operand, AtomicConcept
+        ):
+            key = (axiom.individual.name, concept.operand.name)
+            negative[key] = negative.get(key, 0) + 1
+    clashing = 0
+    for key, n_pos in positive.items():
+        n_neg = negative.get(key, 0)
+        if n_neg:
+            clashing += min(n_pos, n_neg) * 2
+    return clashing / len(kb4) if len(kb4) else 0.0
+
+
+def scaling_sweep(
+    sizes: Tuple[int, ...],
+    profiles: Tuple[ScalingProfile, ...] = tuple(ScalingProfile),
+    clash_density: float = 0.02,
+    seed: int = 0,
+) -> List[ScalingConfig]:
+    """The cross product of sizes and profiles as corpus points."""
+    return [
+        ScalingConfig(
+            n_axioms=size,
+            profile=profile,
+            clash_density=clash_density,
+            seed=seed,
+        )
+        for profile in profiles
+        for size in sizes
+    ]

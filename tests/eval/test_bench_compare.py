@@ -1,0 +1,205 @@
+"""Regression-gate tests: bench_compare exit codes, verdicts, --update."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.eval.manifest import METRIC_SCHEMA_VERSION, build_manifest
+
+SCRIPT = (
+    Path(__file__).resolve().parents[2] / "scripts" / "bench_compare.py"
+)
+
+spec = importlib.util.spec_from_file_location("bench_compare", SCRIPT)
+bench_compare = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(bench_compare)
+
+
+def make_run(root, suite, probes, seed=0):
+    """A minimal schema-valid run directory with controlled p95 timings."""
+    run_dir = root / f"{suite}-seed{seed}-fixture"
+    counter = 2
+    while run_dir.exists():
+        run_dir = root / f"{suite}-seed{seed}-fixture-{counter}"
+        counter += 1
+    run_dir.mkdir(parents=True)
+    manifest = build_manifest(
+        run_id=run_dir.name,
+        suite=suite,
+        description="fixture",
+        seed=seed,
+        repeats=1,
+        scale=False,
+        created="2026-08-08T00:00:00+00:00",
+        probes=list(probes),
+    )
+    (run_dir / "manifest.json").write_text(json.dumps(manifest) + "\n")
+    lines = []
+    for probe, p95 in probes.items():
+        lines.append(
+            json.dumps(
+                {
+                    "schema": METRIC_SCHEMA_VERSION,
+                    "suite": suite,
+                    "probe": probe,
+                    "phase": "parse",
+                    "seed": seed,
+                    "status": "ok",
+                    "seconds": {
+                        "count": 1,
+                        "total": p95,
+                        "mean": p95,
+                        "p50": p95 * 0.9,
+                        "p95": p95,
+                        "max": p95,
+                    },
+                    "counters": {},
+                    "extra": {},
+                }
+            )
+        )
+    (run_dir / "metrics.jsonl").write_text("\n".join(lines) + "\n")
+    return run_dir
+
+
+@pytest.fixture
+def baseline(tmp_path):
+    """A committed-style baseline recorded from a clean fixture run."""
+    path = tmp_path / "BASELINE.json"
+    run = make_run(tmp_path, "demo", {"fast": 0.001, "slow": 0.100})
+    assert bench_compare.main(["--baseline", str(path), "--update", str(run)]) == 0
+    return path
+
+
+class TestCompare:
+    def test_identical_run_passes(self, tmp_path, baseline, capsys):
+        run = make_run(tmp_path, "demo", {"fast": 0.001, "slow": 0.100})
+        code = bench_compare.main(["--baseline", str(baseline), str(run)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "p95 regression gate: ok" in out
+
+    def test_two_x_p95_slowdown_fails(self, tmp_path, baseline, capsys):
+        run = make_run(tmp_path, "demo", {"fast": 0.001, "slow": 0.200})
+        code = bench_compare.main(["--baseline", str(baseline), str(run)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REGRESSED" in out
+        assert "p95 regression gate: FAILED" in out
+
+    def test_micro_probe_jitter_does_not_gate(self, tmp_path, baseline):
+        # 3x on a 1 ms probe stays under the 5 ms floor * 1.6 ratio.
+        run = make_run(tmp_path, "demo", {"fast": 0.003, "slow": 0.100})
+        assert bench_compare.main(["--baseline", str(baseline), str(run)]) == 0
+
+    def test_improvement_is_reported_not_failed(
+        self, tmp_path, baseline, capsys
+    ):
+        run = make_run(tmp_path, "demo", {"fast": 0.001, "slow": 0.020})
+        code = bench_compare.main(["--baseline", str(baseline), str(run)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "improved" in out
+
+    def test_missing_probe_fails(self, tmp_path, baseline, capsys):
+        run = make_run(tmp_path, "demo", {"fast": 0.001})
+        code = bench_compare.main(["--baseline", str(baseline), str(run)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "MISSING" in out
+
+    def test_new_probe_is_informational(self, tmp_path, baseline, capsys):
+        run = make_run(
+            tmp_path, "demo", {"fast": 0.001, "slow": 0.100, "extra": 0.050}
+        )
+        code = bench_compare.main(["--baseline", str(baseline), str(run)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "new" in out
+
+    def test_tolerance_override_tightens_gate(self, tmp_path, baseline):
+        run = make_run(tmp_path, "demo", {"fast": 0.001, "slow": 0.120})
+        assert bench_compare.main(["--baseline", str(baseline), str(run)]) == 0
+        assert (
+            bench_compare.main(
+                [
+                    "--baseline", str(baseline),
+                    "--p95-tolerance", "1.1",
+                    str(run),
+                ]
+            )
+            == 1
+        )
+
+
+class TestUsageErrors:
+    def test_missing_baseline(self, tmp_path, capsys):
+        run = make_run(tmp_path, "demo", {"fast": 0.001})
+        code = bench_compare.main(
+            ["--baseline", str(tmp_path / "nope.json"), str(run)]
+        )
+        assert code == 2
+        assert "create it with --update" in capsys.readouterr().err
+
+    def test_not_a_run_directory(self, tmp_path, baseline, capsys):
+        code = bench_compare.main(
+            ["--baseline", str(baseline), str(tmp_path / "empty")]
+        )
+        assert code == 2
+        assert "not an eval run directory" in capsys.readouterr().err
+
+    def test_suite_absent_from_baseline(self, tmp_path, baseline, capsys):
+        run = make_run(tmp_path, "other_suite", {"fast": 0.001})
+        code = bench_compare.main(["--baseline", str(baseline), str(run)])
+        assert code == 2
+        assert "no suite 'other_suite'" in capsys.readouterr().err
+
+
+class TestUpdate:
+    def test_update_creates_and_refreshes(self, tmp_path):
+        path = tmp_path / "BASELINE.json"
+        first = make_run(tmp_path, "demo", {"fast": 0.001, "slow": 0.100})
+        assert (
+            bench_compare.main(["--baseline", str(path), "--update", str(first)])
+            == 0
+        )
+        written = json.loads(path.read_text())
+        assert written["schema"] == bench_compare.BASELINE_SCHEMA_VERSION
+        assert set(written["suites"]["demo"]) == {"fast", "slow"}
+        assert written["tolerances"]["p95_ratio"] == pytest.approx(1.6)
+
+        # Refreshing drops probes the run no longer produces.
+        second = make_run(tmp_path, "demo", {"fast": 0.002})
+        assert (
+            bench_compare.main(
+                ["--baseline", str(path), "--update", str(second)]
+            )
+            == 0
+        )
+        rewritten = json.loads(path.read_text())
+        assert set(rewritten["suites"]["demo"]) == {"fast"}
+        assert "updated" in rewritten["metadata"]["demo"]
+
+    def test_update_preserves_other_suites(self, tmp_path):
+        path = tmp_path / "BASELINE.json"
+        demo = make_run(tmp_path, "demo", {"fast": 0.001})
+        other = make_run(tmp_path, "other", {"probe": 0.050})
+        bench_compare.main(["--baseline", str(path), "--update", str(demo)])
+        bench_compare.main(["--baseline", str(path), "--update", str(other)])
+        written = json.loads(path.read_text())
+        assert set(written["suites"]) == {"demo", "other"}
+
+
+class TestCommittedBaseline:
+    def test_committed_baseline_is_schema_valid(self):
+        committed = SCRIPT.parents[1] / "benchmarks" / "BASELINE.json"
+        assert committed.is_file(), "benchmarks/BASELINE.json must be committed"
+        baseline = bench_compare.load_baseline(committed)
+        assert baseline["schema"] == bench_compare.BASELINE_SCHEMA_VERSION
+        assert set(baseline["suites"]) >= {"classification", "scaling_small"}
+        for suite, probes in baseline["suites"].items():
+            for probe, entry in probes.items():
+                assert entry["p95"] >= 0, (suite, probe)
+                assert entry["p50"] >= 0, (suite, probe)

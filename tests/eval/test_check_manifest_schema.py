@@ -1,0 +1,80 @@
+"""check_manifest_schema.py tests: valid dirs pass, defects are reported."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+from repro.eval import run_suite
+
+SCRIPT = (
+    Path(__file__).resolve().parents[2]
+    / "scripts"
+    / "check_manifest_schema.py"
+)
+
+spec = importlib.util.spec_from_file_location("check_manifest_schema", SCRIPT)
+check_manifest_schema = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_manifest_schema)
+
+
+def real_run(tmp_path):
+    return run_suite(
+        "classification",
+        out_root=str(tmp_path),
+        only=["parse"],
+        repeats=1,
+    )
+
+
+class TestValidRun:
+    def test_real_run_dir_passes(self, tmp_path, capsys):
+        result = real_run(tmp_path)
+        code = check_manifest_schema.main([str(result.directory)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 run directory valid" in out
+
+
+class TestDefects:
+    def test_usage_error_without_args(self, capsys):
+        assert check_manifest_schema.main([]) == 2
+        assert "usage" in capsys.readouterr().out
+
+    def test_missing_directory(self, tmp_path, capsys):
+        code = check_manifest_schema.main([str(tmp_path / "nope")])
+        assert code == 1
+        assert "not a directory" in capsys.readouterr().out
+
+    def test_corrupt_manifest(self, tmp_path, capsys):
+        result = real_run(tmp_path)
+        result.manifest_path.write_text("{not json")
+        code = check_manifest_schema.main([str(result.directory)])
+        assert code == 1
+        assert "not JSON" in capsys.readouterr().out
+
+    def test_invalid_metric_record(self, tmp_path, capsys):
+        result = real_run(tmp_path)
+        record = json.loads(result.metrics_path.read_text())
+        record["status"] = "sideways"
+        result.metrics_path.write_text(json.dumps(record) + "\n")
+        code = check_manifest_schema.main([str(result.directory)])
+        assert code == 1
+        assert "unknown status" in capsys.readouterr().out
+
+    def test_probe_list_mismatch(self, tmp_path, capsys):
+        result = real_run(tmp_path)
+        manifest = json.loads(result.manifest_path.read_text())
+        manifest["probes"] = ["parse", "phantom"]
+        result.manifest_path.write_text(json.dumps(manifest) + "\n")
+        code = check_manifest_schema.main([str(result.directory)])
+        assert code == 1
+        assert "disagree" in capsys.readouterr().out
+
+    def test_seed_mismatch(self, tmp_path, capsys):
+        result = real_run(tmp_path)
+        manifest = json.loads(result.manifest_path.read_text())
+        manifest["seed"] = 99
+        result.manifest_path.write_text(json.dumps(manifest) + "\n")
+        code = check_manifest_schema.main([str(result.directory)])
+        assert code == 1
+        assert "seed" in capsys.readouterr().out

@@ -1,0 +1,161 @@
+"""Manifest/metric schema tests: validators, strip_timing, jsonl parsing."""
+
+import json
+
+import pytest
+
+from repro.eval.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    METRIC_SCHEMA_VERSION,
+    METRIC_STATUSES,
+    TIMING_FIELDS,
+    build_manifest,
+    git_revision,
+    read_metrics_jsonl,
+    strip_timing,
+    validate_manifest,
+    validate_metric_record,
+)
+
+
+def good_metric(**overrides):
+    record = {
+        "schema": METRIC_SCHEMA_VERSION,
+        "suite": "paper",
+        "probe": "theorem4",
+        "phase": "experiment",
+        "seed": 0,
+        "status": "ok",
+        "seconds": {
+            "count": 3,
+            "total": 0.3,
+            "mean": 0.1,
+            "p50": 0.1,
+            "p95": 0.12,
+            "max": 0.12,
+        },
+        "counters": {"rows": 4},
+        "extra": {"passed": True},
+    }
+    record.update(overrides)
+    return record
+
+
+class TestBuildManifest:
+    def test_is_schema_valid(self):
+        manifest = build_manifest(
+            run_id="paper-seed0-x",
+            suite="paper",
+            description="the paper's artefacts",
+            seed=0,
+            repeats=None,
+            scale=False,
+            created="2026-08-08T00:00:00+00:00",
+            probes=["theorem4", "theorem5"],
+        )
+        assert validate_manifest(manifest) == []
+        assert manifest["schema"] == MANIFEST_SCHEMA_VERSION
+        assert manifest["schema_versions"]["metric"] == METRIC_SCHEMA_VERSION
+
+    def test_git_revision_in_checkout(self):
+        git = git_revision()
+        assert set(git) == {"rev", "dirty"}
+        # In this repo the rev resolves; elsewhere both fields are None.
+        assert git["rev"] is None or len(git["rev"]) == 40
+
+    def test_git_revision_outside_checkout(self, tmp_path):
+        assert git_revision(str(tmp_path)) == {"rev": None, "dirty": None}
+
+
+class TestValidateManifest:
+    def test_rejects_non_object(self):
+        assert validate_manifest([1, 2]) == ["manifest is not a JSON object"]
+
+    def test_reports_missing_fields(self):
+        problems = validate_manifest({"schema": MANIFEST_SCHEMA_VERSION})
+        assert any("missing field 'suite'" in p for p in problems)
+        assert any("missing field 'probes'" in p for p in problems)
+
+    def test_rejects_unknown_schema(self):
+        manifest = build_manifest(
+            run_id="x", suite="s", description="d", seed=0,
+            repeats=None, scale=False, created="t", probes=["p"],
+        )
+        manifest["schema"] = 99
+        assert any(
+            "unknown schema" in p for p in validate_manifest(manifest)
+        )
+
+    def test_rejects_empty_probe_list(self):
+        manifest = build_manifest(
+            run_id="x", suite="s", description="d", seed=0,
+            repeats=None, scale=False, created="t", probes=["p"],
+        )
+        manifest["probes"] = []
+        assert "empty probe list" in validate_manifest(manifest)
+
+
+class TestValidateMetricRecord:
+    def test_good_record(self):
+        assert validate_metric_record(good_metric()) == []
+
+    def test_statuses(self):
+        for status in METRIC_STATUSES:
+            assert validate_metric_record(good_metric(status=status)) == []
+        problems = validate_metric_record(good_metric(status="sideways"))
+        assert any("unknown status" in p for p in problems)
+
+    def test_seconds_block_checked(self):
+        bad = good_metric()
+        del bad["seconds"]["p95"]
+        assert any(
+            "seconds block missing p95" in p
+            for p in validate_metric_record(bad)
+        )
+        negative = good_metric()
+        negative["seconds"]["p50"] = -1.0
+        assert any(
+            "negative" in p for p in validate_metric_record(negative)
+        )
+
+    def test_counters_must_be_integers(self):
+        bad = good_metric(counters={"rows": 1.5})
+        assert any(
+            "not an integer" in p for p in validate_metric_record(bad)
+        )
+
+
+class TestTiming:
+    def test_strip_timing_removes_only_seconds(self):
+        record = good_metric()
+        stripped = strip_timing(record)
+        assert set(record) - set(stripped) == set(TIMING_FIELDS)
+        assert stripped["counters"] == {"rows": 4}
+
+    def test_strip_timing_makes_same_seed_runs_equal(self):
+        fast = good_metric()
+        slow = good_metric()
+        slow["seconds"] = {k: v * 10 for k, v in fast["seconds"].items()}
+        assert strip_timing(fast) == strip_timing(slow)
+
+
+class TestReadMetricsJsonl:
+    def test_round_trip(self):
+        text = json.dumps(good_metric()) + "\n" + json.dumps(
+            good_metric(probe="theorem5")
+        ) + "\n"
+        records = read_metrics_jsonl(text)
+        assert [r["probe"] for r in records] == ["theorem4", "theorem5"]
+
+    def test_rejects_non_json_line(self):
+        with pytest.raises(ValueError, match="line 1"):
+            read_metrics_jsonl("not json\n")
+
+    def test_rejects_invalid_record(self):
+        with pytest.raises(ValueError, match="line 2"):
+            read_metrics_jsonl(
+                json.dumps(good_metric())
+                + "\n"
+                + json.dumps(good_metric(status="sideways"))
+                + "\n"
+            )

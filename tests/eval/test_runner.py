@@ -1,0 +1,138 @@
+"""Eval runner tests: run directories, self-validation, determinism, CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.eval import (
+    ALL_SUITES,
+    EvalRunError,
+    get_suite,
+    read_metrics_jsonl,
+    run_suite,
+    strip_timing,
+    validate_manifest,
+)
+
+# The cheapest real probes: parsing/transforming the bundled ontology.
+FAST = dict(suite_name="classification", only=["parse", "transform"], repeats=1)
+
+
+class TestRunDirectory:
+    def test_writes_all_artefacts(self, tmp_path):
+        result = run_suite(out_root=str(tmp_path), **FAST)
+        assert result.directory.parent == tmp_path
+        assert result.manifest_path.is_file()
+        assert result.metrics_path.is_file()
+        assert result.summary_path.is_file()
+        assert result.bench_path.name == "BENCH_classification.json"
+        assert result.bench_path.is_file()
+
+    def test_manifest_is_valid_and_pinned(self, tmp_path):
+        result = run_suite(out_root=str(tmp_path), **FAST)
+        manifest = json.loads(result.manifest_path.read_text())
+        assert validate_manifest(manifest) == []
+        assert manifest["suite"] == "classification"
+        assert manifest["probes"] == ["parse", "transform"]
+        assert manifest["environment"]["python"]
+
+    def test_metrics_records_parse(self, tmp_path):
+        result = run_suite(out_root=str(tmp_path), **FAST)
+        records = read_metrics_jsonl(result.metrics_path.read_text())
+        assert [r["probe"] for r in records] == ["parse", "transform"]
+        assert all(r["status"] == "ok" for r in records)
+        assert all(r["seconds"]["count"] == 1 for r in records)
+
+    def test_summary_mentions_probes(self, tmp_path):
+        result = run_suite(out_root=str(tmp_path), **FAST)
+        text = result.summary_path.read_text()
+        assert "| parse |" in text
+        assert "repro eval run --suite classification" in text
+
+    def test_run_ids_do_not_collide(self, tmp_path):
+        first = run_suite(out_root=str(tmp_path), **FAST)
+        second = run_suite(out_root=str(tmp_path), **FAST)
+        assert first.run_id != second.run_id
+        assert first.directory != second.directory
+
+
+class TestDeterminism:
+    def test_same_seed_identical_modulo_timing(self, tmp_path):
+        first = run_suite(out_root=str(tmp_path), seed=0, **FAST)
+        second = run_suite(out_root=str(tmp_path), seed=0, **FAST)
+        first_records = read_metrics_jsonl(first.metrics_path.read_text())
+        second_records = read_metrics_jsonl(second.metrics_path.read_text())
+        assert [strip_timing(r) for r in first_records] == [
+            strip_timing(r) for r in second_records
+        ]
+
+
+class TestUsageErrors:
+    def test_unknown_suite(self, tmp_path):
+        with pytest.raises(EvalRunError, match="unknown suite"):
+            run_suite("no_such_suite", out_root=str(tmp_path))
+
+    def test_unknown_probe(self, tmp_path):
+        with pytest.raises(EvalRunError, match="unknown probes: bogus"):
+            run_suite(
+                "classification", out_root=str(tmp_path), only=["bogus"]
+            )
+
+    def test_scale_suite_needs_flag(self, tmp_path):
+        with pytest.raises(EvalRunError, match="--scale"):
+            run_suite("scaling_large", out_root=str(tmp_path))
+
+
+class TestSuiteRegistry:
+    def test_expected_suites(self):
+        assert set(ALL_SUITES) == {
+            "paper",
+            "classification",
+            "scaling_small",
+            "scaling_large",
+        }
+        assert ALL_SUITES["scaling_large"].needs_scale
+        assert not ALL_SUITES["scaling_small"].needs_scale
+
+    def test_get_suite_raises_with_choices(self):
+        with pytest.raises(KeyError, match="classification"):
+            get_suite("nope")
+
+    def test_suites_build_distinctly_named_probes(self):
+        for name in ("classification", "scaling_small"):
+            suite = ALL_SUITES[name]
+            from repro.eval import EvalSettings
+
+            probes = suite.build(EvalSettings(seed=0, scale=False))
+            names = [probe.name for probe in probes]
+            assert len(names) == len(set(names))
+
+
+class TestCli:
+    def test_eval_list(self, capsys):
+        assert cli_main(["eval", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "classification" in out
+        assert "scaling_large" in out
+
+    def test_eval_run_exit_zero(self, tmp_path, capsys):
+        code = cli_main(
+            [
+                "eval", "run", "--suite", "classification",
+                "--out", str(tmp_path),
+                "--only", "parse", "--repeats", "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "run directory:" in out
+
+    def test_eval_run_usage_error(self, tmp_path, capsys):
+        code = cli_main(
+            [
+                "eval", "run", "--suite", "scaling_large",
+                "--out", str(tmp_path),
+            ]
+        )
+        assert code == 2

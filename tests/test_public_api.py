@@ -22,6 +22,7 @@ class TestTopLevel:
             "baselines",
             "workloads",
             "harness",
+            "eval",
         ):
             assert hasattr(repro, name), name
 

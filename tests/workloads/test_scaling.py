@@ -1,0 +1,140 @@
+"""Scaling corpus tests: determinism, size/density control, scale smoke."""
+
+import pytest
+
+from repro.dl.parser import parse_kb4
+from repro.dl.printer import render_kb4
+from repro.four_dl.axioms4 import ConceptInclusion4
+from repro.four_dl.transform import transform_kb
+from repro.workloads import (
+    ScalingConfig,
+    ScalingProfile,
+    generate_scaling_kb4,
+    measured_clash_density,
+    scaling_sweep,
+)
+
+
+class TestConfig:
+    def test_rejects_tiny_corpus(self):
+        with pytest.raises(ValueError):
+            ScalingConfig(n_axioms=4)
+
+    def test_rejects_out_of_range_density(self):
+        with pytest.raises(ValueError):
+            ScalingConfig(n_axioms=100, clash_density=0.75)
+        with pytest.raises(ValueError):
+            ScalingConfig(n_axioms=100, clash_density=-0.1)
+
+    def test_name_slug(self):
+        config = ScalingConfig(
+            n_axioms=500, profile=ScalingProfile.TBOX_HEAVY, seed=7
+        )
+        assert config.name == "tbox_heavy-n500-s7"
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("profile", list(ScalingProfile))
+    def test_same_config_byte_identical(self, profile):
+        config = ScalingConfig(n_axioms=400, profile=profile, seed=3)
+        first = render_kb4(generate_scaling_kb4(config))
+        second = render_kb4(generate_scaling_kb4(config))
+        assert first == second
+
+    def test_seed_changes_corpus(self):
+        base = ScalingConfig(n_axioms=400, seed=0)
+        other = ScalingConfig(n_axioms=400, seed=1)
+        assert render_kb4(generate_scaling_kb4(base)) != render_kb4(
+            generate_scaling_kb4(other)
+        )
+
+    def test_profiles_differ(self):
+        texts = {
+            render_kb4(
+                generate_scaling_kb4(
+                    ScalingConfig(n_axioms=400, profile=profile)
+                )
+            )
+            for profile in ScalingProfile
+        }
+        assert len(texts) == len(ScalingProfile)
+
+
+class TestSizeAndDensity:
+    @pytest.mark.parametrize("profile", list(ScalingProfile))
+    @pytest.mark.parametrize("n", [8, 100, 1000])
+    def test_axiom_count_exact(self, profile, n):
+        config = ScalingConfig(n_axioms=n, profile=profile)
+        assert len(generate_scaling_kb4(config)) == n
+
+    @pytest.mark.parametrize("density", [0.0, 0.05, 0.2])
+    def test_clash_density_within_one_pair(self, density):
+        config = ScalingConfig(
+            n_axioms=1000,
+            profile=ScalingProfile.CLASH_DENSITY,
+            clash_density=density,
+        )
+        measured = measured_clash_density(generate_scaling_kb4(config))
+        # The builders emit exactly ``2 * (budget // 2)`` clash-pair
+        # axioms; filler may collide and add at most a handful more.
+        assert measured >= density - 2 / 1000
+        assert measured <= density + 0.01
+
+    def test_tbox_heavy_is_mostly_terminology(self):
+        config = ScalingConfig(
+            n_axioms=1000, profile=ScalingProfile.TBOX_HEAVY
+        )
+        kb4 = generate_scaling_kb4(config)
+        inclusions = sum(
+            isinstance(axiom, ConceptInclusion4) for axiom in kb4.tbox()
+        )
+        assert inclusions >= 850
+
+    def test_abox_heavy_is_mostly_assertions(self):
+        config = ScalingConfig(
+            n_axioms=1000, profile=ScalingProfile.ABOX_HEAVY
+        )
+        kb4 = generate_scaling_kb4(config)
+        inclusions = sum(
+            isinstance(axiom, ConceptInclusion4) for axiom in kb4.tbox()
+        )
+        assert inclusions <= 150
+
+    def test_exception_chain_blocks(self):
+        config = ScalingConfig(
+            n_axioms=100, profile=ScalingProfile.EXCEPTION_CHAIN
+        )
+        text = render_kb4(generate_scaling_kb4(config))
+        # 20 full blocks: each has a material default over base concepts.
+        assert "A0 |-> D0" in text
+        assert "A19 |-> D19" in text
+
+
+class TestPipeline:
+    @pytest.mark.parametrize("profile", list(ScalingProfile))
+    def test_round_trip_and_transform(self, profile):
+        config = ScalingConfig(n_axioms=200, profile=profile)
+        kb4 = generate_scaling_kb4(config)
+        reparsed = parse_kb4(render_kb4(kb4))
+        assert render_kb4(reparsed) == render_kb4(kb4)
+        # Strong inclusions reduce to two classical inclusions each, so
+        # the doubled-signature KB is at least as large, at most double.
+        classical = transform_kb(reparsed)
+        assert len(kb4) <= len(classical) <= 2 * len(kb4)
+
+    def test_sweep_is_cross_product(self):
+        sweep = scaling_sweep((100, 200), seed=5)
+        assert len(sweep) == 2 * len(ScalingProfile)
+        assert all(config.seed == 5 for config in sweep)
+
+
+@pytest.mark.slow
+class TestScale:
+    @pytest.mark.parametrize("profile", list(ScalingProfile))
+    def test_ten_thousand_axioms_parse_and_transform(self, profile):
+        config = ScalingConfig(n_axioms=10_000, profile=profile)
+        kb4 = generate_scaling_kb4(config)
+        assert len(kb4) == 10_000
+        reparsed = parse_kb4(render_kb4(kb4))
+        assert len(reparsed) == 10_000
+        assert len(transform_kb(reparsed)) >= 10_000
