@@ -63,6 +63,29 @@ def test_university_classification_counters_within_baseline():
         f"unbudgeted classification hit {stats.budget_aborts} budget "
         f"abort(s): the default configuration must never impose a budget"
     )
+    # Which engine answered: the university KB's induced form carries
+    # residue axioms (core-mode saturation), so every subsumption probe
+    # is declined by the fast path and decided by the tableau.  The
+    # dispatcher must still have consulted saturation first each time.
+    assert stats.saturation_queries == baseline["saturation_queries"], (
+        f"engine split changed: saturation answered "
+        f"{stats.saturation_queries} probe(s) vs recorded "
+        f"{baseline['saturation_queries']}; if intentional (e.g. the "
+        f"fragment widened), re-record {BASELINE_PATH}"
+    )
+    assert stats.saturation_fallbacks == stats.tableau_runs, (
+        f"dispatch accounting broken: {stats.saturation_fallbacks} "
+        f"saturation fallbacks but {stats.tableau_runs} tableau runs — "
+        f"every tableau decision should follow a saturation decline"
+    )
+    assert (
+        stats.saturation_fallbacks
+        <= baseline["saturation_fallbacks"] * TOLERANCE
+    ), (
+        f"fallbacks regressed: {stats.saturation_fallbacks} vs recorded "
+        f"{baseline['saturation_fallbacks']} (+10% tolerance); if "
+        f"intentional, re-record {BASELINE_PATH}"
+    )
 
 
 def test_tracing_disabled_causes_zero_counter_drift():

@@ -80,12 +80,24 @@ def load_run(run_dir: Path) -> Tuple[str, Dict[str, Dict[str, float]]]:
         record["probe"]: {
             "p50": float(record["seconds"]["p50"]),
             "p95": float(record["seconds"]["p95"]),
+            "count": int(record["seconds"]["count"]),
             "phase": record["phase"],
             "status": record["status"],
         }
         for record in records
     }
     return manifest["suite"], probes
+
+
+def _is_empty(entry: Dict[str, float]) -> bool:
+    """A probe that measured nothing: zero samples or a 0.0 p95.
+
+    Either way the timing is vacuous — comparing it against a baseline
+    would pass trivially (0.0 is under every threshold), silently
+    masking a probe that crashed, was skipped, or answered UNKNOWN
+    everywhere.  Such probes fail the gate like MISSING ones.
+    """
+    return int(entry.get("count", 1)) <= 0 or float(entry["p95"]) <= 0.0
 
 
 def load_baseline(path: Path) -> Dict:
@@ -117,7 +129,10 @@ def compare_suite(
 
     Rows are ``(probe, phase, base p95, run p95, ratio, verdict)``;
     verdicts: ``ok``, ``improved``, ``REGRESSED``, ``MISSING`` (probe in
-    baseline but absent from the run), ``new`` (informational).
+    baseline but absent from the run), ``EMPTY`` (probe present but
+    measured nothing — zero samples or a 0.0 p95), ``new``
+    (informational).  ``MISSING`` and ``EMPTY`` fail the gate like a
+    regression does.
     """
     tolerances = baseline.get("tolerances", {})
     ratio_cap = (
@@ -151,6 +166,11 @@ def compare_suite(
                          fmt(base_p95), "-", "-", "MISSING"))
             failed = True
             continue
+        if _is_empty(entry):
+            rows.append((probe, entry["phase"], fmt(base_p95),
+                         fmt(entry["p95"]), "-", "EMPTY"))
+            failed = True
+            continue
         run_p95 = entry["p95"]
         allowed = max(base_p95, floor) * ratio_cap
         ratio = run_p95 / max(base_p95, floor)
@@ -167,6 +187,11 @@ def compare_suite(
         )
     for probe in sorted(set(run_probes) - set(base_suite)):
         entry = run_probes[probe]
+        if _is_empty(entry):
+            rows.append((probe, entry["phase"], "-", fmt(entry["p95"]),
+                         "-", "EMPTY"))
+            failed = True
+            continue
         rows.append(
             (probe, entry["phase"], "-", fmt(entry["p95"]), "-", "new")
         )
@@ -176,7 +201,17 @@ def compare_suite(
 def update_baseline(
     path: Path, suite: str, run_probes: Dict[str, Dict[str, float]]
 ) -> None:
-    """Rewrite ``suite``'s section of the baseline from the run."""
+    """Rewrite ``suite``'s section of the baseline from the run.
+
+    Refuses to bake an empty probe into the baseline: a 0.0 p95 there
+    would let any future timing pass the gate for that probe.
+    """
+    empty = sorted(p for p, e in run_probes.items() if _is_empty(e))
+    if empty:
+        raise CompareError(
+            f"refusing to record empty probes into the baseline "
+            f"(zero samples or 0.0 p95): {', '.join(empty)}"
+        )
     if path.is_file():
         baseline = load_baseline(path)
     else:
@@ -268,10 +303,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                     title=f"{suite} vs {args.baseline.name}:",
                 )
             )
-            bad = [row for row in rows if row[-1] in ("REGRESSED", "MISSING")]
+            bad = [
+                row
+                for row in rows
+                if row[-1] in ("REGRESSED", "MISSING", "EMPTY")
+            ]
             if bad:
                 print(
-                    f"{len(bad)} probe(s) regressed or missing in "
+                    f"{len(bad)} probe(s) regressed, missing, or empty in "
                     f"{run_dir.name}"
                 )
             print()

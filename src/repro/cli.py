@@ -113,7 +113,11 @@ def _watch_stats(stats) -> None:
 
 
 def _make_reasoner(args: argparse.Namespace, kb4: KnowledgeBase4) -> Reasoner4:
-    reasoner = Reasoner4(kb4, search=getattr(args, "search", "trail"))
+    reasoner = Reasoner4(
+        kb4,
+        search=getattr(args, "search", "trail"),
+        engine=getattr(args, "engine", "auto"),
+    )
     _watch_stats(reasoner.stats)
     return reasoner
 
@@ -492,6 +496,10 @@ def build_parser() -> argparse.ArgumentParser:
         "tableau search strategy: trail-based with backjumping (default) "
         "or the copy-per-branch reference implementation"
     )
+    engine_help = (
+        "reasoning engine dispatch: auto tries the polynomial saturation "
+        "fast path before the tableau (default); tableau disables it"
+    )
 
     explain_help = (
         "print a minimal justification citing the original KB4 axioms, "
@@ -509,6 +517,12 @@ def build_parser() -> argparse.ArgumentParser:
             choices=["trail", "copying"],
             default="trail",
             help=search_help,
+        )
+        subparser.add_argument(
+            "--engine",
+            choices=["auto", "tableau"],
+            default="auto",
+            help=engine_help,
         )
 
     def add_explain_flags(subparser: argparse.ArgumentParser) -> None:

@@ -53,6 +53,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 from . import axioms as ax
 from ..obs.spans import add_event
+from .errors import CacheConflictError
 from .nnf import nnf
 
 #: One canonical probe: a small tagged tuple (hashable, order-free).
@@ -132,11 +133,27 @@ class QueryCache:
         return value
 
     def store(self, key: CacheKey, value: bool) -> None:
-        """Record a verdict (no-op when disabled), evicting LRU overflow."""
+        """Record a verdict (no-op when disabled), evicting LRU overflow.
+
+        Re-storing the value a key already holds refreshes its LRU slot;
+        storing the *opposite* value raises
+        :class:`~repro.dl.errors.CacheConflictError` (after counting it
+        on ``stats.cache_conflicts``) — decided verdicts are
+        deterministic per KB version, so a disagreement between the
+        engines sharing this cache is a soundness bug that must surface,
+        never be silently overwritten.
+        """
         if not self.enabled:
             return
-        if key in self._entries:
-            self._entries[key] = value
+        cached = self._entries.get(key)
+        if cached is not None:
+            if cached != value:
+                add_event(
+                    "cache_conflict", {"cached": cached, "attempted": value}
+                )
+                if self.stats is not None:
+                    self.stats.cache_conflicts += 1
+                raise CacheConflictError(key, cached, value)
             self._entries.move_to_end(key)
             return
         self._entries[key] = value

@@ -66,6 +66,26 @@ class BudgetExceeded(ReasonerLimitExceeded):
         self.reason = reason
 
 
+class CacheConflictError(ReproError):
+    """A store tried to flip a live cached verdict to its negation.
+
+    Decided verdicts are deterministic functions of (KB version, probe
+    key), so two engines — or two runs of the same engine — must agree;
+    a disagreement means one of them is unsound, and masking it by
+    overwriting would let the wrong answer win arbitrarily.  Carries the
+    offending key and both verdicts for the bug report.
+    """
+
+    def __init__(self, key: object, cached: bool, attempted: bool):
+        super().__init__(
+            f"cache conflict: key {key!r} is cached as {cached} but an "
+            f"engine tried to store {attempted}"
+        )
+        self.key = key
+        self.cached = cached
+        self.attempted = attempted
+
+
 class UnsupportedFeature(ReproError):
     """Raised when an input uses a feature outside the implemented fragment."""
 

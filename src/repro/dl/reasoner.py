@@ -42,6 +42,7 @@ from .axioms import (
 )
 from .budget import Budget, BudgetMeter, Verdict, retry_with_escalation
 from .cache import CONSISTENCY_KEY, QueryCache, probe_set_key
+from .saturation import SaturationEngine
 from .errors import (
     BudgetExceeded,
     DegradationReason,
@@ -92,6 +93,7 @@ class Reasoner:
         search: str = "trail",
         cache_maxsize: Optional[int] = 4096,
         budget: Optional[Budget] = None,
+        engine: str = "auto",
     ):
         """Bind a reasoner to ``kb``.
 
@@ -103,9 +105,16 @@ class Reasoner:
         :class:`~repro.dl.stats.ReasonerStats`; ``search`` picks the
         tableau strategy (``"trail"`` or ``"copying"``); ``budget``
         attaches a default :class:`~repro.dl.budget.Budget` governing
-        every service call (per-call ``budget=`` arguments override it).
+        every service call (per-call ``budget=`` arguments override it);
+        ``engine`` selects dispatch: ``"auto"`` tries the saturation
+        fast path before the tableau, ``"tableau"`` disables it.
         """
+        if engine not in ("auto", "tableau"):
+            raise ValueError(f"unknown engine {engine!r}")
         self.kb = kb
+        #: Dispatch policy: ``"auto"`` (saturation fast path in front of
+        #: the tableau) or ``"tableau"`` (tableau only).
+        self.engine = engine
         self.max_nodes = max_nodes
         self.max_branches = max_branches
         #: The default resource envelope of every service call (None =
@@ -123,6 +132,9 @@ class Reasoner:
         if self.cache.stats is None:
             self.cache.stats = self.stats
         self._tableau = self._build_tableau()
+        # Built lazily on the first query (saturating a KB nobody
+        # queries would be wasted work); dropped on KB mutation.
+        self._saturation: Optional[SaturationEngine] = None
         self._kb_version = kb.version
         # The meter of the currently executing budgeted service call, if
         # any (installed by _metered; spans every probe of the call).
@@ -145,14 +157,22 @@ class Reasoner:
         """
         if self._kb_version != self.kb.version:
             self._tableau = self._build_tableau()
+            self._saturation = None
             self.cache.clear()
             self._kb_version = self.kb.version
 
     def _satisfiable_with(self, probes: Sequence) -> bool:
         """The single cached satisfiability entry point of every service.
 
-        Cache-soundness invariant: a verdict is stored only *after* the
-        tableau decided it.  An aborted search (budget exhaustion,
+        Under ``engine="auto"`` the saturation fast path
+        (:mod:`repro.dl.saturation`) is consulted first; it answers
+        polynomially for the tractable fragment and returns ``None`` for
+        anything it cannot soundly decide, in which case the tableau
+        runs.  Both engines write the same cache — a disagreement
+        surfaces as a :class:`~repro.dl.errors.CacheConflictError`.
+
+        Cache-soundness invariant: a verdict is stored only *after* an
+        engine decided it.  An aborted search (budget exhaustion,
         cancellation, or any other exception) propagates past the
         ``store`` call, so a partial search can never poison the cache —
         post-abort lookups either hit an earlier *decided* entry or
@@ -172,6 +192,23 @@ class Reasoner:
             # Boolean APIs under a constructor-level budget: each probe
             # gets its own metered scope (and raises on exhaustion).
             meter = self.budget.start(self.stats)
+        saturation = self._saturation_engine()
+        if saturation is not None:
+            with obs_span("saturation_run", stats=self.stats) as sat_span:
+                sat_span.set("complete", saturation.complete)
+                try:
+                    answer = saturation.satisfiable_with(probes, meter=meter)
+                except BudgetExceeded:
+                    self.stats.budget_aborts += 1
+                    raise
+                sat_span.set("answered", answer is not None)
+                sat_span.set("inferences", saturation.inferences)
+            if answer is not None:
+                self.stats.saturation_queries += 1
+                self.cache.store(key, answer)
+                set_gauge("repro_query_cache_entries", len(self.cache))
+                return answer
+            self.stats.saturation_fallbacks += 1
         try:
             result = self._tableau.is_satisfiable(probes, meter=meter)
         except BudgetExceeded:
@@ -180,6 +217,20 @@ class Reasoner:
         self.cache.store(key, result)
         set_gauge("repro_query_cache_entries", len(self.cache))
         return result
+
+    def _saturation_engine(self) -> Optional[SaturationEngine]:
+        """The saturation fast path, when dispatch allows and it can help.
+
+        ``None`` under ``engine="tableau"`` or when no axiom of the KB
+        compiled into the fragment (a fully-residual KB could only ever
+        answer degenerate probes, so dispatching there is pure
+        overhead).
+        """
+        if self.engine != "auto":
+            return None
+        if self._saturation is None:
+            self._saturation = SaturationEngine(self.kb)
+        return self._saturation if self._saturation.useful else None
 
     @contextmanager
     def _metered(self, meter: Optional[BudgetMeter]):

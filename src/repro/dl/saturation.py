@@ -1,0 +1,882 @@
+"""Consequence-driven saturation for the tractable DL fragment.
+
+A polynomial fast path in front of the tableau (ROADMAP item 3).  The
+engine natively handles the EL/DL-Lite-style fragment — atomic and
+conjunctive inclusions, existential restrictions on named roles, global
+domain/range axioms, disjointness, named role hierarchies and plain
+ABox assertions — over integer-interned symbols and bitset concept
+sets, and declines (returns ``None``) whenever an answer would require
+the axioms it cannot model: disjunction, number restrictions, inverse
+roles, nominals, datatype constraints, transitivity or individual
+equality.  The trail tableau stays behind it as the complete engine and
+as a differential oracle.
+
+Design
+======
+
+Axioms are compiled into a normalised rule *program*:
+
+* ``H1`` conjunction rules ``A1 ⊓ … ⊓ An ⊑ B`` — an LHS bitmask plus a
+  consequent atom (``⊥`` encodes disjointness: ``A ⊓ B ⊑ ⊥``);
+* ``H2`` existential rules ``A ⊑ ∃R.B`` — keyed by the LHS atom;
+* ``H3`` domain rules ``∃R.A ⊑ B`` — fire over the role hierarchy;
+* ``H4`` global range axioms ``⊤ ⊑ ∀R.B``.
+
+Complex sides are structurally decomposed through fresh marker atoms
+(``__sat…__``), the standard EL normalisation, so completeness of the
+saturation w.r.t. the compiled program is the textbook result.
+
+Two further *awkward* shapes stay in the fragment through padding
+rather than rules, because the induced KB of the paper's doubled-
+signature reduction (:mod:`repro.four_dl.transform`) produces them from
+material and strong inclusions:
+
+* ``N1``: ``¬A ⊑ X`` — satisfied by any interpretation where ``A`` is
+  universal, so ``A`` joins the *pad set* ``P``;
+* ``N2``: ``∀R.C ⊑ X`` — satisfied whenever ``X`` holds everywhere, so
+  a fresh padded marker ``Q`` is minted with the rule ``Q ⊑ X``.
+
+The engine then maintains up to two saturation closures over shared
+context graphs (one context per ABox individual, per reachable
+``(filler, range)`` pair, and per query concept):
+
+* ``S_entail`` — the closure of the Horn rules alone, with the pad set
+  *ignored*.  Everything it derives is a consequence of a subset of the
+  KB, so by monotonicity any **UNSAT/entailed** answer read off it is
+  sound even when the KB carries residue axioms the fragment dropped.
+* ``S_model`` — the closure with every pad atom seeded into every
+  context.  When the whole KB compiled (no residue), the resulting
+  context graph *is* a model (the padded canonical model): padding
+  makes every ``N1``/``N2`` left-hand side empty or right-hand side
+  universal, so those axioms hold by construction, and the Horn axioms
+  hold because the closure is saturated.  A **SAT** answer is therefore
+  justified exactly when no individual context derives ``⊥`` and the
+  query context stays clean of ``⊥`` and of every negated probe atom.
+
+When the pad set is empty the two closures coincide and pure-Horn KBs
+never fall back on a parseable probe; the disjunction property of Horn
+theories is what makes the per-negated-atom check complete there.
+Queries the parser cannot express — or SAT questions the padded model
+cannot witness — return ``None`` and the caller falls back to the
+tableau, so the fast path is sound by construction in both directions.
+
+Budgets thread through as a :class:`~repro.dl.budget.BudgetMeter`
+ticked while the worklist drains: deadline and cancellation are
+honoured (node/branch/trail caps are tableau-specific and do not
+apply to saturation work).  A :class:`~repro.dl.errors.BudgetExceeded`
+abort leaves the closure half-saturated but monotone, so a later retry
+resumes instead of restarting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    Deque,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .axioms import (
+    Axiom,
+    ConceptAssertion,
+    ConceptInclusion,
+    DataAssertion,
+    DatatypeRoleInclusion,
+    DifferentIndividuals,
+    NegativeRoleAssertion,
+    RoleAssertion,
+    RoleInclusion,
+    SameIndividual,
+    Transitivity,
+)
+from .budget import BudgetMeter
+from .concepts import And, AtomicConcept, Bottom, Concept, Exists, Forall, Not, Top
+from .individuals import Individual
+from .kb import KnowledgeBase
+
+__all__ = [
+    "FRESH_PREFIX",
+    "FragmentReport",
+    "SaturationEngine",
+    "axiom_residue_reason",
+    "fragment_report",
+]
+
+#: Prefix of marker atoms minted during normalisation; never user-visible.
+FRESH_PREFIX = "__sat"
+
+_BOT = 0  # interned index of ⊥
+_TOP = 1  # interned index of ⊤ (present in every context)
+_TOP_MASK = 1 << _TOP
+
+
+class _OutOfFragment(Exception):
+    """An axiom (or probe conjunct) the fragment cannot express."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class FragmentReport:
+    """How much of a KB the saturation fragment covers.
+
+    ``residue`` pairs each rejected axiom with the reason it fell
+    outside the fragment; an empty residue means the engine runs in
+    *complete* mode (it may answer SAT as well as UNSAT).
+    """
+
+    total: int
+    residue: Tuple[Tuple[Axiom, str], ...]
+
+    @property
+    def tractable(self) -> int:
+        """Number of axioms the saturation program absorbed."""
+        return self.total - len(self.residue)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every axiom compiled (SAT answers are justified)."""
+        return not self.residue
+
+    def render(self) -> str:
+        """One line, e.g. ``saturation fragment: 12/14 axioms (core)``."""
+        mode = "complete" if self.complete else "core"
+        return f"saturation fragment: {self.tractable}/{self.total} axioms ({mode})"
+
+
+def _bits(mask: int) -> Iterator[int]:
+    """Indices of the set bits of ``mask``, ascending."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+class _Program:
+    """The normalised rule program compiled from a KB (plus probes)."""
+
+    def __init__(self) -> None:
+        self._atom_index: Dict[AtomicConcept, int] = {}
+        self._atom_count = 2  # ⊥ and ⊤ are pre-interned
+        self._fresh_counter = 0
+        self._role_index: Dict[str, int] = {}
+        # H1: (lhs mask, consequent atom), indexed by every LHS atom.
+        self.conj_rules: List[Tuple[int, int]] = []
+        self.rules_by_atom: Dict[int, List[int]] = {}
+        # H2: lhs atom -> [(role, filler atom)].
+        self.exists_by_atom: Dict[int, List[Tuple[int, int]]] = {}
+        # H3: role -> [(filler atom, consequent atom)] + filler index.
+        self.domain_rules: Dict[int, List[Tuple[int, int]]] = {}
+        self.domain_by_filler: Dict[int, List[Tuple[int, int]]] = {}
+        # H4: role -> mask of declared range atoms.
+        self.range_by_role: Dict[int, int] = {}
+        # Named role hierarchy (told edges; closed lazily).
+        self.role_edges: Dict[int, Set[int]] = {}
+        # Awkward axioms: atoms padded into every model-closure context.
+        self.pad_mask = 0
+        # ABox: per-individual seeds, told edges, ∃-assertions, and the
+        # mask of atoms a "a : ¬A" assertion forbids at that individual.
+        self.individual_init: Dict[Individual, int] = {}
+        self.individual_edges: List[Tuple[Individual, int, Individual]] = []
+        self.individual_exists: List[Tuple[Individual, int, int]] = []
+        self.forbidden: Dict[Individual, int] = {}
+        # Memo tables for structural decomposition.
+        self._mask_atom: Dict[int, int] = {}
+        self._rhs_atom_memo: Dict[Concept, int] = {}
+        self._domain_marker: Dict[Tuple[int, int], int] = {}
+        # Lazy role-hierarchy caches (told edges are fixed after KB load).
+        self._superroles: Dict[int, FrozenSet[int]] = {}
+        self._range_for: Dict[int, int] = {}
+
+    # -- interning ------------------------------------------------------
+
+    def intern(self, atom: AtomicConcept) -> int:
+        index = self._atom_index.get(atom)
+        if index is None:
+            index = self._atom_count
+            self._atom_index[atom] = index
+            self._atom_count += 1
+        return index
+
+    def fresh(self) -> int:
+        while True:
+            name = f"{FRESH_PREFIX}{self._fresh_counter}__"
+            self._fresh_counter += 1
+            atom = AtomicConcept(name)
+            if atom not in self._atom_index:
+                return self.intern(atom)
+
+    def intern_role(self, name: str) -> int:
+        index = self._role_index.get(name)
+        if index is None:
+            index = len(self._role_index)
+            self._role_index[name] = index
+        return index
+
+    # -- role hierarchy (lazy, cached) ----------------------------------
+
+    def superroles_of(self, role: int) -> FrozenSet[int]:
+        cached = self._superroles.get(role)
+        if cached is None:
+            seen = {role}
+            frontier = [role]
+            while frontier:
+                current = frontier.pop()
+                for sup in self.role_edges.get(current, ()):
+                    if sup not in seen:
+                        seen.add(sup)
+                        frontier.append(sup)
+            cached = frozenset(seen)
+            self._superroles[role] = cached
+        return cached
+
+    def range_for(self, role: int) -> int:
+        cached = self._range_for.get(role)
+        if cached is None:
+            cached = 0
+            for sup in self.superroles_of(role):
+                cached |= self.range_by_role.get(sup, 0)
+            self._range_for[role] = cached
+        return cached
+
+    # -- rule construction ----------------------------------------------
+
+    def _conj_rule(self, mask: int, consequent: int) -> None:
+        rule_id = len(self.conj_rules)
+        self.conj_rules.append((mask, consequent))
+        for atom in _bits(mask):
+            self.rules_by_atom.setdefault(atom, []).append(rule_id)
+
+    def _exists_rule(self, lhs_atom: int, role: int, filler: int) -> None:
+        self.exists_by_atom.setdefault(lhs_atom, []).append((role, filler))
+
+    def _domain_rule(self, role: int, filler: int, consequent: int) -> None:
+        self.domain_rules.setdefault(role, []).append((filler, consequent))
+        self.domain_by_filler.setdefault(filler, []).append((role, consequent))
+
+    def atom_for_mask(self, mask: int) -> int:
+        """An atom equivalent to the conjunction ``mask`` (fresh if needed)."""
+        only = mask & (mask - 1)
+        if only == 0:  # single bit
+            return mask.bit_length() - 1
+        cached = self._mask_atom.get(mask)
+        if cached is None:
+            cached = self.fresh()
+            self._conj_rule(mask, cached)
+            self._mask_atom[mask] = cached
+        return cached
+
+    def _named_role(self, role) -> int:
+        if role.is_inverse:
+            raise _OutOfFragment("inverse role")
+        return self.intern_role(role.named.name)
+
+    def rhs_atom(self, filler: Concept) -> int:
+        """An atom that *implies* ``filler`` (for ∃/∀ right-hand fillers)."""
+        if isinstance(filler, AtomicConcept):
+            return self.intern(filler)
+        if isinstance(filler, Top):
+            return _TOP
+        if isinstance(filler, Bottom):
+            return _BOT
+        cached = self._rhs_atom_memo.get(filler)
+        if cached is None:
+            cached = self.fresh()
+            self.add_rhs(1 << cached, filler)
+            self._rhs_atom_memo[filler] = cached
+        return cached
+
+    def add_rhs(self, mask: int, concept: Concept) -> None:
+        """Compile ``mask ⊑ concept`` into rules (raises when residue)."""
+        if isinstance(concept, AtomicConcept):
+            self._conj_rule(mask, self.intern(concept))
+        elif isinstance(concept, Top):
+            pass
+        elif isinstance(concept, Bottom):
+            self._conj_rule(mask, _BOT)
+        elif isinstance(concept, And):
+            for part in concept.operands:
+                self.add_rhs(mask, part)
+        elif isinstance(concept, Not):
+            inner = concept.operand
+            if isinstance(inner, AtomicConcept):
+                self._conj_rule(mask | (1 << self.intern(inner)), _BOT)
+            elif isinstance(inner, Top):
+                self._conj_rule(mask, _BOT)
+            elif isinstance(inner, Bottom):
+                pass
+            else:
+                raise _OutOfFragment("complement of a non-atomic concept")
+        elif isinstance(concept, Exists):
+            role = self._named_role(concept.role)
+            filler = self.rhs_atom(concept.filler)
+            self._exists_rule(self.atom_for_mask(mask), role, filler)
+        elif isinstance(concept, Forall):
+            if mask != _TOP_MASK:
+                raise _OutOfFragment(
+                    "universal restriction below a non-Top left-hand side"
+                )
+            role = self._named_role(concept.role)
+            filler = self.rhs_atom(concept.filler)
+            self.range_by_role[role] = self.range_by_role.get(role, 0) | (
+                1 << filler
+            )
+        else:
+            raise _OutOfFragment(
+                f"{type(concept).__name__} on the right-hand side"
+            )
+
+    def _require_rhs(self, concept: Concept) -> None:
+        """Validate that ``concept`` *would* compile as a right-hand side.
+
+        Used for ``N1`` axioms, whose right-hand side is dropped (the
+        padding alone satisfies them) but must still be expressible for
+        the fragment boundary to stay honest.
+        """
+        if isinstance(concept, (AtomicConcept, Top, Bottom)):
+            return
+        if isinstance(concept, And):
+            for part in concept.operands:
+                self._require_rhs(part)
+            return
+        if isinstance(concept, Not):
+            if not isinstance(concept.operand, (AtomicConcept, Top, Bottom)):
+                raise _OutOfFragment("complement of a non-atomic concept")
+            return
+        if isinstance(concept, Exists):
+            if concept.role.is_inverse:
+                raise _OutOfFragment("inverse role")
+            self._require_rhs(concept.filler)
+            return
+        raise _OutOfFragment(f"{type(concept).__name__} on the right-hand side")
+
+    def lhs_mask(self, concept: Concept) -> Optional[int]:
+        """Compile a left-hand side into a detection mask.
+
+        Returns ``None`` when the LHS is unsatisfiable (``⊥`` somewhere
+        in the conjunction), making the axiom vacuous.
+        """
+        if isinstance(concept, AtomicConcept):
+            return 1 << self.intern(concept)
+        if isinstance(concept, Top):
+            return _TOP_MASK
+        if isinstance(concept, Bottom):
+            return None
+        if isinstance(concept, And):
+            mask = 0
+            for part in concept.operands:
+                part_mask = self.lhs_mask(part)
+                if part_mask is None:
+                    return None
+                mask |= part_mask
+            if mask & ~_TOP_MASK:
+                mask &= ~_TOP_MASK
+            return mask or _TOP_MASK
+        if isinstance(concept, Exists):
+            role = self._named_role(concept.role)
+            filler_mask = self.lhs_mask(concept.filler)
+            if filler_mask is None:
+                return None  # ∃R.⊥ is empty: the axiom is vacuous
+            filler_atom = self.atom_for_mask(filler_mask)
+            key = (role, filler_atom)
+            marker = self._domain_marker.get(key)
+            if marker is None:
+                marker = self.fresh()
+                self._domain_rule(role, filler_atom, marker)
+                self._domain_marker[key] = marker
+            return 1 << marker
+        raise _OutOfFragment(f"{type(concept).__name__} on the left-hand side")
+
+    # -- axiom compilation ----------------------------------------------
+
+    def add_axiom(self, axiom: Axiom) -> None:
+        """Absorb one KB axiom; raises :class:`_OutOfFragment` on residue."""
+        if isinstance(axiom, ConceptInclusion):
+            self._add_inclusion(axiom.sub, axiom.sup)
+        elif isinstance(axiom, RoleInclusion):
+            if axiom.sub.is_inverse or axiom.sup.is_inverse:
+                raise _OutOfFragment("inverse role in a role inclusion")
+            sub = self.intern_role(axiom.sub.named.name)
+            sup = self.intern_role(axiom.sup.named.name)
+            self.role_edges.setdefault(sub, set()).add(sup)
+        elif isinstance(axiom, DatatypeRoleInclusion):
+            # Datatype roles never occur in fragment concepts, so the
+            # inclusion is inert: the canonical model interprets every
+            # datatype role as empty, which satisfies it vacuously.
+            pass
+        elif isinstance(axiom, ConceptAssertion):
+            self._assert_concept(axiom.individual, axiom.concept)
+        elif isinstance(axiom, RoleAssertion):
+            normalised = axiom.normalised()
+            role = self._named_role(normalised.role)
+            self.touch(normalised.source)
+            self.touch(normalised.target)
+            self.individual_edges.append(
+                (normalised.source, role, normalised.target)
+            )
+        elif isinstance(axiom, DifferentIndividuals):
+            if axiom.left == axiom.right:
+                raise _OutOfFragment("an individual distinct from itself")
+            # The canonical model maps distinct names to distinct
+            # contexts, so a well-formed inequality is inert.
+            self.touch(axiom.left)
+            self.touch(axiom.right)
+        elif isinstance(axiom, Transitivity):
+            raise _OutOfFragment("transitive role composition")
+        elif isinstance(axiom, NegativeRoleAssertion):
+            raise _OutOfFragment("negated role assertion")
+        elif isinstance(axiom, SameIndividual):
+            raise _OutOfFragment("individual equality")
+        elif isinstance(axiom, DataAssertion):
+            raise _OutOfFragment("datatype assertion")
+        else:
+            raise _OutOfFragment(f"{type(axiom).__name__}")
+
+    def _add_inclusion(self, sub: Concept, sup: Concept) -> None:
+        if isinstance(sub, Not) and isinstance(sub.operand, AtomicConcept):
+            # N1: ¬A ⊑ X — padding A empties the left-hand side.  X is
+            # validated (fragment honesty) but compiles to nothing.
+            self._require_rhs(sup)
+            self.pad_mask |= 1 << self.intern(sub.operand)
+            return
+        if isinstance(sub, Forall):
+            if sub.role.is_inverse:
+                raise _OutOfFragment("inverse role")
+            # N2: ∀R.C ⊑ X — a fresh padded marker makes X universal in
+            # the model, which satisfies the axiom whatever C is.
+            marker = self.fresh()
+            self.pad_mask |= 1 << marker
+            self.add_rhs(1 << marker, sup)
+            return
+        mask = self.lhs_mask(sub)
+        if mask is None:
+            return  # ⊥ on the left: vacuous
+        self.add_rhs(mask, sup)
+
+    def _assert_concept(self, individual: Individual, concept: Concept) -> None:
+        self.touch(individual)
+        if isinstance(concept, AtomicConcept):
+            self.individual_init[individual] |= 1 << self.intern(concept)
+        elif isinstance(concept, Top):
+            pass
+        elif isinstance(concept, Bottom):
+            self.individual_init[individual] |= 1 << _BOT
+        elif isinstance(concept, And):
+            for part in concept.operands:
+                self._assert_concept(individual, part)
+        elif isinstance(concept, Not):
+            inner = concept.operand
+            if isinstance(inner, AtomicConcept):
+                self.forbidden[individual] = self.forbidden.get(
+                    individual, 0
+                ) | (1 << self.intern(inner))
+            elif isinstance(inner, Top):
+                self.individual_init[individual] |= 1 << _BOT
+            elif isinstance(inner, Bottom):
+                pass
+            else:
+                raise _OutOfFragment(
+                    "complement of a non-atomic concept in an assertion"
+                )
+        elif isinstance(concept, Exists):
+            role = self._named_role(concept.role)
+            filler = self.rhs_atom(concept.filler)
+            self.individual_exists.append((individual, role, filler))
+        else:
+            raise _OutOfFragment(
+                f"{type(concept).__name__} in a concept assertion"
+            )
+
+    def touch(self, individual: Individual) -> None:
+        self.individual_init.setdefault(individual, 0)
+
+
+class _Closure:
+    """One saturated context graph (entailment or padded-model universe).
+
+    Contexts are keyed by ABox individual or by ``(atom, range-mask)``
+    for ∃-successors and query concepts; keying successor contexts by
+    the incoming role's effective range prevents range pollution across
+    roles sharing a filler.  The worklist invariant: every conjunction
+    rule is re-checked whenever one of its LHS atoms is added to a
+    context, and probe-time rules always carry a fresh atom in their
+    LHS, so adding rules after saturation stays complete.
+    """
+
+    def __init__(self, program: _Program, padded: bool) -> None:
+        self.program = program
+        self.padded = padded
+        self.sets: List[int] = []
+        self.forbid: List[int] = []
+        self.is_individual: List[bool] = []
+        self.out_edges: List[Set[Tuple[int, int]]] = []
+        self.preds: List[List[Tuple[int, int]]] = []
+        self._index: Dict[object, int] = {}
+        self.queue: Deque[Tuple[int, int]] = deque()
+        self.inconsistent = False
+        self.inferences = 0
+        for individual in sorted(
+            program.individual_init, key=lambda ind: ind.name
+        ):
+            self.context(individual)
+        for source, role, target in program.individual_edges:
+            self._add_edge(
+                self.context(source), role, self.context(target)
+            )
+        for source, role, filler in program.individual_exists:
+            self._add_edge(
+                self.context(source),
+                role,
+                self.concept_context(filler, program.range_for(role)),
+            )
+
+    # -- contexts -------------------------------------------------------
+
+    def context(self, individual: Individual) -> int:
+        key = individual
+        ctx = self._index.get(key)
+        if ctx is None:
+            ctx = self._new_context(
+                forbid=self.program.forbidden.get(individual, 0),
+                is_individual=True,
+            )
+            self._index[key] = ctx
+            self._seed(ctx, self.program.individual_init[individual])
+        return ctx
+
+    def concept_context(self, atom: int, range_mask: int) -> int:
+        key = (atom, range_mask)
+        ctx = self._index.get(key)
+        if ctx is None:
+            ctx = self._new_context(forbid=0, is_individual=False)
+            self._index[key] = ctx
+            self._seed(ctx, (1 << atom) | range_mask)
+        return ctx
+
+    def _new_context(self, forbid: int, is_individual: bool) -> int:
+        ctx = len(self.sets)
+        self.sets.append(0)
+        self.forbid.append(forbid)
+        self.is_individual.append(is_individual)
+        self.out_edges.append(set())
+        self.preds.append([])
+        return ctx
+
+    def _seed(self, ctx: int, mask: int) -> None:
+        mask |= _TOP_MASK
+        if self.padded:
+            mask |= self.program.pad_mask
+        for atom in _bits(mask):
+            self.add_atom(ctx, atom)
+
+    # -- saturation -----------------------------------------------------
+
+    def add_atom(self, ctx: int, atom: int) -> None:
+        bit = 1 << atom
+        if self.sets[ctx] & bit:
+            return
+        self.sets[ctx] |= bit
+        self.inferences += 1
+        self.queue.append((ctx, atom))
+
+    def _add_edge(self, src: int, role: int, dst: int) -> None:
+        edge = (role, dst)
+        if edge in self.out_edges[src]:
+            return
+        self.out_edges[src].add(edge)
+        self.inferences += 1
+        self.preds[dst].append((role, src))
+        program = self.program
+        if self.sets[dst] & (1 << _BOT):
+            self.add_atom(src, _BOT)
+        range_mask = program.range_for(role)
+        if range_mask:
+            for atom in _bits(range_mask & ~self.sets[dst]):
+                self.add_atom(dst, atom)
+        superroles = program.superroles_of(role)
+        for sup in superroles:
+            for filler, consequent in program.domain_rules.get(sup, ()):
+                if self.sets[dst] >> filler & 1:
+                    self.add_atom(src, consequent)
+
+    def run(self, meter: Optional[BudgetMeter] = None) -> None:
+        """Drain the worklist to a fixpoint (resumable after an abort)."""
+        program = self.program
+        queue = self.queue
+        while queue:
+            if meter is not None:
+                meter.tick()
+            ctx, atom = queue.popleft()
+            if atom == _BOT:
+                if self.is_individual[ctx]:
+                    self.inconsistent = True
+                for _role, src in self.preds[ctx]:
+                    self.add_atom(src, _BOT)
+                continue
+            current = self.sets[ctx]
+            if self.forbid[ctx] >> atom & 1:
+                self.add_atom(ctx, _BOT)
+            for rule_id in program.rules_by_atom.get(atom, ()):
+                mask, consequent = program.conj_rules[rule_id]
+                if current & mask == mask:
+                    self.add_atom(ctx, consequent)
+            for role, filler in program.exists_by_atom.get(atom, ()):
+                self._add_edge(
+                    ctx,
+                    role,
+                    self.concept_context(filler, program.range_for(role)),
+                )
+            for rule_role, consequent in program.domain_by_filler.get(
+                atom, ()
+            ):
+                for role, src in self.preds[ctx]:
+                    if rule_role in program.superroles_of(role):
+                        self.add_atom(src, consequent)
+
+
+def _kb_axioms(kb: KnowledgeBase) -> Iterator[Axiom]:
+    yield from kb.concept_inclusions
+    yield from kb.role_inclusions
+    yield from kb.datatype_role_inclusions
+    yield from kb.transitivity_axioms
+    yield from kb.concept_assertions
+    yield from kb.role_assertions
+    yield from kb.negative_role_assertions
+    yield from kb.data_assertions
+    yield from kb.same_individuals
+    yield from kb.different_individuals
+
+
+def axiom_residue_reason(axiom: Axiom) -> Optional[str]:
+    """Why one axiom falls outside the fragment (``None`` when inside)."""
+    program = _Program()
+    try:
+        program.add_axiom(axiom)
+    except _OutOfFragment as out:
+        return out.reason
+    return None
+
+
+def fragment_report(kb: KnowledgeBase) -> FragmentReport:
+    """Classify every axiom of ``kb`` against the saturation fragment."""
+    return SaturationEngine(kb).report
+
+
+#: Parse verdicts of :meth:`SaturationEngine._parse_probes`.
+_UNPARSEABLE = object()
+_TRIVIALLY_UNSAT = object()
+
+
+class SaturationEngine:
+    """Saturation fast path over one (immutable snapshot of a) KB.
+
+    The engine compiles the KB once at construction; per-query work is
+    incremental (new query contexts joining an already-saturated
+    graph).  The caller owns KB-version invalidation: rebuild the
+    engine whenever the KB mutates, exactly like the tableau.
+    """
+
+    def __init__(self, kb: KnowledgeBase) -> None:
+        self._program = _Program()
+        residue: List[Tuple[Axiom, str]] = []
+        total = 0
+        for axiom in _kb_axioms(kb):
+            total += 1
+            try:
+                self._program.add_axiom(axiom)
+            except _OutOfFragment as out:
+                residue.append((axiom, out.reason))
+        self.report = FragmentReport(total=total, residue=tuple(residue))
+        self._known_individuals = frozenset(self._program.individual_init)
+        self._entail: Optional[_Closure] = None
+        self._model: Optional[_Closure] = None
+        self._probe_atoms: Dict[FrozenSet[Concept], Optional[int]] = {}
+
+    @property
+    def complete(self) -> bool:
+        """Whether SAT answers are justified (no residue axioms)."""
+        return self.report.complete
+
+    @property
+    def useful(self) -> bool:
+        """Whether dispatching queries here can ever pay off."""
+        return self.complete or self.report.tractable > 0
+
+    @property
+    def inferences(self) -> int:
+        """Total atom/edge additions across both closures so far."""
+        total = self._entail.inferences if self._entail is not None else 0
+        if self._model is not None and self._model is not self._entail:
+            total += self._model.inferences
+        return total
+
+    # -- closures -------------------------------------------------------
+
+    def _entail_closure(self, meter: Optional[BudgetMeter]) -> _Closure:
+        if self._entail is None:
+            self._entail = _Closure(self._program, padded=False)
+        self._entail.run(meter)
+        return self._entail
+
+    def _model_closure(self, meter: Optional[BudgetMeter]) -> _Closure:
+        if self._model is None:
+            if self._program.pad_mask == 0:
+                self._model = self._entail_closure(meter)
+            else:
+                self._model = _Closure(self._program, padded=True)
+        self._model.run(meter)
+        return self._model
+
+    # -- probe parsing --------------------------------------------------
+
+    def _parse_probes(self, probes: Optional[Sequence[ConceptAssertion]]):
+        """Group probes into ``{individual: (positives, negated-atoms)}``.
+
+        Returns ``_UNPARSEABLE`` when any conjunct falls outside the
+        query language, ``_TRIVIALLY_UNSAT`` when a probe asserts ``⊥``
+        (unsatisfiable whatever the KB says), or the group dict.
+        """
+        groups: Dict[Individual, Tuple[List[Concept], List[AtomicConcept]]] = {}
+        for probe in probes or ():
+            if not isinstance(probe, ConceptAssertion):
+                return _UNPARSEABLE
+            positives, negated = groups.setdefault(
+                probe.individual, ([], [])
+            )
+            flattened = And.of(probe.concept)
+            conjuncts = (
+                flattened.operands
+                if isinstance(flattened, And)
+                else (flattened,)
+            )
+            for conjunct in conjuncts:
+                if isinstance(conjunct, Top):
+                    continue
+                if isinstance(conjunct, Bottom):
+                    return _TRIVIALLY_UNSAT
+                if isinstance(conjunct, Not):
+                    inner = conjunct.operand
+                    if isinstance(inner, Bottom):
+                        continue
+                    if isinstance(inner, Top):
+                        return _TRIVIALLY_UNSAT
+                    if isinstance(inner, AtomicConcept):
+                        negated.append(inner)
+                        continue
+                    return _UNPARSEABLE
+                if isinstance(conjunct, AtomicConcept) or isinstance(
+                    conjunct, (Exists, And)
+                ):
+                    positives.append(conjunct)
+                    continue
+                return _UNPARSEABLE
+        for individual, (positives, _negated) in groups.items():
+            if positives and individual in self._known_individuals:
+                # Positive facts on a KB individual would have to join
+                # the shared closure (and leak through domain rules
+                # into other answers), so those probes go to the
+                # tableau instead.
+                return _UNPARSEABLE
+        return groups
+
+    def _positive_atom(self, positives: Sequence[Concept]) -> Optional[int]:
+        """The (memoised) atom encoding a probe's positive conjunction."""
+        if not positives:
+            return _TOP
+        if len(positives) == 1 and isinstance(positives[0], AtomicConcept):
+            return self._program.intern(positives[0])
+        key = frozenset(positives)
+        if key in self._probe_atoms:
+            return self._probe_atoms[key]
+        atom: Optional[int] = self._program.fresh()
+        try:
+            for conjunct in positives:
+                self._program.add_rhs(1 << atom, conjunct)
+        except _OutOfFragment:
+            # Partially-compiled rules are keyed by the fresh atom,
+            # which is never seeded anywhere — they stay inert.
+            atom = None
+        self._probe_atoms[key] = atom
+        return atom
+
+    # -- the one public query -------------------------------------------
+
+    def satisfiable_with(
+        self,
+        probes: Optional[Sequence[ConceptAssertion]] = None,
+        meter: Optional[BudgetMeter] = None,
+    ) -> Optional[bool]:
+        """``KB + probes`` satisfiable? ``None`` when saturation cannot say.
+
+        ``False`` answers are sound in both modes (they come from the
+        pad-free entailment closure, i.e. from a subset of the KB).
+        ``True`` answers are only issued in complete mode, justified by
+        the padded canonical model staying clash-free.
+        """
+        groups = self._parse_probes(probes)
+        if groups is _TRIVIALLY_UNSAT:
+            return False
+        if groups is _UNPARSEABLE:
+            return None
+        contexts: List[Tuple[object, List[int]]] = []
+        for individual, (positives, negated) in groups.items():
+            negated_atoms = [self._program.intern(atom) for atom in negated]
+            if individual in self._known_individuals:
+                contexts.append((individual, negated_atoms))
+            else:
+                atom = self._positive_atom(positives)
+                if atom is None:
+                    return None
+                contexts.append(((atom, 0), negated_atoms))
+        entail = self._entail_closure(meter)
+        if entail.inconsistent:
+            return False
+        entail_sets = []
+        for key, negated_atoms in contexts:
+            ctx = (
+                entail.context(key)
+                if isinstance(key, Individual)
+                else entail.concept_context(*key)
+            )
+            entail.run(meter)
+            entail_sets.append((ctx, negated_atoms))
+        if entail.inconsistent:
+            return False
+        for ctx, negated_atoms in entail_sets:
+            atoms = entail.sets[ctx]
+            if atoms & (1 << _BOT):
+                return False
+            for atom in negated_atoms:
+                if atoms >> atom & 1:
+                    return False
+        if not self.complete:
+            return None
+        model = self._model_closure(meter)
+        if model.inconsistent:
+            return None
+        for key, negated_atoms in contexts:
+            ctx = (
+                model.context(key)
+                if isinstance(key, Individual)
+                else model.concept_context(*key)
+            )
+            model.run(meter)
+            if model.inconsistent:
+                return None
+            atoms = model.sets[ctx]
+            if atoms & (1 << _BOT):
+                return None
+            for atom in negated_atoms:
+                if atoms >> atom & 1:
+                    return None
+        return True

@@ -29,6 +29,14 @@ class ReasonerStats:
       all runs (each run explores at least one);
     * ``cache_hits`` / ``cache_misses`` — query-cache outcomes;
     * ``cache_evictions`` — entries dropped by the query cache's LRU bound;
+    * ``cache_conflicts`` — attempted stores that *disagreed* with a live
+      cached verdict (a dual-engine soundness tripwire; the store raises
+      :class:`~repro.dl.errors.CacheConflictError` after counting);
+    * ``saturation_queries`` — satisfiability probes answered by the
+      polynomial saturation fast path (no tableau run);
+    * ``saturation_fallbacks`` — probes the saturation engine declined
+      (outside the fragment, or SAT without a padded-model witness) and
+      handed to the tableau;
     * ``subsumption_tests`` — tableau-backed subsumption questions asked
       (cache hits included; compare with ``tableau_runs`` to see sharing);
     * ``told_subsumptions`` — subsumption questions answered from told
@@ -63,6 +71,9 @@ class ReasonerStats:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    cache_conflicts: int = 0
+    saturation_queries: int = 0
+    saturation_fallbacks: int = 0
     subsumption_tests: int = 0
     told_subsumptions: int = 0
     trail_length: int = 0
@@ -130,6 +141,12 @@ class ReasonerStats:
         )
         groups = (
             (
+                "saturation",
+                self.saturation_queries or self.saturation_fallbacks,
+                f"saturation: {self.saturation_queries} answered"
+                f" / {self.saturation_fallbacks} fallbacks",
+            ),
+            (
                 "trail",
                 self.trail_length
                 or self.backjumps
@@ -142,8 +159,9 @@ class ReasonerStats:
             ),
             (
                 "evictions",
-                self.cache_evictions,
-                f"evictions: {self.cache_evictions}",
+                self.cache_evictions or self.cache_conflicts,
+                f"evictions: {self.cache_evictions}"
+                f" (conflicts: {self.cache_conflicts})",
             ),
             (
                 "explanations",

@@ -108,6 +108,7 @@ class Reasoner4:
         search: str = "trail",
         cache_maxsize: Optional[int] = 4096,
         budget: Optional[Budget] = None,
+        engine: str = "auto",
     ):
         """Bind a four-valued reasoner to ``kb4``.
 
@@ -115,9 +116,11 @@ class Reasoner4:
         are forwarded to the classical reasoner over the induced KB:
         search-space budgets, a shareable query cache (or
         ``use_cache=False`` / ``cache_maxsize`` for a private one),
-        shared statistics, the tableau ``search`` strategy, and a
-        default :class:`~repro.dl.budget.Budget` governing every
-        service call.
+        shared statistics, the tableau ``search`` strategy, a default
+        :class:`~repro.dl.budget.Budget` governing every service call,
+        and the ``engine`` dispatch policy (the doubled-signature
+        reduction preserves the tractable fragment, so the saturation
+        fast path applies to induced KBs too).
         """
         self.kb4 = kb4
         self.max_nodes = max_nodes
@@ -127,6 +130,9 @@ class Reasoner4:
         #: Tableau search mode, forwarded to the classical reasoner:
         #: ``"trail"`` (backjumping, default) or ``"copying"`` (oracle).
         self.search = search
+        #: Engine dispatch policy, forwarded to the classical reasoner:
+        #: ``"auto"`` (saturation fast path first) or ``"tableau"``.
+        self.engine = engine
         #: Work counters, preserved across mutation-triggered rebuilds.
         self.stats = stats if stats is not None else ReasonerStats()
         self.cache = (
@@ -149,6 +155,7 @@ class Reasoner4:
             stats=self.stats,
             search=self.search,
             budget=self.budget,
+            engine=self.engine,
         )
 
     def _sync(self) -> None:
@@ -626,6 +633,7 @@ class Reasoner4:
                 max_branches=self.max_branches,
                 use_cache=False,
                 search=self.search,
+                engine=self.engine,
             )
             try:
                 return sub.entails(axiom)
@@ -735,6 +743,7 @@ class Reasoner4:
                 max_branches=self.max_branches,
                 use_cache=False,
                 search=self.search,
+                engine=self.engine,
             )
             try:
                 return not sub.is_satisfiable()

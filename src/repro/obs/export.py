@@ -66,6 +66,7 @@ PHASE_SPANS = frozenset(
         "parse",
         "transform",
         "cache_probe",
+        "saturation_run",
         "tableau_run",
         "justify",
         "shrink_probe",

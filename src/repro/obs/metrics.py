@@ -115,9 +115,17 @@ class Histogram:
     def quantile(self, q: float) -> float:
         """The interpolated ``q``-quantile of the observations (0 if empty).
 
+        The estimate is clamped into the exactly-tracked ``[min, max]``
+        envelope: linear interpolation inside a log-scale bucket can
+        otherwise undershoot the smallest observation (the bucket's
+        lower bound may sit far below it) or overshoot the largest, and
+        a reported quantile outside the observed range is a lie.
+
         >>> h = Histogram("t")
         >>> for v in (0.001, 0.002, 0.004, 0.1): h.observe(v)
         >>> 0.001 <= h.quantile(0.5) <= 0.01
+        True
+        >>> h.quantile(0.0) == h.min and h.quantile(1.0) == h.max
         True
         """
         if not 0.0 <= q <= 1.0:
@@ -134,7 +142,7 @@ class Histogram:
                 high = self.bounds[index]
                 fraction = (rank - seen) / bucket_count
                 estimate = low + (high - low) * fraction
-                return min(estimate, self.max)
+                return min(max(estimate, self.min), self.max)
             seen += bucket_count
         return self.max
 

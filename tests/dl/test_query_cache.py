@@ -123,16 +123,49 @@ class TestLruCapacity:
         assert cache.lookup(k1) is None
         assert cache.lookup(k0) is True
 
-    def test_overwrite_refreshes_recency_without_eviction(self):
+    def test_agreeing_restore_refreshes_recency_without_eviction(self):
         cache = QueryCache(maxsize=2)
         k0, k1, k2 = _keys(3)
         cache.store(k0, True)
         cache.store(k1, True)
-        cache.store(k0, False)  # overwrite, not insert: no eviction
+        cache.store(k0, True)  # agreeing re-store: refresh, no eviction
         assert cache.evictions == 0
         cache.store(k2, True)  # evicts k1, the least recently stored
         assert cache.lookup(k1) is None
+        assert cache.lookup(k0) is True
+
+    def test_conflicting_store_raises_and_keeps_the_cached_verdict(self):
+        from repro.dl import CacheConflictError, ReasonerStats
+
+        stats = ReasonerStats()
+        cache = QueryCache(maxsize=2, stats=stats)
+        (k0,) = _keys(1)
+        cache.store(k0, True)
+        with pytest.raises(CacheConflictError) as excinfo:
+            cache.store(k0, False)
+        assert excinfo.value.cached is True
+        assert excinfo.value.attempted is False
+        assert excinfo.value.key == k0
+        assert stats.cache_conflicts == 1
+        # The original (first-decided) verdict survives untouched.
+        assert cache.lookup(k0) is True
+
+    def test_conflicting_store_counts_without_attached_stats(self):
+        from repro.dl import CacheConflictError
+
+        cache = QueryCache(maxsize=2)
+        (k0,) = _keys(1)
+        cache.store(k0, False)
+        with pytest.raises(CacheConflictError):
+            cache.store(k0, True)
         assert cache.lookup(k0) is False
+
+    def test_disabled_cache_never_conflicts(self):
+        cache = QueryCache(enabled=False)
+        (k0,) = _keys(1)
+        cache.store(k0, True)
+        cache.store(k0, False)  # no entries retained, nothing to disagree
+        assert cache.lookup(k0) is None
 
     def test_unbounded_when_maxsize_is_none(self):
         cache = QueryCache(maxsize=None)
@@ -172,7 +205,7 @@ class TestLruCapacity:
 
 
 class TestReasonerCacheWiring:
-    def test_repeated_identical_probe_runs_the_tableau_once(self):
+    def test_repeated_identical_probe_decides_once(self):
         kb = KnowledgeBase()
         kb.add(ConceptAssertion(x, A), ConceptInclusion(A, B))
         reasoner = Reasoner(kb)
@@ -181,7 +214,8 @@ class TestReasonerCacheWiring:
         assert reasoner.is_instance(x, B)
         assert reasoner.is_instance(x, B)
         delta = reasoner.stats - baseline
-        assert delta.tableau_runs == 1
+        # Exactly one engine decision (saturation or tableau), then hits.
+        assert delta.tableau_runs + delta.saturation_queries == 1
         assert delta.cache_hits == 2
 
     def test_entails_shares_cache_with_is_instance(self):
@@ -193,6 +227,7 @@ class TestReasonerCacheWiring:
         assert reasoner.entails(ConceptAssertion(x, B))
         delta = reasoner.stats - baseline
         assert delta.tableau_runs == 0
+        assert delta.saturation_queries == 0
         assert delta.cache_hits == 1
 
     def test_nnf_variants_share_a_cache_entry(self):
@@ -205,6 +240,7 @@ class TestReasonerCacheWiring:
         delta = reasoner.stats - baseline
         assert delta.cache_hits == 1
         assert delta.tableau_runs == 0
+        assert delta.saturation_queries == 0
 
     def test_entails_all_deduplicates_probes(self):
         kb = KnowledgeBase()
@@ -214,7 +250,7 @@ class TestReasonerCacheWiring:
         axiom = ConceptAssertion(x, B)
         assert reasoner.entails_all([axiom, axiom, axiom])
         delta = reasoner.stats - baseline
-        assert delta.tableau_runs == 1
+        assert delta.tableau_runs + delta.saturation_queries == 1
 
     def test_disabled_cache_reruns_the_tableau(self):
         kb = KnowledgeBase()
@@ -224,7 +260,7 @@ class TestReasonerCacheWiring:
         reasoner.is_instance(x, B)
         reasoner.is_instance(x, B)
         delta = reasoner.stats - baseline
-        assert delta.tableau_runs == 2
+        assert delta.tableau_runs + delta.saturation_queries == 2
         assert delta.cache_hits == 0
 
     def test_kb_version_counts_added_axioms(self):

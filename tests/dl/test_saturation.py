@@ -1,0 +1,411 @@
+"""Unit tests for the consequence-driven saturation engine.
+
+Covers the fragment checker on every axiom constructor, the engine's
+probe language and verdicts in complete and core modes, the padding
+treatment of the awkward ``N1``/``N2`` shapes, budget integration, and
+the dispatch wiring through :class:`~repro.dl.reasoner.Reasoner`.
+"""
+
+import pytest
+
+from repro.dl import (
+    BOTTOM,
+    TOP,
+    And,
+    AtLeast,
+    AtMost,
+    AtomicConcept,
+    AtomicRole,
+    Budget,
+    BudgetExceeded,
+    ConceptAssertion,
+    ConceptEquivalence,
+    ConceptInclusion,
+    DataAssertion,
+    DataValue,
+    DatatypeRole,
+    DatatypeRoleInclusion,
+    DifferentIndividuals,
+    Exists,
+    Forall,
+    FragmentReport,
+    Individual,
+    InverseRole,
+    KnowledgeBase,
+    NegativeRoleAssertion,
+    Not,
+    OneOf,
+    Or,
+    Reasoner,
+    RoleAssertion,
+    RoleInclusion,
+    SameIndividual,
+    SaturationEngine,
+    Transitivity,
+    axiom_residue_reason,
+    fragment_report,
+)
+from repro.dl.datatypes import INTEGER
+
+A = AtomicConcept("A")
+B = AtomicConcept("B")
+C = AtomicConcept("C")
+D = AtomicConcept("D")
+R = AtomicRole("R")
+S = AtomicRole("S")
+T = DatatypeRole("T")
+x = Individual("x")
+y = Individual("y")
+
+
+def probe(individual, concept):
+    return ConceptAssertion(individual, concept)
+
+
+class TestFragmentChecker:
+    """``axiom_residue_reason`` on every axiom constructor."""
+
+    @pytest.mark.parametrize(
+        "axiom",
+        [
+            ConceptInclusion(A, B),
+            ConceptInclusion(And.of(A, B), C),
+            ConceptInclusion(A, And.of(B, C)),
+            ConceptInclusion(A, Exists(R, B)),
+            ConceptInclusion(Exists(R, B), C),
+            ConceptInclusion(Exists(R, TOP), C),
+            ConceptInclusion(TOP, Forall(R, B)),  # global range
+            ConceptInclusion(A, Not(B)),  # disjointness
+            ConceptInclusion(A, BOTTOM),
+            ConceptInclusion(BOTTOM, Or.of(A, B)),  # vacuous: ⊥ on the left
+            ConceptInclusion(Not(A), B),  # N1 via padding
+            ConceptInclusion(Forall(R, Or.of(A, B)), C),  # N2 via padding
+            ConceptInclusion(A, Exists(R, And.of(B, Exists(S, C)))),
+            RoleInclusion(R, S),
+            DatatypeRoleInclusion(T, DatatypeRole("U")),
+            ConceptAssertion(x, A),
+            ConceptAssertion(x, And.of(A, Not(B))),
+            ConceptAssertion(x, Exists(R, B)),
+            ConceptAssertion(x, TOP),
+            ConceptAssertion(x, BOTTOM),
+            RoleAssertion(R, x, y),
+            RoleAssertion(InverseRole(R), x, y),  # normalises to R(y, x)
+            DifferentIndividuals(x, y),
+        ],
+    )
+    def test_in_fragment(self, axiom):
+        assert axiom_residue_reason(axiom) is None
+
+    @pytest.mark.parametrize(
+        "axiom, reason_fragment",
+        [
+            (Transitivity(R), "transitive"),
+            (NegativeRoleAssertion(R, x, y), "negated role"),
+            (SameIndividual(x, y), "equality"),
+            (DataAssertion(T, x, DataValue(INTEGER, 3)), "datatype"),
+            (DifferentIndividuals(x, x), "distinct from itself"),
+            (ConceptInclusion(A, Or.of(B, C)), "Or"),
+            (ConceptInclusion(Or.of(A, B), C), "Or"),
+            (ConceptInclusion(A, AtLeast(2, R)), "AtLeast"),
+            (ConceptInclusion(A, AtMost(1, R)), "AtMost"),
+            (ConceptInclusion(A, OneOf.of("x", "y")), "OneOf"),
+            (ConceptInclusion(A, Not(Or.of(B, C))), "complement"),
+            (ConceptInclusion(A, Forall(R, B)), "non-Top left-hand side"),
+            (ConceptInclusion(A, Exists(InverseRole(R), B)), "inverse"),
+            (ConceptInclusion(Exists(InverseRole(R), B), A), "inverse"),
+            (RoleInclusion(InverseRole(R), S), "inverse"),
+            (ConceptInclusion(Not(Or.of(A, B)), C), "left-hand side"),
+            (ConceptAssertion(x, Or.of(A, B)), "Or"),
+            (ConceptAssertion(x, Not(Exists(R, B))), "complement"),
+            (ConceptAssertion(x, Forall(R, B)), "Forall"),
+            (ConceptEquivalence(A, B), "ConceptEquivalence"),
+        ],
+    )
+    def test_residue_with_reason(self, axiom, reason_fragment):
+        reason = axiom_residue_reason(axiom)
+        assert reason is not None
+        assert reason_fragment in reason
+
+    def test_n1_right_hand_side_is_still_validated(self):
+        # ¬A ⊑ X pads A, but X must itself be expressible.
+        assert axiom_residue_reason(ConceptInclusion(Not(A), B)) is None
+        assert (
+            axiom_residue_reason(ConceptInclusion(Not(A), Or.of(B, C)))
+            is not None
+        )
+
+    def test_equivalences_enter_kbs_as_inclusions(self):
+        # KnowledgeBase.add splits equivalences, so the engine sees two
+        # plain inclusions and the KB stays complete.
+        kb = KnowledgeBase()
+        kb.add(ConceptEquivalence(A, B))
+        assert fragment_report(kb).complete
+
+
+class TestFragmentReport:
+    def test_complete_report(self):
+        kb = KnowledgeBase()
+        kb.add(ConceptInclusion(A, B), ConceptAssertion(x, A))
+        report = fragment_report(kb)
+        assert isinstance(report, FragmentReport)
+        assert report.total == 2
+        assert report.tractable == 2
+        assert report.complete
+        assert report.render() == "saturation fragment: 2/2 axioms (complete)"
+
+    def test_core_report_names_the_residue(self):
+        kb = KnowledgeBase()
+        kb.add(ConceptInclusion(A, B), Transitivity(R))
+        report = fragment_report(kb)
+        assert report.total == 2
+        assert report.tractable == 1
+        assert not report.complete
+        ((axiom, reason),) = report.residue
+        assert isinstance(axiom, Transitivity)
+        assert "transitive" in reason
+        assert report.render() == "saturation fragment: 1/2 axioms (core)"
+
+
+def engine(*axioms):
+    kb = KnowledgeBase()
+    kb.add(*axioms)
+    return SaturationEngine(kb)
+
+
+class TestCompleteModeVerdicts:
+    def test_empty_probe_on_consistent_kb_is_sat(self):
+        assert engine(ConceptInclusion(A, B)).satisfiable_with() is True
+
+    def test_inconsistent_kb_is_unsat(self):
+        eng = engine(
+            ConceptAssertion(x, A),
+            ConceptInclusion(A, B),
+            ConceptInclusion(A, Not(B)),
+        )
+        assert eng.satisfiable_with() is False
+
+    def test_subsumption_chain_probe(self):
+        eng = engine(ConceptInclusion(A, B), ConceptInclusion(B, C))
+        fresh = Individual("__q__")
+        assert eng.satisfiable_with([probe(fresh, And.of(A, Not(C)))]) is False
+        assert eng.satisfiable_with([probe(fresh, And.of(A, Not(D)))]) is True
+
+    def test_existential_domain_chain(self):
+        # A ⊑ ∃R.B and ∃R.B ⊑ C entail A ⊑ C.
+        eng = engine(
+            ConceptInclusion(A, Exists(R, B)),
+            ConceptInclusion(Exists(R, B), C),
+        )
+        fresh = Individual("__q__")
+        assert eng.satisfiable_with([probe(fresh, And.of(A, Not(C)))]) is False
+
+    def test_global_range_applies_to_successors(self):
+        # range(R) = C and ∃R.C ⊓ nothing else: A ⊑ ∃R.B, ∃R.C ⊑ D ⇒ A ⊑ D.
+        eng = engine(
+            ConceptInclusion(A, Exists(R, B)),
+            ConceptInclusion(TOP, Forall(R, C)),
+            ConceptInclusion(Exists(R, C), D),
+        )
+        fresh = Individual("__q__")
+        assert eng.satisfiable_with([probe(fresh, And.of(A, Not(D)))]) is False
+
+    def test_role_hierarchy_lifts_domain_rules(self):
+        # R ⊑ S and ∃S.B ⊑ C: an R-edge to a B counts as an S-edge.
+        eng = engine(
+            RoleInclusion(R, S),
+            ConceptInclusion(A, Exists(R, B)),
+            ConceptInclusion(Exists(S, B), C),
+        )
+        fresh = Individual("__q__")
+        assert eng.satisfiable_with([probe(fresh, And.of(A, Not(C)))]) is False
+
+    def test_instance_check_via_negated_probe(self):
+        eng = engine(
+            ConceptAssertion(x, A),
+            ConceptInclusion(A, B),
+            RoleAssertion(R, x, y),
+            ConceptInclusion(Exists(R, TOP), C),
+        )
+        assert eng.satisfiable_with([probe(x, Not(B))]) is False
+        assert eng.satisfiable_with([probe(x, Not(C))]) is False
+        assert eng.satisfiable_with([probe(y, Not(B))]) is True
+
+    def test_negative_assertion_forbids_derivation(self):
+        eng = engine(
+            ConceptAssertion(x, A),
+            ConceptAssertion(x, Not(B)),
+            ConceptInclusion(A, B),
+        )
+        assert eng.satisfiable_with() is False
+
+    def test_bottom_probe_is_unsat_regardless_of_kb(self):
+        eng = engine(ConceptInclusion(A, B))
+        assert eng.satisfiable_with([probe(x, BOTTOM)]) is False
+        assert eng.satisfiable_with([probe(x, Not(TOP))]) is False
+
+    def test_n1_padding_keeps_complete_mode_sound(self):
+        # ¬A ⊑ B alone is satisfiable (pad A); but A ⊓ ¬A is still unsat.
+        eng = engine(ConceptInclusion(Not(A), B))
+        assert eng.complete
+        assert eng.satisfiable_with() is True
+        fresh = Individual("__q__")
+        assert eng.satisfiable_with([probe(fresh, And.of(A, Not(A)))]) is False
+
+    def test_n2_padding_keeps_complete_mode_sound(self):
+        # ∀R.(B ⊔ C) ⊑ D compiles via a padded marker implying D.
+        eng = engine(ConceptInclusion(Forall(R, Or.of(B, C)), D))
+        assert eng.complete
+        assert eng.satisfiable_with() is True
+
+    def test_padded_clash_declines_instead_of_answering_sat(self):
+        # Padding A universal makes the model clash with x : ¬A, but the
+        # pad-free entailment closure cannot prove inconsistency — the
+        # engine must return None, never a bogus verdict.
+        eng = engine(
+            ConceptInclusion(Not(A), B),
+            ConceptAssertion(x, Not(A)),
+            ConceptInclusion(B, Not(C)),  # keep a rule mentioning B live
+        )
+        assert eng.complete
+        assert eng.satisfiable_with() is None
+
+
+class TestCoreModeVerdicts:
+    def test_unsat_is_still_answered_with_residue(self):
+        # The clash is derivable from the compiled subset, so UNSAT is
+        # sound by monotonicity even though Transitivity was dropped.
+        eng = engine(
+            ConceptAssertion(x, A),
+            ConceptInclusion(A, Not(A)),
+            Transitivity(R),
+        )
+        assert not eng.complete
+        assert eng.useful
+        assert eng.satisfiable_with() is False
+
+    def test_sat_is_never_answered_with_residue(self):
+        eng = engine(ConceptInclusion(A, B), Transitivity(R))
+        assert eng.satisfiable_with() is None
+
+    def test_useless_engine_has_no_tractable_core(self):
+        eng = engine(SameIndividual(x, y))
+        assert not eng.useful
+
+
+class TestProbeLanguage:
+    def test_disjunctive_probe_falls_back(self):
+        eng = engine(ConceptInclusion(A, B))
+        assert eng.satisfiable_with([probe(x, Or.of(A, B))]) is None
+
+    def test_positive_probe_on_kb_individual_falls_back(self):
+        eng = engine(ConceptAssertion(x, A))
+        assert eng.satisfiable_with([probe(x, B)]) is None
+
+    def test_negated_probe_on_kb_individual_is_fine(self):
+        eng = engine(ConceptAssertion(x, A), ConceptInclusion(A, B))
+        assert eng.satisfiable_with([probe(x, Not(B))]) is False
+
+    def test_non_concept_probe_falls_back(self):
+        eng = engine(ConceptAssertion(x, A))
+        assert eng.satisfiable_with([RoleAssertion(R, x, y)]) is None
+
+    def test_unparseable_conjunct_falls_back(self):
+        eng = engine(ConceptInclusion(A, B))
+        fresh = Individual("__q__")
+        assert (
+            eng.satisfiable_with([probe(fresh, And.of(A, AtLeast(2, R)))])
+            is None
+        )
+
+    def test_repeated_queries_reuse_the_closure(self):
+        eng = engine(ConceptInclusion(A, B), ConceptInclusion(B, C))
+        fresh = Individual("__q__")
+        first = eng.satisfiable_with([probe(fresh, And.of(A, Not(C)))])
+        settled = eng.inferences
+        second = eng.satisfiable_with([probe(fresh, And.of(A, Not(C)))])
+        assert first is second is False
+        assert eng.inferences == settled  # memoised probe atom, no rework
+
+
+class TestBudgets:
+    def _cancelled_meter(self):
+        from repro.dl import CancelToken
+
+        token = CancelToken()
+        token.cancel()
+        return Budget(cancel=token).start()
+
+    def test_cancellation_aborts_saturation(self):
+        eng = engine(
+            ConceptAssertion(x, A),
+            ConceptInclusion(A, B),
+            ConceptInclusion(B, C),
+        )
+        with pytest.raises(BudgetExceeded):
+            eng.satisfiable_with(meter=self._cancelled_meter())
+
+    def test_aborted_closure_resumes_monotonically(self):
+        eng = engine(
+            ConceptAssertion(x, A),
+            ConceptInclusion(A, B),
+            ConceptInclusion(A, Not(B)),
+        )
+        with pytest.raises(BudgetExceeded):
+            eng.satisfiable_with(meter=self._cancelled_meter())
+        assert eng.satisfiable_with() is False  # unbudgeted retry decides
+
+    def test_work_caps_do_not_bind_saturation(self):
+        # Node/branch/trail caps are tableau-specific by design.
+        eng = engine(ConceptAssertion(x, A), ConceptInclusion(A, B))
+        meter = Budget(max_nodes=1, max_branches=1, max_trail=1).start()
+        assert eng.satisfiable_with(meter=meter) is True
+
+
+class TestReasonerDispatch:
+    def _kb(self):
+        kb = KnowledgeBase()
+        kb.add(ConceptAssertion(x, A), ConceptInclusion(A, B))
+        return kb
+
+    def test_auto_engine_answers_tractable_kbs_without_tableau(self):
+        reasoner = Reasoner(self._kb())
+        assert reasoner.is_instance(x, B)
+        assert reasoner.stats.saturation_queries >= 1
+        assert reasoner.stats.tableau_runs == 0
+
+    def test_tableau_engine_opts_out(self):
+        reasoner = Reasoner(self._kb(), engine="tableau")
+        assert reasoner.is_instance(x, B)
+        assert reasoner.stats.saturation_queries == 0
+        assert reasoner.stats.tableau_runs >= 1
+
+    def test_unknown_engine_name_is_rejected(self):
+        with pytest.raises(ValueError):
+            Reasoner(self._kb(), engine="oracle")
+
+    def test_fallback_counter_ticks_on_decline(self):
+        kb = self._kb()
+        kb.add(ConceptInclusion(C, Or.of(A, B)))  # residue: core mode
+        reasoner = Reasoner(kb)
+        assert reasoner.is_satisfiable(Or.of(A, B))  # out of probe language
+        assert reasoner.stats.saturation_fallbacks >= 1
+        assert reasoner.stats.tableau_runs >= 1
+
+    def test_mutation_rebuilds_the_engine(self):
+        kb = self._kb()
+        reasoner = Reasoner(kb)
+        assert reasoner.is_instance(x, B)
+        kb.add(ConceptInclusion(B, C))
+        assert reasoner.is_instance(x, C)
+        assert reasoner.stats.tableau_runs == 0
+
+    def test_both_engines_agree_through_the_shared_cache(self):
+        # The same probes through both engines must agree — a mismatch
+        # would raise CacheConflictError out of the shared QueryCache.
+        kb = self._kb()
+        auto = Reasoner(kb)
+        pinned = Reasoner(kb, engine="tableau", cache=auto.cache)
+        for concept in (A, B, Not(A), Not(B), And.of(A, Not(B))):
+            assert auto.is_instance(x, concept) == pinned.is_instance(
+                x, concept
+            )

@@ -18,7 +18,11 @@ spec.loader.exec_module(bench_compare)
 
 
 def make_run(root, suite, probes, seed=0):
-    """A minimal schema-valid run directory with controlled p95 timings."""
+    """A minimal schema-valid run directory with controlled p95 timings.
+
+    A probe value may be a plain p95 float or a ``(p95, count)`` tuple
+    (for modelling probes that measured nothing).
+    """
     run_dir = root / f"{suite}-seed{seed}-fixture"
     counter = 2
     while run_dir.exists():
@@ -37,7 +41,8 @@ def make_run(root, suite, probes, seed=0):
     )
     (run_dir / "manifest.json").write_text(json.dumps(manifest) + "\n")
     lines = []
-    for probe, p95 in probes.items():
+    for probe, spec_ in probes.items():
+        p95, count = spec_ if isinstance(spec_, tuple) else (spec_, 1)
         lines.append(
             json.dumps(
                 {
@@ -48,7 +53,7 @@ def make_run(root, suite, probes, seed=0):
                     "seed": seed,
                     "status": "ok",
                     "seconds": {
-                        "count": 1,
+                        "count": count,
                         "total": p95,
                         "mean": p95,
                         "p50": p95 * 0.9,
@@ -119,6 +124,43 @@ class TestCompare:
         assert code == 0
         assert "new" in out
 
+    def test_zero_sample_probe_fails_as_empty(
+        self, tmp_path, baseline, capsys
+    ):
+        run = make_run(
+            tmp_path, "demo", {"fast": 0.001, "slow": (0.0, 0)}
+        )
+        code = bench_compare.main(["--baseline", str(baseline), str(run)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "EMPTY" in out
+        assert "p95 regression gate: FAILED" in out
+
+    def test_zero_p95_probe_fails_even_with_samples(
+        self, tmp_path, baseline, capsys
+    ):
+        # A 0.0 p95 would trivially pass every threshold; it must gate.
+        run = make_run(
+            tmp_path, "demo", {"fast": 0.001, "slow": (0.0, 5)}
+        )
+        code = bench_compare.main(["--baseline", str(baseline), str(run)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "EMPTY" in out
+
+    def test_new_probe_with_no_samples_also_fails(
+        self, tmp_path, baseline, capsys
+    ):
+        run = make_run(
+            tmp_path,
+            "demo",
+            {"fast": 0.001, "slow": 0.100, "extra": (0.0, 0)},
+        )
+        code = bench_compare.main(["--baseline", str(baseline), str(run)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "EMPTY" in out
+
     def test_tolerance_override_tightens_gate(self, tmp_path, baseline):
         run = make_run(tmp_path, "demo", {"fast": 0.001, "slow": 0.120})
         assert bench_compare.main(["--baseline", str(baseline), str(run)]) == 0
@@ -181,6 +223,16 @@ class TestUpdate:
         rewritten = json.loads(path.read_text())
         assert set(rewritten["suites"]["demo"]) == {"fast"}
         assert "updated" in rewritten["metadata"]["demo"]
+
+    def test_update_refuses_empty_probes(self, tmp_path, capsys):
+        path = tmp_path / "BASELINE.json"
+        run = make_run(tmp_path, "demo", {"fast": 0.001, "slow": (0.0, 0)})
+        code = bench_compare.main(
+            ["--baseline", str(path), "--update", str(run)]
+        )
+        assert code == 2
+        assert "refusing to record empty probes" in capsys.readouterr().err
+        assert not path.is_file()
 
     def test_update_preserves_other_suites(self, tmp_path):
         path = tmp_path / "BASELINE.json"

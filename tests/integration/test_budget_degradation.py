@@ -120,14 +120,16 @@ class TestExponentialKBAcceptance:
 class TestReasoner4Degradation:
     def test_satisfiability_verdict_degrades(self):
         kb4, tweety, CanFly = conflicted_kb4()
-        reasoner = Reasoner4(kb4)
+        # Work caps are tableau-specific; pin the engine so the tiny
+        # trail budget actually bites instead of saturation answering.
+        reasoner = Reasoner4(kb4, engine="tableau")
         verdict = reasoner.is_satisfiable_verdict(budget=Budget(max_trail=1))
         assert verdict.is_unknown()
         assert reasoner.is_satisfiable() is True  # reusable afterwards
 
     def test_assertion_value_bounded_degrades_and_recovers(self):
         kb4, tweety, CanFly = conflicted_kb4()
-        reasoner = Reasoner4(kb4)
+        reasoner = Reasoner4(kb4, engine="tableau")
         bounded = reasoner.assertion_value_bounded(
             tweety, CanFly, budget=Budget(max_trail=1)
         )
@@ -172,10 +174,30 @@ class TestBaselineDegradation:
 
         return collapse_to_classical(kb4), tweety, CanFly
 
+    def _residual_conflicted(self):
+        """The conflicted KB with its clash routed through a disjunction.
+
+        ``Or`` keeps every consistency probe outside the saturation
+        fragment, so the baselines' internal reasoners must run the
+        tableau and the crafted work budgets below genuinely bite.
+        """
+        from repro.dl import BOTTOM, ConceptInclusion, KnowledgeBase, Or
+
+        kb, tweety, CanFly = self._classical_conflicted()
+        residual = KnowledgeBase()
+        for axiom in kb.axioms():
+            if isinstance(axiom, ConceptInclusion) and axiom.sup == CanFly:
+                residual.add(
+                    ConceptInclusion(axiom.sub, Or.of(CanFly, BOTTOM))
+                )
+            else:
+                residual.add(axiom)
+        return residual, tweety, CanFly
+
     def test_repair_reasoner_records_and_returns(self):
         from repro.baselines import RepairReasoner
 
-        kb, tweety, CanFly = self._classical_conflicted()
+        kb, tweety, CanFly = self._residual_conflicted()
         repairer = RepairReasoner(kb, budget=Budget(max_trail=1))
         assert repairer.justifications == []
         assert repairer.degradations, "expected skip-and-record entries"
@@ -200,7 +222,7 @@ class TestBaselineDegradation:
     def test_selection_reasoner_degrades_to_undetermined(self):
         from repro.baselines import SelectionReasoner
 
-        kb, tweety, CanFly = self._classical_conflicted()
+        kb, tweety, CanFly = self._residual_conflicted()
         selector = SelectionReasoner(kb, budget=Budget(max_trail=1))
         # the undecidable ring stops the linear extension and is recorded;
         # the query still answers soundly over the rings decided so far
@@ -226,7 +248,7 @@ class TestBaselineDegradation:
     def test_stratified_reasoner_drops_undecidable_strata(self):
         from repro.baselines import StratifiedReasoner, default_stratification
 
-        kb, tweety, CanFly = self._classical_conflicted()
+        kb, tweety, CanFly = self._residual_conflicted()
         bounded = StratifiedReasoner(
             default_stratification(kb), budget=Budget(max_trail=1)
         )
@@ -285,7 +307,18 @@ class TestCLIBudgetFlags:
         assert "four-valued satisfiable: True" in out
 
     def test_query_branch_cap_exits_3(self, ontology, capsys):
-        code = main(["query", ontology, "tweety", "CanFly", "--max-branches", "1"])
+        code = main(
+            [
+                "query",
+                ontology,
+                "tweety",
+                "CanFly",
+                "--max-branches",
+                "1",
+                "--engine",
+                "tableau",
+            ]
+        )
         out = capsys.readouterr().out
         assert code == 3
         assert "unknown" in out
@@ -297,7 +330,9 @@ class TestCLIBudgetFlags:
         assert "contradictory evidence" in out
 
     def test_classify_partial_hierarchy_exits_3(self, ontology, capsys):
-        code = main(["classify", ontology, "--max-branches", "1"])
+        code = main(
+            ["classify", ontology, "--max-branches", "1", "--engine", "tableau"]
+        )
         out = capsys.readouterr().out
         assert code == 3
         assert "undecided" in out
@@ -324,5 +359,7 @@ class TestCLIBudgetFlags:
         path.write_text(
             CONFLICTED_TEXT + "tweety : hasAncestor some Bird\n"
         )
-        code = main(["check", str(path), "--max-nodes", "1"])
+        code = main(
+            ["check", str(path), "--max-nodes", "1", "--engine", "tableau"]
+        )
         assert code == 3

@@ -177,7 +177,9 @@ class TestAbortedProbesNeverPoison:
         from repro.dl import Budget
 
         kb, A, B, x = self._conflicted_kb()
-        reasoner = Reasoner(kb)
+        # Node caps only constrain the tableau; pin the engine so the
+        # tiny budget actually aborts instead of saturation answering.
+        reasoner = Reasoner(kb, engine="tableau")
         tight = Budget(max_nodes=1)
         verdict = reasoner.instance_verdict(x, B, budget=tight)
         # The probe must actually have been aborted for this test to bite.
@@ -210,7 +212,7 @@ class TestAbortedProbesNeverPoison:
         from repro.dl import Budget
 
         kb, A, B, x = self._conflicted_kb()
-        reasoner = Reasoner(kb)
+        reasoner = Reasoner(kb, engine="tableau")
         tight = Budget(max_nodes=1)
         assert reasoner.instance_verdict(x, B, budget=tight).is_unknown()
         kb.add(ConceptAssertion(x, Not(B)))

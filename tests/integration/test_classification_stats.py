@@ -39,7 +39,8 @@ def test_pairwise_counter_baseline_is_quadratic():
     """``classify_pairwise`` honestly performs ~n^2 distinct tableau runs."""
     induced = _induced("penguin.kb4")
     n = len(induced.concepts_in_signature())
-    reasoner = Reasoner(induced, use_cache=False)
+    # The counter baseline is about tableau work, so pin the engine.
+    reasoner = Reasoner(induced, use_cache=False, engine="tableau")
     reasoner.classify_pairwise()
     assert reasoner.stats.tableau_runs == n * n
 

@@ -15,7 +15,12 @@ seeded random KBs we cross-check them pairwise:
   enumerator is conclusive and arbitrates both of the above;
 * **trail vs copying search** — the backjumping trail engine must match
   the copy-per-branch oracle verdict for verdict while never exploring
-  more branches.
+  more branches;
+* **saturation vs trail tableau** — on seeded KBs drawn entirely from
+  the tractable fragment, the consequence-driven fast path must agree
+  with a tableau-pinned reasoner on satisfiability verdicts, the
+  classification taxonomy and four-valued assertion values, while
+  actually answering (zero tableau fallbacks on complete-mode KBs).
 
 The seeds are fixed ranges, not hypothesis draws, so a failure names the
 exact KB: rebuild it with ``generate_kb(GeneratorConfig(seed=...))``.
@@ -23,9 +28,26 @@ Across the parametrised cases the suite covers well over 200 distinct
 seeded KBs with the cache both on and off.
 """
 
+import random
+
 import pytest
 
-from repro.dl import ConceptAssertion, ConceptInclusion, KnowledgeBase
+from repro.dl import (
+    TOP,
+    And,
+    AtomicConcept,
+    AtomicRole,
+    ConceptAssertion,
+    ConceptInclusion,
+    Exists,
+    Forall,
+    Individual,
+    KnowledgeBase,
+    Not,
+    RoleAssertion,
+    RoleInclusion,
+    fragment_report,
+)
 from repro.dl.reasoner import Reasoner
 from repro.four_dl.axioms4 import ConceptInclusion4, InclusionKind
 from repro.four_dl.reasoner4 import Reasoner4
@@ -235,6 +257,125 @@ class TestTrailVsCopying:
         ), f"seed={seed}"
 
 
+def tractable_kb(seed):
+    """A seeded random KB drawn entirely from the saturation fragment.
+
+    The stock generator has no tractable-only mode (it mixes in ``Or``
+    at any depth above zero), so this local generator draws from the
+    fragment's own grammar: atomic/conjunctive/existential concepts,
+    disjointness via ``Not`` on the right, role hierarchies, global
+    ranges, and plain ABox assertions including negated atoms.
+    """
+    rng = random.Random(seed)
+    atoms = [AtomicConcept(f"C{i}") for i in range(4)]
+    roles = [AtomicRole(f"r{i}") for i in range(2)]
+    individuals = [Individual(f"i{i}") for i in range(3)]
+    kb = KnowledgeBase()
+
+    def concept(depth=1):
+        draw = rng.random()
+        if depth == 0 or draw < 0.5:
+            return rng.choice(atoms)
+        if draw < 0.75:
+            return And.of(rng.choice(atoms), concept(depth - 1))
+        return Exists(rng.choice(roles), concept(depth - 1))
+
+    for _ in range(rng.randint(3, 6)):
+        rhs = (
+            Not(rng.choice(atoms)) if rng.random() < 0.2 else concept()
+        )
+        kb.add(ConceptInclusion(concept(), rhs))
+    if rng.random() < 0.5:
+        kb.add(RoleInclusion(roles[0], roles[1]))
+    if rng.random() < 0.4:
+        kb.add(
+            ConceptInclusion(
+                TOP, Forall(rng.choice(roles), rng.choice(atoms))
+            )
+        )
+    for _ in range(rng.randint(2, 5)):
+        if rng.random() < 0.6:
+            kb.add(ConceptAssertion(rng.choice(individuals), concept()))
+        else:
+            kb.add(
+                RoleAssertion(
+                    rng.choice(roles),
+                    rng.choice(individuals),
+                    rng.choice(individuals),
+                )
+            )
+    if rng.random() < 0.3:
+        kb.add(
+            ConceptAssertion(rng.choice(individuals), Not(rng.choice(atoms)))
+        )
+    return kb
+
+
+class TestSaturationVsTableau:
+    """The saturation fast path vs a tableau-pinned reasoner, seed for seed.
+
+    Both reasoners share nothing; any disagreement shows up directly in
+    the answer comparison (and, wherever a cache is shared elsewhere in
+    the suite, as a :class:`~repro.dl.errors.CacheConflictError`).
+    """
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_generated_kbs_are_in_fragment(self, seed):
+        report = fragment_report(tractable_kb(seed))
+        assert report.complete, f"seed={seed}: {report.render()}"
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_sat_verdicts_agree_without_tableau_fallbacks(self, seed):
+        kb = tractable_kb(seed)
+        atoms, individuals = _signature(kb)
+        auto = Reasoner(kb, use_cache=False)
+        pinned = Reasoner(kb, use_cache=False, engine="tableau")
+        assert _probe_answers(auto, atoms, individuals) == _probe_answers(
+            pinned, atoms, individuals
+        ), f"seed={seed}"
+        # Complete-mode Horn KBs must be answered by saturation alone.
+        assert auto.stats.saturation_queries > 0, f"seed={seed}"
+        assert auto.stats.tableau_runs == 0, f"seed={seed}"
+        assert pinned.stats.saturation_queries == 0
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_classification_taxonomy_agrees(self, seed):
+        kb = tractable_kb(seed)
+        fast = Reasoner(kb).classify()
+        slow = Reasoner(kb, engine="tableau").classify()
+        assert fast == slow, f"seed={seed}"
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_four_valued_assertion_values_agree(self, seed):
+        # Depth-0 KB4s transform into the fragment via the padded
+        # N1/N2 shapes of the doubled-signature reduction.
+        kb4 = generate_kb4(
+            GeneratorConfig(
+                seed=seed,
+                n_concepts=3,
+                n_roles=1,
+                n_individuals=2,
+                n_tbox=4,
+                n_abox=5,
+                max_depth=0,
+            )
+        )
+        atoms = sorted(kb4.concepts_in_signature(), key=lambda a: a.name)
+        individuals = sorted(
+            kb4.individuals_in_signature(), key=lambda i: i.name
+        )
+        auto = Reasoner4(kb4)
+        pinned = Reasoner4(kb4, use_cache=False, engine="tableau")
+        for individual in individuals:
+            for atom in atoms:
+                assert auto.assertion_value(
+                    individual, atom
+                ) is pinned.assertion_value(
+                    individual, atom
+                ), f"seed={seed} {atom.name}({individual.name})"
+        assert auto.stats.saturation_queries > 0, f"seed={seed}"
+
+
 class TestMutationUnderFuzz:
     """Invalidation fuzz: answers after a mutation match a fresh reasoner."""
 
@@ -255,4 +396,5 @@ class TestMutationUnderFuzz:
 def test_fuzz_coverage_floor():
     """The suite must keep exercising at least 200 distinct seeded KBs."""
     cases = 100 + 40 + 60 + 30 + 30 + 60 + 25 + 25 + 40 + 20
+    cases += 40 + 40 + 25 + 25  # saturation-vs-tableau parity classes
     assert cases >= 200

@@ -104,6 +104,55 @@ class TestHistogram:
             Histogram("t", bounds=(1.0, 0.1))
 
 
+class TestQuantileProperties:
+    """Property-style sweeps: the quantile estimate must always live in
+    the exactly-tracked ``[min, max]`` envelope and be monotone in q."""
+
+    QS = [i / 20 for i in range(21)]  # 0.0, 0.05, ..., 1.0
+
+    def _random_histograms(self):
+        import random
+
+        rng = random.Random(0xC0FFEE)
+        for _ in range(25):
+            histogram = Histogram("t")
+            for _ in range(rng.randint(1, 60)):
+                # log-uniform across the bucket range, plus overflow
+                histogram.observe(2.0 ** rng.uniform(-22, 12))
+            yield histogram
+
+    def test_quantiles_always_bracketed_by_min_and_max(self):
+        for histogram in self._random_histograms():
+            for q in self.QS:
+                assert histogram.min <= histogram.quantile(q) <= histogram.max
+
+    def test_quantiles_are_monotone_in_q(self):
+        for histogram in self._random_histograms():
+            values = [histogram.quantile(q) for q in self.QS]
+            assert values == sorted(values)
+
+    def test_extreme_quantiles_hit_the_exact_envelope(self):
+        for histogram in self._random_histograms():
+            assert histogram.quantile(0.0) == histogram.min
+            assert histogram.quantile(1.0) == histogram.max
+
+    def test_single_observation_is_every_quantile(self):
+        # Regression: interpolation from the bucket's lower bound used
+        # to undershoot the only observation for small q.
+        histogram = Histogram("t")
+        histogram.observe(0.9)  # near the top of the (0.5, 1.0] bucket
+        for q in self.QS:
+            assert histogram.quantile(q) == 0.9
+
+    def test_all_overflow_observations_report_the_max(self):
+        histogram = Histogram("t", bounds=(0.1, 1.0))
+        histogram.observe(50.0)
+        histogram.observe(70.0)
+        for q in self.QS:
+            assert 50.0 <= histogram.quantile(q) <= 70.0
+        assert histogram.quantile(1.0) == 70.0
+
+
 class TestGaugeAndRegistry:
     def test_gauge_last_value_wins(self):
         gauge = Gauge("g")
