@@ -25,9 +25,11 @@ allowed; plain ``subclassof`` reads as internal inclusion).  Commands:
 
 ``check``, ``query``, ``audit``, and ``classify`` accept ``--stats`` to
 print the reasoning-work counters (tableau runs, cache hits, branches,
-trail length, backjumps) after the answer, and ``--search
+trail length, backjumps) after the answer, ``--search
 {trail,copying}`` to pick the tableau search strategy (trail-based
-backjumping by default; ``copying`` is the copy-per-branch reference).
+backjumping by default; ``copying`` is the copy-per-branch reference),
+and ``--no-incremental`` to disable fine-grained invalidation after KB
+mutations (wholesale cache clearing instead).
 
 ``check`` and ``query`` additionally accept ``--explain`` — print a
 subset-minimal justification citing the original KB4 axioms, annotated
@@ -117,6 +119,7 @@ def _make_reasoner(args: argparse.Namespace, kb4: KnowledgeBase4) -> Reasoner4:
         kb4,
         search=getattr(args, "search", "trail"),
         engine=getattr(args, "engine", "auto"),
+        incremental=getattr(args, "incremental", True),
     )
     _watch_stats(reasoner.stats)
     return reasoner
@@ -500,6 +503,11 @@ def build_parser() -> argparse.ArgumentParser:
         "reasoning engine dispatch: auto tries the polynomial saturation "
         "fast path before the tableau (default); tableau disables it"
     )
+    incremental_help = (
+        "disable fine-grained invalidation after KB mutations (every "
+        "edit then clears the whole query cache and rebuilds all "
+        "derived structures wholesale)"
+    )
 
     explain_help = (
         "print a minimal justification citing the original KB4 axioms, "
@@ -523,6 +531,13 @@ def build_parser() -> argparse.ArgumentParser:
             choices=["auto", "tableau"],
             default="auto",
             help=engine_help,
+        )
+        subparser.add_argument(
+            "--no-incremental",
+            dest="incremental",
+            action="store_false",
+            default=True,
+            help=incremental_help,
         )
 
     def add_explain_flags(subparser: argparse.ArgumentParser) -> None:

@@ -11,10 +11,27 @@ cache memoises exactly that question.  Soundness rests on two invariants:
   equality implies answer equality.
 * **Invalidation on mutation.**  Keys say nothing about the KB; the owning
   reasoner compares the KB's monotone ``version`` counter on every query
-  and clears the cache (and rebuilds its tableau) whenever the KB changed.
+  and invalidates whenever the KB changed.  When the KB's change log can
+  name the net ``(added, removed)`` axiom delta, the reasoner calls
+  :meth:`QueryCache.invalidate_delta` to drop only the entries the edit
+  can affect (see below); otherwise it falls back to :meth:`QueryCache.clear`.
   A cache instance must therefore only ever be shared by reasoners over
   the *same* knowledge base (e.g. a :class:`~repro.four_dl.reasoner4.Reasoner4`
   and the classical reasoner it delegates to).
+
+**Fine-grained invalidation.**  Each entry optionally carries the set of
+KB axioms its verdict is known to depend on (an unsat core harvested
+from the trail tableau's provenance tags; ``None`` means "depends on
+everything", the conservative fallback for verdicts answered without
+provenance).  Survival across an edit follows from monotonicity of
+classical entailment (``docs/THEORY.md`` section 12):
+
+* a **satisfiable** verdict survives removals (fewer constraints cannot
+  create a clash) but dies on any addition;
+* an **unsatisfiable** verdict survives additions (more constraints
+  cannot repair a clash) and survives removals iff its recorded
+  dependency set — a superset of at least one justification — is
+  disjoint from the removed axioms.
 
 The cache never stores completion graphs, only boolean verdicts, so a
 model-extraction request always re-runs the tableau.
@@ -121,25 +138,36 @@ class QueryCache:
         self.maxsize = maxsize
         self.stats = stats
         self.evictions = 0
-        self._entries: "OrderedDict[CacheKey, bool]" = OrderedDict()
+        self._entries: "OrderedDict[CacheKey, Tuple[bool, Optional[FrozenSet]]]" = (
+            OrderedDict()
+        )
 
     def lookup(self, key: CacheKey) -> Optional[bool]:
         """The cached verdict for a canonical key, or ``None`` on a miss."""
         if not self.enabled:
             return None
-        value = self._entries.get(key)
-        if value is not None:
-            self._entries.move_to_end(key)
-        return value
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        self._entries.move_to_end(key)
+        return entry[0]
 
-    def store(self, key: CacheKey, value: bool) -> None:
+    def store(
+        self,
+        key: CacheKey,
+        value: bool,
+        deps: Optional[FrozenSet] = None,
+    ) -> None:
         """Record a verdict (no-op when disabled), evicting LRU overflow.
 
-        Re-storing the value a key already holds refreshes its LRU slot;
-        storing the *opposite* value raises
+        ``deps`` is the set of KB axioms the verdict is known to depend
+        on (``None`` = depends on everything); it steers
+        :meth:`invalidate_delta`.  Re-storing the value a key already
+        holds refreshes its LRU slot (and upgrades a ``None`` dependency
+        set to a concrete one); storing the *opposite* value raises
         :class:`~repro.dl.errors.CacheConflictError` (after counting it
         on ``stats.cache_conflicts``) — decided verdicts are
-        deterministic per KB version, so a disagreement between the
+        deterministic per KB state, so a disagreement between the
         engines sharing this cache is a soundness bug that must surface,
         never be silently overwritten.
         """
@@ -147,16 +175,19 @@ class QueryCache:
             return
         cached = self._entries.get(key)
         if cached is not None:
-            if cached != value:
+            if cached[0] != value:
                 add_event(
-                    "cache_conflict", {"cached": cached, "attempted": value}
+                    "cache_conflict",
+                    {"cached": cached[0], "attempted": value},
                 )
                 if self.stats is not None:
                     self.stats.cache_conflicts += 1
-                raise CacheConflictError(key, cached, value)
+                raise CacheConflictError(key, cached[0], value)
+            if cached[1] is None and deps is not None:
+                self._entries[key] = (value, deps)
             self._entries.move_to_end(key)
             return
-        self._entries[key] = value
+        self._entries[key] = (value, deps)
         if self.maxsize is not None and len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
             self.evictions += 1
@@ -164,8 +195,43 @@ class QueryCache:
             if self.stats is not None:
                 self.stats.cache_evictions += 1
 
+    def invalidate_delta(
+        self,
+        added: FrozenSet,
+        removed: FrozenSet,
+    ) -> Tuple[int, int]:
+        """Drop only the entries a net axiom delta can affect.
+
+        Applies the monotonicity rules from the class docstring:
+        satisfiable verdicts survive pure removals, unsatisfiable
+        verdicts survive additions plus any removal disjoint from their
+        recorded dependency set.  Returns ``(invalidated, survived)``
+        counts; LRU order of the survivors is preserved.  An empty delta
+        (an edit that netted out, e.g. remove-then-re-add) keeps every
+        entry.
+        """
+        if not self.enabled or (not added and not removed):
+            return (0, len(self._entries))
+        survivors: "OrderedDict[CacheKey, Tuple[bool, Optional[FrozenSet]]]" = (
+            OrderedDict()
+        )
+        invalidated = 0
+        for key, (value, deps) in self._entries.items():
+            if value:
+                keep = not added
+            else:
+                keep = not removed or (
+                    deps is not None and deps.isdisjoint(removed)
+                )
+            if keep:
+                survivors[key] = (value, deps)
+            else:
+                invalidated += 1
+        self._entries = survivors
+        return (invalidated, len(survivors))
+
     def clear(self) -> None:
-        """Drop every entry (called by reasoners on KB mutation)."""
+        """Drop every entry (wholesale invalidation on KB mutation)."""
         self._entries.clear()
 
     def __len__(self) -> int:

@@ -1,0 +1,369 @@
+"""Fine-grained invalidation support: change logs and locality analysis.
+
+Live ontology editing mutates a knowledge base constantly; recomputing
+every derived structure (query cache, saturation closures, taxonomy)
+from scratch after each edit throws away almost all of the work the
+previous state paid for.  This module supplies the machinery that lets
+the reasoners invalidate *only* what a mutation can actually affect:
+
+* :class:`ChangeLog` — a bounded axiom-level mutation journal kept by
+  :class:`~repro.dl.kb.KnowledgeBase` (and its four-valued counterpart).
+  Each ``add``/``remove`` is recorded against the version counter it
+  produced, so a consumer that remembers the version it last synced at
+  can ask for exactly the records it missed.  When the journal window
+  has been exceeded the log answers ``None`` — the signal to fall back
+  to conservative wholesale invalidation, never to guess.
+* :func:`net_delta` — multiset arithmetic over a record slice: an axiom
+  removed and re-added nets out to no change at all.  The result is an
+  over-approximation of the true set delta (safe to invalidate against).
+* :func:`is_component_safe` / :func:`affected_atoms` — the locality
+  analysis behind incremental classification.  A knowledge base whose
+  axioms are all *component-safe* decomposes into signature-connected
+  components that cannot constrain each other (disjoint unions of
+  component models are models), so subsumption between atoms of
+  untouched components survives an edit verbatim.  Safety is decided by
+  evaluating each axiom under the empty interpretation: an axiom that
+  is satisfied when every name it uses denotes the empty set places no
+  constraint on foreign domain elements.  ``Thing subclassof {o}`` is
+  the canonical unsafe axiom — its signature is tiny but it bounds the
+  whole domain, which is why a syntactic signature-overlap test alone
+  would be unsound.
+
+The soundness contract for all of this (what a surviving cache entry or
+taxonomy row is allowed to assume) is written up in ``docs/THEORY.md``
+section 12.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from . import axioms as ax
+from .concepts import (
+    And,
+    AtLeast,
+    AtMost,
+    AtomicConcept,
+    Bottom,
+    Concept,
+    DataAtLeast,
+    DataAtMost,
+    DataExists,
+    DataForall,
+    Exists,
+    Forall,
+    Not,
+    OneOf,
+    Or,
+    QualifiedAtLeast,
+    QualifiedAtMost,
+    Top,
+    atomic_concepts,
+    datatype_roles,
+    nominals,
+    object_roles,
+)
+
+__all__ = [
+    "ChangeLog",
+    "ChangeRecord",
+    "EditTransaction",
+    "net_delta",
+    "axiom_signature",
+    "is_component_safe",
+    "affected_atoms",
+]
+
+#: One journal entry: ``("add" | "remove", axiom)``.
+ChangeRecord = Tuple[str, ax.Axiom]
+
+#: Journal window: consumers further behind than this get ``None``
+#: (conservative full invalidation) instead of an incomplete delta.
+LOG_LIMIT = 4096
+
+
+class ChangeLog:
+    """A bounded journal of axiom-level knowledge-base mutations.
+
+    Records are appended with the version counter value the mutation
+    produced, so they are version-ascending by construction.  The log
+    keeps at least :data:`LOG_LIMIT` records; older entries are trimmed
+    and :meth:`since` answers ``None`` for any version below the trimmed
+    horizon — "I no longer know what changed", never a partial answer.
+    """
+
+    __slots__ = ("_records", "_floor")
+
+    def __init__(self, floor: int = 0):
+        self._records: List[Tuple[int, str, ax.Axiom]] = []
+        self._floor = floor
+
+    def record(self, version: int, op: str, axiom: ax.Axiom) -> None:
+        """Journal one mutation (``op`` is ``"add"`` or ``"remove"``)."""
+        self._records.append((version, op, axiom))
+        if len(self._records) > 2 * LOG_LIMIT:
+            cut = len(self._records) - LOG_LIMIT
+            self._floor = self._records[cut - 1][0]
+            del self._records[:cut]
+
+    def since(self, version: int) -> Optional[List[ChangeRecord]]:
+        """The records after ``version``, oldest first.
+
+        ``None`` when ``version`` predates the journal window, meaning
+        the caller must fall back to wholesale invalidation.
+        """
+        if version < self._floor:
+            return None
+        index = len(self._records)
+        while index > 0 and self._records[index - 1][0] > version:
+            index -= 1
+        return [(op, axiom) for _, op, axiom in self._records[index:]]
+
+
+class EditTransaction:
+    """An atomic batch of mutations, applied on clean context exit.
+
+    Returned by ``KnowledgeBase.edit()`` (and the four-valued mirror).
+    Operations are *deferred*: nothing touches the knowledge base until
+    the ``with`` block exits without an exception, at which point the
+    whole batch is validated (strict ``remove`` of an absent axiom
+    raises before anything is applied) and then journalled as ordinary
+    ``add_axiom``/``remove_axiom`` calls.  An exception inside the block
+    discards the batch, leaving the knowledge base untouched.
+
+    The host knowledge base must provide the mutation protocol:
+    ``add_axiom``/``remove_axiom`` plus the private ``_expanded`` (axiom
+    to stored-form expansion) and ``_count`` (stored-form multiplicity)
+    hooks.
+    """
+
+    def __init__(self, kb):
+        self._kb = kb
+        self._ops: List[Tuple[str, ax.Axiom]] = []
+
+    def add(self, axiom: ax.Axiom) -> "EditTransaction":
+        """Queue an addition."""
+        self._ops.append(("add", axiom))
+        return self
+
+    def remove(self, axiom: ax.Axiom) -> "EditTransaction":
+        """Queue a strict removal (absent axiom fails the whole batch)."""
+        self._ops.append(("remove", axiom))
+        return self
+
+    def retract(self, axiom: ax.Axiom) -> "EditTransaction":
+        """Queue a remove-if-present (absent axiom is a no-op)."""
+        self._ops.append(("retract", axiom))
+        return self
+
+    def __enter__(self) -> "EditTransaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            return False  # abandon the batch, propagate the exception
+        delta: Counter = Counter()
+        plan: List[Tuple[str, ax.Axiom]] = []
+        for op, axiom in self._ops:
+            expanded = self._kb._expanded(axiom)
+            if op == "add":
+                for concrete in expanded:
+                    delta[concrete] += 1
+                plan.append(("add", axiom))
+                continue
+            need = Counter(expanded)
+            present = all(
+                self._kb._count(concrete) + delta[concrete] >= count
+                for concrete, count in need.items()
+            )
+            if not present:
+                if op == "remove":
+                    raise ValueError(f"axiom not present: {axiom!r}")
+                continue  # retract of an absent axiom: no-op
+            for concrete in expanded:
+                delta[concrete] -= 1
+            plan.append(("remove", axiom))
+        for op, axiom in plan:
+            if op == "add":
+                self._kb.add_axiom(axiom)
+            else:
+                self._kb.remove_axiom(axiom)
+        return False
+
+
+def net_delta(
+    records: Iterable[ChangeRecord],
+) -> Tuple[FrozenSet[ax.Axiom], FrozenSet[ax.Axiom]]:
+    """The ``(added, removed)`` multiset delta of a record slice.
+
+    An axiom removed and later re-added (or vice versa) cancels out.
+    Because knowledge bases are axiom *multisets*, removing one copy of
+    a duplicated axiom nets to "removed" here even though another copy
+    remains — an over-approximation that only ever invalidates more
+    than strictly necessary, never less.
+    """
+    counts: Counter = Counter()
+    for op, axiom in records:
+        counts[axiom] += 1 if op == "add" else -1
+    added = frozenset(a for a, n in counts.items() if n > 0)
+    removed = frozenset(a for a, n in counts.items() if n < 0)
+    return added, removed
+
+
+# ----------------------------------------------------------------------
+# Signature graph
+# ----------------------------------------------------------------------
+def _concept_vertices(concept: Concept) -> Set[Tuple[str, str]]:
+    found: Set[Tuple[str, str]] = set()
+    found |= {("c", c.name) for c in atomic_concepts(concept)}
+    found |= {("r", r.named.name) for r in object_roles(concept)}
+    found |= {("d", r.name) for r in datatype_roles(concept)}
+    found |= {("i", i.name) for i in nominals(concept)}
+    return found
+
+
+def axiom_signature(axiom: ax.Axiom) -> FrozenSet[Tuple[str, str]]:
+    """The tagged signature vertices an axiom mentions.
+
+    Vertices are ``("c", name)`` for atomic concepts, ``("r", name)``
+    for named object roles (inverses collapse to their named role),
+    ``("d", name)`` for datatype roles and ``("i", name)`` for
+    individuals (asserted or mentioned in nominals).  Two axioms sharing
+    a vertex land in the same component of the signature graph.
+    """
+    out: Set[Tuple[str, str]] = set()
+    if isinstance(axiom, ax.ConceptInclusion):
+        out |= _concept_vertices(axiom.sub)
+        out |= _concept_vertices(axiom.sup)
+    elif isinstance(axiom, ax.ConceptEquivalence):
+        out |= _concept_vertices(axiom.left)
+        out |= _concept_vertices(axiom.right)
+    elif isinstance(axiom, ax.RoleInclusion):
+        out |= {("r", axiom.sub.named.name), ("r", axiom.sup.named.name)}
+    elif isinstance(axiom, ax.DatatypeRoleInclusion):
+        out |= {("d", axiom.sub.name), ("d", axiom.sup.name)}
+    elif isinstance(axiom, ax.Transitivity):
+        out.add(("r", axiom.role.name))
+    elif isinstance(axiom, ax.ConceptAssertion):
+        out.add(("i", axiom.individual.name))
+        out |= _concept_vertices(axiom.concept)
+    elif isinstance(axiom, (ax.RoleAssertion, ax.NegativeRoleAssertion)):
+        out |= {
+            ("r", axiom.role.named.name),
+            ("i", axiom.source.name),
+            ("i", axiom.target.name),
+        }
+    elif isinstance(axiom, ax.DataAssertion):
+        out |= {("d", axiom.role.name), ("i", axiom.source.name)}
+    elif isinstance(axiom, (ax.SameIndividual, ax.DifferentIndividuals)):
+        out |= {("i", axiom.left.name), ("i", axiom.right.name)}
+    else:
+        raise TypeError(f"unknown axiom kind: {axiom!r}")
+    return frozenset(out)
+
+
+# ----------------------------------------------------------------------
+# Component safety (locality under the empty interpretation)
+# ----------------------------------------------------------------------
+def _empty_eval(concept: Concept) -> bool:
+    """Membership of a fresh element in ``concept``, all names empty.
+
+    Evaluates "x in C" for a padding element x of a foreign component:
+    every atomic concept and role denotes the empty set, and x is not
+    any named individual (so nominals evaluate to false).
+    """
+    if isinstance(concept, AtomicConcept):
+        return False
+    if isinstance(concept, Top):
+        return True
+    if isinstance(concept, Bottom):
+        return False
+    if isinstance(concept, Not):
+        return not _empty_eval(concept.operand)
+    if isinstance(concept, And):
+        return all(_empty_eval(c) for c in concept.operands)
+    if isinstance(concept, Or):
+        return any(_empty_eval(c) for c in concept.operands)
+    if isinstance(concept, OneOf):
+        return False
+    if isinstance(concept, (Exists, DataExists)):
+        return False
+    if isinstance(concept, (Forall, DataForall)):
+        return True
+    if isinstance(concept, (AtLeast, QualifiedAtLeast, DataAtLeast)):
+        return concept.n == 0
+    if isinstance(concept, (AtMost, QualifiedAtMost, DataAtMost)):
+        return True
+    raise TypeError(f"unknown concept kind: {concept!r}")
+
+
+def is_component_safe(axiom: ax.Axiom) -> bool:
+    """Whether an axiom constrains only its own signature component.
+
+    An axiom is component-safe when the empty interpretation satisfies
+    it — then a domain element touching none of the axiom's names can
+    never violate it, so disjoint unions of per-component models are
+    models of the whole knowledge base.  Assertions and role axioms are
+    always safe (they constrain named individuals or empty roles);
+    concept inclusions are safe iff a foreign element vacuously
+    satisfies them, e.g. ``A subclassof B`` is safe while
+    ``Thing subclassof {o}`` or ``Thing subclassof A`` are not.
+    """
+    if isinstance(axiom, ax.ConceptInclusion):
+        return not _empty_eval(axiom.sub) or _empty_eval(axiom.sup)
+    if isinstance(axiom, ax.ConceptEquivalence):
+        return all(is_component_safe(inc) for inc in axiom.inclusions())
+    return True
+
+
+def affected_atoms(
+    axioms: Iterable[ax.Axiom],
+    dirty_signature: FrozenSet[Tuple[str, str]],
+) -> Optional[FrozenSet[AtomicConcept]]:
+    """Atomic concepts whose component a dirty signature touches.
+
+    Unions each axiom's signature into connected components and returns
+    the atomic concepts reachable from ``dirty_signature``.  Answers
+    ``None`` as soon as any axiom is not component-safe — then the
+    component decomposition proves nothing and the caller must treat
+    every atom as affected.
+    """
+    parent: Dict[Tuple[str, str], Tuple[str, str]] = {}
+
+    def find(vertex: Tuple[str, str]) -> Tuple[str, str]:
+        root = vertex
+        while parent.setdefault(root, root) != root:
+            root = parent[root]
+        while parent[vertex] != root:  # path compression
+            parent[vertex], vertex = root, parent[vertex]
+        return root
+
+    def union(left: Tuple[str, str], right: Tuple[str, str]) -> None:
+        parent[find(left)] = find(right)
+
+    atoms: Set[AtomicConcept] = set()
+    for axiom in axioms:
+        if not is_component_safe(axiom):
+            return None
+        signature = axiom_signature(axiom)
+        atoms |= {
+            AtomicConcept(name) for kind, name in signature if kind == "c"
+        }
+        first = None
+        for vertex in signature:
+            if first is None:
+                first = find(vertex)
+            else:
+                union(first, vertex)
+    dirty_roots = {find(v) for v in dirty_signature if v in parent}
+    # Dirty names not present in the surviving KB still name themselves.
+    affected = {
+        AtomicConcept(name)
+        for kind, name in dirty_signature
+        if kind == "c"
+    }
+    affected |= {
+        atom for atom in atoms if find(("c", atom.name)) in dirty_roots
+    }
+    return frozenset(affected)

@@ -10,10 +10,21 @@ and the model checker need them.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from . import axioms as ax
+from .incremental import ChangeLog, ChangeRecord, EditTransaction, net_delta
 from .concepts import (
     AtomicConcept,
     Concept,
@@ -55,8 +66,10 @@ class KnowledgeBase:
     def __post_init__(self) -> None:
         # Monotone mutation counter (not a dataclass field: equality and
         # repr stay purely axiom-based).  Reasoners compare it on every
-        # query to invalidate caches and rebuild tableaux after add().
+        # query to detect mutation, then ask the change log *what*
+        # changed to invalidate only the affected derived state.
         self._version = 0
+        self._log = ChangeLog()
 
     @property
     def version(self) -> int:
@@ -64,38 +77,123 @@ class KnowledgeBase:
         return self._version
 
     # ------------------------------------------------------------------
-    # Construction
+    # Construction & mutation
     # ------------------------------------------------------------------
+    def _expanded(self, axiom: ax.Axiom) -> Tuple[ax.Axiom, ...]:
+        """The stored form of an axiom: normalised, equivalences split.
+
+        Mutations journal (and remove) exactly these stored forms, so
+        an axiom added and then removed through the public API always
+        nets out of :meth:`delta_since`.
+        """
+        if isinstance(axiom, ax.ConceptEquivalence):
+            return axiom.inclusions()
+        if isinstance(axiom, (ax.RoleAssertion, ax.NegativeRoleAssertion)):
+            return (axiom.normalised(),)
+        return (axiom,)
+
+    def _list_for(self, axiom: ax.Axiom) -> List[ax.Axiom]:
+        """The per-kind bucket a stored-form axiom lives in."""
+        if isinstance(axiom, ax.ConceptInclusion):
+            return self.concept_inclusions
+        if isinstance(axiom, ax.RoleInclusion):
+            return self.role_inclusions
+        if isinstance(axiom, ax.DatatypeRoleInclusion):
+            return self.datatype_role_inclusions
+        if isinstance(axiom, ax.Transitivity):
+            return self.transitivity_axioms
+        if isinstance(axiom, ax.ConceptAssertion):
+            return self.concept_assertions
+        if isinstance(axiom, ax.RoleAssertion):
+            return self.role_assertions
+        if isinstance(axiom, ax.NegativeRoleAssertion):
+            return self.negative_role_assertions
+        if isinstance(axiom, ax.DataAssertion):
+            return self.data_assertions
+        if isinstance(axiom, ax.SameIndividual):
+            return self.same_individuals
+        if isinstance(axiom, ax.DifferentIndividuals):
+            return self.different_individuals
+        raise TypeError(f"unknown axiom kind: {axiom!r}")
+
+    def _count(self, axiom: ax.Axiom) -> int:
+        """Multiplicity of a stored-form axiom (KBs are multisets)."""
+        return self._list_for(axiom).count(axiom)
+
     def add(self, *axioms_: ax.Axiom) -> "KnowledgeBase":
         """Add axioms of any kind; returns self for chaining."""
-        self._version += len(axioms_)
         for axiom in axioms_:
-            if isinstance(axiom, ax.ConceptEquivalence):
-                for inclusion in axiom.inclusions():
-                    self.concept_inclusions.append(inclusion)
-            elif isinstance(axiom, ax.ConceptInclusion):
-                self.concept_inclusions.append(axiom)
-            elif isinstance(axiom, ax.RoleInclusion):
-                self.role_inclusions.append(axiom)
-            elif isinstance(axiom, ax.DatatypeRoleInclusion):
-                self.datatype_role_inclusions.append(axiom)
-            elif isinstance(axiom, ax.Transitivity):
-                self.transitivity_axioms.append(axiom)
-            elif isinstance(axiom, ax.ConceptAssertion):
-                self.concept_assertions.append(axiom)
-            elif isinstance(axiom, ax.RoleAssertion):
-                self.role_assertions.append(axiom.normalised())
-            elif isinstance(axiom, ax.NegativeRoleAssertion):
-                self.negative_role_assertions.append(axiom.normalised())
-            elif isinstance(axiom, ax.DataAssertion):
-                self.data_assertions.append(axiom)
-            elif isinstance(axiom, ax.SameIndividual):
-                self.same_individuals.append(axiom)
-            elif isinstance(axiom, ax.DifferentIndividuals):
-                self.different_individuals.append(axiom)
-            else:
-                raise TypeError(f"unknown axiom kind: {axiom!r}")
+            self._version += 1
+            for concrete in self._expanded(axiom):
+                self._list_for(concrete).append(concrete)
+                self._log.record(self._version, "add", concrete)
         return self
+
+    def add_axiom(self, axiom: ax.Axiom) -> "KnowledgeBase":
+        """Add one axiom (the mutation-API spelling of :meth:`add`)."""
+        return self.add(axiom)
+
+    def remove_axiom(self, axiom: ax.Axiom) -> "KnowledgeBase":
+        """Remove one occurrence of an axiom; absent axioms raise.
+
+        Equivalence axioms remove both of their stored inclusions —
+        all-or-nothing: if either is missing, ``ValueError`` is raised
+        and nothing is changed.  Role assertions are matched in their
+        normalised (named-role) form, mirroring :meth:`add`.
+        """
+        expanded = self._expanded(axiom)
+        need = Counter(expanded)
+        for concrete, count in need.items():
+            if self._count(concrete) < count:
+                raise ValueError(f"axiom not present: {concrete!r}")
+        self._version += 1
+        for concrete in expanded:
+            self._list_for(concrete).remove(concrete)
+            self._log.record(self._version, "remove", concrete)
+        return self
+
+    def retract(self, axiom: ax.Axiom) -> bool:
+        """Remove an axiom if present; True when something was removed."""
+        try:
+            self.remove_axiom(axiom)
+        except ValueError:
+            return False
+        return True
+
+    def edit(self) -> EditTransaction:
+        """An atomic batch of mutations::
+
+            with kb.edit() as tx:
+                tx.remove(old_axiom)
+                tx.add(new_axiom)
+
+        Nothing is applied until the block exits cleanly; an exception
+        inside the block (including a strict ``remove`` of an absent
+        axiom, validated before anything is applied) leaves the
+        knowledge base untouched.
+        """
+        return EditTransaction(self)
+
+    def changes_since(self, version: int) -> Optional[List[ChangeRecord]]:
+        """The journalled mutations after ``version``, oldest first.
+
+        ``None`` when ``version`` predates the bounded change-log
+        window — consumers must then invalidate wholesale.
+        """
+        return self._log.since(version)
+
+    def delta_since(
+        self, version: int
+    ) -> Optional[Tuple[FrozenSet[ax.Axiom], FrozenSet[ax.Axiom]]]:
+        """The net ``(added, removed)`` axiom sets after ``version``.
+
+        Multiset arithmetic over the change log: an axiom removed and
+        re-added nets out.  ``None`` when the log window was exceeded.
+        """
+        records = self._log.since(version)
+        if records is None:
+            return None
+        return net_delta(records)
 
     @staticmethod
     def of(axioms_: Iterable[ax.Axiom]) -> "KnowledgeBase":

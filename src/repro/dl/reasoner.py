@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .axioms import (
+    ABoxAxiom,
     Axiom,
     ConceptAssertion,
     ConceptEquivalence,
@@ -58,7 +59,9 @@ from .concepts import (
     Forall,
     Not,
     OneOf,
+    nominals,
 )
+from .incremental import affected_atoms, axiom_signature
 from .individuals import Individual
 from .kb import KnowledgeBase
 from .stats import ReasonerStats
@@ -94,6 +97,7 @@ class Reasoner:
         cache_maxsize: Optional[int] = 4096,
         budget: Optional[Budget] = None,
         engine: str = "auto",
+        incremental: bool = True,
     ):
         """Bind a reasoner to ``kb``.
 
@@ -107,7 +111,9 @@ class Reasoner:
         attaches a default :class:`~repro.dl.budget.Budget` governing
         every service call (per-call ``budget=`` arguments override it);
         ``engine`` selects dispatch: ``"auto"`` tries the saturation
-        fast path before the tableau, ``"tableau"`` disables it.
+        fast path before the tableau, ``"tableau"`` disables it;
+        ``incremental=False`` disables fine-grained invalidation (every
+        KB mutation then falls back to wholesale cache clearing).
         """
         if engine not in ("auto", "tableau"):
             raise ValueError(f"unknown engine {engine!r}")
@@ -131,35 +137,104 @@ class Reasoner:
         )
         if self.cache.stats is None:
             self.cache.stats = self.stats
+        #: Whether KB mutations are absorbed through fine-grained
+        #: invalidation (dependency-indexed cache survival, incremental
+        #: re-saturation, taxonomy reuse) instead of wholesale clearing.
+        self.incremental = incremental
         self._tableau = self._build_tableau()
         # Built lazily on the first query (saturating a KB nobody
         # queries would be wasted work); dropped on KB mutation.
         self._saturation: Optional[SaturationEngine] = None
         self._kb_version = kb.version
+        # Classification memo: (atoms-key, hierarchy, kb-consistent) of
+        # the last classify() call, plus the dirty state accumulated by
+        # fine-grained _sync since it was stored (signature vertices of
+        # every delta axiom, and the removed/added axiom sets needed to
+        # reconstruct the old KB for the safety side-conditions).
+        self._classify_memo: Optional[
+            Tuple[FrozenSet[AtomicConcept], Dict, bool]
+        ] = None
+        self._classify_dirty: Set[Tuple[str, str]] = set()
+        self._classify_removed: Set[Axiom] = set()
+        self._classify_added: Set[Axiom] = set()
         # The meter of the currently executing budgeted service call, if
         # any (installed by _metered; spans every probe of the call).
         self._active_meter: Optional[BudgetMeter] = None
 
     def _build_tableau(self) -> Tableau:
+        # Trail tableaux track provenance so unsat cores can feed both
+        # explanation seeding and fine-grained cache invalidation; the
+        # per-run overhead is O(probes) (see Tableau._prepare_run_tags).
         return Tableau(
             self.kb,
             max_nodes=self.max_nodes,
             max_branches=self.max_branches,
             stats=self.stats,
             search=self.search,
+            track_provenance=(self.search == "trail"),
         )
 
     def _sync(self) -> None:
-        """Invalidate on KB mutation: rebuild the tableau, drop the cache.
+        """Absorb KB mutations before answering from tableau or cache.
 
         The tableau preprocesses the KB once (absorption, role-hierarchy
         closure), so it is as stale as the cache after an ``add()``.
+        When the KB's change log can name the net ``(added, removed)``
+        delta (and ``incremental`` is on), invalidation is fine-grained:
+        only cache entries the delta can affect are dropped
+        (:meth:`QueryCache.invalidate_delta`), the saturation engine
+        re-saturates just the affected cone, and classification
+        dirtiness is tracked per signature vertex.  Otherwise — log
+        window exceeded or ``incremental=False`` — everything derived
+        from the KB is rebuilt wholesale.
         """
-        if self._kb_version != self.kb.version:
+        if self._kb_version == self.kb.version:
+            return
+        delta = (
+            self.kb.delta_since(self._kb_version) if self.incremental else None
+        )
+        if delta is None:
             self._tableau = self._build_tableau()
             self._saturation = None
             self.cache.clear()
+            self._classify_memo = None
+            self._classify_dirty.clear()
+            self._classify_removed.clear()
+            self._classify_added.clear()
             self._kb_version = self.kb.version
+            return
+        added, removed = delta
+        if not added and not removed:
+            # The edit netted out (remove-then-re-add): the axiom
+            # multiset is unchanged, so every derived structure is
+            # still exact.
+            self._kb_version = self.kb.version
+            return
+        with obs_span("incremental_update", stats=self.stats) as span:
+            invalidated, survived = self.cache.invalidate_delta(
+                added, removed
+            )
+            self.stats.fine_invalidations += invalidated
+            self.stats.cache_entries_survived += survived
+            span.set("invalidated", invalidated)
+            span.set("survived", survived)
+            # The tableau's preprocessed view is rebuilt (it is cheap
+            # relative to search); the cache survivors are what make
+            # the rebuild pay off.
+            self._tableau = self._build_tableau()
+            if self._saturation is not None:
+                cone = self._saturation.update(added, removed)
+                if cone is None:
+                    self._saturation = None
+                    span.set("resaturation", "full")
+                else:
+                    self.stats.resaturation_cone_size += cone
+                    span.set("resaturation", cone)
+            for axiom in added | removed:
+                self._classify_dirty |= axiom_signature(axiom)
+            self._classify_removed |= removed
+            self._classify_added |= added
+        self._kb_version = self.kb.version
 
     def _satisfiable_with(self, probes: Sequence) -> bool:
         """The single cached satisfiability entry point of every service.
@@ -214,7 +289,13 @@ class Reasoner:
         except BudgetExceeded:
             self.stats.budget_aborts += 1
             raise
-        self.cache.store(key, result)
+        deps = None
+        if not result and self._tableau.track_provenance:
+            # The unsat core (a superset of at least one justification)
+            # lets fine-grained invalidation keep this verdict across
+            # removals that cannot touch its support.
+            deps = self._tableau.last_unsat_core
+        self.cache.store(key, result, deps=deps)
         set_gauge("repro_query_cache_entries", len(self.cache))
         return result
 
@@ -576,10 +657,13 @@ class Reasoner:
     def _provenance_tableau(self) -> Tableau:
         """A provenance-tracking trail tableau over the current KB.
 
-        Built lazily and rebuilt when the KB version moves; separate from
-        the main tableau so the default query path never pays for axiom
-        tagging.
+        Trail reasoners reuse the main tableau directly (it already
+        tracks provenance for fine-grained invalidation); copying
+        reasoners lazily build a separate trail instance, rebuilt when
+        the KB version moves.
         """
+        if self._tableau.track_provenance:
+            return self._tableau
         cached = getattr(self, "_traced_tableau", None)
         if cached is not None and cached.kb is self.kb and (
             getattr(self, "_traced_tableau_version", None) == self.kb.version
@@ -786,7 +870,16 @@ class Reasoner:
         The result is identical to the pairwise sweep; the number of
         tableau runs (see :attr:`stats`) is far below ``n**2`` on any
         hierarchy that is not a flat clique.
+
+        Repeated calls are memoised per atom set.  After KB mutations
+        absorbed by fine-grained :meth:`_sync`, the memoised taxonomy is
+        reused where the soundness side-conditions of
+        ``docs/THEORY.md`` section 12 allow: wholesale for a pure-ABox
+        delta on nominal-free consistent KBs, and row-by-row (only
+        signature-connected atoms re-probed) when every axiom is
+        component-safe.
         """
+        self._sync()
         if atoms is None:
             atoms = self.kb.concepts_in_signature()
         ordered = sorted(set(atoms), key=lambda a: a.name)
@@ -797,21 +890,127 @@ class Reasoner:
             span.set("atoms", len(ordered))
             if not self.is_consistent():
                 # Everything subsumes everything in an inconsistent KB.
-                return {atom: universe for atom in ordered}
-            told = self._told_subsumers(universe)
-            taxonomy = _Taxonomy()
-            unsatisfiable: List[AtomicConcept] = []
-            for concept in _told_order(ordered, told):
-                if not self.is_satisfiable(concept):
-                    # Bottom-equivalent: subsumed by every atom, subsumes
-                    # only other unsatisfiable atoms.
-                    unsatisfiable.append(concept)
-                    continue
-                self._insert(taxonomy, concept, told)
-            hierarchy = taxonomy.hierarchy()
-            for atom in unsatisfiable:
-                hierarchy[atom] = universe
+                hierarchy = {atom: universe for atom in ordered}
+                self._store_classification(universe, hierarchy, False)
+                return hierarchy
+            reused = self._reuse_classification(ordered, universe, span)
+            if reused is not None:
+                self._store_classification(universe, reused, True)
+                return dict(reused)
+            hierarchy = self._classify_full(ordered, universe)
+            self._store_classification(universe, hierarchy, True)
             return hierarchy
+
+    def _classify_full(
+        self,
+        ordered: Sequence[AtomicConcept],
+        universe: FrozenSet[AtomicConcept],
+    ) -> Dict[AtomicConcept, FrozenSet[AtomicConcept]]:
+        """The traversal-insertion classification of a consistent KB."""
+        told = self._told_subsumers(universe)
+        taxonomy = _Taxonomy()
+        unsatisfiable: List[AtomicConcept] = []
+        for concept in _told_order(ordered, told):
+            if not self.is_satisfiable(concept):
+                # Bottom-equivalent: subsumed by every atom, subsumes
+                # only other unsatisfiable atoms.
+                unsatisfiable.append(concept)
+                continue
+            self._insert(taxonomy, concept, told)
+        hierarchy = taxonomy.hierarchy()
+        for atom in unsatisfiable:
+            hierarchy[atom] = universe
+        return hierarchy
+
+    def _store_classification(
+        self,
+        key: FrozenSet[AtomicConcept],
+        hierarchy: Dict[AtomicConcept, FrozenSet[AtomicConcept]],
+        consistent: bool,
+    ) -> None:
+        """Memoise a just-computed taxonomy and reset dirty tracking.
+
+        Sound because the hierarchy reflects the KB *now* (after
+        :meth:`_sync`): any later mutation re-populates the dirty sets
+        before the memo can be consulted again.
+        """
+        self._classify_memo = (key, dict(hierarchy), consistent)
+        self._classify_dirty.clear()
+        self._classify_removed.clear()
+        self._classify_added.clear()
+
+    def _reuse_classification(
+        self,
+        ordered: Sequence[AtomicConcept],
+        universe: FrozenSet[AtomicConcept],
+        span,
+    ) -> Optional[Dict[AtomicConcept, FrozenSet[AtomicConcept]]]:
+        """The memoised taxonomy, updated incrementally — or ``None``.
+
+        ``None`` means no sound reuse applies and the caller must
+        reclassify from scratch.  Three reuse tiers (the KB is already
+        known consistent here; the memo records whether the *old* KB
+        was):
+
+        1. no mutations since the memo — verbatim hit;
+        2. pure-ABox delta on nominal-free KBs — subsumption depends
+           only on the TBox (disjoint-union argument), so the taxonomy
+           is unchanged;
+        3. every axiom of old and new KB component-safe — only atoms
+           signature-connected to the delta can change rows; merged
+           rows re-probe exactly those (cache-assisted).
+        """
+        memo = self._classify_memo
+        if memo is None:
+            return None
+        key, old_hierarchy, was_consistent = memo
+        if key != universe:
+            return None
+        dirty = (
+            self._classify_dirty
+            or self._classify_removed
+            or self._classify_added
+        )
+        if not dirty:
+            return old_hierarchy
+        if not was_consistent:
+            return None
+        delta_axioms = self._classify_added | self._classify_removed
+        old_and_new = list(self.kb.axioms()) + list(self._classify_removed)
+        if all(
+            isinstance(axiom, ABoxAxiom) for axiom in delta_axioms
+        ) and not _kb_has_nominals(old_and_new):
+            span.set("taxonomy_reuse", "abox")
+            return old_hierarchy
+        affected = affected_atoms(old_and_new, self._classify_dirty)
+        if affected is None:
+            return None
+        span.set("taxonomy_reuse", "component")
+        span.set("affected_atoms", len(affected))
+        merged: Dict[AtomicConcept, FrozenSet[AtomicConcept]] = {}
+        touched = affected & universe
+        for concept in ordered:
+            if concept in touched:
+                merged[concept] = frozenset(
+                    sup for sup in ordered if self.subsumes(sup, concept)
+                )
+            else:
+                # An unaffected atom keeps its old verdicts against
+                # every other unaffected atom; only pairs involving an
+                # affected atom are re-asked.  (For an unsatisfiable
+                # atom the re-probes all answer True, so the row stays
+                # the full universe.)
+                kept = frozenset(
+                    sup
+                    for sup in old_hierarchy[concept]
+                    if sup not in touched
+                )
+                merged[concept] = kept | frozenset(
+                    sup
+                    for sup in touched
+                    if self.subsumes(sup, concept)
+                )
+        return merged
 
     def classify_pairwise(
         self, atoms: Optional[Iterable[AtomicConcept]] = None
@@ -1062,6 +1261,25 @@ class _Taxonomy:
             for member in node.members:
                 result[member] = subsumers
         return result
+
+
+def _kb_has_nominals(axioms: Iterable[Axiom]) -> bool:
+    """Whether any concept in ``axioms`` mentions a nominal (``OneOf``).
+
+    Nominal-freedom is what makes models closed under disjoint union,
+    the side condition of the pure-ABox taxonomy-reuse rule.
+    """
+    for axiom in axioms:
+        if isinstance(axiom, ConceptInclusion):
+            if nominals(axiom.sub) or nominals(axiom.sup):
+                return True
+        elif isinstance(axiom, ConceptEquivalence):
+            if nominals(axiom.left) or nominals(axiom.right):
+                return True
+        elif isinstance(axiom, ConceptAssertion):
+            if nominals(axiom.concept):
+                return True
+    return False
 
 
 def _conjoined_atoms(

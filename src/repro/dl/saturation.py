@@ -678,12 +678,14 @@ _TRIVIALLY_UNSAT = object()
 
 
 class SaturationEngine:
-    """Saturation fast path over one (immutable snapshot of a) KB.
+    """Saturation fast path over one (snapshot of a) KB.
 
     The engine compiles the KB once at construction; per-query work is
     incremental (new query contexts joining an already-saturated
-    graph).  The caller owns KB-version invalidation: rebuild the
-    engine whenever the KB mutates, exactly like the tableau.
+    graph).  The caller owns KB-version invalidation: on mutation it
+    either offers the net delta to :meth:`update` (which absorbs
+    ABox-only additions in place, re-firing just the dirty frontier) or
+    rebuilds the engine wholesale when :meth:`update` declines.
     """
 
     def __init__(self, kb: KnowledgeBase) -> None:
@@ -719,6 +721,127 @@ class SaturationEngine:
         if self._model is not None and self._model is not self._entail:
             total += self._model.inferences
         return total
+
+    # -- incremental update ---------------------------------------------
+
+    #: Addition kinds the in-place updater can absorb: plain ABox
+    #: axioms.  TBox/RBox growth rewires the rule tables underneath
+    #: already-saturated closures, so it forces a rebuild instead.
+    _INCREMENTAL_KINDS = (
+        ConceptAssertion,
+        RoleAssertion,
+        DifferentIndividuals,
+        NegativeRoleAssertion,
+        SameIndividual,
+        DataAssertion,
+    )
+
+    def update(
+        self,
+        added: FrozenSet[Axiom],
+        removed: FrozenSet[Axiom],
+    ) -> Optional[int]:
+        """Absorb an ABox-only addition delta in place, or decline.
+
+        Returns the number of new closure inferences — the
+        re-saturation *cone*, i.e. exactly the consequences the new
+        assertions force through the already-saturated context graphs —
+        or ``None`` when the caller must rebuild the engine: any
+        removal (saturation is monotone, facts cannot be un-derived) or
+        any TBox/RBox addition (compiled rule tables would have to
+        re-fire against every context).
+
+        Sound by the same two-closure argument as construction: the
+        entailment closure gains only consequences of actual KB axioms,
+        and residue additions (equality, negated role assertions, ...)
+        merely flip :attr:`complete` off, disabling SAT answers.
+        """
+        if removed:
+            return None
+        ordered = sorted(added, key=repr)
+        if not all(
+            isinstance(axiom, self._INCREMENTAL_KINDS) for axiom in ordered
+        ):
+            return None
+        program = self._program
+        before_init = dict(program.individual_init)
+        before_forbidden = dict(program.forbidden)
+        n_exists = len(program.individual_exists)
+        n_edges = len(program.individual_edges)
+        residue: List[Tuple[Axiom, str]] = []
+        for axiom in ordered:
+            try:
+                program.add_axiom(axiom)
+            except _OutOfFragment as out:
+                residue.append((axiom, out.reason))
+        self.report = FragmentReport(
+            total=self.report.total + len(ordered),
+            residue=self.report.residue + tuple(residue),
+        )
+        cone = 0
+        for closure in self._live_closures():
+            before = closure.inferences
+            self._reseed(
+                closure, before_init, before_forbidden, n_exists, n_edges
+            )
+            closure.run()
+            cone += closure.inferences - before
+        self._known_individuals = frozenset(program.individual_init)
+        return cone
+
+    def _live_closures(self) -> List[_Closure]:
+        """The closures that already exist (a lazy one needs no reseed)."""
+        live = []
+        if self._entail is not None:
+            live.append(self._entail)
+        if self._model is not None and self._model is not self._entail:
+            live.append(self._model)
+        return live
+
+    def _reseed(
+        self,
+        closure: _Closure,
+        before_init: Dict[Individual, int],
+        before_forbidden: Dict[Individual, int],
+        n_exists: int,
+        n_edges: int,
+    ) -> None:
+        """Push the program delta since the snapshot into one closure.
+
+        New individuals get fresh (fully seeded) contexts; existing
+        contexts receive only their new atom/forbid bits and edges —
+        the dirty frontier the subsequent ``run()`` saturates from.
+        """
+        program = self._program
+        for individual, mask in program.individual_init.items():
+            if individual not in before_init:
+                closure.context(individual)
+                continue
+            new_bits = mask & ~before_init[individual]
+            if new_bits:
+                ctx = closure.context(individual)
+                for atom in _bits(new_bits):
+                    closure.add_atom(ctx, atom)
+        for individual, mask in program.forbidden.items():
+            new_forbid = mask & ~before_forbidden.get(individual, 0)
+            if not new_forbid:
+                continue
+            ctx = closure.context(individual)
+            closure.forbid[ctx] |= new_forbid
+            if closure.sets[ctx] & new_forbid:
+                # Already-derived atoms never re-enter the worklist, so
+                # a clash with a *new* prohibition is raised here.
+                closure.add_atom(ctx, _BOT)
+        for source, role, target in program.individual_edges[n_edges:]:
+            closure._add_edge(
+                closure.context(source), role, closure.context(target)
+            )
+        for source, role, filler in program.individual_exists[n_exists:]:
+            closure._add_edge(
+                closure.context(source),
+                role,
+                closure.concept_context(filler, program.range_for(role)),
+            )
 
     # -- closures -------------------------------------------------------
 

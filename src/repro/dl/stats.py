@@ -56,6 +56,14 @@ class ReasonerStats:
       query cache bypassed);
     * ``trace_events`` — structured trace events recorded while a
       :class:`~repro.explain.model.Trace` was attached to a tableau run;
+    * ``fine_invalidations`` — cache entries dropped by fine-grained
+      (dependency-indexed) invalidation after a KB mutation;
+    * ``cache_entries_survived`` — cache entries that outlived a KB
+      mutation because monotonicity or their recorded dependency set
+      proved them unaffected;
+    * ``resaturation_cone_size`` — saturation inferences re-derived
+      incrementally from the dirty frontier after KB additions (the
+      affected cone, not a full re-saturation);
     * ``deadline_checks`` — amortised wall-clock reads performed by
       :class:`~repro.dl.budget.BudgetMeter` ticks (far below tick count);
     * ``budget_aborts`` — searches stopped by an exhausted
@@ -83,6 +91,9 @@ class ReasonerStats:
     explanations_computed: int = 0
     shrink_probes: int = 0
     trace_events: int = 0
+    fine_invalidations: int = 0
+    cache_entries_survived: int = 0
+    resaturation_cone_size: int = 0
     deadline_checks: int = 0
     budget_aborts: int = 0
     unknown_verdicts: int = 0
@@ -173,6 +184,15 @@ class ReasonerStats:
                 "trace events",
                 self.trace_events,
                 f"trace events: {self.trace_events}",
+            ),
+            (
+                "incremental",
+                self.fine_invalidations
+                or self.cache_entries_survived
+                or self.resaturation_cone_size,
+                f"incremental: {self.fine_invalidations} invalidated"
+                f" / {self.cache_entries_survived} survived"
+                f" (resaturation cone: {self.resaturation_cone_size})",
             ),
             (
                 "budget",

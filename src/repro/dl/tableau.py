@@ -46,6 +46,7 @@ randomised tests to keep this honest.
 from __future__ import annotations
 
 import itertools
+from collections import ChainMap
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
@@ -359,9 +360,11 @@ class Tableau:
         optimisations (ablation studies only); ``search`` picks the
         trail or copying engine; ``track_provenance=True`` additionally
         tags every axiom so refutations expose
-        :attr:`last_unsat_core` and clash traces (trail search only;
-        costs a little per run, so reasoners keep a separate traced
-        instance instead of enabling it by default).
+        :attr:`last_unsat_core` and clash traces (trail search only).
+        Reasoners enable it on their trail-search tableaux: the cores
+        feed both explanation seeding and the dependency sets behind
+        fine-grained cache invalidation, and the per-run cost is
+        O(probes) since the KB tag table is shared across runs.
         """
         if search not in ("trail", "copying"):
             raise ValueError(
@@ -438,8 +441,10 @@ class Tableau:
         self._meter: Optional[BudgetMeter] = None
         self._sort_keys: Dict[Concept, str] = {}
         # Per-run provenance/trace state (populated by is_satisfiable).
+        # The KB tag table itself is shared read-only across runs; only
+        # the probe-tag overlay is per-run (see _prepare_run_tags).
         self._active_trace = None
-        self._run_tag_axioms: Dict[int, object] = dict(self._axiom_tags)
+        self._run_tag_axioms: Dict[int, object] = self._axiom_tags
         self._run_tags: FrozenSet[int] = frozenset(self._axiom_tags)
         self._pending_init_deps: Dict[Tuple, FrozenSet[int]] = {}
 
@@ -536,18 +541,28 @@ class Tableau:
                 self.stats.trail_length += engine.trail_total
 
     def _prepare_run_tags(self, extra: List) -> None:
-        """Assign fresh (negative) tags to this run's probe assertions."""
-        tag_axioms = dict(self._axiom_tags)
-        next_tag = -(len(tag_axioms) + 1)
+        """Assign fresh (negative) tags to this run's probe assertions.
+
+        Probe tags live in a small per-run overlay chained in front of
+        the shared KB tag table, so preparation costs O(|probes|), not
+        O(|KB|).  ``_run_tags`` (consumed by the conservative
+        depends-on-everything clash paths) deliberately stays the KB
+        tag set alone: probe tags never survive into unsat cores, and
+        the branch-level arithmetic filters on sign, not membership.
+        """
         self._probe_tag_of: Dict[object, int] = {}
+        next_tag = -(len(self._axiom_tags) + 1)
+        probe_tags: Dict[int, object] = {}
         for axiom in extra:
             if axiom in self._tag_of or axiom in self._probe_tag_of:
                 continue
             self._probe_tag_of[axiom] = next_tag
-            tag_axioms[next_tag] = axiom
+            probe_tags[next_tag] = axiom
             next_tag -= 1
-        self._run_tag_axioms = tag_axioms
-        self._run_tags = frozenset(tag_axioms)
+        if probe_tags:
+            self._run_tag_axioms = ChainMap(probe_tags, self._axiom_tags)
+        else:
+            self._run_tag_axioms = self._axiom_tags
 
     def _seed_provenance(
         self, graph: _Graph, extra: List, record: List
@@ -1526,8 +1541,12 @@ class _TrailEngine:
         self.deps: Dict[Tuple, FrozenSet[int]] = {}
         # Axiom provenance: negative tags live in the same dependency
         # sets as branch-point levels; the initial facts are pre-seeded
-        # (never undone — the trail never rolls below mark 0).
+        # (never undone — the trail never rolls below mark 0).  Probe
+        # tags are excluded from _tags (they never reach unsat cores);
+        # _filter_tags alone decides whether dependency sets may carry
+        # negative members that backjump arithmetic must skip.
         self._tags: FrozenSet[int] = tableau._run_tags
+        self._filter_tags: bool = tableau.track_provenance
         if tableau.track_provenance:
             self.deps.update(tableau._pending_init_deps)
         #: Dependency set of the clash that exhausted the search (only
@@ -1672,7 +1691,7 @@ class _TrailEngine:
 
     def _levels(self, deps: FrozenSet[int]) -> FrozenSet[int]:
         """The branch-point part of a dependency set (axiom tags dropped)."""
-        if not self._tags:
+        if not self._filter_tags:
             return deps
         return frozenset(level for level in deps if level >= 0)
 

@@ -21,7 +21,10 @@ Built-in suites (:data:`ALL_SUITES`):
 * ``paper`` — every EXPERIMENTS.md artefact via
   :mod:`repro.harness.experiments`, one probe per experiment;
 * ``classification`` — parse/transform/classify/query-battery probes on
-  the shipped university ontology (the PR 1/PR 2 optimisation story);
+  the shipped university ontology (the PR 1/PR 2 optimisation story),
+  plus an ``edit_workload`` probe that mutates the KB once and demands
+  the warm re-query do strictly less work than the cold start while
+  cache entries demonstrably survive (fine-grained invalidation);
 * ``scaling_small`` — the generated scaling corpus at CI-friendly sizes
   (10^3), all four inconsistency profiles, plus decided satisfiability
   probes at tableau-feasible size;
@@ -193,6 +196,50 @@ def _classification_probes(settings: EvalSettings) -> List[Probe]:
             extra={"probes": len(pairs), "values_seen": sorted(values)},
         )
 
+    def edit_workload_probe(seed: int) -> ProbeResult:
+        # Mutate-then-requery: a long-lived reasoner absorbs a single
+        # ABox edit via fine-grained invalidation.  The probe fails
+        # unless (a) the warm re-classification does strictly less
+        # reasoning work than the cold start, (b) some cache entries
+        # actually survived the edit, and (c) the warm hierarchy is
+        # byte-identical to a reasoner built cold over the edited KB.
+        from ..dl.axioms import ConceptAssertion
+        from ..dl.concepts import AtomicConcept
+        from ..dl.individuals import Individual
+
+        kb = parse_kb4(text)
+        reasoner = Reasoner4(kb)
+        reasoner.classify(kind=InclusionKind.INTERNAL)
+        cold = reasoner.stats.snapshot()
+        edit = ConceptAssertion(Individual("freshStudent42"), AtomicConcept("Course"))
+        kb.add_axiom(edit)
+        warm_hierarchy = reasoner.classify(kind=InclusionKind.INTERNAL)
+        delta = reasoner.stats - cold
+        fresh = Reasoner4(parse_kb4(text).add_axiom(edit))
+        fresh_hierarchy = fresh.classify(kind=InclusionKind.INTERNAL)
+        cold_work = cold.tableau_runs + cold.saturation_queries
+        warm_work = delta.tableau_runs + delta.saturation_queries
+        survived = delta.cache_entries_survived
+        ok = (
+            warm_work < cold_work
+            and survived > 0
+            and warm_hierarchy == fresh_hierarchy
+        )
+        return ProbeResult(
+            status="ok" if ok else "fail",
+            counters=reasoner.stats.as_dict(),
+            extra={
+                "cold_work": cold_work,
+                "warm_work": warm_work,
+                "cache_entries_survived": survived,
+                "fine_invalidations": delta.fine_invalidations,
+                "resaturation_cone": delta.resaturation_cone_size,
+                "hierarchy_matches_cold_rebuild": (
+                    warm_hierarchy == fresh_hierarchy
+                ),
+            },
+        )
+
     def satisfiability_probe(seed: int) -> ProbeResult:
         reasoner = Reasoner4(parse_kb4(text))
         four = reasoner.is_satisfiable()
@@ -210,6 +257,7 @@ def _classification_probes(settings: EvalSettings) -> List[Probe]:
         Probe("classify_pairwise", "classify", pairwise_probe),
         Probe("classify4_internal", "classify", classify4_probe),
         Probe("query_battery_cached", "query", query_battery_probe, repeats=3),
+        Probe("edit_workload", "incremental", edit_workload_probe, repeats=3),
         Probe("satisfiability", "reason", satisfiability_probe, repeats=3),
     ]
 
@@ -422,7 +470,8 @@ ALL_SUITES: Dict[str, Suite] = {
         name="classification",
         description=(
             "parse/transform/classification/query probes on the shipped "
-            "university ontology"
+            "university ontology, plus a mutate-then-requery edit "
+            "workload exercising fine-grained invalidation"
         ),
         build=_classification_probes,
     ),

@@ -18,10 +18,17 @@ given in Table 3).
 from __future__ import annotations
 
 import enum
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, Iterator, List, Set
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..dl import axioms as ax
+from ..dl.incremental import (
+    ChangeLog,
+    ChangeRecord,
+    EditTransaction,
+    net_delta,
+)
 from ..dl.concepts import (
     AtomicConcept,
     Concept,
@@ -142,8 +149,10 @@ class KnowledgeBase4:
 
     def __post_init__(self) -> None:
         # Monotone mutation counter mirroring KnowledgeBase.version:
-        # Reasoner4 re-transforms and drops cached answers when it moves.
+        # Reasoner4 re-transforms and drops cached answers when it
+        # moves, consulting the change log to do so incrementally.
         self._version = 0
+        self._log = ChangeLog()
 
     @property
     def version(self) -> int:
@@ -151,35 +160,100 @@ class KnowledgeBase4:
         return self._version
 
     # ------------------------------------------------------------------
-    # Construction
+    # Construction & mutation
     # ------------------------------------------------------------------
+    def _expanded(self, axiom: object) -> Tuple[object, ...]:
+        """The stored form of an axiom (role assertions normalised)."""
+        if isinstance(axiom, (ax.RoleAssertion, ax.NegativeRoleAssertion)):
+            return (axiom.normalised(),)
+        return (axiom,)
+
+    def _list_for(self, axiom: object) -> List[object]:
+        """The per-kind bucket a stored-form axiom lives in."""
+        if isinstance(axiom, ConceptInclusion4):
+            return self.concept_inclusions
+        if isinstance(axiom, RoleInclusion4):
+            return self.role_inclusions
+        if isinstance(axiom, DatatypeRoleInclusion4):
+            return self.datatype_role_inclusions
+        if isinstance(axiom, Transitivity4):
+            return self.transitivity_axioms
+        if isinstance(axiom, ax.ConceptAssertion):
+            return self.concept_assertions
+        if isinstance(axiom, ax.RoleAssertion):
+            return self.role_assertions
+        if isinstance(axiom, ax.NegativeRoleAssertion):
+            return self.negative_role_assertions
+        if isinstance(axiom, ax.DataAssertion):
+            return self.data_assertions
+        if isinstance(axiom, ax.SameIndividual):
+            return self.same_individuals
+        if isinstance(axiom, ax.DifferentIndividuals):
+            return self.different_individuals
+        raise TypeError(f"not a SHOIN(D)4 axiom: {axiom!r}")
+
+    def _count(self, axiom: object) -> int:
+        """Multiplicity of a stored-form axiom (KBs are multisets)."""
+        return self._list_for(axiom).count(axiom)
+
     def add(self, *axioms_: object) -> "KnowledgeBase4":
         """Add four-valued TBox axioms or classical ABox assertions."""
-        self._version += len(axioms_)
         for axiom in axioms_:
-            if isinstance(axiom, ConceptInclusion4):
-                self.concept_inclusions.append(axiom)
-            elif isinstance(axiom, RoleInclusion4):
-                self.role_inclusions.append(axiom)
-            elif isinstance(axiom, DatatypeRoleInclusion4):
-                self.datatype_role_inclusions.append(axiom)
-            elif isinstance(axiom, Transitivity4):
-                self.transitivity_axioms.append(axiom)
-            elif isinstance(axiom, ax.ConceptAssertion):
-                self.concept_assertions.append(axiom)
-            elif isinstance(axiom, ax.RoleAssertion):
-                self.role_assertions.append(axiom.normalised())
-            elif isinstance(axiom, ax.NegativeRoleAssertion):
-                self.negative_role_assertions.append(axiom.normalised())
-            elif isinstance(axiom, ax.DataAssertion):
-                self.data_assertions.append(axiom)
-            elif isinstance(axiom, ax.SameIndividual):
-                self.same_individuals.append(axiom)
-            elif isinstance(axiom, ax.DifferentIndividuals):
-                self.different_individuals.append(axiom)
-            else:
-                raise TypeError(f"not a SHOIN(D)4 axiom: {axiom!r}")
+            self._version += 1
+            for concrete in self._expanded(axiom):
+                self._list_for(concrete).append(concrete)
+                self._log.record(self._version, "add", concrete)
         return self
+
+    def add_axiom(self, axiom: object) -> "KnowledgeBase4":
+        """Add one axiom (the mutation-API spelling of :meth:`add`)."""
+        return self.add(axiom)
+
+    def remove_axiom(self, axiom: object) -> "KnowledgeBase4":
+        """Remove one occurrence of an axiom; absent axioms raise.
+
+        Role assertions are matched in their normalised (named-role)
+        form, mirroring :meth:`add`.
+        """
+        expanded = self._expanded(axiom)
+        need = Counter(expanded)
+        for concrete, count in need.items():
+            if self._count(concrete) < count:
+                raise ValueError(f"axiom not present: {concrete!r}")
+        self._version += 1
+        for concrete in expanded:
+            self._list_for(concrete).remove(concrete)
+            self._log.record(self._version, "remove", concrete)
+        return self
+
+    def retract(self, axiom: object) -> bool:
+        """Remove an axiom if present; True when something was removed."""
+        try:
+            self.remove_axiom(axiom)
+        except ValueError:
+            return False
+        return True
+
+    def edit(self) -> EditTransaction:
+        """An atomic batch of mutations (see ``KnowledgeBase.edit``)."""
+        return EditTransaction(self)
+
+    def changes_since(self, version: int) -> Optional[List[ChangeRecord]]:
+        """The journalled mutations after ``version``, oldest first.
+
+        ``None`` when ``version`` predates the bounded change-log
+        window — consumers must then invalidate wholesale.
+        """
+        return self._log.since(version)
+
+    def delta_since(
+        self, version: int
+    ) -> Optional[Tuple[FrozenSet[object], FrozenSet[object]]]:
+        """The net ``(added, removed)`` axiom sets after ``version``."""
+        records = self._log.since(version)
+        if records is None:
+            return None
+        return net_delta(records)
 
     @staticmethod
     def of(axioms_: Iterable[object]) -> "KnowledgeBase4":

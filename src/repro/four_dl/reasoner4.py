@@ -109,6 +109,7 @@ class Reasoner4:
         cache_maxsize: Optional[int] = 4096,
         budget: Optional[Budget] = None,
         engine: str = "auto",
+        incremental: bool = True,
     ):
         """Bind a four-valued reasoner to ``kb4``.
 
@@ -118,9 +119,11 @@ class Reasoner4:
         ``use_cache=False`` / ``cache_maxsize`` for a private one),
         shared statistics, the tableau ``search`` strategy, a default
         :class:`~repro.dl.budget.Budget` governing every service call,
-        and the ``engine`` dispatch policy (the doubled-signature
+        the ``engine`` dispatch policy (the doubled-signature
         reduction preserves the tractable fragment, so the saturation
-        fast path applies to induced KBs too).
+        fast path applies to induced KBs too), and ``incremental``
+        (fine-grained invalidation after KB4 mutations; ``False``
+        restores wholesale re-transform plus cache clearing).
         """
         self.kb4 = kb4
         self.max_nodes = max_nodes
@@ -140,6 +143,10 @@ class Reasoner4:
             if cache is not None
             else QueryCache(enabled=use_cache, maxsize=cache_maxsize)
         )
+        #: Whether KB4 mutations flow through fine-grained invalidation
+        #: (incremental re-transform + dependency-indexed cache survival)
+        #: instead of wholesale rebuilds.
+        self.incremental = incremental
         self._kb4_version = kb4.version
         self._rebuild()
 
@@ -156,14 +163,32 @@ class Reasoner4:
             search=self.search,
             budget=self.budget,
             engine=self.engine,
+            incremental=self.incremental,
         )
 
     def _sync(self) -> None:
-        """Re-transform and invalidate after any KB4 mutation."""
-        if self._kb4_version != self.kb4.version:
-            self.cache.clear()
-            self._rebuild()
+        """Absorb any KB4 mutation before delegating a query.
+
+        The incremental path: :func:`~repro.four_dl.transform.cached_transform_kb`
+        replays the KB4's net axiom delta onto the memoised induced KB
+        *in place*, so the induced-KB object survives and the delegated
+        classical reasoner — whose own fine-grained ``_sync`` watches
+        that object's change log — invalidates only what the edit can
+        affect.  When the transform memo could not be updated in place
+        (log window exceeded, or ``incremental=False``) the induced KB
+        is a fresh object and everything is rebuilt wholesale, exactly
+        as before.
+        """
+        if self._kb4_version == self.kb4.version:
+            return
+        if self.incremental and cached_transform_kb(self.kb4) is self.classical_kb:
+            # Same induced-KB object, mutated in place: the classical
+            # reasoner's next query fine-syncs against its change log.
             self._kb4_version = self.kb4.version
+            return
+        self.cache.clear()
+        self._rebuild()
+        self._kb4_version = self.kb4.version
 
     # ------------------------------------------------------------------
     # Satisfiability (Theorem 6)

@@ -354,8 +354,13 @@ def cached_transform_kb(kb4: KnowledgeBase4) -> KnowledgeBase:
     The result is memoised on the KB4 instance keyed by its mutation
     counter, so any number of :class:`~repro.four_dl.reasoner4.Reasoner4`
     views (and repeated reasoner rebuilds after mutations) share one
-    transformation per KB4 state.  Callers must treat the returned KB as
-    read-only — mutating it would desynchronise it from its source.
+    transformation per KB4 state.  When the KB4's change log can name
+    the net mutation delta, the memoised induced KB is *updated in
+    place* through its own ``add_axiom``/``remove_axiom`` API — the
+    object identity is preserved and the induced KB's own change log
+    records the delta, which is what lets the delegated classical
+    reasoner invalidate fine-grained instead of wholesale.  Callers
+    must otherwise treat the returned KB as read-only.
 
     Abort-safety: the transformation is purely syntactic — it runs no
     tableau and checks no budget — so a budget abort can never happen
@@ -370,12 +375,83 @@ def cached_transform_provenance(kb4: KnowledgeBase4) -> ProvenanceMap:
     return _cached_transform(kb4)[1]
 
 
+def _provenance_key(induced_axiom: ax.Axiom) -> ax.Axiom:
+    """The stored-form key under which provenance tracks an induced axiom."""
+    if isinstance(induced_axiom, (ax.RoleAssertion, ax.NegativeRoleAssertion)):
+        return induced_axiom.normalised()
+    return induced_axiom
+
+
+def _apply_induced_delta(
+    kb4: KnowledgeBase4,
+    since_version: int,
+    induced: KnowledgeBase,
+    provenance: Dict[ax.Axiom, Tuple[Axiom4OrAssertion, ...]],
+) -> bool:
+    """Replay a KB4 mutation delta onto the memoised induced KB.
+
+    Returns ``False`` when the change-log window was exceeded (caller
+    falls back to a full re-transform).  Each net-removed KB4 axiom
+    removes one copy of each classical axiom it induced (the induced KB
+    is a multiset, so shared inductions from other sources survive);
+    provenance sources are dropped only when the source axiom has no
+    copy left in the KB4.
+    """
+    delta = kb4.delta_since(since_version)
+    if delta is None:
+        return False
+    added, removed = delta
+    if not added and not removed:
+        return True
+    with obs_span("transform") as span:
+        span.set("axioms_in", len(added) + len(removed))
+        span.set("incremental", True)
+        for source in sorted(removed, key=repr):
+            gone = not all(
+                kb4._count(concrete) > 0
+                for concrete in kb4._expanded(source)
+            )
+            for induced_axiom in transform_axiom(source):
+                induced.remove_axiom(induced_axiom)
+                if not gone:
+                    continue
+                key = _provenance_key(induced_axiom)
+                sources = provenance.get(key, ())
+                if source in sources:
+                    remaining = tuple(s for s in sources if s != source)
+                    if remaining:
+                        provenance[key] = remaining
+                    else:
+                        provenance.pop(key, None)
+        for source in sorted(added, key=repr):
+            for induced_axiom in transform_axiom(source):
+                induced.add(induced_axiom)
+                key = _provenance_key(induced_axiom)
+                sources = provenance.get(key, ())
+                if source not in sources:
+                    provenance[key] = sources + (source,)
+        span.set("axioms_out", len(induced))
+    return True
+
+
 def _cached_transform(
     kb4: KnowledgeBase4,
 ) -> Tuple[KnowledgeBase, ProvenanceMap]:
     cached = getattr(kb4, "_induced_cache", None)
-    if cached is not None and cached[0] == kb4.version:
-        return cached[1], cached[2]
+    if cached is not None:
+        version, induced, provenance = cached
+        if version == kb4.version:
+            return induced, provenance
+        try:
+            applied = _apply_induced_delta(kb4, version, induced, provenance)
+        except ValueError:
+            # A desynchronised memo (e.g. a caller mutated the induced
+            # KB directly) fails the strict removal; rebuild from
+            # scratch rather than guessing.
+            applied = False
+        if applied:
+            kb4._induced_cache = (kb4.version, induced, provenance)
+            return induced, provenance
     # The memoised fast path above is span-free: only actual transform
     # work shows up as a ``transform`` phase in profiles.
     with obs_span("transform") as span:

@@ -65,6 +65,7 @@ PHASE_SPANS = frozenset(
     {
         "parse",
         "transform",
+        "incremental_update",
         "cache_probe",
         "saturation_run",
         "tableau_run",

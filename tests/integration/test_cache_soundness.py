@@ -125,8 +125,14 @@ class TestMutationInvalidation:
         assert cached_transform_kb(kb4) is memoised  # served from the memo
         kb4.add(ConceptAssertion(Individual("opus"), AtomicConcept("Bird")))
         refreshed = cached_transform_kb(kb4)
-        assert refreshed is not memoised
+        # The memo is updated *in place* (same object, so delegated
+        # reasoners can watch its change log) and matches a transform
+        # from scratch.
+        assert refreshed is memoised
         assert refreshed == transform_kb(kb4)
+        assert sorted(map(repr, refreshed.axioms())) == sorted(
+            map(repr, transform_kb(kb4).axioms())
+        )
 
 
 class TestSharedCache:

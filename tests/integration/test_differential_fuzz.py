@@ -20,7 +20,12 @@ seeded random KBs we cross-check them pairwise:
   the tractable fragment, the consequence-driven fast path must agree
   with a tableau-pinned reasoner on satisfiability verdicts, the
   classification taxonomy and four-valued assertion values, while
-  actually answering (zero tableau fallbacks on complete-mode KBs).
+  actually answering (zero tableau fallbacks on complete-mode KBs);
+* **incremental vs cold** — seeded add/remove/re-add edit sequences
+  over scaling-corpus KB4s, where a long-lived reasoner using
+  fine-grained invalidation must answer byte-identically to a reasoner
+  built from scratch after every single mutation, while its survival
+  counters prove entries actually outlived the edits.
 
 The seeds are fixed ranges, not hypothesis draws, so a failure names the
 exact KB: rebuild it with ``generate_kb(GeneratorConfig(seed=...))``.
@@ -54,7 +59,14 @@ from repro.four_dl.reasoner4 import Reasoner4
 from repro.four_dl.transform import neg_transform, pos_transform, transform_kb
 from repro.fourvalued.truth import from_evidence
 from repro.semantics import classical_satisfiable_by_enumeration
-from repro.workloads import GeneratorConfig, generate_kb, generate_kb4
+from repro.workloads import (
+    GeneratorConfig,
+    ScalingConfig,
+    ScalingProfile,
+    generate_kb,
+    generate_kb4,
+    generate_scaling_kb4,
+)
 
 SMALL = dict(
     n_concepts=3, n_roles=1, n_individuals=2, n_tbox=3, n_abox=4, max_depth=1
@@ -376,6 +388,88 @@ class TestSaturationVsTableau:
         assert auto.stats.saturation_queries > 0, f"seed={seed}"
 
 
+def _four_battery(reasoner, atoms, individuals):
+    """A deterministic four-valued probe battery, each question twice.
+
+    The duplicate pass forces the incremental reasoner to serve cache
+    hits, so a stale entry that survived an edit it should not have
+    survived flips an answer against the cold oracle.
+    """
+    answers = []
+    for _ in range(2):
+        answers.append(reasoner.is_satisfiable())
+        for individual in individuals:
+            for atom in atoms:
+                answers.append(reasoner.assertion_value(individual, atom))
+    return answers
+
+
+class TestEditSequenceFuzz:
+    """Seeded edit sequences: incremental answers == cold, after every step.
+
+    Each case draws a scaling-corpus KB4, warms an incremental
+    :class:`Reasoner4`, then drives a scripted add / add / remove /
+    re-add sequence (the removed axiom chosen by the seed).  After every
+    single mutation the incremental reasoner's full probe battery must
+    be byte-identical to a reasoner built cold over a copy of the edited
+    KB.  The pure-addition step also pins the survival counters: UNSAT
+    entries stored by the previous step must outlive an addition.
+
+    4 profiles x 26 seeds = 104 distinct edit sequences.
+    """
+
+    @pytest.mark.parametrize("profile", list(ScalingProfile))
+    @pytest.mark.parametrize("seed", range(26))
+    def test_incremental_matches_cold_after_every_edit(self, profile, seed):
+        kb4 = generate_scaling_kb4(
+            ScalingConfig(n_axioms=10, profile=profile, seed=seed)
+        )
+        rng = random.Random(f"edit-fuzz:{profile.value}:{seed}")
+        atoms = sorted(kb4.concepts_in_signature(), key=lambda a: a.name)[:2]
+        # Probe the to-be-added individual too: once step 1 asserts it,
+        # its positive entailment holds, banking an UNSAT cache entry
+        # whose survival across step 2's addition the test then demands.
+        individuals = sorted(
+            kb4.individuals_in_signature(), key=lambda i: i.name
+        )[:2] + [Individual("fuzz_new")]
+        incremental = Reasoner4(kb4)
+        _four_battery(incremental, atoms, individuals)  # warm the cache
+        assert incremental.stats.cache_hits > 0
+
+        def check_parity(step):
+            warm = _four_battery(incremental, atoms, individuals)
+            cold = _four_battery(
+                Reasoner4(kb4.copy(), use_cache=False), atoms, individuals
+            )
+            assert warm == cold, f"profile={profile.value} seed={seed} {step}"
+
+        # Step 1: a pure addition entailed outright, so the battery
+        # banks UNSAT (entailment) cache entries for the next step.
+        anchor = ConceptAssertion(Individual("fuzz_new"), rng.choice(atoms))
+        kb4.add_axiom(anchor)
+        check_parity("add-anchor")
+
+        # Step 2: another pure addition.  Monotonicity says every UNSAT
+        # entry survives it — the counters must show survivors.
+        before = incremental.stats.snapshot()
+        kb4.add_axiom(
+            ConceptAssertion(Individual("fuzz_new2"), rng.choice(atoms))
+        )
+        check_parity("add-second")
+        survived = (incremental.stats - before).cache_entries_survived
+        assert survived > 0, f"profile={profile.value} seed={seed}"
+
+        # Step 3: remove a seed-chosen existing axiom.
+        victim = rng.choice(sorted(kb4.axioms(), key=repr))
+        kb4.remove_axiom(victim)
+        check_parity(f"remove {victim!r}")
+
+        # Step 4: re-add it — answers must return to the pre-removal
+        # state, again checked against a cold rebuild.
+        kb4.add_axiom(victim)
+        check_parity(f"re-add {victim!r}")
+
+
 class TestMutationUnderFuzz:
     """Invalidation fuzz: answers after a mutation match a fresh reasoner."""
 
@@ -397,4 +491,7 @@ def test_fuzz_coverage_floor():
     """The suite must keep exercising at least 200 distinct seeded KBs."""
     cases = 100 + 40 + 60 + 30 + 30 + 60 + 25 + 25 + 40 + 20
     cases += 40 + 40 + 25 + 25  # saturation-vs-tableau parity classes
+    edit_sequences = 4 * 26  # incremental edit-sequence fuzz
+    assert edit_sequences >= 100
+    cases += edit_sequences
     assert cases >= 200
