@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""Seeded load benchmark for the `repro serve` daemon.
+
+Boots an in-process server over the university ontology and drives it
+with N concurrent clients issuing a seeded, shuffled mix of the four
+probe kinds.  Records wall-clock per request wave plus the service's
+own accounting (requests by status, UNKNOWN reasons, restarts) as a
+``BENCH_serve.json`` trajectory record.
+
+    PYTHONPATH=src python scripts/bench_serve.py \
+        --out benchmarks/trajectory [--clients 8] [--requests 25] [--seed 0]
+
+The probe mix is a pure function of the seed; timing fields are the
+only thing that varies between runs (`scripts/bench_compare.py` strips
+them).
+"""
+
+import argparse
+import collections
+import json
+import os
+import random
+import sys
+import threading
+import time
+import urllib.request
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.obs.bench import BenchRecord, write_bench_record  # noqa: E402
+from repro.serve.client import ReproClient  # noqa: E402
+from repro.serve.protocol import ProbeRequest  # noqa: E402
+from repro.serve.server import ReproServer  # noqa: E402
+
+ONTOLOGY = os.path.join(REPO_ROOT, "ontologies", "university.kb4")
+
+#: The probe vocabulary the seeded mix draws from (university.kb4).
+INDIVIDUALS = ("ada", "grace", "alan", "anna")
+ATOMS = ("Person", "Student", "Professor", "Doctorate", "Teacher")
+
+
+def seeded_battery(seed, count):
+    """A deterministic shuffled mix of the four probe kinds."""
+    rng = random.Random(f"bench-serve-{seed}")
+    battery = []
+    for index in range(count):
+        kind = rng.choice(
+            ("satisfiable", "instance", "subsumption", "assertion_value")
+        )
+        if kind == "satisfiable":
+            request = ProbeRequest(
+                kind=kind, kb="university", deadline_ms=20000.0
+            )
+        elif kind == "subsumption":
+            sub, sup = rng.sample(ATOMS, 2)
+            request = ProbeRequest(
+                kind=kind, kb="university", sub=sub, sup=sup,
+                deadline_ms=20000.0,
+            )
+        else:
+            request = ProbeRequest(
+                kind=kind, kb="university",
+                individual=rng.choice(INDIVIDUALS),
+                concept=rng.choice(ATOMS),
+                deadline_ms=20000.0,
+            )
+        battery.append(request)
+    return battery
+
+
+def run_load(clients, requests_per_client, seed, workers):
+    server = ReproServer(
+        {"university": ONTOLOGY},
+        port=0,
+        workers=workers,
+        max_queue=max(16, clients * 2),
+    )
+    server.start()
+    statuses = collections.Counter()
+    wave_seconds = []
+    try:
+        host, port = server.address
+        base = f"http://{host}:{port}"
+        batteries = [
+            seeded_battery(f"{seed}-{index}", requests_per_client)
+            for index in range(clients)
+        ]
+        lock = threading.Lock()
+        failures = []
+
+        def client_body(index):
+            client = ReproClient(base, retries=2, backoff=0.05)
+            try:
+                for request in batteries[index]:
+                    response = client.probe(request)
+                    with lock:
+                        statuses[response.status] += 1
+            except Exception as error:  # noqa: BLE001 - recorded below
+                with lock:
+                    failures.append(f"client {index}: {error}")
+
+        started = time.perf_counter()
+        threads = [
+            threading.Thread(target=client_body, args=(index,))
+            for index in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wave_seconds.append(time.perf_counter() - started)
+        if failures:
+            raise SystemExit("bench_serve: " + "; ".join(failures))
+        with urllib.request.urlopen(f"{base}/metrics", timeout=10.0) as raw:
+            metrics_text = raw.read().decode("utf-8")
+    finally:
+        server.close()
+    return statuses, wave_seconds, metrics_text
+
+
+def scrape(metrics_text, series):
+    for line in metrics_text.splitlines():
+        if line.startswith(series + " "):
+            return float(line.split()[-1])
+    return 0.0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--requests", type=int, default=25,
+                        help="probes per client")
+    parser.add_argument("--seed", default="0")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--out", default=None,
+                        help="directory for BENCH_serve.json (omit to print)")
+    args = parser.parse_args()
+
+    statuses, wave_seconds, metrics_text = run_load(
+        args.clients, args.requests, args.seed, args.workers
+    )
+    total = sum(statuses.values())
+    counters = {
+        "requests": total,
+        "requests_ok": statuses.get("ok", 0),
+        "requests_unknown": statuses.get("unknown", 0),
+        "requests_rejected": statuses.get("rejected", 0),
+        "requests_error": statuses.get("error", 0),
+        "worker_restarts": int(
+            scrape(metrics_text, "repro_serve_worker_restarts_total")
+        ),
+    }
+    record = BenchRecord(
+        name="serve",
+        workload=(
+            f"{args.clients} concurrent clients x {args.requests} seeded "
+            f"probes vs university.kb4, {args.workers} worker(s)"
+        ),
+        seconds=wave_seconds,
+        counters=counters,
+        metadata={
+            "seed": str(args.seed),
+            "clients": str(args.clients),
+            "requests_per_client": str(args.requests),
+            "workers": str(args.workers),
+            "kb": "university.kb4",
+        },
+    )
+    if args.out:
+        path = write_bench_record(record, args.out)
+        print(f"bench_serve: wrote {path}")
+    else:
+        json.dump(record.as_dict(), sys.stdout, indent=2, sort_keys=True)
+        print()
+    if counters["requests_error"]:
+        raise SystemExit("bench_serve: errors under load")
+    print(
+        f"bench_serve: {total} probes in {wave_seconds[0]:.2f}s "
+        f"({total / wave_seconds[0]:.0f}/s), "
+        f"{counters['requests_ok']} ok / "
+        f"{counters['requests_unknown']} unknown / "
+        f"{counters['requests_rejected']} rejected"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for the `repro serve` daemon.
+
+Boots the real CLI daemon as a subprocess, then walks the fault-
+tolerance story: answer a probe, kill a worker mid-request and prove
+the service recovers (with honest UNKNOWN accounting in /metrics),
+then SIGTERM and demand a clean drain with exit code 0.
+
+Run from the repository root (CI wraps it in coreutils timeout):
+
+    PYTHONPATH=src timeout 120 python scripts/serve_smoke.py
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+ONTOLOGY = os.path.join(REPO_ROOT, "ontologies", "university.kb4")
+
+
+def fail(message):
+    print(f"serve_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def free_port():
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def get(base, path, timeout=5.0):
+    try:
+        with urllib.request.urlopen(base + path, timeout=timeout) as raw:
+            return raw.status, raw.read().decode("utf-8")
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode("utf-8")
+
+
+def post(base, payload, timeout=30.0):
+    request = urllib.request.Request(
+        base + "/probe",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as raw:
+            return raw.status, raw.read().decode("utf-8")
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode("utf-8")
+
+
+def wait_for(predicate, what, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            if predicate():
+                return
+        except (urllib.error.URLError, ConnectionError, socket.timeout):
+            pass
+        time.sleep(0.1)
+    fail(f"timed out waiting for {what}")
+
+
+def main():
+    port = free_port()
+    base = f"http://127.0.0.1:{port}"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    daemon = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            f"university={ONTOLOGY}",
+            "--port", str(port),
+            "--workers", "1",
+            "--chaos",            # enables the debug_crash probe below
+            "--drain-timeout", "10",
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+    )
+    try:
+        # 1. The daemon comes up and reports alive + ready.
+        wait_for(lambda: get(base, "/healthz")[0] == 200, "healthz")
+        wait_for(lambda: get(base, "/readyz")[0] == 200, "readyz")
+        print("serve_smoke: daemon alive and ready")
+
+        # 2. A real probe answers with a decided verdict.
+        status, body = post(base, {
+            "schema": 1, "kind": "satisfiable", "kb": "university",
+            "deadline_ms": 20000,
+        })
+        if status != 200:
+            fail(f"probe returned HTTP {status}: {body}")
+        first = json.loads(body)
+        if first.get("status") != "ok" or first.get("value") is not True:
+            fail(f"unexpected probe answer: {body}")
+        print(f"serve_smoke: satisfiable(university) -> {body}")
+
+        # 3. Kill the worker mid-request: the in-flight request must be
+        #    answered UNKNOWN(worker_crash), never hung or lied about.
+        status, body = post(base, {
+            "schema": 1, "kind": "debug_crash", "kb": "university",
+            "deadline_ms": 20000,
+        })
+        crash = json.loads(body)
+        if crash.get("status") != "unknown":
+            fail(f"crash probe not degraded: HTTP {status} {body}")
+        if crash.get("reason") != "worker_crash":
+            fail(f"crash probe wrong reason: {body}")
+        print(f"serve_smoke: worker kill degraded honestly -> {body}")
+
+        # 4. The supervisor restarts the shard and service resumes with
+        #    the same answer as before the fault.
+        wait_for(lambda: get(base, "/readyz")[0] == 200, "post-crash readyz")
+        status, body = post(base, {
+            "schema": 1, "kind": "satisfiable", "kb": "university",
+            "deadline_ms": 20000,
+        })
+        if status != 200 or body != json.dumps(first, sort_keys=True):
+            fail(f"post-recovery answer diverged: HTTP {status} {body}")
+        print("serve_smoke: recovered, verdict byte-identical")
+
+        # 5. The books balance: one restart, one worker_crash UNKNOWN.
+        _, metrics = get(base, "/metrics")
+        for needle in (
+            'repro_serve_unknown_total{reason="worker_crash"} 1',
+            "repro_serve_worker_restarts_total 1",
+        ):
+            if needle not in metrics:
+                fail(f"metrics missing {needle!r}")
+        print("serve_smoke: metrics account for the crash")
+
+        # 6. SIGTERM drains and exits 0.
+        daemon.send_signal(signal.SIGTERM)
+        try:
+            code = daemon.wait(timeout=30.0)
+        except subprocess.TimeoutExpired:
+            fail("daemon did not exit within 30s of SIGTERM")
+        if code != 0:
+            fail(f"daemon exited {code} after SIGTERM")
+        stderr = daemon.stderr.read().decode("utf-8")
+        if "drained and stopped" not in stderr:
+            fail(f"daemon did not report a clean drain: {stderr!r}")
+        print("serve_smoke: SIGTERM drained cleanly, exit 0")
+        print("serve_smoke: OK")
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait(timeout=10.0)
+
+
+if __name__ == "__main__":
+    main()

@@ -487,6 +487,68 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from .serve.server import ReproServer
+
+    kb_paths = {}
+    for spec in args.kbs:
+        if "=" in spec:
+            name, _, path = spec.partition("=")
+        else:
+            path = spec
+            name = path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+        if not name or not path:
+            print(f"error: bad --kb spec {spec!r} (NAME=PATH)", file=sys.stderr)
+            return 2
+        if name in kb_paths:
+            print(f"error: duplicate kb name {name!r}", file=sys.stderr)
+            return 2
+        kb_paths[name] = path
+    for name, path in kb_paths.items():
+        try:
+            with open(path):
+                pass
+        except OSError as error:
+            print(f"error: kb {name!r}: {error}", file=sys.stderr)
+            return 2
+    server = ReproServer(
+        kb_paths,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        default_deadline_ms=args.default_deadline_ms,
+        drain_timeout=args.drain_timeout,
+        chaos=args.chaos,
+        quiet=not args.verbose,
+    )
+
+    def drain(signum, frame):  # noqa: ARG001 - signal signature
+        # The handler must return immediately (it runs on the main
+        # thread, which is inside serve_forever); drain elsewhere.
+        threading.Thread(
+            target=server.shutdown_gracefully, daemon=True
+        ).start()
+
+    signal.signal(signal.SIGTERM, drain)
+    signal.signal(signal.SIGINT, drain)
+    server.start()
+    host, port = server.address
+    print(
+        f"repro serve: listening on http://{host}:{port} "
+        f"({len(kb_paths)} kb(s), {args.workers} worker(s), "
+        f"queue {args.max_queue})",
+        file=sys.stderr,
+        flush=True,
+    )
+    server.serve_forever()
+    print("repro serve: drained and stopped", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -712,6 +774,60 @@ def build_parser() -> argparse.ArgumentParser:
         "list", help="list the available suites"
     )
     eval_list.set_defaults(handler=_cmd_eval)
+
+    serve = commands.add_parser(
+        "serve",
+        help="long-lived reasoning service over HTTP (see docs/GUIDE.md §10)",
+    )
+    serve.add_argument(
+        "kbs",
+        nargs="+",
+        metavar="NAME=FILE",
+        help="ontology to serve, named (plain FILE uses the file stem)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8455, help="bind port (0 picks a free one)"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="reasoning worker processes (0 = inline, no crash isolation)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=16,
+        dest="max_queue",
+        help="admission bound: requests queued or running at once "
+        "(beyond it the server sheds load with 429 + Retry-After)",
+    )
+    serve.add_argument(
+        "--default-deadline-ms",
+        type=float,
+        default=30_000.0,
+        dest="default_deadline_ms",
+        help="deadline applied to requests that carry none",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=5.0,
+        dest="drain_timeout",
+        help="seconds SIGTERM waits for in-flight requests before "
+        "cancelling them",
+    )
+    serve.add_argument(
+        "--chaos",
+        action="store_true",
+        help="arm the debug_crash/debug_stall probe kinds "
+        "(fault-injection testing only; never in production)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     profile = commands.add_parser(
         "profile", help="report on a --profile FILE span dump"

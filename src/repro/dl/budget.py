@@ -30,6 +30,7 @@ deterministic, seeded tableau steps.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Callable, ClassVar, Optional
@@ -55,20 +56,28 @@ class CancelToken:
     through its :class:`BudgetMeter` at choice-point boundaries and
     aborts with ``DegradationReason.CANCELLED``.  Setting the flag is
     idempotent and cannot be undone — create a new token per request.
+
+    The flag is backed by a ``threading.Event`` so a cancel issued from
+    another thread is observed by a running search without relying on
+    interpreter implementation details.  For *cross-process* use (a
+    pool supervisor cancelling a probe running in a worker process),
+    pass a ``multiprocessing.Event`` — or any object with ``set()`` /
+    ``is_set()`` — as ``event``; both sides then share the kernel-level
+    flag instead of a per-process boolean.
     """
 
-    __slots__ = ("_cancelled",)
+    __slots__ = ("_event",)
 
-    def __init__(self) -> None:
-        self._cancelled = False
+    def __init__(self, event=None) -> None:
+        self._event = event if event is not None else threading.Event()
 
     def cancel(self) -> None:
         """Request cancellation of every search metered on this token."""
-        self._cancelled = True
+        self._event.set()
 
     def is_set(self) -> bool:
         """Whether cancellation has been requested."""
-        return self._cancelled
+        return self._event.is_set()
 
 
 @dataclass(frozen=True)

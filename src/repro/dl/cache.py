@@ -58,10 +58,20 @@ Capacity is bounded: entries live in LRU order and the least recently
 used verdict is evicted once ``maxsize`` is exceeded, so long sessions
 issuing millions of distinct probes cannot grow the cache without bound.
 ``maxsize=None`` restores the old unbounded behaviour.
+
+**Concurrency.**  The long-lived service (:mod:`repro.serve`) shares one
+cache across concurrent requests, so every mutating path — lookup (which
+reorders the LRU list), store (which may evict), ``invalidate_delta``,
+and ``clear`` — runs under one re-entrant lock.  The lock protects the
+*structure* only; the soundness story is unchanged because verdicts are
+deterministic per KB state (two threads racing to store the same key
+either agree or trip the :class:`~repro.dl.errors.CacheConflictError`
+tripwire exactly as in the single-threaded case).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING, FrozenSet, Iterable, Optional, Tuple
 
@@ -138,6 +148,10 @@ class QueryCache:
         self.maxsize = maxsize
         self.stats = stats
         self.evictions = 0
+        #: Guards every structural access; re-entrant so an instrumented
+        #: store that re-enters (e.g. via a stats callback) cannot
+        #: deadlock against itself.
+        self._lock = threading.RLock()
         self._entries: "OrderedDict[CacheKey, Tuple[bool, Optional[FrozenSet]]]" = (
             OrderedDict()
         )
@@ -146,11 +160,12 @@ class QueryCache:
         """The cached verdict for a canonical key, or ``None`` on a miss."""
         if not self.enabled:
             return None
-        entry = self._entries.get(key)
-        if entry is None:
-            return None
-        self._entries.move_to_end(key)
-        return entry[0]
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            self._entries.move_to_end(key)
+            return entry[0]
 
     def store(
         self,
@@ -173,27 +188,28 @@ class QueryCache:
         """
         if not self.enabled:
             return
-        cached = self._entries.get(key)
-        if cached is not None:
-            if cached[0] != value:
-                add_event(
-                    "cache_conflict",
-                    {"cached": cached[0], "attempted": value},
-                )
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                if cached[0] != value:
+                    add_event(
+                        "cache_conflict",
+                        {"cached": cached[0], "attempted": value},
+                    )
+                    if self.stats is not None:
+                        self.stats.cache_conflicts += 1
+                    raise CacheConflictError(key, cached[0], value)
+                if cached[1] is None and deps is not None:
+                    self._entries[key] = (value, deps)
+                self._entries.move_to_end(key)
+                return
+            self._entries[key] = (value, deps)
+            if self.maxsize is not None and len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                add_event("cache_eviction", {"entries": len(self._entries)})
                 if self.stats is not None:
-                    self.stats.cache_conflicts += 1
-                raise CacheConflictError(key, cached[0], value)
-            if cached[1] is None and deps is not None:
-                self._entries[key] = (value, deps)
-            self._entries.move_to_end(key)
-            return
-        self._entries[key] = (value, deps)
-        if self.maxsize is not None and len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-            add_event("cache_eviction", {"entries": len(self._entries)})
-            if self.stats is not None:
-                self.stats.cache_evictions += 1
+                    self.stats.cache_evictions += 1
 
     def invalidate_delta(
         self,
@@ -212,27 +228,30 @@ class QueryCache:
         """
         if not self.enabled or (not added and not removed):
             return (0, len(self._entries))
-        survivors: "OrderedDict[CacheKey, Tuple[bool, Optional[FrozenSet]]]" = (
-            OrderedDict()
-        )
-        invalidated = 0
-        for key, (value, deps) in self._entries.items():
-            if value:
-                keep = not added
-            else:
-                keep = not removed or (
-                    deps is not None and deps.isdisjoint(removed)
-                )
-            if keep:
-                survivors[key] = (value, deps)
-            else:
-                invalidated += 1
-        self._entries = survivors
-        return (invalidated, len(survivors))
+        with self._lock:
+            survivors: "OrderedDict[CacheKey, Tuple[bool, Optional[FrozenSet]]]" = (
+                OrderedDict()
+            )
+            invalidated = 0
+            for key, (value, deps) in self._entries.items():
+                if value:
+                    keep = not added
+                else:
+                    keep = not removed or (
+                        deps is not None and deps.isdisjoint(removed)
+                    )
+                if keep:
+                    survivors[key] = (value, deps)
+                else:
+                    invalidated += 1
+            self._entries = survivors
+            return (invalidated, len(survivors))
 
     def clear(self) -> None:
         """Drop every entry (wholesale invalidation on KB mutation)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)

@@ -46,6 +46,11 @@ class DegradationReason(enum.Enum):
     TRAIL = "trail"
     #: A cooperative :class:`~repro.dl.budget.CancelToken` was triggered.
     CANCELLED = "cancelled"
+    #: The supervised worker process executing the request died (or was
+    #: killed for wedging) before it could answer; the service layer
+    #: (:mod:`repro.serve`) degrades the in-flight request to UNKNOWN
+    #: instead of hanging the client.
+    WORKER_CRASH = "worker_crash"
     #: An unexpected error was contained by a degrading service (the
     #: fault-injection harness exercises this path; real searches abort
     #: with one of the specific reasons above).

@@ -31,6 +31,7 @@ Design notes (see DESIGN.md):
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterator, List, Tuple, Union
 
 from ..dl import axioms as ax
@@ -434,7 +435,23 @@ def _apply_induced_delta(
     return True
 
 
+#: Serialises memo population/patching: the long-lived service answers
+#: concurrent requests over shared KB4 objects, and two threads racing
+#: the first transform (or an incremental replay) would otherwise
+#: interleave in-place mutations of the same induced KB.  Reads of an
+#: up-to-date memo still pay the lock, but the hit path is a version
+#: compare — nanoseconds against the milliseconds a transform costs.
+_TRANSFORM_MEMO_LOCK = threading.RLock()
+
+
 def _cached_transform(
+    kb4: KnowledgeBase4,
+) -> Tuple[KnowledgeBase, ProvenanceMap]:
+    with _TRANSFORM_MEMO_LOCK:
+        return _cached_transform_locked(kb4)
+
+
+def _cached_transform_locked(
     kb4: KnowledgeBase4,
 ) -> Tuple[KnowledgeBase, ProvenanceMap]:
     cached = getattr(kb4, "_induced_cache", None)

@@ -73,6 +73,7 @@ PHASE_SPANS = frozenset(
         "shrink_probe",
         "evidence_probe",
         "classify",
+        "serve_request",
     }
 )
 

@@ -1,0 +1,53 @@
+"""The fault-tolerant reasoning service: ``repro serve`` and its client.
+
+Everything the library answers locally — four-valued satisfiability,
+instance and subsumption checks, Belnap assertion values, all with the
+degradation semantics of :mod:`repro.dl.budget` — served over HTTP by a
+long-lived, stdlib-only daemon that loads each ontology once and keeps
+its caches warm across requests.  The layers:
+
+* :mod:`repro.serve.protocol` — the versioned JSON wire schema
+  (requests, responses, UNKNOWN round-tripping);
+* :mod:`repro.serve.pool` — KB registry plus the supervised,
+  KB-sharded worker process pool (crash isolation, stall escalation,
+  exponential-backoff restarts, circuit breaker);
+* :mod:`repro.serve.server` — the HTTP front: admission control with
+  bounded queueing and 429 backpressure, deadline-to-Budget conversion,
+  ``/healthz`` / ``/readyz`` / ``/metrics``, SIGTERM draining;
+* :mod:`repro.serve.client` — :class:`ReproClient`, retrying only
+  idempotent probes with jittered exponential backoff.
+
+See ``docs/GUIDE.md`` section 10 for a worked tour and
+``docs/ARCHITECTURE.md`` for the invariants the chaos suite enforces.
+"""
+
+from .client import ReproClient, ServiceUnavailable
+from .pool import InlineExecutor, KBRegistry, WorkerPool, execute_probe
+from .protocol import (
+    PROBE_KINDS,
+    PROTOCOL_VERSION,
+    ProbeRequest,
+    ProbeResponse,
+    ProtocolError,
+    verdict_from_wire,
+    verdict_to_wire,
+)
+from .server import ReproServer, ServeMetrics
+
+__all__ = [
+    "PROBE_KINDS",
+    "PROTOCOL_VERSION",
+    "ProbeRequest",
+    "ProbeResponse",
+    "ProtocolError",
+    "verdict_from_wire",
+    "verdict_to_wire",
+    "KBRegistry",
+    "execute_probe",
+    "WorkerPool",
+    "InlineExecutor",
+    "ReproServer",
+    "ServeMetrics",
+    "ReproClient",
+    "ServiceUnavailable",
+]

@@ -1,0 +1,248 @@
+"""A stdlib HTTP client for the reasoning service, with careful retries.
+
+:class:`ReproClient` wraps :mod:`urllib.request` with the failure
+policy a degradation-aware client needs:
+
+* **Idempotence-gated retries.**  Only pure reads
+  (:data:`~repro.serve.protocol.IDEMPOTENT_KINDS`) are re-sent; a chaos
+  probe or any future mutating kind is attempted exactly once, because
+  "the connection died" does not mean "the server did nothing".
+* **Retry on transport and backpressure only.**  Connection errors,
+  ``429`` (queue full) and ``503`` (draining, worker crash, not ready)
+  are retryable conditions — the server explicitly said *try again*.
+  ``504`` (the probe blew its own budget) and ``400``/``404`` (usage)
+  are answers, not failures, and are returned immediately: retrying a
+  deadline-shaped UNKNOWN would just spend the deadline again.
+* **Backoff with jitter.**  Exponential base backoff multiplied by a
+  random factor in ``[0.5, 1.5)``, so a thundering herd of clients
+  hitting one recovering server de-synchronises.  The RNG is
+  injectable (``rng=random.Random(0)``) for deterministic tests, as is
+  the sleep function.
+* **Deadline discipline.**  A per-call ``deadline_ms`` rides the
+  request body (the server converts it to a
+  :class:`~repro.dl.budget.Budget`) and also bounds the socket timeout,
+  so a wedged network cannot outlive the reasoning deadline.
+
+The convenience probes (:meth:`ReproClient.satisfiable`,
+:meth:`ReproClient.instance`, :meth:`ReproClient.subsumption`,
+:meth:`ReproClient.assertion_value`) return the same
+:class:`~repro.dl.budget.Verdict` /
+:class:`~repro.fourvalued.truth.FourValue` shapes the library's local
+APIs produce, so switching between embedded and remote reasoning is a
+one-line change.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import time
+import urllib.error
+import urllib.request
+from typing import Optional
+
+from ..dl.budget import Verdict
+from ..dl.errors import ReproError
+from ..fourvalued.truth import FourValue
+from .protocol import ProbeRequest, ProbeResponse, ProtocolError
+
+__all__ = ["ServiceUnavailable", "ReproClient"]
+
+#: HTTP statuses that mean "try again later", never "wrong question".
+_RETRYABLE_STATUSES = frozenset({429, 503})
+
+
+class ServiceUnavailable(ReproError):
+    """The service could not be reached (or stayed backpressured)
+    within the client's retry budget."""
+
+
+class ReproClient:
+    """A connection to one ``repro serve`` endpoint.
+
+    ``retries`` counts *re*-sends (0 disables retrying); ``backoff`` is
+    the base delay before the first retry, doubling each attempt and
+    multiplied by jitter in ``[0.5, 1.5)``.  ``timeout_s`` is the
+    per-attempt socket timeout used when a request carries no deadline.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        retries: int = 3,
+        backoff: float = 0.1,
+        timeout_s: float = 30.0,
+        rng: Optional[random.Random] = None,
+        sleep=time.sleep,
+    ):
+        self.base_url = base_url.rstrip("/")
+        self.retries = retries
+        self.backoff = backoff
+        self.timeout_s = timeout_s
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
+
+    # -- transport -----------------------------------------------------
+    def _attempt(self, request: ProbeRequest) -> ProbeResponse:
+        timeout = self.timeout_s
+        if request.deadline_ms is not None:
+            # The socket must outlive the reasoning deadline slightly so
+            # the structured UNKNOWN can still be delivered.
+            timeout = max(request.deadline_ms / 1000.0 * 1.5, 0.05)
+        body = json.dumps(request.to_wire(), sort_keys=True).encode("utf-8")
+        http_request = urllib.request.Request(
+            f"{self.base_url}/probe",
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(http_request, timeout=timeout) as raw:
+                return ProbeResponse.from_json(raw.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            # Structured non-2xx answers still carry a protocol body.
+            payload = error.read().decode("utf-8", errors="replace")
+            try:
+                return ProbeResponse.from_json(payload)
+            except ProtocolError:
+                raise ServiceUnavailable(
+                    f"HTTP {error.code} with non-protocol body: "
+                    f"{payload[:200]!r}"
+                ) from None
+
+    def probe(self, request: ProbeRequest) -> ProbeResponse:
+        """Send one probe, retrying per the policy in the module docstring.
+
+        Raises :class:`ServiceUnavailable` when the transport keeps
+        failing (or the server keeps shedding load) past the retry
+        budget, and immediately for non-idempotent requests.
+        """
+        attempts = (self.retries + 1) if request.idempotent else 1
+        last_error: Optional[str] = None
+        for attempt in range(attempts):
+            if attempt:
+                jitter = 0.5 + self._rng.random()
+                self._sleep(self.backoff * (2.0 ** (attempt - 1)) * jitter)
+            try:
+                response = self._attempt(request)
+            except (urllib.error.URLError, socket.timeout, ConnectionError) as exc:
+                last_error = f"transport error: {exc}"
+                continue
+            if (
+                response.status == "rejected"
+                or (
+                    response.status == "unknown"
+                    and response.reason == "worker_crash"
+                )
+            ) and attempt + 1 < attempts:
+                last_error = f"backpressure: {response.message}"
+                continue
+            return response
+        raise ServiceUnavailable(
+            f"no answer after {attempts} attempt(s); last: {last_error}"
+        )
+
+    # -- convenience probes ----------------------------------------------
+    def satisfiable(
+        self, kb: str, deadline_ms: Optional[float] = None, **options
+    ) -> Verdict:
+        """Four-valued satisfiability of a served KB, as a Verdict."""
+        return self.probe(
+            ProbeRequest(
+                kind="satisfiable", kb=kb, deadline_ms=deadline_ms, **options
+            )
+        ).verdict
+
+    def instance(
+        self,
+        kb: str,
+        individual: str,
+        concept: str,
+        deadline_ms: Optional[float] = None,
+        **options,
+    ) -> Verdict:
+        """Positive-evidence instance check ``C(a)``, as a Verdict."""
+        return self.probe(
+            ProbeRequest(
+                kind="instance",
+                kb=kb,
+                individual=individual,
+                concept=concept,
+                deadline_ms=deadline_ms,
+                **options,
+            )
+        ).verdict
+
+    def subsumption(
+        self,
+        kb: str,
+        sub: str,
+        sup: str,
+        inclusion: str = "internal",
+        deadline_ms: Optional[float] = None,
+        **options,
+    ) -> Verdict:
+        """Four-valued subsumption between concept expressions."""
+        return self.probe(
+            ProbeRequest(
+                kind="subsumption",
+                kb=kb,
+                sub=sub,
+                sup=sup,
+                inclusion=inclusion,
+                deadline_ms=deadline_ms,
+                **options,
+            )
+        ).verdict
+
+    def assertion_value(
+        self,
+        kb: str,
+        individual: str,
+        concept: str,
+        deadline_ms: Optional[float] = None,
+        **options,
+    ) -> Optional[FourValue]:
+        """The Belnap value of ``C(a)`` (``None`` when degraded UNKNOWN)."""
+        return self.probe(
+            ProbeRequest(
+                kind="assertion_value",
+                kb=kb,
+                individual=individual,
+                concept=concept,
+                deadline_ms=deadline_ms,
+                **options,
+            )
+        ).four_value
+
+    # -- operational endpoints ---------------------------------------
+    def _get(self, path: str, timeout: float = 5.0) -> tuple:
+        try:
+            with urllib.request.urlopen(
+                f"{self.base_url}{path}", timeout=timeout
+            ) as raw:
+                return raw.status, raw.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            return error.code, error.read().decode("utf-8", errors="replace")
+
+    def healthy(self) -> bool:
+        """Whether ``/healthz`` answers 200 (liveness)."""
+        try:
+            return self._get("/healthz")[0] == 200
+        except (urllib.error.URLError, ConnectionError, socket.timeout):
+            return False
+
+    def ready(self) -> bool:
+        """Whether ``/readyz`` answers 200 (full serving capacity)."""
+        try:
+            return self._get("/readyz")[0] == 200
+        except (urllib.error.URLError, ConnectionError, socket.timeout):
+            return False
+
+    def metrics(self) -> str:
+        """The raw Prometheus text of ``/metrics``."""
+        status, body = self._get("/metrics")
+        if status != 200:
+            raise ServiceUnavailable(f"/metrics answered HTTP {status}")
+        return body

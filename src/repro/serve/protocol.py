@@ -1,0 +1,436 @@
+"""The wire protocol of the reasoning service: versioned JSON payloads.
+
+One request/response pair per probe, symmetric with the library's
+degrading verdict APIs so nothing is lost over the wire:
+
+* :class:`ProbeRequest` — a four-valued reasoning question against a
+  named KB, plus the client's resource envelope (``deadline_ms`` and the
+  optional node/branch caps) that admission control converts into a
+  :class:`~repro.dl.budget.Budget`;
+* :class:`ProbeResponse` — a decided answer, a structured UNKNOWN
+  carrying its :class:`~repro.dl.errors.DegradationReason` (the paper's
+  stance under operational failure: degrade, never hang), a bounded
+  429-style *rejection* with ``retry_after``, or a usage ``error``.
+
+Both directions round-trip through JSON exactly
+(:meth:`ProbeRequest.to_wire` / :meth:`ProbeRequest.from_wire`, same for
+responses), including UNKNOWN verdicts: ``verdict_to_wire`` /
+``verdict_from_wire`` preserve the reason and message so a client can
+re-raise the server's degradation locally.  Response bodies contain no
+volatile fields (no timestamps, no server-generated ids) — a repeated
+probe against an unchanged KB yields a byte-identical body, the property
+the server-level chaos suite pins after worker recovery.
+
+Schema evolution: every payload carries ``schema``
+(:data:`PROTOCOL_VERSION`); a server rejects newer schemas with a usage
+error instead of guessing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..dl.budget import Verdict
+from ..dl.errors import DegradationReason, ReproError
+from ..fourvalued.truth import FourValue
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "PROBE_KINDS",
+    "CHAOS_KINDS",
+    "IDEMPOTENT_KINDS",
+    "ProtocolError",
+    "ProbeRequest",
+    "ProbeResponse",
+    "verdict_to_wire",
+    "verdict_from_wire",
+]
+
+#: Bumped whenever a wire field is added, renamed, or re-typed.
+PROTOCOL_VERSION = 1
+
+#: The reasoning probe kinds the service answers.
+PROBE_KINDS: Tuple[str, ...] = (
+    "satisfiable",
+    "instance",
+    "subsumption",
+    "assertion_value",
+)
+
+#: Fault-injection probe kinds, honoured only by a server started with
+#: ``chaos=True`` (the server-level chaos harness and the CI smoke job);
+#: a production server answers them with a usage error.
+CHAOS_KINDS: Tuple[str, ...] = ("debug_crash", "debug_stall")
+
+#: Kinds a client may safely retry: every reasoning probe is a pure
+#: read.  The chaos kinds are deliberately excluded — re-sending a
+#: crash/stall injection is not idempotent from the pool's viewpoint.
+IDEMPOTENT_KINDS = frozenset(PROBE_KINDS)
+
+#: Which optional argument fields each kind requires.
+_REQUIRED_ARGS: Dict[str, Tuple[str, ...]] = {
+    "satisfiable": (),
+    "instance": ("individual", "concept"),
+    "subsumption": ("sub", "sup"),
+    "assertion_value": ("individual", "concept"),
+    "debug_crash": (),
+    "debug_stall": (),
+}
+
+_INCLUSION_KINDS = ("material", "internal", "strong")
+
+#: Response statuses: ``ok`` (decided), ``unknown`` (structured
+#: degradation), ``rejected`` (admission control), ``error`` (usage).
+RESPONSE_STATUSES = ("ok", "unknown", "rejected", "error")
+
+
+class ProtocolError(ReproError):
+    """A malformed or out-of-contract wire payload."""
+
+
+def _require_str(record: dict, name: str) -> str:
+    value = record.get(name)
+    if not isinstance(value, str) or not value:
+        raise ProtocolError(f"field {name!r} must be a non-empty string")
+    return value
+
+
+def _optional_number(record: dict, name: str):
+    value = record.get(name)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(f"field {name!r} must be a number")
+    return value
+
+
+def _check_schema(record: dict) -> None:
+    schema = record.get("schema", PROTOCOL_VERSION)
+    if schema != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol schema {schema!r} "
+            f"(this endpoint speaks {PROTOCOL_VERSION})"
+        )
+
+
+@dataclass(frozen=True)
+class ProbeRequest:
+    """One reasoning question against a named, pre-loaded KB.
+
+    ``deadline_ms`` is the client's *remaining* budget for the whole
+    round trip; admission control converts it into a wall-clock
+    :class:`~repro.dl.budget.Budget` (a non-positive value is already
+    over-deadline and degrades to UNKNOWN without running anything).
+    ``max_nodes`` / ``max_branches`` tighten the search caps per probe.
+    ``request_id`` is an opaque client correlation id, echoed verbatim
+    in the response headers — never in the body, which stays
+    deterministic.
+    """
+
+    kind: str
+    kb: str
+    individual: Optional[str] = None
+    concept: Optional[str] = None
+    sub: Optional[str] = None
+    sup: Optional[str] = None
+    inclusion: str = "internal"
+    deadline_ms: Optional[float] = None
+    max_nodes: Optional[int] = None
+    max_branches: Optional[int] = None
+    #: Chaos-only: how long a ``debug_stall`` probe wedges its worker.
+    stall_s: float = 0.0
+    request_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in PROBE_KINDS and self.kind not in CHAOS_KINDS:
+            raise ProtocolError(f"unknown probe kind {self.kind!r}")
+        if not self.kb:
+            raise ProtocolError("field 'kb' must be a non-empty string")
+        if self.inclusion not in _INCLUSION_KINDS:
+            raise ProtocolError(
+                f"inclusion must be one of {_INCLUSION_KINDS}, "
+                f"got {self.inclusion!r}"
+            )
+        for name in _REQUIRED_ARGS[self.kind]:
+            if getattr(self, name) is None:
+                raise ProtocolError(
+                    f"probe kind {self.kind!r} requires field {name!r}"
+                )
+
+    @property
+    def idempotent(self) -> bool:
+        """Whether a client may safely re-send this request."""
+        return self.kind in IDEMPOTENT_KINDS
+
+    def to_wire(self) -> dict:
+        """The JSON-able request record (omits unset optional fields)."""
+        record: dict = {"schema": PROTOCOL_VERSION, "kind": self.kind, "kb": self.kb}
+        for name in (
+            "individual",
+            "concept",
+            "sub",
+            "sup",
+            "deadline_ms",
+            "max_nodes",
+            "max_branches",
+            "request_id",
+        ):
+            value = getattr(self, name)
+            if value is not None:
+                record[name] = value
+        if self.inclusion != "internal":
+            record["inclusion"] = self.inclusion
+        if self.stall_s:
+            record["stall_s"] = self.stall_s
+        return record
+
+    @classmethod
+    def from_wire(cls, record: object) -> "ProbeRequest":
+        """Parse and validate one request record (raises :class:`ProtocolError`)."""
+        if not isinstance(record, dict):
+            raise ProtocolError("request body must be a JSON object")
+        _check_schema(record)
+        kind = _require_str(record, "kind")
+        if kind not in PROBE_KINDS and kind not in CHAOS_KINDS:
+            raise ProtocolError(f"unknown probe kind {kind!r}")
+        max_nodes = _optional_number(record, "max_nodes")
+        max_branches = _optional_number(record, "max_branches")
+        stall = _optional_number(record, "stall_s") or 0.0
+        return cls(
+            kind=kind,
+            kb=_require_str(record, "kb"),
+            individual=record.get("individual"),
+            concept=record.get("concept"),
+            sub=record.get("sub"),
+            sup=record.get("sup"),
+            inclusion=record.get("inclusion", "internal"),
+            deadline_ms=_optional_number(record, "deadline_ms"),
+            max_nodes=None if max_nodes is None else int(max_nodes),
+            max_branches=None if max_branches is None else int(max_branches),
+            stall_s=float(stall),
+            request_id=record.get("request_id"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ProbeRequest":
+        """Parse a raw JSON body (malformed JSON is a :class:`ProtocolError`)."""
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ProtocolError(f"request body is not JSON: {error}") from None
+        return cls.from_wire(record)
+
+
+def verdict_to_wire(verdict: Verdict) -> dict:
+    """The JSON-able form of a three-way verdict (UNKNOWN keeps its reason)."""
+    if verdict.is_unknown():
+        return {
+            "value": None,
+            "reason": verdict.reason.value,
+            "message": verdict.message,
+        }
+    return {"value": bool(verdict)}
+
+
+def verdict_from_wire(record: object) -> Verdict:
+    """Reconstruct a :class:`~repro.dl.budget.Verdict` from its wire form.
+
+    The exact inverse of :func:`verdict_to_wire`: decided verdicts map
+    to the singletons, UNKNOWN verdicts keep their
+    :class:`~repro.dl.errors.DegradationReason` and message.
+    """
+    if not isinstance(record, dict):
+        raise ProtocolError("verdict must be a JSON object")
+    value = record.get("value")
+    if value is None:
+        reason = record.get("reason")
+        try:
+            degradation = DegradationReason(reason)
+        except ValueError:
+            raise ProtocolError(
+                f"unknown degradation reason {reason!r}"
+            ) from None
+        return Verdict.unknown(degradation, record.get("message", ""))
+    if not isinstance(value, bool):
+        raise ProtocolError(f"verdict value must be a boolean, got {value!r}")
+    return Verdict.of(value)
+
+
+@dataclass(frozen=True)
+class ProbeResponse:
+    """The structured outcome of one probe.
+
+    ``status`` discriminates the shape:
+
+    * ``"ok"`` — ``value`` holds the decided answer: a boolean for
+      verdict probes, a Belnap value name (``TRUE`` / ``FALSE`` /
+      ``BOTH`` / ``NEITHER``) for ``assertion_value``;
+    * ``"unknown"`` — ``reason`` holds the degradation reason (HTTP
+      504-style; ``worker_crash`` maps to 503);
+    * ``"rejected"`` — admission control refused the request;
+      ``retry_after`` is the server's backpressure hint in seconds;
+    * ``"error"`` — the request itself was malformed (unknown KB,
+      unparsable concept, bad schema).
+    """
+
+    status: str
+    kind: Optional[str] = None
+    kb: Optional[str] = None
+    value: Optional[object] = None
+    reason: Optional[str] = None
+    message: str = ""
+    retry_after: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.status not in RESPONSE_STATUSES:
+            raise ProtocolError(f"unknown response status {self.status!r}")
+
+    @classmethod
+    def from_verdict(
+        cls, request: ProbeRequest, verdict: Verdict
+    ) -> "ProbeResponse":
+        """Wrap a three-way verdict for the wire."""
+        if verdict.is_unknown():
+            return cls(
+                status="unknown",
+                kind=request.kind,
+                kb=request.kb,
+                reason=verdict.reason.value,
+                message=verdict.message,
+            )
+        return cls(
+            status="ok", kind=request.kind, kb=request.kb, value=bool(verdict)
+        )
+
+    @classmethod
+    def from_four_value(
+        cls, request: ProbeRequest, bounded
+    ) -> "ProbeResponse":
+        """Wrap a :class:`~repro.four_dl.reasoner4.BoundedFourValue`."""
+        if bounded.is_unknown():
+            return cls(
+                status="unknown",
+                kind=request.kind,
+                kb=request.kb,
+                reason=bounded.reason.value,
+                message=bounded.message,
+            )
+        return cls(
+            status="ok",
+            kind=request.kind,
+            kb=request.kb,
+            value=bounded.value.name,
+        )
+
+    @classmethod
+    def unknown(
+        cls,
+        reason: DegradationReason,
+        message: str = "",
+        request: Optional[ProbeRequest] = None,
+    ) -> "ProbeResponse":
+        """A structured degradation (the service's 504-style answer)."""
+        return cls(
+            status="unknown",
+            kind=request.kind if request is not None else None,
+            kb=request.kb if request is not None else None,
+            reason=reason.value,
+            message=message,
+        )
+
+    @classmethod
+    def rejected(cls, retry_after: float, message: str) -> "ProbeResponse":
+        """A bounded admission-control rejection (429-style)."""
+        return cls(status="rejected", retry_after=retry_after, message=message)
+
+    @classmethod
+    def error(cls, message: str) -> "ProbeResponse":
+        """A usage error (malformed request, unknown KB, bad concept)."""
+        return cls(status="error", message=message)
+
+    @property
+    def verdict(self) -> Verdict:
+        """The response as a :class:`~repro.dl.budget.Verdict`.
+
+        Only meaningful for boolean probes; UNKNOWN responses map back
+        to the exact UNKNOWN verdict the server degraded to, so client
+        code can branch on ``is_unknown()`` the same way local code does.
+        """
+        if self.status == "ok":
+            if not isinstance(self.value, bool):
+                raise ProtocolError(
+                    f"response value {self.value!r} is not a boolean verdict"
+                )
+            return Verdict.of(self.value)
+        if self.status == "unknown":
+            return verdict_from_wire(
+                {"value": None, "reason": self.reason, "message": self.message}
+            )
+        raise ProtocolError(f"no verdict in a {self.status!r} response")
+
+    @property
+    def four_value(self) -> Optional[FourValue]:
+        """The Belnap value of an ``assertion_value`` answer (None if unknown)."""
+        if self.status == "unknown":
+            return None
+        if self.status != "ok" or not isinstance(self.value, str):
+            raise ProtocolError(
+                f"no four-valued answer in this response: {self!r}"
+            )
+        try:
+            return FourValue[self.value]
+        except KeyError:
+            raise ProtocolError(
+                f"unknown four-valued answer {self.value!r}"
+            ) from None
+
+    def to_wire(self) -> dict:
+        """The JSON-able response record (deterministic: no volatile fields)."""
+        record: dict = {"schema": PROTOCOL_VERSION, "status": self.status}
+        if self.kind is not None:
+            record["kind"] = self.kind
+        if self.kb is not None:
+            record["kb"] = self.kb
+        if self.status == "ok":
+            record["value"] = self.value
+        if self.reason is not None:
+            record["reason"] = self.reason
+        if self.message:
+            record["message"] = self.message
+        if self.retry_after is not None:
+            record["retry_after"] = self.retry_after
+        return record
+
+    def to_json(self) -> str:
+        """The canonical body text (sorted keys, so bodies byte-compare)."""
+        return json.dumps(self.to_wire(), sort_keys=True)
+
+    @classmethod
+    def from_wire(cls, record: object) -> "ProbeResponse":
+        """Parse one response record (raises :class:`ProtocolError`)."""
+        if not isinstance(record, dict):
+            raise ProtocolError("response body must be a JSON object")
+        _check_schema(record)
+        status = record.get("status")
+        if status not in RESPONSE_STATUSES:
+            raise ProtocolError(f"unknown response status {status!r}")
+        return cls(
+            status=status,
+            kind=record.get("kind"),
+            kb=record.get("kb"),
+            value=record.get("value"),
+            reason=record.get("reason"),
+            message=record.get("message", ""),
+            retry_after=_optional_number(record, "retry_after"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ProbeResponse":
+        """Parse a raw JSON body."""
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ProtocolError(f"response body is not JSON: {error}") from None
+        return cls.from_wire(record)

@@ -1,0 +1,220 @@
+"""Concurrency hammer for the shared QueryCache and the transform memo.
+
+The long-lived service shares one QueryCache (and, on the four-valued
+side, one ``cached_transform_kb`` memo) across concurrent requests.
+These tests hammer both from many threads and assert the structures
+stay consistent: bounded size, parity-correct survivors, conflict
+tripwire intact, memoised identity stable per KB version.
+"""
+
+import random
+import threading
+
+from repro.dl import (
+    AtomicConcept,
+    CacheConflictError,
+    ConceptAssertion,
+    Individual,
+    QueryCache,
+)
+from repro.dl.cache import probe_set_key
+from repro.four_dl import KnowledgeBase4, cached_transform_kb
+
+
+def run_in_threads(worker, count):
+    """Start ``count`` threads on ``worker(index)``; re-raise any failure."""
+    barrier = threading.Barrier(count)
+    failures = []
+
+    def body(index):
+        barrier.wait()
+        try:
+            worker(index)
+        except BaseException as error:  # noqa: BLE001 - surfaced below
+            failures.append(error)
+
+    threads = [
+        threading.Thread(target=body, args=(index,)) for index in range(count)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60.0)
+    assert not any(thread.is_alive() for thread in threads), "worker hung"
+    if failures:
+        raise failures[0]
+
+
+def key_of(index):
+    """A realistic canonical key: one concept-assertion probe."""
+    return probe_set_key(
+        [ConceptAssertion(Individual(f"i{index}"), AtomicConcept(f"C{index}"))]
+    )
+
+
+def value_of(index):
+    """The deterministic verdict stored under ``key_of(index)``."""
+    return index % 2 == 0
+
+
+class TestQueryCacheHammer:
+    THREADS = 8
+    OPS = 400
+    KEYS = 96
+    MAXSIZE = 64
+
+    def test_mixed_operations_stay_consistent(self):
+        cache = QueryCache(maxsize=self.MAXSIZE)
+        keys = [key_of(index) for index in range(self.KEYS)]
+
+        def worker(thread_index):
+            rng = random.Random(thread_index)
+            for _ in range(self.OPS):
+                index = rng.randrange(self.KEYS)
+                op = rng.random()
+                if op < 0.45:
+                    cache.store(keys[index], value_of(index))
+                elif op < 0.85:
+                    found = cache.lookup(keys[index])
+                    assert found in (None, value_of(index))
+                elif op < 0.93:
+                    # A pure removal: True entries survive, False entries
+                    # without dependency sets die — either way, no tears.
+                    cache.invalidate_delta(
+                        frozenset(), frozenset({("fake-removed",)})
+                    )
+                elif op < 0.97:
+                    assert 0 <= len(cache) <= self.MAXSIZE
+                else:
+                    cache.clear()
+
+        run_in_threads(worker, self.THREADS)
+        assert 0 <= len(cache) <= self.MAXSIZE
+        # Every survivor still answers with its parity-correct verdict.
+        for index in range(self.KEYS):
+            found = cache.lookup(keys[index])
+            assert found in (None, value_of(index))
+
+    def test_store_lookup_race_never_drops_the_bound(self):
+        cache = QueryCache(maxsize=8)
+        keys = [key_of(index) for index in range(64)]
+
+        def worker(thread_index):
+            for round_index in range(200):
+                index = (thread_index * 200 + round_index) % len(keys)
+                cache.store(keys[index], value_of(index))
+                assert len(cache) <= 8
+
+        run_in_threads(worker, 6)
+        assert len(cache) <= 8
+        assert cache.evictions > 0
+
+    def test_conflict_tripwire_fires_under_threads(self):
+        cache = QueryCache(maxsize=None)
+        key = key_of(0)
+        conflicts = []
+        lock = threading.Lock()
+
+        def worker(thread_index):
+            mine = thread_index % 2 == 0
+            for _ in range(50):
+                try:
+                    cache.store(key, mine)
+                except CacheConflictError as error:
+                    with lock:
+                        conflicts.append(error)
+
+        run_in_threads(worker, 4)
+        # Whichever value won the first store, every opposite store
+        # tripped the wire: 2 threads x 50 stores of the losing value.
+        assert len(conflicts) == 100
+        assert cache.lookup(key) in (True, False)
+
+    def test_disabled_cache_is_safe_and_inert_under_threads(self):
+        cache = QueryCache(enabled=False)
+
+        def worker(thread_index):
+            for index in range(100):
+                cache.store(key_of(index), value_of(index))
+                assert cache.lookup(key_of(index)) is None
+
+        run_in_threads(worker, 4)
+        assert len(cache) == 0
+
+
+class TestTransformMemoConcurrency:
+    def small_kb4(self):
+        kb4 = KnowledgeBase4()
+        person, robot = AtomicConcept("Person"), AtomicConcept("Robot")
+        kb4.add(
+            ConceptAssertion(Individual("ada"), person),
+            ConceptAssertion(Individual("hal"), robot),
+        )
+        return kb4
+
+    def test_concurrent_calls_share_one_induced_kb(self):
+        kb4 = self.small_kb4()
+        results = [None] * 8
+
+        def worker(index):
+            results[index] = cached_transform_kb(kb4)
+
+        run_in_threads(worker, len(results))
+        first = results[0]
+        assert first is not None
+        assert all(result is first for result in results)
+
+    def test_version_bump_refreshes_but_keeps_identity_per_version(self):
+        kb4 = self.small_kb4()
+        before = cached_transform_kb(kb4)
+        induced_version = before.version
+        kb4_version = kb4.version
+        kb4.add(
+            ConceptAssertion(Individual("grace"), AtomicConcept("Person"))
+        )
+        assert kb4.version > kb4_version
+        results = [None] * 6
+
+        def worker(index):
+            results[index] = cached_transform_kb(kb4)
+
+        run_in_threads(worker, len(results))
+        after = results[0]
+        # Incremental refresh mutates the memoised KB in place (same
+        # object) — the important part is agreement across threads and
+        # that the edit is now reflected in the induced KB.
+        assert all(result is after for result in results)
+        assert cached_transform_kb(kb4) is after
+        assert after.version > induced_version or after is not before
+
+    def test_mutation_interleaved_with_readers(self):
+        kb4 = self.small_kb4()
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            while not stop.is_set():
+                induced = cached_transform_kb(kb4)
+                if induced is None:
+                    errors.append("transform returned None")
+                    return
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in readers:
+            thread.start()
+        try:
+            for index in range(20):
+                kb4.add(
+                    ConceptAssertion(
+                        Individual(f"x{index}"), AtomicConcept("Person")
+                    )
+                )
+        finally:
+            stop.set()
+            for thread in readers:
+                thread.join(timeout=30.0)
+        assert not errors
+        assert not any(thread.is_alive() for thread in readers)
+        # The memo settled on the final version.
+        final = cached_transform_kb(kb4)
+        assert cached_transform_kb(kb4) is final

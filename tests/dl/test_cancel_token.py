@@ -1,0 +1,203 @@
+"""CancelToken across threads and processes (ISSUE 9 satellite).
+
+The token is the service's cross-boundary cancellation pathway: a pool
+supervisor cancels a probe running in a worker process, an HTTP handler
+thread cancels a search running under its own budget.  These tests pin
+the three contracts: cancel-before-start aborts immediately, a
+mid-search cancel from another thread is observed, and
+``retry_with_escalation`` never escalates a cancellation.
+"""
+
+import multiprocessing
+import threading
+
+from repro.dl import (
+    AtomicConcept,
+    Budget,
+    CancelToken,
+    ConceptAssertion,
+    ConceptInclusion,
+    DegradationReason,
+    Individual,
+    KnowledgeBase,
+    Not,
+    Or,
+    Reasoner,
+    retry_with_escalation,
+)
+
+
+def branchy_kb(width=6):
+    """A KB whose consistency check explores many branches."""
+    kb = KnowledgeBase()
+    a = Individual("a")
+    for index in range(width):
+        kb.add(
+            ConceptAssertion(
+                a,
+                Or.of(
+                    AtomicConcept(f"L{index}"), AtomicConcept(f"R{index}")
+                ),
+            )
+        )
+    return kb
+
+
+def _wait_and_report(token, started, cancelled, queue):
+    """Child-process body: report the flag before and after the cancel."""
+    started.set()
+    cancelled.wait(timeout=30.0)
+    queue.put(token.is_set())
+
+
+class TestCrossThread:
+    def test_cancel_before_start_aborts_first_tick(self):
+        token = CancelToken()
+        token.cancel()
+        reasoner = Reasoner(branchy_kb())
+        verdict = reasoner.consistency_verdict(
+            budget=Budget(cancel=token, check_interval=1)
+        )
+        assert verdict.is_unknown()
+        assert verdict.reason is DegradationReason.CANCELLED
+
+    def test_cancel_from_another_thread_mid_search(self):
+        class CancelFromThreadAt(CancelToken):
+            """Fires a real cross-thread cancel at the N-th poll."""
+
+            def __init__(self, fire_at):
+                super().__init__()
+                self.fire_at = fire_at
+                self.polls = 0
+
+            def is_set(self):
+                self.polls += 1
+                if self.polls == self.fire_at:
+                    canceller = threading.Thread(target=self.cancel)
+                    canceller.start()
+                    canceller.join()
+                return super().is_set()
+
+        token = CancelFromThreadAt(fire_at=5)
+        reasoner = Reasoner(branchy_kb())
+        verdict = reasoner.consistency_verdict(
+            budget=Budget(cancel=token, check_interval=1)
+        )
+        assert verdict.is_unknown()
+        assert verdict.reason is DegradationReason.CANCELLED
+        assert token.polls >= 5
+
+    def test_cancel_is_idempotent_and_sticky(self):
+        token = CancelToken()
+        assert not token.is_set()
+        token.cancel()
+        token.cancel()
+        assert token.is_set()
+
+
+class TestCrossProcess:
+    def test_multiprocessing_event_is_shared_across_fork(self):
+        context = multiprocessing.get_context("fork")
+        event = context.Event()
+        token = CancelToken(event=event)
+        started = context.Event()
+        cancelled = context.Event()
+        queue = context.Queue()
+        child = context.Process(
+            target=_wait_and_report,
+            args=(token, started, cancelled, queue),
+        )
+        child.start()
+        try:
+            assert started.wait(timeout=10.0)
+            # Cancel on the parent side; the child observes the same flag.
+            token.cancel()
+            cancelled.set()
+            assert queue.get(timeout=10.0) is True
+        finally:
+            child.join(timeout=10.0)
+            if child.is_alive():  # pragma: no cover - cleanup only
+                child.kill()
+
+    def test_shared_event_cancels_a_parent_side_search(self):
+        # The supervisor-side pathway: a worker's budget polls a token
+        # backed by an mp.Event that the supervisor sets.
+        event = multiprocessing.get_context("fork").Event()
+        token = CancelToken(event=event)
+        event.set()
+        reasoner = Reasoner(branchy_kb())
+        verdict = reasoner.consistency_verdict(
+            budget=Budget(cancel=token, check_interval=1)
+        )
+        assert verdict.is_unknown()
+        assert verdict.reason is DegradationReason.CANCELLED
+
+
+class TestEscalationNeverOverridesCancel:
+    def test_cancel_before_start_is_not_escalated(self):
+        token = CancelToken()
+        token.cancel()
+        reasoner = Reasoner(branchy_kb())
+        calls = []
+
+        def probe(budget):
+            calls.append(budget)
+            return reasoner.consistency_verdict(budget=budget)
+
+        verdict = retry_with_escalation(
+            probe,
+            Budget(cancel=token, check_interval=1, max_nodes=2),
+            attempts=5,
+        )
+        assert verdict.is_unknown()
+        assert verdict.reason is DegradationReason.CANCELLED
+        # One attempt only: a larger budget cannot override a cancel.
+        assert len(calls) == 1
+
+    def test_cancel_mid_search_is_not_escalated(self):
+        cancel_after = 3
+        state = {"polls": 0}
+
+        class MidSearchCancel(CancelToken):
+            def is_set(self):
+                state["polls"] += 1
+                if state["polls"] == cancel_after:
+                    threading.Thread(target=self.cancel).start()
+                return super().is_set()
+
+        token = MidSearchCancel()
+        reasoner = Reasoner(branchy_kb())
+        calls = []
+
+        def probe(budget):
+            calls.append(budget)
+            return reasoner.consistency_verdict(budget=budget)
+
+        verdict = retry_with_escalation(
+            probe, Budget(cancel=token, check_interval=1), attempts=4
+        )
+        assert verdict.is_unknown()
+        assert verdict.reason is DegradationReason.CANCELLED
+        assert len(calls) == 1
+
+    def test_non_cancel_unknowns_still_escalate(self):
+        # Contrast case: resource exhaustion does escalate.
+        A, B = AtomicConcept("A"), AtomicConcept("B")
+        x, y = Individual("x"), Individual("y")
+        kb = KnowledgeBase()
+        kb.add(
+            ConceptAssertion(x, A),
+            ConceptInclusion(A, Or.of(B, Not(A))),
+            ConceptAssertion(y, Not(B)),
+        )
+        calls = []
+
+        def probe(budget):
+            calls.append(budget)
+            return Reasoner(kb).instance_verdict(x, B, budget=budget)
+
+        verdict = retry_with_escalation(
+            probe, Budget(max_nodes=1), factor=16.0, attempts=4
+        )
+        assert not verdict.is_unknown()
+        assert len(calls) > 1

@@ -1,0 +1,113 @@
+"""Service-level fault injection: the server chaos harness.
+
+The heavyweight guarantee: for every server fault (worker killed
+mid-request, wedged worker, malformed payloads, client disconnects,
+queue saturation) the service recovers, the shared cache is never
+poisoned, and post-recovery verdicts are byte-identical to a server
+that never saw the fault.
+
+The full five-scenario suite costs several seconds of wall clock (each
+scenario boots its own server, and worker_kill/stall fork real worker
+processes), so the cheap scenarios run individually and the process
+faults share one suite invocation.
+"""
+
+import os
+
+import pytest
+
+from repro.harness.server_chaos import (
+    MALFORMED_BODIES,
+    SERVER_FAULT_KINDS,
+    ServerChaosCaseResult,
+    ServerChaosReport,
+    battery_for,
+    run_server_chaos_case,
+    run_server_chaos_suite,
+)
+from repro.serve.protocol import ProbeRequest
+
+ONTOLOGY_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "ontologies"
+)
+UNIVERSITY = os.path.join(ONTOLOGY_DIR, "university.kb4")
+
+
+class TestBattery:
+    def test_battery_is_deterministic_and_non_trivial(self):
+        first = battery_for("university", UNIVERSITY)
+        second = battery_for("university", UNIVERSITY)
+        assert first == second
+        assert len(first) >= 4
+        kinds = {request.kind for request in first}
+        assert "satisfiable" in kinds
+        assert kinds <= {
+            "satisfiable", "instance", "subsumption", "assertion_value"
+        }
+        assert all(isinstance(request, ProbeRequest) for request in first)
+
+    def test_battery_probes_are_idempotent(self):
+        # The recovery replay leans on retry-safety: every battery
+        # probe must be an idempotent read.
+        assert all(
+            request.idempotent
+            for request in battery_for("university", UNIVERSITY)
+        )
+
+
+class TestHarnessShape:
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(ValueError, match="gamma-rays"):
+            run_server_chaos_case("gamma-rays", UNIVERSITY)
+
+    def test_fault_kinds_cover_the_issue_scenarios(self):
+        assert set(SERVER_FAULT_KINDS) == {
+            "worker_kill",
+            "stall",
+            "malformed",
+            "disconnect",
+            "queue_saturation",
+        }
+
+    def test_malformed_corpus_is_actually_malformed(self):
+        # Each payload must be rejectable: not a valid ProbeRequest.
+        for body in MALFORMED_BODIES:
+            with pytest.raises(Exception):
+                ProbeRequest.from_json(body)
+
+    def test_report_renders_failures(self):
+        case = ServerChaosCaseResult(fault="stall")
+        case.mismatches.append("verdict diverged")
+        report = ServerChaosReport(cases=[case])
+        assert not report.ok
+        assert report.failures() == [case]
+        rendered = report.render()
+        assert "1 failing" in rendered
+        assert "verdict diverged" in rendered
+
+
+class TestCheapScenarios:
+    """Scenarios that misbehave at the HTTP layer (no worker forks)."""
+
+    @pytest.mark.parametrize(
+        "fault", ["malformed", "disconnect", "queue_saturation"]
+    )
+    def test_http_level_faults_never_poison_the_cache(self, fault):
+        result = run_server_chaos_case(fault, UNIVERSITY)
+        assert result.ok, "\n".join(result.mismatches)
+        assert result.notes, "scenario should report observations"
+
+
+class TestProcessScenarios:
+    """Scenarios that kill or wedge real worker processes."""
+
+    def test_worker_kill_and_stall_recover_byte_identical(self):
+        report = run_server_chaos_suite(
+            kb_path=UNIVERSITY, faults=["worker_kill", "stall"]
+        )
+        assert report.ok, report.render()
+        by_fault = {case.fault: case for case in report.cases}
+        # The kill scenario proves a restart actually happened.
+        assert any(
+            "restart" in note for note in by_fault["worker_kill"].notes
+        ), by_fault["worker_kill"].notes

@@ -1,0 +1,125 @@
+"""Budget edge cases at the service boundary (ISSUE 9 satellite).
+
+Zero/negative remaining deadline at admission, Budget reuse across
+pooled requests (each metered scope gets its own deadline window), and
+exact JSON round-tripping of UNKNOWN payloads.
+"""
+
+import json
+
+import pytest
+
+from repro.dl.budget import Budget, Verdict
+from repro.dl.errors import DegradationReason
+from repro.serve.protocol import (
+    ProbeRequest,
+    ProbeResponse,
+    verdict_from_wire,
+    verdict_to_wire,
+)
+
+
+class SteppedClock:
+    """Monotone fake clock: each reading advances by ``step``."""
+
+    def __init__(self, start=0.0, step=0.0):
+        self.now = start
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestAdmissionDeadlineEdges:
+    def test_budget_refuses_non_positive_deadlines(self):
+        # The reason admission must short-circuit: these are invalid.
+        for bad in (0.0, -1.0, -0.001):
+            with pytest.raises(ValueError, match="deadline"):
+                Budget(deadline=bad)
+
+    def test_smallest_positive_deadline_is_accepted_and_expires(self):
+        clock = SteppedClock(start=100.0)
+        budget = Budget(deadline=1e-9, clock=clock, check_interval=1)
+        meter = budget.start()
+        clock.advance(1.0)
+        with pytest.raises(Exception) as excinfo:
+            meter.tick()
+        assert excinfo.value.reason is DegradationReason.DEADLINE
+
+
+class TestDeadlineWindowReuseAcrossPooledRequests:
+    """One Budget template, many requests: windows must not be shared.
+
+    A pooled server keeps a Budget around and calls ``start()`` per
+    request; the absolute ``deadline_at`` must be fixed per meter, so a
+    later request gets a *fresh* window rather than inheriting the
+    (possibly exhausted) window of an earlier one.
+    """
+
+    def test_each_meter_gets_its_own_window(self):
+        clock = SteppedClock(start=1000.0)
+        budget = Budget(deadline=10.0, clock=clock, check_interval=1)
+        first = budget.start()
+        clock.advance(50.0)  # first request's window is long gone
+        second = budget.start()
+        assert first.deadline_at == 1010.0
+        assert second.deadline_at == pytest.approx(1060.0)
+        # The second request has its full deadline available...
+        second.tick()
+        # ...while the first, if somehow still live, aborts immediately.
+        with pytest.raises(Exception) as excinfo:
+            first.tick()
+        assert excinfo.value.reason is DegradationReason.DEADLINE
+
+    def test_expired_meter_does_not_poison_the_budget(self):
+        clock = SteppedClock(start=0.0)
+        budget = Budget(deadline=5.0, clock=clock, check_interval=1)
+        dead = budget.start()
+        clock.advance(60.0)
+        with pytest.raises(Exception):
+            dead.tick()
+        # The same frozen Budget still mints healthy meters.
+        fresh = budget.start()
+        fresh.tick()
+        assert fresh.deadline_at == pytest.approx(clock.now + 5.0, abs=1.0)
+
+
+class TestUnknownPayloadRoundTrip:
+    @pytest.mark.parametrize("reason", list(DegradationReason))
+    def test_verdict_wire_round_trip_is_exact(self, reason):
+        verdict = Verdict.unknown(reason, f"degraded by {reason.value}")
+        text = json.dumps(verdict_to_wire(verdict), sort_keys=True)
+        again = verdict_from_wire(json.loads(text))
+        assert again == verdict
+
+    @pytest.mark.parametrize("reason", list(DegradationReason))
+    def test_response_round_trip_preserves_reason_and_message(self, reason):
+        request = ProbeRequest(kind="satisfiable", kb="uni")
+        response = ProbeResponse.unknown(reason, "why it stopped", request)
+        again = ProbeResponse.from_json(response.to_json())
+        assert again == response
+        verdict = again.verdict
+        assert verdict.is_unknown()
+        assert verdict.reason is reason
+        assert verdict.message == "why it stopped"
+
+    def test_unknown_bodies_are_byte_stable(self):
+        request = ProbeRequest(kind="satisfiable", kb="uni")
+        bodies = {
+            ProbeResponse.unknown(
+                DegradationReason.DEADLINE, "late", request
+            ).to_json()
+            for _ in range(3)
+        }
+        assert len(bodies) == 1
+
+    def test_unknown_verdict_still_refuses_truth_testing(self):
+        # The wire trip must not launder UNKNOWN into a usable boolean.
+        response = ProbeResponse.unknown(DegradationReason.DEADLINE, "late")
+        with pytest.raises(TypeError, match="UNKNOWN"):
+            bool(response.verdict)

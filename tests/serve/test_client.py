@@ -1,0 +1,178 @@
+"""Client retry-policy tests: idempotence gating, backoff with jitter."""
+
+import os
+import random
+import urllib.error
+
+import pytest
+
+from repro.dl.budget import Verdict
+from repro.dl.errors import DegradationReason
+from repro.fourvalued.truth import FourValue
+from repro.serve.client import ReproClient, ServiceUnavailable
+from repro.serve.protocol import ProbeRequest, ProbeResponse
+from repro.serve.server import ReproServer
+
+ONTOLOGY_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "ontologies"
+)
+UNIVERSITY = os.path.join(ONTOLOGY_DIR, "university.kb4")
+
+SATISFIABLE = ProbeRequest(kind="satisfiable", kb="university")
+OK = ProbeResponse.from_verdict(SATISFIABLE, Verdict.TRUE)
+
+
+def scripted_client(outcomes, retries=3, backoff=0.1):
+    """A client whose transport is a script; sleeps are recorded."""
+    sleeps = []
+    client = ReproClient(
+        "http://test.invalid",
+        retries=retries,
+        backoff=backoff,
+        rng=random.Random(0),
+        sleep=sleeps.append,
+    )
+    script = iter(outcomes)
+
+    def fake_attempt(request):
+        outcome = next(script)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+    client._attempt = fake_attempt
+    return client, sleeps
+
+
+class TestRetryPolicy:
+    def test_transport_errors_retried_then_success(self):
+        client, sleeps = scripted_client(
+            [urllib.error.URLError("refused"),
+             urllib.error.URLError("refused"),
+             OK]
+        )
+        assert client.probe(SATISFIABLE) == OK
+        assert len(sleeps) == 2
+
+    def test_backoff_grows_exponentially_with_jitter(self):
+        client, sleeps = scripted_client(
+            [urllib.error.URLError("x")] * 3 + [OK],
+            retries=3,
+            backoff=0.1,
+        )
+        client.probe(SATISFIABLE)
+        assert len(sleeps) == 3
+        for attempt, slept in enumerate(sleeps):
+            base = 0.1 * (2.0 ** attempt)
+            assert base * 0.5 <= slept < base * 1.5, (attempt, slept)
+        # And the jitter is genuinely random, not a constant factor.
+        assert len({slept / (0.1 * 2.0 ** i)
+                    for i, slept in enumerate(sleeps)}) > 1
+
+    def test_gives_up_after_retry_budget(self):
+        client, sleeps = scripted_client(
+            [urllib.error.URLError("down")] * 4, retries=3
+        )
+        with pytest.raises(ServiceUnavailable, match="4 attempt"):
+            client.probe(SATISFIABLE)
+        assert len(sleeps) == 3
+
+    def test_non_idempotent_probes_never_retried(self):
+        crash = ProbeRequest(kind="debug_crash", kb="university")
+        client, sleeps = scripted_client(
+            [urllib.error.URLError("mid-flight"), OK]
+        )
+        with pytest.raises(ServiceUnavailable, match="1 attempt"):
+            client.probe(crash)
+        assert sleeps == []
+
+    def test_backpressure_retried(self):
+        rejected = ProbeResponse.rejected(0.5, "queue full")
+        client, sleeps = scripted_client([rejected, rejected, OK])
+        assert client.probe(SATISFIABLE) == OK
+        assert len(sleeps) == 2
+
+    def test_worker_crash_retried(self):
+        crashed = ProbeResponse.unknown(
+            DegradationReason.WORKER_CRASH, "worker died", SATISFIABLE
+        )
+        client, sleeps = scripted_client([crashed, OK])
+        assert client.probe(SATISFIABLE) == OK
+        assert len(sleeps) == 1
+
+    def test_deadline_unknown_is_an_answer_not_retried(self):
+        late = ProbeResponse.unknown(
+            DegradationReason.DEADLINE, "too slow", SATISFIABLE
+        )
+        client, sleeps = scripted_client([late, OK])
+        assert client.probe(SATISFIABLE) == late
+        assert sleeps == []
+
+    def test_final_attempt_returns_the_rejection(self):
+        # When the retry budget ends on a rejection, the caller gets the
+        # structured rejection rather than an exception mid-protocol.
+        rejected = ProbeResponse.rejected(0.5, "queue full")
+        client, _ = scripted_client([rejected, rejected], retries=1)
+        assert client.probe(SATISFIABLE) == rejected
+
+    def test_retries_zero_means_one_attempt(self):
+        client, sleeps = scripted_client(
+            [urllib.error.URLError("down")], retries=0
+        )
+        with pytest.raises(ServiceUnavailable):
+            client.probe(SATISFIABLE)
+        assert sleeps == []
+
+
+class TestAgainstRealServer:
+    @pytest.fixture(scope="class")
+    def server(self):
+        instance = ReproServer(
+            {"university": UNIVERSITY}, port=0, workers=0
+        )
+        instance.start()
+        yield instance
+        instance.close()
+
+    @pytest.fixture()
+    def client(self, server):
+        host, port = server.address
+        return ReproClient(f"http://{host}:{port}", retries=1, backoff=0.01)
+
+    def test_convenience_probes(self, client):
+        assert client.satisfiable("university").is_true()
+        assert client.instance("university", "ada", "Person").is_true()
+        assert client.subsumption("university", "Professor", "Person").is_true()
+        assert client.assertion_value(
+            "university", "grace", "Doctorate"
+        ) is FourValue.FALSE
+        assert client.assertion_value(
+            "university", "ada", "Doctorate"
+        ) is FourValue.TRUE
+
+    def test_degraded_probe_surfaces_unknown_verdict(self):
+        # A dedicated cold server: the shared fixture has already
+        # answered this probe, and the cross-request cache would (by
+        # design) serve the decided answer regardless of the budget.
+        cold = ReproServer({"university": UNIVERSITY}, port=0, workers=0)
+        cold.start()
+        try:
+            host, port = cold.address
+            client = ReproClient(f"http://{host}:{port}", retries=0)
+            verdict = client.satisfiable("university", max_nodes=1)
+            assert verdict.is_unknown()
+            assert verdict.reason is DegradationReason.NODES
+        finally:
+            cold.close()
+
+    def test_operational_endpoints(self, client):
+        assert client.healthy()
+        assert client.ready()
+        assert "repro_serve_queue_depth" in client.metrics()
+
+    def test_unreachable_endpoint_is_unhealthy(self):
+        dead = ReproClient("http://127.0.0.1:1", retries=0)
+        assert not dead.healthy()
+        assert not dead.ready()
+        with pytest.raises(ServiceUnavailable):
+            dead.probe(SATISFIABLE)

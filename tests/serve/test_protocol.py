@@ -1,0 +1,205 @@
+"""Wire-protocol unit tests: round-trips, validation, determinism."""
+
+import json
+
+import pytest
+
+from repro.dl.budget import Verdict
+from repro.dl.errors import DegradationReason
+from repro.four_dl.reasoner4 import BoundedFourValue
+from repro.fourvalued.truth import FourValue
+from repro.serve.protocol import (
+    CHAOS_KINDS,
+    IDEMPOTENT_KINDS,
+    PROBE_KINDS,
+    PROTOCOL_VERSION,
+    ProbeRequest,
+    ProbeResponse,
+    ProtocolError,
+    verdict_from_wire,
+    verdict_to_wire,
+)
+
+
+class TestProbeRequest:
+    def test_round_trips_every_kind(self):
+        requests = [
+            ProbeRequest(kind="satisfiable", kb="uni"),
+            ProbeRequest(kind="instance", kb="uni", individual="ada",
+                         concept="Professor"),
+            ProbeRequest(kind="subsumption", kb="uni", sub="Professor",
+                         sup="Person", inclusion="strong"),
+            ProbeRequest(kind="assertion_value", kb="uni", individual="ada",
+                         concept="Doctorate", deadline_ms=250.0,
+                         max_nodes=100, max_branches=7, request_id="r-1"),
+        ]
+        for request in requests:
+            again = ProbeRequest.from_wire(request.to_wire())
+            assert again == request
+            via_json = ProbeRequest.from_json(
+                json.dumps(request.to_wire())
+            )
+            assert via_json == request
+
+    def test_wire_record_carries_schema(self):
+        assert ProbeRequest(kind="satisfiable", kb="uni").to_wire()[
+            "schema"
+        ] == PROTOCOL_VERSION
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown probe kind"):
+            ProbeRequest(kind="prove_everything", kb="uni")
+        with pytest.raises(ProtocolError, match="unknown probe kind"):
+            ProbeRequest.from_wire({"kind": "nope", "kb": "uni"})
+
+    def test_missing_required_args_rejected(self):
+        with pytest.raises(ProtocolError, match="requires field"):
+            ProbeRequest(kind="instance", kb="uni", individual="ada")
+        with pytest.raises(ProtocolError, match="requires field"):
+            ProbeRequest(kind="subsumption", kb="uni", sub="A")
+
+    def test_bad_inclusion_rejected(self):
+        with pytest.raises(ProtocolError, match="inclusion"):
+            ProbeRequest(kind="subsumption", kb="uni", sub="A", sup="B",
+                         inclusion="sideways")
+
+    def test_empty_kb_rejected(self):
+        with pytest.raises(ProtocolError, match="kb"):
+            ProbeRequest(kind="satisfiable", kb="")
+
+    def test_newer_schema_rejected(self):
+        with pytest.raises(ProtocolError, match="schema"):
+            ProbeRequest.from_wire(
+                {"kind": "satisfiable", "kb": "uni",
+                 "schema": PROTOCOL_VERSION + 1}
+            )
+
+    def test_non_numeric_deadline_rejected(self):
+        with pytest.raises(ProtocolError, match="deadline_ms"):
+            ProbeRequest.from_wire(
+                {"kind": "satisfiable", "kb": "uni", "deadline_ms": "soon"}
+            )
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ProtocolError, match="not JSON"):
+            ProbeRequest.from_json("{nope")
+        with pytest.raises(ProtocolError, match="JSON object"):
+            ProbeRequest.from_json("[1, 2]")
+
+    def test_reasoning_probes_are_idempotent_chaos_is_not(self):
+        assert IDEMPOTENT_KINDS == frozenset(PROBE_KINDS)
+        for kind in PROBE_KINDS:
+            assert ProbeRequest(
+                kind=kind, kb="uni", individual="a", concept="C",
+                sub="A", sup="B",
+            ).idempotent
+        for kind in CHAOS_KINDS:
+            assert not ProbeRequest(kind=kind, kb="uni").idempotent
+
+
+class TestVerdictWire:
+    def test_decided_round_trip(self):
+        for verdict in (Verdict.TRUE, Verdict.FALSE):
+            assert verdict_from_wire(verdict_to_wire(verdict)) == verdict
+
+    @pytest.mark.parametrize("reason", list(DegradationReason))
+    def test_unknown_round_trip_preserves_every_reason(self, reason):
+        verdict = Verdict.unknown(reason, "ran out")
+        wire = verdict_to_wire(verdict)
+        again = verdict_from_wire(json.loads(json.dumps(wire)))
+        assert again.is_unknown()
+        assert again.reason is reason
+        assert again.message == "ran out"
+
+    def test_bad_reason_rejected(self):
+        with pytest.raises(ProtocolError, match="degradation reason"):
+            verdict_from_wire({"value": None, "reason": "sunspots"})
+
+    def test_non_boolean_value_rejected(self):
+        with pytest.raises(ProtocolError, match="boolean"):
+            verdict_from_wire({"value": 1})
+
+
+class TestProbeResponse:
+    REQUEST = ProbeRequest(kind="satisfiable", kb="uni")
+
+    def test_from_verdict_ok(self):
+        response = ProbeResponse.from_verdict(self.REQUEST, Verdict.TRUE)
+        assert response.status == "ok"
+        assert response.value is True
+        assert response.verdict is Verdict.TRUE
+
+    def test_from_verdict_unknown(self):
+        verdict = Verdict.unknown(DegradationReason.DEADLINE, "too slow")
+        response = ProbeResponse.from_verdict(self.REQUEST, verdict)
+        assert response.status == "unknown"
+        assert response.reason == "deadline"
+        again = response.verdict
+        assert again.is_unknown() and again.reason is DegradationReason.DEADLINE
+
+    @pytest.mark.parametrize("value", list(FourValue))
+    def test_from_four_value_decided(self, value):
+        request = ProbeRequest(kind="assertion_value", kb="uni",
+                               individual="a", concept="C")
+        response = ProbeResponse.from_four_value(
+            request, BoundedFourValue(value=value)
+        )
+        assert response.status == "ok"
+        assert response.four_value is value
+        assert ProbeResponse.from_json(response.to_json()).four_value is value
+
+    def test_from_four_value_unknown(self):
+        request = ProbeRequest(kind="assertion_value", kb="uni",
+                               individual="a", concept="C")
+        bounded = BoundedFourValue(
+            value=None, reason=DegradationReason.NODES, message="cap"
+        )
+        response = ProbeResponse.from_four_value(request, bounded)
+        assert response.status == "unknown"
+        assert response.four_value is None
+        assert response.reason == "nodes"
+
+    def test_rejected_and_error_shapes(self):
+        rejected = ProbeResponse.rejected(2.5, "queue full")
+        assert rejected.status == "rejected"
+        assert rejected.retry_after == 2.5
+        error = ProbeResponse.error("unknown kb")
+        assert error.status == "error"
+        with pytest.raises(ProtocolError, match="no verdict"):
+            _ = rejected.verdict
+
+    def test_unknown_constructor_echoes_request_context(self):
+        response = ProbeResponse.unknown(
+            DegradationReason.WORKER_CRASH, "boom", self.REQUEST
+        )
+        assert (response.kind, response.kb) == ("satisfiable", "uni")
+        assert response.reason == "worker_crash"
+
+    def test_bad_status_rejected(self):
+        with pytest.raises(ProtocolError, match="status"):
+            ProbeResponse(status="maybe")
+        with pytest.raises(ProtocolError, match="status"):
+            ProbeResponse.from_wire({"status": "maybe"})
+
+    def test_body_is_deterministic(self):
+        response = ProbeResponse.from_verdict(self.REQUEST, Verdict.FALSE)
+        bodies = {response.to_json() for _ in range(5)}
+        assert len(bodies) == 1
+        body = bodies.pop()
+        # Canonical: sorted keys, schema present, no volatile fields.
+        record = json.loads(body)
+        assert list(record) == sorted(record)
+        assert record["schema"] == PROTOCOL_VERSION
+        assert ProbeResponse.from_json(body).to_json() == body
+
+    def test_response_round_trips_through_json(self):
+        samples = [
+            ProbeResponse.from_verdict(self.REQUEST, Verdict.TRUE),
+            ProbeResponse.unknown(
+                DegradationReason.DEADLINE, "late", self.REQUEST
+            ),
+            ProbeResponse.rejected(1.0, "busy"),
+            ProbeResponse.error("bad concept"),
+        ]
+        for response in samples:
+            assert ProbeResponse.from_json(response.to_json()) == response
