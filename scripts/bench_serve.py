@@ -7,6 +7,12 @@ probe kinds.  Records wall-clock per request wave plus the service's
 own accounting (requests by status, UNKNOWN reasons, restarts) as a
 ``BENCH_serve.json`` trajectory record.
 
+The load runs **twice**: wave 0 with per-request tracing disabled,
+wave 1 with tracing and the request journal on (the production
+default).  The traced wave must stay within 2x the untraced wave — the
+bound that keeps "tracing always on" an acceptable default — and the
+journal must cover every served request.
+
     PYTHONPATH=src python scripts/bench_serve.py \
         --out benchmarks/trajectory [--clients 8] [--requests 25] [--seed 0]
 
@@ -69,12 +75,13 @@ def seeded_battery(seed, count):
     return battery
 
 
-def run_load(clients, requests_per_client, seed, workers):
+def run_load(clients, requests_per_client, seed, workers, tracing=True):
     server = ReproServer(
         {"university": ONTOLOGY},
         port=0,
         workers=workers,
         max_queue=max(16, clients * 2),
+        tracing_enabled=tracing,
     )
     server.start()
     statuses = collections.Counter()
@@ -114,6 +121,18 @@ def run_load(clients, requests_per_client, seed, workers):
             raise SystemExit("bench_serve: " + "; ".join(failures))
         with urllib.request.urlopen(f"{base}/metrics", timeout=10.0) as raw:
             metrics_text = raw.read().decode("utf-8")
+        journal_lines = server.journal.lines_total
+        traces_stored = len(server.traces)
+        total = sum(statuses.values())
+        if journal_lines < total:
+            raise SystemExit(
+                f"bench_serve: journal covered {journal_lines} of "
+                f"{total} answered probes"
+            )
+        if tracing and traces_stored == 0:
+            raise SystemExit("bench_serve: tracing on but no traces stored")
+        if not tracing and traces_stored != 0:
+            raise SystemExit("bench_serve: tracing off but traces stored")
     finally:
         server.close()
     return statuses, wave_seconds, metrics_text
@@ -137,9 +156,16 @@ def main():
                         help="directory for BENCH_serve.json (omit to print)")
     args = parser.parse_args()
 
-    statuses, wave_seconds, metrics_text = run_load(
-        args.clients, args.requests, args.seed, args.workers
+    # Wave 0: tracing off, the overhead baseline.  Wave 1: tracing and
+    # the journal on (the production default) — the measured record.
+    _, untraced_seconds, _ = run_load(
+        args.clients, args.requests, args.seed, args.workers, tracing=False
     )
+    statuses, wave_seconds, metrics_text = run_load(
+        args.clients, args.requests, args.seed, args.workers, tracing=True
+    )
+    overhead = wave_seconds[0] / max(untraced_seconds[0], 1e-9)
+    wave_seconds = untraced_seconds + wave_seconds
     total = sum(statuses.values())
     counters = {
         "requests": total,
@@ -155,7 +181,8 @@ def main():
         name="serve",
         workload=(
             f"{args.clients} concurrent clients x {args.requests} seeded "
-            f"probes vs university.kb4, {args.workers} worker(s)"
+            f"probes vs university.kb4, {args.workers} worker(s); "
+            "wave 0 untraced, wave 1 traced + journalled"
         ),
         seconds=wave_seconds,
         counters=counters,
@@ -165,6 +192,7 @@ def main():
             "requests_per_client": str(args.requests),
             "workers": str(args.workers),
             "kb": "university.kb4",
+            "tracing": "wave0=disabled wave1=enabled",
         },
     )
     if args.out:
@@ -176,12 +204,18 @@ def main():
     if counters["requests_error"]:
         raise SystemExit("bench_serve: errors under load")
     print(
-        f"bench_serve: {total} probes in {wave_seconds[0]:.2f}s "
-        f"({total / wave_seconds[0]:.0f}/s), "
+        f"bench_serve: {total} probes in {wave_seconds[1]:.2f}s traced "
+        f"({total / wave_seconds[1]:.0f}/s), "
         f"{counters['requests_ok']} ok / "
         f"{counters['requests_unknown']} unknown / "
-        f"{counters['requests_rejected']} rejected"
+        f"{counters['requests_rejected']} rejected; "
+        f"tracing+journal overhead {overhead:.2f}x"
     )
+    if overhead > 2.0:
+        raise SystemExit(
+            f"bench_serve: tracing overhead {overhead:.2f}x exceeds the "
+            "2x bound"
+        )
 
 
 if __name__ == "__main__":

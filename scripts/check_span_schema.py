@@ -1,14 +1,19 @@
 #!/usr/bin/env python
-"""Validate a --profile JSON-lines span dump against the span schema.
+"""Validate a JSON-lines span dump against the span schema.
 
-Used by the CI observability job (and handy locally):
+Used by the CI observability and serve jobs (and handy locally):
 
     python scripts/check_span_schema.py spans.jsonl [more.jsonl ...]
+    python scripts/check_span_schema.py --require-trace trace.jsonl
 
 Exit status 0 when every line of every file is a valid span record and
 the parent/child structure reconstructs; 1 otherwise, with one line per
-problem.  The schema itself lives in ``repro.obs.export`` (SPAN_FIELDS,
-SPAN_SCHEMA_VERSION) and is documented in ``docs/OBSERVABILITY.md``.
+problem.  ``--require-trace`` additionally demands the distributed-
+tracing contract of ``GET /trace/<id>`` dumps: every span tagged with
+one shared ``trace_id`` and a ``process`` label, children timed inside
+their parents.  The schema itself lives in ``repro.obs.export``
+(SPAN_FIELDS, SPAN_OPTIONAL_FIELDS, SPAN_SCHEMA_VERSION) and is
+documented in ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -27,26 +32,21 @@ from repro.obs.export import (  # noqa: E402  (path bootstrap above)
 )
 
 
-def check_file(path: str) -> list:
-    """Every schema problem found in one span dump."""
+def check_text(text: str, where: str, require_trace: bool = False) -> list:
+    """Every schema problem found in one span dump's text."""
     problems = []
-    try:
-        with open(path) as handle:
-            text = handle.read()
-    except OSError as error:
-        return [f"{path}: {error}"]
     if not text.strip():
-        return [f"{path}: empty span dump"]
+        return [f"{where}: empty span dump"]
     for line_number, line in enumerate(text.splitlines(), start=1):
         if not line.strip():
             continue
         try:
             record = json.loads(line)
         except json.JSONDecodeError as error:
-            problems.append(f"{path}:{line_number}: not JSON ({error})")
+            problems.append(f"{where}:{line_number}: not JSON ({error})")
             continue
         for problem in validate_span_record(record):
-            problems.append(f"{path}:{line_number}: {problem}")
+            problems.append(f"{where}:{line_number}: {problem}")
     if problems:
         return problems
     # Structural pass: the forest must reconstruct, and a dump from the
@@ -54,27 +54,78 @@ def check_file(path: str) -> list:
     try:
         roots = read_spans_jsonl(text)
     except ValueError as error:
-        return [f"{path}: {error}"]
+        return [f"{where}: {error}"]
     names = {span.name for root in roots for span in root.walk()}
     if not names & PHASE_SPANS:
         problems.append(
-            f"{path}: no known phase span present "
+            f"{where}: no known phase span present "
             f"(expected one of {', '.join(sorted(PHASE_SPANS))})"
+        )
+    if require_trace:
+        problems.extend(check_trace_contract(roots, where))
+    return problems
+
+
+def check_trace_contract(roots, where: str) -> list:
+    """The extra invariants of a reassembled ``GET /trace/<id>`` dump."""
+    problems = []
+    trace_ids = set()
+    for root in roots:
+        for span in root.walk():
+            if span.trace_id is None:
+                problems.append(
+                    f"{where}: span {span.name!r} carries no trace_id"
+                )
+            else:
+                trace_ids.add(span.trace_id)
+            if span.process is None:
+                problems.append(
+                    f"{where}: span {span.name!r} carries no process label"
+                )
+            lo, hi = span.start, span.start + span.duration
+            for child in span.children:
+                if (
+                    child.start < lo - 1e-6
+                    or child.start + child.duration > hi + 1e-6
+                ):
+                    problems.append(
+                        f"{where}: child {child.name!r} overflows its "
+                        f"parent {span.name!r} window"
+                    )
+    if len(trace_ids) > 1:
+        problems.append(
+            f"{where}: {len(trace_ids)} distinct trace ids in one trace: "
+            f"{sorted(trace_ids)}"
         )
     return problems
 
 
+def check_file(path: str, require_trace: bool = False) -> list:
+    """Every schema problem found in one span dump file."""
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except OSError as error:
+        return [f"{path}: {error}"]
+    return check_text(text, path, require_trace=require_trace)
+
+
 def main(argv: list) -> int:
-    if not argv:
-        print("usage: check_span_schema.py SPANFILE [SPANFILE ...]")
+    require_trace = "--require-trace" in argv
+    paths = [arg for arg in argv if arg != "--require-trace"]
+    if not paths:
+        print(
+            "usage: check_span_schema.py [--require-trace] "
+            "SPANFILE [SPANFILE ...]"
+        )
         return 2
     all_problems = []
-    for path in argv:
-        all_problems.extend(check_file(path))
+    for path in paths:
+        all_problems.extend(check_file(path, require_trace=require_trace))
     for problem in all_problems:
         print(problem)
     if not all_problems:
-        print(f"{len(argv)} span dump(s) valid")
+        print(f"{len(paths)} span dump(s) valid")
     return 1 if all_problems else 0
 
 

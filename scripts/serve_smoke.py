@@ -2,9 +2,13 @@
 """End-to-end smoke test for the `repro serve` daemon.
 
 Boots the real CLI daemon as a subprocess, then walks the fault-
-tolerance story: answer a probe, kill a worker mid-request and prove
-the service recovers (with honest UNKNOWN accounting in /metrics),
-then SIGTERM and demand a clean drain with exit code 0.
+tolerance story: answer a probe, pull its reassembled distributed
+trace off ``GET /trace/<id>`` and schema-validate it, kill a worker
+mid-request and prove the service recovers (with honest UNKNOWN
+accounting in /metrics), then SIGTERM and demand a clean drain with
+exit code 0 — leaving the structured request journal behind as a file
+(``SERVE_SMOKE_JOURNAL`` overrides the path; CI uploads it as an
+artifact).
 
 Run from the repository root (CI wraps it in coreutils timeout):
 
@@ -23,6 +27,13 @@ import urllib.request
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 ONTOLOGY = os.path.join(REPO_ROOT, "ontologies", "university.kb4")
+JOURNAL_PATH = os.environ.get(
+    "SERVE_SMOKE_JOURNAL",
+    os.path.join(REPO_ROOT, "serve-smoke-journal.jsonl"),
+)
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from check_span_schema import check_text  # noqa: E402  (path above)
 
 
 def fail(message):
@@ -53,9 +64,13 @@ def post(base, payload, timeout=30.0):
     )
     try:
         with urllib.request.urlopen(request, timeout=timeout) as raw:
-            return raw.status, raw.read().decode("utf-8")
+            return raw.status, raw.read().decode("utf-8"), dict(raw.headers)
     except urllib.error.HTTPError as error:
-        return error.code, error.read().decode("utf-8")
+        return (
+            error.code,
+            error.read().decode("utf-8"),
+            dict(error.headers),
+        )
 
 
 def wait_for(predicate, what, timeout=30.0):
@@ -75,6 +90,8 @@ def main():
     base = f"http://127.0.0.1:{port}"
     env = dict(os.environ)
     env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    if os.path.exists(JOURNAL_PATH):
+        os.remove(JOURNAL_PATH)
     daemon = subprocess.Popen(
         [
             sys.executable, "-m", "repro", "serve",
@@ -83,6 +100,7 @@ def main():
             "--workers", "1",
             "--chaos",            # enables the debug_crash probe below
             "--drain-timeout", "10",
+            "--journal", JOURNAL_PATH,
         ],
         cwd=REPO_ROOT,
         env=env,
@@ -96,7 +114,7 @@ def main():
         print("serve_smoke: daemon alive and ready")
 
         # 2. A real probe answers with a decided verdict.
-        status, body = post(base, {
+        status, body, headers = post(base, {
             "schema": 1, "kind": "satisfiable", "kb": "university",
             "deadline_ms": 20000,
         })
@@ -107,9 +125,46 @@ def main():
             fail(f"unexpected probe answer: {body}")
         print(f"serve_smoke: satisfiable(university) -> {body}")
 
+        # 2b. The probe's distributed trace reassembles across processes:
+        #     one schema-valid tree carrying server- and worker-side
+        #     spans, all stamped with the request's trace id.
+        trace_id = headers.get("X-Trace-Id")
+        if not trace_id:
+            fail("probe response carried no X-Trace-Id header")
+        status, trace_text = get(base, f"/trace/{trace_id}")
+        if status != 200:
+            fail(f"/trace/{trace_id} returned HTTP {status}: {trace_text}")
+        problems = check_text(
+            trace_text, f"/trace/{trace_id}", require_trace=True
+        )
+        if problems:
+            fail("trace schema violations: " + "; ".join(problems))
+        names = [
+            json.loads(line)["name"]
+            for line in trace_text.splitlines() if line.strip()
+        ]
+        for needed in ("serve_request", "admission", "dispatch",
+                       "probe_execute"):
+            if needed not in names:
+                fail(f"trace lacks the {needed!r} span: {names}")
+        if names.count("serve_request") != 1:
+            fail(f"serve_request appears {names.count('serve_request')}x")
+        processes = {
+            json.loads(line).get("process")
+            for line in trace_text.splitlines() if line.strip()
+        }
+        if "server" not in processes or not any(
+            p and p.startswith("worker-") for p in processes
+        ):
+            fail(f"trace lacks cross-process spans: {sorted(processes)}")
+        print(
+            f"serve_smoke: trace {trace_id} reassembled "
+            f"({len(names)} spans, processes {sorted(processes)})"
+        )
+
         # 3. Kill the worker mid-request: the in-flight request must be
         #    answered UNKNOWN(worker_crash), never hung or lied about.
-        status, body = post(base, {
+        status, body, _ = post(base, {
             "schema": 1, "kind": "debug_crash", "kb": "university",
             "deadline_ms": 20000,
         })
@@ -123,7 +178,7 @@ def main():
         # 4. The supervisor restarts the shard and service resumes with
         #    the same answer as before the fault.
         wait_for(lambda: get(base, "/readyz")[0] == 200, "post-crash readyz")
-        status, body = post(base, {
+        status, body, _ = post(base, {
             "schema": 1, "kind": "satisfiable", "kb": "university",
             "deadline_ms": 20000,
         })
@@ -131,15 +186,43 @@ def main():
             fail(f"post-recovery answer diverged: HTTP {status} {body}")
         print("serve_smoke: recovered, verdict byte-identical")
 
-        # 5. The books balance: one restart, one worker_crash UNKNOWN.
+        # One more warm repeat: this one hits the restarted worker's
+        # now-warm cache, so the per-KB hit-rate series has a hit.
+        post(base, {
+            "schema": 1, "kind": "satisfiable", "kb": "university",
+            "deadline_ms": 20000,
+        })
+
+        # 5. The books balance: one restart, one worker_crash UNKNOWN,
+        #    and the new trace/journal series are exposed.
         _, metrics = get(base, "/metrics")
         for needle in (
             'repro_serve_unknown_total{reason="worker_crash"} 1',
             "repro_serve_worker_restarts_total 1",
+            "repro_serve_trace_store_traces",
+            "repro_serve_journal_lines_total",
+            'repro_serve_cache_hits_total{kb="university"}',
         ):
             if needle not in metrics:
                 fail(f"metrics missing {needle!r}")
         print("serve_smoke: metrics account for the crash")
+
+        # 5b. The journal endpoint has one record per request so far.
+        status, journal_text = get(base, "/journal")
+        if status != 200:
+            fail(f"/journal returned HTTP {status}")
+        records = [
+            json.loads(line)
+            for line in journal_text.splitlines() if line.strip()
+        ]
+        statuses = [record["status"] for record in records]
+        if statuses.count("ok") < 2 or "unknown" not in statuses:
+            fail(f"journal does not cover the session: {statuses}")
+        if not any(
+            record["reason"] == "worker_crash" for record in records
+        ):
+            fail("journal lacks the worker_crash line")
+        print(f"serve_smoke: journal covers {len(records)} requests")
 
         # 6. SIGTERM drains and exits 0.
         daemon.send_signal(signal.SIGTERM)
@@ -153,6 +236,19 @@ def main():
         if "drained and stopped" not in stderr:
             fail(f"daemon did not report a clean drain: {stderr!r}")
         print("serve_smoke: SIGTERM drained cleanly, exit 0")
+
+        # 7. The journal file survived the drain (CI uploads it).
+        if not os.path.exists(JOURNAL_PATH):
+            fail(f"journal file {JOURNAL_PATH} was not written")
+        with open(JOURNAL_PATH) as handle:
+            lines = [line for line in handle if line.strip()]
+        if len(lines) < len(records):
+            fail(
+                f"journal file has {len(lines)} lines, endpoint showed "
+                f"{len(records)}"
+            )
+        print(f"serve_smoke: journal artifact at {JOURNAL_PATH} "
+              f"({len(lines)} lines)")
         print("serve_smoke: OK")
     finally:
         if daemon.poll() is None:

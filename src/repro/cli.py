@@ -21,7 +21,13 @@ allowed; plain ``subclassof`` reads as internal inclusion).  Commands:
   record, all schema-validated; see ``docs/EVAL.md``); ``eval list``
   names the suites;
 * ``profile FILE``    — phase report over a ``--profile FILE`` span dump
-  (``--folded OUT`` renders flamegraph.pl-compatible folded stacks).
+  (``--folded OUT`` renders flamegraph.pl-compatible folded stacks);
+* ``serve ...``       — the long-lived reasoning service (admission
+  control, worker pool, tracing + request journal; ``docs/GUIDE.md``
+  §10);
+* ``trace SOURCE``    — render the cross-process span tree of one
+  served request, from a ``--capture-dir`` file or straight off a
+  running server's ``/trace/<id>`` URL.
 
 ``check``, ``query``, ``audit``, and ``classify`` accept ``--stats`` to
 print the reasoning-work counters (tableau runs, cache hits, branches,
@@ -487,6 +493,50 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    source = args.source
+    if source.startswith(("http://", "https://")):
+        import urllib.error
+        import urllib.request
+
+        try:
+            with urllib.request.urlopen(source, timeout=10.0) as raw:
+                text = raw.read().decode("utf-8")
+        except (urllib.error.URLError, OSError) as error:
+            print(f"error: {source}: {error}", file=sys.stderr)
+            return 2
+    else:
+        with open(source) as handle:
+            text = handle.read()
+    try:
+        roots = read_spans_jsonl(text)
+    except ValueError as error:
+        print(f"error: {source}: {error}", file=sys.stderr)
+        return 2
+    if not roots:
+        print("no spans in trace", file=sys.stderr)
+        return 2
+    trace_ids = sorted(
+        {span.trace_id for root in roots for span in root.walk() if span.trace_id}
+    )
+    processes = sorted(
+        {span.process for root in roots for span in root.walk() if span.process}
+    )
+    total = sum(1 for root in roots for _ in root.walk())
+    print(f"trace: {', '.join(trace_ids) if trace_ids else '(untagged)'}")
+    print(
+        f"spans: {total} across {len(roots)} root(s); "
+        f"processes: {', '.join(processes) if processes else '(untagged)'}"
+    )
+    print()
+    print(render_span_tree(roots), end="")
+    if args.folded:
+        with open(args.folded, "w") as handle:
+            handle.write(folded_stacks(roots))
+        print(f"wrote folded stacks to {args.folded}", file=sys.stderr)
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
     import threading
@@ -524,6 +574,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         drain_timeout=args.drain_timeout,
         chaos=args.chaos,
         quiet=not args.verbose,
+        tracing_enabled=args.serve_tracing,
+        trace_capacity=args.trace_capacity,
+        journal_capacity=args.journal_capacity,
+        journal_path=args.journal,
+        capture_dir=args.capture_dir,
+        slow_trace_ms=args.slow_ms,
     )
 
     def drain(signum, frame):  # noqa: ARG001 - signal signature
@@ -827,7 +883,71 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
+    serve.add_argument(
+        "--journal",
+        metavar="FILE",
+        default=None,
+        help="append the structured request journal (one JSON line per "
+        "request) to FILE in addition to the in-memory ring",
+    )
+    serve.add_argument(
+        "--no-trace",
+        dest="serve_tracing",
+        action="store_false",
+        default=True,
+        help="disable per-request tracing (no span collection, no "
+        "GET /trace/<id>; the journal still records every request)",
+    )
+    serve.add_argument(
+        "--capture-dir",
+        dest="capture_dir",
+        metavar="DIR",
+        default=None,
+        help="write the full span forest of slow-or-UNKNOWN requests to "
+        "DIR/<trace_id>.jsonl (render with 'repro trace')",
+    )
+    serve.add_argument(
+        "--slow-ms",
+        dest="slow_ms",
+        type=float,
+        default=1000.0,
+        metavar="MS",
+        help="latency threshold for the --capture-dir policy "
+        "(default: 1000)",
+    )
+    serve.add_argument(
+        "--trace-capacity",
+        dest="trace_capacity",
+        type=int,
+        default=256,
+        metavar="N",
+        help="traces kept in memory for GET /trace/<id> (default: 256)",
+    )
+    serve.add_argument(
+        "--journal-capacity",
+        dest="journal_capacity",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="journal entries kept in the in-memory ring (default: 1024)",
+    )
     serve.set_defaults(handler=_cmd_serve)
+
+    trace_cmd = commands.add_parser(
+        "trace",
+        help="render a served request's span forest (file or /trace URL)",
+    )
+    trace_cmd.add_argument(
+        "source",
+        help="span JSONL: a --capture-dir file, a --profile dump, or an "
+        "http(s) URL such as http://HOST:PORT/trace/<id>",
+    )
+    trace_cmd.add_argument(
+        "--folded",
+        metavar="FILE",
+        help="write flamegraph.pl-compatible folded stacks",
+    )
+    trace_cmd.set_defaults(handler=_cmd_trace)
 
     profile = commands.add_parser(
         "profile", help="report on a --profile FILE span dump"

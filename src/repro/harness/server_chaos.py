@@ -28,6 +28,11 @@ canonical JSON with no volatile fields, byte equality is exactly the
 restarted answers from a cold cache, and a warm survivor may only ever
 *agree* faster.
 
+Every scenario runs with per-request tracing enabled (the default), so
+the byte-identity check doubles as proof that trace collection never
+leaks into response bodies; a final trace-plane check demands the
+replayed battery left served traces and journal lines behind.
+
 Typical use::
 
     from repro.harness.server_chaos import run_server_chaos_suite
@@ -449,6 +454,28 @@ def _inject_queue_saturation(
     )
 
 
+def _check_trace_plane(
+    server: ReproServer, result: ServerChaosCaseResult
+) -> None:
+    """The tracing plane survived the fault: traces stored and served."""
+    if not server.tracing_enabled:
+        return
+    trace_ids = server.traces.ids()
+    if not trace_ids:
+        result.mismatches.append("trace store empty after recovery replay")
+        return
+    if _get(server.address, f"/trace/{trace_ids[0]}") != 200:
+        result.mismatches.append(
+            f"stored trace {trace_ids[0]!r} not served by GET /trace/<id>"
+        )
+    if len(server.journal) == 0:
+        result.mismatches.append("request journal empty after recovery replay")
+    result.notes.append(
+        f"trace plane: {len(trace_ids)} stored traces, "
+        f"{server.journal.lines_total} journal lines"
+    )
+
+
 _SCENARIOS = {
     "worker_kill": _inject_worker_kill,
     "stall": _inject_stall,
@@ -510,6 +537,7 @@ def run_server_chaos_case(
                     f"probe {index} diverged after recovery: "
                     f"cold={cold_body!r} recovered={warm_body!r}"
                 )
+        _check_trace_plane(server, result)
     finally:
         server.close()
     return result

@@ -41,7 +41,9 @@ from .export import (
     read_spans_jsonl,
     render_prometheus,
     render_span_tree,
+    spans_from_records,
     spans_to_jsonl,
+    spans_to_records,
     validate_span_record,
     write_spans_jsonl,
 )
@@ -55,6 +57,13 @@ from .spans import (
     set_gauge,
     span,
     tracing,
+)
+from .trace import (
+    fit_within,
+    graft_spans,
+    new_trace_id,
+    rebase_spans,
+    sanitize_trace_id,
 )
 
 __all__ = [
@@ -70,9 +79,16 @@ __all__ = [
     "read_spans_jsonl",
     "render_prometheus",
     "render_span_tree",
+    "spans_from_records",
     "spans_to_jsonl",
+    "spans_to_records",
     "validate_span_record",
     "write_spans_jsonl",
+    "fit_within",
+    "graft_spans",
+    "new_trace_id",
+    "rebase_spans",
+    "sanitize_trace_id",
     "Gauge",
     "Histogram",
     "MetricsRegistry",

@@ -30,9 +30,12 @@ from .spans import Span, SpanEvent, Tracer
 __all__ = [
     "SPAN_SCHEMA_VERSION",
     "SPAN_FIELDS",
+    "SPAN_OPTIONAL_FIELDS",
     "PHASE_SPANS",
     "span_to_dict",
     "spans_to_jsonl",
+    "spans_to_records",
+    "spans_from_records",
     "write_spans_jsonl",
     "read_spans_jsonl",
     "validate_span_record",
@@ -59,6 +62,16 @@ SPAN_FIELDS = {
     "stats": (dict, type(None)),
 }
 
+#: Optional fields of the distributed-tracing extension: emitted only
+#: when set (so pre-existing dumps — and local, non-service tracing —
+#: stay byte-identical), validated when present.  ``trace_id`` is the
+#: cross-process correlation id, ``process`` the label of the process
+#: that recorded the span (``server``, ``worker-0``, ...).
+SPAN_OPTIONAL_FIELDS = {
+    "trace_id": str,
+    "process": str,
+}
+
 #: The canonical pipeline phases (every name the built-in
 #: instrumentation emits below the per-command root span).
 PHASE_SPANS = frozenset(
@@ -74,6 +87,7 @@ PHASE_SPANS = frozenset(
         "evidence_probe",
         "classify",
         "serve_request",
+        "probe_execute",
     }
 )
 
@@ -84,7 +98,7 @@ PHASE_SPANS = frozenset(
 
 def span_to_dict(span: Span, span_id: int, parent_id: Optional[int]) -> Dict:
     """The JSON-able record of one span (children serialised separately)."""
-    return {
+    record: Dict = {
         "schema": SPAN_SCHEMA_VERSION,
         "id": span_id,
         "parent": parent_id,
@@ -98,24 +112,37 @@ def span_to_dict(span: Span, span_id: int, parent_id: Optional[int]) -> Dict:
         ],
         "stats": dict(span.stats_delta) if span.stats_delta is not None else None,
     }
+    if span.trace_id is not None:
+        record["trace_id"] = span.trace_id
+    if span.process is not None:
+        record["process"] = span.process
+    return record
 
 
-def spans_to_jsonl(roots: Sequence[Span]) -> str:
-    """The whole span forest as JSON lines (parents before children)."""
-    lines: List[str] = []
-    next_id = [0]
+def spans_to_records(roots: Sequence[Span]) -> List[Dict]:
+    """The whole span forest as records (parents before children).
+
+    The dict form of :func:`spans_to_jsonl`, used when the forest rides
+    an in-process channel (the worker result queue) instead of a file.
+    """
+    records: List[Dict] = []
 
     def emit(span: Span, parent_id: Optional[int]) -> None:
-        span_id = next_id[0]
-        next_id[0] += 1
-        lines.append(
-            json.dumps(span_to_dict(span, span_id, parent_id), sort_keys=True)
-        )
+        span_id = len(records)
+        records.append(span_to_dict(span, span_id, parent_id))
         for child in span.children:
             emit(child, span_id)
 
     for root in roots:
         emit(root, None)
+    return records
+
+
+def spans_to_jsonl(roots: Sequence[Span]) -> str:
+    """The whole span forest as JSON lines (parents before children)."""
+    lines = [
+        json.dumps(record, sort_keys=True) for record in spans_to_records(roots)
+    ]
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -127,12 +154,69 @@ def write_spans_jsonl(roots: Sequence[Span], path: str) -> int:
     return text.count("\n")
 
 
+def _span_from_record(record: Dict, tracer: Tracer) -> Span:
+    """One validated record rebuilt as a :class:`Span` (children detached)."""
+    span = Span(tracer, record["name"])
+    span.start = float(record["start"])
+    span.duration = float(record["duration"])
+    span.attributes = dict(record["attributes"])
+    span.events = [
+        SpanEvent(e["name"], e["at"], dict(e.get("attributes") or {}))
+        for e in record["events"]
+    ]
+    span.stats_delta = (
+        dict(record["stats"]) if record["stats"] is not None else None
+    )
+    span.trace_id = record.get("trace_id")
+    span.process = record.get("process")
+    return span
+
+
+def _link_record_span(
+    record: Dict,
+    span: Span,
+    by_id: Dict[int, Span],
+    roots: List[Span],
+    where: str,
+) -> None:
+    by_id[record["id"]] = span
+    parent_id = record["parent"]
+    if parent_id is None:
+        roots.append(span)
+    else:
+        parent = by_id.get(parent_id)
+        if parent is None:
+            raise ValueError(f"{where}: parent {parent_id} not seen yet")
+        parent.children.append(span)
+
+
+def spans_from_records(records: Sequence[Dict]) -> List[Span]:
+    """Reconstruct a span forest from parsed record dicts.
+
+    The in-memory sibling of :func:`read_spans_jsonl` (same validation,
+    same parents-before-children contract), used by the server-side
+    trace collector to reassemble forests shipped over the worker
+    result queue.  Raises ``ValueError`` on malformed records.
+    """
+    tracer = Tracer()  # donor for Span construction; epoch unused
+    by_id: Dict[int, Span] = {}
+    roots: List[Span] = []
+    for index, record in enumerate(records):
+        problems = validate_span_record(record)
+        if problems:
+            raise ValueError(f"record {index}: {'; '.join(problems)}")
+        span = _span_from_record(record, tracer)
+        _link_record_span(record, span, by_id, roots, f"record {index}")
+    return roots
+
+
 def read_spans_jsonl(text: str) -> List[Span]:
     """Reconstruct the span forest from a JSON-lines dump.
 
     The inverse of :func:`spans_to_jsonl`: names, timings, attributes,
-    events, stats deltas, and the parent/child structure all round-trip.
-    Raises ``ValueError`` on malformed input.
+    events, stats deltas, trace ids/process labels, and the
+    parent/child structure all round-trip.  Raises ``ValueError`` on
+    malformed input.
     """
     tracer = Tracer()  # donor for Span construction; epoch unused
     by_id: Dict[int, Span] = {}
@@ -147,28 +231,8 @@ def read_spans_jsonl(text: str) -> List[Span]:
         problems = validate_span_record(record)
         if problems:
             raise ValueError(f"line {line_number}: {'; '.join(problems)}")
-        span = Span(tracer, record["name"])
-        span.start = float(record["start"])
-        span.duration = float(record["duration"])
-        span.attributes = dict(record["attributes"])
-        span.events = [
-            SpanEvent(e["name"], e["at"], dict(e.get("attributes") or {}))
-            for e in record["events"]
-        ]
-        span.stats_delta = (
-            dict(record["stats"]) if record["stats"] is not None else None
-        )
-        by_id[record["id"]] = span
-        parent_id = record["parent"]
-        if parent_id is None:
-            roots.append(span)
-        else:
-            parent = by_id.get(parent_id)
-            if parent is None:
-                raise ValueError(
-                    f"line {line_number}: parent {parent_id} not seen yet"
-                )
-            parent.children.append(span)
+        span = _span_from_record(record, tracer)
+        _link_record_span(record, span, by_id, roots, f"line {line_number}")
     return roots
 
 
@@ -181,6 +245,11 @@ def validate_span_record(record: object) -> List[str]:
         if field not in record:
             problems.append(f"missing field {field!r}")
         elif not isinstance(record[field], expected):
+            problems.append(
+                f"field {field!r} has type {type(record[field]).__name__}"
+            )
+    for field, expected in SPAN_OPTIONAL_FIELDS.items():
+        if field in record and not isinstance(record[field], expected):
             problems.append(
                 f"field {field!r} has type {type(record[field]).__name__}"
             )
@@ -318,6 +387,8 @@ def render_span_tree(roots: Sequence[Span], max_depth: int = 12) -> str:
     def emit(span: Span, depth: int) -> None:
         indent = "  " * depth
         parts = [f"{indent}{span.name}  {_format_seconds(span.duration)}"]
+        if span.process is not None:
+            parts.append(f"<{span.process}>")
         if span.attributes:
             attrs = " ".join(
                 f"{key}={value}" for key, value in sorted(span.attributes.items())

@@ -37,6 +37,7 @@ stable schema, documented in ``docs/OBSERVABILITY.md`` and validated by
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, Dict, List, Optional
 
@@ -88,6 +89,8 @@ class Span:
         "events",
         "children",
         "stats_delta",
+        "trace_id",
+        "process",
         "_tracer",
         "_stats",
         "_stats_before",
@@ -101,6 +104,12 @@ class Span:
         self.events: List[SpanEvent] = []
         self.children: List["Span"] = []
         self.stats_delta: Optional[Dict[str, int]] = None
+        #: Distributed-trace correlation id, inherited from the tracer
+        #: (``None`` outside a traced service request).
+        self.trace_id: Optional[str] = tracer.trace_id
+        #: Which process recorded this span (``server``, ``worker-0``,
+        #: ...), inherited from the tracer; ``None`` for local tracing.
+        self.process: Optional[str] = tracer.process
         self._tracer = tracer
         self._stats = stats
         self._stats_before: Optional[Dict[str, int]] = None
@@ -183,8 +192,21 @@ class _NullSpan:
 
 _NULL_SPAN = _NullSpan()
 
-#: The installed tracer, or ``None`` (tracing disabled).
-_ACTIVE: Optional["Tracer"] = None
+
+class _ActiveState(threading.local):
+    """Per-thread active-tracer slot (``None`` = tracing disabled).
+
+    Thread-local rather than a module global so concurrent server
+    threads (the :class:`http.server.ThreadingHTTPServer` request
+    plane) can each install a per-request tracer without corrupting
+    one another's open-span stacks.  Single-threaded callers (the CLI,
+    benchmarks) behave exactly as before.
+    """
+
+    tracer: Optional["Tracer"] = None
+
+
+_ACTIVE = _ActiveState()
 
 
 class Tracer:
@@ -200,11 +222,21 @@ class Tracer:
     can be exported without double counting nested spans.
     """
 
-    def __init__(self, registry=None):
+    def __init__(
+        self,
+        registry=None,
+        trace_id: Optional[str] = None,
+        process: Optional[str] = None,
+    ):
         from .metrics import MetricsRegistry
 
         #: perf_counter value all span offsets are relative to.
         self.epoch = time.perf_counter()
+        #: Distributed-trace id stamped onto every span (``None`` for
+        #: plain local tracing).
+        self.trace_id = trace_id
+        #: Label of the recording process (``server``, ``worker-1``...).
+        self.process = process
         #: Finished top-level spans, in completion order.
         self.roots: List[Span] = []
         #: Aggregated metrics (span-duration histograms, gauges).
@@ -276,19 +308,17 @@ class tracing:
         self._previous: Optional[Tracer] = None
 
     def __enter__(self) -> Optional[Tracer]:
-        global _ACTIVE
-        self._previous = _ACTIVE
-        _ACTIVE = self._tracer
+        self._previous = _ACTIVE.tracer
+        _ACTIVE.tracer = self._tracer
         return self._tracer
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        global _ACTIVE
-        _ACTIVE = self._previous
+        _ACTIVE.tracer = self._previous
 
 
 def active_tracer() -> Optional[Tracer]:
-    """The installed tracer, or ``None`` when tracing is disabled."""
-    return _ACTIVE
+    """The tracer installed on this thread, or ``None`` (disabled)."""
+    return _ACTIVE.tracer
 
 
 def span(name: str, stats=None):
@@ -301,7 +331,7 @@ def span(name: str, stats=None):
     >>> with span("tableau_run") as sp:
     ...     sp.set("search", "trail")   # no-op: tracing disabled
     """
-    tracer = _ACTIVE
+    tracer = _ACTIVE.tracer
     if tracer is None:
         return _NULL_SPAN
     return Span(tracer, name, stats=stats)
@@ -309,7 +339,7 @@ def span(name: str, stats=None):
 
 def add_event(name: str, attributes: Optional[Dict] = None) -> None:
     """Record an event on the innermost open span, if tracing is active."""
-    tracer = _ACTIVE
+    tracer = _ACTIVE.tracer
     if tracer is None:
         return
     current = tracer.current
@@ -319,7 +349,7 @@ def add_event(name: str, attributes: Optional[Dict] = None) -> None:
 
 def set_gauge(name: str, value: float) -> None:
     """Set a gauge on the active tracer's registry, if tracing is active."""
-    tracer = _ACTIVE
+    tracer = _ACTIVE.tracer
     if tracer is None:
         return
     tracer.registry.gauge(name).set(value)

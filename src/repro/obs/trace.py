@@ -1,0 +1,133 @@
+"""Cross-process trace propagation: ids, clock rebasing, span grafting.
+
+The service's distributed-tracing substrate.  A *trace* is the full
+span forest of one request, stitched together from up to two processes:
+
+* the **server** records the request-plane spans (``serve_request`` →
+  ``admission`` / ``dispatch``) under a per-request
+  :class:`~repro.obs.spans.Tracer` carrying the trace id;
+* the **worker** that executed the probe records the reasoner spans
+  (``probe_execute`` → ``cache_probe`` / ``saturation_run`` /
+  ``tableau_run`` ...) under its own per-request tracer and ships the
+  finished forest back over the result queue as schema-1 records plus
+  its tracer epoch.
+
+Every tracer stamps its spans with perf_counter offsets relative to its
+own epoch, so the two forests disagree about what "time zero" means.
+:func:`rebase_spans` shifts the worker forest onto the server clock
+(``offset = worker_epoch - server_epoch`` — on Linux ``perf_counter``
+is CLOCK_MONOTONIC, which forked children share, so the offset is
+exact), and :func:`fit_within` then *clamps* the shifted spans into the
+server-side ``dispatch`` window, guaranteeing children land inside
+their parents even when the clocks are skewed (a resumed container, a
+test injecting deliberate skew).  :func:`graft_spans` composes the two
+into the single-tree contract ``GET /trace/<id>`` serves.
+"""
+
+from __future__ import annotations
+
+import re
+import uuid
+from typing import Dict, List, Optional, Sequence
+
+from .export import spans_from_records
+from .spans import Span
+
+__all__ = [
+    "new_trace_id",
+    "sanitize_trace_id",
+    "rebase_spans",
+    "fit_within",
+    "graft_spans",
+]
+
+#: Trace ids are path- and header-safe by construction; ids offered by
+#: clients must match this (or be replaced) before keying files/URLs.
+_TRACE_ID_RE = re.compile(r"^[A-Za-z0-9_.-]{1,64}$")
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id as 32 lowercase hex characters."""
+    return uuid.uuid4().hex
+
+
+def sanitize_trace_id(value: object) -> Optional[str]:
+    """``value`` if it is a usable trace id, else ``None``.
+
+    Client-supplied ids key trace-store entries, capture filenames and
+    ``/trace/<id>`` URLs, so anything unprintable, oversized, or
+    path-traversal-shaped is rejected (the caller then mints a fresh
+    id rather than failing the request).
+    """
+    if isinstance(value, str) and _TRACE_ID_RE.match(value):
+        return value
+    return None
+
+
+def rebase_spans(roots: Sequence[Span], offset: float) -> None:
+    """Shift every span's ``start`` by ``offset`` seconds, in place.
+
+    Used to move a forest recorded against one tracer epoch onto
+    another tracer's clock (event offsets are relative to their span's
+    start and need no adjustment).
+    """
+    if not offset:
+        return
+    for root in roots:
+        for span in root.walk():
+            span.start += offset
+
+
+def fit_within(roots: Sequence[Span], lo: float, hi: float) -> int:
+    """Clamp a span forest into the window ``[lo, hi]``, in place.
+
+    Normalises a rebased forest so that every root lies inside the
+    window and every child lies inside its parent — the invariant the
+    tree renderers and flamegraph exporters rely on.  With honest
+    clocks this is a no-op; under skew it trims rather than rejects
+    (an approximately-placed span beats a dropped one).  Returns the
+    number of spans whose timing was adjusted.
+    """
+    if hi < lo:
+        hi = lo
+    adjusted = 0
+
+    def clamp(span: Span, lo: float, hi: float) -> None:
+        nonlocal adjusted
+        start = span.start
+        duration = max(span.duration, 0.0)
+        width = min(duration, hi - lo)
+        new_start = min(max(start, lo), hi - width)
+        if new_start != start or width != span.duration:
+            adjusted += 1
+        span.start = new_start
+        span.duration = width
+        for child in span.children:
+            clamp(child, new_start, new_start + width)
+
+    for root in roots:
+        clamp(root, lo, hi)
+    return adjusted
+
+
+def graft_spans(parent: Span, shipment: Dict, host_epoch: float) -> List[Span]:
+    """Attach a worker's shipped span forest under a host-side span.
+
+    ``shipment`` is the worker's wire blob: ``{"epoch": <worker
+    perf_counter epoch>, "spans": [<schema-1 records>]}``.  The records
+    are validated and reassembled (:func:`spans_from_records`), rebased
+    onto the host clock, clamped into ``parent``'s window, and appended
+    to ``parent.children``.  Returns the grafted roots; raises
+    ``ValueError`` for malformed records (the caller decides whether a
+    bad trace fails the request — it never should).
+    """
+    records = shipment.get("spans") or []
+    roots = spans_from_records(records)
+    if not roots:
+        return []
+    epoch = shipment.get("epoch")
+    if isinstance(epoch, (int, float)):
+        rebase_spans(roots, float(epoch) - host_epoch)
+    fit_within(roots, parent.start, parent.start + parent.duration)
+    parent.children.extend(roots)
+    return roots

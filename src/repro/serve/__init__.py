@@ -13,15 +13,27 @@ its caches warm across requests.  The layers:
   exponential-backoff restarts, circuit breaker);
 * :mod:`repro.serve.server` — the HTTP front: admission control with
   bounded queueing and 429 backpressure, deadline-to-Budget conversion,
-  ``/healthz`` / ``/readyz`` / ``/metrics``, SIGTERM draining;
+  ``/healthz`` / ``/readyz`` / ``/metrics`` / ``/trace/<id>`` /
+  ``/journal``, SIGTERM draining;
+* :mod:`repro.serve.journal` — the structured request journal (one
+  JSON line per request, slow-or-UNKNOWN trace capture) and the
+  bounded :class:`TraceStore` behind ``GET /trace/<id>``;
 * :mod:`repro.serve.client` — :class:`ReproClient`, retrying only
-  idempotent probes with jittered exponential backoff.
+  idempotent probes with jittered exponential backoff, minting the
+  trace context every probe carries.
 
 See ``docs/GUIDE.md`` section 10 for a worked tour and
 ``docs/ARCHITECTURE.md`` for the invariants the chaos suite enforces.
 """
 
 from .client import ReproClient, ServiceUnavailable
+from .journal import (
+    JOURNAL_SCHEMA_VERSION,
+    JournalEntry,
+    RequestJournal,
+    TraceStore,
+    derive_execution,
+)
 from .pool import InlineExecutor, KBRegistry, WorkerPool, execute_probe
 from .protocol import (
     PROBE_KINDS,
@@ -48,6 +60,11 @@ __all__ = [
     "InlineExecutor",
     "ReproServer",
     "ServeMetrics",
+    "JOURNAL_SCHEMA_VERSION",
+    "JournalEntry",
+    "RequestJournal",
+    "TraceStore",
+    "derive_execution",
     "ReproClient",
     "ServiceUnavailable",
 ]

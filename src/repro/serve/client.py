@@ -22,6 +22,15 @@ policy a degradation-aware client needs:
   request body (the server converts it to a
   :class:`~repro.dl.budget.Budget`) and also bounds the socket timeout,
   so a wedged network cannot outlive the reasoning deadline.
+* **Trace context.**  Every probe carries an ``X-Request-Id`` (minted
+  when the caller didn't supply ``request_id``) and a fresh
+  ``X-Trace-Id``; both are minted *once per call*, so every retry of
+  one logical probe shares the same ids and the server journal can
+  stitch the attempts together.  The ids the server echoed come back
+  on the response (:attr:`ProbeResponse.request_id` /
+  :attr:`ProbeResponse.trace_id` — header-derived, never part of the
+  deterministic body), and :meth:`ReproClient.trace` fetches the
+  reassembled span forest for a trace id.
 
 The convenience probes (:meth:`ReproClient.satisfiable`,
 :meth:`ReproClient.instance`, :meth:`ReproClient.subsumption`,
@@ -34,17 +43,21 @@ one-line change.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import random
 import socket
 import time
 import urllib.error
 import urllib.request
-from typing import Optional
+from typing import List, Optional
 
 from ..dl.budget import Verdict
 from ..dl.errors import ReproError
 from ..fourvalued.truth import FourValue
+from ..obs.export import read_spans_jsonl
+from ..obs.spans import Span
+from ..obs.trace import new_trace_id
 from .protocol import ProbeRequest, ProbeResponse, ProtocolError
 
 __all__ = ["ServiceUnavailable", "ReproClient"]
@@ -84,40 +97,70 @@ class ReproClient:
         self._sleep = sleep
 
     # -- transport -----------------------------------------------------
-    def _attempt(self, request: ProbeRequest) -> ProbeResponse:
+    def _attempt(
+        self, request: ProbeRequest, trace_id: Optional[str] = None
+    ) -> ProbeResponse:
         timeout = self.timeout_s
         if request.deadline_ms is not None:
             # The socket must outlive the reasoning deadline slightly so
             # the structured UNKNOWN can still be delivered.
             timeout = max(request.deadline_ms / 1000.0 * 1.5, 0.05)
         body = json.dumps(request.to_wire(), sort_keys=True).encode("utf-8")
+        headers = {"Content-Type": "application/json"}
+        if request.request_id:
+            headers["X-Request-Id"] = request.request_id
+        if trace_id:
+            headers["X-Trace-Id"] = trace_id
         http_request = urllib.request.Request(
             f"{self.base_url}/probe",
             data=body,
-            headers={"Content-Type": "application/json"},
+            headers=headers,
             method="POST",
         )
         try:
             with urllib.request.urlopen(http_request, timeout=timeout) as raw:
-                return ProbeResponse.from_json(raw.read().decode("utf-8"))
+                return self._with_ids(
+                    ProbeResponse.from_json(raw.read().decode("utf-8")),
+                    raw.headers,
+                )
         except urllib.error.HTTPError as error:
             # Structured non-2xx answers still carry a protocol body.
             payload = error.read().decode("utf-8", errors="replace")
             try:
-                return ProbeResponse.from_json(payload)
+                return self._with_ids(
+                    ProbeResponse.from_json(payload), error.headers
+                )
             except ProtocolError:
                 raise ServiceUnavailable(
                     f"HTTP {error.code} with non-protocol body: "
                     f"{payload[:200]!r}"
                 ) from None
 
+    @staticmethod
+    def _with_ids(response: ProbeResponse, headers) -> ProbeResponse:
+        """The response annotated with the server-echoed header ids."""
+        request_id = headers.get("X-Request-Id") if headers else None
+        trace_id = headers.get("X-Trace-Id") if headers else None
+        if request_id is None and trace_id is None:
+            return response
+        return dataclasses.replace(
+            response, request_id=request_id, trace_id=trace_id
+        )
+
     def probe(self, request: ProbeRequest) -> ProbeResponse:
         """Send one probe, retrying per the policy in the module docstring.
 
         Raises :class:`ServiceUnavailable` when the transport keeps
         failing (or the server keeps shedding load) past the retry
-        budget, and immediately for non-idempotent requests.
+        budget, and immediately for non-idempotent requests.  A missing
+        ``request_id`` is minted here, and a trace id always is — both
+        once per call, so every retry shares the same correlation ids.
         """
+        if request.request_id is None:
+            request = dataclasses.replace(
+                request, request_id=new_trace_id()[:16]
+            )
+        trace_id = new_trace_id()
         attempts = (self.retries + 1) if request.idempotent else 1
         last_error: Optional[str] = None
         for attempt in range(attempts):
@@ -125,7 +168,7 @@ class ReproClient:
                 jitter = 0.5 + self._rng.random()
                 self._sleep(self.backoff * (2.0 ** (attempt - 1)) * jitter)
             try:
-                response = self._attempt(request)
+                response = self._attempt(request, trace_id=trace_id)
             except (urllib.error.URLError, socket.timeout, ConnectionError) as exc:
                 last_error = f"transport error: {exc}"
                 continue
@@ -246,3 +289,27 @@ class ReproClient:
         if status != 200:
             raise ServiceUnavailable(f"/metrics answered HTTP {status}")
         return body
+
+    def trace(self, trace_id: str, timeout: float = 5.0) -> List[Span]:
+        """The reassembled span forest of one served request.
+
+        Fetches ``GET /trace/<id>`` (use the ``trace_id`` attached to a
+        probe's response) and reconstructs the spans.  Raises
+        :class:`ServiceUnavailable` when the trace is unknown — the
+        store is bounded, so old traces expire.
+        """
+        status, body = self._get(f"/trace/{trace_id}", timeout=timeout)
+        if status != 200:
+            raise ServiceUnavailable(
+                f"/trace/{trace_id} answered HTTP {status}: {body[:200]}"
+            )
+        return read_spans_jsonl(body)
+
+    def journal(self, timeout: float = 5.0) -> List[dict]:
+        """The server's recent request-journal records (oldest first)."""
+        status, body = self._get("/journal", timeout=timeout)
+        if status != 200:
+            raise ServiceUnavailable(f"/journal answered HTTP {status}")
+        return [
+            json.loads(line) for line in body.splitlines() if line.strip()
+        ]

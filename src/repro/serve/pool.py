@@ -53,7 +53,8 @@ from ..dl.individuals import Individual
 from ..dl.parser import ConceptParser, parse_kb4
 from ..four_dl.axioms4 import ConceptInclusion4, InclusionKind
 from ..four_dl.reasoner4 import Reasoner4
-from ..obs.spans import span as obs_span
+from ..obs.export import spans_to_records
+from ..obs.spans import Tracer, span as obs_span, tracing
 from .protocol import CHAOS_KINDS, ProbeRequest, ProbeResponse
 
 __all__ = [
@@ -160,7 +161,7 @@ def execute_probe(
     under ``allow_chaos`` and exist so the fault-injection suite can
     address a deterministic worker step from outside the process.
     """
-    with obs_span("serve_request") as span:
+    with obs_span("probe_execute") as span:
         span.set("kind", request.kind)
         span.set("kb", request.kb)
         if request.kind in CHAOS_KINDS:
@@ -235,7 +236,14 @@ def shard_of(kb: str, workers: int) -> int:
 class PendingProbe:
     """A one-shot future for an in-flight request (first resolve wins)."""
 
-    __slots__ = ("_event", "_response", "deadline_at", "kill_at", "request_id")
+    __slots__ = (
+        "_event",
+        "_response",
+        "deadline_at",
+        "detail",
+        "kill_at",
+        "request_id",
+    )
 
     def __init__(
         self,
@@ -250,11 +258,18 @@ class PendingProbe:
         self.deadline_at = deadline_at
         #: When the stall watchdog may escalate to killing the worker.
         self.kill_at = kill_at
+        #: Execution metadata set at resolve time: which worker/
+        #: incarnation answered, plus the shipped span forest
+        #: (``{"trace": {...}, "worker": ..., "incarnation": ...}``).
+        self.detail: Optional[Dict] = None
 
-    def resolve(self, response: ProbeResponse) -> bool:
+    def resolve(
+        self, response: ProbeResponse, detail: Optional[Dict] = None
+    ) -> bool:
         """Deliver the response; returns False if already resolved."""
         if self._event.is_set():
             return False
+        self.detail = detail
         self._response = response
         self._event.set()
         return True
@@ -274,11 +289,14 @@ class PendingProbe:
 class _Incarnation:
     """One living worker process plus its private channels."""
 
-    def __init__(self, proc, task_queue, result_queue, cancel_event):
+    def __init__(self, proc, task_queue, result_queue, cancel_event, number):
         self.proc = proc
         self.task_queue = task_queue
         self.result_queue = result_queue
         self.cancel_event = cancel_event
+        #: 1-based incarnation counter within the shard (so a journal
+        #: line can say "the third worker this shard has had").
+        self.number = number
         self.pending: Dict[str, PendingProbe] = {}
 
 
@@ -289,11 +307,20 @@ class _Shard:
         self.index = index
         self.lock = threading.RLock()
         self.incarnation: Optional[_Incarnation] = None
-        #: Requests awaiting a live worker (shard between incarnations).
-        self.backlog: List[Tuple[PendingProbe, dict, Optional[float]]] = []
+        #: Requests awaiting a live worker (shard between incarnations):
+        #: ``(pending, envelope, deadline_at, trace_id)``.
+        self.backlog: List[
+            Tuple[PendingProbe, dict, Optional[float], Optional[str]]
+        ] = []
         self.consecutive_crashes = 0
         self.restarts = 0
+        self.incarnations = 0
         self.next_restart_at = 0.0
+
+    @property
+    def worker_label(self) -> str:
+        """The stable process label of this shard's workers."""
+        return f"worker-{self.index}"
 
 
 def _worker_main(
@@ -302,6 +329,7 @@ def _worker_main(
     task_queue,
     result_queue,
     cancel_event,
+    process_label: str = "worker",
 ) -> None:
     """The worker loop: parse envelope, run probe, ship the wire response.
 
@@ -310,14 +338,23 @@ def _worker_main(
     before each request); the probe's budget polls it through its
     :class:`~repro.dl.budget.CancelToken`, so cross-process
     cancellation rides the same cooperative pathway as local cancels.
+
+    When the envelope carries a ``trace_id`` the probe runs under a
+    per-request :class:`~repro.obs.spans.Tracer` labelled with this
+    process, and the finished span forest ships back alongside the
+    response (records + the tracer's perf_counter epoch, so the server
+    can rebase the spans onto its own clock).
     """
     registry = KBRegistry(kb_paths)
     while True:
         envelope = task_queue.get()
         if envelope is None:
             return
-        request_id, wire, deadline_at = envelope
+        request_id, wire, deadline_at, trace_id = envelope
         cancel_event.clear()
+        tracer: Optional[Tracer] = None
+        if trace_id is not None:
+            tracer = Tracer(trace_id=trace_id, process=process_label)
         try:
             request = ProbeRequest.from_wire(wire)
             budget = request_budget(
@@ -330,12 +367,25 @@ def _worker_main(
                     request,
                 )
             else:
-                response = execute_probe(
-                    registry, request, budget=budget, allow_chaos=allow_chaos
-                )
+                with tracing(tracer):
+                    response = execute_probe(
+                        registry,
+                        request,
+                        budget=budget,
+                        allow_chaos=allow_chaos,
+                    )
         except Exception as exc:  # defensive: a worker must keep serving
             response = ProbeResponse.error(f"{type(exc).__name__}: {exc}")
-        result_queue.put((request_id, response.to_wire()))
+        trace_blob = None
+        if tracer is not None and tracer.roots:
+            try:
+                trace_blob = {
+                    "epoch": tracer.epoch,
+                    "spans": spans_to_records(tracer.roots),
+                }
+            except Exception:  # never fail a request over telemetry
+                trace_blob = None
+        result_queue.put((request_id, response.to_wire(), trace_blob))
 
 
 class WorkerPool:
@@ -496,13 +546,18 @@ class WorkerPool:
 
     # -- submission ------------------------------------------------------
     def submit(
-        self, request: ProbeRequest, deadline_at: Optional[float] = None
+        self,
+        request: ProbeRequest,
+        deadline_at: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> PendingProbe:
         """Dispatch a request to its KB shard; returns its future.
 
         Never blocks and never raises for runtime conditions: a
         stopping pool, an open circuit, or a dead shard resolve the
         future immediately with the matching structured response.
+        ``trace_id`` (when given) rides the task envelope and turns on
+        per-request tracing inside the worker.
         """
         now = time.monotonic()
         kill_at = (
@@ -536,11 +591,11 @@ class WorkerPool:
                 return pending
             incarnation = shard.incarnation
             if incarnation is None or not incarnation.proc.is_alive():
-                shard.backlog.append((pending, envelope, deadline_at))
+                shard.backlog.append((pending, envelope, deadline_at, trace_id))
                 return pending
             incarnation.pending[pending.request_id] = pending
             incarnation.task_queue.put(
-                (pending.request_id, envelope, deadline_at)
+                (pending.request_id, envelope, deadline_at, trace_id)
             )
         return pending
 
@@ -557,18 +612,26 @@ class WorkerPool:
                 task_queue,
                 result_queue,
                 cancel_event,
+                shard.worker_label,
             ),
             name=f"repro-serve-worker-{shard.index}",
             daemon=True,
         )
         proc.start()
-        incarnation = _Incarnation(proc, task_queue, result_queue, cancel_event)
+        with shard.lock:
+            shard.incarnations += 1
+            number = shard.incarnations
+        incarnation = _Incarnation(
+            proc, task_queue, result_queue, cancel_event, number
+        )
         with shard.lock:
             shard.incarnation = incarnation
             backlog, shard.backlog = shard.backlog, []
-            for pending, envelope, deadline_at in backlog:
+            for pending, envelope, deadline_at, trace_id in backlog:
                 incarnation.pending[pending.request_id] = pending
-                task_queue.put((pending.request_id, envelope, deadline_at))
+                task_queue.put(
+                    (pending.request_id, envelope, deadline_at, trace_id)
+                )
         collector = threading.Thread(
             target=self._collect,
             args=(shard, incarnation),
@@ -590,16 +653,22 @@ class WorkerPool:
                 return
             if item is None:
                 return
-            request_id, wire = item
+            request_id, wire, trace_blob = item
             with shard.lock:
                 pending = incarnation.pending.pop(request_id, None)
                 shard.consecutive_crashes = 0
             if pending is not None:
+                detail = {
+                    "worker": shard.worker_label,
+                    "incarnation": incarnation.number,
+                    "trace": trace_blob,
+                }
                 try:
-                    pending.resolve(ProbeResponse.from_wire(wire))
+                    pending.resolve(ProbeResponse.from_wire(wire), detail)
                 except Exception:
                     pending.resolve(
-                        ProbeResponse.error("worker sent a malformed response")
+                        ProbeResponse.error("worker sent a malformed response"),
+                        detail,
                     )
 
     def _fail_incarnation(self, shard: _Shard, now: float) -> None:
@@ -629,7 +698,12 @@ class WorkerPool:
                     DegradationReason.WORKER_CRASH,
                     f"worker for this KB shard died (exit {exitcode}) "
                     "before answering; it is being restarted",
-                )
+                ),
+                {
+                    "worker": shard.worker_label,
+                    "incarnation": incarnation.number,
+                    "crashed": True,
+                },
             )
 
     def _monitor_loop(self) -> None:
@@ -749,24 +823,35 @@ class InlineExecutor:
         return []
 
     def submit(
-        self, request: ProbeRequest, deadline_at: Optional[float] = None
+        self,
+        request: ProbeRequest,
+        deadline_at: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> PendingProbe:
-        """Execute the probe synchronously; the future is born resolved."""
+        """Execute the probe synchronously; the future is born resolved.
+
+        ``trace_id`` is accepted for interface parity but unused: the
+        probe runs on the caller's thread, so its spans land directly
+        inside the server's per-request tracer — no shipping needed.
+        """
         pending = PendingProbe(
             request_id="inline", deadline_at=deadline_at, kill_at=0.0
         )
+        detail = {"worker": "inline", "incarnation": 0}
         if self._stopping:
             pending.resolve(
                 ProbeResponse.unknown(
                     DegradationReason.CANCELLED, "server draining"
-                )
+                ),
+                detail,
             )
             return pending
         if request.kind in CHAOS_KINDS:
             pending.resolve(
                 ProbeResponse.error(
                     "chaos probes need a worker pool (--workers >= 1)"
-                )
+                ),
+                detail,
             )
             return pending
         budget = request_budget(request, deadline_at, cancel=CancelToken())
@@ -776,8 +861,11 @@ class InlineExecutor:
                     DegradationReason.DEADLINE,
                     "deadline exhausted while queued",
                     request,
-                )
+                ),
+                detail,
             )
             return pending
-        pending.resolve(execute_probe(self.registry, request, budget=budget))
+        pending.resolve(
+            execute_probe(self.registry, request, budget=budget), detail
+        )
         return pending

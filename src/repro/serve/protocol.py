@@ -273,6 +273,14 @@ class ProbeResponse:
       ``retry_after`` is the server's backpressure hint in seconds;
     * ``"error"`` — the request itself was malformed (unknown KB,
       unparsable concept, bad schema).
+
+    ``request_id`` and ``trace_id`` are client-side conveniences: the
+    :class:`~repro.serve.client.ReproClient` copies them from the
+    ``X-Request-Id`` / ``X-Trace-Id`` response headers so callers can
+    fetch ``/trace/<id>`` for the probe they just ran.  They are
+    deliberately excluded from :meth:`to_wire` — response *bodies*
+    carry no volatile fields, the property the chaos suite
+    byte-compares.
     """
 
     status: str
@@ -282,6 +290,9 @@ class ProbeResponse:
     reason: Optional[str] = None
     message: str = ""
     retry_after: Optional[float] = None
+    #: Correlation ids from the response headers; never serialised.
+    request_id: Optional[str] = None
+    trace_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.status not in RESPONSE_STATUSES:

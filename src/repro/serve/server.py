@@ -46,7 +46,11 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
 from ..dl.errors import DegradationReason
+from ..obs.export import spans_to_jsonl
 from ..obs.metrics import Histogram
+from ..obs.spans import Span, Tracer, span as obs_span, tracing
+from ..obs.trace import graft_spans, new_trace_id, sanitize_trace_id
+from .journal import JournalEntry, RequestJournal, TraceStore, derive_execution
 from .pool import InlineExecutor, WorkerPool
 from .protocol import ProbeRequest, ProbeResponse, ProtocolError
 
@@ -79,6 +83,8 @@ class ServeMetrics:
         self.requests_total: Dict[str, int] = {}
         self.rejections_total: Dict[str, int] = {}
         self.unknown_total: Dict[str, int] = {}
+        self.cache_hits_total: Dict[str, int] = {}
+        self.cache_misses_total: Dict[str, int] = {}
         self.inflight = 0
         self.request_seconds = Histogram("repro_serve_request_seconds")
 
@@ -104,12 +110,30 @@ class ServeMetrics:
                 )
             self.request_seconds.observe(seconds)
 
+    def cache_result(self, kb: Optional[str], hit: Optional[bool]) -> None:
+        """Count one per-KB query-cache probe outcome (``None`` = unseen).
+
+        Fed from the request's span forest (the ``cache_probe`` span's
+        ``hit`` attribute), so the series exists only while tracing is
+        enabled — the per-KB hit *rate* is
+        ``hits / (hits + misses)`` per kb label.
+        """
+        if kb is None or hit is None:
+            return
+        with self._lock:
+            target = self.cache_hits_total if hit else self.cache_misses_total
+            target[kb] = target.get(kb, 0) + 1
+
     def render(
         self,
         queue_capacity: int,
         queue_free: int,
         worker_restarts: int,
         workers_alive: int,
+        trace_store_traces: int = 0,
+        journal_entries: int = 0,
+        journal_lines: int = 0,
+        journal_captured: int = 0,
     ) -> str:
         """The Prometheus text exposition of the service plane."""
         with self._lock:
@@ -173,6 +197,46 @@ class ServeMetrics:
                     for key, count in self.unknown_total.items()
                 ),
             )
+            counter(
+                "repro_serve_cache_hits_total",
+                "Query-cache hits by KB (derived from request traces).",
+                sorted(
+                    (("kb", key), count)
+                    for key, count in self.cache_hits_total.items()
+                ),
+            )
+            counter(
+                "repro_serve_cache_misses_total",
+                "Query-cache misses by KB (derived from request traces).",
+                sorted(
+                    (("kb", key), count)
+                    for key, count in self.cache_misses_total.items()
+                ),
+            )
+            gauge(
+                "repro_serve_trace_store_traces",
+                "Reassembled traces held by the in-memory trace store.",
+                trace_store_traces,
+            )
+            gauge(
+                "repro_serve_journal_entries",
+                "Request-journal entries currently in the ring.",
+                journal_entries,
+            )
+            lines.append(
+                "# HELP repro_serve_journal_lines_total "
+                "Requests journalled since startup."
+            )
+            lines.append("# TYPE repro_serve_journal_lines_total counter")
+            lines.append(f"repro_serve_journal_lines_total {journal_lines}")
+            lines.append(
+                "# HELP repro_serve_journal_captured_total "
+                "Slow-or-UNKNOWN traces captured to disk."
+            )
+            lines.append("# TYPE repro_serve_journal_captured_total counter")
+            lines.append(
+                f"repro_serve_journal_captured_total {journal_captured}"
+            )
             name = "repro_serve_request_seconds"
             lines.append(
                 f"# HELP {name} Wall-clock latency of admitted requests."
@@ -202,6 +266,20 @@ class ReproServer:
     ``max_queue`` is the admission bound: requests admitted but not yet
     answered.  ``default_deadline_ms`` applies when a client sends no
     deadline, so no request can hold a slot forever.
+
+    **Tracing and the journal.**  With ``tracing_enabled`` (the
+    default) every request gets a per-request tracer rooted at a
+    ``serve_request`` span carrying the request's trace id (minted at
+    admission unless the client sent ``X-Trace-Id``); worker-side span
+    forests ship back over the result queue and are grafted under the
+    server's ``dispatch`` span, and the reassembled tree is kept in a
+    bounded :class:`~repro.serve.journal.TraceStore` behind
+    ``GET /trace/<id>``.  Every request — including rejections and
+    errors — is journalled (:class:`~repro.serve.journal.RequestJournal`);
+    ``journal_path`` appends the records to a JSONL file, and
+    ``capture_dir`` + ``slow_trace_ms`` arm the slow-or-UNKNOWN trace
+    capture policy.  Response *bodies* stay byte-deterministic — ids
+    travel in headers only.
     """
 
     def __init__(
@@ -216,6 +294,12 @@ class ReproServer:
         drain_timeout: float = 5.0,
         chaos: bool = False,
         quiet: bool = True,
+        tracing_enabled: bool = True,
+        trace_capacity: int = 256,
+        journal_capacity: int = 1024,
+        journal_path: Optional[str] = None,
+        capture_dir: Optional[str] = None,
+        slow_trace_ms: float = 1000.0,
         **pool_options,
     ):
         if max_queue < 1:
@@ -226,6 +310,14 @@ class ReproServer:
         self.drain_timeout = drain_timeout
         self.quiet = quiet
         self.metrics = ServeMetrics()
+        self.tracing_enabled = tracing_enabled
+        self.traces = TraceStore(capacity=trace_capacity)
+        self.journal = RequestJournal(
+            capacity=journal_capacity,
+            sink_path=journal_path,
+            capture_dir=capture_dir,
+            slow_ms=slow_trace_ms,
+        )
         self.max_queue = max_queue
         self._slots = threading.Semaphore(max_queue)
         self._slots_free = max_queue
@@ -292,6 +384,7 @@ class ReproServer:
         self._httpd.server_close()
         if self._serve_thread is not None:
             self._serve_thread.join(timeout=2.0)
+        self.journal.close()
         self._drained.set()
         return drained
 
@@ -326,46 +419,133 @@ class ReproServer:
             self._slots_free += 1
         self._slots.release()
 
-    def handle_probe(self, body: str) -> Tuple[int, ProbeResponse]:
-        """Answer one ``POST /probe`` body: ``(http_status, response)``.
+    def handle_probe(
+        self,
+        body: str,
+        trace_id: Optional[str] = None,
+        request_id: Optional[str] = None,
+    ) -> Tuple[int, ProbeResponse, str]:
+        """Answer one ``POST /probe`` body: ``(status, response, trace_id)``.
 
         Pure request-plane logic, independent of the socket layer so
         tests can drive it directly.  Never raises for client input.
+        A usable client-supplied ``trace_id`` is honoured, anything
+        else replaced with a freshly minted id; the request runs under
+        a per-request tracer (when tracing is enabled), the reassembled
+        span forest lands in the trace store, and a journal line is
+        written for every outcome — including rejections and errors.
         """
-        try:
-            request = ProbeRequest.from_json(body)
-        except ProtocolError as exc:
-            return 400, ProbeResponse.error(str(exc))
-        if request.kind not in ("debug_crash", "debug_stall") and (
-            request.kb not in self.kb_paths
-        ):
-            return 404, ProbeResponse.error(
-                f"unknown kb {request.kb!r}; serving "
-                f"{sorted(self.kb_paths)}"
-            )
-        if self.draining:
-            self.metrics.rejected("draining")
-            return 503, ProbeResponse.rejected(
-                self.retry_after, "server is draining"
-            )
-        if not self._try_admit():
-            self.metrics.rejected("queue_full")
-            return 429, ProbeResponse.rejected(
-                self.retry_after,
-                f"admission queue full ({self.max_queue} slots)",
-            )
+        trace_id = sanitize_trace_id(trace_id) or new_trace_id()
+        started = time.monotonic()
+        detail: Dict[str, object] = {}
+        if not self.tracing_enabled:
+            status, response = self._handle_request(body, detail)
+            roots = []
+        else:
+            tracer = Tracer(trace_id=trace_id, process="server")
+            with tracing(tracer):
+                with obs_span("serve_request") as root:
+                    status, response = self._handle_request(body, detail)
+                    root.set("status", response.status)
+                    if response.kind is not None:
+                        root.set("kind", response.kind)
+                    if response.kb is not None:
+                        root.set("kb", response.kb)
+            roots = tracer.roots
+            trace_blob = detail.get("trace")
+            target = detail.get("dispatch_span")
+            if trace_blob and isinstance(target, Span):
+                try:
+                    graft_spans(target, trace_blob, tracer.epoch)
+                except (ValueError, TypeError):
+                    pass  # a malformed trace never fails the request
+            if roots:
+                self.traces.put(trace_id, roots)
+        self._journal_request(
+            trace_id, request_id, started, response, detail, roots
+        )
+        return status, response, trace_id
+
+    def _journal_request(
+        self,
+        trace_id: str,
+        request_id: Optional[str],
+        started: float,
+        response: ProbeResponse,
+        detail: Dict[str, object],
+        roots,
+    ) -> None:
+        duration_ms = (time.monotonic() - started) * 1000.0
+        request = detail.get("request")
+        if request_id is None and isinstance(request, ProbeRequest):
+            request_id = request.request_id
+        cache_hit, engine = derive_execution(roots)
+        if detail.get("admitted") and response.kb is not None:
+            self.metrics.cache_result(response.kb, cache_hit)
+        self.journal.record(
+            JournalEntry(
+                trace_id=trace_id,
+                status=response.status,
+                duration_ms=duration_ms,
+                kind=response.kind,
+                kb=response.kb,
+                reason=response.reason,
+                request_id=request_id,
+                cache_hit=cache_hit,
+                engine=engine,
+                worker=detail.get("worker"),
+                incarnation=detail.get("incarnation"),
+            ),
+            roots=roots or None,
+        )
+
+    def _handle_request(
+        self, body: str, detail: Dict[str, object]
+    ) -> Tuple[int, ProbeResponse]:
+        with obs_span("admission") as adm:
+            try:
+                request = ProbeRequest.from_json(body)
+            except ProtocolError as exc:
+                adm.set("outcome", "bad_request")
+                return 400, ProbeResponse.error(str(exc))
+            detail["request"] = request
+            adm.set("kind", request.kind)
+            adm.set("kb", request.kb)
+            if request.kind not in ("debug_crash", "debug_stall") and (
+                request.kb not in self.kb_paths
+            ):
+                adm.set("outcome", "unknown_kb")
+                return 404, ProbeResponse.error(
+                    f"unknown kb {request.kb!r}; serving "
+                    f"{sorted(self.kb_paths)}"
+                )
+            if self.draining:
+                adm.set("outcome", "draining")
+                self.metrics.rejected("draining")
+                return 503, ProbeResponse.rejected(
+                    self.retry_after, "server is draining"
+                )
+            if not self._try_admit():
+                adm.set("outcome", "queue_full")
+                self.metrics.rejected("queue_full")
+                return 429, ProbeResponse.rejected(
+                    self.retry_after,
+                    f"admission queue full ({self.max_queue} slots)",
+                )
+            adm.set("outcome", "admitted")
+        detail["admitted"] = True
         self.metrics.admitted()
         started = time.monotonic()
         status, response = 500, ProbeResponse.error("internal server error")
         try:
-            status, response = self._run_admitted(request, started)
+            status, response = self._run_admitted(request, started, detail)
         finally:
             self._release()
             self.metrics.finished(response, time.monotonic() - started)
         return status, response
 
     def _run_admitted(
-        self, request: ProbeRequest, started: float
+        self, request: ProbeRequest, started: float, detail: Dict[str, object]
     ) -> Tuple[int, ProbeResponse]:
         deadline_ms = request.deadline_ms
         if deadline_ms is None:
@@ -382,21 +562,38 @@ class ReproServer:
         deadline_at = (
             started + deadline_ms / 1000.0 if deadline_ms is not None else None
         )
-        pending = self.pool.submit(request, deadline_at=deadline_at)
-        wait = None
-        if deadline_at is not None:
-            # The watchdog escalates a wedged worker at deadline+grace;
-            # give it room to do so before the HTTP layer gives up.
-            wait = (deadline_at - time.monotonic()) + 2.0 * getattr(
-                self.pool, "stall_grace", 1.0
-            ) + 0.5
-        response = pending.wait(wait)
-        if response is None:
-            response = ProbeResponse.unknown(
-                DegradationReason.DEADLINE,
-                "request exceeded its deadline in flight",
-                request,
+        with obs_span("dispatch") as dsp:
+            trace_id = None
+            if isinstance(dsp, Span):
+                detail["dispatch_span"] = dsp
+                trace_id = dsp.trace_id
+            pending = self.pool.submit(
+                request, deadline_at=deadline_at, trace_id=trace_id
             )
+            wait = None
+            if deadline_at is not None:
+                # The watchdog escalates a wedged worker at
+                # deadline+grace; give it room to do so before the HTTP
+                # layer gives up.
+                wait = (deadline_at - time.monotonic()) + 2.0 * getattr(
+                    self.pool, "stall_grace", 1.0
+                ) + 0.5
+            response = pending.wait(wait)
+            if response is None:
+                response = ProbeResponse.unknown(
+                    DegradationReason.DEADLINE,
+                    "request exceeded its deadline in flight",
+                    request,
+                )
+            pool_detail = pending.detail
+            if pool_detail:
+                detail.update(pool_detail)
+                if pool_detail.get("worker") is not None:
+                    dsp.set("worker", pool_detail["worker"])
+                if pool_detail.get("incarnation") is not None:
+                    dsp.set("incarnation", pool_detail["incarnation"])
+                if pool_detail.get("crashed"):
+                    dsp.set("crashed", True)
         return self._http_status(response), response
 
     @staticmethod
@@ -482,12 +679,43 @@ class _Handler(BaseHTTPRequestHandler):
                 queue_free=app.queue_free(),
                 worker_restarts=app.pool.restarts_total(),
                 workers_alive=app.pool.workers_alive(),
+                trace_store_traces=len(app.traces),
+                journal_entries=len(app.journal),
+                journal_lines=app.journal.lines_total,
+                journal_captured=app.journal.captured_total,
             )
             self._send(200, body, content_type="text/plain; version=0.0.4")
         elif self.path == "/kbs":
             self._send(
                 200, json.dumps({"kbs": sorted(app.kb_paths)}, sort_keys=True)
             )
+        elif self.path == "/traces":
+            self._send(
+                200, json.dumps({"traces": app.traces.ids()}, sort_keys=True)
+            )
+        elif self.path.startswith("/trace/"):
+            trace_id = self.path[len("/trace/"):]
+            roots = app.traces.get(trace_id)
+            if roots is None:
+                self._send(
+                    404,
+                    ProbeResponse.error(
+                        f"no stored trace {trace_id!r} (expired or never "
+                        "recorded; the store is bounded)"
+                    ).to_json(),
+                )
+            else:
+                self._send(
+                    200,
+                    spans_to_jsonl(roots),
+                    content_type="application/x-ndjson",
+                )
+        elif self.path == "/journal":
+            body = "".join(
+                json.dumps(entry.to_record(), sort_keys=True) + "\n"
+                for entry in self.app.journal.recent()
+            )
+            self._send(200, body, content_type="application/x-ndjson")
         else:
             self._send(
                 404,
@@ -517,8 +745,12 @@ class _Handler(BaseHTTPRequestHandler):
                     request_id = record.get("request_id")
             except (json.JSONDecodeError, ValueError):
                 request_id = None
-        status, response = self.app.handle_probe(body)
-        headers: Dict[str, str] = {}
+        status, response, trace_id = self.app.handle_probe(
+            body,
+            trace_id=self.headers.get("X-Trace-Id"),
+            request_id=request_id if isinstance(request_id, str) else None,
+        )
+        headers: Dict[str, str] = {"X-Trace-Id": trace_id}
         if isinstance(request_id, str) and request_id:
             headers["X-Request-Id"] = request_id
         if status in (429, 503):

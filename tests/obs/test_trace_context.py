@@ -1,0 +1,287 @@
+"""Trace-context tests: thread-local tracers, the extended span
+schema, clock rebasing, and cross-process grafting."""
+
+import random
+import threading
+
+import pytest
+
+from repro.obs.export import (
+    read_spans_jsonl,
+    span_to_dict,
+    spans_from_records,
+    spans_to_jsonl,
+    spans_to_records,
+    validate_span_record,
+)
+from repro.obs.spans import Span, Tracer, active_tracer, span, tracing
+from repro.obs.trace import (
+    fit_within,
+    graft_spans,
+    new_trace_id,
+    rebase_spans,
+    sanitize_trace_id,
+)
+
+
+def make_span(tracer, name, start, duration, children=()):
+    built = Span(tracer, name)
+    built.start = start
+    built.duration = duration
+    built.children.extend(children)
+    return built
+
+
+class TestThreadLocalTracer:
+    def test_each_thread_gets_its_own_tracer(self):
+        """Concurrent server threads must not share one span stack."""
+        barrier = threading.Barrier(2)
+        tracers = {}
+        errors = []
+
+        def work(label):
+            tracer = Tracer(trace_id=label, process="server")
+            tracers[label] = tracer
+            try:
+                with tracing(tracer):
+                    barrier.wait(timeout=5.0)  # both threads traced at once
+                    if active_tracer() is not tracer:
+                        errors.append(f"{label}: wrong active tracer")
+                    with span(f"work_{label}"):
+                        barrier.wait(timeout=5.0)
+            except Exception as exc:  # pragma: no cover - diagnostics
+                errors.append(f"{label}: {exc!r}")
+
+        threads = [
+            threading.Thread(target=work, args=(label,))
+            for label in ("alpha", "beta")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert errors == []
+        for label in ("alpha", "beta"):
+            roots = tracers[label].roots
+            assert [root.name for root in roots] == [f"work_{label}"]
+            assert roots[0].trace_id == label
+
+    def test_installing_in_one_thread_leaves_others_disabled(self):
+        seen = []
+
+        def observer():
+            seen.append(active_tracer())
+
+        with tracing(Tracer()):
+            thread = threading.Thread(target=observer)
+            thread.start()
+            thread.join(timeout=5.0)
+        assert seen == [None]
+
+
+class TestTraceStamping:
+    def test_spans_inherit_tracer_trace_context(self):
+        tracer = Tracer(trace_id="trace-1", process="worker-0")
+        with tracing(tracer):
+            with span("outer"):
+                with span("inner"):
+                    pass
+        (outer,) = tracer.roots
+        assert outer.trace_id == "trace-1"
+        assert outer.process == "worker-0"
+        assert outer.children[0].trace_id == "trace-1"
+        assert outer.children[0].process == "worker-0"
+
+    def test_local_tracing_stays_untagged(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            with span("local"):
+                pass
+        (root,) = tracer.roots
+        assert root.trace_id is None and root.process is None
+        record = span_to_dict(root, 0, None)
+        assert "trace_id" not in record and "process" not in record
+
+
+class TestExtendedSchemaRoundTrip:
+    def build_forest(self):
+        tracer = Tracer(trace_id="t-42", process="worker-1")
+        with tracing(tracer):
+            with span("probe_execute") as outer:
+                outer.set("kind", "satisfiable")
+                with span("cache_probe") as probe:
+                    probe.set("hit", False)
+                    probe.event("miss", {"kb": "university"})
+        return tracer.roots
+
+    def assert_forest(self, roots):
+        (outer,) = roots
+        assert outer.name == "probe_execute"
+        assert outer.trace_id == "t-42"
+        assert outer.process == "worker-1"
+        assert outer.attributes == {"kind": "satisfiable"}
+        (probe,) = outer.children
+        assert probe.attributes == {"hit": False}
+        assert probe.trace_id == "t-42"
+        assert [event.name for event in probe.events] == ["miss"]
+
+    def test_records_roundtrip(self):
+        roots = self.build_forest()
+        self.assert_forest(spans_from_records(spans_to_records(roots)))
+
+    def test_jsonl_roundtrip(self):
+        roots = self.build_forest()
+        self.assert_forest(read_spans_jsonl(spans_to_jsonl(roots)))
+
+    def test_optional_fields_validated_when_present(self):
+        record = span_to_dict(self.build_forest()[0], 0, None)
+        assert validate_span_record(record) == []
+        record["trace_id"] = 99
+        assert any(
+            "trace_id" in problem for problem in validate_span_record(record)
+        )
+
+    def test_bad_record_raises_with_index(self):
+        records = spans_to_records(self.build_forest())
+        del records[1]["name"]
+        with pytest.raises(ValueError, match="record 1"):
+            spans_from_records(records)
+
+
+class TestTraceIds:
+    def test_new_trace_ids_are_unique_and_sanitary(self):
+        ids = {new_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        for trace_id in ids:
+            assert sanitize_trace_id(trace_id) == trace_id
+
+    @pytest.mark.parametrize(
+        "value",
+        ["abc-123", "A.B_c-9", "x" * 64],
+    )
+    def test_acceptable_ids_pass_through(self, value):
+        assert sanitize_trace_id(value) == value
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            7,
+            "",
+            "x" * 65,
+            "../../etc/passwd",
+            "a/b",
+            "has space",
+            "new\nline",
+            "sneaky%2e%2e/",
+        ],
+    )
+    def test_hostile_or_malformed_ids_rejected(self, value):
+        assert sanitize_trace_id(value) is None
+
+
+class TestClockNormalisation:
+    def test_rebase_shifts_every_span(self):
+        tracer = Tracer()
+        child = make_span(tracer, "child", 1.5, 0.5)
+        root = make_span(tracer, "root", 1.0, 2.0, [child])
+        rebase_spans([root], -0.25)
+        assert root.start == pytest.approx(0.75)
+        assert child.start == pytest.approx(1.25)
+
+    def test_fit_within_honest_clocks_is_a_noop(self):
+        tracer = Tracer()
+        child = make_span(tracer, "child", 1.2, 0.3)
+        root = make_span(tracer, "root", 1.0, 2.0, [child])
+        assert fit_within([root], 0.5, 4.0) == 0
+        assert (root.start, root.duration) == (1.0, 2.0)
+        assert (child.start, child.duration) == (1.2, 0.3)
+
+    def test_fit_within_keeps_children_inside_parents_under_skew(self):
+        """Property test: any skewed forest clamps into a consistent tree."""
+        rng = random.Random(7)
+
+        def random_forest(tracer, depth=0):
+            spans = []
+            for _ in range(rng.randint(1, 3)):
+                start = rng.uniform(-5.0, 5.0)
+                duration = rng.uniform(0.0, 3.0)
+                children = (
+                    random_forest(tracer, depth + 1) if depth < 3 else []
+                )
+                spans.append(
+                    make_span(tracer, f"s{depth}", start, duration, children)
+                )
+            return spans
+
+        def check(spans, lo, hi):
+            for checked in spans:
+                assert checked.start >= lo - 1e-9
+                assert checked.start + checked.duration <= hi + 1e-9
+                assert checked.duration >= 0.0
+                check(
+                    checked.children,
+                    checked.start,
+                    checked.start + checked.duration,
+                )
+
+        tracer = Tracer()
+        for _ in range(50):
+            roots = random_forest(tracer)
+            offset = rng.uniform(-100.0, 100.0)
+            lo = rng.uniform(-2.0, 2.0)
+            hi = lo + rng.uniform(0.0, 4.0)
+            rebase_spans(roots, offset)
+            fit_within(roots, lo, hi)
+            check(roots, lo, hi)
+
+    def test_fit_within_counts_adjustments(self):
+        tracer = Tracer()
+        stray = make_span(tracer, "stray", 100.0, 1.0)
+        assert fit_within([stray], 0.0, 2.0) == 1
+        assert stray.start == pytest.approx(1.0)
+        assert stray.duration == pytest.approx(1.0)
+
+
+class TestGrafting:
+    def test_worker_forest_lands_inside_dispatch_window(self):
+        server = Tracer(trace_id="t-graft", process="server")
+        dispatch = make_span(server, "dispatch", 1.0, 2.0)
+        worker = Tracer(trace_id="t-graft", process="worker-0")
+        inner = make_span(worker, "cache_probe", 0.65, 0.1)
+        outer = make_span(worker, "probe_execute", 0.5, 0.8, [inner])
+        shipment = {
+            # The worker epoch is 0.6s later than the server's, so its
+            # offsets translate by +0.6 onto the server clock.
+            "epoch": server.epoch + 0.6,
+            "spans": spans_to_records([outer]),
+        }
+        grafted = graft_spans(dispatch, shipment, server.epoch)
+        assert [g.name for g in grafted] == ["probe_execute"]
+        assert dispatch.children == grafted
+        (got,) = grafted
+        assert got.start == pytest.approx(1.1)
+        assert got.process == "worker-0"
+        assert got.trace_id == "t-graft"
+        (got_inner,) = got.children
+        assert got_inner.start == pytest.approx(1.25)
+
+    def test_skewed_shipment_is_clamped_not_dropped(self):
+        server = Tracer()
+        dispatch = make_span(server, "dispatch", 1.0, 0.5)
+        worker = Tracer(process="worker-0")
+        outer = make_span(worker, "probe_execute", 0.0, 4.0)
+        shipment = {
+            "epoch": server.epoch + 1000.0,  # absurd skew
+            "spans": spans_to_records([outer]),
+        }
+        (got,) = graft_spans(dispatch, shipment, server.epoch)
+        assert got.start >= dispatch.start
+        assert got.start + got.duration <= dispatch.start + dispatch.duration
+
+    def test_empty_or_missing_spans_graft_nothing(self):
+        server = Tracer()
+        dispatch = make_span(server, "dispatch", 0.0, 1.0)
+        assert graft_spans(dispatch, {"epoch": 0.0, "spans": []}, 0.0) == []
+        assert graft_spans(dispatch, {}, 0.0) == []
+        assert dispatch.children == []

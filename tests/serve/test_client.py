@@ -34,7 +34,7 @@ def scripted_client(outcomes, retries=3, backoff=0.1):
     )
     script = iter(outcomes)
 
-    def fake_attempt(request):
+    def fake_attempt(request, trace_id=None):
         outcome = next(script)
         if isinstance(outcome, Exception):
             raise outcome

@@ -261,7 +261,7 @@ class TestGracefulShutdown:
             status, body = get(server, "/readyz")
             assert status == 503
             assert json.loads(body)["draining"] is True
-            code, response = server.handle_probe(json.dumps(
+            code, response, _ = server.handle_probe(json.dumps(
                 ProbeRequest(kind="satisfiable", kb="university").to_wire()
             ))
             assert code == 503
